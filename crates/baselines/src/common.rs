@@ -1,0 +1,203 @@
+//! Shared configuration and bookkeeping for baseline methods.
+
+use ft_data::ClientData;
+use ft_fedsim::costs::CostMeter;
+use ft_fedsim::device::DeviceTrace;
+use ft_fedsim::metrics::box_stats;
+use ft_fedsim::report::{RoundReport, RunReport};
+use ft_fedsim::roundtime::client_round_time;
+use ft_fedsim::trainer::LocalTrainConfig;
+use ft_model::CellModel;
+use ft_nn::softmax;
+use ft_tensor::Tensor;
+
+/// Server-side optimizer choice for the FedAvg family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServerOpt {
+    /// Plain weight replacement (vanilla FedAvg / FedProx).
+    Average,
+    /// FedYogi: adaptive server update on the aggregate delta.
+    Yogi {
+        /// Server learning rate.
+        lr: f32,
+    },
+}
+
+/// Hyperparameters shared by every baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineConfig {
+    /// Participants per round.
+    pub clients_per_round: usize,
+    /// Local training hyperparameters.
+    pub local: LocalTrainConfig,
+    /// RNG seed.
+    pub seed: u64,
+    /// Evaluate a `(cost, accuracy)` checkpoint every this many rounds
+    /// (0 disables), for the Fig. 7 curves.
+    pub eval_every: usize,
+    /// Whether evaluation respects device capacity (§5.1: "we evaluate
+    /// each client only on its compatible models"). Single-model
+    /// methods score 0 on clients that cannot run their model. The
+    /// Fig. 9 fine-tune protocol disables this (Appendix A.1 removes
+    /// the hardware constraints).
+    pub enforce_capacity: bool,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            clients_per_round: 20,
+            local: LocalTrainConfig::default(),
+            seed: 1,
+            eval_every: 0,
+            enforce_capacity: true,
+        }
+    }
+}
+
+/// Run bookkeeping shared by all baselines: costs, round history,
+/// accuracy curve, and per-client round times.
+#[derive(Debug, Default)]
+pub struct Accumulator {
+    /// Cost meter (MACs / bytes / rounds).
+    pub cost: CostMeter,
+    /// Per-round telemetry.
+    pub history: Vec<RoundReport>,
+    /// `(PMACs, accuracy)` checkpoints.
+    pub curve: Vec<(f64, f32)>,
+    /// Per-participant round completion times.
+    pub client_times: Vec<f32>,
+}
+
+impl Accumulator {
+    /// Records one participant's training and transfer, returning the
+    /// client's round time in seconds.
+    pub fn record_participant(
+        &mut self,
+        devices: &DeviceTrace,
+        client: usize,
+        model_macs: u64,
+        param_count: usize,
+        samples: u64,
+    ) -> f64 {
+        self.cost.record_local_training(model_macs, samples);
+        self.cost.record_model_transfer(param_count as u64);
+        let t = client_round_time(devices.profile(client), model_macs, param_count, samples);
+        self.client_times.push(t as f32);
+        t
+    }
+
+    /// Closes a round with its telemetry.
+    pub fn finish_round(
+        &mut self,
+        round: u32,
+        mean_loss: f32,
+        participants: usize,
+        num_models: usize,
+        round_time_s: f64,
+    ) {
+        self.cost.finish_round();
+        self.history.push(RoundReport {
+            round,
+            mean_loss,
+            participants,
+            num_models,
+            transformed: false,
+            cumulative_pmacs: self.cost.train_pmacs(),
+            round_time_s,
+        });
+    }
+
+    /// Builds the final report from per-client evaluation results.
+    pub fn into_report(
+        self,
+        per_client_accuracy: Vec<f32>,
+        per_client_model: Vec<usize>,
+        model_archs: Vec<String>,
+        model_macs: Vec<u64>,
+        storage_mb: f64,
+    ) -> RunReport {
+        RunReport {
+            final_accuracy: box_stats(&per_client_accuracy),
+            rounds: self.history,
+            per_client_accuracy,
+            per_client_model,
+            pmacs: self.cost.train_pmacs(),
+            network_mb: self.cost.network_mb(),
+            storage_mb,
+            model_archs,
+            model_macs,
+            accuracy_curve: self.curve,
+            client_times_s: self.client_times,
+        }
+    }
+}
+
+/// Accuracy of one model on a client's held-out shard (0 when the shard
+/// has no test data).
+pub fn eval_on_client(model: &CellModel, shard: &ClientData) -> f32 {
+    match shard.test_all() {
+        Some((x, y)) => {
+            let mut m = model.clone();
+            m.evaluate(&x, &y).map(|(_, acc)| acc).unwrap_or(0.0)
+        }
+        None => 0.0,
+    }
+}
+
+/// Accuracy of a softmax-averaged ensemble on a client's shard
+/// (SplitMix's inference rule).
+pub fn eval_ensemble_on_client(models: &[CellModel], shard: &ClientData) -> f32 {
+    let Some((x, y)) = shard.test_all() else {
+        return 0.0;
+    };
+    if models.is_empty() {
+        return 0.0;
+    }
+    let mut avg: Option<Tensor> = None;
+    for model in models {
+        let mut m = model.clone();
+        let Ok(logits) = m.forward(&x) else { return 0.0 };
+        let Ok(probs) = softmax(&logits) else { return 0.0 };
+        avg = Some(match avg {
+            None => probs,
+            Some(a) => a.add(&probs).expect("same shapes"),
+        });
+    }
+    let avg = avg.expect("non-empty ensemble");
+    let preds = avg.argmax_rows().expect("matrix logits");
+    let correct = preds.iter().zip(&y).filter(|(p, l)| p == l).count();
+    correct as f32 / y.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_data::DatasetConfig;
+    use ft_fedsim::device::DeviceTraceConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn accumulator_tracks_costs_and_history() {
+        let devices = DeviceTraceConfig::default().with_num_devices(3).generate();
+        let mut acc = Accumulator::default();
+        let t = acc.record_participant(&devices, 0, 1000, 500, 100);
+        assert!(t > 0.0);
+        acc.finish_round(0, 1.5, 1, 1, t);
+        assert_eq!(acc.history.len(), 1);
+        assert!(acc.cost.train_macs() > 0);
+        let report = acc.into_report(vec![0.5], vec![0], vec!["m".into()], vec![1000], 0.1);
+        assert_eq!(report.rounds.len(), 1);
+        assert_eq!(report.final_accuracy.mean, 0.5);
+    }
+
+    #[test]
+    fn ensemble_of_one_matches_single() {
+        let data = DatasetConfig::femnist_like().with_num_clients(2).generate();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let m = CellModel::dense(&mut rng, data.input_dim(), &[8], data.num_classes());
+        let single = eval_on_client(&m, data.client(0));
+        let ens = eval_ensemble_on_client(&[m], data.client(0));
+        assert!((single - ens).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,271 @@
+//! FedAvg, FedProx, and FedYogi: the single-global-model family.
+//!
+//! FedProx is FedAvg with a proximal term in the client objective (set
+//! `prox_mu` in the local config); FedYogi replaces the server-side
+//! weight replacement with an adaptive Yogi update on the aggregate
+//! delta (pass [`ServerOpt::Yogi`]).
+
+use rand::SeedableRng;
+
+use ft_data::FederatedDataset;
+use ft_fedsim::device::DeviceTrace;
+use ft_fedsim::report::{RoundReport, RunReport};
+use ft_fedsim::select;
+use ft_fedsim::trainer::train_participants;
+use ft_fedsim::Result;
+use ft_model::CellModel;
+use ft_nn::Yogi;
+use ft_tensor::Tensor;
+
+use crate::common::{eval_on_client, Accumulator, BaselineConfig, ServerOpt};
+
+/// The FedAvg family runner.
+pub struct FedAvg {
+    cfg: BaselineConfig,
+    data: FederatedDataset,
+    devices: DeviceTrace,
+    model: CellModel,
+    server: ServerOpt,
+    yogi: Yogi,
+    acc: Accumulator,
+    rng: rand::rngs::StdRng,
+    round: u32,
+}
+
+impl FedAvg {
+    /// Creates a runner training `model` as the single global model.
+    pub fn new(
+        cfg: BaselineConfig,
+        data: FederatedDataset,
+        devices: DeviceTrace,
+        model: CellModel,
+        server: ServerOpt,
+    ) -> Self {
+        let yogi_lr = match server {
+            ServerOpt::Yogi { lr } => lr,
+            ServerOpt::Average => 0.0,
+        };
+        FedAvg {
+            rng: rand::rngs::StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            data,
+            devices,
+            model,
+            server,
+            yogi: Yogi::new(yogi_lr),
+            acc: Accumulator::default(),
+            round: 0,
+        }
+    }
+
+    /// The current global model.
+    pub fn model(&self) -> &CellModel {
+        &self.model
+    }
+
+    /// Runs one round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors.
+    pub fn step(&mut self) -> Result<RoundReport> {
+        let participants = select::uniform(
+            &mut self.rng,
+            self.data.num_clients(),
+            self.cfg.clients_per_round,
+        );
+        let assignments: Vec<(usize, CellModel)> = participants
+            .iter()
+            .map(|&c| (c, self.model.clone()))
+            .collect();
+        let outcomes = train_participants(
+            assignments,
+            self.data.clients(),
+            &self.cfg.local,
+            self.cfg.seed.wrapping_add(self.round as u64),
+        )?;
+
+        let macs = self.model.macs_per_sample();
+        let params = self.model.param_count();
+        let mut round_time = 0.0f64;
+        for o in &outcomes {
+            let t = self
+                .acc
+                .record_participant(&self.devices, o.client, macs, params, o.samples_processed);
+            round_time = round_time.max(t);
+        }
+
+        // Sample-weighted average of local weights.
+        let total: u64 = outcomes.iter().map(|o| o.samples_processed).sum();
+        if total > 0 {
+            let mut avg: Vec<Tensor> = self
+                .model
+                .snapshot()
+                .iter()
+                .map(|t| Tensor::zeros(t.shape().dims()))
+                .collect();
+            for o in &outcomes {
+                let w = o.samples_processed as f32 / total as f32;
+                for (a, t) in avg.iter_mut().zip(&o.weights) {
+                    a.axpy(w, t).expect("same global model shapes");
+                }
+            }
+            match self.server {
+                ServerOpt::Average => {
+                    self.model.restore(&avg)?;
+                }
+                ServerOpt::Yogi { .. } => {
+                    let current = self.model.snapshot();
+                    let deltas: Vec<Tensor> = avg
+                        .iter()
+                        .zip(&current)
+                        .map(|(a, c)| a.sub(c).expect("same shapes"))
+                        .collect();
+                    let delta_refs: Vec<&Tensor> = deltas.iter().collect();
+                    let mut params_mut = self.model.param_tensors_mut();
+                    self.yogi
+                        .step(&mut params_mut, &delta_refs)
+                        .map_err(ft_model::ModelError::from)?;
+                }
+            }
+        }
+
+        let losses: Vec<f32> = outcomes.iter().map(|o| o.avg_loss).collect();
+        let mean_loss = ft_fedsim::metrics::mean(&losses);
+        self.acc
+            .finish_round(self.round, mean_loss, outcomes.len(), 1, round_time);
+        self.round += 1;
+
+        if self.cfg.eval_every > 0 && self.round as usize % self.cfg.eval_every == 0 {
+            let accs = self.evaluate();
+            let mean = ft_fedsim::metrics::mean(&accs);
+            self.acc.curve.push((self.acc.cost.train_pmacs(), mean));
+        }
+        Ok(self.acc.history.last().expect("just pushed").clone())
+    }
+
+    /// Per-client accuracy of the global model. With
+    /// `enforce_capacity`, clients whose device cannot run the model
+    /// score 0 — a one-size-fits-all model simply cannot serve them.
+    pub fn evaluate(&self) -> Vec<f32> {
+        let macs = self.model.macs_per_sample();
+        self.data
+            .clients()
+            .iter()
+            .enumerate()
+            .map(|(c, shard)| {
+                if self.cfg.enforce_capacity && !self.devices.profile(c).is_compatible(macs) {
+                    0.0
+                } else {
+                    eval_on_client(&self.model, shard)
+                }
+            })
+            .collect()
+    }
+
+    /// Runs `rounds` rounds and produces the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-round errors.
+    pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
+        for _ in 0..rounds {
+            self.step()?;
+        }
+        let accs = self.evaluate();
+        let n = accs.len();
+        let acc = std::mem::take(&mut self.acc);
+        Ok(acc.into_report(
+            accs,
+            vec![0; n],
+            vec![self.model.arch_string()],
+            vec![self.model.macs_per_sample()],
+            self.model.storage_bytes() as f64 / 1e6,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_data::DatasetConfig;
+    use ft_fedsim::device::DeviceTraceConfig;
+    use ft_fedsim::trainer::LocalTrainConfig;
+
+    fn setup() -> (BaselineConfig, FederatedDataset, DeviceTrace, CellModel) {
+        let data = DatasetConfig::femnist_like()
+            .with_num_clients(8)
+            .with_mean_samples(25)
+            .generate();
+        let devices = DeviceTraceConfig::default().with_num_devices(8).generate();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let model = CellModel::dense(&mut rng, data.input_dim(), &[16], data.num_classes());
+        let cfg = BaselineConfig {
+            clients_per_round: 4,
+            local: LocalTrainConfig {
+                local_steps: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        (cfg, data, devices, model)
+    }
+
+    #[test]
+    fn fedavg_improves_over_rounds() {
+        let (cfg, data, devices, model) = setup();
+        let mut runner = FedAvg::new(cfg, data, devices, model, ServerOpt::Average);
+        let first_loss = runner.step().unwrap().mean_loss;
+        let mut last_loss = first_loss;
+        for _ in 0..10 {
+            last_loss = runner.step().unwrap().mean_loss;
+        }
+        assert!(last_loss < first_loss, "{last_loss} !< {first_loss}");
+    }
+
+    #[test]
+    fn fedprox_runs_with_proximal_term() {
+        let (mut cfg, data, devices, model) = setup();
+        cfg.local.prox_mu = Some(0.1);
+        let mut runner = FedAvg::new(cfg, data, devices, model, ServerOpt::Average);
+        let report = runner.run(3).unwrap();
+        assert_eq!(report.rounds.len(), 3);
+    }
+
+    #[test]
+    fn fedyogi_changes_weights() {
+        let (cfg, data, devices, model) = setup();
+        let before = model.snapshot();
+        let mut runner = FedAvg::new(cfg, data, devices, model, ServerOpt::Yogi { lr: 0.05 });
+        runner.step().unwrap();
+        let after = runner.model().snapshot();
+        assert_ne!(before[0], after[0]);
+    }
+
+    #[test]
+    fn report_has_costs_and_accuracies() {
+        let (cfg, data, devices, model) = setup();
+        let mut runner = FedAvg::new(cfg, data, devices, model, ServerOpt::Average);
+        let report = runner.run(2).unwrap();
+        assert!(report.pmacs > 0.0);
+        assert!(report.network_mb > 0.0);
+        assert_eq!(report.per_client_accuracy.len(), 8);
+        assert_eq!(report.model_archs.len(), 1);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let (cfg, data, devices, model) = setup();
+        let mut a = FedAvg::new(
+            cfg,
+            data.clone(),
+            devices.clone(),
+            model.clone(),
+            ServerOpt::Average,
+        );
+        let mut b = FedAvg::new(cfg, data, devices, model, ServerOpt::Average);
+        let ra = a.run(3).unwrap();
+        let rb = b.run(3).unwrap();
+        assert_eq!(ra.per_client_accuracy, rb.per_client_accuracy);
+    }
+}

@@ -1,0 +1,368 @@
+//! FLuID: invariant dropout (Wang et al., NeurIPS 2024).
+//!
+//! Like HeteroFL, constrained clients train submodels of one global
+//! model — but instead of slicing a fixed corner, FLuID ranks every
+//! neuron by how much it has been *updated* recently and drops the
+//! most **invariant** (least-updated) neurons first. The kept set is
+//! therefore dynamic: it follows where training activity concentrates.
+//!
+//! We track an exponential moving average of per-neuron update
+//! magnitude from the aggregated global delta each round (the
+//! coordinator-visible signal), and rebuild each capacity level's
+//! [`KeepPlan`] from the freshest scores at assignment time.
+
+use std::collections::HashMap;
+
+use rand::SeedableRng;
+
+use ft_data::FederatedDataset;
+use ft_fedsim::device::DeviceTrace;
+use ft_fedsim::report::{RoundReport, RunReport};
+use ft_fedsim::select;
+use ft_fedsim::trainer::train_participants;
+use ft_fedsim::Result;
+use ft_model::{Cell, CellId, CellModel};
+use ft_tensor::Tensor;
+
+use crate::common::{eval_on_client, Accumulator, BaselineConfig};
+use crate::heterofl::DEFAULT_RATIOS;
+use crate::submodel::{extract, scatter_maps, unit_count, KeepPlan};
+use crate::tensor_select::{scatter_add1, scatter_add2};
+
+/// EMA coefficient for neuron-update scores.
+const SCORE_EMA: f32 = 0.5;
+
+/// The FLuID runner.
+pub struct Fluid {
+    cfg: BaselineConfig,
+    data: FederatedDataset,
+    devices: DeviceTrace,
+    global: CellModel,
+    ratios: Vec<f32>,
+    /// Per-cell neuron-update scores (higher = more variant = kept).
+    scores: HashMap<CellId, Vec<f32>>,
+    acc: Accumulator,
+    rng: rand::rngs::StdRng,
+    round: u32,
+}
+
+impl Fluid {
+    /// Creates a runner around `global` with HeteroFL's width levels.
+    pub fn new(
+        cfg: BaselineConfig,
+        data: FederatedDataset,
+        devices: DeviceTrace,
+        global: CellModel,
+    ) -> Self {
+        let scores = global
+            .cells()
+            .iter()
+            .map(|c| (c.id(), vec![0.0f32; unit_count(c)]))
+            .collect();
+        Fluid {
+            rng: rand::rngs::StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            data,
+            devices,
+            global,
+            ratios: DEFAULT_RATIOS.to_vec(),
+            scores,
+            acc: Accumulator::default(),
+            round: 0,
+        }
+    }
+
+    /// The global model.
+    pub fn global(&self) -> &CellModel {
+        &self.global
+    }
+
+    /// The plan for one width ratio: per cell, keep the `ceil(r·n)`
+    /// units with the highest update scores (ties keep lower indices),
+    /// returned sorted ascending.
+    pub fn plan_for_ratio(&self, ratio: f32) -> KeepPlan {
+        let keep = self
+            .global
+            .cells()
+            .iter()
+            .map(|cell| {
+                let n = unit_count(cell);
+                let k = ((n as f32 * ratio).ceil() as usize).clamp(1, n);
+                let scores = &self.scores[&cell.id()];
+                let mut idx: Vec<usize> = (0..n).collect();
+                idx.sort_by(|&a, &b| {
+                    scores[b]
+                        .partial_cmp(&scores[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                let mut kept: Vec<usize> = idx.into_iter().take(k).collect();
+                kept.sort_unstable();
+                kept
+            })
+            .collect();
+        KeepPlan { keep }
+    }
+
+    /// The width level for a capacity (largest level that fits).
+    fn level_for(&self, capacity: u64) -> usize {
+        for (i, &r) in self.ratios.iter().enumerate() {
+            let sub = extract(&self.global, &self.plan_for_ratio(r));
+            if sub.macs_per_sample() <= capacity {
+                return i;
+            }
+        }
+        self.ratios.len() - 1
+    }
+
+    /// Folds the aggregate delta into the per-neuron update scores.
+    fn update_scores(&mut self, old: &[Tensor], new: &[Tensor]) {
+        let layout = self.global.param_layout();
+        for (cell, (id_opt, start, _len)) in self.global.cells().iter().zip(&layout) {
+            let Some(id) = id_opt else { continue };
+            let scores = self.scores.get_mut(id).expect("cell registered at construction");
+            let n = scores.len();
+            // Per-unit magnitude from the cell's primary weight tensor:
+            // dense columns, conv rows, attention W1 columns.
+            match cell {
+                Cell::Dense { .. } => {
+                    let dw = new[*start].sub(&old[*start]).expect("same shapes");
+                    let cols = dw.shape().dims()[1];
+                    for j in 0..n.min(cols) {
+                        let mut mag = 0.0f32;
+                        for r in 0..dw.shape().dims()[0] {
+                            mag += dw.at(r, j).abs();
+                        }
+                        scores[j] = SCORE_EMA * scores[j] + (1.0 - SCORE_EMA) * mag;
+                    }
+                }
+                Cell::Conv { .. } => {
+                    let dw = new[*start].sub(&old[*start]).expect("same shapes");
+                    let cols = dw.shape().dims()[1];
+                    for (j, score) in scores.iter_mut().enumerate().take(dw.shape().dims()[0]) {
+                        let mut mag = 0.0f32;
+                        for c in 0..cols {
+                            mag += dw.at(j, c).abs();
+                        }
+                        *score = SCORE_EMA * *score + (1.0 - SCORE_EMA) * mag;
+                    }
+                }
+                Cell::Attention { .. } => {
+                    // W1 is the 5th tensor of the attention cell.
+                    let w1_idx = start + 4;
+                    let dw = new[w1_idx].sub(&old[w1_idx]).expect("same shapes");
+                    let cols = dw.shape().dims()[1];
+                    for j in 0..n.min(cols) {
+                        let mut mag = 0.0f32;
+                        for r in 0..dw.shape().dims()[0] {
+                            mag += dw.at(r, j).abs();
+                        }
+                        scores[j] = SCORE_EMA * scores[j] + (1.0 - SCORE_EMA) * mag;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors.
+    pub fn step(&mut self) -> Result<RoundReport> {
+        let participants = select::uniform(
+            &mut self.rng,
+            self.data.num_clients(),
+            self.cfg.clients_per_round,
+        );
+        let mut plans = Vec::with_capacity(participants.len());
+        let mut assignments = Vec::with_capacity(participants.len());
+        let mut sub_stats = Vec::with_capacity(participants.len());
+        for &c in &participants {
+            let lvl = self.level_for(self.devices.profile(c).capacity_macs);
+            let plan = self.plan_for_ratio(self.ratios[lvl]);
+            let sub = extract(&self.global, &plan);
+            sub_stats.push((sub.macs_per_sample(), sub.param_count()));
+            plans.push(plan);
+            assignments.push((c, sub));
+        }
+        let outcomes = train_participants(
+            assignments,
+            self.data.clients(),
+            &self.cfg.local,
+            self.cfg.seed.wrapping_add(self.round as u64),
+        )?;
+
+        let mut round_time = 0.0f64;
+        for (o, &(macs, params)) in outcomes.iter().zip(&sub_stats) {
+            let t = self
+                .acc
+                .record_participant(&self.devices, o.client, macs, params, o.samples_processed);
+            round_time = round_time.max(t);
+        }
+
+        // Scatter aggregation, per participant plan.
+        let original = self.global.snapshot();
+        let mut agg: Vec<Tensor> = original
+            .iter()
+            .map(|t| Tensor::zeros(t.shape().dims()))
+            .collect();
+        let mut counts: Vec<Tensor> = original
+            .iter()
+            .map(|t| Tensor::zeros(t.shape().dims()))
+            .collect();
+        for (o, plan) in outcomes.iter().zip(&plans) {
+            let maps = scatter_maps(&self.global, plan);
+            for ((map, src), (a, c)) in maps
+                .iter()
+                .zip(&o.weights)
+                .zip(agg.iter_mut().zip(counts.iter_mut()))
+            {
+                if map.rank1 {
+                    match &map.rows {
+                        Some(idx) => scatter_add1(a, c, src, idx, 1.0),
+                        None => {
+                            let idx: Vec<usize> = (0..src.len()).collect();
+                            scatter_add1(a, c, src, &idx, 1.0);
+                        }
+                    }
+                } else {
+                    scatter_add2(a, c, src, map.rows.as_deref(), map.cols.as_deref(), 1.0);
+                }
+            }
+        }
+        for ((a, c), orig) in agg.iter_mut().zip(&counts).zip(&original) {
+            ft_model::crop::finalize_overlap(a, c, orig);
+        }
+        self.global.restore(&agg)?;
+        let updated = self.global.snapshot();
+        self.update_scores(&original, &updated);
+
+        let losses: Vec<f32> = outcomes.iter().map(|o| o.avg_loss).collect();
+        let mean_loss = ft_fedsim::metrics::mean(&losses);
+        self.acc.finish_round(
+            self.round,
+            mean_loss,
+            outcomes.len(),
+            self.ratios.len(),
+            round_time,
+        );
+        self.round += 1;
+
+        if self.cfg.eval_every > 0 && self.round as usize % self.cfg.eval_every == 0 {
+            let (accs, _) = self.evaluate();
+            let mean = ft_fedsim::metrics::mean(&accs);
+            self.acc.curve.push((self.acc.cost.train_pmacs(), mean));
+        }
+        Ok(self.acc.history.last().expect("just pushed").clone())
+    }
+
+    /// Per-client accuracy on each client's invariant-dropout submodel.
+    pub fn evaluate(&self) -> (Vec<f32>, Vec<usize>) {
+        let mut accs = Vec::with_capacity(self.data.num_clients());
+        let mut lvls = Vec::with_capacity(self.data.num_clients());
+        for c in 0..self.data.num_clients() {
+            let lvl = self.level_for(self.devices.profile(c).capacity_macs);
+            let sub = extract(&self.global, &self.plan_for_ratio(self.ratios[lvl]));
+            accs.push(eval_on_client(&sub, self.data.client(c)));
+            lvls.push(lvl);
+        }
+        (accs, lvls)
+    }
+
+    /// Runs `rounds` rounds and produces the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-round errors.
+    pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
+        for _ in 0..rounds {
+            self.step()?;
+        }
+        let (accs, lvls) = self.evaluate();
+        let archs: Vec<String> = self
+            .ratios
+            .iter()
+            .map(|&r| extract(&self.global, &self.plan_for_ratio(r)).arch_string())
+            .collect();
+        let macs: Vec<u64> = self
+            .ratios
+            .iter()
+            .map(|&r| extract(&self.global, &self.plan_for_ratio(r)).macs_per_sample())
+            .collect();
+        let storage = self.global.storage_bytes() as f64 / 1e6;
+        let acc = std::mem::take(&mut self.acc);
+        Ok(acc.into_report(accs, lvls, archs, macs, storage))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_data::DatasetConfig;
+    use ft_fedsim::device::DeviceTraceConfig;
+    use ft_fedsim::trainer::LocalTrainConfig;
+
+    fn setup() -> (BaselineConfig, FederatedDataset, DeviceTrace, CellModel) {
+        let data = DatasetConfig::femnist_like()
+            .with_num_clients(6)
+            .with_mean_samples(20)
+            .generate();
+        let devices = DeviceTraceConfig::default()
+            .with_num_devices(6)
+            .with_base_capacity(5_000)
+            .generate();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let model = CellModel::dense(&mut rng, data.input_dim(), &[24, 24], data.num_classes());
+        let cfg = BaselineConfig {
+            clients_per_round: 3,
+            local: LocalTrainConfig {
+                local_steps: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        (cfg, data, devices, model)
+    }
+
+    #[test]
+    fn initial_plan_is_corner_like() {
+        let (cfg, data, devices, model) = setup();
+        let f = Fluid::new(cfg, data, devices, model);
+        // All scores zero -> ties keep lowest indices.
+        let plan = f.plan_for_ratio(0.5);
+        assert_eq!(plan.keep[0], (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scores_move_plan_toward_active_neurons() {
+        let (cfg, data, devices, model) = setup();
+        let mut f = Fluid::new(cfg, data, devices, model);
+        // Manually bump the score of neuron 20 in the first cell.
+        let id = f.global.cells()[0].id();
+        f.scores.get_mut(&id).unwrap()[20] = 100.0;
+        let plan = f.plan_for_ratio(0.25);
+        assert!(plan.keep[0].contains(&20), "active neuron must be kept: {:?}", plan.keep[0]);
+    }
+
+    #[test]
+    fn training_updates_scores_and_global() {
+        let (cfg, data, devices, model) = setup();
+        let before = model.snapshot();
+        let mut f = Fluid::new(cfg, data, devices, model);
+        f.step().unwrap();
+        assert_ne!(before[0], f.global().snapshot()[0]);
+        let id = f.global.cells()[0].id();
+        assert!(f.scores[&id].iter().any(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn run_produces_report() {
+        let (cfg, data, devices, model) = setup();
+        let mut f = Fluid::new(cfg, data, devices, model);
+        let report = f.run(3).unwrap();
+        assert_eq!(report.per_client_accuracy.len(), 6);
+        assert!(report.pmacs > 0.0);
+        assert_eq!(report.model_archs.len(), DEFAULT_RATIOS.len());
+    }
+}

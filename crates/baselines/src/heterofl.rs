@@ -1,0 +1,301 @@
+//! HeteroFL (Diao et al., ICLR 2020).
+//!
+//! One global model; each client trains the submodel formed by the
+//! first `p·width` units of every layer, where `p` is the largest width
+//! level fitting the client's MAC budget. Aggregation averages each
+//! global parameter over exactly the clients whose submodels contain it
+//! — the corner-overlap rule this repo expresses with
+//! [`crate::submodel::scatter_maps`].
+
+use rand::SeedableRng;
+
+use ft_data::FederatedDataset;
+use ft_fedsim::device::DeviceTrace;
+use ft_fedsim::report::{RoundReport, RunReport};
+use ft_fedsim::select;
+use ft_fedsim::trainer::train_participants;
+use ft_fedsim::Result;
+use ft_model::CellModel;
+use ft_tensor::Tensor;
+
+use crate::common::{eval_on_client, Accumulator, BaselineConfig};
+use crate::submodel::{extract, scatter_maps, KeepPlan};
+use crate::tensor_select::{scatter_add1, scatter_add2};
+
+/// The standard HeteroFL width levels (largest first).
+pub const DEFAULT_RATIOS: [f32; 5] = [1.0, 0.5, 0.25, 0.125, 0.0625];
+
+/// The HeteroFL runner.
+pub struct HeteroFl {
+    cfg: BaselineConfig,
+    data: FederatedDataset,
+    devices: DeviceTrace,
+    global: CellModel,
+    ratios: Vec<f32>,
+    plans: Vec<KeepPlan>,
+    level_macs: Vec<u64>,
+    level_params: Vec<usize>,
+    acc: Accumulator,
+    rng: rand::rngs::StdRng,
+    round: u32,
+}
+
+impl HeteroFl {
+    /// Creates a runner around `global` with the default width levels.
+    pub fn new(
+        cfg: BaselineConfig,
+        data: FederatedDataset,
+        devices: DeviceTrace,
+        global: CellModel,
+    ) -> Self {
+        Self::with_ratios(cfg, data, devices, global, &DEFAULT_RATIOS)
+    }
+
+    /// Creates a runner with explicit width levels (largest first).
+    pub fn with_ratios(
+        cfg: BaselineConfig,
+        data: FederatedDataset,
+        devices: DeviceTrace,
+        global: CellModel,
+        ratios: &[f32],
+    ) -> Self {
+        let plans: Vec<KeepPlan> = ratios.iter().map(|&r| KeepPlan::corner(&global, r)).collect();
+        let submodels: Vec<CellModel> = plans.iter().map(|p| extract(&global, p)).collect();
+        let level_macs = submodels.iter().map(CellModel::macs_per_sample).collect();
+        let level_params = submodels.iter().map(CellModel::param_count).collect();
+        HeteroFl {
+            rng: rand::rngs::StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            data,
+            devices,
+            global,
+            ratios: ratios.to_vec(),
+            plans,
+            level_macs,
+            level_params,
+            acc: Accumulator::default(),
+            round: 0,
+        }
+    }
+
+    /// The global model.
+    pub fn global(&self) -> &CellModel {
+        &self.global
+    }
+
+    /// The width level (index into ratios) for a client's capacity: the
+    /// largest level that fits, else the smallest level.
+    pub fn level_for(&self, capacity: u64) -> usize {
+        for (i, &m) in self.level_macs.iter().enumerate() {
+            if m <= capacity {
+                return i;
+            }
+        }
+        self.level_macs.len() - 1
+    }
+
+    /// Runs one round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors.
+    pub fn step(&mut self) -> Result<RoundReport> {
+        let participants = select::uniform(
+            &mut self.rng,
+            self.data.num_clients(),
+            self.cfg.clients_per_round,
+        );
+        let mut levels = Vec::with_capacity(participants.len());
+        let mut assignments = Vec::with_capacity(participants.len());
+        for &c in &participants {
+            let lvl = self.level_for(self.devices.profile(c).capacity_macs);
+            levels.push(lvl);
+            assignments.push((c, extract(&self.global, &self.plans[lvl])));
+        }
+        let outcomes = train_participants(
+            assignments,
+            self.data.clients(),
+            &self.cfg.local,
+            self.cfg.seed.wrapping_add(self.round as u64),
+        )?;
+
+        let mut round_time = 0.0f64;
+        for (o, &lvl) in outcomes.iter().zip(&levels) {
+            let t = self.acc.record_participant(
+                &self.devices,
+                o.client,
+                self.level_macs[lvl],
+                self.level_params[lvl],
+                o.samples_processed,
+            );
+            round_time = round_time.max(t);
+        }
+
+        // Overlap aggregation into the global tensors.
+        let original = self.global.snapshot();
+        let mut agg: Vec<Tensor> = original
+            .iter()
+            .map(|t| Tensor::zeros(t.shape().dims()))
+            .collect();
+        let mut counts: Vec<Tensor> = original
+            .iter()
+            .map(|t| Tensor::zeros(t.shape().dims()))
+            .collect();
+        for (o, &lvl) in outcomes.iter().zip(&levels) {
+            let maps = scatter_maps(&self.global, &self.plans[lvl]);
+            for ((map, src), (a, c)) in maps
+                .iter()
+                .zip(&o.weights)
+                .zip(agg.iter_mut().zip(counts.iter_mut()))
+            {
+                if map.rank1 {
+                    match &map.rows {
+                        Some(idx) => scatter_add1(a, c, src, idx, 1.0),
+                        None => {
+                            let idx: Vec<usize> = (0..src.len()).collect();
+                            scatter_add1(a, c, src, &idx, 1.0);
+                        }
+                    }
+                } else {
+                    scatter_add2(a, c, src, map.rows.as_deref(), map.cols.as_deref(), 1.0);
+                }
+            }
+        }
+        for ((a, c), orig) in agg.iter_mut().zip(&counts).zip(&original) {
+            ft_model::crop::finalize_overlap(a, c, orig);
+        }
+        self.global.restore(&agg)?;
+
+        let losses: Vec<f32> = outcomes.iter().map(|o| o.avg_loss).collect();
+        let mean_loss = ft_fedsim::metrics::mean(&losses);
+        self.acc.finish_round(
+            self.round,
+            mean_loss,
+            outcomes.len(),
+            self.ratios.len(),
+            round_time,
+        );
+        self.round += 1;
+
+        if self.cfg.eval_every > 0 && self.round as usize % self.cfg.eval_every == 0 {
+            let (accs, _) = self.evaluate();
+            let mean = ft_fedsim::metrics::mean(&accs);
+            self.acc.curve.push((self.acc.cost.train_pmacs(), mean));
+        }
+        Ok(self.acc.history.last().expect("just pushed").clone())
+    }
+
+    /// Per-client accuracy on each client's width-level submodel, plus
+    /// the level used.
+    pub fn evaluate(&self) -> (Vec<f32>, Vec<usize>) {
+        let mut accs = Vec::with_capacity(self.data.num_clients());
+        let mut lvls = Vec::with_capacity(self.data.num_clients());
+        for c in 0..self.data.num_clients() {
+            let lvl = self.level_for(self.devices.profile(c).capacity_macs);
+            let sub = extract(&self.global, &self.plans[lvl]);
+            accs.push(eval_on_client(&sub, self.data.client(c)));
+            lvls.push(lvl);
+        }
+        (accs, lvls)
+    }
+
+    /// Runs `rounds` rounds and produces the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-round errors.
+    pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
+        for _ in 0..rounds {
+            self.step()?;
+        }
+        let (accs, lvls) = self.evaluate();
+        let archs: Vec<String> = self
+            .plans
+            .iter()
+            .map(|p| extract(&self.global, p).arch_string())
+            .collect();
+        // HeteroFL stores one global superset model.
+        let storage = self.global.storage_bytes() as f64 / 1e6;
+        let acc = std::mem::take(&mut self.acc);
+        Ok(acc.into_report(accs, lvls, archs, self.level_macs.clone(), storage))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_data::DatasetConfig;
+    use ft_fedsim::device::DeviceTraceConfig;
+    use ft_fedsim::trainer::LocalTrainConfig;
+
+    fn setup() -> (BaselineConfig, FederatedDataset, DeviceTrace, CellModel) {
+        let data = DatasetConfig::femnist_like()
+            .with_num_clients(8)
+            .with_mean_samples(25)
+            .generate();
+        let devices = DeviceTraceConfig::default()
+            .with_num_devices(8)
+            .with_base_capacity(5_000)
+            .generate();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let model = CellModel::dense(&mut rng, data.input_dim(), &[32, 32], data.num_classes());
+        let cfg = BaselineConfig {
+            clients_per_round: 4,
+            local: LocalTrainConfig {
+                local_steps: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        (cfg, data, devices, model)
+    }
+
+    #[test]
+    fn levels_decrease_with_capacity() {
+        let (cfg, data, devices, model) = setup();
+        let h = HeteroFl::new(cfg, data, devices, model);
+        let big = h.level_for(u64::MAX);
+        let small = h.level_for(1);
+        assert_eq!(big, 0);
+        assert_eq!(small, DEFAULT_RATIOS.len() - 1);
+        // Level MACs are strictly decreasing.
+        assert!(h.level_macs.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn step_updates_global() {
+        let (cfg, data, devices, model) = setup();
+        let before = model.snapshot();
+        let mut h = HeteroFl::new(cfg, data, devices, model);
+        h.step().unwrap();
+        assert_ne!(before[0], h.global().snapshot()[0]);
+    }
+
+    #[test]
+    fn run_reports_per_level_archs() {
+        let (cfg, data, devices, model) = setup();
+        let mut h = HeteroFl::new(cfg, data, devices, model);
+        let report = h.run(3).unwrap();
+        assert_eq!(report.model_archs.len(), DEFAULT_RATIOS.len());
+        assert_eq!(report.per_client_accuracy.len(), 8);
+        assert!(report.pmacs > 0.0);
+    }
+
+    #[test]
+    fn weak_clients_train_smaller_models() {
+        let (cfg, data, devices, model) = setup();
+        let h = HeteroFl::new(cfg, data, devices.clone(), model);
+        // The least capable device must land on a deeper level than the
+        // most capable one.
+        let weakest = (0..8)
+            .min_by_key(|&c| devices.profile(c).capacity_macs)
+            .unwrap();
+        let strongest = (0..8)
+            .max_by_key(|&c| devices.profile(c).capacity_macs)
+            .unwrap();
+        assert!(
+            h.level_for(devices.profile(weakest).capacity_macs)
+                >= h.level_for(devices.profile(strongest).capacity_macs)
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Baseline federated-learning methods the paper compares against.
+//!
+//! * [`FedAvg`] — single global model (McMahan et al. 2017), optionally
+//!   with a FedProx proximal term or a FedYogi adaptive server update
+//!   (the Fig. 8 arms).
+//! * [`HeteroFl`] — width-scaled submodels extracted from one global
+//!   model; overlapping parameters are averaged element-wise (Diao et
+//!   al., ICLR 2020).
+//! * [`SplitMix`] — several narrow base models; each client trains and
+//!   ensembles as many bases as its budget admits (Hong et al., ICLR
+//!   2022).
+//! * [`Fluid`] — invariant dropout: resource-constrained clients train
+//!   submodels keeping the *most-updated* neurons, dropping invariant
+//!   ones (Wang et al., 2024).
+//!
+//! All baselines run on the same simulator substrate and emit the same
+//! [`ft_fedsim::report::RunReport`] as FedTrans, so the bench harness
+//! prints Table 2 rows uniformly. Following the paper's protocol
+//! (Appendix A.1), the multi-model baselines take "the largest model
+//! transformed by FedTrans" as their input global model.
+
+pub mod common;
+mod fedavg;
+mod fluid;
+mod heterofl;
+mod splitmix;
+pub mod submodel;
+pub mod tensor_select;
+
+pub use common::{eval_ensemble_on_client, eval_on_client, BaselineConfig, ServerOpt};
+pub use fedavg::FedAvg;
+pub use fluid::Fluid;
+pub use heterofl::HeteroFl;
+pub use splitmix::SplitMix;

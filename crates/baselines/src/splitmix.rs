@@ -1,0 +1,268 @@
+//! SplitMix (Hong et al., ICLR 2022).
+//!
+//! The width axis is split into `k` independent narrow base models.
+//! Each client trains as many bases as its budget admits (assigned
+//! round-robin so all bases see data) and serves inference with the
+//! softmax-averaged ensemble of its bases. Communication scales with
+//! the number of bases a client carries — the source of SplitMix's
+//! large network volumes in the paper's Table 2.
+
+use rand::SeedableRng;
+
+use ft_data::FederatedDataset;
+use ft_fedsim::device::DeviceTrace;
+use ft_fedsim::report::{RoundReport, RunReport};
+use ft_fedsim::select;
+use ft_fedsim::trainer::{train_local, LocalOutcome};
+use ft_fedsim::Result;
+use ft_model::CellModel;
+use ft_tensor::Tensor;
+
+use crate::common::{eval_ensemble_on_client, Accumulator, BaselineConfig};
+use crate::submodel::{extract, KeepPlan};
+
+/// The SplitMix runner.
+pub struct SplitMix {
+    cfg: BaselineConfig,
+    data: FederatedDataset,
+    devices: DeviceTrace,
+    bases: Vec<CellModel>,
+    base_macs: u64,
+    base_params: usize,
+    acc: Accumulator,
+    rng: rand::rngs::StdRng,
+    round: u32,
+}
+
+impl SplitMix {
+    /// Splits `global` into `k` independently initialized bases of
+    /// `1/k` width each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(
+        cfg: BaselineConfig,
+        data: FederatedDataset,
+        devices: DeviceTrace,
+        global: &CellModel,
+        k: usize,
+    ) -> Self {
+        assert!(k > 0, "need at least one base model");
+        let plan = KeepPlan::corner(global, 1.0 / k as f32);
+        let template = extract(global, &plan);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed.wrapping_mul(31));
+        let bases: Vec<CellModel> = (0..k)
+            .map(|_| {
+                let mut b = template.clone();
+                b.reinitialize(&mut rng);
+                b
+            })
+            .collect();
+        let base_macs = template.macs_per_sample();
+        let base_params = template.param_count();
+        SplitMix {
+            rng: rand::rngs::StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            data,
+            devices,
+            bases,
+            base_macs,
+            base_params,
+            acc: Accumulator::default(),
+            round: 0,
+        }
+    }
+
+    /// The base models.
+    pub fn bases(&self) -> &[CellModel] {
+        &self.bases
+    }
+
+    /// How many bases a client of the given capacity carries.
+    pub fn bases_for(&self, capacity: u64) -> usize {
+        ((capacity / self.base_macs.max(1)) as usize).clamp(1, self.bases.len())
+    }
+
+    /// The base indices a client carries (round-robin from its id).
+    pub fn base_set(&self, client: usize, count: usize) -> Vec<usize> {
+        (0..count).map(|j| (client + j) % self.bases.len()).collect()
+    }
+
+    /// Runs one round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors.
+    pub fn step(&mut self) -> Result<RoundReport> {
+        let participants = select::uniform(
+            &mut self.rng,
+            self.data.num_clients(),
+            self.cfg.clients_per_round,
+        );
+        // Each participant trains each of its bases.
+        let mut per_base_updates: Vec<Vec<(Vec<Tensor>, u64)>> =
+            vec![Vec::new(); self.bases.len()];
+        let mut losses = Vec::new();
+        let mut round_time = 0.0f64;
+        for &c in &participants {
+            let count = self.bases_for(self.devices.profile(c).capacity_macs);
+            let set = self.base_set(c, count);
+            let mut client_time = 0.0f64;
+            for &b in &set {
+                let mut model = self.bases[b].clone();
+                let seed = self
+                    .cfg
+                    .seed
+                    .wrapping_add(self.round as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((c * 131 + b) as u64);
+                let outcome: LocalOutcome =
+                    train_local(&mut model, c, self.data.client(c), &self.cfg.local, seed)
+                        .map_err(ft_fedsim::SimError::from)?;
+                client_time += self.acc.record_participant(
+                    &self.devices,
+                    c,
+                    self.base_macs,
+                    self.base_params,
+                    outcome.samples_processed,
+                );
+                losses.push(outcome.avg_loss);
+                per_base_updates[b].push((outcome.weights, outcome.samples_processed));
+            }
+            round_time = round_time.max(client_time);
+        }
+
+        // FedAvg per base.
+        for (b, updates) in per_base_updates.iter().enumerate() {
+            let total: u64 = updates.iter().map(|(_, n)| n).sum();
+            if total == 0 {
+                continue;
+            }
+            let mut avg: Vec<Tensor> = self.bases[b]
+                .snapshot()
+                .iter()
+                .map(|t| Tensor::zeros(t.shape().dims()))
+                .collect();
+            for (w, n) in updates {
+                let weight = *n as f32 / total as f32;
+                for (a, t) in avg.iter_mut().zip(w) {
+                    a.axpy(weight, t).expect("same base shapes");
+                }
+            }
+            self.bases[b].restore(&avg)?;
+        }
+
+        let mean_loss = ft_fedsim::metrics::mean(&losses);
+        self.acc.finish_round(
+            self.round,
+            mean_loss,
+            participants.len(),
+            self.bases.len(),
+            round_time,
+        );
+        self.round += 1;
+
+        if self.cfg.eval_every > 0 && self.round as usize % self.cfg.eval_every == 0 {
+            let (accs, _) = self.evaluate();
+            let mean = ft_fedsim::metrics::mean(&accs);
+            self.acc.curve.push((self.acc.cost.train_pmacs(), mean));
+        }
+        Ok(self.acc.history.last().expect("just pushed").clone())
+    }
+
+    /// Per-client ensemble accuracy plus ensemble size.
+    pub fn evaluate(&self) -> (Vec<f32>, Vec<usize>) {
+        let mut accs = Vec::with_capacity(self.data.num_clients());
+        let mut sizes = Vec::with_capacity(self.data.num_clients());
+        for c in 0..self.data.num_clients() {
+            let count = self.bases_for(self.devices.profile(c).capacity_macs);
+            let set = self.base_set(c, count);
+            let ensemble: Vec<CellModel> = set.iter().map(|&b| self.bases[b].clone()).collect();
+            accs.push(eval_ensemble_on_client(&ensemble, self.data.client(c)));
+            sizes.push(count);
+        }
+        (accs, sizes)
+    }
+
+    /// Runs `rounds` rounds and produces the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-round errors.
+    pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
+        for _ in 0..rounds {
+            self.step()?;
+        }
+        let (accs, sizes) = self.evaluate();
+        let archs: Vec<String> = self.bases.iter().map(CellModel::arch_string).collect();
+        let macs: Vec<u64> = self.bases.iter().map(CellModel::macs_per_sample).collect();
+        let storage: f64 = self
+            .bases
+            .iter()
+            .map(|b| b.storage_bytes() as f64 / 1e6)
+            .sum();
+        let acc = std::mem::take(&mut self.acc);
+        Ok(acc.into_report(accs, sizes, archs, macs, storage))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_data::DatasetConfig;
+    use ft_fedsim::device::DeviceTraceConfig;
+    use ft_fedsim::trainer::LocalTrainConfig;
+
+    fn setup() -> (BaselineConfig, FederatedDataset, DeviceTrace, CellModel) {
+        let data = DatasetConfig::femnist_like()
+            .with_num_clients(6)
+            .with_mean_samples(20)
+            .generate();
+        let devices = DeviceTraceConfig::default().with_num_devices(6).generate();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let model = CellModel::dense(&mut rng, data.input_dim(), &[32, 32], data.num_classes());
+        let cfg = BaselineConfig {
+            clients_per_round: 3,
+            local: LocalTrainConfig {
+                local_steps: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        (cfg, data, devices, model)
+    }
+
+    #[test]
+    fn bases_are_independent() {
+        let (cfg, data, devices, model) = setup();
+        let sm = SplitMix::new(cfg, data, devices, &model, 4);
+        assert_eq!(sm.bases().len(), 4);
+        assert_ne!(sm.bases()[0].snapshot()[0], sm.bases()[1].snapshot()[0]);
+    }
+
+    #[test]
+    fn base_count_scales_with_capacity() {
+        let (cfg, data, devices, model) = setup();
+        let sm = SplitMix::new(cfg, data, devices, &model, 4);
+        assert_eq!(sm.bases_for(0), 1);
+        assert_eq!(sm.bases_for(u64::MAX), 4);
+    }
+
+    #[test]
+    fn base_set_is_round_robin() {
+        let (cfg, data, devices, model) = setup();
+        let sm = SplitMix::new(cfg, data, devices, &model, 4);
+        assert_eq!(sm.base_set(2, 3), vec![2, 3, 0]);
+    }
+
+    #[test]
+    fn run_produces_report() {
+        let (cfg, data, devices, model) = setup();
+        let mut sm = SplitMix::new(cfg, data, devices, &model, 3);
+        let report = sm.run(3).unwrap();
+        assert_eq!(report.model_archs.len(), 3);
+        assert!(report.pmacs > 0.0);
+        assert_eq!(report.per_client_accuracy.len(), 6);
+    }
+}

@@ -1,0 +1,305 @@
+//! Submodel extraction from a global model.
+//!
+//! HeteroFL and FLuID both hand resource-constrained clients a slice of
+//! the global model: HeteroFL takes the *first* `p·width` units of every
+//! layer (corner slicing); FLuID selects units by invariance scores.
+//! Both are expressed here as a [`KeepPlan`] — per body cell, the global
+//! indices of the output units the submodel keeps — plus `extract` (plan
+//! → trainable submodel) and `scatter_maps` (how submodel tensors map
+//! back into global tensor coordinates for aggregation).
+
+use ft_model::{Cell, CellModel, Head};
+use ft_nn::Conv2d;
+
+use crate::tensor_select::{expand_channel_blocks, gather1, gather2};
+
+/// Per-cell kept output-unit indices (dense columns, conv output
+/// channels, or attention MLP units). Indices must be strictly
+/// increasing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeepPlan {
+    /// One entry per body cell, in order.
+    pub keep: Vec<Vec<usize>>,
+}
+
+impl KeepPlan {
+    /// The corner plan: the first `ceil(ratio · n)` units of every cell
+    /// (HeteroFL's slicing rule). `ratio` is clamped to `(0, 1]`.
+    pub fn corner(global: &CellModel, ratio: f32) -> Self {
+        let ratio = ratio.clamp(1e-3, 1.0);
+        let keep = global
+            .cells()
+            .iter()
+            .map(|c| {
+                let n = unit_count(c);
+                let k = ((n as f32 * ratio).ceil() as usize).clamp(1, n);
+                (0..k).collect()
+            })
+            .collect();
+        KeepPlan { keep }
+    }
+
+    /// The full plan (every unit kept), i.e. the global model itself.
+    pub fn full(global: &CellModel) -> Self {
+        Self::corner(global, 1.0)
+    }
+}
+
+/// The number of selectable output units of a cell.
+pub fn unit_count(cell: &Cell) -> usize {
+    match cell {
+        Cell::Dense { linear, .. } => linear.out_features(),
+        Cell::Conv { conv, .. } => conv.out_channels(),
+        Cell::Attention { block, .. } => block.d_ff(),
+    }
+}
+
+/// How one submodel tensor maps into its global counterpart.
+#[derive(Debug, Clone)]
+pub struct TensorMap {
+    /// Global row index per submodel row; `None` = identity.
+    pub rows: Option<Vec<usize>>,
+    /// Global column index per submodel column; `None` = identity.
+    pub cols: Option<Vec<usize>>,
+    /// Whether the tensor is rank 1 (bias); then `rows` is the index map.
+    pub rank1: bool,
+}
+
+/// Builds the per-tensor maps for `plan`, aligned with
+/// `global.param_tensors()` order (body cells then head).
+///
+/// # Panics
+///
+/// Panics if the plan's cell count does not match the model.
+pub fn scatter_maps(global: &CellModel, plan: &KeepPlan) -> Vec<TensorMap> {
+    assert_eq!(plan.keep.len(), global.cells().len(), "plan/model cell count mismatch");
+    let mut maps = Vec::new();
+    // Kept input indices flowing from the previous cell (None = all).
+    let mut prev: Option<Vec<usize>> = None;
+    for (cell, keep) in global.cells().iter().zip(&plan.keep) {
+        match cell {
+            Cell::Dense { .. } => {
+                maps.push(TensorMap {
+                    rows: prev.clone(),
+                    cols: Some(keep.clone()),
+                    rank1: false,
+                });
+                maps.push(TensorMap {
+                    rows: Some(keep.clone()),
+                    cols: None,
+                    rank1: true,
+                });
+                prev = Some(keep.clone());
+            }
+            Cell::Conv { conv, .. } => {
+                let kk = conv.kernel() * conv.kernel();
+                let cols = prev.as_ref().map(|p| expand_channel_blocks(p, kk));
+                maps.push(TensorMap {
+                    rows: Some(keep.clone()),
+                    cols,
+                    rank1: false,
+                });
+                maps.push(TensorMap {
+                    rows: Some(keep.clone()),
+                    cols: None,
+                    rank1: true,
+                });
+                prev = Some(keep.clone());
+            }
+            Cell::Attention { .. } => {
+                // Wq, Wk, Wv, Wo untouched (d_model preserved).
+                for _ in 0..4 {
+                    maps.push(TensorMap {
+                        rows: None,
+                        cols: None,
+                        rank1: false,
+                    });
+                }
+                // W1 columns and W2 rows follow the kept MLP units.
+                maps.push(TensorMap {
+                    rows: None,
+                    cols: Some(keep.clone()),
+                    rank1: false,
+                });
+                maps.push(TensorMap {
+                    rows: Some(keep.clone()),
+                    cols: None,
+                    rank1: false,
+                });
+                // d_model is unchanged, so the next cell sees all inputs.
+                prev = None;
+            }
+        }
+    }
+    // Head classifier: input rows follow the last cell's kept units.
+    maps.push(TensorMap {
+        rows: prev,
+        cols: None,
+        rank1: false,
+    });
+    maps.push(TensorMap {
+        rows: None,
+        cols: None,
+        rank1: true,
+    });
+    maps
+}
+
+/// Extracts the submodel described by `plan`, with weights gathered
+/// from the global model. The submodel keeps the global cells'
+/// identities, so similarity and aggregation can align them.
+///
+/// # Panics
+///
+/// Panics if the plan does not match the model's cell count or contains
+/// out-of-range indices.
+pub fn extract(global: &CellModel, plan: &KeepPlan) -> CellModel {
+    assert_eq!(plan.keep.len(), global.cells().len());
+    let mut sub = global.clone();
+    let mut prev: Option<Vec<usize>> = None;
+    let ncells = sub.cells().len();
+    for i in 0..ncells {
+        let keep = &plan.keep[i];
+        match &mut sub.cells_mut()[i] {
+            Cell::Dense { linear, .. } => {
+                let w = gather2(linear.weight(), prev.as_deref(), Some(keep));
+                let b = gather1(linear.bias(), keep);
+                linear.set_params(w, b);
+                prev = Some(keep.clone());
+            }
+            Cell::Conv { conv, .. } => {
+                let kk = conv.kernel() * conv.kernel();
+                let in_channels = prev.as_ref().map_or(conv.in_channels(), Vec::len);
+                let cols = prev.as_ref().map(|p| expand_channel_blocks(p, kk));
+                let w = gather2(conv.weight(), Some(keep), cols.as_deref());
+                let b = gather1(conv.bias(), keep);
+                let kernel = conv.kernel();
+                let (h, wd) = conv.spatial();
+                *conv = Conv2d::from_params(w, b, in_channels, kernel, h, wd);
+                prev = Some(keep.clone());
+            }
+            Cell::Attention { block, .. } => {
+                let [_, _, _, _, w1, w2] = block.weights();
+                let nw1 = gather2(w1, None, Some(keep));
+                let nw2 = gather2(w2, Some(keep), None);
+                block.set_mlp(nw1, nw2);
+                prev = None;
+            }
+        }
+    }
+    if let Some(p) = &prev {
+        if let Head::PoolClassifier { .. } = sub.head() {
+            sub.head_mut().set_input_channels(p.len());
+        }
+        let w = gather2(sub.head().linear().weight(), Some(p), None);
+        let b = sub.head().linear().bias().clone();
+        sub.head_mut().linear_mut().set_params(w, b);
+    }
+    sub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn corner_plan_scales_units() {
+        let g = CellModel::dense(&mut rng(0), 4, &[8, 8], 2);
+        let p = KeepPlan::corner(&g, 0.5);
+        assert_eq!(p.keep[0], (0..4).collect::<Vec<_>>());
+        assert_eq!(p.keep[1].len(), 4);
+        let full = KeepPlan::full(&g);
+        assert_eq!(full.keep[0].len(), 8);
+    }
+
+    #[test]
+    fn extract_dense_halves_macs_roughly() {
+        let g = CellModel::dense(&mut rng(1), 8, &[16, 16], 4);
+        let sub = extract(&g, &KeepPlan::corner(&g, 0.5));
+        assert!(sub.macs_per_sample() < g.macs_per_sample());
+        assert_eq!(sub.cells()[0].out_width(), 8);
+        // Forward works.
+        let mut s = sub.clone();
+        let y = s.forward(&Tensor::ones(&[2, 8])).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 4]);
+    }
+
+    #[test]
+    fn extract_conv_submodel_runs() {
+        let g = CellModel::conv(&mut rng(2), 1, 6, 6, &[8, 8], 3, 3);
+        let mut sub = extract(&g, &KeepPlan::corner(&g, 0.25));
+        let y = sub.forward(&Tensor::ones(&[1, 36])).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 3]);
+        assert_eq!(sub.cells()[0].out_width(), 2);
+    }
+
+    #[test]
+    fn extract_attention_shrinks_mlp_only() {
+        let g = CellModel::vit(&mut rng(3), 4, 6, 2, 16, 3);
+        let mut sub = extract(&g, &KeepPlan::corner(&g, 0.5));
+        let y = sub.forward(&Tensor::ones(&[1, 24])).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 3]);
+        assert!(sub.macs_per_sample() < g.macs_per_sample());
+    }
+
+    #[test]
+    fn full_plan_extracts_identical_model() {
+        let g = CellModel::dense(&mut rng(4), 6, &[10], 3);
+        let sub = extract(&g, &KeepPlan::full(&g));
+        assert_eq!(sub.snapshot(), g.snapshot());
+    }
+
+    #[test]
+    fn corner_extract_matches_corner_of_weights() {
+        let g = CellModel::dense(&mut rng(5), 4, &[6], 2);
+        let sub = extract(&g, &KeepPlan::corner(&g, 0.5));
+        let gw = g.cells()[0].param_tensors()[0];
+        let sw = sub.cells()[0].param_tensors()[0].clone();
+        for r in 0..4 {
+            for c in 0..3 {
+                assert_eq!(sw.at(r, c), gw.at(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_maps_align_with_param_tensors() {
+        let g = CellModel::conv(&mut rng(6), 1, 5, 5, &[4, 4], 3, 2);
+        let plan = KeepPlan::corner(&g, 0.5);
+        let maps = scatter_maps(&g, &plan);
+        assert_eq!(maps.len(), g.param_tensors().len());
+        let sub = extract(&g, &plan);
+        // Every submodel tensor's shape must agree with its map extents.
+        for ((map, st), gt) in maps.iter().zip(sub.param_tensors()).zip(g.param_tensors()) {
+            if map.rank1 {
+                let expect = map.rows.as_ref().map_or(gt.len(), Vec::len);
+                assert_eq!(st.len(), expect);
+            } else {
+                let er = map.rows.as_ref().map_or(gt.shape().dims()[0], Vec::len);
+                let ec = map.cols.as_ref().map_or(gt.shape().dims()[1], Vec::len);
+                assert_eq!(st.shape().dims(), &[er, ec]);
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_index_plan_extracts() {
+        let g = CellModel::dense(&mut rng(7), 4, &[6, 6], 2);
+        let plan = KeepPlan {
+            keep: vec![vec![1, 3, 5], vec![0, 2, 4]],
+        };
+        let mut sub = extract(&g, &plan);
+        let y = sub.forward(&Tensor::ones(&[1, 4])).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2]);
+        // Column 1 of the global first cell becomes column 0 of the sub.
+        let gw = g.cells()[0].param_tensors()[0];
+        let sw = sub.cells()[0].param_tensors()[0];
+        assert_eq!(sw.at(0, 0), gw.at(0, 1));
+    }
+}

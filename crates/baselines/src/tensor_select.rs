@@ -1,0 +1,191 @@
+//! Index-based gather/scatter between global tensors and submodel
+//! tensors.
+//!
+//! HeteroFL extracts the *corner* of each tensor; FLuID extracts
+//! arbitrary neuron subsets chosen by invariance. Both reduce to
+//! row/column gathers on the way out and overlapping scatter-adds on
+//! the way back.
+
+use ft_tensor::Tensor;
+
+/// Gathers `rows × cols` of a matrix. `None` keeps an axis whole.
+///
+/// # Panics
+///
+/// Panics if any index is out of range or the tensor is not rank 2.
+pub fn gather2(t: &Tensor, rows: Option<&[usize]>, cols: Option<&[usize]>) -> Tensor {
+    let (r, c) = (t.shape().dims()[0], t.shape().dims()[1]);
+    let all_rows: Vec<usize>;
+    let all_cols: Vec<usize>;
+    let rows = match rows {
+        Some(r) => r,
+        None => {
+            all_rows = (0..r).collect();
+            &all_rows
+        }
+    };
+    let cols = match cols {
+        Some(cc) => cc,
+        None => {
+            all_cols = (0..c).collect();
+            &all_cols
+        }
+    };
+    let mut out = Vec::with_capacity(rows.len() * cols.len());
+    for &ri in rows {
+        assert!(ri < r, "row index {ri} out of range {r}");
+        for &ci in cols {
+            assert!(ci < c, "col index {ci} out of range {c}");
+            out.push(t.data()[ri * c + ci]);
+        }
+    }
+    Tensor::from_vec(out, &[rows.len(), cols.len()]).expect("length matches")
+}
+
+/// Gathers entries of a vector.
+///
+/// # Panics
+///
+/// Panics on out-of-range indices or non-rank-1 tensors.
+pub fn gather1(t: &Tensor, idx: &[usize]) -> Tensor {
+    let n = t.shape().dims()[0];
+    let out: Vec<f32> = idx
+        .iter()
+        .map(|&i| {
+            assert!(i < n, "index {i} out of range {n}");
+            t.data()[i]
+        })
+        .collect();
+    Tensor::from_vec(out, &[idx.len()]).expect("length matches")
+}
+
+/// Scatter-adds `weight · src` into `acc` at the given row/col indices,
+/// tracking contribution weights in `counts`. `None` maps an axis
+/// identically (0..len).
+///
+/// # Panics
+///
+/// Panics if shapes and index lists disagree.
+pub fn scatter_add2(
+    acc: &mut Tensor,
+    counts: &mut Tensor,
+    src: &Tensor,
+    rows: Option<&[usize]>,
+    cols: Option<&[usize]>,
+    weight: f32,
+) {
+    let (gr, gc) = (acc.shape().dims()[0], acc.shape().dims()[1]);
+    let (sr, sc) = (src.shape().dims()[0], src.shape().dims()[1]);
+    let all_rows: Vec<usize>;
+    let all_cols: Vec<usize>;
+    let rows = match rows {
+        Some(r) => r,
+        None => {
+            all_rows = (0..sr).collect();
+            &all_rows
+        }
+    };
+    let cols = match cols {
+        Some(c) => c,
+        None => {
+            all_cols = (0..sc).collect();
+            &all_cols
+        }
+    };
+    assert_eq!(rows.len(), sr, "row map must cover the source");
+    assert_eq!(cols.len(), sc, "col map must cover the source");
+    for (si, &gi) in rows.iter().enumerate() {
+        assert!(gi < gr);
+        for (sj, &gj) in cols.iter().enumerate() {
+            assert!(gj < gc);
+            acc.data_mut()[gi * gc + gj] += weight * src.data()[si * sc + sj];
+            counts.data_mut()[gi * gc + gj] += weight;
+        }
+    }
+}
+
+/// Scatter-adds a vector.
+///
+/// # Panics
+///
+/// Panics if shapes and index lists disagree.
+pub fn scatter_add1(acc: &mut Tensor, counts: &mut Tensor, src: &Tensor, idx: &[usize], weight: f32) {
+    assert_eq!(idx.len(), src.len(), "index map must cover the source");
+    for (si, &gi) in idx.iter().enumerate() {
+        acc.data_mut()[gi] += weight * src.data()[si];
+        counts.data_mut()[gi] += weight;
+    }
+}
+
+/// Expands channel indices into the column indices of a conv weight
+/// whose columns are laid out as contiguous `k·k` blocks per channel.
+pub fn expand_channel_blocks(channels: &[usize], kk: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(channels.len() * kk);
+    for &c in channels {
+        for p in 0..kk {
+            out.push(c * kk + p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn gather2_selects_submatrix() {
+        let m = t(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[3, 3]);
+        let g = gather2(&m, Some(&[0, 2]), Some(&[1]));
+        assert_eq!(g.shape().dims(), &[2, 1]);
+        assert_eq!(g.data(), &[1.0, 7.0]);
+    }
+
+    #[test]
+    fn gather2_none_keeps_axis() {
+        let m = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let g = gather2(&m, None, Some(&[0]));
+        assert_eq!(g.data(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn scatter_inverts_gather() {
+        let m = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let rows = [1usize];
+        let cols = [0usize, 2];
+        let g = gather2(&m, Some(&rows), Some(&cols));
+        let mut acc = Tensor::zeros(&[2, 3]);
+        let mut counts = Tensor::zeros(&[2, 3]);
+        scatter_add2(&mut acc, &mut counts, &g, Some(&rows), Some(&cols), 1.0);
+        assert_eq!(acc.data(), &[0.0, 0.0, 0.0, 4.0, 0.0, 6.0]);
+        assert_eq!(counts.data(), &[0.0, 0.0, 0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gather1_and_scatter1_roundtrip() {
+        let v = t(&[10.0, 20.0, 30.0], &[3]);
+        let idx = [2usize, 0];
+        let g = gather1(&v, &idx);
+        assert_eq!(g.data(), &[30.0, 10.0]);
+        let mut acc = Tensor::zeros(&[3]);
+        let mut counts = Tensor::zeros(&[3]);
+        scatter_add1(&mut acc, &mut counts, &g, &idx, 2.0);
+        assert_eq!(acc.data(), &[20.0, 0.0, 60.0]);
+    }
+
+    #[test]
+    fn channel_blocks_expand_contiguously() {
+        assert_eq!(expand_channel_blocks(&[0, 2], 4), vec![0, 1, 2, 3, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_rejects_bad_index() {
+        let m = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        gather2(&m, Some(&[5]), None);
+    }
+}

@@ -1,0 +1,52 @@
+//! Benchmarks of the aggregation paths: per-model FedAvg, FedTrans's
+//! soft aggregation across a heterogeneous suite, and the
+//! HeteroFL-style scatter aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedtrans::{FedTransConfig, ModelAggregator};
+use ft_model::similarity::similarity_matrix;
+use ft_model::{deepen_cell, widen_cell, CellModel};
+use ft_tensor::Tensor;
+use rand::SeedableRng;
+
+fn suite() -> Vec<CellModel> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let m0 = CellModel::dense(&mut rng, 48, &[16, 16], 16);
+    let m1 = widen_cell(&m0, 0, 2.0, &mut rng).unwrap();
+    let m2 = deepen_cell(&m1, 1, 1, &mut rng).unwrap();
+    let m3 = widen_cell(&m2, 1, 2.0, &mut rng).unwrap();
+    vec![m0, m1, m2, m3]
+}
+
+fn bench_fedavg(c: &mut Criterion) {
+    let models = suite();
+    let updates: Vec<(Vec<Tensor>, u64)> =
+        (0..10).map(|i| (models[0].snapshot(), 10 + i)).collect();
+    c.bench_function("fedavg_10_clients", |b| {
+        b.iter(|| ModelAggregator::fedavg(&updates).unwrap());
+    });
+}
+
+fn bench_soft_aggregate(c: &mut Criterion) {
+    let models = suite();
+    let refs: Vec<&CellModel> = models.iter().collect();
+    let sims = similarity_matrix(&refs);
+    let agg = ModelAggregator::new(&FedTransConfig::default());
+    let per_model: Vec<Option<Vec<Tensor>>> =
+        models.iter().map(|m| Some(m.snapshot())).collect();
+    let ages = vec![30u32, 20, 10, 5];
+    c.bench_function("soft_aggregate_4_models", |b| {
+        b.iter(|| agg.soft_aggregate(&models, &per_model, &sims, &ages));
+    });
+}
+
+fn bench_similarity_matrix(c: &mut Criterion) {
+    let models = suite();
+    let refs: Vec<&CellModel> = models.iter().collect();
+    c.bench_function("similarity_matrix_4_models", |b| {
+        b.iter(|| similarity_matrix(&refs));
+    });
+}
+
+criterion_group!(benches, bench_fedavg, bench_soft_aggregate, bench_similarity_matrix);
+criterion_main!(benches);

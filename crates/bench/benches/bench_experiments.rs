@@ -1,0 +1,87 @@
+//! End-to-end experiment benches: tiny versions of the paper's
+//! table/figure pipelines, so `cargo bench` exercises every
+//! experiment path. The printable artifacts themselves come from the
+//! `exp_*` binaries (see DESIGN.md's experiment index).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_baselines::ServerOpt;
+use ft_bench::{Scale, Setup, Workload};
+
+const ROUNDS: usize = 6;
+
+fn bench_table2_pipeline(c: &mut Criterion) {
+    let setup = Setup::new(Workload::Femnist, Scale::Ci);
+    c.bench_function("table2_pipeline_tiny", |b| {
+        b.iter(|| {
+            let (report, largest) = setup
+                .run_fedtrans_keep_largest(setup.fedtrans_config(), ROUNDS)
+                .unwrap();
+            let h = setup
+                .run_heterofl(setup.baseline_config(), largest, ROUNDS)
+                .unwrap();
+            (report.final_accuracy.mean, h.final_accuracy.mean)
+        });
+    });
+}
+
+fn bench_fig8_pipeline(c: &mut Criterion) {
+    let setup = Setup::new(Workload::Femnist, Scale::Ci);
+    c.bench_function("fig8_fedprox_arm_tiny", |b| {
+        b.iter(|| {
+            let mut cfg = setup.fedtrans_config();
+            cfg.local.prox_mu = Some(0.1);
+            setup.run_fedtrans(cfg, ROUNDS).unwrap().final_accuracy.mean
+        });
+    });
+}
+
+fn bench_table4_vit_pipeline(c: &mut Criterion) {
+    let setup = Setup::new(Workload::FemnistVit, Scale::Ci);
+    c.bench_function("table4_vit_tiny", |b| {
+        b.iter(|| {
+            setup
+                .run_fedtrans(setup.fedtrans_config(), ROUNDS)
+                .unwrap()
+                .final_accuracy
+                .mean
+        });
+    });
+}
+
+fn bench_splitmix_pipeline(c: &mut Criterion) {
+    let setup = Setup::new(Workload::Femnist, Scale::Ci);
+    c.bench_function("splitmix_tiny", |b| {
+        b.iter(|| {
+            setup
+                .run_splitmix(setup.baseline_config(), &setup.seed, 3, ROUNDS)
+                .unwrap()
+                .final_accuracy
+                .mean
+        });
+    });
+}
+
+fn bench_fedavg_pipeline(c: &mut Criterion) {
+    let setup = Setup::new(Workload::Femnist, Scale::Ci);
+    c.bench_function("fedavg_tiny", |b| {
+        b.iter(|| {
+            setup
+                .run_fedavg(setup.baseline_config(), setup.seed.clone(), ServerOpt::Average, ROUNDS)
+                .unwrap()
+                .final_accuracy
+                .mean
+        });
+    });
+}
+
+fn configure() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_table2_pipeline, bench_fig8_pipeline, bench_table4_vit_pipeline,
+              bench_splitmix_pipeline, bench_fedavg_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Microbenchmarks of the tensor substrate: the GEMM and im2col
+//! convolution kernels that dominate simulated training time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_nn::{AttentionBlock, Conv2d, Linear};
+use ft_tensor::Tensor;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [16usize, 64, 128] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let a = ft_tensor::uniform(&mut rng, &[n, n], -1.0, 1.0);
+        let b = ft_tensor::uniform(&mut rng, &[n, n], -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_linear_fwd_bwd(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut layer = Linear::new(&mut rng, 48, 64);
+    let x = ft_tensor::uniform(&mut rng, &[10, 48], -1.0, 1.0);
+    c.bench_function("linear_forward_backward_b10", |b| {
+        b.iter(|| {
+            let y = layer.forward(&x).unwrap();
+            layer.backward(&Tensor::ones(y.shape().dims())).unwrap();
+        });
+    });
+}
+
+fn bench_conv_fwd_bwd(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut conv = Conv2d::new(&mut rng, 3, 8, 3, 8, 8);
+    let x = ft_tensor::uniform(&mut rng, &[10, 192], -1.0, 1.0);
+    c.bench_function("conv_forward_backward_b10", |b| {
+        b.iter(|| {
+            let y = conv.forward(&x).unwrap();
+            conv.backward(&Tensor::ones(y.shape().dims())).unwrap();
+        });
+    });
+}
+
+fn bench_attention_fwd_bwd(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut block = AttentionBlock::new(&mut rng, 8, 8, 16);
+    let x = ft_tensor::uniform(&mut rng, &[10, 64], -1.0, 1.0);
+    c.bench_function("attention_forward_backward_b10", |b| {
+        b.iter(|| {
+            let y = block.forward(&x).unwrap();
+            block.backward(&Tensor::ones(y.shape().dims())).unwrap();
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_linear_fwd_bwd,
+    bench_conv_fwd_bwd,
+    bench_attention_fwd_bwd
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Benchmarks of the model-surgery primitives: widen, deepen,
+//! similarity, and submodel extraction. The paper's Appendix B argues
+//! transformation cost is proportional to model weights and negligible
+//! next to training — these benches quantify that on this substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_baselines::submodel::{extract, KeepPlan};
+use ft_model::similarity::model_similarity;
+use ft_model::{deepen_cell, widen_cell, CellModel};
+use rand::SeedableRng;
+
+fn models() -> (CellModel, CellModel) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let parent = CellModel::dense(&mut rng, 48, &[32, 32], 16);
+    let child = widen_cell(&parent, 0, 2.0, &mut rng).unwrap();
+    (parent, child)
+}
+
+fn bench_widen(c: &mut Criterion) {
+    let (parent, _) = models();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    c.bench_function("widen_cell_x2", |b| {
+        b.iter(|| widen_cell(&parent, 0, 2.0, &mut rng).unwrap());
+    });
+}
+
+fn bench_deepen(c: &mut Criterion) {
+    let (parent, _) = models();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    c.bench_function("deepen_cell_x1", |b| {
+        b.iter(|| deepen_cell(&parent, 0, 1, &mut rng).unwrap());
+    });
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let (parent, child) = models();
+    c.bench_function("model_similarity", |b| {
+        b.iter(|| model_similarity(&parent, &child));
+    });
+}
+
+fn bench_submodel_extract(c: &mut Criterion) {
+    let (parent, _) = models();
+    let plan = KeepPlan::corner(&parent, 0.5);
+    c.bench_function("submodel_extract_half", |b| {
+        b.iter(|| extract(&parent, &plan));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_widen,
+    bench_deepen,
+    bench_similarity,
+    bench_submodel_extract
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Parameter ablations: Fig. 10a (β), Fig. 10b (γ), Fig. 11
+//! (widen/deepen degrees), Fig. 12 (α), Fig. 13 (data heterogeneity h).
+//!
+//! Run: `cargo run --release -p ft-bench --bin exp_ablation <sweep>`
+//! where `<sweep>` is one of `beta`, `gamma`, `widen`, `deepen`,
+//! `alpha`, `heterogeneity`, or `all`.
+
+use ft_bench::{dump_json, print_header, print_row, Scale, Setup, Workload};
+
+fn run_sweep<T: std::fmt::Display + Copy>(
+    title: &str,
+    json_name: &str,
+    values: &[T],
+    mut run: impl FnMut(T) -> (f32, f64),
+) {
+    println!("\n=== {title} ===");
+    print_header(&["Value", "Average accuracy", "Cost (MACs)"]);
+    let mut results = Vec::new();
+    for &v in values {
+        let (acc, pmacs) = run(v);
+        print_row(&[
+            format!("{v}"),
+            format!("{acc:.3}"),
+            format!("{:.3e}", pmacs * 1e15),
+        ]);
+        results.push(serde_json::json!({
+            "value": format!("{v}"),
+            "accuracy": acc,
+            "pmacs": pmacs,
+        }));
+    }
+    dump_json(json_name, &results);
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let rounds = scale.rounds();
+    let setup = Setup::new(Workload::Femnist, scale);
+
+    let go = |cfg| {
+        let r = setup.run_fedtrans(cfg, rounds).expect("fedtrans sweep arm");
+        (r.final_accuracy.mean, r.pmacs)
+    };
+
+    if which == "beta" || which == "all" {
+        run_sweep(
+            "Fig. 10a: DoC threshold beta",
+            "fig10a_beta",
+            &[0.001f32, 0.003, 0.005, 0.007],
+            |b| go(setup.fedtrans_config().with_beta(b)),
+        );
+    }
+    if which == "gamma" || which == "all" {
+        run_sweep(
+            "Fig. 10b: DoC window gamma",
+            "fig10b_gamma",
+            &[2usize, 4, 6, 8, 10],
+            |g| go(setup.fedtrans_config().with_gamma(g)),
+        );
+    }
+    if which == "widen" || which == "all" {
+        run_sweep(
+            "Fig. 11 (left): widen degree",
+            "fig11_widen",
+            &[1.1f32, 1.5, 2.0, 3.0, 6.0],
+            |w| go(setup.fedtrans_config().with_widen_factor(w)),
+        );
+    }
+    if which == "deepen" || which == "all" {
+        run_sweep(
+            "Fig. 11 (right): deepen degree",
+            "fig11_deepen",
+            &[1usize, 2, 3, 4],
+            |d| go(setup.fedtrans_config().with_deepen_count(d)),
+        );
+    }
+    if which == "alpha" || which == "all" {
+        run_sweep(
+            "Fig. 12: activeness threshold alpha",
+            "fig12_alpha",
+            &[0.70f32, 0.75, 0.80, 0.85, 0.90, 0.95, 0.99],
+            |a| go(setup.fedtrans_config().with_alpha(a)),
+        );
+    }
+    if which == "heterogeneity" || which == "all" {
+        run_sweep(
+            "Fig. 13: data heterogeneity h (Dirichlet)",
+            "fig13_heterogeneity",
+            &[0.5f32, 1.0, 50.0, 100.0],
+            |h| {
+                let s = Setup::with_config(Workload::Femnist, scale, |c| {
+                    c.with_dirichlet_alpha(h)
+                });
+                let r = s
+                    .run_fedtrans(s.fedtrans_config(), rounds)
+                    .expect("fedtrans heterogeneity arm");
+                (r.final_accuracy.mean, r.pmacs)
+            },
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Fig. 1a + Fig. 1b: the motivation study.
+//!
+//! Fig. 1a — inference-latency distributions of three reference model
+//! complexities over the synthetic device trace (the paper uses
+//! MobileNet-V2/V3 and EfficientNet-B4 over the AI-Benchmark phones).
+//! The reproduction target is the *overlap* of the distributions.
+//!
+//! Fig. 1b — train seven models of doubling complexity with FedAvg and
+//! report the percentage of clients whose best accuracy lands on each
+//! complexity level: no single model should win a majority.
+//!
+//! Run: `cargo run --release -p ft-bench --bin exp_fig1`
+
+use ft_baselines::ServerOpt;
+use ft_bench::{print_header, print_row, dump_json, Scale, Setup, Workload};
+use ft_fedsim::metrics::box_stats;
+use ft_model::CellModel;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let setup = Setup::new(Workload::Femnist, scale);
+
+    // --- Fig. 1a: latency distributions for three model sizes ---
+    println!("=== Fig. 1a: inference latency distributions ===");
+    let small = setup.seed.macs_per_sample();
+    let reference = [
+        ("small  (MobileNetV2-like)", small),
+        ("medium (MobileNetV3-like)", small * 4),
+        ("large  (EfficientNetB4-like)", small * 16),
+    ];
+    print_header(&["Model", "p10 (ms)", "median (ms)", "p90 (ms)", "max (ms)"]);
+    let mut overlap_check: Vec<(f32, f32)> = Vec::new();
+    for (name, macs) in reference {
+        let lats: Vec<f32> = setup
+            .devices
+            .profiles()
+            .iter()
+            .map(|p| p.inference_latency_ms(macs) as f32)
+            .collect();
+        let b = box_stats(&lats);
+        overlap_check.push((b.min, b.max));
+        print_row(&[
+            name.to_owned(),
+            format!("{:.2}", b.q1),
+            format!("{:.2}", b.median),
+            format!("{:.2}", b.q3),
+            format!("{:.2}", b.max),
+        ]);
+    }
+    let overlaps = overlap_check.windows(2).all(|w| w[1].0 < w[0].1);
+    println!(
+        "distributions overlap (paper's observation): {}",
+        if overlaps { "yes" } else { "no" }
+    );
+
+    // --- Fig. 1b: % of clients best at each complexity level ---
+    println!("\n=== Fig. 1b: % clients achieving best accuracy per complexity level ===");
+    let rounds = scale.rounds() / 2;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+    let dim = setup.data.input_dim();
+    let classes = setup.data.num_classes();
+    // Seven models: each level roughly doubles the MACs of the last.
+    let widths: [usize; 7] = [4, 6, 9, 13, 19, 27, 39];
+    let models: Vec<CellModel> = widths
+        .iter()
+        .map(|&w| CellModel::dense(&mut rng, dim, &[w, w], classes))
+        .collect();
+    // Complexity probing ignores capacity (we ask which architecture
+    // *would* fit each client's data best).
+    let mut bl = setup.baseline_config();
+    bl.enforce_capacity = false;
+    let mut per_model_client_acc: Vec<Vec<f32>> = Vec::new();
+    for (i, model) in models.iter().enumerate() {
+        let report = setup
+            .run_fedavg(bl, model.clone(), ServerOpt::Average, rounds)
+            .expect("fedavg run");
+        println!(
+            "  level {i}: {} MACs -> mean acc {:.3}",
+            model.macs_per_sample(),
+            report.final_accuracy.mean
+        );
+        per_model_client_acc.push(report.per_client_accuracy);
+    }
+    let clients = setup.data.num_clients();
+    let mut best_counts = vec![0usize; models.len()];
+    for c in 0..clients {
+        // Ties go to the cheapest model: equal accuracy at lower cost is
+        // the better model for that client.
+        let mut best = 0usize;
+        for i in 1..models.len() {
+            if per_model_client_acc[i][c] > per_model_client_acc[best][c] {
+                best = i;
+            }
+        }
+        best_counts[best] += 1;
+    }
+    print_header(&["Complexity level", "MACs", "Clients best here (%)"]);
+    let mut rows = Vec::new();
+    for (i, count) in best_counts.iter().enumerate() {
+        let pct = 100.0 * *count as f32 / clients as f32;
+        rows.push(pct);
+        print_row(&[
+            format!("{i}"),
+            format!("{}", models[i].macs_per_sample()),
+            format!("{pct:.1}"),
+        ]);
+    }
+    let max_share = rows.iter().cloned().fold(0.0f32, f32::max);
+    println!(
+        "no single model best for the majority (paper's observation): {}",
+        if max_share < 50.0 { "yes" } else { "no" }
+    );
+    dump_json("fig1", &serde_json::json!({
+        "best_share_percent": rows,
+        "latency_ranges": overlap_check,
+    }));
+}

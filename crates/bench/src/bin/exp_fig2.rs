@@ -1,0 +1,99 @@
+//! Fig. 2: cost vs accuracy of existing solutions, with the
+//! centralized "cloud ML" upper bound.
+//!
+//! Each method lands at one `(total cost, mean accuracy)` point; the
+//! centralized bound trains one model on all pooled, shuffled data.
+//! The reproduction target is the ordering: FedTrans near the bound at
+//! a fraction of the multi-model baselines' cost.
+//!
+//! Run: `cargo run --release -p ft-bench --bin exp_fig2`
+
+use ft_baselines::ServerOpt;
+use ft_bench::{dump_json, print_header, print_row, Scale, Setup, Workload};
+use ft_fedsim::metrics;
+use ft_model::CellModel;
+use ft_nn::Sgd;
+use ft_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Centralized training: pooled data, full-batch SGD epochs — the
+/// hypothetical upper bound of Fig. 2.
+fn centralized_upper_bound(setup: &Setup, model: &CellModel, epochs: usize) -> (f32, f64) {
+    let (x, y) = setup.data.centralized_train();
+    let mut m = model.clone();
+    let mut opt = Sgd::new(0.05).with_momentum(0.9);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let n = y.len();
+    let batch = 64usize;
+    let mut macs = 0u128;
+    for _ in 0..epochs {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(batch) {
+            let rows: Vec<Vec<f32>> = chunk.iter().map(|&i| x.row(i).expect("row")).collect();
+            let labels: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+            let bx = Tensor::from_rows(&rows).expect("rows");
+            m.zero_grad();
+            m.loss_and_grad(&bx, &labels).expect("train step");
+            let grads: Vec<Tensor> = m.grad_tensors().into_iter().cloned().collect();
+            let refs: Vec<&Tensor> = grads.iter().collect();
+            let mut params = m.param_tensors_mut();
+            opt.step(&mut params, &refs).expect("sgd step");
+            macs += m.macs_per_sample() as u128 * labels.len() as u128 * 3;
+        }
+    }
+    // Per-client mean accuracy of the centralized model.
+    let accs: Vec<f32> = setup
+        .data
+        .clients()
+        .iter()
+        .map(|c| ft_baselines::eval_on_client(&m, c))
+        .collect();
+    (metrics::mean(&accs), macs as f64 / 1e15)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let setup = Setup::new(Workload::Femnist, scale);
+    let rounds = scale.rounds();
+
+    let (ft, largest) = setup
+        .run_fedtrans_keep_largest(setup.fedtrans_config(), rounds)
+        .expect("fedtrans");
+    let bl = setup.baseline_config();
+    let fedavg = setup
+        .run_fedavg(bl, setup.seed.clone(), ServerOpt::Average, rounds)
+        .expect("fedavg");
+    let fluid = setup.run_fluid(bl, largest.clone(), rounds).expect("fluid");
+    let heterofl = setup
+        .run_heterofl(bl, largest.clone(), rounds)
+        .expect("heterofl");
+    let splitmix = setup.run_splitmix(bl, &largest, 4, rounds).expect("splitmix");
+    let (cloud_acc, cloud_pmacs) = centralized_upper_bound(&setup, &largest, 10);
+
+    println!("=== Fig. 2: cost vs accuracy (FEMNIST-like) ===");
+    print_header(&["Method", "Cost (MACs)", "Mean accuracy"]);
+    let rows = [
+        ("FedAvg (single global)", fedavg.pmacs, fedavg.final_accuracy.mean),
+        ("FedTrans", ft.pmacs, ft.final_accuracy.mean),
+        ("FLuID", fluid.pmacs, fluid.final_accuracy.mean),
+        ("HeteroFL", heterofl.pmacs, heterofl.final_accuracy.mean),
+        ("SplitMix", splitmix.pmacs, splitmix.final_accuracy.mean),
+        ("Cloud ML (upper bound)", cloud_pmacs, cloud_acc),
+    ];
+    for (name, pmacs, acc) in rows {
+        print_row(&[
+            name.to_owned(),
+            format!("{:.3e}", pmacs * 1e15),
+            format!("{:.3}", acc),
+        ]);
+    }
+    dump_json(
+        "fig2",
+        &serde_json::json!(rows
+            .iter()
+            .map(|(n, c, a)| serde_json::json!({"method": n, "pmacs": c, "accuracy": a}))
+            .collect::<Vec<_>>()),
+    );
+}

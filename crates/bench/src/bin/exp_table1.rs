@@ -1,0 +1,42 @@
+//! Table 1: accuracy with and without large-to-small weight sharing.
+//!
+//! The paper shows that letting under-trained large models write into
+//! converged small models (`l2s`) hurts final accuracy on both FEMNIST
+//! and CIFAR-10. Reproduction target: the `l2s` rows score lower.
+//!
+//! Run: `cargo run --release -p ft-bench --bin exp_table1`
+
+use ft_bench::{dump_json, print_header, print_row, Scale, Setup, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rounds = scale.rounds();
+    println!("=== Table 1: weight sharing direction ablation ===");
+    print_header(&["Breakdown", "Dataset", "Avg. Accu. (%)"]);
+    let mut results = Vec::new();
+    for workload in [Workload::Femnist, Workload::Cifar] {
+        let setup = Setup::new(workload, scale);
+        let default = setup
+            .run_fedtrans(setup.fedtrans_config(), rounds)
+            .expect("fedtrans");
+        let l2s = setup
+            .run_fedtrans(setup.fedtrans_config().with_large_to_small(true), rounds)
+            .expect("fedtrans l2s");
+        print_row(&[
+            "FedTrans".to_owned(),
+            workload.name().to_owned(),
+            format!("{:.1}", default.final_accuracy.mean * 100.0),
+        ]);
+        print_row(&[
+            "FedTrans (l2s)".to_owned(),
+            workload.name().to_owned(),
+            format!("{:.1}", l2s.final_accuracy.mean * 100.0),
+        ]);
+        results.push(serde_json::json!({
+            "dataset": workload.name(),
+            "fedtrans": default.final_accuracy.mean,
+            "fedtrans_l2s": l2s.final_accuracy.mean,
+        }));
+    }
+    dump_json("table1", &results);
+}

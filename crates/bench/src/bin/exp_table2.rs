@@ -1,0 +1,90 @@
+//! Table 2 + Fig. 6: end-to-end comparison of FedTrans, FLuID,
+//! HeteroFL, and SplitMix on all four workloads.
+//!
+//! Prints one Table 2 block per dataset (Accu %, IQR %, Cost, Storage
+//! MB, Network MB) and the Fig. 6 five-number per-client accuracy
+//! summaries. Following Appendix A.1, the shrink-based baselines
+//! receive the largest model FedTrans produced as their global model.
+//!
+//! Run: `cargo run --release -p ft-bench --bin exp_table2 [dataset]`
+
+use ft_bench::{print_header, print_row, table2_columns, dump_json, Scale, Setup, Workload};
+use ft_fedsim::report::RunReport;
+
+fn boxplot_row(method: &str, r: &RunReport) -> Vec<String> {
+    let b = &r.final_accuracy;
+    vec![
+        method.to_owned(),
+        format!("{:.3}", b.min),
+        format!("{:.3}", b.q1),
+        format!("{:.3}", b.median),
+        format!("{:.3}", b.q3),
+        format!("{:.3}", b.max),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let filter: Option<String> = std::env::args().nth(1).map(|s| s.to_lowercase());
+
+    for workload in Workload::TABLE2 {
+        if let Some(f) = &filter {
+            if !workload.name().to_lowercase().contains(f) {
+                continue;
+            }
+        }
+        let setup = Setup::new(workload, scale);
+        let rounds = setup.rounds();
+        println!("\n=== {} (scale {:?}, {} rounds) ===", workload.name(), scale, rounds);
+        println!(
+            "seed model: {} ({} MACs); device disparity {:.1}x",
+            setup.seed.arch_string(),
+            setup.seed.macs_per_sample(),
+            setup.devices.capacity_disparity()
+        );
+
+        let (ft_report, largest) = setup
+            .run_fedtrans_keep_largest(setup.fedtrans_config(), rounds)
+            .expect("fedtrans run");
+        println!(
+            "FedTrans grew {} models; largest: {}",
+            ft_report.model_archs.len(),
+            largest.arch_string()
+        );
+
+        let bl = setup.baseline_config();
+        let fluid = setup
+            .run_fluid(bl, largest.clone(), rounds)
+            .expect("fluid run");
+        let heterofl = setup
+            .run_heterofl(bl, largest.clone(), rounds)
+            .expect("heterofl run");
+        let splitmix = setup
+            .run_splitmix(bl, &largest, 4, rounds)
+            .expect("splitmix run");
+
+        println!("\nTable 2 ({}):", workload.name());
+        print_header(&["Method", "Accu.(%)", "IQR(%)", "Cost(MACs)", "Storage(MB)", "Network(MB)"]);
+        print_row(&table2_columns("FedTrans", &ft_report));
+        print_row(&table2_columns("FLuID", &fluid));
+        print_row(&table2_columns("HeteroFL", &heterofl));
+        print_row(&table2_columns("SplitMix", &splitmix));
+
+        println!("\nFig. 6 per-client accuracy boxplot ({}):", workload.name());
+        print_header(&["Method", "min", "q1", "median", "q3", "max"]);
+        print_row(&boxplot_row("FedTrans", &ft_report));
+        print_row(&boxplot_row("FLuID", &fluid));
+        print_row(&boxplot_row("HeteroFL", &heterofl));
+        print_row(&boxplot_row("SplitMix", &splitmix));
+
+        dump_json(
+            &format!("table2_{}", workload.name().to_lowercase().replace('-', "_")),
+            &serde_json::json!({
+                "fedtrans": ft_report,
+                "fluid": fluid,
+                "heterofl": heterofl,
+                "splitmix": splitmix,
+            }),
+        );
+    }
+}

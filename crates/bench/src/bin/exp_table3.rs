@@ -1,0 +1,42 @@
+//! Table 3: component breakdown.
+//!
+//! Arms: full FedTrans; `-l` random layer selection; `-ls` also no soft
+//! aggregation; `-lsw` also no warm-up; `-lswd` warm-up off but sharing
+//! re-enabled without the decay factor. Reproduction target: accuracy
+//! degrades down the table, and `-lsw` (no warm-up) inflates cost.
+//!
+//! Run: `cargo run --release -p ft-bench --bin exp_table3`
+
+use ft_bench::{dump_json, print_header, print_row, Scale, Setup, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let setup = Setup::new(Workload::Femnist, scale);
+    let rounds = scale.rounds();
+
+    let arms = [
+        ("FedTrans", setup.fedtrans_config()),
+        ("FedTrans-l", setup.fedtrans_config().ablate_layer_selection()),
+        ("FedTrans-ls", setup.fedtrans_config().ablate_soft_aggregation()),
+        ("FedTrans-lsw", setup.fedtrans_config().ablate_warmup()),
+        ("FedTrans-lswd", setup.fedtrans_config().ablate_decay()),
+    ];
+
+    println!("=== Table 3: performance breakdown (FEMNIST-like) ===");
+    print_header(&["Breakdown", "Accu. (%)", "Costs (MACs)"]);
+    let mut results = Vec::new();
+    for (name, cfg) in arms {
+        let report = setup.run_fedtrans(cfg, rounds).expect("fedtrans arm");
+        print_row(&[
+            name.to_owned(),
+            format!("{:.2}", report.final_accuracy.mean * 100.0),
+            format!("{:.3e}", report.pmacs * 1e15),
+        ]);
+        results.push(serde_json::json!({
+            "arm": name,
+            "accuracy": report.final_accuracy.mean,
+            "pmacs": report.pmacs,
+        }));
+    }
+    dump_json("table3", &results);
+}

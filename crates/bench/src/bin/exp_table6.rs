@@ -1,0 +1,47 @@
+//! Table 6 (Appendix C): FedTrans mitigates the straggler issue.
+//!
+//! Compares the mean and standard deviation of per-participant round
+//! completion times between FedTrans (each client trains a model sized
+//! to its hardware) and FedAvg (everyone trains the same model).
+//! Reproduction target: FedTrans's mean and std are both lower.
+//!
+//! Run: `cargo run --release -p ft-bench --bin exp_table6`
+
+use ft_baselines::ServerOpt;
+use ft_bench::{dump_json, print_header, print_row, Scale, Setup, Workload};
+use ft_fedsim::metrics::{mean, std_dev};
+
+fn main() {
+    let scale = Scale::from_env();
+    let setup = Setup::new(Workload::Femnist, scale);
+    let rounds = scale.rounds();
+
+    let (ft, largest) = setup
+        .run_fedtrans_keep_largest(setup.fedtrans_config(), rounds)
+        .expect("fedtrans");
+    // FedAvg trains the largest (one-size-fits-all) model everywhere.
+    let fedavg = setup
+        .run_fedavg(setup.baseline_config(), largest, ServerOpt::Average, rounds)
+        .expect("fedavg");
+
+    println!("=== Table 6: round completion time (FEMNIST-like) ===");
+    print_header(&["Method", "Avg. (s)", "Std. (s)"]);
+    let rows = [
+        ("FedTrans + FedAvg", &ft.client_times_s),
+        ("FedAvg", &fedavg.client_times_s),
+    ];
+    let mut results = Vec::new();
+    for (name, times) in rows {
+        print_row(&[
+            name.to_owned(),
+            format!("{:.2}", mean(times)),
+            format!("{:.2}", std_dev(times)),
+        ]);
+        results.push(serde_json::json!({
+            "method": name,
+            "avg_s": mean(times),
+            "std_s": std_dev(times),
+        }));
+    }
+    dump_json("table6", &results);
+}

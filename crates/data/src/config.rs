@@ -1,0 +1,243 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{generator, FederatedDataset};
+
+/// The input geometry of a dataset, which determines the model family
+/// that can train on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputSpec {
+    /// Flat feature vectors (dense-cell models).
+    Flat {
+        /// Feature dimension.
+        dim: usize,
+    },
+    /// Channel-major images (conv-cell models).
+    Image {
+        /// Channel count.
+        channels: usize,
+        /// Image height.
+        height: usize,
+        /// Image width.
+        width: usize,
+    },
+    /// Token sequences (attention-cell models).
+    Tokens {
+        /// Number of tokens per sample.
+        tokens: usize,
+        /// Embedding dimension per token.
+        d_model: usize,
+    },
+}
+
+impl InputSpec {
+    /// Flattened per-sample width.
+    pub fn flat_dim(&self) -> usize {
+        match *self {
+            InputSpec::Flat { dim } => dim,
+            InputSpec::Image { channels, height, width } => channels * height * width,
+            InputSpec::Tokens { tokens, d_model } => tokens * d_model,
+        }
+    }
+}
+
+/// Configuration for a synthetic federated dataset.
+///
+/// Construct via a workload preset and customize with the `with_*`
+/// builders:
+///
+/// ```
+/// use ft_data::DatasetConfig;
+/// let cfg = DatasetConfig::cifar_like()
+///     .with_num_clients(20)
+///     .with_dirichlet_alpha(0.5);
+/// assert_eq!(cfg.num_clients, 20);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Human-readable workload name (used in experiment reports).
+    pub name: String,
+    /// Number of federated clients.
+    pub num_clients: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Input geometry.
+    pub input: InputSpec,
+    /// Dirichlet concentration `h` controlling label skew
+    /// (lower = more heterogeneous, as in the paper's Fig. 13).
+    pub dirichlet_alpha: f32,
+    /// Mean training samples per client.
+    pub mean_samples: usize,
+    /// Log-normal sigma of per-client sample counts.
+    pub sample_spread: f32,
+    /// Distance between class prototypes.
+    pub class_sep: f32,
+    /// Observation noise standard deviation.
+    pub noise_std: f32,
+    /// Standard deviation of the per-client concept-shift offset.
+    pub shift_std: f32,
+    /// Upper bound of the per-client confuser-blend probability;
+    /// clients are spread uniformly in `[0, max_difficulty]`.
+    pub max_difficulty: f32,
+    /// Strength of the nonlinear (sinusoidal) class-manifold component.
+    /// Higher values bend class regions so that small models underfit —
+    /// the capacity/accuracy trade-off behind the paper's Fig. 1b.
+    pub manifold_curvature: f32,
+    /// Fraction of each client's samples held out for evaluation.
+    pub test_fraction: f32,
+    /// RNG seed; the same config always generates the same dataset.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    fn base(name: &str) -> Self {
+        DatasetConfig {
+            name: name.to_owned(),
+            num_clients: 100,
+            num_classes: 10,
+            input: InputSpec::Flat { dim: 32 },
+            dirichlet_alpha: 1.0,
+            mean_samples: 60,
+            sample_spread: 0.5,
+            class_sep: 2.2,
+            noise_std: 0.8,
+            shift_std: 0.35,
+            max_difficulty: 0.7,
+            manifold_curvature: 2.4,
+            test_fraction: 0.25,
+            seed: 42,
+        }
+    }
+
+    /// CIFAR-10-like preset: 100 clients, 10 classes, small RGB images
+    /// (paper: 100-client non-IID CIFAR-10 partition).
+    pub fn cifar_like() -> Self {
+        let mut c = Self::base("cifar-like");
+        c.num_clients = 100;
+        c.num_classes = 10;
+        c.input = InputSpec::Image { channels: 3, height: 8, width: 8 };
+        c
+    }
+
+    /// FEMNIST-like preset: the paper's mid-scale workload (3400 writers,
+    /// 62 classes) scaled to laptop size with the class count preserved
+    /// in spirit (16 classes, flat features).
+    pub fn femnist_like() -> Self {
+        let mut c = Self::base("femnist-like");
+        c.num_clients = 200;
+        c.num_classes = 16;
+        c.input = InputSpec::Flat { dim: 48 };
+        c
+    }
+
+    /// Speech-Commands-like preset: 35 classes over MFCC-style flat
+    /// features (paper: 2618 speakers).
+    pub fn speech_like() -> Self {
+        let mut c = Self::base("speech-like");
+        c.num_clients = 150;
+        c.num_classes = 35;
+        c.input = InputSpec::Flat { dim: 40 };
+        c.mean_samples = 80;
+        c
+    }
+
+    /// OpenImage-like preset: the paper's large-scale workload (14 477
+    /// clients, 600 classes) scaled down but kept the *largest* of the
+    /// four presets, with image inputs.
+    pub fn openimage_like() -> Self {
+        let mut c = Self::base("openimage-like");
+        c.num_clients = 300;
+        c.num_classes = 20;
+        c.input = InputSpec::Image { channels: 1, height: 8, width: 8 };
+        c.mean_samples = 60;
+        c.max_difficulty = 0.6;
+        c
+    }
+
+    /// FEMNIST-like token preset for the ViT experiment (Table 4).
+    pub fn femnist_vit_like() -> Self {
+        let mut c = Self::base("femnist-vit-like");
+        c.num_clients = 120;
+        c.num_classes = 16;
+        c.input = InputSpec::Tokens { tokens: 8, d_model: 8 };
+        c
+    }
+
+    /// Sets the client count.
+    pub fn with_num_clients(mut self, n: usize) -> Self {
+        self.num_clients = n;
+        self
+    }
+
+    /// Sets the Dirichlet concentration `h` (label heterogeneity).
+    pub fn with_dirichlet_alpha(mut self, alpha: f32) -> Self {
+        self.dirichlet_alpha = alpha;
+        self
+    }
+
+    /// Sets the mean per-client sample count.
+    pub fn with_mean_samples(mut self, n: usize) -> Self {
+        self.mean_samples = n;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-client difficulty ceiling.
+    pub fn with_max_difficulty(mut self, d: f32) -> Self {
+        self.max_difficulty = d;
+        self
+    }
+
+    /// Generates the dataset described by this configuration.
+    pub fn generate(&self) -> FederatedDataset {
+        generator::generate(self)
+    }
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self::femnist_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_distinct_scales() {
+        let presets = [
+            DatasetConfig::cifar_like(),
+            DatasetConfig::femnist_like(),
+            DatasetConfig::speech_like(),
+            DatasetConfig::openimage_like(),
+        ];
+        for p in &presets {
+            assert!(p.num_clients >= 100);
+            assert!(p.num_classes >= 10);
+        }
+        assert!(presets[3].num_clients > presets[0].num_clients);
+    }
+
+    #[test]
+    fn flat_dim_matches_geometry() {
+        assert_eq!(InputSpec::Flat { dim: 32 }.flat_dim(), 32);
+        assert_eq!(InputSpec::Image { channels: 3, height: 8, width: 8 }.flat_dim(), 192);
+        assert_eq!(InputSpec::Tokens { tokens: 8, d_model: 8 }.flat_dim(), 64);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = DatasetConfig::femnist_like()
+            .with_num_clients(7)
+            .with_seed(9)
+            .with_dirichlet_alpha(0.1);
+        assert_eq!(c.num_clients, 7);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.dirichlet_alpha, 0.1);
+    }
+}

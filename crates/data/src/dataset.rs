@@ -1,0 +1,232 @@
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ft_tensor::Tensor;
+
+use crate::{DatasetConfig, InputSpec};
+
+/// One client's local shard: training and held-out evaluation samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClientData {
+    train_x: Vec<Vec<f32>>,
+    train_y: Vec<usize>,
+    test_x: Vec<Vec<f32>>,
+    test_y: Vec<usize>,
+    label_dist: Vec<f32>,
+    difficulty: f32,
+}
+
+impl ClientData {
+    /// Assembles a shard (used by the generator).
+    pub fn new(
+        train_x: Vec<Vec<f32>>,
+        train_y: Vec<usize>,
+        test_x: Vec<Vec<f32>>,
+        test_y: Vec<usize>,
+        label_dist: Vec<f32>,
+        difficulty: f32,
+    ) -> Self {
+        debug_assert_eq!(train_x.len(), train_y.len());
+        debug_assert_eq!(test_x.len(), test_y.len());
+        ClientData {
+            train_x,
+            train_y,
+            test_x,
+            test_y,
+            label_dist,
+            difficulty,
+        }
+    }
+
+    /// Number of training samples.
+    pub fn train_len(&self) -> usize {
+        self.train_x.len()
+    }
+
+    /// Number of evaluation samples.
+    pub fn test_len(&self) -> usize {
+        self.test_x.len()
+    }
+
+    /// The client's label distribution (drawn from the Dirichlet prior).
+    pub fn label_dist(&self) -> &[f32] {
+        &self.label_dist
+    }
+
+    /// The client's task difficulty in `[0, 1]` (confuser-blend rate).
+    pub fn difficulty(&self) -> f32 {
+        self.difficulty
+    }
+
+    /// Draws a random training batch of up to `batch_size` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client has no training samples.
+    pub fn sample_batch(&self, rng: &mut impl Rng, batch_size: usize) -> (Tensor, Vec<usize>) {
+        assert!(!self.train_x.is_empty(), "client has no training data");
+        let mut indices: Vec<usize> = (0..self.train_x.len()).collect();
+        indices.shuffle(rng);
+        indices.truncate(batch_size.max(1).min(self.train_x.len()));
+        self.gather_train(&indices)
+    }
+
+    fn gather_train(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let dim = self.train_x[0].len();
+        let mut data = Vec::with_capacity(indices.len() * dim);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(&self.train_x[i]);
+            labels.push(self.train_y[i]);
+        }
+        let x = Tensor::from_vec(data, &[indices.len(), dim]).expect("dims consistent");
+        (x, labels)
+    }
+
+    /// The full training set as one batch (for centralized baselines).
+    pub fn train_all(&self) -> (Tensor, Vec<usize>) {
+        let indices: Vec<usize> = (0..self.train_x.len()).collect();
+        self.gather_train(&indices)
+    }
+
+    /// The full evaluation set as one batch.
+    ///
+    /// Returns `None` when the client has no held-out samples.
+    pub fn test_all(&self) -> Option<(Tensor, Vec<usize>)> {
+        if self.test_x.is_empty() {
+            return None;
+        }
+        let dim = self.test_x[0].len();
+        let mut data = Vec::with_capacity(self.test_x.len() * dim);
+        for x in &self.test_x {
+            data.extend_from_slice(x);
+        }
+        let x = Tensor::from_vec(data, &[self.test_x.len(), dim]).expect("dims consistent");
+        Some((x, self.test_y.clone()))
+    }
+}
+
+/// A complete federated dataset: one shard per client plus metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FederatedDataset {
+    config: DatasetConfig,
+    clients: Vec<ClientData>,
+}
+
+impl FederatedDataset {
+    /// Assembles a dataset (used by the generator).
+    pub fn new(config: DatasetConfig, clients: Vec<ClientData>) -> Self {
+        FederatedDataset { config, clients }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    /// Input geometry.
+    pub fn input(&self) -> InputSpec {
+        self.config.input
+    }
+
+    /// Flat per-sample input width.
+    pub fn input_dim(&self) -> usize {
+        self.config.input.flat_dim()
+    }
+
+    /// A client's shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_clients()`.
+    pub fn client(&self, index: usize) -> &ClientData {
+        &self.clients[index]
+    }
+
+    /// Iterates over all client shards.
+    pub fn clients(&self) -> &[ClientData] {
+        &self.clients
+    }
+
+    /// Total training samples across clients.
+    pub fn total_train_samples(&self) -> usize {
+        self.clients.iter().map(ClientData::train_len).sum()
+    }
+
+    /// Pools every client's training data into one centralized batch —
+    /// the paper's hypothetical "cloud ML" upper bound in Fig. 2.
+    pub fn centralized_train(&self) -> (Tensor, Vec<usize>) {
+        let dim = self.input_dim();
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in &self.clients {
+            let (x, y) = c.train_all();
+            data.extend_from_slice(x.data());
+            labels.extend(y);
+        }
+        let n = labels.len();
+        (
+            Tensor::from_vec(data, &[n, dim]).expect("dims consistent"),
+            labels,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_dataset() -> FederatedDataset {
+        DatasetConfig::femnist_like()
+            .with_num_clients(4)
+            .with_mean_samples(20)
+            .generate()
+    }
+
+    #[test]
+    fn every_client_has_data() {
+        let d = tiny_dataset();
+        for i in 0..d.num_clients() {
+            assert!(d.client(i).train_len() > 0, "client {i} empty");
+        }
+    }
+
+    #[test]
+    fn batches_have_requested_shape() {
+        let d = tiny_dataset();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let (x, y) = d.client(0).sample_batch(&mut rng, 5);
+        assert_eq!(x.rows().unwrap(), y.len());
+        assert!(y.len() <= 5);
+        assert_eq!(x.cols().unwrap(), d.input_dim());
+    }
+
+    #[test]
+    fn labels_are_in_range() {
+        let d = tiny_dataset();
+        for c in d.clients() {
+            let (_, y) = c.train_all();
+            assert!(y.iter().all(|&l| l < d.num_classes()));
+        }
+    }
+
+    #[test]
+    fn centralized_pool_matches_total() {
+        let d = tiny_dataset();
+        let (x, y) = d.centralized_train();
+        assert_eq!(x.rows().unwrap(), d.total_train_samples());
+        assert_eq!(y.len(), d.total_train_samples());
+    }
+}

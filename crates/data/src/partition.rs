@@ -1,0 +1,107 @@
+//! Dirichlet label partitioning, the paper's heterogeneity mechanism.
+//!
+//! Following the paper (§5.4, Fig. 13) and HeteroFL/FedRolex, each
+//! client's label distribution is drawn from `Dirichlet(h · 1)`; lower
+//! `h` concentrates a client's mass on fewer classes.
+
+use rand::Rng;
+use rand_distr::{Distribution, Gamma};
+
+/// Samples a probability vector from a symmetric `Dirichlet(alpha)`.
+///
+/// Implemented via normalized Gamma draws, the standard construction.
+///
+/// # Panics
+///
+/// Panics if `classes == 0` or `alpha <= 0`.
+pub fn sample_dirichlet(rng: &mut impl Rng, classes: usize, alpha: f32) -> Vec<f32> {
+    assert!(classes > 0, "need at least one class");
+    assert!(alpha > 0.0, "Dirichlet concentration must be positive");
+    let gamma = Gamma::new(alpha as f64, 1.0).expect("alpha validated above");
+    let mut draws: Vec<f64> = (0..classes).map(|_| gamma.sample(rng).max(1e-30)).collect();
+    let sum: f64 = draws.iter().sum();
+    for d in &mut draws {
+        *d /= sum;
+    }
+    draws.into_iter().map(|d| d as f32).collect()
+}
+
+/// Draws a class index from a probability vector.
+///
+/// # Panics
+///
+/// Panics if `probs` is empty.
+pub fn sample_class(rng: &mut impl Rng, probs: &[f32]) -> usize {
+    assert!(!probs.is_empty());
+    let mut u: f32 = rng.gen();
+    for (i, &p) in probs.iter().enumerate() {
+        if u < p {
+            return i;
+        }
+        u -= p;
+    }
+    probs.len() - 1
+}
+
+/// Measures label heterogeneity as the mean total-variation distance of
+/// client label distributions from the global uniform distribution.
+/// Used by tests and the Fig. 13 harness to verify that lower `h` means
+/// more skew.
+pub fn mean_tv_from_uniform(client_label_dists: &[Vec<f32>]) -> f32 {
+    if client_label_dists.is_empty() {
+        return 0.0;
+    }
+    let classes = client_label_dists[0].len() as f32;
+    let uniform = 1.0 / classes;
+    let mut total = 0.0f32;
+    for dist in client_label_dists {
+        let tv: f32 = dist.iter().map(|p| (p - uniform).abs()).sum::<f32>() / 2.0;
+        total += tv;
+    }
+    total / client_label_dists.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for alpha in [0.1, 1.0, 100.0] {
+            let p = sample_dirichlet(&mut rng, 10, alpha);
+            let s: f32 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "alpha {alpha} sum {s}");
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn low_alpha_is_more_skewed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let low: Vec<Vec<f32>> = (0..200).map(|_| sample_dirichlet(&mut rng, 10, 0.1)).collect();
+        let high: Vec<Vec<f32>> = (0..200).map(|_| sample_dirichlet(&mut rng, 10, 100.0)).collect();
+        assert!(mean_tv_from_uniform(&low) > mean_tv_from_uniform(&high) + 0.2);
+    }
+
+    #[test]
+    fn sample_class_respects_point_mass() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let probs = vec![0.0, 1.0, 0.0];
+        for _ in 0..20 {
+            assert_eq!(sample_class(&mut rng, &probs), 1);
+        }
+    }
+
+    #[test]
+    fn sample_class_covers_support() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let probs = vec![0.5, 0.5];
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[sample_class(&mut rng, &probs)] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

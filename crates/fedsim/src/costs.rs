@@ -1,0 +1,154 @@
+//! Cost accounting: training MACs, network volume, server storage.
+//!
+//! The paper measures training cost as the total number of MAC
+//! operations performed by all clients (Table 2, Figs. 2 and 7),
+//! network cost as bytes moved between clients and the coordinator, and
+//! storage as the footprint of the model suite on the server.
+
+use serde::{Deserialize, Serialize};
+
+/// Forward-plus-backward MAC multiplier: a backward pass costs roughly
+/// twice the forward pass, so one training step ≈ 3× forward MACs —
+/// the convention used by the MAC-accounting literature the paper cites.
+pub const TRAIN_MACS_MULTIPLIER: u64 = 3;
+
+/// Accumulates the paper's cost metrics over a training run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostMeter {
+    total_train_macs: u128,
+    total_network_bytes: u128,
+    rounds: u32,
+}
+
+impl CostMeter {
+    /// A fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one client's local training work.
+    ///
+    /// `model_macs` is the model's forward MACs per sample; the total
+    /// charged is `3 × model_macs × samples_processed`.
+    pub fn record_local_training(&mut self, model_macs: u64, samples_processed: u64) {
+        self.total_train_macs +=
+            (model_macs as u128) * (samples_processed as u128) * (TRAIN_MACS_MULTIPLIER as u128);
+    }
+
+    /// Records a model download + upload for one participant
+    /// (`2 × 4 bytes × params`).
+    pub fn record_model_transfer(&mut self, param_count: u64) {
+        self.total_network_bytes += (param_count as u128) * 4 * 2;
+    }
+
+    /// Records extra payload bytes (e.g. the scalar loss upload).
+    pub fn record_extra_bytes(&mut self, bytes: u64) {
+        self.total_network_bytes += bytes as u128;
+    }
+
+    /// Marks the end of a round.
+    pub fn finish_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Total training MACs so far.
+    pub fn train_macs(&self) -> u128 {
+        self.total_train_macs
+    }
+
+    /// Total training cost in PMACs (10^15 MACs), Table 2's unit.
+    pub fn train_pmacs(&self) -> f64 {
+        self.total_train_macs as f64 / 1e15
+    }
+
+    /// Total network bytes so far.
+    pub fn network_bytes(&self) -> u128 {
+        self.total_network_bytes
+    }
+
+    /// Network volume in MB, Table 2's unit.
+    pub fn network_mb(&self) -> f64 {
+        self.total_network_bytes as f64 / 1e6
+    }
+
+    /// Rounds completed.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+}
+
+/// Server storage in MB for a suite of models, given their parameter
+/// counts (Table 2's storage column).
+pub fn storage_mb(param_counts: &[usize]) -> f64 {
+    param_counts.iter().map(|&p| p as f64 * 4.0).sum::<f64>() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_macs_accumulate_with_multiplier() {
+        let mut m = CostMeter::new();
+        m.record_local_training(100, 10);
+        assert_eq!(m.train_macs(), 3000);
+    }
+
+    #[test]
+    fn transfers_count_both_directions() {
+        let mut m = CostMeter::new();
+        m.record_model_transfer(1000);
+        assert_eq!(m.network_bytes(), 8000);
+    }
+
+    #[test]
+    fn rounds_are_counted() {
+        let mut m = CostMeter::new();
+        m.finish_round();
+        m.finish_round();
+        assert_eq!(m.rounds(), 2);
+    }
+
+    #[test]
+    fn storage_sums_model_suite() {
+        let mb = storage_mb(&[250_000, 250_000]);
+        assert!((mb - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let mut m = CostMeter::new();
+        m.record_local_training(1_000_000_000, 1_000_000);
+        assert!((m.train_pmacs() - 3.0).abs() < 1e-9);
+        m.record_extra_bytes(1_000_000);
+        assert!((m.network_mb() - 1.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn empty_meter_reports_zero() {
+        let m = CostMeter::new();
+        assert_eq!(m.train_macs(), 0);
+        assert_eq!(m.network_bytes(), 0);
+        assert_eq!(m.rounds(), 0);
+        assert_eq!(m.train_pmacs(), 0.0);
+    }
+
+    #[test]
+    fn storage_of_empty_suite_is_zero() {
+        assert_eq!(storage_mb(&[]), 0.0);
+    }
+
+    #[test]
+    fn large_runs_do_not_overflow() {
+        let mut m = CostMeter::new();
+        for _ in 0..1000 {
+            m.record_local_training(u64::MAX / 4096, 1024);
+        }
+        assert!(m.train_pmacs() > 0.0);
+    }
+}

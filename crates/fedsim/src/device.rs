@@ -1,0 +1,231 @@
+//! Synthetic client device traces.
+//!
+//! The paper samples hardware capacities from FedScale's trace of 500k
+//! real mobile devices, where "the disparity between the most capable
+//! and least capable devices exceeds 29×" (§5.1). This module generates
+//! a log-uniform capacity spread with the same disparity, plus compute
+//! speed and bandwidth figures for the latency model used by Fig. 1a
+//! (inference latency distributions) and Table 6 (round times).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// One client device's capabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Largest model (in MACs per sample) this device will accept.
+    /// Models above this are incompatible (§4.2's hard constraint).
+    pub capacity_macs: u64,
+    /// Compute speed in MACs per second.
+    pub speed_macs_per_s: f64,
+    /// Network bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl DeviceProfile {
+    /// Inference latency in milliseconds for a model of `macs` MACs.
+    pub fn inference_latency_ms(&self, macs: u64) -> f64 {
+        macs as f64 / self.speed_macs_per_s * 1e3
+    }
+
+    /// Whether a model of `macs` MACs is compatible with this device.
+    pub fn is_compatible(&self, macs: u64) -> bool {
+        macs <= self.capacity_macs
+    }
+}
+
+/// A population of device profiles, indexed by client id.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceTrace {
+    profiles: Vec<DeviceProfile>,
+}
+
+impl DeviceTrace {
+    /// Wraps an explicit profile list.
+    pub fn new(profiles: Vec<DeviceProfile>) -> Self {
+        DeviceTrace { profiles }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The profile of client `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn profile(&self, index: usize) -> &DeviceProfile {
+        &self.profiles[index]
+    }
+
+    /// All profiles.
+    pub fn profiles(&self) -> &[DeviceProfile] {
+        &self.profiles
+    }
+
+    /// Smallest capacity in the trace (the seed model's complexity
+    /// budget per §5.1).
+    pub fn min_capacity(&self) -> u64 {
+        self.profiles.iter().map(|p| p.capacity_macs).min().unwrap_or(0)
+    }
+
+    /// Largest capacity in the trace (the maximum model's complexity
+    /// budget per §5.1).
+    pub fn max_capacity(&self) -> u64 {
+        self.profiles.iter().map(|p| p.capacity_macs).max().unwrap_or(0)
+    }
+
+    /// Ratio of the most to least capable device.
+    pub fn capacity_disparity(&self) -> f64 {
+        let min = self.min_capacity();
+        if min == 0 {
+            return 0.0;
+        }
+        self.max_capacity() as f64 / min as f64
+    }
+}
+
+/// Configuration for the synthetic trace generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceTraceConfig {
+    /// Number of devices to generate.
+    pub num_devices: usize,
+    /// Capacity of the least capable device, in MACs per sample.
+    pub base_capacity_macs: u64,
+    /// Ratio between the most and least capable device (paper: > 29).
+    pub disparity: f64,
+    /// Seconds a device needs per unit of its own capacity; ties speed
+    /// to capacity so capable devices are also fast, with jitter.
+    pub speed_jitter_sigma: f64,
+    /// Median bandwidth in bytes per second.
+    pub median_bandwidth: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DeviceTraceConfig {
+    fn default() -> Self {
+        DeviceTraceConfig {
+            num_devices: 100,
+            base_capacity_macs: 20_000,
+            disparity: 30.0,
+            speed_jitter_sigma: 0.3,
+            median_bandwidth: 1e6,
+            seed: 7,
+        }
+    }
+}
+
+impl DeviceTraceConfig {
+    /// Sets the device count.
+    pub fn with_num_devices(mut self, n: usize) -> Self {
+        self.num_devices = n;
+        self
+    }
+
+    /// Sets the minimum capacity.
+    pub fn with_base_capacity(mut self, macs: u64) -> Self {
+        self.base_capacity_macs = macs;
+        self
+    }
+
+    /// Sets the max/min capacity ratio.
+    pub fn with_disparity(mut self, disparity: f64) -> Self {
+        self.disparity = disparity;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the trace. Deterministic in the seed. The first and
+    /// last devices are pinned to the extremes so the configured
+    /// disparity is always realized exactly.
+    pub fn generate(&self) -> DeviceTrace {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let jitter = LogNormal::new(0.0, self.speed_jitter_sigma).expect("sigma finite");
+        let bw = LogNormal::new(self.median_bandwidth.ln(), 0.6).expect("bw finite");
+        let lo = self.base_capacity_macs as f64;
+        let hi = lo * self.disparity;
+        let profiles = (0..self.num_devices)
+            .map(|i| {
+                // Log-uniform capacities, extremes pinned.
+                let capacity = if i == 0 {
+                    lo
+                } else if i + 1 == self.num_devices && self.num_devices > 1 {
+                    hi
+                } else {
+                    let u: f64 = rng.gen();
+                    (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+                };
+                // Speed scales sub-linearly with capacity plus jitter:
+                // capable devices are faster but not proportionally so.
+                let speed = capacity.powf(0.85) * 50.0 * jitter.sample(&mut rng);
+                DeviceProfile {
+                    capacity_macs: capacity.round() as u64,
+                    speed_macs_per_s: speed,
+                    bandwidth_bytes_per_s: bw.sample(&mut rng),
+                }
+            })
+            .collect();
+        DeviceTrace::new(profiles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DeviceTraceConfig::default().generate();
+        let b = DeviceTraceConfig::default().generate();
+        assert_eq!(a.profiles(), b.profiles());
+    }
+
+    #[test]
+    fn disparity_is_realized() {
+        let t = DeviceTraceConfig::default().with_disparity(29.0).generate();
+        assert!((t.capacity_disparity() - 29.0).abs() < 1.0, "{}", t.capacity_disparity());
+    }
+
+    #[test]
+    fn capacities_stay_in_range() {
+        let cfg = DeviceTraceConfig::default().with_num_devices(500);
+        let t = cfg.generate();
+        for p in t.profiles() {
+            assert!(p.capacity_macs >= cfg.base_capacity_macs);
+            assert!(p.capacity_macs as f64 <= cfg.base_capacity_macs as f64 * cfg.disparity * 1.01);
+        }
+    }
+
+    #[test]
+    fn latency_scales_with_macs() {
+        let t = DeviceTraceConfig::default().generate();
+        let p = t.profile(0);
+        assert!(p.inference_latency_ms(2_000_000) > p.inference_latency_ms(1_000_000));
+    }
+
+    #[test]
+    fn compatibility_respects_capacity() {
+        let p = DeviceProfile {
+            capacity_macs: 1000,
+            speed_macs_per_s: 1e6,
+            bandwidth_bytes_per_s: 1e6,
+        };
+        assert!(p.is_compatible(1000));
+        assert!(!p.is_compatible(1001));
+    }
+}

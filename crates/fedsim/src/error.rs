@@ -1,0 +1,52 @@
+use std::fmt;
+
+use ft_model::ModelError;
+
+/// Error raised by the federated-learning simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A model operation failed inside the simulator.
+    Model(ModelError),
+    /// A client index was out of range.
+    NoSuchClient {
+        /// The requested client index.
+        index: usize,
+        /// Number of registered clients.
+        clients: usize,
+    },
+    /// A worker thread panicked during parallel local training.
+    WorkerPanicked,
+    /// The simulation was configured inconsistently.
+    BadConfig {
+        /// Explanation of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Model(e) => write!(f, "model error: {e}"),
+            SimError::NoSuchClient { index, clients } => {
+                write!(f, "client index {index} out of range for {clients} clients")
+            }
+            SimError::WorkerPanicked => write!(f, "a local-training worker thread panicked"),
+            SimError::BadConfig { detail } => write!(f, "bad simulation config: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SimError {
+    fn from(e: ModelError) -> Self {
+        SimError::Model(e)
+    }
+}

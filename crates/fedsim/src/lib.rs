@@ -1,0 +1,46 @@
+//! Federated-learning simulator: device traces, local training, client
+//! selection, cost accounting, and evaluation metrics.
+//!
+//! This crate is the substrate both FedTrans and every baseline run on.
+//! It replaces the paper's FedScale deployment with a deterministic
+//! simulation:
+//!
+//! * [`device`] — synthetic client capability traces with the ≥29×
+//!   compute disparity FedScale's 500k-device trace exhibits, plus the
+//!   latency model behind Fig. 1a and Table 6;
+//! * [`trainer`] — the local SGD executor (with optional FedProx
+//!   proximal term) run by each participant, including parallel
+//!   fan-out over participants;
+//! * [`select`] — per-round participant selection;
+//! * [`costs`] — MAC / network / storage accounting (the paper's cost
+//!   metrics in Table 2 and Figs. 2 and 7);
+//! * [`metrics`] — per-client accuracy statistics (mean, IQR, boxplot
+//!   quartiles for Fig. 6);
+//! * [`roundtime`] — round-completion-time model for the straggler
+//!   analysis (Table 6).
+//!
+//! # Example
+//!
+//! ```
+//! use ft_fedsim::device::DeviceTraceConfig;
+//!
+//! let trace = DeviceTraceConfig::default().with_num_devices(50).generate();
+//! assert_eq!(trace.len(), 50);
+//! let disparity = trace.capacity_disparity();
+//! assert!(disparity >= 20.0);
+//! ```
+
+pub mod costs;
+pub mod device;
+pub mod metrics;
+pub mod report;
+pub mod roundtime;
+pub mod select;
+pub mod trainer;
+
+mod error;
+
+pub use error::SimError;
+
+/// Convenience alias for results produced by the simulator.
+pub type Result<T> = std::result::Result<T, SimError>;

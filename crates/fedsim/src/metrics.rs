@@ -1,0 +1,159 @@
+//! Per-client accuracy statistics.
+//!
+//! The paper reports the mean accuracy over all clients, the
+//! inter-quartile range (IQR) of per-client accuracies (Table 2), and
+//! full per-client distributions as box plots (Fig. 6).
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary of a per-client accuracy distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Minimum value.
+    pub min: f32,
+    /// 25th percentile.
+    pub q1: f32,
+    /// Median.
+    pub median: f32,
+    /// 75th percentile.
+    pub q3: f32,
+    /// Maximum value.
+    pub max: f32,
+    /// Arithmetic mean.
+    pub mean: f32,
+}
+
+impl BoxStats {
+    /// Inter-quartile range `q3 - q1`, Table 2's IQR column.
+    pub fn iqr(&self) -> f32 {
+        self.q3 - self.q1
+    }
+}
+
+/// Linear-interpolation percentile of a sorted slice.
+fn percentile_sorted(sorted: &[f32], p: f32) -> f32 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p * (sorted.len() - 1) as f32;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f32;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Computes the five-number summary of `values`.
+///
+/// Returns all-zero stats for an empty input.
+pub fn box_stats(values: &[f32]) -> BoxStats {
+    if values.is_empty() {
+        return BoxStats {
+            min: 0.0,
+            q1: 0.0,
+            median: 0.0,
+            q3: 0.0,
+            max: 0.0,
+            mean: 0.0,
+        };
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    BoxStats {
+        min: sorted[0],
+        q1: percentile_sorted(&sorted, 0.25),
+        median: percentile_sorted(&sorted, 0.5),
+        q3: percentile_sorted(&sorted, 0.75),
+        max: sorted[sorted.len() - 1],
+        mean: values.iter().sum::<f32>() / values.len() as f32,
+    }
+}
+
+/// Mean of a slice; zero when empty.
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f32>() / values.len() as f32
+    }
+}
+
+/// Sample standard deviation; zero for fewer than two values.
+pub fn std_dev(values: &[f32]) -> f32 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f32>() / (values.len() - 1) as f32;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_stats_of_known_values() {
+        let s = box_stats(&[0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.median, 0.5);
+        assert_eq!(s.max, 1.0);
+        assert_eq!(s.q1, 0.25);
+        assert_eq!(s.q3, 0.75);
+        assert!((s.iqr() - 0.5).abs() < 1e-6);
+        assert!((s.mean - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn box_stats_handle_singleton_and_empty() {
+        let s = box_stats(&[0.7]);
+        assert_eq!(s.min, 0.7);
+        assert_eq!(s.max, 0.7);
+        assert_eq!(s.iqr(), 0.0);
+        let e = box_stats(&[]);
+        assert_eq!(e.mean, 0.0);
+    }
+
+    #[test]
+    fn std_dev_matches_manual() {
+        let v = [2.0f32, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        // Sample std of this classic example is ~2.138.
+        assert!((std_dev(&v) - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = box_stats(&[0.0, 1.0]);
+        assert!((s.median - 0.5).abs() < 1e-6);
+        assert!((s.q1 - 0.25).abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn box_stats_with_identical_values() {
+        let s = box_stats(&[0.4; 10]);
+        assert_eq!(s.min, 0.4);
+        assert_eq!(s.max, 0.4);
+        assert_eq!(s.iqr(), 0.0);
+    }
+
+    #[test]
+    fn box_stats_are_order_invariant() {
+        let a = box_stats(&[0.1, 0.9, 0.5, 0.3, 0.7]);
+        let b = box_stats(&[0.9, 0.1, 0.7, 0.5, 0.3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert_eq!(std_dev(&[1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+}

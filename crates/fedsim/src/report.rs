@@ -1,0 +1,56 @@
+//! Shared run-report types.
+//!
+//! FedTrans and every baseline produce the same telemetry so the bench
+//! harness can print Table 2 rows and Fig. 6/7 series uniformly.
+
+use serde::Serialize;
+
+use crate::metrics::BoxStats;
+
+/// Per-round telemetry common to all methods.
+#[derive(Debug, Clone, Serialize)]
+pub struct RoundReport {
+    /// Round index (0-based).
+    pub round: u32,
+    /// Mean training loss over this round's participants.
+    pub mean_loss: f32,
+    /// Number of participants that trained.
+    pub participants: usize,
+    /// Size of the model suite after this round (1 for single-model
+    /// methods).
+    pub num_models: usize,
+    /// Whether the method changed its model suite this round
+    /// (FedTrans transformation; always false for baselines).
+    pub transformed: bool,
+    /// Cumulative training cost in PMACs.
+    pub cumulative_pmacs: f64,
+    /// Synchronous round completion time (slowest participant), seconds.
+    pub round_time_s: f64,
+}
+
+/// Full-run outcome: everything the paper's tables and figures need.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Per-round telemetry.
+    pub rounds: Vec<RoundReport>,
+    /// Five-number summary of final per-client accuracy.
+    pub final_accuracy: BoxStats,
+    /// Final accuracy of every client on its assigned/compatible model.
+    pub per_client_accuracy: Vec<f32>,
+    /// Which model (suite index / width level) each client evaluated on.
+    pub per_client_model: Vec<usize>,
+    /// Total training cost in PMACs.
+    pub pmacs: f64,
+    /// Total network volume in MB.
+    pub network_mb: f64,
+    /// Server storage footprint in MB.
+    pub storage_mb: f64,
+    /// Architecture summary of every model/level.
+    pub model_archs: Vec<String>,
+    /// Forward MACs per sample of every model/level.
+    pub model_macs: Vec<u64>,
+    /// `(cumulative PMACs, mean accuracy)` checkpoints (Fig. 7 series).
+    pub accuracy_curve: Vec<(f64, f32)>,
+    /// Every participant-round completion time, seconds (Table 6).
+    pub client_times_s: Vec<f32>,
+}

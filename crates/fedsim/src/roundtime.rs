@@ -1,0 +1,68 @@
+//! Round-completion-time model for the straggler analysis.
+//!
+//! Appendix C of the paper argues FedTrans mitigates stragglers because
+//! each client trains a model sized to its hardware. We model a
+//! client's round time as compute time (training MACs over device
+//! speed) plus communication time (model bytes over bandwidth, both
+//! directions), and a round's completion time as the slowest
+//! participant — the synchronous-FL convention.
+
+use crate::costs::TRAIN_MACS_MULTIPLIER;
+use crate::device::DeviceProfile;
+
+/// Seconds for one client to complete a round: local training of
+/// `samples` samples on a model of `model_macs`, plus download and
+/// upload of `param_count` parameters.
+pub fn client_round_time(
+    profile: &DeviceProfile,
+    model_macs: u64,
+    param_count: usize,
+    samples: u64,
+) -> f64 {
+    let compute_macs = (model_macs as f64) * (samples as f64) * TRAIN_MACS_MULTIPLIER as f64;
+    let compute_s = compute_macs / profile.speed_macs_per_s;
+    let bytes = param_count as f64 * 4.0 * 2.0;
+    let comm_s = bytes / profile.bandwidth_bytes_per_s;
+    compute_s + comm_s
+}
+
+/// A synchronous round finishes when its slowest participant does.
+pub fn round_completion(client_times: &[f64]) -> f64 {
+    client_times.iter().copied().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(speed: f64, bw: f64) -> DeviceProfile {
+        DeviceProfile {
+            capacity_macs: u64::MAX,
+            speed_macs_per_s: speed,
+            bandwidth_bytes_per_s: bw,
+        }
+    }
+
+    #[test]
+    fn time_decomposes_into_compute_and_comm() {
+        let p = profile(3e6, 8e3);
+        // 1000 MACs * 100 samples * 3 = 3e5 MACs -> 0.1 s compute.
+        // 1000 params * 8 bytes -> 8000 bytes -> 1 s comm.
+        let t = client_round_time(&p, 1000, 1000, 100);
+        assert!((t - 1.1).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn smaller_model_is_faster() {
+        let p = profile(1e6, 1e6);
+        let small = client_round_time(&p, 1_000, 500, 200);
+        let large = client_round_time(&p, 10_000, 5_000, 200);
+        assert!(small < large);
+    }
+
+    #[test]
+    fn round_time_is_slowest_client() {
+        assert_eq!(round_completion(&[0.5, 2.0, 1.0]), 2.0);
+        assert_eq!(round_completion(&[]), 0.0);
+    }
+}

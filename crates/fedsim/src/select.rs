@@ -1,0 +1,77 @@
+//! Per-round participant selection.
+//!
+//! The paper's coordinator selects `N` clients uniformly at random each
+//! round (`Select(C, N)` in Algorithm 1). A deterministic round-robin
+//! selector is also provided for tests that need full coverage.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Selects `n` distinct client indices uniformly at random from
+/// `0..population`.
+///
+/// Returns fewer than `n` indices when the population is smaller.
+pub fn uniform(rng: &mut impl Rng, population: usize, n: usize) -> Vec<usize> {
+    let mut all: Vec<usize> = (0..population).collect();
+    all.shuffle(rng);
+    all.truncate(n.min(population));
+    all
+}
+
+/// Deterministic round-robin selection: round `r` takes the next `n`
+/// indices modulo the population, guaranteeing every client
+/// participates regularly. Used by ablation tests.
+pub fn round_robin(round: usize, population: usize, n: usize) -> Vec<usize> {
+    if population == 0 {
+        return Vec::new();
+    }
+    let n = n.min(population);
+    (0..n).map(|i| (round * n + i) % population).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_selects_distinct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let sel = uniform(&mut rng, 100, 10);
+        assert_eq!(sel.len(), 10);
+        let mut dedup = sel.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+    }
+
+    #[test]
+    fn uniform_handles_small_population() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(uniform(&mut rng, 3, 10).len(), 3);
+        assert!(uniform(&mut rng, 0, 10).is_empty());
+    }
+
+    #[test]
+    fn round_robin_covers_everyone() {
+        let mut seen = vec![false; 10];
+        for round in 0..5 {
+            for idx in round_robin(round, 10, 2) {
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_eventually_covers_population() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut seen = vec![false; 20];
+        for _ in 0..60 {
+            for idx in uniform(&mut rng, 20, 5) {
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,288 @@
+//! Local training executor.
+//!
+//! Each participant downloads its assigned model, runs `local_steps`
+//! SGD steps on batches of its own shard (the paper uses 20 steps of
+//! batch size 10), and uploads its weights, aggregate update, and mean
+//! training loss — exactly the feedback FedTrans's coordinator consumes
+//! (Algorithm 1, line 10).
+
+use rand::SeedableRng;
+
+use ft_data::ClientData;
+use ft_model::CellModel;
+use ft_nn::{ProxSgd, Sgd};
+use ft_tensor::Tensor;
+
+use crate::{Result, SimError};
+
+/// Hyperparameters for one client's local training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalTrainConfig {
+    /// Number of local SGD steps (paper default: 20).
+    pub local_steps: usize,
+    /// Batch size (paper default: 10).
+    pub batch_size: usize,
+    /// Client learning rate (paper default: 0.05).
+    pub lr: f32,
+    /// SGD momentum (0 disables).
+    pub momentum: f32,
+    /// FedProx proximal coefficient; `None` runs plain SGD.
+    pub prox_mu: Option<f32>,
+}
+
+impl Default for LocalTrainConfig {
+    fn default() -> Self {
+        LocalTrainConfig {
+            local_steps: 20,
+            batch_size: 10,
+            lr: 0.05,
+            momentum: 0.0,
+            prox_mu: None,
+        }
+    }
+}
+
+/// What a participant uploads after local training.
+#[derive(Debug, Clone)]
+pub struct LocalOutcome {
+    /// Index of the client that trained.
+    pub client: usize,
+    /// Final local weights, tensor-per-tensor.
+    pub weights: Vec<Tensor>,
+    /// Aggregate update `w_local - w_global`, the pseudo-gradient the
+    /// coordinator uses for cell activeness.
+    pub delta: Vec<Tensor>,
+    /// Mean training loss over the local steps.
+    pub avg_loss: f32,
+    /// Mean training accuracy over the local steps.
+    pub avg_acc: f32,
+    /// Number of samples processed (for MAC accounting).
+    pub samples_processed: u64,
+}
+
+/// Runs local training for one client on `model` (which enters holding
+/// the coordinator's weights and leaves holding the local weights).
+///
+/// # Errors
+///
+/// Propagates model/layer errors (geometry mismatches).
+pub fn train_local(
+    model: &mut CellModel,
+    client_index: usize,
+    shard: &ClientData,
+    cfg: &LocalTrainConfig,
+    seed: u64,
+) -> Result<LocalOutcome> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let global = model.snapshot();
+    let mut sgd = Sgd::new(cfg.lr).with_momentum(cfg.momentum);
+    let mut prox = cfg
+        .prox_mu
+        .map(|mu| ProxSgd::new(cfg.lr, mu, global.clone()));
+
+    let mut loss_sum = 0.0f32;
+    let mut acc_sum = 0.0f32;
+    let mut samples = 0u64;
+    for _ in 0..cfg.local_steps {
+        let (x, labels) = shard.sample_batch(&mut rng, cfg.batch_size);
+        samples += labels.len() as u64;
+        model.zero_grad();
+        let (loss, acc) = model.loss_and_grad(&x, &labels)?;
+        loss_sum += loss;
+        acc_sum += acc;
+        let grads: Vec<Tensor> = model.grad_tensors().into_iter().cloned().collect();
+        let grad_refs: Vec<&Tensor> = grads.iter().collect();
+        let mut params = model.param_tensors_mut();
+        match &mut prox {
+            Some(p) => p.step(&mut params, &grad_refs).map_err(ft_model::ModelError::from)?,
+            None => sgd.step(&mut params, &grad_refs).map_err(ft_model::ModelError::from)?,
+        }
+    }
+
+    let weights = model.snapshot();
+    let delta: Vec<Tensor> = weights
+        .iter()
+        .zip(&global)
+        .map(|(w, g)| w.sub(g).expect("same shapes by construction"))
+        .collect();
+    let steps = cfg.local_steps.max(1) as f32;
+    Ok(LocalOutcome {
+        client: client_index,
+        weights,
+        delta,
+        avg_loss: loss_sum / steps,
+        avg_acc: acc_sum / steps,
+        samples_processed: samples,
+    })
+}
+
+/// Trains many participants in parallel across OS threads.
+///
+/// `assignments` pairs each participating client index with the model it
+/// downloads (already holding coordinator weights). Outcomes are
+/// returned in the same order as `assignments`.
+///
+/// # Errors
+///
+/// Returns the first training error, or [`SimError::WorkerPanicked`] if
+/// a worker thread dies.
+pub fn train_participants(
+    assignments: Vec<(usize, CellModel)>,
+    shards: &[ClientData],
+    cfg: &LocalTrainConfig,
+    round_seed: u64,
+) -> Result<Vec<LocalOutcome>> {
+    let n = assignments.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    for (client, _) in &assignments {
+        if *client >= shards.len() {
+            return Err(SimError::NoSuchClient {
+                index: *client,
+                clients: shards.len(),
+            });
+        }
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let work: Vec<(usize, (usize, CellModel))> = assignments.into_iter().enumerate().collect();
+    let queue = parking_lot::Mutex::new(work);
+    let results = parking_lot::Mutex::new(vec![None; n]);
+    let first_error = parking_lot::Mutex::new(None::<SimError>);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let item = queue.lock().pop();
+                let Some((slot, (client, mut model))) = item else { break };
+                let seed = round_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(client as u64);
+                match train_local(&mut model, client, &shards[client], cfg, seed) {
+                    Ok(outcome) => {
+                        results.lock()[slot] = Some(outcome);
+                    }
+                    Err(e) => {
+                        let mut guard = first_error.lock();
+                        if guard.is_none() {
+                            *guard = Some(e);
+                        }
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .map_err(|_| SimError::WorkerPanicked)?;
+
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    let collected: Option<Vec<LocalOutcome>> = results.into_inner().into_iter().collect();
+    collected.ok_or(SimError::WorkerPanicked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_data::DatasetConfig;
+
+    fn tiny() -> (ft_data::FederatedDataset, CellModel) {
+        let data = DatasetConfig::femnist_like()
+            .with_num_clients(4)
+            .with_mean_samples(30)
+            .generate();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let model = CellModel::dense(&mut rng, data.input_dim(), &[16], data.num_classes());
+        (data, model)
+    }
+
+    #[test]
+    fn local_training_reduces_loss() {
+        let (data, model) = tiny();
+        let cfg = LocalTrainConfig {
+            local_steps: 40,
+            lr: 0.1,
+            ..Default::default()
+        };
+        let mut m = model.clone();
+        let out = train_local(&mut m, 0, data.client(0), &cfg, 1).unwrap();
+        // Re-evaluate at final weights: loss should be below the initial.
+        let (x, y) = data.client(0).train_all();
+        let mut fresh = model.clone();
+        let (initial_loss, _) = fresh.evaluate(&x, &y).unwrap();
+        let (final_loss, _) = m.evaluate(&x, &y).unwrap();
+        assert!(final_loss < initial_loss, "{final_loss} !< {initial_loss}");
+        assert_eq!(out.samples_processed, 40 * 10.min(data.client(0).train_len()) as u64);
+    }
+
+    #[test]
+    fn delta_is_local_minus_global() {
+        let (data, model) = tiny();
+        let global = model.snapshot();
+        let mut m = model.clone();
+        let out = train_local(&mut m, 1, data.client(1), &LocalTrainConfig::default(), 2).unwrap();
+        for ((w, g), d) in out.weights.iter().zip(&global).zip(&out.delta) {
+            let recon = g.add(d).unwrap();
+            for (a, b) in recon.data().iter().zip(w.data()) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn prox_keeps_weights_closer_to_global() {
+        let (data, model) = tiny();
+        let mut plain = model.clone();
+        let mut proxed = model.clone();
+        let base = LocalTrainConfig {
+            local_steps: 30,
+            lr: 0.1,
+            ..Default::default()
+        };
+        let prox_cfg = LocalTrainConfig {
+            prox_mu: Some(1.0),
+            ..base
+        };
+        let o1 = train_local(&mut plain, 0, data.client(0), &base, 3).unwrap();
+        let o2 = train_local(&mut proxed, 0, data.client(0), &prox_cfg, 3).unwrap();
+        let drift = |delta: &[Tensor]| delta.iter().map(|t| t.norm()).sum::<f32>();
+        assert!(drift(&o2.delta) < drift(&o1.delta));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (data, model) = tiny();
+        let cfg = LocalTrainConfig::default();
+        let assignments: Vec<(usize, CellModel)> =
+            (0..3).map(|c| (c, model.clone())).collect();
+        let par = train_participants(assignments, data.clients(), &cfg, 77).unwrap();
+        for (i, outcome) in par.iter().enumerate() {
+            let mut m = model.clone();
+            let seed = 77u64
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64);
+            let serial = train_local(&mut m, i, data.client(i), &cfg, seed).unwrap();
+            assert_eq!(outcome.client, serial.client);
+            assert!((outcome.avg_loss - serial.avg_loss).abs() < 1e-6);
+            for (a, b) in outcome.weights.iter().zip(&serial.weights) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_rejects_unknown_client() {
+        let (data, model) = tiny();
+        let err = train_participants(
+            vec![(99, model)],
+            data.clients(),
+            &LocalTrainConfig::default(),
+            0,
+        );
+        assert!(err.is_err());
+    }
+}

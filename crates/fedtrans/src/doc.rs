@@ -1,0 +1,146 @@
+//! Degree-of-convergence tracking (Eq. 1 of the paper).
+//!
+//! The DoC at round `i` averages `γ` consecutive loss slopes, each
+//! computed with step `δ`:
+//!
+//! ```text
+//! DoC = (1/γ) Σ_{k=0}^{γ-1} ( L(i-δ-k) - L(i-k) ) / δ
+//! ```
+//!
+//! A small DoC means the moving training loss has flattened — the elbow
+//! of the curve — which is FedTrans's signal that the current model is
+//! mature enough to seed a transformation.
+
+use serde::{Deserialize, Serialize};
+
+/// Rolling loss history with DoC computation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DocTracker {
+    gamma: usize,
+    delta: usize,
+    losses: Vec<f32>,
+}
+
+impl DocTracker {
+    /// Creates a tracker with slope window `gamma` and slope step
+    /// `delta` (both ≥ 1; values of 0 are bumped to 1).
+    pub fn new(gamma: usize, delta: usize) -> Self {
+        DocTracker {
+            gamma: gamma.max(1),
+            delta: delta.max(1),
+            losses: Vec::new(),
+        }
+    }
+
+    /// Records the mean training loss of one round.
+    pub fn record(&mut self, loss: f32) {
+        self.losses.push(loss);
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.losses.len()
+    }
+
+    /// Whether no rounds have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.losses.is_empty()
+    }
+
+    /// Full loss history.
+    pub fn losses(&self) -> &[f32] {
+        &self.losses
+    }
+
+    /// Clears the history (called right after a transformation so the
+    /// next decision reflects the new model suite).
+    pub fn reset(&mut self) {
+        self.losses.clear();
+    }
+
+    /// The degree of convergence per Eq. 1, or `None` until
+    /// `γ + δ` rounds of history exist.
+    pub fn doc(&self) -> Option<f32> {
+        let n = self.losses.len();
+        if n < self.gamma + self.delta {
+            return None;
+        }
+        let mut acc = 0.0f32;
+        for k in 0..self.gamma {
+            let now = self.losses[n - 1 - k];
+            let before = self.losses[n - 1 - k - self.delta];
+            acc += (before - now) / self.delta as f32;
+        }
+        Some(acc / self.gamma as f32)
+    }
+
+    /// Whether the tracked loss has reached the elbow (`DoC ≤ β`).
+    pub fn converged(&self, beta: f32) -> bool {
+        self.doc().is_some_and(|d| d <= beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_unavailable_without_history() {
+        let mut t = DocTracker::new(3, 2);
+        assert!(t.doc().is_none());
+        for _ in 0..4 {
+            t.record(1.0);
+        }
+        assert!(t.doc().is_none());
+        t.record(1.0);
+        assert!(t.doc().is_some());
+    }
+
+    #[test]
+    fn steep_descent_has_high_doc() {
+        let mut t = DocTracker::new(3, 1);
+        for i in 0..10 {
+            t.record(10.0 - i as f32); // slope 1 per round
+        }
+        let d = t.doc().unwrap();
+        assert!((d - 1.0).abs() < 1e-5, "doc {d}");
+        assert!(!t.converged(0.5));
+    }
+
+    #[test]
+    fn flat_loss_has_zero_doc() {
+        let mut t = DocTracker::new(4, 2);
+        for _ in 0..12 {
+            t.record(0.7);
+        }
+        assert!(t.doc().unwrap().abs() < 1e-6);
+        assert!(t.converged(0.003));
+    }
+
+    #[test]
+    fn larger_delta_smooths_oscillation() {
+        // Oscillating loss: slope with delta=1 swings wildly; delta=4
+        // sees the oscillation-free trend.
+        let losses: Vec<f32> = (0..40)
+            .map(|i| 1.0 + if i % 2 == 0 { 0.2 } else { -0.2 })
+            .collect();
+        let mut fine = DocTracker::new(4, 1);
+        let mut coarse = DocTracker::new(4, 4);
+        for &l in &losses {
+            fine.record(l);
+            coarse.record(l);
+        }
+        assert!(coarse.doc().unwrap().abs() < fine.doc().unwrap().abs() + 1e-6);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut t = DocTracker::new(2, 1);
+        for _ in 0..5 {
+            t.record(1.0);
+        }
+        t.reset();
+        assert!(t.is_empty());
+        assert!(t.doc().is_none());
+    }
+}

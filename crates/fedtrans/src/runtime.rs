@@ -1,0 +1,509 @@
+//! The FedTrans coordinator loop (Algorithm 1).
+//!
+//! Each round: select participants, assign each a compatible model via
+//! utility sampling, train locally (in parallel), account costs, update
+//! utilities, soft-aggregate the model suite, and — when the loss curve
+//! reaches its elbow — transform the newest model into a larger one.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use ft_data::{FederatedDataset, InputSpec};
+use ft_fedsim::costs::{storage_mb, CostMeter};
+use ft_fedsim::device::DeviceTrace;
+use ft_fedsim::metrics::{box_stats, BoxStats};
+use ft_fedsim::roundtime::client_round_time;
+use ft_fedsim::trainer::{train_participants, LocalOutcome};
+use ft_fedsim::report::{RoundReport, RunReport};
+use ft_fedsim::select;
+use ft_model::{similarity::similarity_matrix, CellModel};
+use ft_tensor::Tensor;
+
+use crate::{
+    ActivenessTracker, ClientManager, FedTransConfig, FedTransError, ModelAggregator,
+    ModelTransformer, Result,
+};
+
+/// Builds the seed model: the largest architecture of the matching
+/// family whose training complexity fits the least capable device
+/// (§5.1: "the initial model's complexity corresponds to the client
+/// with the lowest computation capacity").
+pub fn seed_model(
+    rng: &mut impl Rng,
+    input: InputSpec,
+    classes: usize,
+    budget_macs: u64,
+) -> CellModel {
+    match input {
+        InputSpec::Flat { dim } => {
+            for h in [64usize, 48, 32, 24, 16, 12, 8, 6, 4] {
+                let m = CellModel::dense(rng, dim, &[h, h], classes);
+                if m.macs_per_sample() <= budget_macs {
+                    return m;
+                }
+            }
+            CellModel::dense(rng, dim, &[4, 4], classes)
+        }
+        InputSpec::Image { channels, height, width } => {
+            for c in [16usize, 12, 8, 6, 4, 3, 2] {
+                let m = CellModel::conv(rng, channels, height, width, &[c, c], 3, classes);
+                if m.macs_per_sample() <= budget_macs {
+                    return m;
+                }
+            }
+            CellModel::conv(rng, channels, height, width, &[2, 2], 3, classes)
+        }
+        InputSpec::Tokens { tokens, d_model } => {
+            for f in [64usize, 32, 16, 8, 4] {
+                let m = CellModel::vit(rng, tokens, d_model, 1, f, classes);
+                if m.macs_per_sample() <= budget_macs {
+                    return m;
+                }
+            }
+            CellModel::vit(rng, tokens, d_model, 1, 4, classes)
+        }
+    }
+}
+
+/// The FedTrans coordinator.
+pub struct FedTransRuntime {
+    cfg: FedTransConfig,
+    data: FederatedDataset,
+    devices: DeviceTrace,
+    models: Vec<CellModel>,
+    /// Round each model was created, for age-based sharing decay.
+    model_birth: Vec<u32>,
+    manager: ClientManager,
+    aggregator: ModelAggregator,
+    transformer: ModelTransformer,
+    activeness: ActivenessTracker,
+    cost: CostMeter,
+    sims: Vec<Vec<f32>>,
+    rng: rand::rngs::StdRng,
+    round: u32,
+    history: Vec<RoundReport>,
+    curve: Vec<(f64, f32)>,
+    client_times: Vec<f32>,
+    eval_every: Option<usize>,
+}
+
+impl FedTransRuntime {
+    /// Creates a runtime with an automatically sized seed model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedTransError::BadConfig`] when the config is invalid
+    /// or the device trace does not cover the client population.
+    pub fn new(
+        cfg: FedTransConfig,
+        data: FederatedDataset,
+        devices: DeviceTrace,
+    ) -> Result<Self> {
+        cfg.validate().map_err(|detail| FedTransError::BadConfig { detail })?;
+        if devices.len() < data.num_clients() {
+            return Err(FedTransError::BadConfig {
+                detail: format!(
+                    "device trace has {} profiles for {} clients",
+                    devices.len(),
+                    data.num_clients()
+                ),
+            });
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+        let seed =
+            seed_model(&mut rng, data.input(), data.num_classes(), devices.min_capacity());
+        Self::with_seed_model(cfg, data, devices, seed)
+    }
+
+    /// Creates a runtime from an explicit seed model (used by the ViT
+    /// experiment and tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedTransError::BadConfig`] on invalid configuration.
+    pub fn with_seed_model(
+        cfg: FedTransConfig,
+        data: FederatedDataset,
+        devices: DeviceTrace,
+        seed: CellModel,
+    ) -> Result<Self> {
+        cfg.validate().map_err(|detail| FedTransError::BadConfig { detail })?;
+        if seed.input_width() != data.input_dim() {
+            return Err(FedTransError::BadConfig {
+                detail: format!(
+                    "seed model expects {} inputs, dataset provides {}",
+                    seed.input_width(),
+                    data.input_dim()
+                ),
+            });
+        }
+        let rng = rand::rngs::StdRng::seed_from_u64(cfg.seed.wrapping_add(1));
+        let manager = ClientManager::new(data.num_clients());
+        let aggregator = ModelAggregator::new(&cfg);
+        let transformer = ModelTransformer::new(&cfg);
+        let activeness = ActivenessTracker::new(cfg.activeness_window);
+        let sims = vec![vec![1.0]];
+        Ok(FedTransRuntime {
+            cfg,
+            data,
+            devices,
+            models: vec![seed],
+            model_birth: vec![0],
+            manager,
+            aggregator,
+            transformer,
+            activeness,
+            cost: CostMeter::new(),
+            sims,
+            rng,
+            round: 0,
+            history: Vec::new(),
+            curve: Vec::new(),
+            client_times: Vec::new(),
+            eval_every: None,
+        })
+    }
+
+    /// Requests a `(cost, accuracy)` checkpoint every `rounds` rounds
+    /// (the Fig. 7 cost-to-accuracy series).
+    pub fn set_eval_every(&mut self, rounds: usize) {
+        self.eval_every = Some(rounds.max(1));
+    }
+
+    /// The current model suite.
+    pub fn models(&self) -> &[CellModel] {
+        &self.models
+    }
+
+    /// The dataset this runtime trains on.
+    pub fn data(&self) -> &FederatedDataset {
+        &self.data
+    }
+
+    /// Forward MACs per sample for each model in the suite.
+    pub fn model_macs(&self) -> Vec<u64> {
+        self.models.iter().map(CellModel::macs_per_sample).collect()
+    }
+
+    /// Per-client device capacities.
+    fn capacities(&self) -> Vec<u64> {
+        (0..self.data.num_clients())
+            .map(|c| self.devices.profile(c).capacity_macs)
+            .collect()
+    }
+
+    /// Runs one round (Algorithm 1 body). Returns the round report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training and surgery errors.
+    pub fn step(&mut self) -> Result<RoundReport> {
+        let macs = self.model_macs();
+        let capacities = self.capacities();
+
+        // 1. Participant selection.
+        let participants = select::uniform(
+            &mut self.rng,
+            self.data.num_clients(),
+            self.cfg.clients_per_round,
+        );
+
+        // 2. Utility-based model assignment (§4.2).
+        let mut assignments: Vec<(usize, CellModel)> = Vec::with_capacity(participants.len());
+        let mut assigned_model: Vec<usize> = Vec::with_capacity(participants.len());
+        for &c in &participants {
+            let compatible = ClientManager::compatible_models(&macs, capacities[c]);
+            let n = self.manager.assign(&mut self.rng, c, &compatible);
+            assigned_model.push(n);
+            assignments.push((c, self.models[n].clone()));
+        }
+
+        // 3. Parallel local training.
+        let outcomes = train_participants(
+            assignments,
+            self.data.clients(),
+            &self.cfg.local,
+            self.cfg.seed.wrapping_add(self.round as u64),
+        )?;
+
+        // 4. Cost accounting and round time.
+        let mut times = Vec::with_capacity(outcomes.len());
+        for (outcome, &n) in outcomes.iter().zip(&assigned_model) {
+            self.cost.record_local_training(macs[n], outcome.samples_processed);
+            self.cost.record_model_transfer(self.models[n].param_count() as u64);
+            self.cost.record_extra_bytes(4); // the scalar loss upload
+            let t = client_round_time(
+                self.devices.profile(outcome.client),
+                macs[n],
+                self.models[n].param_count(),
+                outcome.samples_processed,
+            );
+            times.push(t as f32);
+        }
+        self.client_times.extend(&times);
+        let round_time = times.iter().copied().fold(0.0f32, f32::max) as f64;
+
+        // 5. Group outcomes per model, FedAvg, soft aggregation (§4.3).
+        let mut per_model_updates: HashMap<usize, Vec<(Vec<Tensor>, u64)>> = HashMap::new();
+        let mut per_model_deltas: HashMap<usize, Vec<&LocalOutcome>> = HashMap::new();
+        for (outcome, &n) in outcomes.iter().zip(&assigned_model) {
+            per_model_updates
+                .entry(n)
+                .or_default()
+                .push((outcome.weights.clone(), outcome.samples_processed));
+            per_model_deltas.entry(n).or_default().push(outcome);
+        }
+        let fedavg: Vec<Option<Vec<Tensor>>> = (0..self.models.len())
+            .map(|n| per_model_updates.get(&n).and_then(|u| ModelAggregator::fedavg(u)))
+            .collect();
+        let ages: Vec<u32> = self
+            .model_birth
+            .iter()
+            .map(|&b| self.round.saturating_sub(b))
+            .collect();
+        let new_weights =
+            self.aggregator
+                .soft_aggregate(&self.models, &fedavg, &self.sims, &ages);
+        for (model, weights) in self.models.iter_mut().zip(&new_weights) {
+            model.restore(weights)?;
+        }
+
+        // 6. Activeness from aggregate deltas (never per-client grads).
+        for (n, deltas) in &per_model_deltas {
+            let count = deltas.len() as f32;
+            let mut mean_delta: Vec<Tensor> = deltas[0]
+                .delta
+                .iter()
+                .map(|t| Tensor::zeros(t.shape().dims()))
+                .collect();
+            for outcome in deltas {
+                for (m, d) in mean_delta.iter_mut().zip(&outcome.delta) {
+                    m.axpy(1.0 / count, d).expect("same shapes per model");
+                }
+            }
+            self.activeness.record_round(&self.models[*n], &mean_delta);
+        }
+
+        // 7. Joint utility update (Eq. 4).
+        let participation: Vec<(usize, usize, f32)> = outcomes
+            .iter()
+            .zip(&assigned_model)
+            .map(|(o, &n)| (o.client, n, o.avg_loss))
+            .collect();
+        self.manager.update(&participation, &self.sims, &macs, &capacities);
+
+        // 8. Transformation (§4.1), seeded from the newest model.
+        let losses: Vec<f32> = outcomes.iter().map(|o| o.avg_loss).collect();
+        let mean_loss = ft_fedsim::metrics::mean(&losses);
+        self.transformer.record_loss(mean_loss);
+        let parent_index = self.models.len() - 1;
+        let parent_acts = self.activeness.model_activeness(&self.models[parent_index]);
+        let transformed = if let Some((child, _decision)) = self.transformer.maybe_transform(
+            &self.models[parent_index],
+            &parent_acts,
+            self.devices.max_capacity(),
+            self.models.len(),
+            &mut self.rng,
+        )? {
+            self.models.push(child);
+            self.model_birth.push(self.round + 1);
+            self.manager.register_model(parent_index);
+            let refs: Vec<&CellModel> = self.models.iter().collect();
+            self.sims = similarity_matrix(&refs);
+            true
+        } else {
+            false
+        };
+
+        self.cost.finish_round();
+        let report = RoundReport {
+            round: self.round,
+            mean_loss,
+            participants: outcomes.len(),
+            num_models: self.models.len(),
+            transformed,
+            cumulative_pmacs: self.cost.train_pmacs(),
+            round_time_s: round_time,
+        };
+        self.round += 1;
+        self.history.push(report.clone());
+
+        if let Some(every) = self.eval_every {
+            if self.round as usize % every == 0 {
+                let (stats, _, _) = self.evaluate()?;
+                self.curve.push((self.cost.train_pmacs(), stats.mean));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Evaluates every client on its best-utility compatible model
+    /// (§5.1's protocol). Returns `(summary, per-client accuracy,
+    /// per-client model index)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn evaluate(&mut self) -> Result<(BoxStats, Vec<f32>, Vec<usize>)> {
+        let macs = self.model_macs();
+        let capacities = self.capacities();
+        let mut accs = Vec::with_capacity(self.data.num_clients());
+        let mut chosen = Vec::with_capacity(self.data.num_clients());
+        for c in 0..self.data.num_clients() {
+            let compatible = ClientManager::compatible_models(&macs, capacities[c]);
+            let best = self.manager.best_model(c, &compatible);
+            chosen.push(best);
+            let acc = match self.data.client(c).test_all() {
+                Some((x, y)) => {
+                    let mut m = self.models[best].clone();
+                    let (_, acc) = m.evaluate(&x, &y)?;
+                    acc
+                }
+                None => 0.0,
+            };
+            accs.push(acc);
+        }
+        Ok((box_stats(&accs), accs, chosen))
+    }
+
+    /// Runs `rounds` rounds and produces the full report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-round errors.
+    pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
+        for _ in 0..rounds {
+            self.step()?;
+        }
+        self.report()
+    }
+
+    /// Produces the report for the rounds run so far.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn report(&mut self) -> Result<RunReport> {
+        let (final_accuracy, per_client_accuracy, per_client_model) = self.evaluate()?;
+        let param_counts: Vec<usize> = self.models.iter().map(CellModel::param_count).collect();
+        Ok(RunReport {
+            rounds: self.history.clone(),
+            final_accuracy,
+            per_client_accuracy,
+            per_client_model,
+            pmacs: self.cost.train_pmacs(),
+            network_mb: self.cost.network_mb(),
+            storage_mb: storage_mb(&param_counts),
+            model_archs: self.models.iter().map(CellModel::arch_string).collect(),
+            model_macs: self.model_macs(),
+            accuracy_curve: self.curve.clone(),
+            client_times_s: self.client_times.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_data::DatasetConfig;
+    use ft_fedsim::device::DeviceTraceConfig;
+    use ft_fedsim::trainer::LocalTrainConfig;
+
+    fn small_setup() -> (FedTransConfig, FederatedDataset, DeviceTrace) {
+        let data = DatasetConfig::femnist_like()
+            .with_num_clients(12)
+            .with_mean_samples(25)
+            .generate();
+        let devices = DeviceTraceConfig::default()
+            .with_num_devices(12)
+            .with_base_capacity(20_000)
+            .generate();
+        let cfg = FedTransConfig::default()
+            .with_clients_per_round(6)
+            .with_gamma(2)
+            .with_delta(2)
+            .with_local(LocalTrainConfig {
+                local_steps: 5,
+                ..Default::default()
+            });
+        (cfg, data, devices)
+    }
+
+    #[test]
+    fn runtime_rejects_short_device_trace() {
+        let (cfg, data, _) = small_setup();
+        let devices = DeviceTraceConfig::default().with_num_devices(2).generate();
+        assert!(FedTransRuntime::new(cfg, data, devices).is_err());
+    }
+
+    #[test]
+    fn seed_model_fits_budget() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let m = seed_model(&mut rng, InputSpec::Flat { dim: 48 }, 16, 50_000);
+        assert!(m.macs_per_sample() <= 50_000);
+        let img = seed_model(
+            &mut rng,
+            InputSpec::Image { channels: 1, height: 8, width: 8 },
+            10,
+            200_000,
+        );
+        assert!(img.macs_per_sample() <= 200_000);
+    }
+
+    #[test]
+    fn short_run_completes_and_reports() {
+        let (cfg, data, devices) = small_setup();
+        let mut rt = FedTransRuntime::new(cfg, data, devices).unwrap();
+        let report = rt.run(5).unwrap();
+        assert_eq!(report.rounds.len(), 5);
+        assert!(report.pmacs > 0.0);
+        assert!(report.network_mb > 0.0);
+        assert_eq!(report.per_client_accuracy.len(), 12);
+        assert!(report.final_accuracy.mean >= 0.0);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let (cfg, data, devices) = small_setup();
+        let mut a = FedTransRuntime::new(cfg.clone(), data.clone(), devices.clone()).unwrap();
+        let mut b = FedTransRuntime::new(cfg, data, devices).unwrap();
+        let ra = a.run(4).unwrap();
+        let rb = b.run(4).unwrap();
+        assert_eq!(ra.per_client_accuracy, rb.per_client_accuracy);
+        assert_eq!(ra.pmacs, rb.pmacs);
+    }
+
+    #[test]
+    fn transformation_eventually_fires() {
+        let (mut cfg, data, devices) = small_setup();
+        cfg.transform_cooldown = 4;
+        cfg.beta = 10.0; // trigger as soon as history allows
+        let mut rt = FedTransRuntime::new(cfg, data, devices).unwrap();
+        let report = rt.run(12).unwrap();
+        assert!(
+            report.model_archs.len() > 1,
+            "expected at least one transformation, archs: {:?}",
+            report.model_archs
+        );
+        // Newer models are at least as expensive.
+        let macs = &report.model_macs;
+        assert!(macs.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn eval_curve_is_recorded() {
+        let (cfg, data, devices) = small_setup();
+        let mut rt = FedTransRuntime::new(cfg, data, devices).unwrap();
+        rt.set_eval_every(2);
+        rt.run(6).unwrap();
+        let report = rt.report().unwrap();
+        assert_eq!(report.accuracy_curve.len(), 3);
+        // Cost is monotone along the curve.
+        assert!(report
+            .accuracy_curve
+            .windows(2)
+            .all(|w| w[1].0 >= w[0].0));
+    }
+}

@@ -1,0 +1,317 @@
+//! The Model Transformer (§4.1): when to transform, which cells, how.
+//!
+//! *When*: the degree of convergence (Eq. 1) of the round-mean training
+//! loss drops to `β` — the elbow of the loss curve, late enough that the
+//! warm-started weights are useful, early enough that waiting time is
+//! not wasted.
+//!
+//! *Which*: the cells whose windowed activeness `‖∇w‖/‖w‖` exceeds `α ×`
+//! the maximum activeness — the cells still fighting to fit the data.
+//!
+//! *How*: alternate widening and deepening per cell (Fig. 5's control
+//! flow): a cell that was widened in its last transformation is deepened
+//! next, and vice versa — the compound-scaling heuristic.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use ft_model::{deepen_cell, widen_cell, CellId, CellModel, TransformOp};
+
+use crate::{DocTracker, FedTransConfig, LayerSelection, Result};
+
+/// What the transformer decided for one round.
+#[derive(Debug, Clone)]
+pub struct TransformDecision {
+    /// The operations applied, in application order.
+    pub ops: Vec<TransformOp>,
+    /// The new model's identity.
+    pub child: ft_model::ModelId,
+}
+
+/// Tracks convergence and produces transformed models.
+#[derive(Debug, Clone)]
+pub struct ModelTransformer {
+    cfg: FedTransConfig,
+    doc: DocTracker,
+    /// Whether each cell's most recent transformation was a widen.
+    widened_last: HashMap<CellId, bool>,
+    rounds_since_transform: usize,
+}
+
+impl ModelTransformer {
+    /// Creates a transformer from the runtime configuration.
+    pub fn new(cfg: &FedTransConfig) -> Self {
+        ModelTransformer {
+            cfg: cfg.clone(),
+            doc: DocTracker::new(cfg.gamma, cfg.delta),
+            widened_last: HashMap::new(),
+            rounds_since_transform: 0,
+        }
+    }
+
+    /// Records one round's mean training loss.
+    pub fn record_loss(&mut self, loss: f32) {
+        self.doc.record(loss);
+        self.rounds_since_transform += 1;
+    }
+
+    /// The current degree of convergence, if enough history exists.
+    pub fn doc(&self) -> Option<f32> {
+        self.doc.doc()
+    }
+
+    /// Whether the transformer would fire this round, before budget and
+    /// capacity gates.
+    pub fn at_elbow(&self) -> bool {
+        self.rounds_since_transform >= self.cfg.transform_cooldown
+            && self.doc.converged(self.cfg.beta)
+    }
+
+    /// Selects the cell indices to transform given per-cell activeness.
+    ///
+    /// Gradient mode picks every cell with activeness `≥ α × max`;
+    /// random mode (the `-l` ablation) picks one uniform cell.
+    pub fn select_cells(&self, activeness: &[f32], rng: &mut impl Rng) -> Vec<usize> {
+        if activeness.is_empty() {
+            return Vec::new();
+        }
+        match self.cfg.layer_selection {
+            LayerSelection::Random => vec![rng.gen_range(0..activeness.len())],
+            LayerSelection::GradientActiveness => {
+                let max = activeness.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                if max <= 0.0 {
+                    return Vec::new();
+                }
+                activeness
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &a)| a >= self.cfg.alpha * max)
+                    .map(|(i, _)| i)
+                    .collect()
+            }
+        }
+    }
+
+    /// Attempts a transformation of `parent` (Algorithm 1 lines 15–22).
+    ///
+    /// Returns the warmed-up child and the decision record, or `None`
+    /// when the loss has not reached the elbow, the model budget is
+    /// exhausted, or the child would exceed the largest device capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates surgery failures.
+    pub fn maybe_transform(
+        &mut self,
+        parent: &CellModel,
+        activeness: &[f32],
+        max_capacity_macs: u64,
+        num_models: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Option<(CellModel, TransformDecision)>> {
+        if num_models >= self.cfg.max_models {
+            return Ok(None);
+        }
+        if parent.macs_per_sample() >= max_capacity_macs {
+            return Ok(None);
+        }
+        if !self.at_elbow() {
+            return Ok(None);
+        }
+        let selected = self.select_cells(activeness, rng);
+        if selected.is_empty() {
+            return Ok(None);
+        }
+
+        // Apply per-cell ops in descending index order so deepen
+        // insertions do not shift indices still pending.
+        let mut indices = selected;
+        indices.sort_unstable_by(|a, b| b.cmp(a));
+        let mut child = parent.clone();
+        let mut ops = Vec::with_capacity(indices.len());
+        for idx in indices {
+            let cell_id = child.cells()[idx].id();
+            let widen_next = !self.widened_last.get(&cell_id).copied().unwrap_or(false);
+            let op = if widen_next {
+                let next = widen_cell(&child, idx, self.cfg.widen_factor, rng)?;
+                child = next;
+                TransformOp::Widen {
+                    cell_index: idx,
+                    factor: self.cfg.widen_factor,
+                }
+            } else {
+                let next = deepen_cell(&child, idx, self.cfg.deepen_count, rng)?;
+                child = next;
+                TransformOp::Deepen {
+                    cell_index: idx,
+                    count: self.cfg.deepen_count,
+                }
+            };
+            self.widened_last.insert(cell_id, widen_next);
+            ops.push(op);
+        }
+
+        if child.macs_per_sample() > max_capacity_macs {
+            // The child would not fit any device; abandon it.
+            return Ok(None);
+        }
+        if !self.cfg.warmup {
+            // The -lsw ablation: discard inherited weights.
+            child.reinitialize(rng);
+        }
+        self.doc.reset();
+        self.rounds_since_transform = 0;
+        let decision = TransformDecision {
+            ops,
+            child: child.id(),
+        };
+        Ok(Some((child, decision)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn flat_converged(t: &mut ModelTransformer, cfg: &FedTransConfig) {
+        for _ in 0..(cfg.gamma + cfg.delta + cfg.transform_cooldown) {
+            t.record_loss(1.0);
+        }
+    }
+
+    #[test]
+    fn no_transform_before_elbow() {
+        let cfg = FedTransConfig::default();
+        let mut t = ModelTransformer::new(&cfg);
+        let parent = CellModel::dense(&mut rng(0), 4, &[8], 2);
+        // Steeply descending loss: DoC large, no transform.
+        for i in 0..40 {
+            t.record_loss(10.0 - 0.2 * i as f32);
+        }
+        let out = t
+            .maybe_transform(&parent, &[1.0], u64::MAX, 1, &mut rng(1))
+            .unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn transforms_at_elbow() {
+        let cfg = FedTransConfig::default();
+        let mut t = ModelTransformer::new(&cfg);
+        let parent = CellModel::dense(&mut rng(2), 4, &[8], 2);
+        flat_converged(&mut t, &cfg);
+        let (child, decision) = t
+            .maybe_transform(&parent, &[1.0], u64::MAX, 1, &mut rng(3))
+            .unwrap()
+            .expect("should transform at flat loss");
+        assert_eq!(child.parent(), Some(parent.id()));
+        assert_eq!(decision.ops.len(), 1);
+        assert!(matches!(decision.ops[0], TransformOp::Widen { .. }));
+    }
+
+    #[test]
+    fn alternates_widen_then_deepen() {
+        let cfg = FedTransConfig::default();
+        let mut t = ModelTransformer::new(&cfg);
+        let parent = CellModel::dense(&mut rng(4), 4, &[8], 2);
+        flat_converged(&mut t, &cfg);
+        let (gen1, d1) = t
+            .maybe_transform(&parent, &[1.0], u64::MAX, 1, &mut rng(5))
+            .unwrap()
+            .unwrap();
+        assert!(matches!(d1.ops[0], TransformOp::Widen { .. }));
+        flat_converged(&mut t, &cfg);
+        let (_, d2) = t
+            .maybe_transform(&gen1, &[1.0], u64::MAX, 2, &mut rng(6))
+            .unwrap()
+            .unwrap();
+        assert!(matches!(d2.ops[0], TransformOp::Deepen { .. }));
+    }
+
+    #[test]
+    fn respects_model_budget_and_capacity() {
+        let cfg = FedTransConfig::default();
+        let mut t = ModelTransformer::new(&cfg);
+        let parent = CellModel::dense(&mut rng(7), 4, &[8], 2);
+        flat_converged(&mut t, &cfg);
+        // Budget exhausted.
+        assert!(t
+            .maybe_transform(&parent, &[1.0], u64::MAX, cfg.max_models, &mut rng(8))
+            .unwrap()
+            .is_none());
+        // Parent already at capacity.
+        assert!(t
+            .maybe_transform(&parent, &[1.0], 1, 1, &mut rng(8))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn alpha_controls_selection_breadth() {
+        let strict = ModelTransformer::new(&FedTransConfig::default().with_alpha(0.99));
+        let loose = ModelTransformer::new(&FedTransConfig::default().with_alpha(0.5));
+        let acts = [1.0f32, 0.8, 0.6, 0.2];
+        let s = strict.select_cells(&acts, &mut rng(9));
+        let l = loose.select_cells(&acts, &mut rng(9));
+        assert_eq!(s, vec![0]);
+        assert_eq!(l, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn random_selection_picks_one() {
+        let cfg = FedTransConfig::default().ablate_layer_selection();
+        let t = ModelTransformer::new(&cfg);
+        let acts = [0.1f32, 0.9, 0.5];
+        for seed in 0..5 {
+            let sel = t.select_cells(&acts, &mut rng(seed));
+            assert_eq!(sel.len(), 1);
+            assert!(sel[0] < 3);
+        }
+    }
+
+    #[test]
+    fn no_warmup_reinitializes_child() {
+        let cfg = FedTransConfig::default().ablate_warmup();
+        let mut t = ModelTransformer::new(&cfg);
+        let mut parent = CellModel::dense(&mut rng(10), 4, &[8], 2);
+        flat_converged(&mut t, &cfg);
+        let (mut child, _) = t
+            .maybe_transform(&parent, &[1.0], u64::MAX, 1, &mut rng(11))
+            .unwrap()
+            .unwrap();
+        // A warm child computes the parent's function; a cold one must not.
+        let x = ft_tensor::uniform(&mut rng(12), &[3, 4], -1.0, 1.0);
+        let yp = parent.forward(&x).unwrap();
+        let yc = child.forward(&x).unwrap();
+        let diff: f32 = yp
+            .data()
+            .iter()
+            .zip(yc.data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-3, "re-initialized child still matched the parent");
+    }
+
+    #[test]
+    fn cooldown_blocks_back_to_back_transforms() {
+        let cfg = FedTransConfig::default();
+        let mut t = ModelTransformer::new(&cfg);
+        let parent = CellModel::dense(&mut rng(13), 4, &[8], 2);
+        flat_converged(&mut t, &cfg);
+        let (child, _) = t
+            .maybe_transform(&parent, &[1.0], u64::MAX, 1, &mut rng(14))
+            .unwrap()
+            .unwrap();
+        // Immediately after: no history, cooldown active.
+        assert!(t
+            .maybe_transform(&child, &[1.0], u64::MAX, 2, &mut rng(14))
+            .unwrap()
+            .is_none());
+    }
+}

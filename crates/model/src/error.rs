@@ -1,0 +1,68 @@
+use std::fmt;
+
+use ft_nn::NnError;
+use ft_tensor::TensorError;
+
+/// Error raised by model construction, execution, or transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A layer operation failed.
+    Nn(NnError),
+    /// A cell index was out of range for the model.
+    NoSuchCell {
+        /// The requested cell index.
+        index: usize,
+        /// Number of cells in the model.
+        cells: usize,
+    },
+    /// The requested transformation is not valid for this cell.
+    InvalidTransform {
+        /// Explanation of why the transform was rejected.
+        detail: String,
+    },
+    /// Two models that must share an architecture family do not.
+    IncompatibleModels {
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ModelError::Nn(e) => write!(f, "layer error: {e}"),
+            ModelError::NoSuchCell { index, cells } => {
+                write!(f, "cell index {index} out of range for model with {cells} cells")
+            }
+            ModelError::InvalidTransform { detail } => write!(f, "invalid transform: {detail}"),
+            ModelError::IncompatibleModels { detail } => {
+                write!(f, "incompatible models: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Tensor(e) => Some(e),
+            ModelError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for ModelError {
+    fn from(e: TensorError) -> Self {
+        ModelError::Tensor(e)
+    }
+}
+
+impl From<NnError> for ModelError {
+    fn from(e: NnError) -> Self {
+        ModelError::Nn(e)
+    }
+}

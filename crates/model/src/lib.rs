@@ -1,0 +1,49 @@
+//! Cell-based model abstraction and function-preserving transformations.
+//!
+//! FedTrans treats a model as an ordered list of [`Cell`]s (conv blocks,
+//! dense blocks, or attention blocks) terminated by a [`Head`]. The
+//! Model Transformer grows a model by **widening** a bottleneck cell
+//! (Net2WiderNet: replicate randomly chosen units and divide the fan-out
+//! weights by the replication multiplicity) or **deepening** it
+//! (Net2DeeperNet: insert an identity-initialized cell). Both operations
+//! preserve the function computed by the network, which is what lets
+//! FedTrans warm-start every new model from its parent's weights.
+//!
+//! This crate owns:
+//! - [`Cell`] / [`Head`] / [`CellModel`]: the architecture representation
+//!   with forward/backward passes, parameter access, and exact MAC and
+//!   parameter accounting;
+//! - [`transform`]: the widen/deepen surgery;
+//! - [`similarity`]: the cell-wise architectural similarity of §4.2,
+//!   used for joint utility learning and soft aggregation;
+//! - [`crop`]: HeteroFL-style shape adaptation for cross-model
+//!   weight sharing.
+//!
+//! # Example
+//!
+//! ```
+//! use ft_model::CellModel;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let model = CellModel::dense(&mut rng, 8, &[16, 16], 4);
+//! assert_eq!(model.cells().len(), 2);
+//! assert!(model.macs_per_sample() > 0);
+//! ```
+
+mod cell;
+pub mod crop;
+mod error;
+mod head;
+mod network;
+pub mod similarity;
+pub mod transform;
+
+pub use cell::{Cell, CellId, CellKind, CellOrigin};
+pub use error::ModelError;
+pub use head::Head;
+pub use network::{CellModel, ModelId};
+pub use transform::{deepen_cell, widen_cell, TransformOp, TransformRecord};
+
+/// Convenience alias for results produced by model operations.
+pub type Result<T> = std::result::Result<T, ModelError>;

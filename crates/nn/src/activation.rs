@@ -1,0 +1,93 @@
+use serde::{Deserialize, Serialize};
+
+use ft_tensor::Tensor;
+
+use crate::{NnError, Result};
+
+/// Rectified linear unit with cached activation mask.
+///
+/// All FedTrans cells use ReLU; its non-negativity is what makes the
+/// identity-initialized deepen transformation function-preserving
+/// (`relu(I · relu(x)) = relu(x)`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relu {
+    #[serde(skip)]
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a new ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+
+    /// Applies `max(0, x)` element-wise and caches the activation mask.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
+        let y = x.map(|v| if v > 0.0 { v } else { 0.0 });
+        self.mask = Some(mask);
+        y
+    }
+
+    /// Routes gradients through the cached mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForwardCache`] if called before
+    /// [`Relu::forward`], or [`NnError::BadInput`] if `dy` has a different
+    /// element count than the cached input.
+    pub fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .take()
+            .ok_or(NnError::MissingForwardCache { layer: "Relu" })?;
+        if mask.len() != dy.len() {
+            return Err(NnError::BadInput {
+                layer: "Relu",
+                detail: format!("mask len {} vs grad len {}", mask.len(), dy.len()),
+            });
+        }
+        let data: Vec<f32> = dy
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Ok(Tensor::from_vec(data, dy.shape().dims())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = Relu::new();
+        let y = r.forward(&Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap());
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = Relu::new();
+        r.forward(&Tensor::from_vec(vec![-1.0, 3.0], &[2]).unwrap());
+        let dx = r.backward(&Tensor::from_vec(vec![5.0, 5.0], &[2]).unwrap()).unwrap();
+        assert_eq!(dx.data(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut r = Relu::new();
+        assert!(r.backward(&Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn relu_is_idempotent() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-2.0, -0.5, 0.5, 2.0], &[4]).unwrap();
+        let once = r.forward(&x);
+        let twice = r.forward(&once);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,376 @@
+use serde::{Deserialize, Serialize};
+
+use ft_tensor::{xavier_uniform, Tensor};
+
+use crate::{softmax, NnError, Result};
+
+/// A single-head self-attention block with a residual MLP.
+///
+/// Computes, per sample reshaped to `[tokens, d_model]`:
+///
+/// ```text
+/// H = X + softmax(X Wq (X Wk)^T / sqrt(d)) · X Wv · Wo
+/// Y = H + relu(H W1) W2
+/// ```
+///
+/// This is the `Cell` used for the paper's Table 4 (ViT generality):
+/// widening grows the MLP width `d_ff` (self-contained Net2Wider), and an
+/// identity block (`Wo = 0`, `W2 = 0`) makes deepening exactly
+/// function-preserving through both residual branches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttentionBlock {
+    tokens: usize,
+    d_model: usize,
+    d_ff: usize,
+    wq: Tensor,
+    wk: Tensor,
+    wv: Tensor,
+    wo: Tensor,
+    w1: Tensor,
+    w2: Tensor,
+    grads: Vec<Tensor>,
+    #[serde(skip)]
+    cache: Option<Vec<SampleCache>>,
+}
+
+#[derive(Debug, Clone)]
+struct SampleCache {
+    x: Tensor,
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    a: Tensor,
+    c: Tensor,
+    h: Tensor,
+    z: Tensor,
+    m: Tensor,
+}
+
+impl AttentionBlock {
+    /// Creates a block with Xavier-initialized projections.
+    pub fn new(rng: &mut impl rand::Rng, tokens: usize, d_model: usize, d_ff: usize) -> Self {
+        let wq = xavier_uniform(rng, &[d_model, d_model], d_model, d_model);
+        let wk = xavier_uniform(rng, &[d_model, d_model], d_model, d_model);
+        let wv = xavier_uniform(rng, &[d_model, d_model], d_model, d_model);
+        let wo = xavier_uniform(rng, &[d_model, d_model], d_model, d_model);
+        let w1 = xavier_uniform(rng, &[d_model, d_ff], d_model, d_ff);
+        let w2 = xavier_uniform(rng, &[d_ff, d_model], d_ff, d_model);
+        Self::from_weights(tokens, d_model, d_ff, [wq, wk, wv, wo, w1, w2])
+    }
+
+    /// Creates an exactly function-preserving identity block.
+    ///
+    /// Attention and MLP output projections are zero, so both residual
+    /// branches pass the input through unchanged while the zeroed
+    /// projections still receive gradients and can learn.
+    pub fn identity(rng: &mut impl rand::Rng, tokens: usize, d_model: usize, d_ff: usize) -> Self {
+        let wq = xavier_uniform(rng, &[d_model, d_model], d_model, d_model);
+        let wk = xavier_uniform(rng, &[d_model, d_model], d_model, d_model);
+        let wv = xavier_uniform(rng, &[d_model, d_model], d_model, d_model);
+        let w1 = xavier_uniform(rng, &[d_model, d_ff], d_model, d_ff);
+        let wo = Tensor::zeros(&[d_model, d_model]);
+        let w2 = Tensor::zeros(&[d_ff, d_model]);
+        Self::from_weights(tokens, d_model, d_ff, [wq, wk, wv, wo, w1, w2])
+    }
+
+    /// Assembles a block from explicit weights `[Wq, Wk, Wv, Wo, W1, W2]`.
+    pub fn from_weights(tokens: usize, d_model: usize, d_ff: usize, w: [Tensor; 6]) -> Self {
+        let [wq, wk, wv, wo, w1, w2] = w;
+        let grads = vec![
+            Tensor::zeros(wq.shape().dims()),
+            Tensor::zeros(wk.shape().dims()),
+            Tensor::zeros(wv.shape().dims()),
+            Tensor::zeros(wo.shape().dims()),
+            Tensor::zeros(w1.shape().dims()),
+            Tensor::zeros(w2.shape().dims()),
+        ];
+        AttentionBlock {
+            tokens,
+            d_model,
+            d_ff,
+            wq,
+            wk,
+            wv,
+            wo,
+            w1,
+            w2,
+            grads,
+            cache: None,
+        }
+    }
+
+    /// Token count per sample.
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// Model (embedding) dimension.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// MLP hidden width.
+    pub fn d_ff(&self) -> usize {
+        self.d_ff
+    }
+
+    /// All six weight matrices in `[Wq, Wk, Wv, Wo, W1, W2]` order.
+    pub fn weights(&self) -> [&Tensor; 6] {
+        [&self.wq, &self.wk, &self.wv, &self.wo, &self.w1, &self.w2]
+    }
+
+    /// Mutable access to all six weight matrices.
+    pub fn weights_mut(&mut self) -> [&mut Tensor; 6] {
+        [
+            &mut self.wq,
+            &mut self.wk,
+            &mut self.wv,
+            &mut self.wo,
+            &mut self.w1,
+            &mut self.w2,
+        ]
+    }
+
+    /// Gradients in the same order as [`AttentionBlock::weights`].
+    pub fn grads(&self) -> &[Tensor] {
+        &self.grads
+    }
+
+    /// Replaces the MLP weights after a widen operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shapes disagree with each other or `d_model`.
+    pub fn set_mlp(&mut self, w1: Tensor, w2: Tensor) {
+        assert_eq!(w1.shape().dims()[0], self.d_model);
+        assert_eq!(w1.shape().dims()[1], w2.shape().dims()[0]);
+        assert_eq!(w2.shape().dims()[1], self.d_model);
+        self.d_ff = w1.shape().dims()[1];
+        self.grads[4] = Tensor::zeros(w1.shape().dims());
+        self.grads[5] = Tensor::zeros(w2.shape().dims());
+        self.w1 = w1;
+        self.w2 = w2;
+        self.cache = None;
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for g in &mut self.grads {
+            *g = Tensor::zeros(g.shape().dims());
+        }
+    }
+
+    fn sample_dim(&self) -> usize {
+        self.tokens * self.d_model
+    }
+
+    /// Forward pass over `[batch, tokens·d_model]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] when the input width differs from
+    /// `tokens·d_model`.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        let batch = x.rows()?;
+        if x.cols()? != self.sample_dim() {
+            return Err(NnError::BadInput {
+                layer: "AttentionBlock",
+                detail: format!(
+                    "expected {}x{} values per sample, got {}",
+                    self.tokens,
+                    self.d_model,
+                    x.cols()?
+                ),
+            });
+        }
+        let scale = 1.0 / (self.d_model as f32).sqrt();
+        let mut out = Vec::with_capacity(batch * self.sample_dim());
+        let mut caches = Vec::with_capacity(batch);
+        for s in 0..batch {
+            let xs = Tensor::from_vec(
+                x.data()[s * self.sample_dim()..(s + 1) * self.sample_dim()].to_vec(),
+                &[self.tokens, self.d_model],
+            )?;
+            let q = xs.matmul(&self.wq)?;
+            let k = xs.matmul(&self.wk)?;
+            let v = xs.matmul(&self.wv)?;
+            let scores = q.matmul_t(&k)?.scale(scale);
+            let a = softmax(&scores)?;
+            let c = a.matmul(&v)?;
+            let h = xs.add(&c.matmul(&self.wo)?)?;
+            let z = h.matmul(&self.w1)?;
+            let m = z.map(|t| t.max(0.0));
+            let y = h.add(&m.matmul(&self.w2)?)?;
+            out.extend_from_slice(y.data());
+            caches.push(SampleCache { x: xs, q, k, v, a, c, h, z, m });
+        }
+        self.cache = Some(caches);
+        Ok(Tensor::from_vec(out, &[batch, self.sample_dim()])?)
+    }
+
+    /// Backward pass; accumulates gradients for all six weights and
+    /// returns `dX`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForwardCache`] if called before
+    /// [`AttentionBlock::forward`].
+    pub fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
+        let caches = self
+            .cache
+            .take()
+            .ok_or(NnError::MissingForwardCache { layer: "AttentionBlock" })?;
+        let batch = dy.rows()?;
+        if batch != caches.len() || dy.cols()? != self.sample_dim() {
+            return Err(NnError::BadInput {
+                layer: "AttentionBlock",
+                detail: format!("gradient shape {:?} mismatches cache", dy.shape().dims()),
+            });
+        }
+        let scale = 1.0 / (self.d_model as f32).sqrt();
+        let mut dx_all = Vec::with_capacity(batch * self.sample_dim());
+        for (s, cache) in caches.iter().enumerate() {
+            let dys = Tensor::from_vec(
+                dy.data()[s * self.sample_dim()..(s + 1) * self.sample_dim()].to_vec(),
+                &[self.tokens, self.d_model],
+            )?;
+            // MLP branch: Y = H + relu(H W1) W2
+            let dm = dys.matmul_t(&self.w2)?;
+            let dz_data: Vec<f32> = dm
+                .data()
+                .iter()
+                .zip(cache.z.data())
+                .map(|(&g, &z)| if z > 0.0 { g } else { 0.0 })
+                .collect();
+            let dz = Tensor::from_vec(dz_data, dm.shape().dims())?;
+            self.grads[5].axpy(1.0, &cache.m.t_matmul(&dys)?)?;
+            self.grads[4].axpy(1.0, &cache.h.t_matmul(&dz)?)?;
+            let dh = dys.add(&dz.matmul_t(&self.w1)?)?;
+            // Attention branch: H = X + (A V) Wo
+            let dc = dh.matmul_t(&self.wo)?;
+            self.grads[3].axpy(1.0, &cache.c.t_matmul(&dh)?)?;
+            let mut dx = dh.clone();
+            let dv = cache.a.t_matmul(&dc)?;
+            let da = dc.matmul_t(&cache.v)?;
+            // Softmax backward, row-wise.
+            let t = self.tokens;
+            let mut ds = Tensor::zeros(&[t, t]);
+            for r in 0..t {
+                let arow = &cache.a.data()[r * t..(r + 1) * t];
+                let darow = &da.data()[r * t..(r + 1) * t];
+                let dot: f32 = arow.iter().zip(darow).map(|(&a, &g)| a * g).sum();
+                for j in 0..t {
+                    ds.data_mut()[r * t + j] = arow[j] * (darow[j] - dot);
+                }
+            }
+            ds.scale_mut(scale);
+            let dq = ds.matmul(&cache.k)?;
+            let dk = ds.t_matmul(&cache.q)?;
+            self.grads[0].axpy(1.0, &cache.x.t_matmul(&dq)?)?;
+            self.grads[1].axpy(1.0, &cache.x.t_matmul(&dk)?)?;
+            self.grads[2].axpy(1.0, &cache.x.t_matmul(&dv)?)?;
+            dx.axpy(1.0, &dq.matmul_t(&self.wq)?)?;
+            dx.axpy(1.0, &dk.matmul_t(&self.wk)?)?;
+            dx.axpy(1.0, &dv.matmul_t(&self.wv)?)?;
+            dx_all.extend_from_slice(dx.data());
+        }
+        Ok(Tensor::from_vec(dx_all, &[batch, self.sample_dim()])?)
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        4 * self.d_model * self.d_model + 2 * self.d_model * self.d_ff
+    }
+
+    /// Multiply-accumulate operations for one sample through this block.
+    pub fn macs_per_sample(&self) -> u64 {
+        let t = self.tokens as u64;
+        let d = self.d_model as u64;
+        let f = self.d_ff as u64;
+        4 * t * d * d + 2 * t * t * d + 2 * t * d * f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_block_is_identity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut block = AttentionBlock::identity(&mut rng, 4, 3, 6);
+        let x = Tensor::from_vec((0..12).map(|v| v as f32 * 0.1 - 0.5).collect(), &[1, 12]).unwrap();
+        let y = block.forward(&x).unwrap();
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn forward_shape_preserved() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut block = AttentionBlock::new(&mut rng, 4, 3, 8);
+        let y = block.forward(&Tensor::ones(&[2, 12])).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 12]);
+    }
+
+    #[test]
+    fn gradient_check_spot_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut block = AttentionBlock::new(&mut rng, 3, 2, 4);
+        let x = Tensor::from_vec((0..6).map(|v| (v as f32 - 3.0) * 0.2).collect(), &[1, 6]).unwrap();
+        let y = block.forward(&x).unwrap();
+        block.backward(&Tensor::ones(y.shape().dims())).unwrap();
+        // Check a handful of entries in each weight via finite differences.
+        let eps = 1e-2f32;
+        for widx in 0..6usize {
+            let analytic = block.grads()[widx].data()[0];
+            let orig = block.weights()[widx].data()[0];
+            block.weights_mut()[widx].data_mut()[0] = orig + eps;
+            let yp = block.forward(&x).unwrap().sum();
+            block.weights_mut()[widx].data_mut()[0] = orig - eps;
+            let ym = block.forward(&x).unwrap().sum();
+            block.weights_mut()[widx].data_mut()[0] = orig;
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 0.05,
+                "weight {widx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut block = AttentionBlock::new(&mut rng, 3, 2, 4);
+        let x = Tensor::from_vec((0..6).map(|v| v as f32 * 0.15 - 0.4).collect(), &[1, 6]).unwrap();
+        let y = block.forward(&x).unwrap();
+        let dx = block.backward(&Tensor::ones(y.shape().dims())).unwrap();
+        // Small eps: a larger window can straddle a ReLU kink in the MLP,
+        // making the central difference disagree with the true gradient.
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let yp = block.forward(&xp).unwrap().sum();
+            let ym = block.forward(&xm).unwrap().sum();
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data()[i]).abs() < 0.05,
+                "input {i}: numeric {numeric} vs analytic {}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn set_mlp_updates_d_ff() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut block = AttentionBlock::new(&mut rng, 2, 2, 4);
+        block.set_mlp(Tensor::zeros(&[2, 8]), Tensor::zeros(&[8, 2]));
+        assert_eq!(block.d_ff(), 8);
+    }
+}

@@ -1,0 +1,429 @@
+use serde::{Deserialize, Serialize};
+
+use ft_tensor::{he_normal, Tensor};
+
+use crate::{NnError, Result};
+
+/// A same-padded, stride-1 2-D convolution over `[batch, C·H·W]` inputs.
+///
+/// The weight is stored as a `[out_channels, in_channels·k·k]` matrix so
+/// convolution reduces to an im2col GEMM, and — more importantly for
+/// FedTrans — so that widening the layer's output duplicates *rows* and
+/// widening its input duplicates contiguous *column blocks* of `k·k`
+/// entries per input channel. Spatial geometry `(height, width)` is fixed
+/// at construction; all FedTrans conv cells preserve spatial dims.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    height: usize,
+    width: usize,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    #[serde(skip)]
+    cache_cols: Option<Vec<Tensor>>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-normal weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is even (same padding requires odd kernels).
+    pub fn new(
+        rng: &mut impl rand::Rng,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        height: usize,
+        width: usize,
+    ) -> Self {
+        assert!(kernel % 2 == 1, "same-padded convolution requires an odd kernel");
+        let fan_in = in_channels * kernel * kernel;
+        let weight = he_normal(rng, &[out_channels, fan_in], fan_in);
+        Conv2d::from_params(
+            weight,
+            Tensor::zeros(&[out_channels]),
+            in_channels,
+            kernel,
+            height,
+            width,
+        )
+    }
+
+    /// Creates a convolution from explicit parameters (model surgery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight shape does not match
+    /// `[out_channels, in_channels·k·k]`.
+    pub fn from_params(
+        weight: Tensor,
+        bias: Tensor,
+        in_channels: usize,
+        kernel: usize,
+        height: usize,
+        width: usize,
+    ) -> Self {
+        let out_channels = weight.shape().dims()[0];
+        assert_eq!(
+            weight.shape().dims()[1],
+            in_channels * kernel * kernel,
+            "conv weight columns must equal in_channels*k*k"
+        );
+        assert_eq!(bias.len(), out_channels, "bias must have one entry per output channel");
+        let gw = Tensor::zeros(weight.shape().dims());
+        let gb = Tensor::zeros(bias.shape().dims());
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            height,
+            width,
+            weight,
+            bias,
+            grad_weight: gw,
+            grad_bias: gb,
+            cache_cols: None,
+        }
+    }
+
+    /// Creates an identity convolution (`k×k` kernel with a centred 1 on
+    /// the diagonal channel), used when deepening a conv cell.
+    pub fn identity(channels: usize, kernel: usize, height: usize, width: usize) -> Self {
+        let fan_in = channels * kernel * kernel;
+        let mut weight = Tensor::zeros(&[channels, fan_in]);
+        let centre = (kernel / 2) * kernel + kernel / 2;
+        for c in 0..channels {
+            weight.data_mut()[c * fan_in + c * kernel * kernel + centre] = 1.0;
+        }
+        Conv2d::from_params(weight, Tensor::zeros(&[channels]), channels, kernel, height, width)
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Spatial dimensions `(height, width)`.
+    pub fn spatial(&self) -> (usize, usize) {
+        (self.height, self.width)
+    }
+
+    /// Weight matrix `[out_channels, in_channels·k·k]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable weight matrix (model surgery entry point).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// Bias vector `[out_channels]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable bias vector.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Accumulated weight gradient.
+    pub fn grad_weight(&self) -> &Tensor {
+        &self.grad_weight
+    }
+
+    /// Accumulated bias gradient.
+    pub fn grad_bias(&self) -> &Tensor {
+        &self.grad_bias
+    }
+
+    /// Simultaneous mutable access to weight and bias (disjoint fields).
+    pub fn params_mut(&mut self) -> (&mut Tensor, &mut Tensor) {
+        (&mut self.weight, &mut self.bias)
+    }
+
+    /// Replaces parameters and geometry, resetting gradients.
+    pub fn set_params(&mut self, weight: Tensor, bias: Tensor, in_channels: usize) {
+        let out_channels = weight.shape().dims()[0];
+        debug_assert_eq!(weight.shape().dims()[1], in_channels * self.kernel * self.kernel);
+        self.grad_weight = Tensor::zeros(weight.shape().dims());
+        self.grad_bias = Tensor::zeros(bias.shape().dims());
+        self.weight = weight;
+        self.bias = bias;
+        self.in_channels = in_channels;
+        self.out_channels = out_channels;
+        self.cache_cols = None;
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weight = Tensor::zeros(self.weight.shape().dims());
+        self.grad_bias = Tensor::zeros(self.bias.shape().dims());
+    }
+
+    fn expected_input_len(&self) -> usize {
+        self.in_channels * self.height * self.width
+    }
+
+    /// Lowers one sample `[C·H·W]` into a `[C·k·k, H·W]` patch matrix.
+    fn im2col(&self, sample: &[f32]) -> Tensor {
+        let (h, w, k, c) = (self.height, self.width, self.kernel, self.in_channels);
+        let pad = k / 2;
+        let rows = c * k * k;
+        let cols = h * w;
+        let mut out = vec![0.0f32; rows * cols];
+        for ic in 0..c {
+            let plane = &sample[ic * h * w..(ic + 1) * h * w];
+            for ki in 0..k {
+                for kj in 0..k {
+                    let row = ic * k * k + ki * k + kj;
+                    let base = row * cols;
+                    for oi in 0..h {
+                        let ii = oi as isize + ki as isize - pad as isize;
+                        if ii < 0 || ii >= h as isize {
+                            continue;
+                        }
+                        for oj in 0..w {
+                            let jj = oj as isize + kj as isize - pad as isize;
+                            if jj < 0 || jj >= w as isize {
+                                continue;
+                            }
+                            out[base + oi * w + oj] = plane[ii as usize * w + jj as usize];
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[rows, cols]).expect("volume matches by construction")
+    }
+
+    /// Scatters a `[C·k·k, H·W]` gradient back to `[C·H·W]`.
+    fn col2im(&self, dcols: &Tensor) -> Vec<f32> {
+        let (h, w, k, c) = (self.height, self.width, self.kernel, self.in_channels);
+        let pad = k / 2;
+        let cols = h * w;
+        let mut out = vec![0.0f32; c * h * w];
+        let d = dcols.data();
+        for ic in 0..c {
+            for ki in 0..k {
+                for kj in 0..k {
+                    let row = ic * k * k + ki * k + kj;
+                    let base = row * cols;
+                    for oi in 0..h {
+                        let ii = oi as isize + ki as isize - pad as isize;
+                        if ii < 0 || ii >= h as isize {
+                            continue;
+                        }
+                        for oj in 0..w {
+                            let jj = oj as isize + kj as isize - pad as isize;
+                            if jj < 0 || jj >= w as isize {
+                                continue;
+                            }
+                            out[ic * h * w + ii as usize * w + jj as usize] += d[base + oi * w + oj];
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Forward pass over `[batch, C·H·W]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] when the input width differs from
+    /// `in_channels·height·width`.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        let batch = x.rows()?;
+        if x.cols()? != self.expected_input_len() {
+            return Err(NnError::BadInput {
+                layer: "Conv2d",
+                detail: format!(
+                    "expected {} = {}x{}x{} input values per sample, got {}",
+                    self.expected_input_len(),
+                    self.in_channels,
+                    self.height,
+                    self.width,
+                    x.cols()?
+                ),
+            });
+        }
+        let hw = self.height * self.width;
+        let mut out = Vec::with_capacity(batch * self.out_channels * hw);
+        let mut caches = Vec::with_capacity(batch);
+        for s in 0..batch {
+            let sample = &x.data()[s * self.expected_input_len()..(s + 1) * self.expected_input_len()];
+            let cols = self.im2col(sample);
+            let y = self.weight.matmul(&cols)?; // [out_c, hw]
+            let b = self.bias.data();
+            for oc in 0..self.out_channels {
+                for p in 0..hw {
+                    out.push(y.data()[oc * hw + p] + b[oc]);
+                }
+            }
+            caches.push(cols);
+        }
+        self.cache_cols = Some(caches);
+        Ok(Tensor::from_vec(out, &[batch, self.out_channels * hw])?)
+    }
+
+    /// Backward pass; accumulates gradients and returns `dX`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForwardCache`] if called before
+    /// [`Conv2d::forward`], or [`NnError::BadInput`] when `dy` does not
+    /// match the cached batch geometry.
+    pub fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
+        let caches = self
+            .cache_cols
+            .take()
+            .ok_or(NnError::MissingForwardCache { layer: "Conv2d" })?;
+        let batch = dy.rows()?;
+        let hw = self.height * self.width;
+        if batch != caches.len() || dy.cols()? != self.out_channels * hw {
+            return Err(NnError::BadInput {
+                layer: "Conv2d",
+                detail: format!(
+                    "gradient shape {:?} does not match cached batch {} x {}",
+                    dy.shape().dims(),
+                    caches.len(),
+                    self.out_channels * hw
+                ),
+            });
+        }
+        let mut dx = Vec::with_capacity(batch * self.expected_input_len());
+        for (s, cols) in caches.iter().enumerate() {
+            let dys = Tensor::from_vec(
+                dy.data()[s * self.out_channels * hw..(s + 1) * self.out_channels * hw].to_vec(),
+                &[self.out_channels, hw],
+            )?;
+            let dw = dys.matmul_t(cols)?; // [out_c, c*k*k]
+            self.grad_weight.axpy(1.0, &dw)?;
+            for oc in 0..self.out_channels {
+                let sum: f32 = dys.data()[oc * hw..(oc + 1) * hw].iter().sum();
+                self.grad_bias.data_mut()[oc] += sum;
+            }
+            let dcols = self.weight.t_matmul(&dys)?; // [c*k*k, hw]
+            dx.extend(self.col2im(&dcols));
+        }
+        Ok(Tensor::from_vec(dx, &[batch, self.expected_input_len()])?)
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Multiply-accumulate operations for one sample through this layer.
+    pub fn macs_per_sample(&self) -> u64 {
+        (self.out_channels * self.height * self.width * self.in_channels * self.kernel * self.kernel)
+            as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_conv_preserves_input() {
+        let mut conv = Conv2d::identity(2, 3, 4, 4);
+        let x = Tensor::from_vec((0..32).map(|v| v as f32 * 0.1).collect(), &[1, 32]).unwrap();
+        let y = conv.forward(&x).unwrap();
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn output_shape_scales_with_out_channels() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(&mut rng, 1, 4, 3, 5, 5);
+        let y = conv.forward(&Tensor::ones(&[2, 25])).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 100]);
+    }
+
+    #[test]
+    fn gradient_check_small_conv() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(&mut rng, 1, 2, 3, 3, 3);
+        let x = Tensor::from_vec((0..9).map(|v| (v as f32 - 4.0) * 0.3).collect(), &[1, 9]).unwrap();
+        let y = conv.forward(&x).unwrap();
+        conv.backward(&Tensor::ones(y.shape().dims())).unwrap();
+        let analytic = conv.grad_weight().clone();
+
+        let eps = 1e-2f32;
+        for idx in [0usize, 4, 8, 13] {
+            let orig = conv.weight().data()[idx];
+            conv.weight_mut().data_mut()[idx] = orig + eps;
+            let yp = conv.forward(&x).unwrap().sum();
+            conv.weight_mut().data_mut()[idx] = orig - eps;
+            let ym = conv.forward(&x).unwrap().sum();
+            conv.weight_mut().data_mut()[idx] = orig;
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.data()[idx]).abs() < 0.05,
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                analytic.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_check() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut conv = Conv2d::new(&mut rng, 1, 2, 3, 3, 3);
+        let x = Tensor::from_vec((0..9).map(|v| v as f32 * 0.1).collect(), &[1, 9]).unwrap();
+        let y = conv.forward(&x).unwrap();
+        let dx = conv.backward(&Tensor::ones(y.shape().dims())).unwrap();
+
+        let eps = 1e-2f32;
+        for idx in [0usize, 4, 8] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let yp = conv.forward(&xp).unwrap().sum();
+            let ym = conv.forward(&xm).unwrap().sum();
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data()[idx]).abs() < 0.05,
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_geometry() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(&mut rng, 1, 2, 3, 4, 4);
+        assert!(conv.forward(&Tensor::zeros(&[1, 15])).is_err());
+    }
+
+    #[test]
+    fn macs_match_formula() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let conv = Conv2d::new(&mut rng, 3, 8, 3, 8, 8);
+        assert_eq!(conv.macs_per_sample(), (8 * 64 * 3 * 9) as u64);
+    }
+}

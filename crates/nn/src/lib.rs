@@ -1,0 +1,49 @@
+//! Neural-network substrate for the FedTrans reproduction.
+//!
+//! Provides the layers FedTrans cells are built from ([`Linear`],
+//! [`Conv2d`], [`Relu`], [`GlobalAvgPool`], attention primitives), the
+//! softmax cross-entropy loss, and the optimizers used in the paper's
+//! evaluation (plain SGD for clients, [`ProxSgd`] for FedProx, [`Yogi`]
+//! for FedYogi server updates).
+//!
+//! Every layer performs explicit forward/backward passes with owned
+//! caches — no tape autodiff — because FedTrans needs direct access to
+//! per-layer weights and gradients for its activeness metric and its
+//! function-preserving surgery.
+//!
+//! # Example
+//!
+//! ```
+//! use ft_nn::{Linear, softmax_cross_entropy};
+//! use ft_tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut layer = Linear::new(&mut rng, 4, 3);
+//! let x = Tensor::zeros(&[2, 4]);
+//! let logits = layer.forward(&x)?;
+//! let (loss, _dlogits) = softmax_cross_entropy(&logits, &[0, 2])?;
+//! assert!(loss >= 0.0);
+//! # Ok::<(), ft_nn::NnError>(())
+//! ```
+
+mod activation;
+mod attention;
+mod conv;
+mod error;
+mod linear;
+mod loss;
+mod optim;
+mod pool;
+
+pub use activation::Relu;
+pub use attention::AttentionBlock;
+pub use conv::Conv2d;
+pub use error::NnError;
+pub use linear::Linear;
+pub use loss::{accuracy, softmax, softmax_cross_entropy};
+pub use optim::{ProxSgd, Sgd, Yogi};
+pub use pool::GlobalAvgPool;
+
+/// Convenience alias for results produced by NN operations.
+pub type Result<T> = std::result::Result<T, NnError>;

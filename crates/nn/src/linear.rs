@@ -1,0 +1,249 @@
+use serde::{Deserialize, Serialize};
+
+use ft_tensor::{he_normal, Tensor};
+
+use crate::{NnError, Result};
+
+/// A fully connected layer `y = x W + b`.
+///
+/// Weights are stored as `[in_features, out_features]` so that widening a
+/// layer's output appends columns and widening its input appends rows —
+/// the layout FedTrans's Net2Net surgery manipulates directly.
+///
+/// ```
+/// use ft_nn::Linear;
+/// use ft_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut l = Linear::new(&mut rng, 3, 2);
+/// let y = l.forward(&Tensor::ones(&[1, 3]))?;
+/// assert_eq!(y.shape().dims(), &[1, 2]);
+/// # Ok::<(), ft_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    #[serde(skip)]
+    cache_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with He-normal weights and zero bias.
+    pub fn new(rng: &mut impl rand::Rng, in_features: usize, out_features: usize) -> Self {
+        let weight = he_normal(rng, &[in_features, out_features], in_features);
+        Linear::from_params(weight, Tensor::zeros(&[out_features]))
+    }
+
+    /// Creates a layer from explicit parameters (used by model surgery).
+    pub fn from_params(weight: Tensor, bias: Tensor) -> Self {
+        let gw = Tensor::zeros(weight.shape().dims());
+        let gb = Tensor::zeros(bias.shape().dims());
+        Linear {
+            weight,
+            bias,
+            grad_weight: gw,
+            grad_bias: gb,
+            cache_input: None,
+        }
+    }
+
+    /// Creates the identity layer (`W = I`, `b = 0`), used when deepening.
+    pub fn identity(features: usize) -> Self {
+        Linear::from_params(Tensor::eye(features), Tensor::zeros(&[features]))
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.shape().dims()[0]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.shape().dims()[1]
+    }
+
+    /// The weight matrix `[in, out]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable weight matrix (model surgery entry point).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// The bias vector `[out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable bias vector.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Accumulated weight gradient.
+    pub fn grad_weight(&self) -> &Tensor {
+        &self.grad_weight
+    }
+
+    /// Accumulated bias gradient.
+    pub fn grad_bias(&self) -> &Tensor {
+        &self.grad_bias
+    }
+
+    /// Simultaneous mutable access to weight and bias (disjoint fields).
+    pub fn params_mut(&mut self) -> (&mut Tensor, &mut Tensor) {
+        (&mut self.weight, &mut self.bias)
+    }
+
+    /// Replaces both parameter tensors, resetting gradients.
+    pub fn set_params(&mut self, weight: Tensor, bias: Tensor) {
+        self.grad_weight = Tensor::zeros(weight.shape().dims());
+        self.grad_bias = Tensor::zeros(bias.shape().dims());
+        self.weight = weight;
+        self.bias = bias;
+        self.cache_input = None;
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weight = Tensor::zeros(self.weight.shape().dims());
+        self.grad_bias = Tensor::zeros(self.bias.shape().dims());
+    }
+
+    /// Forward pass over a `[batch, in]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] when the input width differs from
+    /// `in_features`.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        if x.cols().map_err(NnError::from)? != self.in_features() {
+            return Err(NnError::BadInput {
+                layer: "Linear",
+                detail: format!(
+                    "expected {} input features, got {:?}",
+                    self.in_features(),
+                    x.shape().dims()
+                ),
+            });
+        }
+        let y = x.matmul(&self.weight)?.add_row_broadcast(&self.bias)?;
+        self.cache_input = Some(x.clone());
+        Ok(y)
+    }
+
+    /// Backward pass; accumulates `dW`, `db` and returns `dX`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForwardCache`] if called before
+    /// [`Linear::forward`].
+    pub fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cache_input
+            .take()
+            .ok_or(NnError::MissingForwardCache { layer: "Linear" })?;
+        let dw = x.t_matmul(dy)?;
+        self.grad_weight.axpy(1.0, &dw)?;
+        let db = dy.sum_rows()?;
+        self.grad_bias.axpy(1.0, &db)?;
+        let dx = dy.matmul_t(&self.weight)?;
+        Ok(dx)
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Multiply-accumulate operations for one sample through this layer.
+    pub fn macs_per_sample(&self) -> u64 {
+        (self.in_features() * self.out_features()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut l = Linear::from_params(Tensor::eye(2), Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap());
+        let y = l.forward(&Tensor::from_vec(vec![2.0, 3.0], &[1, 2]).unwrap()).unwrap();
+        assert_eq!(y.data(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn rejects_wrong_width() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut l = Linear::new(&mut rng, 3, 2);
+        assert!(l.forward(&Tensor::zeros(&[1, 4])).is_err());
+    }
+
+    #[test]
+    fn backward_needs_forward() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut l = Linear::new(&mut rng, 3, 2);
+        assert!(l.backward(&Tensor::zeros(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        // Finite-difference check on a scalar loss L = sum(y).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut l = Linear::new(&mut rng, 3, 2);
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[1, 3]).unwrap();
+        let y = l.forward(&x).unwrap();
+        let dy = Tensor::ones(y.shape().dims());
+        l.backward(&dy).unwrap();
+        let analytic = l.grad_weight().clone();
+
+        let eps = 1e-3f32;
+        for idx in 0..l.weight().len() {
+            let orig = l.weight().data()[idx];
+            l.weight_mut().data_mut()[idx] = orig + eps;
+            let yp = l.forward(&x).unwrap().sum();
+            l.weight_mut().data_mut()[idx] = orig - eps;
+            let ym = l.forward(&x).unwrap().sum();
+            l.weight_mut().data_mut()[idx] = orig;
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.data()[idx]).abs() < 1e-2,
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                analytic.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn identity_layer_is_identity() {
+        let mut l = Linear::identity(4);
+        let x = Tensor::from_vec(vec![1.0, -2.0, 3.0, -4.0], &[1, 4]).unwrap();
+        let y = l.forward(&x).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn grads_accumulate_until_zeroed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut l = Linear::new(&mut rng, 2, 2);
+        let x = Tensor::ones(&[1, 2]);
+        for _ in 0..2 {
+            let y = l.forward(&x).unwrap();
+            l.backward(&Tensor::ones(y.shape().dims())).unwrap();
+        }
+        let twice = l.grad_bias().clone();
+        l.zero_grad();
+        let y = l.forward(&x).unwrap();
+        l.backward(&Tensor::ones(y.shape().dims())).unwrap();
+        let once = l.grad_bias().clone();
+        assert_eq!(twice, once.scale(2.0));
+    }
+}

@@ -1,0 +1,287 @@
+//! Optimizers used in the FedTrans evaluation.
+//!
+//! Clients run plain [`Sgd`] (optionally wrapped by [`ProxSgd`] to
+//! reproduce the FedProx experiments of Fig. 8); the server-side adaptive
+//! [`Yogi`] optimizer reproduces the FedYogi arm.
+
+use serde::{Deserialize, Serialize};
+
+use ft_tensor::Tensor;
+
+use crate::{NnError, Result};
+
+/// Stochastic gradient descent with momentum and weight decay.
+///
+/// Holds one velocity buffer per parameter tensor; the parameter list
+/// must keep a stable order across steps (model surgery resets state).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an optimizer with the given learning rate and no momentum.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Sets the momentum coefficient.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets L2 weight decay.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (used by decay schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update: `p -= lr * (g + wd * p)` with momentum.
+    ///
+    /// `params` and `grads` must be parallel slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::OptimizerStateMismatch`] when the list length
+    /// changes between steps (e.g. after unannounced model surgery).
+    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) -> Result<()> {
+        if params.len() != grads.len() {
+            return Err(NnError::OptimizerStateMismatch {
+                expected: params.len(),
+                actual: grads.len(),
+            });
+        }
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.shape().dims())).collect();
+        }
+        if self.velocity.len() != params.len() {
+            return Err(NnError::OptimizerStateMismatch {
+                expected: self.velocity.len(),
+                actual: params.len(),
+            });
+        }
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            if v.shape() != p.shape() {
+                // Model surgery resized this tensor; restart its momentum.
+                *v = Tensor::zeros(p.shape().dims());
+            }
+            for i in 0..p.len() {
+                let grad = g.data()[i] + self.weight_decay * p.data()[i];
+                let vel = self.momentum * v.data()[i] + grad;
+                v.data_mut()[i] = vel;
+                p.data_mut()[i] -= self.lr * vel;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// FedProx client optimizer: SGD plus a proximal pull toward the global
+/// weights, `g += mu * (w - w_global)`.
+#[derive(Debug, Clone)]
+pub struct ProxSgd {
+    inner: Sgd,
+    mu: f32,
+    anchor: Vec<Tensor>,
+}
+
+impl ProxSgd {
+    /// Creates a proximal SGD around `anchor` (the global model weights
+    /// at round start) with proximal coefficient `mu`.
+    pub fn new(lr: f32, mu: f32, anchor: Vec<Tensor>) -> Self {
+        ProxSgd {
+            inner: Sgd::new(lr),
+            mu,
+            anchor,
+        }
+    }
+
+    /// Proximal coefficient.
+    pub fn mu(&self) -> f32 {
+        self.mu
+    }
+
+    /// Applies one proximal step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::OptimizerStateMismatch`] when the anchor list
+    /// does not match the parameter list.
+    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) -> Result<()> {
+        if params.len() != self.anchor.len() {
+            return Err(NnError::OptimizerStateMismatch {
+                expected: self.anchor.len(),
+                actual: params.len(),
+            });
+        }
+        // Materialize proximal-adjusted gradients, then delegate.
+        let mut adjusted: Vec<Tensor> = Vec::with_capacity(grads.len());
+        for ((g, p), a) in grads.iter().zip(params.iter()).zip(&self.anchor) {
+            let mut t = (*g).clone();
+            if a.shape() == p.shape() {
+                for i in 0..t.len() {
+                    t.data_mut()[i] += self.mu * (p.data()[i] - a.data()[i]);
+                }
+            }
+            adjusted.push(t);
+        }
+        let refs: Vec<&Tensor> = adjusted.iter().collect();
+        self.inner.step(params, &refs)
+    }
+}
+
+/// Server-side Yogi optimizer (FedYogi): adaptive update applied to the
+/// aggregate pseudo-gradient `delta = w_agg - w_server`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Yogi {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Yogi {
+    /// Creates a Yogi optimizer with the paper-standard betas.
+    pub fn new(lr: f32) -> Self {
+        Yogi {
+            lr,
+            beta1: 0.9,
+            beta2: 0.99,
+            eps: 1e-3,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Applies the Yogi update to the server weights given client deltas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::OptimizerStateMismatch`] when the tensor count
+    /// changes between rounds.
+    pub fn step(&mut self, params: &mut [&mut Tensor], deltas: &[&Tensor]) -> Result<()> {
+        if params.len() != deltas.len() {
+            return Err(NnError::OptimizerStateMismatch {
+                expected: params.len(),
+                actual: deltas.len(),
+            });
+        }
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.shape().dims())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.shape().dims())).collect();
+        }
+        if self.m.len() != params.len() {
+            return Err(NnError::OptimizerStateMismatch {
+                expected: self.m.len(),
+                actual: params.len(),
+            });
+        }
+        for (((p, d), m), v) in params.iter_mut().zip(deltas).zip(&mut self.m).zip(&mut self.v) {
+            if m.shape() != p.shape() {
+                *m = Tensor::zeros(p.shape().dims());
+                *v = Tensor::zeros(p.shape().dims());
+            }
+            for i in 0..p.len() {
+                let g = d.data()[i];
+                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * g;
+                let g2 = g * g;
+                let vi = v.data()[i] - (1.0 - self.beta2) * g2 * (v.data()[i] - g2).signum();
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                p.data_mut()[i] += self.lr * mi / (vi.sqrt() + self.eps);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut p = Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap();
+        let g = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut [&mut p], &[&g]).unwrap();
+        assert!((p.data()[0] - 0.9).abs() < 1e-6);
+        assert!((p.data()[1] - 1.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let g = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let mut plain = Tensor::from_vec(vec![0.0], &[1]).unwrap();
+        let mut heavy = plain.clone();
+        let mut o1 = Sgd::new(0.1);
+        let mut o2 = Sgd::new(0.1).with_momentum(0.9);
+        for _ in 0..5 {
+            o1.step(&mut [&mut plain], &[&g]).unwrap();
+            o2.step(&mut [&mut heavy], &[&g]).unwrap();
+        }
+        assert!(heavy.data()[0] < plain.data()[0]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut p = Tensor::from_vec(vec![10.0], &[1]).unwrap();
+        let g = Tensor::zeros(&[1]);
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        opt.step(&mut [&mut p], &[&g]).unwrap();
+        assert!(p.data()[0] < 10.0);
+    }
+
+    #[test]
+    fn prox_pulls_toward_anchor() {
+        let anchor = vec![Tensor::zeros(&[1])];
+        let mut p = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let g = Tensor::zeros(&[1]);
+        let mut opt = ProxSgd::new(0.1, 1.0, anchor);
+        opt.step(&mut [&mut p], &[&g]).unwrap();
+        assert!(p.data()[0] < 1.0, "proximal term should pull toward 0");
+    }
+
+    #[test]
+    fn yogi_applies_positive_delta() {
+        let mut p = Tensor::zeros(&[1]);
+        let d = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let mut opt = Yogi::new(0.1);
+        opt.step(&mut [&mut p], &[&d]).unwrap();
+        assert!(p.data()[0] > 0.0);
+    }
+
+    #[test]
+    fn sgd_survives_resize_after_surgery() {
+        let g1 = Tensor::ones(&[2]);
+        let mut p = Tensor::zeros(&[2]);
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        opt.step(&mut [&mut p], &[&g1]).unwrap();
+        // Surgery grows the parameter; optimizer must not panic.
+        let mut p2 = Tensor::zeros(&[4]);
+        let g2 = Tensor::ones(&[4]);
+        opt.step(&mut [&mut p2], &[&g2]).unwrap();
+        assert!(p2.data().iter().all(|&x| x < 0.0));
+    }
+}

@@ -1,0 +1,85 @@
+use std::fmt;
+
+/// Error raised by tensor operations.
+///
+/// Every fallible operation in this crate reports one of these variants;
+/// they carry enough context (the offending shapes or indices) to debug a
+/// failed model-surgery step without a stack trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The element count of the provided buffer does not match the shape.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors were expected to share a shape but do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// The inner dimensions of a matrix product do not agree.
+    MatmulDimMismatch {
+        /// `[rows, cols]` of the left matrix.
+        left: Vec<usize>,
+        /// `[rows, cols]` of the right matrix.
+        right: Vec<usize>,
+    },
+    /// An operation required a tensor of a particular rank.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Rank of the tensor supplied.
+        actual: usize,
+    },
+    /// An index was outside the valid range for an axis.
+    IndexOutOfBounds {
+        /// The axis being indexed.
+        axis: usize,
+        /// The offending index.
+        index: usize,
+        /// The length of the axis.
+        len: usize,
+    },
+    /// A reshape changed the total number of elements.
+    ReshapeMismatch {
+        /// Element count of the source tensor.
+        from: usize,
+        /// Element count implied by the target shape.
+        to: usize,
+    },
+    /// An operation that requires a non-empty tensor received an empty one.
+    Empty,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::MatmulDimMismatch { left, right } => {
+                write!(f, "matmul inner dimension mismatch: {left:?} x {right:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected tensor of rank {expected}, got rank {actual}")
+            }
+            TensorError::IndexOutOfBounds { axis, index, len } => {
+                write!(f, "index {index} out of bounds for axis {axis} of length {len}")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape tensor of {from} elements into {to} elements")
+            }
+            TensorError::Empty => write!(f, "operation requires a non-empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,34 @@
+//! Dense `f32` tensor substrate for the FedTrans reproduction.
+//!
+//! The FedTrans paper trains neural networks whose layers are inspected,
+//! widened, deepened, cropped, and averaged by the federated-learning
+//! runtime. All of those operations need direct access to parameter
+//! buffers, so this crate provides a deliberately small, fully owned,
+//! row-major tensor type instead of binding to an external framework.
+//!
+//! # Example
+//!
+//! ```
+//! use ft_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok::<(), ft_tensor::TensorError>(())
+//! ```
+
+mod error;
+mod init;
+mod matmul;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use init::{he_normal, uniform, xavier_uniform};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience alias for results produced by tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,163 @@
+//! Matrix multiplication kernels.
+//!
+//! The workloads in this reproduction are dominated by small-to-medium
+//! GEMMs (batch × features times features × hidden). A cache-friendly
+//! ikj loop order with a transposed variant covers every call site in the
+//! NN substrate without pulling in a BLAS dependency.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix product `self @ other` for rank-2 tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulDimMismatch`] when inner dimensions
+    /// disagree and [`TensorError::RankMismatch`] for non-matrices.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = (self.rows()?, self.cols()?);
+        let (k2, n) = (other.rows()?, other.cols()?);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left: vec![m, k],
+                right: vec![k2, n],
+            });
+        }
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Computes `self^T @ other` without materializing the transpose.
+    ///
+    /// Used by linear-layer backward passes (`dW = X^T dY`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulDimMismatch`] when the row counts of
+    /// the two operands disagree.
+    pub fn t_matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (k, m) = (self.rows()?, self.cols()?);
+        let (k2, n) = (other.rows()?, other.cols()?);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left: vec![m, k],
+                right: vec![k2, n],
+            });
+        }
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Computes `self @ other^T` without materializing the transpose.
+    ///
+    /// Used by linear-layer backward passes (`dX = dY W^T`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulDimMismatch`] when the column counts
+    /// of the two operands disagree.
+    pub fn matmul_t(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = (self.rows()?, self.cols()?);
+        let (n, k2) = (other.rows()?, other.cols()?);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left: vec![m, k],
+                right: vec![n, k2],
+            });
+        }
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn matmul_small_known_product() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let c = a.matmul(&Tensor::eye(3)).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let b = t(&[1.0, 0.0, 2.0, 1.0, 0.0, 3.0], &[3, 2]);
+        let fast = a.t_matmul(&b).unwrap();
+        let slow = a.transpose().unwrap().matmul(&b).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[1.0, 0.0, 2.0, 1.0, 0.0, 3.0], &[2, 3]);
+        let fast = a.matmul_t(&b).unwrap();
+        let slow = a.matmul(&b.transpose().unwrap()).unwrap();
+        assert_eq!(fast, slow);
+    }
+}

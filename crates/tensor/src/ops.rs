@@ -1,0 +1,259 @@
+//! Element-wise arithmetic, broadcasting helpers, and reductions.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    fn check_same_shape(&self, other: &Tensor) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().dims().to_vec(),
+                right: other.shape().dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.check_same_shape(other)?;
+        let data = self
+            .data()
+            .iter()
+            .zip(other.data())
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor::from_vec(data, self.shape().dims())
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.check_same_shape(other)?;
+        let data = self
+            .data()
+            .iter()
+            .zip(other.data())
+            .map(|(a, b)| a - b)
+            .collect();
+        Tensor::from_vec(data, self.shape().dims())
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.check_same_shape(other)?;
+        let data = self
+            .data()
+            .iter()
+            .zip(other.data())
+            .map(|(a, b)| a * b)
+            .collect();
+        Tensor::from_vec(data, self.shape().dims())
+    }
+
+    /// In-place `self += alpha * other`, the axpy primitive used by every
+    /// aggregation rule in the workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        self.check_same_shape(other)?;
+        for (a, b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Returns a copy scaled by `alpha`.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        let data = self.data().iter().map(|x| x * alpha).collect();
+        Tensor::from_vec(data, self.shape().dims()).expect("same shape")
+    }
+
+    /// Scales in place by `alpha`.
+    pub fn scale_mut(&mut self, alpha: f32) {
+        for x in self.data_mut() {
+            *x *= alpha;
+        }
+    }
+
+    /// Applies `f` element-wise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.data().iter().map(|&x| f(x)).collect();
+        Tensor::from_vec(data, self.shape().dims()).expect("same shape")
+    }
+
+    /// Adds a length-`cols` bias vector to every row of a matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `bias.len() != cols`.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Result<Tensor> {
+        let rows = self.rows()?;
+        let cols = self.cols()?;
+        if bias.len() != cols {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![rows, cols],
+                right: bias.shape().dims().to_vec(),
+            });
+        }
+        let mut out = self.clone();
+        let b = bias.data();
+        for r in 0..rows {
+            for c in 0..cols {
+                out.data_mut()[r * cols + c] += b[c];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sums each column of a matrix, producing a length-`cols` vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn sum_rows(&self) -> Result<Tensor> {
+        let rows = self.rows()?;
+        let cols = self.cols()?;
+        let mut out = vec![0.0f32; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c] += self.data()[r * cols + c];
+            }
+        }
+        Tensor::from_vec(out, &[cols])
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements; zero for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Euclidean (Frobenius) norm.
+    pub fn norm(&self) -> f32 {
+        self.data().iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Largest element; `None` when empty.
+    pub fn max(&self) -> Option<f32> {
+        self.data().iter().copied().fold(None, |acc, x| {
+            Some(match acc {
+                Some(m) if m >= x => m,
+                _ => x,
+            })
+        })
+    }
+
+    /// Index of the largest element in each row of a matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        let rows = self.rows()?;
+        let cols = self.cols()?;
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let mut best = 0usize;
+            let mut best_v = f32::NEG_INFINITY;
+            for c in 0..cols {
+                let v = self.data()[r * cols + c];
+                if v > best_v {
+                    best_v = v;
+                    best = c;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[0.5, 0.5, 0.5, 0.5], &[2, 2]);
+        let c = a.add(&b).unwrap().sub(&b).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[1.0, 2.0], &[1, 2]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1.0, 1.0], &[2]);
+        let b = t(&[2.0, 4.0], &[2]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn row_broadcast_adds_bias() {
+        let a = t(&[0.0, 0.0, 0.0, 0.0], &[2, 2]);
+        let bias = t(&[1.0, 2.0], &[2]);
+        let out = a.add_row_broadcast(&bias).unwrap();
+        assert_eq!(out.data(), &[1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn sum_rows_reduces_columns() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let s = a.sum_rows().unwrap();
+        assert_eq!(s.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn argmax_rows_finds_maxima() {
+        let a = t(&[1.0, 5.0, 2.0, 9.0, 0.0, -1.0], &[2, 3]);
+        assert_eq!(a.argmax_rows().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn norm_is_euclidean() {
+        let a = t(&[3.0, 4.0], &[2]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(Tensor::zeros(&[0]).mean(), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+use serde::{Deserialize, Serialize};
+
+use crate::TensorError;
+
+/// The dimensions of a [`crate::Tensor`], stored outermost-first.
+///
+/// A `Shape` is a thin wrapper over `Vec<usize>` that centralizes volume
+/// computation and rank checks used throughout the workspace.
+///
+/// ```
+/// use ft_tensor::Shape;
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.rank(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Returns the dimension sizes, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Returns the number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements a tensor of this shape holds.
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns the size of axis `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize, TensorError> {
+        self.0.get(axis).copied().ok_or(TensorError::IndexOutOfBounds {
+            axis,
+            index: axis,
+            len: self.0.len(),
+        })
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Checks that this shape has exactly `rank` axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] otherwise.
+    pub fn expect_rank(&self, rank: usize) -> Result<(), TensorError> {
+        if self.rank() == rank {
+            Ok(())
+        } else {
+            Err(TensorError::RankMismatch {
+                expected: rank,
+                actual: self.rank(),
+            })
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_of_scalar_shape_is_one() {
+        assert_eq!(Shape::new(&[]).volume(), 1);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn dim_out_of_bounds_errors() {
+        let s = Shape::new(&[2]);
+        assert!(s.dim(1).is_err());
+        assert_eq!(s.dim(0).unwrap(), 2);
+    }
+
+    #[test]
+    fn expect_rank_checks() {
+        let s = Shape::new(&[2, 2]);
+        assert!(s.expect_rank(2).is_ok());
+        assert!(s.expect_rank(3).is_err());
+    }
+}

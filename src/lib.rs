@@ -1,0 +1,3 @@
+//! Root library: re-exports the workspace public API.
+#![allow(unused_imports)]
+pub use fedtrans;

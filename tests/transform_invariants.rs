@@ -1,0 +1,121 @@
+//! Property-based tests of the paper's core invariant: model
+//! transformation is function-preserving, and the surrounding
+//! machinery (similarity, cropping, submodels) respects its bounds.
+
+use ft_baselines::submodel::{extract, KeepPlan};
+use ft_model::similarity::model_similarity;
+use ft_model::{deepen_cell, widen_cell, CellModel};
+use ft_tensor::Tensor;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Builds a dense model from a proptest-chosen architecture.
+fn dense_model(seed: u64, dim: usize, hidden: &[usize], classes: usize) -> CellModel {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    CellModel::dense(&mut rng, dim, hidden, classes)
+}
+
+fn max_output_diff(a: &mut CellModel, b: &mut CellModel, dim: usize, seed: u64) -> f32 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let x = ft_tensor::uniform(&mut rng, &[5, dim], -1.0, 1.0);
+    let ya = a.forward(&x).unwrap();
+    let yb = b.forward(&x).unwrap();
+    ya.data()
+        .iter()
+        .zip(yb.data())
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0f32, f32::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_transform_sequences_preserve_function(
+        seed in 0u64..1000,
+        ops in proptest::collection::vec((0usize..2, 0usize..4), 1..4),
+        h1 in 4usize..10,
+        h2 in 4usize..10,
+    ) {
+        let dim = 6;
+        let mut model = dense_model(seed, dim, &[h1, h2], 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
+        for (kind, raw_idx) in ops {
+            let idx = raw_idx % model.cells().len();
+            let mut parent = model.clone();
+            let mut child = if kind == 0 {
+                widen_cell(&model, idx, 2.0, &mut rng).unwrap()
+            } else {
+                deepen_cell(&model, idx, 1, &mut rng).unwrap()
+            };
+            let diff = max_output_diff(&mut parent, &mut child, dim, seed + 2);
+            prop_assert!(diff < 1e-3, "transform broke the function: {diff}");
+            model = child;
+        }
+    }
+
+    #[test]
+    fn widen_factor_controls_growth(
+        seed in 0u64..1000,
+        factor_pct in 110u32..400,
+    ) {
+        let factor = factor_pct as f32 / 100.0;
+        let parent = dense_model(seed, 6, &[8], 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let child = widen_cell(&parent, 0, factor, &mut rng).unwrap();
+        let expected = ((8.0 * factor).round() as usize).max(9);
+        prop_assert_eq!(child.cells()[0].out_width(), expected);
+        prop_assert!(child.param_count() > parent.param_count());
+    }
+
+    #[test]
+    fn similarity_is_bounded_and_symmetric(
+        seed in 0u64..1000,
+        widen_first in proptest::bool::ANY,
+    ) {
+        let parent = dense_model(seed, 6, &[8, 8], 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let child = if widen_first {
+            widen_cell(&parent, 0, 2.0, &mut rng).unwrap()
+        } else {
+            deepen_cell(&parent, 0, 1, &mut rng).unwrap()
+        };
+        let s1 = model_similarity(&parent, &child);
+        let s2 = model_similarity(&child, &parent);
+        prop_assert!((0.0..=1.0).contains(&s1));
+        prop_assert!((s1 - s2).abs() < 1e-6);
+        prop_assert!(s1 > 0.0, "related models must have positive similarity");
+        prop_assert!(s1 < 1.0, "transformed model cannot be identical");
+    }
+
+    #[test]
+    fn submodel_extraction_shrinks_monotonically(
+        seed in 0u64..1000,
+        ratio_pct in 10u32..100,
+    ) {
+        let ratio = ratio_pct as f32 / 100.0;
+        let global = dense_model(seed, 8, &[16, 16], 4);
+        let sub = extract(&global, &KeepPlan::corner(&global, ratio));
+        prop_assert!(sub.param_count() <= global.param_count());
+        prop_assert!(sub.macs_per_sample() <= global.macs_per_sample());
+        // Still runs.
+        let mut s = sub;
+        let y = s.forward(&Tensor::ones(&[2, 8])).unwrap();
+        prop_assert_eq!(y.shape().dims(), &[2usize, 4]);
+    }
+
+    #[test]
+    fn crop_composes_with_growth(
+        seed in 0u64..1000,
+    ) {
+        // A widened child's corner crop equals the parent shape and,
+        // before any training, the parent weights exactly.
+        let parent = dense_model(seed, 6, &[8], 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let child = widen_cell(&parent, 0, 2.0, &mut rng).unwrap();
+        let pw = parent.cells()[0].param_tensors()[0];
+        let cw = child.cells()[0].param_tensors()[0];
+        let cropped = ft_model::crop::crop_to(cw, pw.shape().dims());
+        prop_assert_eq!(cropped, pw.clone());
+    }
+}
