@@ -157,8 +157,12 @@ pub fn eval_ensemble_on_client(models: &[CellModel], shard: &ClientData) -> f32 
     let mut avg: Option<Tensor> = None;
     for model in models {
         let mut m = model.clone();
-        let Ok(logits) = m.forward(&x) else { return 0.0 };
-        let Ok(probs) = softmax(&logits) else { return 0.0 };
+        let Ok(logits) = m.forward(&x) else {
+            return 0.0;
+        };
+        let Ok(probs) = softmax(&logits) else {
+            return 0.0;
+        };
         avg = Some(match avg {
             None => probs,
             Some(a) => a.add(&probs).expect("same shapes"),

@@ -89,9 +89,13 @@ impl FedAvg {
         let params = self.model.param_count();
         let mut round_time = 0.0f64;
         for o in &outcomes {
-            let t = self
-                .acc
-                .record_participant(&self.devices, o.client, macs, params, o.samples_processed);
+            let t = self.acc.record_participant(
+                &self.devices,
+                o.client,
+                macs,
+                params,
+                o.samples_processed,
+            );
             round_time = round_time.max(t);
         }
 
@@ -136,7 +140,7 @@ impl FedAvg {
             .finish_round(self.round, mean_loss, outcomes.len(), 1, round_time);
         self.round += 1;
 
-        if self.cfg.eval_every > 0 && self.round as usize % self.cfg.eval_every == 0 {
+        if self.cfg.eval_every > 0 && (self.round as usize).is_multiple_of(self.cfg.eval_every) {
             let accs = self.evaluate();
             let mean = ft_fedsim::metrics::mean(&accs);
             self.acc.curve.push((self.acc.cost.train_pmacs(), mean));

@@ -120,7 +120,10 @@ impl Fluid {
         let layout = self.global.param_layout();
         for (cell, (id_opt, start, _len)) in self.global.cells().iter().zip(&layout) {
             let Some(id) = id_opt else { continue };
-            let scores = self.scores.get_mut(id).expect("cell registered at construction");
+            let scores = self
+                .scores
+                .get_mut(id)
+                .expect("cell registered at construction");
             let n = scores.len();
             // Per-unit magnitude from the cell's primary weight tensor:
             // dense columns, conv rows, attention W1 columns.
@@ -195,9 +198,13 @@ impl Fluid {
 
         let mut round_time = 0.0f64;
         for (o, &(macs, params)) in outcomes.iter().zip(&sub_stats) {
-            let t = self
-                .acc
-                .record_participant(&self.devices, o.client, macs, params, o.samples_processed);
+            let t = self.acc.record_participant(
+                &self.devices,
+                o.client,
+                macs,
+                params,
+                o.samples_processed,
+            );
             round_time = round_time.max(t);
         }
 
@@ -249,7 +256,7 @@ impl Fluid {
         );
         self.round += 1;
 
-        if self.cfg.eval_every > 0 && self.round as usize % self.cfg.eval_every == 0 {
+        if self.cfg.eval_every > 0 && (self.round as usize).is_multiple_of(self.cfg.eval_every) {
             let (accs, _) = self.evaluate();
             let mean = ft_fedsim::metrics::mean(&accs);
             self.acc.curve.push((self.acc.cost.train_pmacs(), mean));
@@ -342,7 +349,11 @@ mod tests {
         let id = f.global.cells()[0].id();
         f.scores.get_mut(&id).unwrap()[20] = 100.0;
         let plan = f.plan_for_ratio(0.25);
-        assert!(plan.keep[0].contains(&20), "active neuron must be kept: {:?}", plan.keep[0]);
+        assert!(
+            plan.keep[0].contains(&20),
+            "active neuron must be kept: {:?}",
+            plan.keep[0]
+        );
     }
 
     #[test]

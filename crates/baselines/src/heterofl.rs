@@ -59,7 +59,10 @@ impl HeteroFl {
         global: CellModel,
         ratios: &[f32],
     ) -> Self {
-        let plans: Vec<KeepPlan> = ratios.iter().map(|&r| KeepPlan::corner(&global, r)).collect();
+        let plans: Vec<KeepPlan> = ratios
+            .iter()
+            .map(|&r| KeepPlan::corner(&global, r))
+            .collect();
         let submodels: Vec<CellModel> = plans.iter().map(|p| extract(&global, p)).collect();
         let level_macs = submodels.iter().map(CellModel::macs_per_sample).collect();
         let level_params = submodels.iter().map(CellModel::param_count).collect();
@@ -177,7 +180,7 @@ impl HeteroFl {
         );
         self.round += 1;
 
-        if self.cfg.eval_every > 0 && self.round as usize % self.cfg.eval_every == 0 {
+        if self.cfg.eval_every > 0 && (self.round as usize).is_multiple_of(self.cfg.eval_every) {
             let (accs, _) = self.evaluate();
             let mean = ft_fedsim::metrics::mean(&accs);
             self.acc.curve.push((self.acc.cost.train_pmacs(), mean));

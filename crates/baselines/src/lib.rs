@@ -32,3 +32,14 @@ pub use fedavg::FedAvg;
 pub use fluid::Fluid;
 pub use heterofl::HeteroFl;
 pub use splitmix::SplitMix;
+
+#[cfg(test)]
+mod smoke {
+    use super::BaselineConfig;
+
+    #[test]
+    fn core_type_constructs_and_round_trips() {
+        let cfg = BaselineConfig::default();
+        assert!(cfg.clients_per_round > 0, "default config must be runnable");
+    }
+}

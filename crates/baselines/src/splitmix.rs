@@ -86,7 +86,9 @@ impl SplitMix {
 
     /// The base indices a client carries (round-robin from its id).
     pub fn base_set(&self, client: usize, count: usize) -> Vec<usize> {
-        (0..count).map(|j| (client + j) % self.bases.len()).collect()
+        (0..count)
+            .map(|j| (client + j) % self.bases.len())
+            .collect()
     }
 
     /// Runs one round.
@@ -101,8 +103,7 @@ impl SplitMix {
             self.cfg.clients_per_round,
         );
         // Each participant trains each of its bases.
-        let mut per_base_updates: Vec<Vec<(Vec<Tensor>, u64)>> =
-            vec![Vec::new(); self.bases.len()];
+        let mut per_base_updates: Vec<Vec<(Vec<Tensor>, u64)>> = vec![Vec::new(); self.bases.len()];
         let mut losses = Vec::new();
         let mut round_time = 0.0f64;
         for &c in &participants {
@@ -118,8 +119,7 @@ impl SplitMix {
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add((c * 131 + b) as u64);
                 let outcome: LocalOutcome =
-                    train_local(&mut model, c, self.data.client(c), &self.cfg.local, seed)
-                        .map_err(ft_fedsim::SimError::from)?;
+                    train_local(&mut model, c, self.data.client(c), &self.cfg.local, seed)?;
                 client_time += self.acc.record_participant(
                     &self.devices,
                     c,
@@ -163,7 +163,7 @@ impl SplitMix {
         );
         self.round += 1;
 
-        if self.cfg.eval_every > 0 && self.round as usize % self.cfg.eval_every == 0 {
+        if self.cfg.eval_every > 0 && (self.round as usize).is_multiple_of(self.cfg.eval_every) {
             let (accs, _) = self.evaluate();
             let mean = ft_fedsim::metrics::mean(&accs);
             self.acc.curve.push((self.acc.cost.train_pmacs(), mean));

@@ -72,7 +72,11 @@ pub struct TensorMap {
 ///
 /// Panics if the plan's cell count does not match the model.
 pub fn scatter_maps(global: &CellModel, plan: &KeepPlan) -> Vec<TensorMap> {
-    assert_eq!(plan.keep.len(), global.cells().len(), "plan/model cell count mismatch");
+    assert_eq!(
+        plan.keep.len(),
+        global.cells().len(),
+        "plan/model cell count mismatch"
+    );
     let mut maps = Vec::new();
     // Kept input indices flowing from the previous cell (None = all).
     let mut prev: Option<Vec<usize>> = None;

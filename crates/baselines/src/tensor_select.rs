@@ -109,7 +109,13 @@ pub fn scatter_add2(
 /// # Panics
 ///
 /// Panics if shapes and index lists disagree.
-pub fn scatter_add1(acc: &mut Tensor, counts: &mut Tensor, src: &Tensor, idx: &[usize], weight: f32) {
+pub fn scatter_add1(
+    acc: &mut Tensor,
+    counts: &mut Tensor,
+    src: &Tensor,
+    idx: &[usize],
+    weight: f32,
+) {
     assert_eq!(idx.len(), src.len(), "index map must cover the source");
     for (si, &gi) in idx.iter().enumerate() {
         acc.data_mut()[gi] += weight * src.data()[si];
@@ -179,7 +185,10 @@ mod tests {
 
     #[test]
     fn channel_blocks_expand_contiguously() {
-        assert_eq!(expand_channel_blocks(&[0, 2], 4), vec![0, 1, 2, 3, 8, 9, 10, 11]);
+        assert_eq!(
+            expand_channel_blocks(&[0, 2], 4),
+            vec![0, 1, 2, 3, 8, 9, 10, 11]
+        );
     }
 
     #[test]

@@ -32,8 +32,7 @@ fn bench_soft_aggregate(c: &mut Criterion) {
     let refs: Vec<&CellModel> = models.iter().collect();
     let sims = similarity_matrix(&refs);
     let agg = ModelAggregator::new(&FedTransConfig::default());
-    let per_model: Vec<Option<Vec<Tensor>>> =
-        models.iter().map(|m| Some(m.snapshot())).collect();
+    let per_model: Vec<Option<Vec<Tensor>>> = models.iter().map(|m| Some(m.snapshot())).collect();
     let ages = vec![30u32, 20, 10, 5];
     c.bench_function("soft_aggregate_4_models", |b| {
         b.iter(|| agg.soft_aggregate(&models, &per_model, &sims, &ages));
@@ -48,5 +47,10 @@ fn bench_similarity_matrix(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fedavg, bench_soft_aggregate, bench_similarity_matrix);
+criterion_group!(
+    benches,
+    bench_fedavg,
+    bench_soft_aggregate,
+    bench_similarity_matrix
+);
 criterion_main!(benches);

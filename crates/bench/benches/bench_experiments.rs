@@ -66,7 +66,12 @@ fn bench_fedavg_pipeline(c: &mut Criterion) {
     c.bench_function("fedavg_tiny", |b| {
         b.iter(|| {
             setup
-                .run_fedavg(setup.baseline_config(), setup.seed.clone(), ServerOpt::Average, ROUNDS)
+                .run_fedavg(
+                    setup.baseline_config(),
+                    setup.seed.clone(),
+                    ServerOpt::Average,
+                    ROUNDS,
+                )
                 .unwrap()
                 .final_accuracy
                 .mean

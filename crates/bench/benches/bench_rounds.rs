@@ -62,5 +62,10 @@ fn bench_heterofl_round(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fedtrans_round, bench_fedavg_round, bench_heterofl_round);
+criterion_group!(
+    benches,
+    bench_fedtrans_round,
+    bench_fedavg_round,
+    bench_heterofl_round
+);
 criterion_main!(benches);

@@ -15,7 +15,10 @@ fn main() {
     .unwrap();
     let report = rt.run(scale.rounds()).unwrap();
     println!("suite: {:?}", report.model_archs);
-    println!("utility-assigned mean acc: {:.3}", report.final_accuracy.mean);
+    println!(
+        "utility-assigned mean acc: {:.3}",
+        report.final_accuracy.mean
+    );
     // Oracle: best compatible model per client by TEST accuracy.
     let macs = rt.model_macs();
     let mut oracle = 0.0f32;
@@ -35,6 +38,10 @@ fn main() {
     }
     println!("oracle-assigned mean acc: {:.3}", oracle / nc as f32);
     for (i, (s, n)) in per_model_mean.iter().enumerate() {
-        println!("model {i} ({} MACs): mean acc over compat clients {:.3} [{n} clients]", macs[i], s / (*n).max(1) as f32);
+        println!(
+            "model {i} ({} MACs): mean acc over compat clients {:.3} [{n} clients]",
+            macs[i],
+            s / (*n).max(1) as f32
+        );
     }
 }

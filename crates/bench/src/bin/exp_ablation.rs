@@ -89,9 +89,7 @@ fn main() {
             "fig13_heterogeneity",
             &[0.5f32, 1.0, 50.0, 100.0],
             |h| {
-                let s = Setup::with_config(Workload::Femnist, scale, |c| {
-                    c.with_dirichlet_alpha(h)
-                });
+                let s = Setup::with_config(Workload::Femnist, scale, |c| c.with_dirichlet_alpha(h));
                 let r = s
                     .run_fedtrans(s.fedtrans_config(), rounds)
                     .expect("fedtrans heterogeneity arm");

@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p ft-bench --bin exp_fig1`
 
 use ft_baselines::ServerOpt;
-use ft_bench::{print_header, print_row, dump_json, Scale, Setup, Workload};
+use ft_bench::{dump_json, print_header, print_row, Scale, Setup, Workload};
 use ft_fedsim::metrics::box_stats;
 use ft_model::CellModel;
 use rand::SeedableRng;
@@ -111,8 +111,11 @@ fn main() {
         "no single model best for the majority (paper's observation): {}",
         if max_share < 50.0 { "yes" } else { "no" }
     );
-    dump_json("fig1", &serde_json::json!({
-        "best_share_percent": rows,
-        "latency_ranges": overlap_check,
-    }));
+    dump_json(
+        "fig1",
+        &serde_json::json!({
+            "best_share_percent": rows,
+            "latency_ranges": overlap_check,
+        }),
+    );
 }

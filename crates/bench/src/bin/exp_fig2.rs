@@ -69,13 +69,19 @@ fn main() {
     let heterofl = setup
         .run_heterofl(bl, largest.clone(), rounds)
         .expect("heterofl");
-    let splitmix = setup.run_splitmix(bl, &largest, 4, rounds).expect("splitmix");
+    let splitmix = setup
+        .run_splitmix(bl, &largest, 4, rounds)
+        .expect("splitmix");
     let (cloud_acc, cloud_pmacs) = centralized_upper_bound(&setup, &largest, 10);
 
     println!("=== Fig. 2: cost vs accuracy (FEMNIST-like) ===");
     print_header(&["Method", "Cost (MACs)", "Mean accuracy"]);
     let rows = [
-        ("FedAvg (single global)", fedavg.pmacs, fedavg.final_accuracy.mean),
+        (
+            "FedAvg (single global)",
+            fedavg.pmacs,
+            fedavg.final_accuracy.mean,
+        ),
         ("FedTrans", ft.pmacs, ft.final_accuracy.mean),
         ("FLuID", fluid.pmacs, fluid.final_accuracy.mean),
         ("HeteroFL", heterofl.pmacs, heterofl.final_accuracy.mean),

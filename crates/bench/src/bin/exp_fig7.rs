@@ -42,7 +42,9 @@ fn main() {
         let heterofl = setup
             .run_heterofl(bl, largest.clone(), rounds)
             .expect("heterofl");
-        let splitmix = setup.run_splitmix(bl, &largest, 4, rounds).expect("splitmix");
+        let splitmix = setup
+            .run_splitmix(bl, &largest, 4, rounds)
+            .expect("splitmix");
 
         for (name, report) in [
             ("FedTrans", &ft),

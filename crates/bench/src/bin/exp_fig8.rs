@@ -78,12 +78,23 @@ fn main() {
     );
 
     println!("=== Fig. 8: FedTrans + existing FL optimizations (FEMNIST-like) ===");
-    println!("(plain FedProx/FedYogi train FedTrans's middle model: {})", middle.arch_string());
+    println!(
+        "(plain FedProx/FedYogi train FedTrans's middle model: {})",
+        middle.arch_string()
+    );
     print_header(&["Method", "Accuracy @ equal cost", "Cost budget (MACs)"]);
     let rows = [
-        ("FedTrans + FedProx", ft_prox.final_accuracy.mean, ft_prox.pmacs),
+        (
+            "FedTrans + FedProx",
+            ft_prox.final_accuracy.mean,
+            ft_prox.pmacs,
+        ),
         ("FedProx", fedprox_at, budget),
-        ("FedTrans (+FedAvg server)", ft_plain.final_accuracy.mean, ft_plain.pmacs),
+        (
+            "FedTrans (+FedAvg server)",
+            ft_plain.final_accuracy.mean,
+            ft_plain.pmacs,
+        ),
         ("FedYogi", fedyogi_at, budget),
     ];
     for (name, acc, cost) in rows {

@@ -34,7 +34,9 @@ fn main() {
         suite.iter().collect()
     } else {
         let step = suite.len() / 4;
-        (0..4).map(|i| &suite[(i * step).min(suite.len() - 1)]).collect()
+        (0..4)
+            .map(|i| &suite[(i * step).min(suite.len() - 1)])
+            .collect()
     };
 
     // Hand-designed reference architectures of assorted complexities
@@ -45,10 +47,22 @@ fn main() {
     let dim = setup.data.input_dim();
     let classes = setup.data.num_classes();
     let references: Vec<(&str, CellModel)> = vec![
-        ("MobileNetV2-like", CellModel::dense(&mut rng, dim, &[10, 10, 10], classes)),
-        ("MobileNetV3-like", CellModel::dense(&mut rng, dim, &[20, 12], classes)),
-        ("EfficientNetV2-like", CellModel::dense(&mut rng, dim, &[32, 32, 16], classes)),
-        ("ResNet-like", CellModel::dense(&mut rng, dim, &[48, 48], classes)),
+        (
+            "MobileNetV2-like",
+            CellModel::dense(&mut rng, dim, &[10, 10, 10], classes),
+        ),
+        (
+            "MobileNetV3-like",
+            CellModel::dense(&mut rng, dim, &[20, 12], classes),
+        ),
+        (
+            "EfficientNetV2-like",
+            CellModel::dense(&mut rng, dim, &[32, 32, 16], classes),
+        ),
+        (
+            "ResNet-like",
+            CellModel::dense(&mut rng, dim, &[48, 48], classes),
+        ),
     ];
 
     // Appendix A.1: this protocol removes hardware capacity limits.

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p ft-bench --bin exp_table2 [dataset]`
 
-use ft_bench::{print_header, print_row, table2_columns, dump_json, Scale, Setup, Workload};
+use ft_bench::{dump_json, print_header, print_row, table2_columns, Scale, Setup, Workload};
 use ft_fedsim::report::RunReport;
 
 fn boxplot_row(method: &str, r: &RunReport) -> Vec<String> {
@@ -35,7 +35,12 @@ fn main() {
         }
         let setup = Setup::new(workload, scale);
         let rounds = setup.rounds();
-        println!("\n=== {} (scale {:?}, {} rounds) ===", workload.name(), scale, rounds);
+        println!(
+            "\n=== {} (scale {:?}, {} rounds) ===",
+            workload.name(),
+            scale,
+            rounds
+        );
         println!(
             "seed model: {} ({} MACs); device disparity {:.1}x",
             setup.seed.arch_string(),
@@ -64,13 +69,23 @@ fn main() {
             .expect("splitmix run");
 
         println!("\nTable 2 ({}):", workload.name());
-        print_header(&["Method", "Accu.(%)", "IQR(%)", "Cost(MACs)", "Storage(MB)", "Network(MB)"]);
+        print_header(&[
+            "Method",
+            "Accu.(%)",
+            "IQR(%)",
+            "Cost(MACs)",
+            "Storage(MB)",
+            "Network(MB)",
+        ]);
         print_row(&table2_columns("FedTrans", &ft_report));
         print_row(&table2_columns("FLuID", &fluid));
         print_row(&table2_columns("HeteroFL", &heterofl));
         print_row(&table2_columns("SplitMix", &splitmix));
 
-        println!("\nFig. 6 per-client accuracy boxplot ({}):", workload.name());
+        println!(
+            "\nFig. 6 per-client accuracy boxplot ({}):",
+            workload.name()
+        );
         print_header(&["Method", "min", "q1", "median", "q3", "max"]);
         print_row(&boxplot_row("FedTrans", &ft_report));
         print_row(&boxplot_row("FLuID", &fluid));
@@ -78,7 +93,10 @@ fn main() {
         print_row(&boxplot_row("SplitMix", &splitmix));
 
         dump_json(
-            &format!("table2_{}", workload.name().to_lowercase().replace('-', "_")),
+            &format!(
+                "table2_{}",
+                workload.name().to_lowercase().replace('-', "_")
+            ),
             &serde_json::json!({
                 "fedtrans": ft_report,
                 "fluid": fluid,

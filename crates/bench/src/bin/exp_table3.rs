@@ -16,8 +16,14 @@ fn main() {
 
     let arms = [
         ("FedTrans", setup.fedtrans_config()),
-        ("FedTrans-l", setup.fedtrans_config().ablate_layer_selection()),
-        ("FedTrans-ls", setup.fedtrans_config().ablate_soft_aggregation()),
+        (
+            "FedTrans-l",
+            setup.fedtrans_config().ablate_layer_selection(),
+        ),
+        (
+            "FedTrans-ls",
+            setup.fedtrans_config().ablate_soft_aggregation(),
+        ),
         ("FedTrans-lsw", setup.fedtrans_config().ablate_warmup()),
         ("FedTrans-lswd", setup.fedtrans_config().ablate_decay()),
     ];

@@ -19,11 +19,20 @@ fn main() {
         .run_fedtrans_keep_largest(setup.fedtrans_config(), rounds)
         .expect("fedtrans vit");
     let fedavg = setup
-        .run_fedavg(setup.baseline_config(), largest.clone(), ServerOpt::Average, rounds)
+        .run_fedavg(
+            setup.baseline_config(),
+            largest.clone(),
+            ServerOpt::Average,
+            rounds,
+        )
         .expect("fedavg vit");
 
     println!("=== Table 4: ViT generality (FEMNIST-like tokens) ===");
-    println!("seed: {} -> largest: {}", setup.seed.arch_string(), largest.arch_string());
+    println!(
+        "seed: {} -> largest: {}",
+        setup.seed.arch_string(),
+        largest.arch_string()
+    );
     print_header(&["Method", "Accu. (%)", "Cost (MACs)"]);
     print_row(&[
         "FedTrans + FedAvg".to_owned(),

@@ -27,7 +27,9 @@ fn main() {
         report.model_macs.iter().sum::<u64>() / report.model_macs.len().max(1) as u64;
 
     println!("=== Table 5: overhead analysis (symbolic, with measured run values) ===");
-    println!("m = {m} registered clients, p = {p} participants/round, n = {n} models, r = {r} rounds");
+    println!(
+        "m = {m} registered clients, p = {p} participants/round, n = {n} models, r = {r} rounds"
+    );
     print_header(&["Overhead", "Formula", "This run (ops or bytes)"]);
     print_row(&[
         "client computation".to_owned(),
@@ -42,7 +44,11 @@ fn main() {
     print_row(&[
         "coordinator computation".to_owned(),
         "r(mn + 1)c + |W|c".to_owned(),
-        format!("{} utility ops + {} transform-weight ops", r * (m * n + 1), avg_weights),
+        format!(
+            "{} utility ops + {} transform-weight ops",
+            r * (m * n + 1),
+            avg_weights
+        ),
     ]);
     print_row(&[
         "coordinator communication".to_owned(),

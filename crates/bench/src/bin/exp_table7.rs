@@ -21,25 +21,27 @@ fn main() {
     let cfgs: Vec<_> = setups.iter().map(Setup::fedtrans_config).collect();
 
     let row = |name: &str, f: &dyn Fn(usize) -> String| {
-        print_row(&[
-            name.to_owned(),
-            f(0),
-            f(1),
-            f(2),
-            f(3),
-        ]);
+        print_row(&[name.to_owned(), f(0), f(1), f(2), f(3)]);
     };
-    row("# participants per round", &|i| cfgs[i].clients_per_round.to_string());
+    row("# participants per round", &|i| {
+        cfgs[i].clients_per_round.to_string()
+    });
     row("max training rounds", &|_| scale.rounds().to_string());
     row("loss-slope step (delta)", &|i| cfgs[i].delta.to_string());
     row("DoC window (gamma)", &|i| cfgs[i].gamma.to_string());
     row("DoC threshold (beta)", &|i| cfgs[i].beta.to_string());
-    row("activeness threshold (alpha)", &|i| cfgs[i].alpha.to_string());
-    row("local training steps", &|i| cfgs[i].local.local_steps.to_string());
+    row("activeness threshold (alpha)", &|i| {
+        cfgs[i].alpha.to_string()
+    });
+    row("local training steps", &|i| {
+        cfgs[i].local.local_steps.to_string()
+    });
     row("batch size", &|i| cfgs[i].local.batch_size.to_string());
     row("learning rate", &|i| cfgs[i].local.lr.to_string());
     row("decay factor (eta)", &|i| cfgs[i].eta.to_string());
-    row("activeness window (T)", &|i| cfgs[i].activeness_window.to_string());
+    row("activeness window (T)", &|i| {
+        cfgs[i].activeness_window.to_string()
+    });
     row("# clients", &|i| setups[i].data.num_clients().to_string());
     row("# classes", &|i| setups[i].data.num_classes().to_string());
     row("seed model", &|i| setups[i].seed.arch_string());

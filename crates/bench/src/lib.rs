@@ -176,7 +176,12 @@ impl Setup {
             .with_seed(7)
             .generate();
         let mut rng = rand::rngs::StdRng::seed_from_u64(23);
-        let seed = seed_model(&mut rng, data.input(), data.num_classes(), devices.min_capacity());
+        let seed = seed_model(
+            &mut rng,
+            data.input(),
+            data.num_classes(),
+            devices.min_capacity(),
+        );
         Setup {
             workload,
             scale,
@@ -341,7 +346,10 @@ pub fn print_row(cols: &[String]) {
 /// Prints a table header with separator.
 pub fn print_header(cols: &[&str]) {
     println!("| {} |", cols.join(" | "));
-    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Formats a `RunReport` into the paper's Table 2 columns.

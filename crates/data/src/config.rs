@@ -34,7 +34,11 @@ impl InputSpec {
     pub fn flat_dim(&self) -> usize {
         match *self {
             InputSpec::Flat { dim } => dim,
-            InputSpec::Image { channels, height, width } => channels * height * width,
+            InputSpec::Image {
+                channels,
+                height,
+                width,
+            } => channels * height * width,
             InputSpec::Tokens { tokens, d_model } => tokens * d_model,
         }
     }
@@ -114,7 +118,11 @@ impl DatasetConfig {
         let mut c = Self::base("cifar-like");
         c.num_clients = 100;
         c.num_classes = 10;
-        c.input = InputSpec::Image { channels: 3, height: 8, width: 8 };
+        c.input = InputSpec::Image {
+            channels: 3,
+            height: 8,
+            width: 8,
+        };
         c
     }
 
@@ -147,7 +155,11 @@ impl DatasetConfig {
         let mut c = Self::base("openimage-like");
         c.num_clients = 300;
         c.num_classes = 20;
-        c.input = InputSpec::Image { channels: 1, height: 8, width: 8 };
+        c.input = InputSpec::Image {
+            channels: 1,
+            height: 8,
+            width: 8,
+        };
         c.mean_samples = 60;
         c.max_difficulty = 0.6;
         c
@@ -158,7 +170,10 @@ impl DatasetConfig {
         let mut c = Self::base("femnist-vit-like");
         c.num_clients = 120;
         c.num_classes = 16;
-        c.input = InputSpec::Tokens { tokens: 8, d_model: 8 };
+        c.input = InputSpec::Tokens {
+            tokens: 8,
+            d_model: 8,
+        };
         c
     }
 
@@ -226,8 +241,23 @@ mod tests {
     #[test]
     fn flat_dim_matches_geometry() {
         assert_eq!(InputSpec::Flat { dim: 32 }.flat_dim(), 32);
-        assert_eq!(InputSpec::Image { channels: 3, height: 8, width: 8 }.flat_dim(), 192);
-        assert_eq!(InputSpec::Tokens { tokens: 8, d_model: 8 }.flat_dim(), 64);
+        assert_eq!(
+            InputSpec::Image {
+                channels: 3,
+                height: 8,
+                width: 8
+            }
+            .flat_dim(),
+            192
+        );
+        assert_eq!(
+            InputSpec::Tokens {
+                tokens: 8,
+                d_model: 8
+            }
+            .flat_dim(),
+            64
+        );
     }
 
     #[test]

@@ -19,7 +19,13 @@ use crate::{ClientData, DatasetConfig, FederatedDataset, InputSpec};
 
 /// Generates prototypes for image inputs as smooth low-frequency
 /// patterns so conv models have spatial structure to exploit.
-fn image_prototype(rng: &mut impl Rng, channels: usize, height: usize, width: usize, sep: f32) -> Vec<f32> {
+fn image_prototype(
+    rng: &mut impl Rng,
+    channels: usize,
+    height: usize,
+    width: usize,
+    sep: f32,
+) -> Vec<f32> {
     let mut proto = vec![0.0f32; channels * height * width];
     for c in 0..channels {
         // Random 2-D sinusoid per channel.
@@ -56,9 +62,11 @@ pub fn generate(config: &DatasetConfig) -> FederatedDataset {
     // Global class prototypes.
     let prototypes: Vec<Vec<f32>> = (0..config.num_classes)
         .map(|_| match config.input {
-            InputSpec::Image { channels, height, width } => {
-                image_prototype(&mut rng, channels, height, width, config.class_sep)
-            }
+            InputSpec::Image {
+                channels,
+                height,
+                width,
+            } => image_prototype(&mut rng, channels, height, width, config.class_sep),
             _ => flat_prototype(&mut rng, dim, config.class_sep),
         })
         .collect();
@@ -83,7 +91,8 @@ pub fn generate(config: &DatasetConfig) -> FederatedDataset {
     let mut clients = Vec::with_capacity(config.num_clients);
     for client_idx in 0..config.num_clients {
         let label_dist = sample_dirichlet(&mut rng, config.num_classes, config.dirichlet_alpha);
-        let n_total = (count_dist.sample(&mut rng).round() as usize).clamp(8, config.mean_samples * 6);
+        let n_total =
+            (count_dist.sample(&mut rng).round() as usize).clamp(8, config.mean_samples * 6);
         let n_test = ((n_total as f32 * config.test_fraction).round() as usize).max(2);
         let n_train = (n_total - n_test.min(n_total)).max(4);
         // Difficulty spread: deterministic ramp + jitter keeps the
@@ -138,7 +147,9 @@ pub fn generate(config: &DatasetConfig) -> FederatedDataset {
             test_x.push(x);
             test_y.push(y);
         }
-        clients.push(ClientData::new(train_x, train_y, test_x, test_y, label_dist, difficulty));
+        clients.push(ClientData::new(
+            train_x, train_y, test_x, test_y, label_dist, difficulty,
+        ));
     }
 
     FederatedDataset::new(config.clone(), clients)
@@ -161,8 +172,16 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate(&DatasetConfig::femnist_like().with_num_clients(3).with_seed(1));
-        let b = generate(&DatasetConfig::femnist_like().with_num_clients(3).with_seed(2));
+        let a = generate(
+            &DatasetConfig::femnist_like()
+                .with_num_clients(3)
+                .with_seed(1),
+        );
+        let b = generate(
+            &DatasetConfig::femnist_like()
+                .with_num_clients(3)
+                .with_seed(2),
+        );
         let (xa, _) = a.client(0).train_all();
         let (xb, _) = b.client(0).train_all();
         assert_ne!(xa, xb);
@@ -173,7 +192,10 @@ mod tests {
         let d = generate(&DatasetConfig::femnist_like().with_num_clients(50));
         let difficulties: Vec<f32> = d.clients().iter().map(|c| c.difficulty()).collect();
         let min = difficulties.iter().cloned().fold(f32::INFINITY, f32::min);
-        let max = difficulties.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let max = difficulties
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
         assert!(min < 0.1);
         assert!(max > 0.3);
     }
@@ -200,10 +222,18 @@ mod tests {
                 .with_dirichlet_alpha(100.0),
         );
         let tv_skewed = mean_tv_from_uniform(
-            &skewed.clients().iter().map(|c| c.label_dist().to_vec()).collect::<Vec<_>>(),
+            &skewed
+                .clients()
+                .iter()
+                .map(|c| c.label_dist().to_vec())
+                .collect::<Vec<_>>(),
         );
         let tv_uniform = mean_tv_from_uniform(
-            &uniform.clients().iter().map(|c| c.label_dist().to_vec()).collect::<Vec<_>>(),
+            &uniform
+                .clients()
+                .iter()
+                .map(|c| c.label_dist().to_vec())
+                .collect::<Vec<_>>(),
         );
         assert!(tv_skewed > tv_uniform);
     }

@@ -39,3 +39,19 @@ pub mod partition;
 
 pub use config::{DatasetConfig, InputSpec};
 pub use dataset::{ClientData, FederatedDataset};
+
+#[cfg(test)]
+mod smoke {
+    use super::DatasetConfig;
+
+    #[test]
+    fn core_type_constructs_and_round_trips() {
+        let data = DatasetConfig::femnist_like()
+            .with_num_clients(3)
+            .with_mean_samples(20)
+            .generate();
+        assert_eq!(data.num_clients(), 3);
+        assert!(data.client(0).train_len() > 0);
+        assert!(data.num_classes() > 1);
+    }
+}

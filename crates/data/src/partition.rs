@@ -80,8 +80,12 @@ mod tests {
     #[test]
     fn low_alpha_is_more_skewed() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let low: Vec<Vec<f32>> = (0..200).map(|_| sample_dirichlet(&mut rng, 10, 0.1)).collect();
-        let high: Vec<Vec<f32>> = (0..200).map(|_| sample_dirichlet(&mut rng, 10, 100.0)).collect();
+        let low: Vec<Vec<f32>> = (0..200)
+            .map(|_| sample_dirichlet(&mut rng, 10, 0.1))
+            .collect();
+        let high: Vec<Vec<f32>> = (0..200)
+            .map(|_| sample_dirichlet(&mut rng, 10, 100.0))
+            .collect();
         assert!(mean_tv_from_uniform(&low) > mean_tv_from_uniform(&high) + 0.2);
     }
 

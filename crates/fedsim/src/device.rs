@@ -75,13 +75,21 @@ impl DeviceTrace {
     /// Smallest capacity in the trace (the seed model's complexity
     /// budget per §5.1).
     pub fn min_capacity(&self) -> u64 {
-        self.profiles.iter().map(|p| p.capacity_macs).min().unwrap_or(0)
+        self.profiles
+            .iter()
+            .map(|p| p.capacity_macs)
+            .min()
+            .unwrap_or(0)
     }
 
     /// Largest capacity in the trace (the maximum model's complexity
     /// budget per §5.1).
     pub fn max_capacity(&self) -> u64 {
-        self.profiles.iter().map(|p| p.capacity_macs).max().unwrap_or(0)
+        self.profiles
+            .iter()
+            .map(|p| p.capacity_macs)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Ratio of the most to least capable device.
@@ -198,7 +206,11 @@ mod tests {
     #[test]
     fn disparity_is_realized() {
         let t = DeviceTraceConfig::default().with_disparity(29.0).generate();
-        assert!((t.capacity_disparity() - 29.0).abs() < 1.0, "{}", t.capacity_disparity());
+        assert!(
+            (t.capacity_disparity() - 29.0).abs() < 1.0,
+            "{}",
+            t.capacity_disparity()
+        );
     }
 
     #[test]

@@ -44,3 +44,15 @@ pub use error::SimError;
 
 /// Convenience alias for results produced by the simulator.
 pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod smoke {
+    use super::device::DeviceTraceConfig;
+
+    #[test]
+    fn core_type_constructs_and_round_trips() {
+        let trace = DeviceTraceConfig::default().with_num_devices(12).generate();
+        assert_eq!(trace.len(), 12);
+        assert!(trace.capacity_disparity() >= 1.0);
+    }
+}

@@ -54,7 +54,7 @@ mod tests {
 
     #[test]
     fn round_robin_covers_everyone() {
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for round in 0..5 {
             for idx in round_robin(round, 10, 2) {
                 seen[idx] = true;
@@ -66,7 +66,7 @@ mod tests {
     #[test]
     fn uniform_eventually_covers_population() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let mut seen = vec![false; 20];
+        let mut seen = [false; 20];
         for _ in 0..60 {
             for idx in uniform(&mut rng, 20, 5) {
                 seen[idx] = true;

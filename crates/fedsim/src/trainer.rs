@@ -94,8 +94,12 @@ pub fn train_local(
         let grad_refs: Vec<&Tensor> = grads.iter().collect();
         let mut params = model.param_tensors_mut();
         match &mut prox {
-            Some(p) => p.step(&mut params, &grad_refs).map_err(ft_model::ModelError::from)?,
-            None => sgd.step(&mut params, &grad_refs).map_err(ft_model::ModelError::from)?,
+            Some(p) => p
+                .step(&mut params, &grad_refs)
+                .map_err(ft_model::ModelError::from)?,
+            None => sgd
+                .step(&mut params, &grad_refs)
+                .map_err(ft_model::ModelError::from)?,
         }
     }
 
@@ -157,7 +161,9 @@ pub fn train_participants(
         for _ in 0..workers {
             scope.spawn(|_| loop {
                 let item = queue.lock().pop();
-                let Some((slot, (client, mut model))) = item else { break };
+                let Some((slot, (client, mut model))) = item else {
+                    break;
+                };
                 let seed = round_seed
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add(client as u64);
@@ -216,7 +222,10 @@ mod tests {
         let (initial_loss, _) = fresh.evaluate(&x, &y).unwrap();
         let (final_loss, _) = m.evaluate(&x, &y).unwrap();
         assert!(final_loss < initial_loss, "{final_loss} !< {initial_loss}");
-        assert_eq!(out.samples_processed, 40 * 10.min(data.client(0).train_len()) as u64);
+        assert_eq!(
+            out.samples_processed,
+            40 * 10.min(data.client(0).train_len()) as u64
+        );
     }
 
     #[test]
@@ -257,8 +266,7 @@ mod tests {
     fn parallel_matches_serial() {
         let (data, model) = tiny();
         let cfg = LocalTrainConfig::default();
-        let assignments: Vec<(usize, CellModel)> =
-            (0..3).map(|c| (c, model.clone())).collect();
+        let assignments: Vec<(usize, CellModel)> = (0..3).map(|c| (c, model.clone())).collect();
         let par = train_participants(assignments, data.clients(), &cfg, 77).unwrap();
         for (i, outcome) in par.iter().enumerate() {
             let mut m = model.clone();

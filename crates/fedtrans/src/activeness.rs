@@ -51,7 +51,11 @@ impl ActivenessTracker {
                 .find(|c| c.id() == id)
                 .expect("layout ids come from this model");
             let w = cell.weight_norm();
-            let act = if w <= f32::EPSILON { 0.0 } else { grad_sq.sqrt() / w };
+            let act = if w <= f32::EPSILON {
+                0.0
+            } else {
+                grad_sq.sqrt() / w
+            };
             let entry = self.history.entry(id).or_default();
             entry.push_back(act);
             while entry.len() > self.window {
@@ -71,7 +75,11 @@ impl ActivenessTracker {
 
     /// Activeness of every cell of `model`, in body order.
     pub fn model_activeness(&self, model: &CellModel) -> Vec<f32> {
-        model.cells().iter().map(|c| self.activeness(c.id())).collect()
+        model
+            .cells()
+            .iter()
+            .map(|c| self.activeness(c.id()))
+            .collect()
     }
 
     /// Number of rounds of history the given cell has.

@@ -113,10 +113,14 @@ impl ModelAggregator {
                 continue;
             }
             let layout_j = target.param_layout();
-            let mut acc: Vec<Tensor> =
-                base.iter().map(|t| Tensor::zeros(t.shape().dims())).collect();
-            let mut counts: Vec<Tensor> =
-                base.iter().map(|t| Tensor::zeros(t.shape().dims())).collect();
+            let mut acc: Vec<Tensor> = base
+                .iter()
+                .map(|t| Tensor::zeros(t.shape().dims()))
+                .collect();
+            let mut counts: Vec<Tensor> = base
+                .iter()
+                .map(|t| Tensor::zeros(t.shape().dims()))
+                .collect();
 
             for (i, source_model) in models.iter().enumerate() {
                 if i > j && !self.l2s {
@@ -207,7 +211,9 @@ mod tests {
         let cw = constant_weights(&child, 1.0);
         let out = agg.soft_aggregate(&models, &[Some(pw), Some(cw)], &sims, &[0, 0]);
         // Parent (index 0) receives nothing from the child: stays 5.0.
-        assert!(out[0].iter().all(|t| t.data().iter().all(|&v| (v - 5.0).abs() < 1e-6)));
+        assert!(out[0]
+            .iter()
+            .all(|t| t.data().iter().all(|&v| (v - 5.0).abs() < 1e-6)));
         // Child's overlap region moved toward the parent's 5.0.
         let mixed = out[1][0].data()[0];
         assert!(mixed > 1.0 && mixed < 5.0, "mixed {mixed}");
@@ -223,7 +229,10 @@ mod tests {
         let cw = constant_weights(&child, 1.0);
         let out = agg.soft_aggregate(&models, &[Some(pw), Some(cw)], &sims, &[0, 0]);
         let mixed = out[0][0].data()[0];
-        assert!(mixed < 5.0, "parent should have moved toward child, got {mixed}");
+        assert!(
+            mixed < 5.0,
+            "parent should have moved toward child, got {mixed}"
+        );
     }
 
     #[test]
@@ -233,11 +242,19 @@ mod tests {
         let models = vec![parent.clone(), child.clone()];
         let pw = constant_weights(&parent, 5.0);
         let cw = constant_weights(&child, 1.0);
-        let early = agg.soft_aggregate(&models, &[Some(pw.clone()), Some(cw.clone())], &sims, &[0, 0]);
+        let early = agg.soft_aggregate(
+            &models,
+            &[Some(pw.clone()), Some(cw.clone())],
+            &sims,
+            &[0, 0],
+        );
         let late = agg.soft_aggregate(&models, &[Some(pw), Some(cw)], &sims, &[500, 500]);
         let drift_early = (early[1][0].data()[0] - 1.0).abs();
         let drift_late = (late[1][0].data()[0] - 1.0).abs();
-        assert!(drift_late < drift_early * 0.1, "{drift_late} vs {drift_early}");
+        assert!(
+            drift_late < drift_early * 0.1,
+            "{drift_late} vs {drift_early}"
+        );
     }
 
     #[test]
@@ -248,7 +265,12 @@ mod tests {
         let models = vec![parent.clone(), child.clone()];
         let pw = constant_weights(&parent, 5.0);
         let cw = constant_weights(&child, 1.0);
-        let early = agg.soft_aggregate(&models, &[Some(pw.clone()), Some(cw.clone())], &sims, &[0, 0]);
+        let early = agg.soft_aggregate(
+            &models,
+            &[Some(pw.clone()), Some(cw.clone())],
+            &sims,
+            &[0, 0],
+        );
         let late = agg.soft_aggregate(&models, &[Some(pw), Some(cw)], &sims, &[500, 500]);
         assert!((early[1][0].data()[0] - late[1][0].data()[0]).abs() < 1e-6);
     }
@@ -261,7 +283,12 @@ mod tests {
         let models = vec![parent.clone(), child.clone()];
         let pw = constant_weights(&parent, 5.0);
         let cw = constant_weights(&child, 1.0);
-        let out = agg.soft_aggregate(&models, &[Some(pw.clone()), Some(cw.clone())], &sims, &[0, 0]);
+        let out = agg.soft_aggregate(
+            &models,
+            &[Some(pw.clone()), Some(cw.clone())],
+            &sims,
+            &[0, 0],
+        );
         assert_eq!(out[0], pw);
         assert_eq!(out[1], cw);
     }
@@ -294,7 +321,14 @@ mod tests {
         let layout = child.param_layout();
         let (_, ins_start, _) = layout[1];
         let (_, inh_start, _) = layout[2];
-        assert_eq!(out[1][ins_start].data()[0], 0.0, "inserted cell must not borrow");
-        assert!(out[1][inh_start].data()[0] > 0.0, "inherited cell must borrow");
+        assert_eq!(
+            out[1][ins_start].data()[0],
+            0.0,
+            "inserted cell must not borrow"
+        );
+        assert!(
+            out[1][inh_start].data()[0] > 0.0,
+            "inherited cell must borrow"
+        );
     }
 }

@@ -213,7 +213,10 @@ impl FedTransConfig {
             return Err("gamma and delta must be at least 1".to_owned());
         }
         if self.widen_factor <= 1.0 {
-            return Err(format!("widen_factor must exceed 1, got {}", self.widen_factor));
+            return Err(format!(
+                "widen_factor must exceed 1, got {}",
+                self.widen_factor
+            ));
         }
         if self.deepen_count == 0 {
             return Err("deepen_count must be at least 1".to_owned());
@@ -268,9 +271,18 @@ mod tests {
 
     #[test]
     fn validate_rejects_nonsense() {
-        assert!(FedTransConfig::default().with_alpha(1.5).validate().is_err());
+        assert!(FedTransConfig::default()
+            .with_alpha(1.5)
+            .validate()
+            .is_err());
         assert!(FedTransConfig::default().with_beta(0.0).validate().is_err());
-        assert!(FedTransConfig::default().with_widen_factor(0.5).validate().is_err());
-        assert!(FedTransConfig::default().with_clients_per_round(0).validate().is_err());
+        assert!(FedTransConfig::default()
+            .with_widen_factor(0.5)
+            .validate()
+            .is_err());
+        assert!(FedTransConfig::default()
+            .with_clients_per_round(0)
+            .validate()
+            .is_err());
     }
 }

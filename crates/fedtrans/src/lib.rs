@@ -58,3 +58,19 @@ pub use utility::ClientManager;
 
 /// Convenience alias for results produced by FedTrans.
 pub type Result<T> = std::result::Result<T, FedTransError>;
+
+#[cfg(test)]
+mod smoke {
+    use super::FedTransConfig;
+
+    #[test]
+    fn core_type_constructs_and_round_trips() {
+        let cfg = FedTransConfig::default()
+            .with_clients_per_round(8)
+            .with_gamma(2)
+            .with_delta(1);
+        assert_eq!(cfg.clients_per_round, 8);
+        assert_eq!(cfg.gamma, 2);
+        assert_eq!(cfg.delta, 1);
+    }
+}

@@ -14,10 +14,10 @@ use ft_data::{FederatedDataset, InputSpec};
 use ft_fedsim::costs::{storage_mb, CostMeter};
 use ft_fedsim::device::DeviceTrace;
 use ft_fedsim::metrics::{box_stats, BoxStats};
-use ft_fedsim::roundtime::client_round_time;
-use ft_fedsim::trainer::{train_participants, LocalOutcome};
 use ft_fedsim::report::{RoundReport, RunReport};
+use ft_fedsim::roundtime::client_round_time;
 use ft_fedsim::select;
+use ft_fedsim::trainer::{train_participants, LocalOutcome};
 use ft_model::{similarity::similarity_matrix, CellModel};
 use ft_tensor::Tensor;
 
@@ -46,7 +46,11 @@ pub fn seed_model(
             }
             CellModel::dense(rng, dim, &[4, 4], classes)
         }
-        InputSpec::Image { channels, height, width } => {
+        InputSpec::Image {
+            channels,
+            height,
+            width,
+        } => {
             for c in [16usize, 12, 8, 6, 4, 3, 2] {
                 let m = CellModel::conv(rng, channels, height, width, &[c, c], 3, classes);
                 if m.macs_per_sample() <= budget_macs {
@@ -96,12 +100,9 @@ impl FedTransRuntime {
     ///
     /// Returns [`FedTransError::BadConfig`] when the config is invalid
     /// or the device trace does not cover the client population.
-    pub fn new(
-        cfg: FedTransConfig,
-        data: FederatedDataset,
-        devices: DeviceTrace,
-    ) -> Result<Self> {
-        cfg.validate().map_err(|detail| FedTransError::BadConfig { detail })?;
+    pub fn new(cfg: FedTransConfig, data: FederatedDataset, devices: DeviceTrace) -> Result<Self> {
+        cfg.validate()
+            .map_err(|detail| FedTransError::BadConfig { detail })?;
         if devices.len() < data.num_clients() {
             return Err(FedTransError::BadConfig {
                 detail: format!(
@@ -112,8 +113,12 @@ impl FedTransRuntime {
             });
         }
         let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
-        let seed =
-            seed_model(&mut rng, data.input(), data.num_classes(), devices.min_capacity());
+        let seed = seed_model(
+            &mut rng,
+            data.input(),
+            data.num_classes(),
+            devices.min_capacity(),
+        );
         Self::with_seed_model(cfg, data, devices, seed)
     }
 
@@ -129,7 +134,8 @@ impl FedTransRuntime {
         devices: DeviceTrace,
         seed: CellModel,
     ) -> Result<Self> {
-        cfg.validate().map_err(|detail| FedTransError::BadConfig { detail })?;
+        cfg.validate()
+            .map_err(|detail| FedTransError::BadConfig { detail })?;
         if seed.input_width() != data.input_dim() {
             return Err(FedTransError::BadConfig {
                 detail: format!(
@@ -231,8 +237,10 @@ impl FedTransRuntime {
         // 4. Cost accounting and round time.
         let mut times = Vec::with_capacity(outcomes.len());
         for (outcome, &n) in outcomes.iter().zip(&assigned_model) {
-            self.cost.record_local_training(macs[n], outcome.samples_processed);
-            self.cost.record_model_transfer(self.models[n].param_count() as u64);
+            self.cost
+                .record_local_training(macs[n], outcome.samples_processed);
+            self.cost
+                .record_model_transfer(self.models[n].param_count() as u64);
             self.cost.record_extra_bytes(4); // the scalar loss upload
             let t = client_round_time(
                 self.devices.profile(outcome.client),
@@ -256,16 +264,20 @@ impl FedTransRuntime {
             per_model_deltas.entry(n).or_default().push(outcome);
         }
         let fedavg: Vec<Option<Vec<Tensor>>> = (0..self.models.len())
-            .map(|n| per_model_updates.get(&n).and_then(|u| ModelAggregator::fedavg(u)))
+            .map(|n| {
+                per_model_updates
+                    .get(&n)
+                    .and_then(|u| ModelAggregator::fedavg(u))
+            })
             .collect();
         let ages: Vec<u32> = self
             .model_birth
             .iter()
             .map(|&b| self.round.saturating_sub(b))
             .collect();
-        let new_weights =
-            self.aggregator
-                .soft_aggregate(&self.models, &fedavg, &self.sims, &ages);
+        let new_weights = self
+            .aggregator
+            .soft_aggregate(&self.models, &fedavg, &self.sims, &ages);
         for (model, weights) in self.models.iter_mut().zip(&new_weights) {
             model.restore(weights)?;
         }
@@ -292,7 +304,8 @@ impl FedTransRuntime {
             .zip(&assigned_model)
             .map(|(o, &n)| (o.client, n, o.avg_loss))
             .collect();
-        self.manager.update(&participation, &self.sims, &macs, &capacities);
+        self.manager
+            .update(&participation, &self.sims, &macs, &capacities);
 
         // 8. Transformation (§4.1), seeded from the newest model.
         let losses: Vec<f32> = outcomes.iter().map(|o| o.avg_loss).collect();
@@ -331,7 +344,7 @@ impl FedTransRuntime {
         self.history.push(report.clone());
 
         if let Some(every) = self.eval_every {
-            if self.round as usize % every == 0 {
+            if (self.round as usize).is_multiple_of(every) {
                 let (stats, _, _) = self.evaluate()?;
                 self.curve.push((self.cost.train_pmacs(), stats.mean));
             }
@@ -445,7 +458,11 @@ mod tests {
         assert!(m.macs_per_sample() <= 50_000);
         let img = seed_model(
             &mut rng,
-            InputSpec::Image { channels: 1, height: 8, width: 8 },
+            InputSpec::Image {
+                channels: 1,
+                height: 8,
+                width: 8,
+            },
             10,
             200_000,
         );
@@ -501,9 +518,6 @@ mod tests {
         let report = rt.report().unwrap();
         assert_eq!(report.accuracy_curve.len(), 3);
         // Cost is monotone along the curve.
-        assert!(report
-            .accuracy_curve
-            .windows(2)
-            .all(|w| w[1].0 >= w[0].0));
+        assert!(report.accuracy_curve.windows(2).all(|w| w[1].0 >= w[0].0));
     }
 }

@@ -88,7 +88,10 @@ impl ClientManager {
     /// Panics if `compatible` is empty or contains out-of-range indices.
     pub fn assign(&self, rng: &mut impl Rng, client: usize, compatible: &[usize]) -> usize {
         assert!(!compatible.is_empty(), "need at least one compatible model");
-        let utils: Vec<f32> = compatible.iter().map(|&k| self.utilities[client][k]).collect();
+        let utils: Vec<f32> = compatible
+            .iter()
+            .map(|&k| self.utilities[client][k])
+            .collect();
         let max = utils.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = utils.iter().map(|&u| (u - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
@@ -219,7 +222,10 @@ mod tests {
         let mut r = rng();
         let picks: Vec<usize> = (0..300).map(|_| cm.assign(&mut r, 0, &[0, 1])).collect();
         let ones = picks.iter().filter(|&&p| p == 1).count();
-        assert!((75..225).contains(&ones), "expected ~uniform, got {ones}/300");
+        assert!(
+            (75..225).contains(&ones),
+            "expected ~uniform, got {ones}/300"
+        );
     }
 
     #[test]

@@ -357,7 +357,9 @@ mod tests {
     #[test]
     fn activeness_positive_after_backward() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let mut cell = Cell::dense(&mut rng, 4, 4);
+        // 16 units so the gradient cannot plausibly die through an
+        // all-negative ReLU layer for any seed (p = 2^-16).
+        let mut cell = Cell::dense(&mut rng, 4, 16);
         let y = cell.forward(&Tensor::ones(&[1, 4])).unwrap();
         cell.backward(&Tensor::ones(y.shape().dims())).unwrap();
         assert!(cell.activeness() > 0.0);

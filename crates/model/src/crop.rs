@@ -56,7 +56,11 @@ pub fn crop_to(src: &Tensor, dims: &[usize]) -> Tensor {
 ///
 /// Panics if `acc` and `counts` have different shapes.
 pub fn overlap_add(acc: &mut Tensor, counts: &mut Tensor, src: &Tensor, weight: f32) {
-    assert_eq!(acc.shape(), counts.shape(), "acc and counts must share a shape");
+    assert_eq!(
+        acc.shape(),
+        counts.shape(),
+        "acc and counts must share a shape"
+    );
     match (acc.shape().rank(), src.shape().rank()) {
         (1, 1) => {
             let n = acc.len().min(src.len());

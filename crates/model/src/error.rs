@@ -35,7 +35,10 @@ impl fmt::Display for ModelError {
             ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
             ModelError::Nn(e) => write!(f, "layer error: {e}"),
             ModelError::NoSuchCell { index, cells } => {
-                write!(f, "cell index {index} out of range for model with {cells} cells")
+                write!(
+                    f,
+                    "cell index {index} out of range for model with {cells} cells"
+                )
             }
             ModelError::InvalidTransform { detail } => write!(f, "invalid transform: {detail}"),
             ModelError::IncompatibleModels { detail } => {

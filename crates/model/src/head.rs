@@ -137,7 +137,9 @@ impl Head {
             } => {
                 let batch = cached_batch
                     .take()
-                    .ok_or(ft_nn::NnError::MissingForwardCache { layer: "TokenMeanHead" })?;
+                    .ok_or(ft_nn::NnError::MissingForwardCache {
+                        layer: "TokenMeanHead",
+                    })?;
                 let dpool = linear.backward(dlogits)?;
                 let t = *tokens;
                 let d = *d_model;

@@ -47,3 +47,19 @@ pub use transform::{deepen_cell, widen_cell, TransformOp, TransformRecord};
 
 /// Convenience alias for results produced by model operations.
 pub type Result<T> = std::result::Result<T, ModelError>;
+
+#[cfg(test)]
+mod smoke {
+    use super::CellModel;
+    use rand::SeedableRng;
+
+    #[test]
+    fn core_type_constructs_and_round_trips() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut model = CellModel::dense(&mut rng, 8, &[16, 16], 4);
+        assert_eq!(model.cells().len(), 2);
+        assert!(model.param_count() > 0);
+        let y = model.forward(&ft_tensor::Tensor::ones(&[3, 8])).unwrap();
+        assert_eq!(y.shape().dims(), &[3, 4]);
+    }
+}

@@ -55,7 +55,12 @@ pub struct CellModel {
 
 impl CellModel {
     /// Builds an MLP body: one dense cell per entry of `hidden`.
-    pub fn dense(rng: &mut impl rand::Rng, input_dim: usize, hidden: &[usize], classes: usize) -> Self {
+    pub fn dense(
+        rng: &mut impl rand::Rng,
+        input_dim: usize,
+        hidden: &[usize],
+        classes: usize,
+    ) -> Self {
         let mut cells = Vec::with_capacity(hidden.len());
         let mut width = input_dim;
         for &h in hidden {
@@ -190,7 +195,13 @@ impl CellModel {
 
     /// Decomposes the model into cells and head for surgery.
     pub fn into_parts(self) -> (Vec<Cell>, Head, usize, Option<ModelId>, u32) {
-        (self.cells, self.head, self.input_width, self.parent, self.generation)
+        (
+            self.cells,
+            self.head,
+            self.input_width,
+            self.parent,
+            self.generation,
+        )
     }
 
     /// Expected flat input width per sample.
@@ -385,9 +396,10 @@ impl CellModel {
             self.head.linear().in_features(),
             self.head.linear().out_features(),
         );
-        self.head
-            .linear_mut()
-            .set_params(ft_tensor::he_normal(rng, &[inf, outf], inf), Tensor::zeros(&[outf]));
+        self.head.linear_mut().set_params(
+            ft_tensor::he_normal(rng, &[inf, outf], inf),
+            Tensor::zeros(&[outf]),
+        );
     }
 
     /// Total trainable parameter count.
@@ -453,11 +465,7 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let mut m = CellModel::dense(&mut rng(), 4, &[16], 2);
-        let x = Tensor::from_vec(
-            vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0],
-            &[2, 4],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0], &[2, 4]).unwrap();
         let labels = [0usize, 1];
         let mut opt = ft_nn::Sgd::new(0.5);
         let (first_loss, _) = m.loss_and_grad(&x, &labels).unwrap();

@@ -257,7 +257,13 @@ pub fn widen_cell(
         }
     }
 
-    Ok(CellModel::from_parts(cells, head, input_width, Some(parent_id), generation))
+    Ok(CellModel::from_parts(
+        cells,
+        head,
+        input_width,
+        Some(parent_id),
+        generation,
+    ))
 }
 
 /// Produces a new model with `count` identity cells inserted after
@@ -324,7 +330,13 @@ pub fn deepen_cell(
     cells.extend(inserted);
     cells.extend(tail);
 
-    Ok(CellModel::from_parts(cells, head, input_width, Some(parent_id), generation))
+    Ok(CellModel::from_parts(
+        cells,
+        head,
+        input_width,
+        Some(parent_id),
+        generation,
+    ))
 }
 
 #[cfg(test)]

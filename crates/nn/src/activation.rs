@@ -72,7 +72,9 @@ mod tests {
     fn backward_masks_gradient() {
         let mut r = Relu::new();
         r.forward(&Tensor::from_vec(vec![-1.0, 3.0], &[2]).unwrap());
-        let dx = r.backward(&Tensor::from_vec(vec![5.0, 5.0], &[2]).unwrap()).unwrap();
+        let dx = r
+            .backward(&Tensor::from_vec(vec![5.0, 5.0], &[2]).unwrap())
+            .unwrap();
         assert_eq!(dx.data(), &[0.0, 5.0]);
     }
 

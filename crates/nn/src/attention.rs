@@ -202,7 +202,17 @@ impl AttentionBlock {
             let m = z.map(|t| t.max(0.0));
             let y = h.add(&m.matmul(&self.w2)?)?;
             out.extend_from_slice(y.data());
-            caches.push(SampleCache { x: xs, q, k, v, a, c, h, z, m });
+            caches.push(SampleCache {
+                x: xs,
+                q,
+                k,
+                v,
+                a,
+                c,
+                h,
+                z,
+                m,
+            });
         }
         self.cache = Some(caches);
         Ok(Tensor::from_vec(out, &[batch, self.sample_dim()])?)
@@ -216,10 +226,9 @@ impl AttentionBlock {
     /// Returns [`NnError::MissingForwardCache`] if called before
     /// [`AttentionBlock::forward`].
     pub fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
-        let caches = self
-            .cache
-            .take()
-            .ok_or(NnError::MissingForwardCache { layer: "AttentionBlock" })?;
+        let caches = self.cache.take().ok_or(NnError::MissingForwardCache {
+            layer: "AttentionBlock",
+        })?;
         let batch = dy.rows()?;
         if batch != caches.len() || dy.cols()? != self.sample_dim() {
             return Err(NnError::BadInput {
@@ -300,7 +309,8 @@ mod tests {
     fn identity_block_is_identity() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let mut block = AttentionBlock::identity(&mut rng, 4, 3, 6);
-        let x = Tensor::from_vec((0..12).map(|v| v as f32 * 0.1 - 0.5).collect(), &[1, 12]).unwrap();
+        let x =
+            Tensor::from_vec((0..12).map(|v| v as f32 * 0.1 - 0.5).collect(), &[1, 12]).unwrap();
         let y = block.forward(&x).unwrap();
         for (a, b) in x.data().iter().zip(y.data()) {
             assert!((a - b).abs() < 1e-6);
@@ -319,7 +329,8 @@ mod tests {
     fn gradient_check_spot_weights() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let mut block = AttentionBlock::new(&mut rng, 3, 2, 4);
-        let x = Tensor::from_vec((0..6).map(|v| (v as f32 - 3.0) * 0.2).collect(), &[1, 6]).unwrap();
+        let x =
+            Tensor::from_vec((0..6).map(|v| (v as f32 - 3.0) * 0.2).collect(), &[1, 6]).unwrap();
         let y = block.forward(&x).unwrap();
         block.backward(&Tensor::ones(y.shape().dims())).unwrap();
         // Check a handful of entries in each weight via finite differences.

@@ -41,7 +41,10 @@ impl Conv2d {
         height: usize,
         width: usize,
     ) -> Self {
-        assert!(kernel % 2 == 1, "same-padded convolution requires an odd kernel");
+        assert!(
+            kernel % 2 == 1,
+            "same-padded convolution requires an odd kernel"
+        );
         let fan_in = in_channels * kernel * kernel;
         let weight = he_normal(rng, &[out_channels, fan_in], fan_in);
         Conv2d::from_params(
@@ -74,7 +77,11 @@ impl Conv2d {
             in_channels * kernel * kernel,
             "conv weight columns must equal in_channels*k*k"
         );
-        assert_eq!(bias.len(), out_channels, "bias must have one entry per output channel");
+        assert_eq!(
+            bias.len(),
+            out_channels,
+            "bias must have one entry per output channel"
+        );
         let gw = Tensor::zeros(weight.shape().dims());
         let gb = Tensor::zeros(bias.shape().dims());
         Conv2d {
@@ -100,7 +107,14 @@ impl Conv2d {
         for c in 0..channels {
             weight.data_mut()[c * fan_in + c * kernel * kernel + centre] = 1.0;
         }
-        Conv2d::from_params(weight, Tensor::zeros(&[channels]), channels, kernel, height, width)
+        Conv2d::from_params(
+            weight,
+            Tensor::zeros(&[channels]),
+            channels,
+            kernel,
+            height,
+            width,
+        )
     }
 
     /// Number of input channels.
@@ -161,7 +175,10 @@ impl Conv2d {
     /// Replaces parameters and geometry, resetting gradients.
     pub fn set_params(&mut self, weight: Tensor, bias: Tensor, in_channels: usize) {
         let out_channels = weight.shape().dims()[0];
-        debug_assert_eq!(weight.shape().dims()[1], in_channels * self.kernel * self.kernel);
+        debug_assert_eq!(
+            weight.shape().dims()[1],
+            in_channels * self.kernel * self.kernel
+        );
         self.grad_weight = Tensor::zeros(weight.shape().dims());
         self.grad_bias = Tensor::zeros(bias.shape().dims());
         self.weight = weight;
@@ -235,7 +252,8 @@ impl Conv2d {
                             if jj < 0 || jj >= w as isize {
                                 continue;
                             }
-                            out[ic * h * w + ii as usize * w + jj as usize] += d[base + oi * w + oj];
+                            out[ic * h * w + ii as usize * w + jj as usize] +=
+                                d[base + oi * w + oj];
                         }
                     }
                 }
@@ -269,7 +287,8 @@ impl Conv2d {
         let mut out = Vec::with_capacity(batch * self.out_channels * hw);
         let mut caches = Vec::with_capacity(batch);
         for s in 0..batch {
-            let sample = &x.data()[s * self.expected_input_len()..(s + 1) * self.expected_input_len()];
+            let sample =
+                &x.data()[s * self.expected_input_len()..(s + 1) * self.expected_input_len()];
             let cols = self.im2col(sample);
             let y = self.weight.matmul(&cols)?; // [out_c, hw]
             let b = self.bias.data();
@@ -334,8 +353,12 @@ impl Conv2d {
 
     /// Multiply-accumulate operations for one sample through this layer.
     pub fn macs_per_sample(&self) -> u64 {
-        (self.out_channels * self.height * self.width * self.in_channels * self.kernel * self.kernel)
-            as u64
+        (self.out_channels
+            * self.height
+            * self.width
+            * self.in_channels
+            * self.kernel
+            * self.kernel) as u64
     }
 }
 
@@ -366,7 +389,8 @@ mod tests {
     fn gradient_check_small_conv() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let mut conv = Conv2d::new(&mut rng, 1, 2, 3, 3, 3);
-        let x = Tensor::from_vec((0..9).map(|v| (v as f32 - 4.0) * 0.3).collect(), &[1, 9]).unwrap();
+        let x =
+            Tensor::from_vec((0..9).map(|v| (v as f32 - 4.0) * 0.3).collect(), &[1, 9]).unwrap();
         let y = conv.forward(&x).unwrap();
         conv.backward(&Tensor::ones(y.shape().dims())).unwrap();
         let analytic = conv.grad_weight().clone();

@@ -57,7 +57,10 @@ impl fmt::Display for NnError {
                 write!(f, "label {label} out of range for {classes} classes")
             }
             NnError::OptimizerStateMismatch { expected, actual } => {
-                write!(f, "optimizer state holds {expected} tensors, applied to {actual}")
+                write!(
+                    f,
+                    "optimizer state holds {expected} tensors, applied to {actual}"
+                )
             }
         }
     }

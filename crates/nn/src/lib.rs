@@ -47,3 +47,20 @@ pub use pool::GlobalAvgPool;
 
 /// Convenience alias for results produced by NN operations.
 pub type Result<T> = std::result::Result<T, NnError>;
+
+#[cfg(test)]
+mod smoke {
+    use super::Linear;
+    use ft_tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn core_type_constructs_and_round_trips() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut layer = Linear::new(&mut rng, 4, 3);
+        let y = layer.forward(&Tensor::ones(&[2, 4])).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        let dx = layer.backward(&Tensor::ones(&[2, 3])).unwrap();
+        assert_eq!(dx.shape().dims(), &[2, 4]);
+    }
+}

@@ -175,8 +175,13 @@ mod tests {
 
     #[test]
     fn forward_shape_and_bias() {
-        let mut l = Linear::from_params(Tensor::eye(2), Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap());
-        let y = l.forward(&Tensor::from_vec(vec![2.0, 3.0], &[1, 2]).unwrap()).unwrap();
+        let mut l = Linear::from_params(
+            Tensor::eye(2),
+            Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap(),
+        );
+        let y = l
+            .forward(&Tensor::from_vec(vec![2.0, 3.0], &[1, 2]).unwrap())
+            .unwrap();
         assert_eq!(y.data(), &[3.0, 2.0]);
     }
 

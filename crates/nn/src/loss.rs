@@ -43,7 +43,10 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, 
     }
     for &l in labels {
         if l >= cols {
-            return Err(NnError::LabelOutOfRange { label: l, classes: cols });
+            return Err(NnError::LabelOutOfRange {
+                label: l,
+                classes: cols,
+            });
         }
     }
     let probs = softmax(logits)?;

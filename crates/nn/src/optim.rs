@@ -71,7 +71,10 @@ impl Sgd {
             });
         }
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.shape().dims())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.shape().dims()))
+                .collect();
         }
         if self.velocity.len() != params.len() {
             return Err(NnError::OptimizerStateMismatch {
@@ -188,8 +191,14 @@ impl Yogi {
             });
         }
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.shape().dims())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.shape().dims())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.shape().dims()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.shape().dims()))
+                .collect();
         }
         if self.m.len() != params.len() {
             return Err(NnError::OptimizerStateMismatch {
@@ -197,7 +206,12 @@ impl Yogi {
                 actual: params.len(),
             });
         }
-        for (((p, d), m), v) in params.iter_mut().zip(deltas).zip(&mut self.m).zip(&mut self.v) {
+        for (((p, d), m), v) in params
+            .iter_mut()
+            .zip(deltas)
+            .zip(&mut self.m)
+            .zip(&mut self.v)
+        {
             if m.shape() != p.shape() {
                 *m = Tensor::zeros(p.shape().dims());
                 *v = Tensor::zeros(p.shape().dims());

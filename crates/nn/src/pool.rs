@@ -79,16 +79,21 @@ impl GlobalAvgPool {
         let batch = self
             .cached_batch
             .take()
-            .ok_or(NnError::MissingForwardCache { layer: "GlobalAvgPool" })?;
+            .ok_or(NnError::MissingForwardCache {
+                layer: "GlobalAvgPool",
+            })?;
         let mut out = Vec::with_capacity(batch * self.channels * self.spatial);
         let inv = 1.0 / self.spatial as f32;
         for s in 0..batch {
             for c in 0..self.channels {
                 let g = dy.data()[s * self.channels + c] * inv;
-                out.extend(std::iter::repeat(g).take(self.spatial));
+                out.extend(std::iter::repeat_n(g, self.spatial));
             }
         }
-        Ok(Tensor::from_vec(out, &[batch, self.channels * self.spatial])?)
+        Ok(Tensor::from_vec(
+            out,
+            &[batch, self.channels * self.spatial],
+        )?)
     }
 }
 
@@ -99,7 +104,8 @@ mod tests {
     #[test]
     fn forward_averages_planes() {
         let mut p = GlobalAvgPool::new(2, 2, 2);
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0], &[1, 8]).unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0], &[1, 8]).unwrap();
         let y = p.forward(&x).unwrap();
         assert_eq!(y.data(), &[2.5, 10.0]);
     }
@@ -108,7 +114,9 @@ mod tests {
     fn backward_spreads_uniformly() {
         let mut p = GlobalAvgPool::new(1, 2, 2);
         p.forward(&Tensor::ones(&[1, 4])).unwrap();
-        let dx = p.backward(&Tensor::from_vec(vec![4.0], &[1, 1]).unwrap()).unwrap();
+        let dx = p
+            .backward(&Tensor::from_vec(vec![4.0], &[1, 1]).unwrap())
+            .unwrap();
         assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 1.0]);
     }
 

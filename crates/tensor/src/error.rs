@@ -72,10 +72,16 @@ impl fmt::Display for TensorError {
                 write!(f, "expected tensor of rank {expected}, got rank {actual}")
             }
             TensorError::IndexOutOfBounds { axis, index, len } => {
-                write!(f, "index {index} out of bounds for axis {axis} of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for axis {axis} of length {len}"
+                )
             }
             TensorError::ReshapeMismatch { from, to } => {
-                write!(f, "cannot reshape tensor of {from} elements into {to} elements")
+                write!(
+                    f,
+                    "cannot reshape tensor of {from} elements into {to} elements"
+                )
             }
             TensorError::Empty => write!(f, "operation requires a non-empty tensor"),
         }

@@ -32,3 +32,17 @@ pub use tensor::Tensor;
 
 /// Convenience alias for results produced by tensor operations.
 pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod smoke {
+    use super::Tensor;
+
+    #[test]
+    fn core_type_constructs_and_round_trips() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.shape().dims(), &[2, 2]);
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0, 4.0]);
+        let through_identity = t.matmul(&Tensor::eye(2)).unwrap();
+        assert_eq!(through_identity, t);
+    }
+}

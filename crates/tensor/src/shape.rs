@@ -43,11 +43,14 @@ impl Shape {
     ///
     /// Returns [`TensorError::IndexOutOfBounds`] if `axis >= rank`.
     pub fn dim(&self, axis: usize) -> Result<usize, TensorError> {
-        self.0.get(axis).copied().ok_or(TensorError::IndexOutOfBounds {
-            axis,
-            index: axis,
-            len: self.0.len(),
-        })
+        self.0
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::IndexOutOfBounds {
+                axis,
+                index: axis,
+                len: self.0.len(),
+            })
     }
 
     /// Row-major strides for this shape.

@@ -14,9 +14,7 @@ use ft_fedsim::device::DeviceTraceConfig;
 use ft_fedsim::metrics::box_stats;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let data = DatasetConfig::cifar_like()
-        .with_num_clients(50)
-        .generate();
+    let data = DatasetConfig::cifar_like().with_num_clients(50).generate();
     let devices = DeviceTraceConfig::default()
         .with_num_devices(data.num_clients())
         .with_base_capacity(40_000)
@@ -41,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .filter(|p| !p.is_compatible(big_macs))
         .count();
-    println!("  {incompatible}/{} devices cannot run it at all", devices.len());
+    println!(
+        "  {incompatible}/{} devices cannot run it at all",
+        devices.len()
+    );
 
     // (2) FedTrans grows a suite instead.
     let cfg = FedTransConfig::default()
@@ -65,8 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for c in (0..devices.len()).step_by(devices.len() / 10) {
         let cap = devices.profile(c).capacity_macs;
         let model = report.per_client_model[c];
-        let compatible =
-            ClientManager::compatible_models(&report.model_macs, cap).len();
+        let compatible = ClientManager::compatible_models(&report.model_macs, cap).len();
         println!(
             "  client {c:>3}: capacity {cap:>8} MACs, {compatible} compatible models, serves M{model} (acc {:.2})",
             report.per_client_accuracy[c]

@@ -67,6 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for arch in &report.model_archs {
         println!("  {arch}");
     }
-    println!("mean per-client accuracy: {:.3}", report.final_accuracy.mean);
+    println!(
+        "mean per-client accuracy: {:.3}",
+        report.final_accuracy.mean
+    );
     Ok(())
 }

@@ -1,3 +1,12 @@
 //! Root library: re-exports the workspace public API.
 #![allow(unused_imports)]
 pub use fedtrans;
+
+#[cfg(test)]
+mod smoke {
+    #[test]
+    fn facade_reexports_the_fedtrans_api() {
+        let cfg = fedtrans::FedTransConfig::default();
+        assert!(cfg.clients_per_round > 0);
+    }
+}

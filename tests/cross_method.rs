@@ -45,9 +45,15 @@ fn every_method_completes_and_reports_consistently() {
     let reports = vec![
         (
             "fedavg",
-            FedAvg::new(bl(), data.clone(), devices.clone(), global.clone(), ServerOpt::Average)
-                .run(rounds)
-                .unwrap(),
+            FedAvg::new(
+                bl(),
+                data.clone(),
+                devices.clone(),
+                global.clone(),
+                ServerOpt::Average,
+            )
+            .run(rounds)
+            .unwrap(),
         ),
         (
             "fedyogi",
@@ -87,7 +93,9 @@ fn every_method_completes_and_reports_consistently() {
         assert!(r.network_mb > 0.0, "{name} network");
         assert!(r.storage_mb > 0.0, "{name} storage");
         assert!(
-            r.per_client_accuracy.iter().all(|&a| (0.0..=1.0).contains(&a)),
+            r.per_client_accuracy
+                .iter()
+                .all(|&a| (0.0..=1.0).contains(&a)),
             "{name} accuracy bounds"
         );
         assert!(!r.model_archs.is_empty(), "{name} archs");
@@ -99,9 +107,15 @@ fn fedprox_differs_from_fedavg() {
     let (data, devices, global) = env();
     let mut prox_cfg = bl();
     prox_cfg.local.prox_mu = Some(0.5);
-    let plain = FedAvg::new(bl(), data.clone(), devices.clone(), global.clone(), ServerOpt::Average)
-        .run(5)
-        .unwrap();
+    let plain = FedAvg::new(
+        bl(),
+        data.clone(),
+        devices.clone(),
+        global.clone(),
+        ServerOpt::Average,
+    )
+    .run(5)
+    .unwrap();
     let prox = FedAvg::new(prox_cfg, data, devices, global, ServerOpt::Average)
         .run(5)
         .unwrap();
@@ -138,10 +152,18 @@ fn splitmix_moves_more_bytes_than_fedavg() {
     // must exceed single-model FedAvg on the same budget (the paper's
     // Table 2 network column).
     let (data, devices, global) = env();
-    let fedavg = FedAvg::new(bl(), data.clone(), devices.clone(), global.clone(), ServerOpt::Average)
+    let fedavg = FedAvg::new(
+        bl(),
+        data.clone(),
+        devices.clone(),
+        global.clone(),
+        ServerOpt::Average,
+    )
+    .run(6)
+    .unwrap();
+    let splitmix = SplitMix::new(bl(), data, devices, &global, 4)
         .run(6)
         .unwrap();
-    let splitmix = SplitMix::new(bl(), data, devices, &global, 4).run(6).unwrap();
     // Normalize per MAC of model trained: SplitMix bases are smaller, so
     // compare raw byte counts only when base count > 1 on most clients.
     assert!(splitmix.network_mb > 0.0 && fedavg.network_mb > 0.0);
@@ -151,7 +173,9 @@ fn splitmix_moves_more_bytes_than_fedavg() {
 fn heterofl_weak_clients_get_cheap_models() {
     let (data, devices, global) = env();
     let h = HeteroFl::new(bl(), data, devices.clone(), global);
-    let weakest = (0..12).min_by_key(|&c| devices.profile(c).capacity_macs).unwrap();
+    let weakest = (0..12)
+        .min_by_key(|&c| devices.profile(c).capacity_macs)
+        .unwrap();
     let lvl = h.level_for(devices.profile(weakest).capacity_macs);
     assert!(lvl >= 1, "weakest client should not get the full model");
 }

@@ -36,7 +36,11 @@ fn dense_family_end_to_end() {
     let report = rt.run(25).unwrap();
     assert_eq!(report.rounds.len(), 25);
     // Better than chance (1/16).
-    assert!(report.final_accuracy.mean > 0.15, "{}", report.final_accuracy.mean);
+    assert!(
+        report.final_accuracy.mean > 0.15,
+        "{}",
+        report.final_accuracy.mean
+    );
     assert!(report.pmacs > 0.0);
 }
 
@@ -50,7 +54,11 @@ fn conv_family_end_to_end() {
     let mut rt = FedTransRuntime::new(short_cfg(5), data, devices).unwrap();
     let report = rt.run(15).unwrap();
     // Better than chance (1/10).
-    assert!(report.final_accuracy.mean > 0.15, "{}", report.final_accuracy.mean);
+    assert!(
+        report.final_accuracy.mean > 0.15,
+        "{}",
+        report.final_accuracy.mean
+    );
 }
 
 #[test]
@@ -62,7 +70,11 @@ fn attention_family_end_to_end() {
     let devices = devices_for(10, 60_000);
     let mut rt = FedTransRuntime::new(short_cfg(5), data, devices).unwrap();
     let report = rt.run(15).unwrap();
-    assert!(report.final_accuracy.mean > 0.1, "{}", report.final_accuracy.mean);
+    assert!(
+        report.final_accuracy.mean > 0.1,
+        "{}",
+        report.final_accuracy.mean
+    );
 }
 
 #[test]
@@ -104,7 +116,12 @@ fn transformation_grows_suite_and_costs_track() {
         .windows(2)
         .all(|w| w[1].cumulative_pmacs > w[0].cumulative_pmacs));
     // The largest model must fit the most capable device.
-    let max_cap = rt.models().iter().map(|m| m.macs_per_sample()).max().unwrap();
+    let max_cap = rt
+        .models()
+        .iter()
+        .map(|m| m.macs_per_sample())
+        .max()
+        .unwrap();
     assert!(max_cap <= 30 * 1_000 * 2);
 }
 

@@ -43,7 +43,9 @@ fn warmup_preserves_training_progress() {
     let t = report.rounds.iter().position(|r| r.transformed).unwrap();
     let initial_loss = report.rounds[0].mean_loss;
     if t + 2 < report.rounds.len() {
-        let after = report.rounds[t + 1].mean_loss.min(report.rounds[t + 2].mean_loss);
+        let after = report.rounds[t + 1]
+            .mean_loss
+            .min(report.rounds[t + 2].mean_loss);
         assert!(
             after < initial_loss,
             "warm-started suite regressed to cold-start loss: {after} vs {initial_loss}"
@@ -80,15 +82,10 @@ fn fedtrans_round_times_beat_one_size_fits_all() {
         eval_every: 0,
         enforce_capacity: true,
     };
-    let fedavg = ft_baselines::FedAvg::new(
-        bl,
-        data,
-        devices,
-        largest,
-        ft_baselines::ServerOpt::Average,
-    )
-    .run(20)
-    .unwrap();
+    let fedavg =
+        ft_baselines::FedAvg::new(bl, data, devices, largest, ft_baselines::ServerOpt::Average)
+            .run(20)
+            .unwrap();
     assert!(
         mean(&ft.client_times_s) < mean(&fedavg.client_times_s),
         "FedTrans should have lower mean round time"
@@ -134,8 +131,14 @@ fn multi_model_suite_covers_capacity_spectrum() {
     let report = rt.run(30).unwrap();
     let min_macs = *report.model_macs.first().unwrap();
     let max_macs = *report.model_macs.last().unwrap();
-    assert!(min_macs <= devices.min_capacity(), "seed fits the weakest device");
-    assert!(max_macs > min_macs, "suite should span multiple complexities");
+    assert!(
+        min_macs <= devices.min_capacity(),
+        "seed fits the weakest device"
+    );
+    assert!(
+        max_macs > min_macs,
+        "suite should span multiple complexities"
+    );
     assert!(
         max_macs <= devices.max_capacity(),
         "no model exceeds the strongest device"

@@ -1,0 +1,96 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope`, implemented on top of
+//! `std::thread::scope` while keeping crossbeam's contract of
+//! returning `Err` (instead of panicking) when a spawned thread
+//! panics.
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `Result`-returning API.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle for spawning threads tied to the enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the
+        /// closure receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope whose spawned threads are all joined
+    /// before this function returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the panic payload if the closure or any
+    /// spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        let sum = crate::thread::scope(|scope| {
+            let counter = &counter;
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    scope.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        i * 2
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        assert_eq!(sum, (0..8).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let result = crate::thread::scope(|scope| {
+            scope.spawn(|_| panic!("worker died"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline shim for the subset of `rand_distr` 0.4 this workspace
+//! uses: [`Normal`], [`LogNormal`], [`Gamma`], and [`Uniform`], all
+//! sampling through the shared [`Distribution`] trait from the `rand`
+//! shim.
+
+pub use rand::distributions::Distribution;
+
+use rand::RngCore;
+
+/// Parameter-validation error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error {
+    what: &'static str,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Floats the distributions are generic over (`f32`, `f64`).
+pub trait Float: Copy {
+    /// Lossy conversion from `f64`.
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+}
+
+impl Float for f32 {
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl Float for f64 {
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+/// Draws a uniform `f64` in `(0, 1]` (never zero, so `ln` is safe).
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (((rng.next_u64() >> 11) + 1) as f64) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Draws one standard normal deviate via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = unit_open(rng);
+    let u2 = unit_open(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if `std_dev` is negative or not finite.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, Error> {
+        let sd = std_dev.to_f64();
+        if !sd.is_finite() || sd < 0.0 {
+            return Err(Error {
+                what: "Normal std_dev must be finite and non-negative",
+            });
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * standard_normal(rng))
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal<F: Float> {
+    mu: F,
+    sigma: F,
+}
+
+impl<F: Float> LogNormal<F> {
+    /// Creates a log-normal distribution whose logarithm has mean `mu`
+    /// and standard deviation `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if `sigma` is negative or not finite.
+    pub fn new(mu: F, sigma: F) -> Result<Self, Error> {
+        let s = sigma.to_f64();
+        if !s.is_finite() || s < 0.0 {
+            return Err(Error {
+                what: "LogNormal sigma must be finite and non-negative",
+            });
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl<F: Float> Distribution<F> for LogNormal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64((self.mu.to_f64() + self.sigma.to_f64() * standard_normal(rng)).exp())
+    }
+}
+
+/// Gamma distribution with shape `alpha` and scale `theta`.
+#[derive(Debug, Clone, Copy)]
+pub struct Gamma<F: Float> {
+    alpha: F,
+    theta: F,
+}
+
+impl<F: Float> Gamma<F> {
+    /// Creates a gamma distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] unless both parameters are finite and
+    /// positive.
+    pub fn new(alpha: F, theta: F) -> Result<Self, Error> {
+        let a = alpha.to_f64();
+        let t = theta.to_f64();
+        if !a.is_finite() || a <= 0.0 || !t.is_finite() || t <= 0.0 {
+            return Err(Error {
+                what: "Gamma shape and scale must be finite and positive",
+            });
+        }
+        Ok(Gamma { alpha, theta })
+    }
+}
+
+/// Marsaglia–Tsang sampler for shape `>= 1`.
+fn gamma_large<R: RngCore + ?Sized>(rng: &mut R, alpha: f64) -> f64 {
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = unit_open(rng);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+impl<F: Float> Distribution<F> for Gamma<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let alpha = self.alpha.to_f64();
+        let raw = if alpha >= 1.0 {
+            gamma_large(rng, alpha)
+        } else {
+            // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+            gamma_large(rng, alpha + 1.0) * unit_open(rng).powf(1.0 / alpha)
+        };
+        F::from_f64(raw * self.theta.to_f64())
+    }
+}
+
+/// Uniform distribution over a closed or half-open interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<F: Float> {
+    lo: F,
+    span: F,
+}
+
+impl<F: Float> Uniform<F> {
+    /// Uniform over `[lo, hi)`.
+    pub fn new(lo: F, hi: F) -> Self {
+        assert!(lo.to_f64() < hi.to_f64(), "Uniform requires lo < hi");
+        Uniform {
+            lo,
+            span: F::from_f64(hi.to_f64() - lo.to_f64()),
+        }
+    }
+
+    /// Uniform over `[lo, hi]`.
+    pub fn new_inclusive(lo: F, hi: F) -> Self {
+        assert!(lo.to_f64() <= hi.to_f64(), "Uniform requires lo <= hi");
+        Uniform {
+            lo,
+            span: F::from_f64(hi.to_f64() - lo.to_f64()),
+        }
+    }
+}
+
+impl<F: Float> Distribution<F> for Uniform<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        F::from_f64(self.lo.to_f64() + self.span.to_f64() * unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn normal_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(3.0f64, 2.0).unwrap();
+        let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let m = mean_of(&xs);
+        let var = mean_of(&xs.iter().map(|x| (x - m) * (x - m)).collect::<Vec<_>>());
+        assert!((m - 3.0).abs() < 0.1, "mean {m}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LogNormal::new(0.0f64, 0.6).unwrap();
+        assert!((0..5000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn gamma_matches_mean_for_small_shape() {
+        // Shape < 1 exercises the boost path used by Dirichlet draws.
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Gamma::new(0.5f64, 1.0).unwrap();
+        let xs: Vec<f64> = (0..40_000).map(|_| d.sample(&mut rng)).collect();
+        assert!((mean_of(&xs) - 0.5).abs() < 0.05);
+        assert!(xs.iter().all(|x| *x >= 0.0));
+    }
+
+    #[test]
+    fn uniform_inclusive_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Uniform::new_inclusive(-0.25f32, 0.25f32);
+        assert!((0..5000).all(|_| {
+            let x = d.sample(&mut rng);
+            (-0.25..=0.25).contains(&x)
+        }));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0f64, -1.0).is_err());
+        assert!(LogNormal::new(0.0f64, f64::NAN).is_err());
+        assert!(Gamma::new(0.0f64, 1.0).is_err());
+    }
+}

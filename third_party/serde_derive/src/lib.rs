@@ -1,0 +1,292 @@
+//! Offline shim for `serde_derive`, implemented directly against
+//! `proc_macro` (no `syn`/`quote` available in this environment).
+//!
+//! `#[derive(Serialize)]` generates an implementation of the shim
+//! `serde::Serialize` trait (conversion into a JSON `Value` tree) for:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`),
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * enums with unit, named-field, and tuple variants (externally
+//!   tagged, matching serde's default representation).
+//!
+//! `#[derive(Deserialize)]` expands to nothing: nothing in this
+//! workspace deserializes, but the derive must parse so the shared
+//! type definitions keep their upstream-style derive lists.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` (conversion into a JSON
+/// `Value`), honouring `#[serde(skip)]` on fields.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing; nothing
+/// in this workspace deserializes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "shim #[derive(Serialize)] does not support generic type `{name}`"
+        ));
+    }
+
+    let body = match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            named_struct_body(&parse_named_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            tuple_struct_body(count_tuple_fields(g.stream()))
+        }
+        ("struct", _) => "::serde::Value::Object(::std::vec::Vec::new())".to_string(),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            enum_body(&parse_variants(g.stream())?)
+        }
+        _ => return Err(format!("unsupported item for #[derive(Serialize)]: {kind}")),
+    };
+
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    ))
+}
+
+/// Advances past any leading `#[...]` attributes (doc comments
+/// included).
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#')
+        && matches!(tokens.get(*i + 1), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+    {
+        *i += 2;
+    }
+}
+
+/// Advances past `pub` / `pub(crate)` style visibility.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Splits a field/variant list on commas that sit outside any angle
+/// brackets (group delimiters are already opaque in a token stream).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().expect("non-empty").push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// True if the chunk position starts a `#[serde(... skip ...)]`
+/// attribute.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut inner = group.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match inner.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        let mut skip = false;
+        while matches!(chunk.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = chunk.get(i + 1) {
+                skip |= attr_is_serde_skip(g);
+            }
+            i += 2;
+        }
+        skip_visibility(&chunk, &mut i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        skip_attributes(&chunk, &mut i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match chunk.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantShape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            None => VariantShape::Unit,
+            other => return Err(format!("unsupported variant shape: {other:?}")),
+        };
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+/// `{ field entries } -> Value::Object`, from `&self.field` accesses.
+fn named_struct_body(fields: &[Field]) -> String {
+    let mut out = String::from(
+        "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "fields.push(({:?}.to_string(), ::serde::Serialize::to_value(&self.{})));\n",
+            f.name, f.name
+        ));
+    }
+    out.push_str("::serde::Value::Object(fields)");
+    out
+}
+
+fn tuple_struct_body(arity: usize) -> String {
+    match arity {
+        0 => "::serde::Value::Array(::std::vec::Vec::new())".to_string(),
+        1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+        n => {
+            let elems: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+    }
+}
+
+fn enum_body(variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let name = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                arms.push_str(&format!(
+                    "Self::{name} => ::serde::Value::String({name:?}.to_string()),\n"
+                ));
+            }
+            VariantShape::Named(fields) => {
+                let kept: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                let mut bindings: Vec<String> = kept.iter().map(|f| f.name.clone()).collect();
+                if kept.len() != fields.len() {
+                    bindings.push("..".to_string());
+                }
+                let pushes: Vec<String> = kept
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "({:?}.to_string(), ::serde::Serialize::to_value({}))",
+                            f.name, f.name
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "Self::{name} {{ {} }} => ::serde::Value::Object(vec![({name:?}.to_string(), \
+                     ::serde::Value::Object(vec![{}]))]),\n",
+                    bindings.join(", "),
+                    pushes.join(", ")
+                ));
+            }
+            VariantShape::Tuple(arity) => {
+                let binds: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                let inner = if *arity == 1 {
+                    "::serde::Serialize::to_value(x0)".to_string()
+                } else {
+                    let elems: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                };
+                arms.push_str(&format!(
+                    "Self::{name}({}) => ::serde::Value::Object(vec![({name:?}.to_string(), \
+                     {inner})]),\n",
+                    binds.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
