@@ -153,18 +153,13 @@ impl FedAvg {
     /// score 0 — a one-size-fits-all model simply cannot serve them.
     pub fn evaluate(&self) -> Vec<f32> {
         let macs = self.model.macs_per_sample();
-        self.data
-            .clients()
-            .iter()
-            .enumerate()
-            .map(|(c, shard)| {
-                if self.cfg.enforce_capacity && !self.devices.profile(c).is_compatible(macs) {
-                    0.0
-                } else {
-                    eval_on_client(&self.model, shard)
-                }
-            })
-            .collect()
+        ft_fedsim::eval::par_map_indexed(self.data.num_clients(), |c| {
+            if self.cfg.enforce_capacity && !self.devices.profile(c).is_compatible(macs) {
+                0.0
+            } else {
+                eval_on_client(&self.model, self.data.client(c))
+            }
+        })
     }
 
     /// Runs `rounds` rounds and produces the report.

@@ -191,15 +191,13 @@ impl HeteroFl {
     /// Per-client accuracy on each client's width-level submodel, plus
     /// the level used.
     pub fn evaluate(&self) -> (Vec<f32>, Vec<usize>) {
-        let mut accs = Vec::with_capacity(self.data.num_clients());
-        let mut lvls = Vec::with_capacity(self.data.num_clients());
-        for c in 0..self.data.num_clients() {
+        ft_fedsim::eval::par_map_indexed(self.data.num_clients(), |c| {
             let lvl = self.level_for(self.devices.profile(c).capacity_macs);
             let sub = extract(&self.global, &self.plans[lvl]);
-            accs.push(eval_on_client(&sub, self.data.client(c)));
-            lvls.push(lvl);
-        }
-        (accs, lvls)
+            (eval_on_client(&sub, self.data.client(c)), lvl)
+        })
+        .into_iter()
+        .unzip()
     }
 
     /// Runs `rounds` rounds and produces the report.

@@ -173,16 +173,17 @@ impl SplitMix {
 
     /// Per-client ensemble accuracy plus ensemble size.
     pub fn evaluate(&self) -> (Vec<f32>, Vec<usize>) {
-        let mut accs = Vec::with_capacity(self.data.num_clients());
-        let mut sizes = Vec::with_capacity(self.data.num_clients());
-        for c in 0..self.data.num_clients() {
+        ft_fedsim::eval::par_map_indexed(self.data.num_clients(), |c| {
             let count = self.bases_for(self.devices.profile(c).capacity_macs);
             let set = self.base_set(c, count);
             let ensemble: Vec<CellModel> = set.iter().map(|&b| self.bases[b].clone()).collect();
-            accs.push(eval_ensemble_on_client(&ensemble, self.data.client(c)));
-            sizes.push(count);
-        }
-        (accs, sizes)
+            (
+                eval_ensemble_on_client(&ensemble, self.data.client(c)),
+                count,
+            )
+        })
+        .into_iter()
+        .unzip()
     }
 
     /// Runs `rounds` rounds and produces the report.

@@ -1,0 +1,183 @@
+//! `bench_matmul`: the tiled GEMM core versus the old scalar kernels.
+//!
+//! Two outputs:
+//!
+//! 1. A criterion group (`bench_matmul/...`) timing all three tiled
+//!    variants plus the pre-rewrite scalar kernels at matched shapes.
+//! 2. A JSON artifact, `bench_results/matmul.json`, recording
+//!    seconds-per-iteration and the tiled-over-scalar speedup per
+//!    size, so the repo accumulates a perf trajectory run over run.
+//!
+//! `FT_BENCH_QUICK=1` trims sizes and repetitions to CI scale.
+//! `FT_TENSOR_THREADS` controls the worker pool as usual.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use ft_tensor::Tensor;
+use rand::SeedableRng;
+
+/// The pre-rewrite `matmul` kernel: scalar ikj loops with the
+/// (NaN-masking) zero-skip fast path. Kept verbatim as the speedup
+/// baseline the acceptance numbers are measured against.
+fn scalar_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows().unwrap(), a.cols().unwrap());
+    let n = b.cols().unwrap();
+    let (a, b) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).unwrap()
+}
+
+/// The pre-rewrite `matmul_t` kernel: per-element dot products, which
+/// the compiler cannot vectorize (f32 sums must not be reassociated).
+fn scalar_matmul_t(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows().unwrap(), a.cols().unwrap());
+    let n = b.rows().unwrap();
+    let (a, b) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).unwrap()
+}
+
+fn quick() -> bool {
+    std::env::var("FT_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn sizes() -> Vec<usize> {
+    if quick() {
+        vec![64, 256]
+    } else {
+        vec![64, 128, 256, 384]
+    }
+}
+
+fn operands(n: usize) -> (Tensor, Tensor) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+    let a = ft_tensor::uniform(&mut rng, &[n, n], -1.0, 1.0);
+    let b = ft_tensor::uniform(&mut rng, &[n, n], -1.0, 1.0);
+    (a, b)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bench_matmul");
+    if quick() {
+        group.sample_size(3);
+    }
+    for n in sizes() {
+        let (a, b) = operands(n);
+        group.bench_with_input(BenchmarkId::new("tiled", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("tiled_t_matmul", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.t_matmul(&b).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("tiled_matmul_t", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_t(&b).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", n), &n, |bench, _| {
+            bench.iter(|| black_box(scalar_matmul(&a, &b)));
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_matmul_t", n), &n, |bench, _| {
+            bench.iter(|| black_box(scalar_matmul_t(&a, &b)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+
+/// Median seconds per call over `reps` timed calls (after one warm-up).
+fn time_median<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Emits `bench_results/matmul.json`: per-size scalar vs tiled timings
+/// for `matmul` and `matmul_t`, with speedups, so CI keeps a perf
+/// trajectory across PRs.
+fn emit_json() {
+    let reps = if quick() { 3 } else { 9 };
+    let mut results = Vec::new();
+    for n in sizes() {
+        let (a, b) = operands(n);
+        let scalar_s = time_median(|| drop(black_box(scalar_matmul(&a, &b))), reps);
+        let tiled_s = time_median(|| drop(black_box(a.matmul(&b).unwrap())), reps);
+        let scalar_t_s = time_median(|| drop(black_box(scalar_matmul_t(&a, &b))), reps);
+        let tiled_t_s = time_median(|| drop(black_box(a.matmul_t(&b).unwrap())), reps);
+        let gflops = |s: f64| 2.0 * (n * n * n) as f64 / s / 1e9;
+        results.push(serde_json::json!({
+            "size": n,
+            "matmul": {
+                "scalar_s": scalar_s,
+                "tiled_s": tiled_s,
+                "speedup": scalar_s / tiled_s,
+                "tiled_gflops": gflops(tiled_s),
+            },
+            "matmul_t": {
+                "scalar_s": scalar_t_s,
+                "tiled_s": tiled_t_s,
+                "speedup": scalar_t_s / tiled_t_s,
+                "tiled_gflops": gflops(tiled_t_s),
+            },
+        }));
+        println!(
+            "matmul {n}x{n}x{n}: scalar {scalar_s:.2e}s tiled {tiled_s:.2e}s \
+             ({:.2}x); matmul_t scalar {scalar_t_s:.2e}s tiled {tiled_t_s:.2e}s ({:.2}x)",
+            scalar_s / tiled_s,
+            scalar_t_s / tiled_t_s,
+        );
+    }
+    let report = serde_json::json!({
+        "bench": "bench_matmul",
+        "threads": ft_tensor::pool::max_parallelism(),
+        "quick": quick(),
+        "results": results,
+    });
+    // `cargo bench` runs with the package as cwd; anchor the artifact
+    // at the workspace root so local runs and CI agree on the path.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    std::fs::create_dir_all(&dir).expect("creating bench_results/");
+    let path = dir.join("matmul.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serializable report"),
+    )
+    .expect("writing bench artifact");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    benches();
+    emit_json();
+}

@@ -1,0 +1,61 @@
+//! Parallel server-side evaluation fan-out.
+//!
+//! The coordinator's evaluation protocol scores every client on its
+//! best compatible model — an embarrassingly parallel pass that used to
+//! run serially and dominate report generation at scale. This module
+//! fans the per-client work out over the same persistent worker pool
+//! the GEMM kernels use ([`ft_tensor::pool`]), so evaluation and kernel
+//! parallelism share one set of threads instead of oversubscribing the
+//! host.
+//!
+//! Determinism: results land in their caller-assigned slots, so the
+//! output order never depends on scheduling, and the kernels underneath
+//! guarantee thread-count-independent numerics. GEMMs issued from
+//! inside an evaluation task run serially (nested-dispatch guard in the
+//! pool), which is the right granularity anyway: one task per client.
+
+/// Maps `f` over `0..n` in parallel, returning results in index order.
+///
+/// `f` runs exactly once per index. Falls back to a serial loop on
+/// single-core hosts or when the pool is already owned (see
+/// [`ft_tensor::pool::parallel_for`]).
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let slots = parking_lot::Mutex::new((0..n).map(|_| None).collect::<Vec<Option<T>>>());
+    ft_tensor::pool::parallel_for(n, &|i| {
+        let value = f(i);
+        slots.lock()[i] = Some(value);
+    });
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("parallel_for runs every index exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        let out = par_map_indexed(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_input() {
+        let out: Vec<usize> = par_map_indexed(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn closure_may_borrow_caller_state() {
+        let base = [10usize, 20, 30];
+        let out = par_map_indexed(base.len(), |i| base[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+}

@@ -12,6 +12,8 @@
 //!   proximal term) run by each participant, including parallel
 //!   fan-out over participants;
 //! * [`select`] — per-round participant selection;
+//! * [`eval`] — parallel per-client evaluation fan-out over the shared
+//!   tensor worker pool;
 //! * [`costs`] — MAC / network / storage accounting (the paper's cost
 //!   metrics in Table 2 and Figs. 2 and 7);
 //! * [`metrics`] — per-client accuracy statistics (mean, IQR, boxplot
@@ -32,6 +34,7 @@
 
 pub mod costs;
 pub mod device;
+pub mod eval;
 pub mod metrics;
 pub mod report;
 pub mod roundtime;

@@ -4,18 +4,36 @@
 //! round (`Select(C, N)` in Algorithm 1). A deterministic round-robin
 //! selector is also provided for tests that need full coverage.
 
-use rand::seq::SliceRandom;
+use std::collections::HashMap;
+
 use rand::Rng;
 
 /// Selects `n` distinct client indices uniformly at random from
 /// `0..population`.
 ///
+/// Implemented as a *partial* Fisher–Yates shuffle over a sparse
+/// (hash-map) view of the identity permutation: only `n` RNG draws and
+/// `O(n)` memory, instead of materializing and fully shuffling a
+/// `0..population` vector every round just to keep its first `n`
+/// entries. Each output position still receives a uniformly random
+/// index from the not-yet-taken remainder, so the selection
+/// distribution is exactly that of a full shuffle-and-truncate.
+///
 /// Returns fewer than `n` indices when the population is smaller.
 pub fn uniform(rng: &mut impl Rng, population: usize, n: usize) -> Vec<usize> {
-    let mut all: Vec<usize> = (0..population).collect();
-    all.shuffle(rng);
-    all.truncate(n.min(population));
-    all
+    let n = n.min(population);
+    // `displaced[i]` is the value the virtual array holds at slot `i`
+    // wherever that differs from the identity.
+    let mut displaced: HashMap<usize, usize> = HashMap::with_capacity(2 * n);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let j = rng.gen_range(i..population);
+        let taken = displaced.get(&j).copied().unwrap_or(j);
+        let shifted = displaced.get(&i).copied().unwrap_or(i);
+        displaced.insert(j, shifted);
+        out.push(taken);
+    }
+    out
 }
 
 /// Deterministic round-robin selection: round `r` takes the next `n`
@@ -61,6 +79,26 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_selection_frequencies_are_flat() {
+        // Partial Fisher–Yates must keep the full-shuffle distribution:
+        // every index equally likely. Binomial(6000, 0.3) has σ ≈ 35,
+        // so a ±180 band is a 5σ guard against bias.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut counts = [0u32; 10];
+        for _ in 0..6000 {
+            for idx in uniform(&mut rng, 10, 3) {
+                counts[idx] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f32 - 1800.0).abs() < 180.0,
+                "index {i} selected {c} times, expected ~1800"
+            );
+        }
     }
 
     #[test]

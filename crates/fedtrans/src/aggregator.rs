@@ -100,8 +100,22 @@ impl ModelAggregator {
             .zip(per_model)
             .map(|(m, avg)| avg.clone().unwrap_or_else(|| m.snapshot()))
             .collect();
+        // Layouts are a function of each model alone — compute them
+        // once per call instead of rebuilding the source layout inside
+        // the O(models²) pair loop.
+        let layouts: Vec<Vec<(Option<CellId>, usize, usize)>> =
+            models.iter().map(CellModel::param_layout).collect();
+        let layout_maps: Vec<HashMap<Option<CellId>, (usize, usize)>> = layouts
+            .iter()
+            .map(|layout| {
+                layout
+                    .iter()
+                    .map(|&(id, start, len)| (id, (start, len)))
+                    .collect()
+            })
+            .collect();
         let mut results = Vec::with_capacity(models.len());
-        for (j, target) in models.iter().enumerate() {
+        for j in 0..models.len() {
             let decay = if self.decayed {
                 self.eta.powf(ages[j] as f32)
             } else {
@@ -112,7 +126,7 @@ impl ModelAggregator {
                 results.push(base.clone());
                 continue;
             }
-            let layout_j = target.param_layout();
+            let layout_j = &layouts[j];
             let mut acc: Vec<Tensor> = base
                 .iter()
                 .map(|t| Tensor::zeros(t.shape().dims()))
@@ -122,7 +136,7 @@ impl ModelAggregator {
                 .map(|t| Tensor::zeros(t.shape().dims()))
                 .collect();
 
-            for (i, source_model) in models.iter().enumerate() {
+            for i in 0..models.len() {
                 if i > j && !self.l2s {
                     continue; // no large-to-small sharing by default
                 }
@@ -134,12 +148,8 @@ impl ModelAggregator {
                 if coeff < 1e-6 {
                     continue;
                 }
-                let layout_i: HashMap<Option<CellId>, (usize, usize)> = source_model
-                    .param_layout()
-                    .into_iter()
-                    .map(|(id, start, len)| (id, (start, len)))
-                    .collect();
-                for (id, start_j, len_j) in &layout_j {
+                let layout_i = &layout_maps[i];
+                for (id, start_j, len_j) in layout_j {
                     let Some(&(start_i, len_i)) = layout_i.get(id) else {
                         continue; // cell absent in source (e.g. inserted later)
                     };

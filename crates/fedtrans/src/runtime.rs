@@ -283,7 +283,13 @@ impl FedTransRuntime {
         }
 
         // 6. Activeness from aggregate deltas (never per-client grads).
-        for (n, deltas) in &per_model_deltas {
+        // Iterate in model order, NOT HashMap order: models share
+        // inherited CellIds, so the recording order of their histories
+        // is observable — random order made seeded runs diverge.
+        for n in 0..self.models.len() {
+            let Some(deltas) = per_model_deltas.get(&n) else {
+                continue;
+            };
             let count = deltas.len() as f32;
             let mut mean_delta: Vec<Tensor> = deltas[0]
                 .delta
@@ -295,7 +301,7 @@ impl FedTransRuntime {
                     m.axpy(1.0 / count, d).expect("same shapes per model");
                 }
             }
-            self.activeness.record_round(&self.models[*n], &mean_delta);
+            self.activeness.record_round(&self.models[n], &mean_delta);
         }
 
         // 7. Joint utility update (Eq. 4).
@@ -353,8 +359,9 @@ impl FedTransRuntime {
     }
 
     /// Evaluates every client on its best-utility compatible model
-    /// (§5.1's protocol). Returns `(summary, per-client accuracy,
-    /// per-client model index)`.
+    /// (§5.1's protocol), fanning clients out over the shared worker
+    /// pool. Returns `(summary, per-client accuracy, per-client model
+    /// index)`.
     ///
     /// # Errors
     ///
@@ -362,22 +369,25 @@ impl FedTransRuntime {
     pub fn evaluate(&mut self) -> Result<(BoxStats, Vec<f32>, Vec<usize>)> {
         let macs = self.model_macs();
         let capacities = self.capacities();
-        let mut accs = Vec::with_capacity(self.data.num_clients());
-        let mut chosen = Vec::with_capacity(self.data.num_clients());
-        for c in 0..self.data.num_clients() {
-            let compatible = ClientManager::compatible_models(&macs, capacities[c]);
-            let best = self.manager.best_model(c, &compatible);
-            chosen.push(best);
-            let acc = match self.data.client(c).test_all() {
+        let chosen: Vec<usize> = (0..self.data.num_clients())
+            .map(|c| {
+                let compatible = ClientManager::compatible_models(&macs, capacities[c]);
+                self.manager.best_model(c, &compatible)
+            })
+            .collect();
+        let models = &self.models;
+        let data = &self.data;
+        let accs: Vec<f32> = ft_fedsim::eval::par_map_indexed(data.num_clients(), |c| {
+            match data.client(c).test_all() {
                 Some((x, y)) => {
-                    let mut m = self.models[best].clone();
-                    let (_, acc) = m.evaluate(&x, &y)?;
-                    acc
+                    let mut m = models[chosen[c]].clone();
+                    m.evaluate(&x, &y).map(|(_, acc)| acc)
                 }
-                None => 0.0,
-            };
-            accs.push(acc);
-        }
+                None => Ok(0.0),
+            }
+        })
+        .into_iter()
+        .collect::<std::result::Result<_, _>>()?;
         Ok((box_stats(&accs), accs, chosen))
     }
 

@@ -17,6 +17,11 @@ use crate::{softmax, NnError, Result};
 /// widening grows the MLP width `d_ff` (self-contained Net2Wider), and an
 /// identity block (`Wo = 0`, `W2 = 0`) makes deepening exactly
 /// function-preserving through both residual branches.
+///
+/// All six projections (and their gradients) are computed as single
+/// `[batch·tokens, d]` GEMMs over the whole batch; only the softmax
+/// attention matrix — which is block-diagonal across samples — stays
+/// per-sample.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AttentionBlock {
     tokens: usize,
@@ -30,16 +35,20 @@ pub struct AttentionBlock {
     w2: Tensor,
     grads: Vec<Tensor>,
     #[serde(skip)]
-    cache: Option<Vec<SampleCache>>,
+    cache: Option<Box<BatchCache>>,
 }
 
+/// Whole-batch activations kept for the backward pass. Matrices are
+/// `[batch·tokens, d_model]` (or `d_ff` for `z`/`m`); `attn` holds the
+/// per-sample `[tokens, tokens]` softmax outputs.
 #[derive(Debug, Clone)]
-struct SampleCache {
+struct BatchCache {
+    batch: usize,
     x: Tensor,
     q: Tensor,
     k: Tensor,
     v: Tensor,
-    a: Tensor,
+    attn: Vec<Tensor>,
     c: Tensor,
     h: Tensor,
     z: Tensor,
@@ -184,38 +193,46 @@ impl AttentionBlock {
             });
         }
         let scale = 1.0 / (self.d_model as f32).sqrt();
-        let mut out = Vec::with_capacity(batch * self.sample_dim());
-        let mut caches = Vec::with_capacity(batch);
+        let (t, d) = (self.tokens, self.d_model);
+        // [batch, tokens·d] and [batch·tokens, d] share a layout, so
+        // the projections batch into single GEMMs via a reshape.
+        let xb = x.reshaped(&[batch * t, d])?;
+        let q = xb.matmul(&self.wq)?;
+        let k = xb.matmul(&self.wk)?;
+        let v = xb.matmul(&self.wv)?;
+        // Attention is block-diagonal across samples: softmax and the
+        // A·V product stay per-sample.
+        let mut cbig = Vec::with_capacity(batch * t * d);
+        let mut attn = Vec::with_capacity(batch);
         for s in 0..batch {
-            let xs = Tensor::from_vec(
-                x.data()[s * self.sample_dim()..(s + 1) * self.sample_dim()].to_vec(),
-                &[self.tokens, self.d_model],
-            )?;
-            let q = xs.matmul(&self.wq)?;
-            let k = xs.matmul(&self.wk)?;
-            let v = xs.matmul(&self.wv)?;
-            let scores = q.matmul_t(&k)?.scale(scale);
+            let qs = q.slice_rows(s * t, (s + 1) * t)?;
+            let ks = k.slice_rows(s * t, (s + 1) * t)?;
+            let vs = v.slice_rows(s * t, (s + 1) * t)?;
+            let scores = qs.matmul_t(&ks)?.scale(scale);
             let a = softmax(&scores)?;
-            let c = a.matmul(&v)?;
-            let h = xs.add(&c.matmul(&self.wo)?)?;
-            let z = h.matmul(&self.w1)?;
-            let m = z.map(|t| t.max(0.0));
-            let y = h.add(&m.matmul(&self.w2)?)?;
-            out.extend_from_slice(y.data());
-            caches.push(SampleCache {
-                x: xs,
-                q,
-                k,
-                v,
-                a,
-                c,
-                h,
-                z,
-                m,
-            });
+            let cs = a.matmul(&vs)?;
+            cbig.extend_from_slice(cs.data());
+            attn.push(a);
         }
-        self.cache = Some(caches);
-        Ok(Tensor::from_vec(out, &[batch, self.sample_dim()])?)
+        let c = Tensor::from_vec(cbig, &[batch * t, d])?;
+        let h = xb.add(&c.matmul(&self.wo)?)?;
+        let z = h.matmul(&self.w1)?;
+        let m = z.map(|zv| zv.max(0.0));
+        let y = h.add(&m.matmul(&self.w2)?)?;
+        let out = y.reshaped(&[batch, self.sample_dim()])?;
+        self.cache = Some(Box::new(BatchCache {
+            batch,
+            x: xb,
+            q,
+            k,
+            v,
+            attn,
+            c,
+            h,
+            z,
+            m,
+        }));
+        Ok(out)
     }
 
     /// Backward pass; accumulates gradients for all six weights and
@@ -226,64 +243,71 @@ impl AttentionBlock {
     /// Returns [`NnError::MissingForwardCache`] if called before
     /// [`AttentionBlock::forward`].
     pub fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
-        let caches = self.cache.take().ok_or(NnError::MissingForwardCache {
+        let cache = self.cache.take().ok_or(NnError::MissingForwardCache {
             layer: "AttentionBlock",
         })?;
         let batch = dy.rows()?;
-        if batch != caches.len() || dy.cols()? != self.sample_dim() {
+        if batch != cache.batch || dy.cols()? != self.sample_dim() {
             return Err(NnError::BadInput {
                 layer: "AttentionBlock",
                 detail: format!("gradient shape {:?} mismatches cache", dy.shape().dims()),
             });
         }
         let scale = 1.0 / (self.d_model as f32).sqrt();
-        let mut dx_all = Vec::with_capacity(batch * self.sample_dim());
-        for (s, cache) in caches.iter().enumerate() {
-            let dys = Tensor::from_vec(
-                dy.data()[s * self.sample_dim()..(s + 1) * self.sample_dim()].to_vec(),
-                &[self.tokens, self.d_model],
-            )?;
-            // MLP branch: Y = H + relu(H W1) W2
-            let dm = dys.matmul_t(&self.w2)?;
-            let dz_data: Vec<f32> = dm
-                .data()
-                .iter()
-                .zip(cache.z.data())
-                .map(|(&g, &z)| if z > 0.0 { g } else { 0.0 })
-                .collect();
-            let dz = Tensor::from_vec(dz_data, dm.shape().dims())?;
-            self.grads[5].axpy(1.0, &cache.m.t_matmul(&dys)?)?;
-            self.grads[4].axpy(1.0, &cache.h.t_matmul(&dz)?)?;
-            let dh = dys.add(&dz.matmul_t(&self.w1)?)?;
-            // Attention branch: H = X + (A V) Wo
-            let dc = dh.matmul_t(&self.wo)?;
-            self.grads[3].axpy(1.0, &cache.c.t_matmul(&dh)?)?;
-            let mut dx = dh.clone();
-            let dv = cache.a.t_matmul(&dc)?;
-            let da = dc.matmul_t(&cache.v)?;
-            // Softmax backward, row-wise.
-            let t = self.tokens;
+        let (t, d) = (self.tokens, self.d_model);
+        let dyb = dy.reshaped(&[batch * t, d])?;
+        // MLP branch: Y = H + relu(H W1) W2 — whole-batch GEMMs.
+        let dm = dyb.matmul_t(&self.w2)?;
+        let dz_data: Vec<f32> = dm
+            .data()
+            .iter()
+            .zip(cache.z.data())
+            .map(|(&g, &z)| if z > 0.0 { g } else { 0.0 })
+            .collect();
+        let dz = Tensor::from_vec(dz_data, dm.shape().dims())?;
+        self.grads[5].axpy(1.0, &cache.m.t_matmul(&dyb)?)?;
+        self.grads[4].axpy(1.0, &cache.h.t_matmul(&dz)?)?;
+        let dh = dyb.add(&dz.matmul_t(&self.w1)?)?;
+        // Attention branch: H = X + (A V) Wo.
+        let dc = dh.matmul_t(&self.wo)?;
+        self.grads[3].axpy(1.0, &cache.c.t_matmul(&dh)?)?;
+        // Softmax backward is per-sample (A is block-diagonal); the
+        // resulting dQ/dK/dV stack back into whole-batch matrices.
+        let mut dqb = Vec::with_capacity(batch * t * d);
+        let mut dkb = Vec::with_capacity(batch * t * d);
+        let mut dvb = Vec::with_capacity(batch * t * d);
+        for (s, a) in cache.attn.iter().enumerate() {
+            let dcs = dc.slice_rows(s * t, (s + 1) * t)?;
+            let qs = cache.q.slice_rows(s * t, (s + 1) * t)?;
+            let ks = cache.k.slice_rows(s * t, (s + 1) * t)?;
+            let vs = cache.v.slice_rows(s * t, (s + 1) * t)?;
+            let dv = a.t_matmul(&dcs)?;
+            let da = dcs.matmul_t(&vs)?;
             let mut ds = Tensor::zeros(&[t, t]);
             for r in 0..t {
-                let arow = &cache.a.data()[r * t..(r + 1) * t];
+                let arow = &a.data()[r * t..(r + 1) * t];
                 let darow = &da.data()[r * t..(r + 1) * t];
-                let dot: f32 = arow.iter().zip(darow).map(|(&a, &g)| a * g).sum();
+                let dot: f32 = arow.iter().zip(darow).map(|(&av, &g)| av * g).sum();
                 for j in 0..t {
                     ds.data_mut()[r * t + j] = arow[j] * (darow[j] - dot);
                 }
             }
             ds.scale_mut(scale);
-            let dq = ds.matmul(&cache.k)?;
-            let dk = ds.t_matmul(&cache.q)?;
-            self.grads[0].axpy(1.0, &cache.x.t_matmul(&dq)?)?;
-            self.grads[1].axpy(1.0, &cache.x.t_matmul(&dk)?)?;
-            self.grads[2].axpy(1.0, &cache.x.t_matmul(&dv)?)?;
-            dx.axpy(1.0, &dq.matmul_t(&self.wq)?)?;
-            dx.axpy(1.0, &dk.matmul_t(&self.wk)?)?;
-            dx.axpy(1.0, &dv.matmul_t(&self.wv)?)?;
-            dx_all.extend_from_slice(dx.data());
+            dqb.extend_from_slice(ds.matmul(&ks)?.data());
+            dkb.extend_from_slice(ds.t_matmul(&qs)?.data());
+            dvb.extend_from_slice(dv.data());
         }
-        Ok(Tensor::from_vec(dx_all, &[batch, self.sample_dim()])?)
+        let dq = Tensor::from_vec(dqb, &[batch * t, d])?;
+        let dk = Tensor::from_vec(dkb, &[batch * t, d])?;
+        let dv = Tensor::from_vec(dvb, &[batch * t, d])?;
+        self.grads[0].axpy(1.0, &cache.x.t_matmul(&dq)?)?;
+        self.grads[1].axpy(1.0, &cache.x.t_matmul(&dk)?)?;
+        self.grads[2].axpy(1.0, &cache.x.t_matmul(&dv)?)?;
+        let mut dx = dh.clone();
+        dx.axpy(1.0, &dq.matmul_t(&self.wq)?)?;
+        dx.axpy(1.0, &dk.matmul_t(&self.wk)?)?;
+        dx.axpy(1.0, &dv.matmul_t(&self.wv)?)?;
+        Ok(dx.reshaped(&[batch, self.sample_dim()])?)
     }
 
     /// Number of trainable parameters.

@@ -12,6 +12,11 @@ use crate::{NnError, Result};
 /// widening its input duplicates contiguous *column blocks* of `k·k`
 /// entries per input channel. Spatial geometry `(height, width)` is fixed
 /// at construction; all FedTrans conv cells preserve spatial dims.
+///
+/// The whole batch is lowered into **one** `[C·k·k, batch·H·W]` patch
+/// matrix so the forward pass, `dW`, and `dX` each issue a single large
+/// GEMM instead of one small GEMM per sample — the shape the tiled
+/// kernel in `ft_tensor` is fastest at.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Conv2d {
     in_channels: usize,
@@ -24,7 +29,7 @@ pub struct Conv2d {
     grad_weight: Tensor,
     grad_bias: Tensor,
     #[serde(skip)]
-    cache_cols: Option<Vec<Tensor>>,
+    cache_cols: Option<Tensor>,
 }
 
 impl Conv2d {
@@ -198,19 +203,19 @@ impl Conv2d {
         self.in_channels * self.height * self.width
     }
 
-    /// Lowers one sample `[C·H·W]` into a `[C·k·k, H·W]` patch matrix.
-    fn im2col(&self, sample: &[f32]) -> Tensor {
+    /// Lowers one sample `[C·H·W]` into columns `[off, off + H·W)` of a
+    /// `[C·k·k, ld]` patch matrix (`ld` = batch·H·W for whole-batch
+    /// lowering). `out` must be zero where no patch value lands (the
+    /// same-padding border).
+    fn im2col_into(&self, sample: &[f32], out: &mut [f32], off: usize, ld: usize) {
         let (h, w, k, c) = (self.height, self.width, self.kernel, self.in_channels);
         let pad = k / 2;
-        let rows = c * k * k;
-        let cols = h * w;
-        let mut out = vec![0.0f32; rows * cols];
         for ic in 0..c {
             let plane = &sample[ic * h * w..(ic + 1) * h * w];
             for ki in 0..k {
                 for kj in 0..k {
                     let row = ic * k * k + ki * k + kj;
-                    let base = row * cols;
+                    let base = row * ld + off;
                     for oi in 0..h {
                         let ii = oi as isize + ki as isize - pad as isize;
                         if ii < 0 || ii >= h as isize {
@@ -227,21 +232,18 @@ impl Conv2d {
                 }
             }
         }
-        Tensor::from_vec(out, &[rows, cols]).expect("volume matches by construction")
     }
 
-    /// Scatters a `[C·k·k, H·W]` gradient back to `[C·H·W]`.
-    fn col2im(&self, dcols: &Tensor) -> Vec<f32> {
+    /// Scatters columns `[off, off + H·W)` of a `[C·k·k, ld]` gradient
+    /// matrix back onto one sample's `[C·H·W]` image gradient.
+    fn col2im_from(&self, d: &[f32], off: usize, ld: usize, out: &mut [f32]) {
         let (h, w, k, c) = (self.height, self.width, self.kernel, self.in_channels);
         let pad = k / 2;
-        let cols = h * w;
-        let mut out = vec![0.0f32; c * h * w];
-        let d = dcols.data();
         for ic in 0..c {
             for ki in 0..k {
                 for kj in 0..k {
                     let row = ic * k * k + ki * k + kj;
-                    let base = row * cols;
+                    let base = row * ld + off;
                     for oi in 0..h {
                         let ii = oi as isize + ki as isize - pad as isize;
                         if ii < 0 || ii >= h as isize {
@@ -259,10 +261,11 @@ impl Conv2d {
                 }
             }
         }
-        out
     }
 
-    /// Forward pass over `[batch, C·H·W]`.
+    /// Forward pass over `[batch, C·H·W]`: one im2col lowering of the
+    /// whole batch followed by a single `[out_c, C·k·k] @ [C·k·k,
+    /// batch·H·W]` GEMM.
     ///
     /// # Errors
     ///
@@ -284,26 +287,31 @@ impl Conv2d {
             });
         }
         let hw = self.height * self.width;
-        let mut out = Vec::with_capacity(batch * self.out_channels * hw);
-        let mut caches = Vec::with_capacity(batch);
+        let patch_rows = self.in_channels * self.kernel * self.kernel;
+        let ld = batch * hw;
+        let mut cols = vec![0.0f32; patch_rows * ld];
         for s in 0..batch {
             let sample =
                 &x.data()[s * self.expected_input_len()..(s + 1) * self.expected_input_len()];
-            let cols = self.im2col(sample);
-            let y = self.weight.matmul(&cols)?; // [out_c, hw]
-            let b = self.bias.data();
-            for oc in 0..self.out_channels {
-                for p in 0..hw {
-                    out.push(y.data()[oc * hw + p] + b[oc]);
-                }
-            }
-            caches.push(cols);
+            self.im2col_into(sample, &mut cols, s * hw, ld);
         }
-        self.cache_cols = Some(caches);
+        let cols = Tensor::from_vec(cols, &[patch_rows, ld])?;
+        let y = self.weight.matmul(&cols)?; // [out_c, batch*hw]
+        let b = self.bias.data();
+        let mut out = Vec::with_capacity(batch * self.out_channels * hw);
+        for s in 0..batch {
+            for oc in 0..self.out_channels {
+                let row = &y.data()[oc * ld + s * hw..oc * ld + (s + 1) * hw];
+                out.extend(row.iter().map(|v| v + b[oc]));
+            }
+        }
+        self.cache_cols = Some(cols);
         Ok(Tensor::from_vec(out, &[batch, self.out_channels * hw])?)
     }
 
-    /// Backward pass; accumulates gradients and returns `dX`.
+    /// Backward pass; accumulates gradients and returns `dX`. The
+    /// gradient is regathered to `[out_c, batch·H·W]` so `dW` and the
+    /// patch gradient are each one large GEMM over the whole batch.
     ///
     /// # Errors
     ///
@@ -311,39 +319,46 @@ impl Conv2d {
     /// [`Conv2d::forward`], or [`NnError::BadInput`] when `dy` does not
     /// match the cached batch geometry.
     pub fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
-        let caches = self
+        let cols = self
             .cache_cols
             .take()
             .ok_or(NnError::MissingForwardCache { layer: "Conv2d" })?;
         let batch = dy.rows()?;
         let hw = self.height * self.width;
-        if batch != caches.len() || dy.cols()? != self.out_channels * hw {
+        let ld = batch * hw;
+        if cols.cols()? != ld || dy.cols()? != self.out_channels * hw {
             return Err(NnError::BadInput {
                 layer: "Conv2d",
                 detail: format!(
                     "gradient shape {:?} does not match cached batch {} x {}",
                     dy.shape().dims(),
-                    caches.len(),
+                    cols.cols()? / hw.max(1),
                     self.out_channels * hw
                 ),
             });
         }
-        let mut dx = Vec::with_capacity(batch * self.expected_input_len());
-        for (s, cols) in caches.iter().enumerate() {
-            let dys = Tensor::from_vec(
-                dy.data()[s * self.out_channels * hw..(s + 1) * self.out_channels * hw].to_vec(),
-                &[self.out_channels, hw],
-            )?;
-            let dw = dys.matmul_t(cols)?; // [out_c, c*k*k]
-            self.grad_weight.axpy(1.0, &dw)?;
+        // Regather dy from [batch, out_c*hw] to [out_c, batch*hw].
+        let mut dyb = vec![0.0f32; self.out_channels * ld];
+        for s in 0..batch {
             for oc in 0..self.out_channels {
-                let sum: f32 = dys.data()[oc * hw..(oc + 1) * hw].iter().sum();
-                self.grad_bias.data_mut()[oc] += sum;
+                let src = &dy.data()[s * self.out_channels * hw + oc * hw..][..hw];
+                dyb[oc * ld + s * hw..oc * ld + (s + 1) * hw].copy_from_slice(src);
             }
-            let dcols = self.weight.t_matmul(&dys)?; // [c*k*k, hw]
-            dx.extend(self.col2im(&dcols));
         }
-        Ok(Tensor::from_vec(dx, &[batch, self.expected_input_len()])?)
+        let dyb = Tensor::from_vec(dyb, &[self.out_channels, ld])?;
+        let dw = dyb.matmul_t(&cols)?; // [out_c, c*k*k]
+        self.grad_weight.axpy(1.0, &dw)?;
+        for oc in 0..self.out_channels {
+            let sum: f32 = dyb.data()[oc * ld..(oc + 1) * ld].iter().sum();
+            self.grad_bias.data_mut()[oc] += sum;
+        }
+        let dcols = self.weight.t_matmul(&dyb)?; // [c*k*k, batch*hw]
+        let mut dx = vec![0.0f32; batch * self.expected_input_len()];
+        let per_sample = self.expected_input_len();
+        for (s, sample) in dx.chunks_mut(per_sample).enumerate() {
+            self.col2im_from(dcols.data(), s * hw, ld, sample);
+        }
+        Ok(Tensor::from_vec(dx, &[batch, per_sample])?)
     }
 
     /// Number of trainable parameters.

@@ -22,6 +22,7 @@ mod error;
 mod init;
 mod matmul;
 mod ops;
+pub mod pool;
 mod shape;
 mod tensor;
 

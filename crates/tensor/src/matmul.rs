@@ -1,11 +1,44 @@
 //! Matrix multiplication kernels.
 //!
-//! The workloads in this reproduction are dominated by small-to-medium
-//! GEMMs (batch × features times features × hidden). A cache-friendly
-//! ikj loop order with a transposed variant covers every call site in the
-//! NN substrate without pulling in a BLAS dependency.
+//! Every simulated client's forward/backward pass funnels through the
+//! three GEMM variants here, so they are the hottest code in the repo.
+//! The implementation is a cache-blocked, register-tiled kernel that
+//! dispatches row panels across the persistent worker pool
+//! ([`crate::pool`]) for large shapes and falls back to a plain loop
+//! nest below a tuned size threshold.
+//!
+//! # Determinism
+//!
+//! Results are bit-for-bit reproducible and independent of thread
+//! count: each output element is owned by exactly one task, and its
+//! dot product accumulates in ascending-`k` order with a single `f32`
+//! accumulator on every code path (small, tiled-serial, and parallel
+//! alike). No FMA contraction, no split reductions.
+//!
+//! # Non-finite propagation
+//!
+//! The kernels deliberately do **not** skip zero multiplicands:
+//! `0 × NaN` and `0 × ∞` must produce `NaN` so divergent weights
+//! surface in metrics instead of being silently masked (an earlier
+//! version short-circuited `a == 0.0` rows and swallowed them).
 
-use crate::{Result, Tensor, TensorError};
+use crate::{pool, Result, Tensor, TensorError};
+
+/// Rows per register tile.
+const MR: usize = 4;
+/// Columns per register tile (two 4-lane f32 vectors on baseline
+/// x86-64; MR·NR/4 + operand registers fit the 16-register SIMD file).
+const NR: usize = 8;
+/// k-block: one `KC × NR` B slab (8 KiB) stays L1-resident across all
+/// row tiles of a panel.
+const KC: usize = 128;
+/// Below this many multiply-adds the plain loop nest beats the tiled
+/// kernel (no blocking bookkeeping, no operand transposes).
+const SMALL_WORK: usize = 1 << 15;
+/// At or above this many multiply-adds, row panels are fanned out
+/// across the worker pool; under it, thread dispatch costs more than
+/// it buys.
+const PAR_WORK: usize = 1 << 20;
 
 impl Tensor {
     /// Matrix product `self @ other` for rank-2 tensors.
@@ -23,26 +56,12 @@ impl Tensor {
                 right: vec![k2, n],
             });
         }
-        let a = self.data();
-        let b = other.data();
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+        let out = gemm(self.data(), other.data(), m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
-    /// Computes `self^T @ other` without materializing the transpose.
+    /// Computes `self^T @ other` without the caller materializing the
+    /// transpose.
     ///
     /// Used by linear-layer backward passes (`dW = X^T dY`).
     ///
@@ -61,24 +80,29 @@ impl Tensor {
         }
         let a = self.data();
         let b = other.data();
-        let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let arow = &a[p * m..(p + 1) * m];
-            let brow = &b[p * n..(p + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
+        if m * n * k < SMALL_WORK {
+            // p-outer loop reads A rows contiguously; no transpose.
+            let mut out = vec![0.0f32; m * n];
+            for p in 0..k {
+                let arow = &a[p * m..(p + 1) * m];
+                let brow = &b[p * n..(p + 1) * n];
+                for (i, &av) in arow.iter().enumerate() {
+                    let orow = &mut out[i * n..(i + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
                 }
             }
+            return Tensor::from_vec(out, &[m, n]);
         }
+        // Transpose A once (O(mk)) to reuse the row-major core (O(mkn)).
+        let at = transposed(a, k, m);
+        let out = gemm(&at, b, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
-    /// Computes `self @ other^T` without materializing the transpose.
+    /// Computes `self @ other^T` without the caller materializing the
+    /// transpose.
     ///
     /// Used by linear-layer backward passes (`dX = dY W^T`).
     ///
@@ -97,19 +121,235 @@ impl Tensor {
         }
         let a = self.data();
         let b = other.data();
-        let mut out = vec![0.0f32; m * n];
+        if m * n * k < SMALL_WORK {
+            let mut out = vec![0.0f32; m * n];
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in arow.iter().zip(brow) {
+                        acc += av * bv;
+                    }
+                    out[i * n + j] = acc;
+                }
+            }
+            return Tensor::from_vec(out, &[m, n]);
+        }
+        let bt = transposed(b, n, k);
+        let out = gemm(a, &bt, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+/// Transposes a `rows × cols` row-major buffer into a fresh
+/// `cols × rows` one.
+fn transposed(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; src.len()];
+    for r in 0..rows {
+        let srow = &src[r * cols..(r + 1) * cols];
+        for (c, &v) in srow.iter().enumerate() {
+            out[c * rows + r] = v;
+        }
+    }
+    out
+}
+
+/// Shares a mutable output pointer with pool tasks that each write a
+/// disjoint row range.
+struct PanelPtr(*mut f32);
+// SAFETY: tasks index strictly disjoint row panels (enforced by the
+// chunking arithmetic in `gemm`), so concurrent writes never alias.
+unsafe impl Send for PanelPtr {}
+unsafe impl Sync for PanelPtr {}
+
+/// `A[m×k] @ B[k×n]`, both row-major, into a fresh row-major buffer.
+fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 || k == 0 {
+        return out;
+    }
+    let work = m * n * k;
+    if work < SMALL_WORK {
+        // ikj loop: row-panel axpy, cache-friendly without blocking.
         for i in 0..m {
             let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
                 }
-                out[i * n + j] = acc;
             }
         }
-        Tensor::from_vec(out, &[m, n])
+        return out;
+    }
+    // Don't touch (and lazily spawn) the pool for shapes that will
+    // never parallelize.
+    let threads = if work >= PAR_WORK {
+        pool::max_parallelism()
+    } else {
+        1
+    };
+    if work >= PAR_WORK && threads > 1 && m >= 2 * MR {
+        // Oversplit rows ~2× past the thread count so the atomic task
+        // queue load-balances uneven finish times.
+        let chunk = m.div_ceil(threads * 2).max(MR).next_multiple_of(MR);
+        let tasks = m.div_ceil(chunk);
+        let out_ptr = PanelPtr(out.as_mut_ptr());
+        // Capture the Sync wrapper, not the raw pointer field.
+        let out_ptr = &out_ptr;
+        pool::parallel_for(tasks, &|t| {
+            let r0 = t * chunk;
+            let r1 = ((t + 1) * chunk).min(m);
+            // SAFETY: `r0..r1` row ranges are disjoint across tasks and
+            // in-bounds; the buffer outlives `parallel_for`, which
+            // blocks until every task completes.
+            let panel =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(r0 * n), (r1 - r0) * n) };
+            gemm_panel(&a[r0 * k..r1 * k], b, panel, r1 - r0, k, n, 0, n);
+        });
+    } else if work >= PAR_WORK && threads > 1 && n >= 2 * NR {
+        // Short-and-wide shapes (the batched conv GEMMs: a handful of
+        // output channels times batch·H·W columns) split the *column*
+        // dimension instead. Tasks compute disjoint column windows into
+        // private buffers and splice them into `out` through raw
+        // pointers — interleaved `&mut` windows of one slice would
+        // alias. Per-element arithmetic is identical either way, so
+        // results stay bit-equal to the serial path.
+        let chunk = n.div_ceil(threads * 2).max(NR).next_multiple_of(NR);
+        let tasks = n.div_ceil(chunk);
+        let out_ptr = PanelPtr(out.as_mut_ptr());
+        let out_ptr = &out_ptr;
+        pool::parallel_for(tasks, &|t| {
+            let j0 = t * chunk;
+            let j1 = ((t + 1) * chunk).min(n);
+            let nw = j1 - j0;
+            let mut window = vec![0.0f32; m * nw];
+            gemm_panel(a, b, &mut window, m, k, nw, j0, n);
+            for (i, row) in window.chunks_exact(nw).enumerate() {
+                // SAFETY: `j0..j1` column ranges are disjoint across
+                // tasks and in-bounds; the buffer outlives
+                // `parallel_for`, which blocks until every task
+                // completes.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(row.as_ptr(), out_ptr.0.add(i * n + j0), nw);
+                }
+            }
+        });
+    } else {
+        gemm_panel(a, b, &mut out, m, k, n, 0, n);
+    }
+    out
+}
+
+/// Tiled core: accumulates `out += a @ b[:, jc..jc + n]` for one row
+/// panel. `a` is `rows × k`, `out` is a contiguous `rows × n` window,
+/// and `b` has row stride `ldb` with the window starting at column
+/// `jc` (`jc = 0, ldb = n` for a full-width panel).
+///
+/// Per k-block, the A panel is packed into `MR`-interleaved micro-panels
+/// and each B block into a contiguous `kc × NR` slab, so the microkernel
+/// reads two dense streams (BLIS-style). Edge tiles are zero-padded into
+/// the same full-size microkernel; padded lanes are computed and then
+/// discarded by the partial store, which cannot change the kept values
+/// (each output element only ever accumulates its own row/column lane).
+fn gemm_panel(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    jc: usize,
+    ldb: usize,
+) {
+    let groups = rows.div_ceil(MR);
+    let kc_max = KC.min(k);
+    let mut apack = vec![0.0f32; groups * MR * kc_max];
+    let mut bpack = vec![0.0f32; kc_max * NR];
+    let mut pc = 0;
+    while pc < k {
+        let kc = (k - pc).min(KC);
+        for g in 0..groups {
+            let r0 = g * MR;
+            let rh = (rows - r0).min(MR);
+            let dst = &mut apack[g * MR * kc..(g + 1) * MR * kc];
+            if rh < MR {
+                dst.fill(0.0);
+            }
+            for r in 0..rh {
+                let src = &a[(r0 + r) * k + pc..(r0 + r) * k + pc + kc];
+                for (p, &v) in src.iter().enumerate() {
+                    dst[p * MR + r] = v;
+                }
+            }
+        }
+        let mut j0 = 0;
+        while j0 < n {
+            let jw = (n - j0).min(NR);
+            if jw < NR {
+                bpack[..kc * NR].fill(0.0);
+            }
+            for p in 0..kc {
+                let base = (pc + p) * ldb + jc + j0;
+                bpack[p * NR..p * NR + jw].copy_from_slice(&b[base..base + jw]);
+            }
+            for g in 0..groups {
+                let r0 = g * MR;
+                let rh = (rows - r0).min(MR);
+                micro_tile(
+                    &apack[g * MR * kc..(g + 1) * MR * kc],
+                    &bpack,
+                    out,
+                    r0,
+                    rh,
+                    j0,
+                    jw,
+                    kc,
+                    n,
+                );
+            }
+            j0 += jw;
+        }
+        pc += kc;
+    }
+}
+
+/// `MR × NR` register tile over packed operands: accumulators live in
+/// registers across the k-block; `apack` is `kc × MR` (row-interleaved),
+/// `bpack` is `kc × NR`. Stores only the `rh × jw` live sub-tile.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn micro_tile(
+    apack: &[f32],
+    bpack: &[f32],
+    out: &mut [f32],
+    r0: usize,
+    rh: usize,
+    j0: usize,
+    jw: usize,
+    kc: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, accr) in acc.iter_mut().take(rh).enumerate() {
+        let base = (r0 + r) * n + j0;
+        accr[..jw].copy_from_slice(&out[base..base + jw]);
+    }
+    for p in 0..kc {
+        let arow = &apack[p * MR..p * MR + MR];
+        let brow = &bpack[p * NR..p * NR + NR];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = arow[r];
+            for (x, &bv) in accr.iter_mut().zip(brow) {
+                *x += av * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().take(rh).enumerate() {
+        let base = (r0 + r) * n + j0;
+        out[base..base + jw].copy_from_slice(&accr[..jw]);
     }
 }
 
@@ -159,5 +399,104 @@ mod tests {
         let fast = a.matmul_t(&b).unwrap();
         let slow = a.matmul(&b.transpose().unwrap()).unwrap();
         assert_eq!(fast, slow);
+    }
+
+    /// Serial reference with the same accumulation order the kernels
+    /// guarantee: ascending `k`, one accumulator per element.
+    fn reference(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.rows().unwrap(), a.cols().unwrap());
+        let n = b.cols().unwrap();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.at(i, p) * b.at(p, j);
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).unwrap()
+    }
+
+    #[test]
+    fn column_window_panels_match_the_full_panel() {
+        // The column-split parallel path computes disjoint (jc, width)
+        // windows; splicing them together must reproduce the full-width
+        // panel bit-for-bit.
+        let (m, k, n) = (5, 150, 64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = crate::uniform(&mut rng, &[m, k], -1.0, 1.0);
+        let b = crate::uniform(&mut rng, &[k, n], -1.0, 1.0);
+        let mut full = vec![0.0f32; m * n];
+        gemm_panel(a.data(), b.data(), &mut full, m, k, n, 0, n);
+        let mut spliced = vec![0.0f32; m * n];
+        for jc in (0..n).step_by(NR) {
+            let nw = (n - jc).min(NR);
+            let mut window = vec![0.0f32; m * nw];
+            gemm_panel(a.data(), b.data(), &mut window, m, k, nw, jc, n);
+            for (i, row) in window.chunks_exact(nw).enumerate() {
+                spliced[i * n + jc..i * n + jc + nw].copy_from_slice(row);
+            }
+        }
+        assert_eq!(full, spliced);
+    }
+
+    #[test]
+    fn large_shapes_cross_the_tiled_and_parallel_paths() {
+        // 96×70×130 exceeds SMALL_WORK; 128×128×128 reaches PAR_WORK
+        // (row split) and 4×600×600 the short-and-wide column split
+        // when a multi-core pool exists. All must agree with the
+        // reference bit-for-bit.
+        for (m, k, n) in [(96, 70, 130), (128, 128, 128), (4, 600, 600)] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64((m * n) as u64);
+            let a = crate::uniform(&mut rng, &[m, k], -1.0, 1.0);
+            let b = crate::uniform(&mut rng, &[k, n], -1.0, 1.0);
+            assert_eq!(a.matmul(&b).unwrap(), reference(&a, &b), "{m}x{k}x{n}");
+        }
+    }
+
+    use rand::SeedableRng;
+
+    #[test]
+    fn nan_weight_poisons_matmul_product() {
+        // Regression: the old kernel skipped `a == 0.0` rows, so a NaN
+        // in B vanished from the product when multiplied by zero.
+        let a = t(&[0.0, 1.0], &[1, 2]);
+        let b = t(&[f32::NAN, 2.0, 3.0, 4.0], &[2, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert!(c.data()[0].is_nan(), "0 x NaN must propagate NaN");
+        assert!(c.data()[1].is_finite());
+    }
+
+    #[test]
+    fn nan_weight_poisons_t_matmul_product() {
+        let a = t(&[0.0, 1.0], &[2, 1]);
+        let b = t(&[f32::NAN, 2.0, 3.0, 4.0], &[2, 2]);
+        let c = a.t_matmul(&b).unwrap();
+        assert!(c.data()[0].is_nan());
+    }
+
+    #[test]
+    fn infinity_times_zero_poisons_matmul_t_product() {
+        let a = t(&[0.0, 1.0], &[1, 2]);
+        let b = t(&[f32::INFINITY, 2.0], &[1, 2]);
+        let c = a.matmul_t(&b).unwrap();
+        assert!(c.data()[0].is_nan(), "0 x inf must propagate NaN");
+    }
+
+    #[test]
+    fn empty_dimensions_yield_empty_or_zero_products() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape().dims(), &[0, 2]);
+
+        // Zero-length inner dimension: the product is all zeros.
+        let a = Tensor::zeros(&[2, 0]);
+        let b = Tensor::zeros(&[0, 3]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 3]);
+        assert!(c.data().iter().all(|&v| v == 0.0));
     }
 }

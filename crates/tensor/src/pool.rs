@@ -1,0 +1,319 @@
+//! A small persistent worker pool shared by every parallel kernel.
+//!
+//! The pool is spawned lazily on first use with
+//! `available_parallelism() - 1` workers (override with the
+//! `FT_TENSOR_THREADS` environment variable; `1` disables threading
+//! entirely). Work is expressed as an indexed task set — a closure
+//! invoked once per index — and [`parallel_for`] blocks until every
+//! index has run, so closures may freely borrow from the caller's
+//! stack.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Determinism.** The pool never splits a single reduction across
+//!    threads; callers partition work into disjoint output regions and
+//!    each index is executed exactly once. Results cannot depend on
+//!    thread count or scheduling.
+//! 2. **No deadlocks from nesting.** A task running on a pool worker
+//!    that calls [`parallel_for`] again executes its sub-tasks inline
+//!    (the GEMM kernels hit this when a parallel evaluation pass calls
+//!    a parallel matmul). Likewise, if another thread currently owns
+//!    the pool, the caller runs its tasks itself rather than queueing.
+//! 3. **Low dispatch overhead.** Workers are parked on a condvar
+//!    between jobs; a dispatch is one mutex lock plus a wake, so even
+//!    millisecond-scale GEMMs amortize it.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A captured task panic, re-raised on the submitting thread.
+type PanicPayload = Box<dyn std::any::Any + Send>;
+
+thread_local! {
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// One dispatched task set: a borrowed closure plus claim/finish
+/// counters. The pointer is type-erased to `'static` so workers can
+/// hold it; [`parallel_for`] does not return until `finished == total`,
+/// which keeps the borrow alive for as long as any worker can touch it.
+struct Job {
+    task: *const (dyn Fn(usize) + Sync + 'static),
+    next: AtomicUsize,
+    total: usize,
+    finished: AtomicUsize,
+    /// First panic raised by any task; re-thrown by the submitter once
+    /// the job has fully drained. Tasks must never unwind out of
+    /// `run_tasks` — an unwinding submitter would free the borrowed
+    /// closure/output while workers still hold pointers to them, and a
+    /// dead worker would leave `finished` short of `total` forever.
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+// SAFETY: `task` points at a `Sync` closure, so sharing it across
+// threads is sound; the submitter keeps the referent alive until every
+// task index has finished (see `parallel_for`).
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct PoolState {
+    /// Currently dispatched job, if any.
+    job: Option<Arc<Job>>,
+    /// Bumped on every dispatch so parked workers can tell a new job
+    /// from a spurious wakeup on one they already drained.
+    epoch: u64,
+    /// Whether a submitter currently owns the pool.
+    busy: bool,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// Submitters park here while workers drain their job.
+    done_cv: Condvar,
+    /// Number of spawned worker threads (not counting submitters).
+    workers: usize,
+}
+
+impl Pool {
+    /// Claims task indices until the job is drained, running each.
+    /// Whoever finishes the last index clears the job and wakes the
+    /// submitter.
+    fn run_tasks(&self, job: &Job) {
+        loop {
+            let i = job.next.fetch_add(1, Ordering::Relaxed);
+            if i >= job.total {
+                break;
+            }
+            // SAFETY: the submitter blocks in `parallel_for` until
+            // `finished == total`, so the closure is alive here. The
+            // catch_unwind upholds that invariant when a task panics:
+            // the panic is parked on the job and the index still counts
+            // as finished, so neither workers nor the submitter unwind
+            // while the job is live.
+            let result = catch_unwind(AssertUnwindSafe(|| (unsafe { &*job.task })(i)));
+            if let Err(payload) = result {
+                let mut slot = job
+                    .panic
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                slot.get_or_insert(payload);
+            }
+            let done = job.finished.fetch_add(1, Ordering::AcqRel) + 1;
+            if done == job.total {
+                let mut st = self.state.lock().expect("pool mutex poisoned");
+                st.job = None;
+                st.busy = false;
+                drop(st);
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        IN_POOL_WORKER.with(|f| f.set(true));
+        let mut seen_epoch = 0u64;
+        loop {
+            let job = {
+                let mut st = self.state.lock().expect("pool mutex poisoned");
+                loop {
+                    if st.epoch != seen_epoch {
+                        seen_epoch = st.epoch;
+                        if let Some(job) = st.job.clone() {
+                            break job;
+                        }
+                    }
+                    st = self.work_cv.wait(st).expect("pool mutex poisoned");
+                }
+            };
+            self.run_tasks(&job);
+        }
+    }
+}
+
+fn desired_threads() -> usize {
+    if let Ok(v) = std::env::var("FT_TENSOR_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = desired_threads().saturating_sub(1);
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            state: Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+                busy: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            workers,
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("ft-tensor-worker-{i}"))
+                .spawn(move || pool.worker_loop())
+                .expect("spawning tensor pool worker");
+        }
+        pool
+    })
+}
+
+/// Total parallelism the pool offers: worker threads plus the
+/// submitting thread itself.
+pub fn max_parallelism() -> usize {
+    pool().workers + 1
+}
+
+/// Runs `task(0..tasks)` across the worker pool, blocking until every
+/// index has executed exactly once. Falls back to an inline serial loop
+/// when the pool has no workers, the caller is itself a pool worker
+/// (nested dispatch), or another thread currently owns the pool —
+/// callers therefore never deadlock and results never depend on where a
+/// task ran.
+pub fn parallel_for(tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+    if tasks == 0 {
+        return;
+    }
+    let pool = pool();
+    let serial = tasks == 1 || pool.workers == 0 || IN_POOL_WORKER.with(Cell::get);
+    if serial {
+        for i in 0..tasks {
+            task(i);
+        }
+        return;
+    }
+    // SAFETY: erasing the closure's lifetime is sound because this
+    // function does not return until `finished == total`, after which
+    // no worker dereferences `task` again (workers only touch the
+    // closure between a successful index claim and the matching
+    // `finished` increment).
+    let task: *const (dyn Fn(usize) + Sync + 'static) =
+        unsafe { std::mem::transmute(task as *const (dyn Fn(usize) + Sync)) };
+    let job = Arc::new(Job {
+        task,
+        next: AtomicUsize::new(0),
+        total: tasks,
+        finished: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+    });
+    {
+        let mut st = pool.state.lock().expect("pool mutex poisoned");
+        if st.busy {
+            // Another submitter owns the pool; run inline instead of
+            // queueing behind it (avoids lock convoys and keeps
+            // worst-case latency bounded).
+            drop(st);
+            let task = unsafe { &*job.task };
+            for i in 0..tasks {
+                task(i);
+            }
+            return;
+        }
+        st.busy = true;
+        st.job = Some(Arc::clone(&job));
+        st.epoch = st.epoch.wrapping_add(1);
+    }
+    pool.work_cv.notify_all();
+    // The submitter participates instead of idling.
+    pool.run_tasks(&job);
+    {
+        let mut st = pool.state.lock().expect("pool mutex poisoned");
+        while job.finished.load(Ordering::Acquire) < job.total {
+            st = pool.done_cv.wait(st).expect("pool mutex poisoned");
+        }
+    }
+    // Every index has run and no worker holds the task pointer any
+    // more; it is now safe to unwind into the caller.
+    let payload = job
+        .panic
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_dispatch_completes() {
+        let total = AtomicU64::new(0);
+        parallel_for(8, &|_| {
+            parallel_for(8, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn zero_and_one_task_edge_cases() {
+        parallel_for(0, &|_| panic!("no tasks should run"));
+        let ran = AtomicU64::new(0);
+        parallel_for(1, &|i| {
+            assert_eq!(i, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_submitters_all_complete() {
+        let counters: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|s| {
+            for c in &counters {
+                s.spawn(move || {
+                    parallel_for(64, &|_| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 64));
+    }
+
+    #[test]
+    fn task_panic_propagates_and_pool_survives() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_for(16, &|i| {
+                assert!(i != 7, "task 7 died");
+            });
+        });
+        assert!(result.is_err(), "task panic must reach the submitter");
+        // The pool must remain usable: no dead workers, no stuck job.
+        let n = AtomicU64::new(0);
+        parallel_for(16, &|_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn reports_at_least_one_thread() {
+        assert!(max_parallelism() >= 1);
+    }
+}
