@@ -1,5 +1,7 @@
 //! Shared configuration and bookkeeping for baseline methods.
 
+use serde::{Deserialize, Serialize};
+
 use ft_data::ClientData;
 use ft_fedsim::costs::CostMeter;
 use ft_fedsim::device::DeviceTrace;
@@ -7,6 +9,7 @@ use ft_fedsim::metrics::box_stats;
 use ft_fedsim::report::{RoundReport, RunReport};
 use ft_fedsim::roundtime::client_round_time;
 use ft_fedsim::trainer::LocalTrainConfig;
+use ft_fedsim::FaultConfig;
 use ft_model::CellModel;
 use ft_nn::softmax;
 use ft_tensor::Tensor;
@@ -41,6 +44,8 @@ pub struct BaselineConfig {
     /// Fig. 9 fine-tune protocol disables this (Appendix A.1 removes
     /// the hardware constraints).
     pub enforce_capacity: bool,
+    /// Client dropout / straggler injection (default: fault-free).
+    pub faults: FaultConfig,
 }
 
 impl Default for BaselineConfig {
@@ -51,13 +56,15 @@ impl Default for BaselineConfig {
             seed: 1,
             eval_every: 0,
             enforce_capacity: true,
+            faults: FaultConfig::default(),
         }
     }
 }
 
 /// Run bookkeeping shared by all baselines: costs, round history,
-/// accuracy curve, and per-client round times.
-#[derive(Debug, Default)]
+/// accuracy curve, and per-client round times. Serializable as a unit
+/// so every baseline's checkpoint carries it verbatim.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Accumulator {
     /// Cost meter (MACs / bytes / rounds).
     pub cost: CostMeter,
@@ -71,7 +78,8 @@ pub struct Accumulator {
 
 impl Accumulator {
     /// Records one participant's training and transfer, returning the
-    /// client's round time in seconds.
+    /// client's round time in seconds scaled by `slowdown` (the fault
+    /// model's straggler factor; 1.0 when absent).
     pub fn record_participant(
         &mut self,
         devices: &DeviceTrace,
@@ -79,10 +87,12 @@ impl Accumulator {
         model_macs: u64,
         param_count: usize,
         samples: u64,
+        slowdown: f64,
     ) -> f64 {
         self.cost.record_local_training(model_macs, samples);
         self.cost.record_model_transfer(param_count as u64);
-        let t = client_round_time(devices.profile(client), model_macs, param_count, samples);
+        let t =
+            client_round_time(devices.profile(client), model_macs, param_count, samples) * slowdown;
         self.client_times.push(t as f32);
         t
     }
@@ -185,14 +195,30 @@ mod tests {
     fn accumulator_tracks_costs_and_history() {
         let devices = DeviceTraceConfig::default().with_num_devices(3).generate();
         let mut acc = Accumulator::default();
-        let t = acc.record_participant(&devices, 0, 1000, 500, 100);
+        let t = acc.record_participant(&devices, 0, 1000, 500, 100, 1.0);
         assert!(t > 0.0);
+        let slowed = acc.record_participant(&devices, 0, 1000, 500, 100, 4.0);
+        assert!((slowed - 4.0 * t).abs() < 1e-9);
         acc.finish_round(0, 1.5, 1, 1, t);
         assert_eq!(acc.history.len(), 1);
         assert!(acc.cost.train_macs() > 0);
         let report = acc.into_report(vec![0.5], vec![0], vec!["m".into()], vec![1000], 0.1);
         assert_eq!(report.rounds.len(), 1);
         assert_eq!(report.final_accuracy.mean, 0.5);
+    }
+
+    #[test]
+    fn accumulator_serde_round_trips() {
+        let devices = DeviceTraceConfig::default().with_num_devices(2).generate();
+        let mut acc = Accumulator::default();
+        let t = acc.record_participant(&devices, 1, 2000, 700, 50, 1.0);
+        acc.finish_round(0, 0.75, 1, 1, t);
+        acc.curve.push((0.125, 0.5));
+        let json = serde_json::to_string(&acc).unwrap();
+        let back: Accumulator = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        assert_eq!(back.cost, acc.cost);
+        assert_eq!(back.client_times, acc.client_times);
     }
 
     #[test]

@@ -69,11 +69,14 @@ impl FedAvg {
     ///
     /// Propagates training errors.
     pub fn step(&mut self) -> Result<RoundReport> {
-        let participants = select::uniform(
+        let mut participants = select::uniform(
             &mut self.rng,
             self.data.num_clients(),
             self.cfg.clients_per_round,
         );
+        self.cfg
+            .faults
+            .apply_dropout(self.cfg.seed, self.round, &mut participants);
         let assignments: Vec<(usize, CellModel)> = participants
             .iter()
             .map(|&c| (c, self.model.clone()))
@@ -95,6 +98,9 @@ impl FedAvg {
                 macs,
                 params,
                 o.samples_processed,
+                self.cfg
+                    .faults
+                    .slowdown(self.cfg.seed, self.round, o.client),
             );
             round_time = round_time.max(t);
         }
@@ -162,6 +168,20 @@ impl FedAvg {
         })
     }
 
+    /// Produces the report for the rounds run so far (repeatable: the
+    /// run state is not consumed).
+    pub fn report(&mut self) -> RunReport {
+        let accs = self.evaluate();
+        let n = accs.len();
+        self.acc.clone().into_report(
+            accs,
+            vec![0; n],
+            vec![self.model.arch_string()],
+            vec![self.model.macs_per_sample()],
+            self.model.storage_bytes() as f64 / 1e6,
+        )
+    }
+
     /// Runs `rounds` rounds and produces the report.
     ///
     /// # Errors
@@ -171,16 +191,71 @@ impl FedAvg {
         for _ in 0..rounds {
             self.step()?;
         }
-        let accs = self.evaluate();
-        let n = accs.len();
-        let acc = std::mem::take(&mut self.acc);
-        Ok(acc.into_report(
-            accs,
-            vec![0; n],
-            vec![self.model.arch_string()],
-            vec![self.model.macs_per_sample()],
-            self.model.storage_bytes() as f64 / 1e6,
-        ))
+        Ok(self.report())
+    }
+}
+
+impl ft_fedsim::Algorithm for FedAvg {
+    fn name(&self) -> &'static str {
+        match self.server {
+            ServerOpt::Yogi { .. } => "fedyogi",
+            ServerOpt::Average => {
+                if self.cfg.local.prox_mu.is_some() {
+                    "fedprox"
+                } else {
+                    "fedavg"
+                }
+            }
+        }
+    }
+
+    fn round(&self) -> u32 {
+        self.round
+    }
+
+    fn step(&mut self) -> Result<RoundReport> {
+        FedAvg::step(self)
+    }
+
+    fn report(&mut self) -> Result<RunReport> {
+        Ok(FedAvg::report(self))
+    }
+
+    fn checkpoint(&self) -> serde::Value {
+        serde_json::json!({
+            "kind": "fedavg",
+            "round": self.round,
+            "model": self.model,
+            "yogi": self.yogi,
+            "acc": self.acc,
+            "rng": ft_fedsim::driver::rng_to_value(&self.rng),
+        })
+    }
+
+    fn restore(&mut self, state: &serde::Value) -> Result<()> {
+        use ft_fedsim::driver::field;
+        let kind: String = field(state, "kind")?;
+        if kind != "fedavg" {
+            return Err(ft_fedsim::SimError::snapshot(format!(
+                "checkpoint is for `{kind}`, runner is `fedavg`"
+            )));
+        }
+        let model: CellModel = field(state, "model")?;
+        if model.param_count() != self.model.param_count() {
+            return Err(ft_fedsim::SimError::snapshot(
+                "checkpointed model shape does not match this configuration",
+            ));
+        }
+        self.model = model;
+        self.yogi = field(state, "yogi")?;
+        self.acc = field(state, "acc")?;
+        self.rng = ft_fedsim::driver::rng_from_value(
+            state
+                .get("rng")
+                .ok_or_else(|| ft_fedsim::SimError::snapshot("missing rng state"))?,
+        )?;
+        self.round = field(state, "round")?;
+        Ok(())
     }
 }
 
@@ -250,6 +325,60 @@ mod tests {
         assert!(report.network_mb > 0.0);
         assert_eq!(report.per_client_accuracy.len(), 8);
         assert_eq!(report.model_archs.len(), 1);
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_uninterrupted_run_byte_identically() {
+        use ft_fedsim::Algorithm;
+        let (cfg, data, devices, model) = setup();
+
+        let mut full = FedAvg::new(
+            cfg,
+            data.clone(),
+            devices.clone(),
+            model.clone(),
+            ServerOpt::Yogi { lr: 0.05 },
+        );
+        let full_report = full.run(8).unwrap();
+
+        let mut first = FedAvg::new(
+            cfg,
+            data.clone(),
+            devices.clone(),
+            model.clone(),
+            ServerOpt::Yogi { lr: 0.05 },
+        );
+        for _ in 0..3 {
+            first.step().unwrap();
+        }
+        let json = serde_json::to_string(&Algorithm::checkpoint(&first)).unwrap();
+        drop(first);
+
+        let mut resumed = FedAvg::new(cfg, data, devices, model, ServerOpt::Yogi { lr: 0.05 });
+        let state = serde_json::parse_value(&json).unwrap();
+        Algorithm::restore(&mut resumed, &state).unwrap();
+        for _ in 0..5 {
+            resumed.step().unwrap();
+        }
+        let resumed_report = resumed.report();
+        assert_eq!(
+            serde_json::to_string(&resumed_report).unwrap(),
+            serde_json::to_string(&full_report).unwrap(),
+            "resumed FedYogi report must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn dropout_shrinks_participation() {
+        let (mut cfg, data, devices, model) = setup();
+        cfg.faults.dropout_prob = 0.5;
+        let mut runner = FedAvg::new(cfg, data, devices, model, ServerOpt::Average);
+        let report = runner.run(6).unwrap();
+        let trained: usize = report.rounds.iter().map(|r| r.participants).sum();
+        assert!(
+            trained < 24,
+            "dropout should shrink participation, got {trained}"
+        );
     }
 
     #[test]

@@ -173,11 +173,14 @@ impl Fluid {
     ///
     /// Propagates training errors.
     pub fn step(&mut self) -> Result<RoundReport> {
-        let participants = select::uniform(
+        let mut participants = select::uniform(
             &mut self.rng,
             self.data.num_clients(),
             self.cfg.clients_per_round,
         );
+        self.cfg
+            .faults
+            .apply_dropout(self.cfg.seed, self.round, &mut participants);
         let mut plans = Vec::with_capacity(participants.len());
         let mut assignments = Vec::with_capacity(participants.len());
         let mut sub_stats = Vec::with_capacity(participants.len());
@@ -204,6 +207,9 @@ impl Fluid {
                 macs,
                 params,
                 o.samples_processed,
+                self.cfg
+                    .faults
+                    .slowdown(self.cfg.seed, self.round, o.client),
             );
             round_time = round_time.max(t);
         }
@@ -275,15 +281,8 @@ impl Fluid {
         .unzip()
     }
 
-    /// Runs `rounds` rounds and produces the report.
-    ///
-    /// # Errors
-    ///
-    /// Propagates per-round errors.
-    pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
-        for _ in 0..rounds {
-            self.step()?;
-        }
+    /// Produces the report for the rounds run so far (repeatable).
+    pub fn report(&mut self) -> RunReport {
         let (accs, lvls) = self.evaluate();
         let archs: Vec<String> = self
             .ratios
@@ -296,8 +295,85 @@ impl Fluid {
             .map(|&r| extract(&self.global, &self.plan_for_ratio(r)).macs_per_sample())
             .collect();
         let storage = self.global.storage_bytes() as f64 / 1e6;
-        let acc = std::mem::take(&mut self.acc);
-        Ok(acc.into_report(accs, lvls, archs, macs, storage))
+        self.acc
+            .clone()
+            .into_report(accs, lvls, archs, macs, storage)
+    }
+
+    /// Runs `rounds` rounds and produces the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-round errors.
+    pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
+        for _ in 0..rounds {
+            self.step()?;
+        }
+        Ok(self.report())
+    }
+}
+
+impl ft_fedsim::Algorithm for Fluid {
+    fn name(&self) -> &'static str {
+        "fluid"
+    }
+
+    fn round(&self) -> u32 {
+        self.round
+    }
+
+    fn step(&mut self) -> Result<RoundReport> {
+        Fluid::step(self)
+    }
+
+    fn report(&mut self) -> Result<RunReport> {
+        Ok(Fluid::report(self))
+    }
+
+    fn checkpoint(&self) -> serde::Value {
+        // Scores are keyed by CellId; sort for a HashMap-order-free
+        // encoding.
+        let mut scores: Vec<(u64, Vec<f32>)> = self
+            .scores
+            .iter()
+            .map(|(id, s)| (id.0, s.clone()))
+            .collect();
+        scores.sort_unstable_by_key(|(id, _)| *id);
+        serde_json::json!({
+            "kind": "fluid",
+            "round": self.round,
+            "global": self.global,
+            "scores": scores,
+            "acc": self.acc,
+            "rng": ft_fedsim::driver::rng_to_value(&self.rng),
+        })
+    }
+
+    fn restore(&mut self, state: &serde::Value) -> Result<()> {
+        use ft_fedsim::driver::field;
+        let kind: String = field(state, "kind")?;
+        if kind != "fluid" {
+            return Err(ft_fedsim::SimError::snapshot(format!(
+                "checkpoint is for `{kind}`, runner is `fluid`"
+            )));
+        }
+        let global: CellModel = field(state, "global")?;
+        if global.param_count() != self.global.param_count() {
+            return Err(ft_fedsim::SimError::snapshot(
+                "checkpointed global model shape does not match this configuration",
+            ));
+        }
+        let scores: Vec<(u64, Vec<f32>)> = field(state, "scores")?;
+        self.global = global;
+        self.scores = scores.into_iter().map(|(id, s)| (CellId(id), s)).collect();
+        self.acc = field(state, "acc")?;
+        self.rng = ft_fedsim::driver::rng_from_value(
+            state
+                .get("rng")
+                .ok_or_else(|| ft_fedsim::SimError::snapshot("missing rng state"))?,
+        )?;
+        self.round = field(state, "round")?;
+        Ok(())
     }
 }
 

@@ -103,11 +103,14 @@ impl HeteroFl {
     ///
     /// Propagates training errors.
     pub fn step(&mut self) -> Result<RoundReport> {
-        let participants = select::uniform(
+        let mut participants = select::uniform(
             &mut self.rng,
             self.data.num_clients(),
             self.cfg.clients_per_round,
         );
+        self.cfg
+            .faults
+            .apply_dropout(self.cfg.seed, self.round, &mut participants);
         let mut levels = Vec::with_capacity(participants.len());
         let mut assignments = Vec::with_capacity(participants.len());
         for &c in &participants {
@@ -130,6 +133,9 @@ impl HeteroFl {
                 self.level_macs[lvl],
                 self.level_params[lvl],
                 o.samples_processed,
+                self.cfg
+                    .faults
+                    .slowdown(self.cfg.seed, self.round, o.client),
             );
             round_time = round_time.max(t);
         }
@@ -200,6 +206,21 @@ impl HeteroFl {
         .unzip()
     }
 
+    /// Produces the report for the rounds run so far (repeatable).
+    pub fn report(&mut self) -> RunReport {
+        let (accs, lvls) = self.evaluate();
+        let archs: Vec<String> = self
+            .plans
+            .iter()
+            .map(|p| extract(&self.global, p).arch_string())
+            .collect();
+        // HeteroFL stores one global superset model.
+        let storage = self.global.storage_bytes() as f64 / 1e6;
+        self.acc
+            .clone()
+            .into_report(accs, lvls, archs, self.level_macs.clone(), storage)
+    }
+
     /// Runs `rounds` rounds and produces the report.
     ///
     /// # Errors
@@ -209,16 +230,60 @@ impl HeteroFl {
         for _ in 0..rounds {
             self.step()?;
         }
-        let (accs, lvls) = self.evaluate();
-        let archs: Vec<String> = self
-            .plans
-            .iter()
-            .map(|p| extract(&self.global, p).arch_string())
-            .collect();
-        // HeteroFL stores one global superset model.
-        let storage = self.global.storage_bytes() as f64 / 1e6;
-        let acc = std::mem::take(&mut self.acc);
-        Ok(acc.into_report(accs, lvls, archs, self.level_macs.clone(), storage))
+        Ok(self.report())
+    }
+}
+
+impl ft_fedsim::Algorithm for HeteroFl {
+    fn name(&self) -> &'static str {
+        "heterofl"
+    }
+
+    fn round(&self) -> u32 {
+        self.round
+    }
+
+    fn step(&mut self) -> Result<RoundReport> {
+        HeteroFl::step(self)
+    }
+
+    fn report(&mut self) -> Result<RunReport> {
+        Ok(HeteroFl::report(self))
+    }
+
+    fn checkpoint(&self) -> serde::Value {
+        serde_json::json!({
+            "kind": "heterofl",
+            "round": self.round,
+            "global": self.global,
+            "acc": self.acc,
+            "rng": ft_fedsim::driver::rng_to_value(&self.rng),
+        })
+    }
+
+    fn restore(&mut self, state: &serde::Value) -> Result<()> {
+        use ft_fedsim::driver::field;
+        let kind: String = field(state, "kind")?;
+        if kind != "heterofl" {
+            return Err(ft_fedsim::SimError::snapshot(format!(
+                "checkpoint is for `{kind}`, runner is `heterofl`"
+            )));
+        }
+        let global: CellModel = field(state, "global")?;
+        if global.param_count() != self.global.param_count() {
+            return Err(ft_fedsim::SimError::snapshot(
+                "checkpointed global model shape does not match this configuration",
+            ));
+        }
+        self.global = global;
+        self.acc = field(state, "acc")?;
+        self.rng = ft_fedsim::driver::rng_from_value(
+            state
+                .get("rng")
+                .ok_or_else(|| ft_fedsim::SimError::snapshot("missing rng state"))?,
+        )?;
+        self.round = field(state, "round")?;
+        Ok(())
     }
 }
 

@@ -97,11 +97,14 @@ impl SplitMix {
     ///
     /// Propagates training errors.
     pub fn step(&mut self) -> Result<RoundReport> {
-        let participants = select::uniform(
+        let mut participants = select::uniform(
             &mut self.rng,
             self.data.num_clients(),
             self.cfg.clients_per_round,
         );
+        self.cfg
+            .faults
+            .apply_dropout(self.cfg.seed, self.round, &mut participants);
         // Each participant trains each of its bases.
         let mut per_base_updates: Vec<Vec<(Vec<Tensor>, u64)>> = vec![Vec::new(); self.bases.len()];
         let mut losses = Vec::new();
@@ -126,6 +129,7 @@ impl SplitMix {
                     self.base_macs,
                     self.base_params,
                     outcome.samples_processed,
+                    self.cfg.faults.slowdown(self.cfg.seed, self.round, c),
                 );
                 losses.push(outcome.avg_loss);
                 per_base_updates[b].push((outcome.weights, outcome.samples_processed));
@@ -186,6 +190,21 @@ impl SplitMix {
         .unzip()
     }
 
+    /// Produces the report for the rounds run so far (repeatable).
+    pub fn report(&mut self) -> RunReport {
+        let (accs, sizes) = self.evaluate();
+        let archs: Vec<String> = self.bases.iter().map(CellModel::arch_string).collect();
+        let macs: Vec<u64> = self.bases.iter().map(CellModel::macs_per_sample).collect();
+        let storage: f64 = self
+            .bases
+            .iter()
+            .map(|b| b.storage_bytes() as f64 / 1e6)
+            .sum();
+        self.acc
+            .clone()
+            .into_report(accs, sizes, archs, macs, storage)
+    }
+
     /// Runs `rounds` rounds and produces the report.
     ///
     /// # Errors
@@ -195,16 +214,60 @@ impl SplitMix {
         for _ in 0..rounds {
             self.step()?;
         }
-        let (accs, sizes) = self.evaluate();
-        let archs: Vec<String> = self.bases.iter().map(CellModel::arch_string).collect();
-        let macs: Vec<u64> = self.bases.iter().map(CellModel::macs_per_sample).collect();
-        let storage: f64 = self
-            .bases
-            .iter()
-            .map(|b| b.storage_bytes() as f64 / 1e6)
-            .sum();
-        let acc = std::mem::take(&mut self.acc);
-        Ok(acc.into_report(accs, sizes, archs, macs, storage))
+        Ok(self.report())
+    }
+}
+
+impl ft_fedsim::Algorithm for SplitMix {
+    fn name(&self) -> &'static str {
+        "splitmix"
+    }
+
+    fn round(&self) -> u32 {
+        self.round
+    }
+
+    fn step(&mut self) -> Result<RoundReport> {
+        SplitMix::step(self)
+    }
+
+    fn report(&mut self) -> Result<RunReport> {
+        Ok(SplitMix::report(self))
+    }
+
+    fn checkpoint(&self) -> serde::Value {
+        serde_json::json!({
+            "kind": "splitmix",
+            "round": self.round,
+            "bases": self.bases,
+            "acc": self.acc,
+            "rng": ft_fedsim::driver::rng_to_value(&self.rng),
+        })
+    }
+
+    fn restore(&mut self, state: &serde::Value) -> Result<()> {
+        use ft_fedsim::driver::field;
+        let kind: String = field(state, "kind")?;
+        if kind != "splitmix" {
+            return Err(ft_fedsim::SimError::snapshot(format!(
+                "checkpoint is for `{kind}`, runner is `splitmix`"
+            )));
+        }
+        let bases: Vec<CellModel> = field(state, "bases")?;
+        if bases.len() != self.bases.len() {
+            return Err(ft_fedsim::SimError::snapshot(
+                "checkpointed base count does not match this configuration",
+            ));
+        }
+        self.bases = bases;
+        self.acc = field(state, "acc")?;
+        self.rng = ft_fedsim::driver::rng_from_value(
+            state
+                .get("rng")
+                .ok_or_else(|| ft_fedsim::SimError::snapshot("missing rng state"))?,
+        )?;
+        self.round = field(state, "round")?;
+        Ok(())
     }
 }
 

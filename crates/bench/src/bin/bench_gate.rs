@@ -1,0 +1,137 @@
+//! `bench_gate` — the CI bench-regression gate.
+//!
+//! Compares the freshly emitted `bench_results/matmul.json` (produced
+//! by `FT_BENCH_QUICK=1 cargo bench -p ft_bench --bench bench_matmul`)
+//! against the committed `crates/bench/baselines/matmul.json` and
+//! fails on a >25% throughput regression. (The baseline lives inside
+//! the crate because `bench_results/` is gitignored scratch output.)
+//!
+//! CI runners and developer laptops differ wildly in absolute GFLOPS,
+//! so the gated metric is the **speedup** column: tiled-kernel
+//! throughput normalized by the same-run scalar reference on the same
+//! machine. A code change that slows the tiled path shows up as a
+//! speedup drop on every machine; a slow CI runner does not. The
+//! tolerance can be overridden via `FT_BENCH_GATE_TOLERANCE` (default
+//! `0.25`).
+
+use std::process::ExitCode;
+
+use serde::Value;
+
+/// Reads a JSON file into a Value tree.
+fn load(path: &std::path::Path) -> Result<Value, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    serde_json::parse_value(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+}
+
+/// The freshly emitted report (workspace `bench_results/`).
+fn fresh_path() -> std::path::PathBuf {
+    ft_fedsim::report::artifact_dir().join("matmul.json")
+}
+
+/// The committed baseline (inside this crate, which is tracked).
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines/matmul.json")
+}
+
+/// Extracts `(size, op, speedup)` rows from a matmul report.
+fn speedups(report: &Value) -> Result<Vec<(u64, String, f64)>, String> {
+    let results = report
+        .get("results")
+        .and_then(Value::as_array)
+        .ok_or("report has no `results` array")?;
+    let mut out = Vec::new();
+    for entry in results {
+        let size = entry
+            .get("size")
+            .and_then(Value::as_f64)
+            .ok_or("result entry has no `size`")? as u64;
+        for op in ["matmul", "matmul_t"] {
+            let speedup = entry
+                .get(op)
+                .and_then(|o| o.get("speedup"))
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("size {size} has no `{op}.speedup`"))?;
+            out.push((size, op.to_owned(), speedup));
+        }
+    }
+    if out.is_empty() {
+        return Err("report contains no benchmark rows".to_owned());
+    }
+    Ok(out)
+}
+
+fn gate() -> Result<bool, String> {
+    let tolerance: f64 = std::env::var("FT_BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    let fresh = speedups(&load(&fresh_path())?)?;
+    let baseline = speedups(&load(&baseline_path())?)?;
+
+    println!(
+        "{:<10} {:<10} {:>10} {:>10} {:>8}  verdict (tolerance {:.0}%)",
+        "size",
+        "op",
+        "baseline",
+        "current",
+        "ratio",
+        tolerance * 100.0
+    );
+    let mut ok = true;
+    for (size, op, base) in &baseline {
+        let Some((_, _, cur)) = fresh.iter().find(|(s, o, _)| s == size && o == op) else {
+            println!("{size:<10} {op:<10} missing from the fresh report");
+            ok = false;
+            continue;
+        };
+        let ratio = cur / base;
+        // Sub-128 sizes finish in tens of microseconds, where one
+        // scheduler blip on a shared runner swings the median more
+        // than a real regression would; report them but gate only on
+        // the larger, timing-stable shapes.
+        let gated = *size >= 128;
+        let pass = !gated || ratio >= 1.0 - tolerance;
+        println!(
+            "{:<10} {:<10} {:>9.2}x {:>9.2}x {:>8.2}  {}",
+            size,
+            op,
+            base,
+            cur,
+            ratio,
+            if !gated {
+                "info-only"
+            } else if pass {
+                "ok"
+            } else {
+                "REGRESSION"
+            }
+        );
+        ok &= pass;
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match gate() {
+        Ok(true) => {
+            println!("bench gate: ok");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!(
+                "bench gate: tiled-kernel throughput regressed >25% vs \
+                 crates/bench/baselines/matmul.json.\n\
+                 If this is an intentional trade-off, refresh the baseline:\n\
+                 FT_BENCH_QUICK=1 cargo bench -p ft_bench --bench bench_matmul && \
+                 cp bench_results/matmul.json crates/bench/baselines/matmul.json"
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -235,6 +235,7 @@ impl Setup {
             seed: 1,
             eval_every: 0,
             enforce_capacity: true,
+            ..Default::default()
         }
     }
 
@@ -364,16 +365,15 @@ pub fn table2_columns(method: &str, r: &RunReport) -> Vec<String> {
     ]
 }
 
-/// Writes a JSON result artifact under `bench_results/`.
+/// Writes a JSON result artifact under the workspace-root
+/// `bench_results/` directory.
+///
+/// Delegates to [`ft_fedsim::report::dump_json`], which anchors the
+/// path at the workspace root (honouring `FT_ARTIFACT_DIR`). The old
+/// CWD-relative behaviour scattered artifacts across crate directories
+/// depending on where the binary was invoked from.
 pub fn dump_json(name: &str, value: &impl serde::Serialize) {
-    let dir = std::path::Path::new("bench_results");
-    if std::fs::create_dir_all(dir).is_err() {
-        return;
-    }
-    let path = dir.join(format!("{name}.json"));
-    if let Ok(json) = serde_json::to_string_pretty(value) {
-        let _ = std::fs::write(path, json);
-    }
+    ft_fedsim::report::dump_json(name, value);
 }
 
 #[cfg(test)]

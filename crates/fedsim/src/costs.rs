@@ -5,7 +5,7 @@
 //! network cost as bytes moved between clients and the coordinator, and
 //! storage as the footprint of the model suite on the server.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Forward-plus-backward MAC multiplier: a backward pass costs roughly
 /// twice the forward pass, so one training step ≈ 3× forward MACs —
@@ -13,11 +13,53 @@ use serde::{Deserialize, Serialize};
 pub const TRAIN_MACS_MULTIPLIER: u64 = 3;
 
 /// Accumulates the paper's cost metrics over a training run.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written: the u128 counters are encoded as
+/// decimal strings so checkpoints round-trip exactly even past the
+/// 2^53 integer ceiling of JSON numbers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CostMeter {
     total_train_macs: u128,
     total_network_bytes: u128,
     rounds: u32,
+}
+
+impl Serialize for CostMeter {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "total_train_macs".to_owned(),
+                Value::String(self.total_train_macs.to_string()),
+            ),
+            (
+                "total_network_bytes".to_owned(),
+                Value::String(self.total_network_bytes.to_string()),
+            ),
+            ("rounds".to_owned(), Value::Number(f64::from(self.rounds))),
+        ])
+    }
+}
+
+impl Deserialize for CostMeter {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let counter = |key: &str| -> Result<u128, DeError> {
+            value
+                .get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| DeError::new(format!("CostMeter: missing string `{key}`")))?
+                .parse()
+                .map_err(|e| DeError::new(format!("CostMeter: bad `{key}`: {e}")))
+        };
+        Ok(CostMeter {
+            total_train_macs: counter("total_train_macs")?,
+            total_network_bytes: counter("total_network_bytes")?,
+            rounds: value
+                .get("rounds")
+                .map(u32::from_value)
+                .transpose()?
+                .ok_or_else(|| DeError::new("CostMeter: missing `rounds`"))?,
+        })
+    }
 }
 
 impl CostMeter {
@@ -150,5 +192,19 @@ mod more_tests {
             m.record_local_training(u64::MAX / 4096, 1024);
         }
         assert!(m.train_pmacs() > 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip_is_exact_beyond_f64() {
+        let mut m = CostMeter::new();
+        // Push counters far past 2^53, where JSON numbers would lose
+        // precision.
+        for _ in 0..64 {
+            m.record_local_training(u64::MAX / 8, 1 << 20);
+            m.record_model_transfer(u64::MAX / 16);
+        }
+        m.finish_round();
+        let back = CostMeter::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
     }
 }

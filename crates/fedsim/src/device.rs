@@ -102,6 +102,23 @@ impl DeviceTrace {
     }
 }
 
+/// One device-heterogeneity tier: a cluster of similar hardware.
+///
+/// Real fleets are not log-uniform — they cluster into generations
+/// (flagship / mid-range / budget). A tier list carves the population
+/// into such clusters; [`DeviceTraceConfig::generate_tiered`] assigns
+/// devices to tiers by weight and samples capacities tightly around
+/// each tier's level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceTier {
+    /// Relative share of the population in this tier (weights are
+    /// normalized over the tier list).
+    pub weight: f64,
+    /// Tier capacity as a multiple of
+    /// [`DeviceTraceConfig::base_capacity_macs`].
+    pub capacity_mult: f64,
+}
+
 /// Configuration for the synthetic trace generator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DeviceTraceConfig {
@@ -190,6 +207,55 @@ impl DeviceTraceConfig {
             .collect();
         DeviceTrace::new(profiles)
     }
+
+    /// Generates a tiered trace: device `i` lands in the tier covering
+    /// position `(i + ½)/n` of the normalized cumulative weights, with
+    /// capacity jittered ±10% (log-normal) around the tier level so
+    /// ties never mask tier structure. Deterministic in the seed.
+    ///
+    /// Falls back to [`DeviceTraceConfig::generate`] when `tiers` is
+    /// empty.
+    pub fn generate_tiered(&self, tiers: &[DeviceTier]) -> DeviceTrace {
+        if tiers.is_empty() {
+            return self.generate();
+        }
+        let total_weight: f64 = tiers.iter().map(|t| t.weight.max(0.0)).sum();
+        let total_weight = if total_weight > 0.0 {
+            total_weight
+        } else {
+            1.0
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let jitter = LogNormal::new(0.0, 0.1).expect("sigma finite");
+        let speed_jitter = LogNormal::new(0.0, self.speed_jitter_sigma).expect("sigma finite");
+        let bw = LogNormal::new(self.median_bandwidth.ln(), 0.6).expect("bw finite");
+        let n = self.num_devices;
+        let profiles = (0..n)
+            .map(|i| {
+                let position = (i as f64 + 0.5) / n as f64 * total_weight;
+                let mut acc = 0.0f64;
+                let mut tier = tiers[tiers.len() - 1];
+                for t in tiers {
+                    acc += t.weight.max(0.0);
+                    if position <= acc {
+                        tier = *t;
+                        break;
+                    }
+                }
+                let capacity = (self.base_capacity_macs as f64
+                    * tier.capacity_mult.max(1e-6)
+                    * jitter.sample(&mut rng))
+                .max(1.0);
+                let speed = capacity.powf(0.85) * 50.0 * speed_jitter.sample(&mut rng);
+                DeviceProfile {
+                    capacity_macs: capacity.round() as u64,
+                    speed_macs_per_s: speed,
+                    bandwidth_bytes_per_s: bw.sample(&mut rng),
+                }
+            })
+            .collect();
+        DeviceTrace::new(profiles)
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +294,49 @@ mod tests {
         let t = DeviceTraceConfig::default().generate();
         let p = t.profile(0);
         assert!(p.inference_latency_ms(2_000_000) > p.inference_latency_ms(1_000_000));
+    }
+
+    #[test]
+    fn tiered_trace_clusters_by_weight() {
+        let tiers = [
+            DeviceTier {
+                weight: 0.5,
+                capacity_mult: 1.0,
+            },
+            DeviceTier {
+                weight: 0.3,
+                capacity_mult: 8.0,
+            },
+            DeviceTier {
+                weight: 0.2,
+                capacity_mult: 30.0,
+            },
+        ];
+        let cfg = DeviceTraceConfig::default().with_num_devices(100);
+        let t = cfg.generate_tiered(&tiers);
+        assert_eq!(t.len(), 100);
+        // First half sits near base capacity, tail near 30x.
+        let base = cfg.base_capacity_macs as f64;
+        for i in 0..45 {
+            let c = t.profile(i).capacity_macs as f64;
+            assert!(c < base * 2.0, "device {i} capacity {c}");
+        }
+        for i in 85..100 {
+            let c = t.profile(i).capacity_macs as f64;
+            assert!(c > base * 15.0, "device {i} capacity {c}");
+        }
+        // Deterministic in the seed.
+        let again = cfg.generate_tiered(&tiers);
+        assert_eq!(t.profiles(), again.profiles());
+    }
+
+    #[test]
+    fn tiered_with_no_tiers_falls_back() {
+        let cfg = DeviceTraceConfig::default().with_num_devices(10);
+        assert_eq!(
+            cfg.generate_tiered(&[]).profiles(),
+            cfg.generate().profiles()
+        );
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! The common driver interface every federated method implements.
+//!
+//! The scenario harness executes FedTrans and all four baselines
+//! through one trait object: run rounds, emit the shared
+//! [`RunReport`], and checkpoint/restore the full mutable round state
+//! so a run can be killed and resumed with a byte-identical final
+//! report.
+
+use serde::Value;
+
+use crate::report::{RoundReport, RunReport};
+use crate::Result;
+
+/// A federated training method driven round-by-round.
+///
+/// Contract for checkpoint/resume: `checkpoint()` captures **all**
+/// mutable state that influences future rounds and the final report
+/// (model weights, trackers, cost meters, RNG streams). Restoring that
+/// state into a freshly constructed instance of the same configuration
+/// and continuing must produce a final [`RunReport`] byte-identical to
+/// an uninterrupted run — the property the harness tests enforce.
+pub trait Algorithm {
+    /// Short method name for reports and logs (e.g. `"fedtrans"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of rounds completed so far.
+    fn round(&self) -> u32;
+
+    /// Runs one round and returns its telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training and aggregation errors.
+    fn step(&mut self) -> Result<RoundReport>;
+
+    /// Produces the full report for the rounds run so far. Must be
+    /// callable repeatedly (it evaluates, but does not consume state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    fn report(&mut self) -> Result<RunReport>;
+
+    /// Serializes the complete mutable round state.
+    fn checkpoint(&self) -> Value;
+
+    /// Restores state captured by [`Algorithm::checkpoint`] into this
+    /// instance (which must have been built from the same scenario
+    /// configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::Snapshot`] on a malformed or
+    /// mismatched checkpoint.
+    fn restore(&mut self, state: &Value) -> Result<()>;
+
+    /// Runs rounds until `total_rounds` have completed, then reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step and evaluation errors.
+    fn run_to(&mut self, total_rounds: usize) -> Result<RunReport> {
+        while (self.round() as usize) < total_rounds {
+            self.step()?;
+        }
+        self.report()
+    }
+}
+
+/// Reads a required field out of a checkpoint object.
+///
+/// # Errors
+///
+/// Returns [`crate::SimError::Snapshot`] when the field is missing or
+/// has the wrong shape.
+pub fn field<T: serde::Deserialize>(state: &Value, key: &str) -> Result<T> {
+    let v = state
+        .get(key)
+        .ok_or_else(|| crate::SimError::snapshot(format!("missing checkpoint field `{key}`")))?;
+    T::from_value(v).map_err(|e| crate::SimError::snapshot(format!("field `{key}`: {e}")))
+}
+
+/// Encodes an RNG state as four 16-hex-digit words (JSON numbers stop
+/// being exact at 2^53; xoshiro state words use all 64 bits).
+pub fn rng_to_value(rng: &rand::rngs::StdRng) -> Value {
+    Value::Array(
+        rng.state()
+            .iter()
+            .map(|w| Value::String(format!("{w:016x}")))
+            .collect(),
+    )
+}
+
+/// Decodes an RNG state written by [`rng_to_value`].
+///
+/// # Errors
+///
+/// Returns [`crate::SimError::Snapshot`] on malformed input.
+pub fn rng_from_value(value: &Value) -> Result<rand::rngs::StdRng> {
+    let words = value
+        .as_array()
+        .ok_or_else(|| crate::SimError::snapshot("rng state: expected array"))?;
+    if words.len() != 4 {
+        return Err(crate::SimError::snapshot("rng state: expected 4 words"));
+    }
+    let mut s = [0u64; 4];
+    for (slot, w) in s.iter_mut().zip(words) {
+        let hex = w
+            .as_str()
+            .ok_or_else(|| crate::SimError::snapshot("rng state: expected hex string"))?;
+        *slot = u64::from_str_radix(hex, 16)
+            .map_err(|e| crate::SimError::snapshot(format!("rng state: {e}")))?;
+    }
+    Ok(rand::rngs::StdRng::from_state(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngCore, SeedableRng};
+
+    #[test]
+    fn rng_state_round_trips_through_value() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..13 {
+            rng.next_u64();
+        }
+        let v = rng_to_value(&rng);
+        let mut back = rng_from_value(&v).unwrap();
+        let mut orig = rng;
+        for _ in 0..50 {
+            assert_eq!(orig.next_u64(), back.next_u64());
+        }
+    }
+
+    #[test]
+    fn field_reports_missing_keys() {
+        let state = Value::Object(vec![("present".into(), Value::Number(3.0))]);
+        assert_eq!(field::<u32>(&state, "present").unwrap(), 3);
+        assert!(field::<u32>(&state, "absent").is_err());
+    }
+}

@@ -21,6 +21,20 @@ pub enum SimError {
         /// Explanation of the inconsistency.
         detail: String,
     },
+    /// A checkpoint could not be produced or restored.
+    Snapshot {
+        /// Explanation of the failure.
+        detail: String,
+    },
+}
+
+impl SimError {
+    /// Builds a [`SimError::Snapshot`] from any displayable cause.
+    pub fn snapshot(detail: impl std::fmt::Display) -> Self {
+        SimError::Snapshot {
+            detail: detail.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -32,6 +46,7 @@ impl fmt::Display for SimError {
             }
             SimError::WorkerPanicked => write!(f, "a local-training worker thread panicked"),
             SimError::BadConfig { detail } => write!(f, "bad simulation config: {detail}"),
+            SimError::Snapshot { detail } => write!(f, "checkpoint error: {detail}"),
         }
     }
 }

@@ -1,0 +1,156 @@
+//! Client dropout and straggler models.
+//!
+//! Production federated deployments lose clients mid-round (battery,
+//! connectivity, eviction) and see heavy-tailed completion times from
+//! background load. This module injects both into the simulator as a
+//! **stateless** perturbation: whether a `(round, client)` pair drops
+//! or straggles is a pure hash of the run seed, so fault injection is
+//! deterministic, checkpoint-free, and identical before and after a
+//! resume — no RNG stream is consumed.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-round client fault model.
+///
+/// The default is fault-free, which leaves every existing experiment's
+/// behaviour (and RNG stream) untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability that a selected participant drops out of a round
+    /// before returning its update (it does no work and uploads
+    /// nothing).
+    pub dropout_prob: f64,
+    /// Probability that a participant straggles this round.
+    pub straggler_prob: f64,
+    /// Multiplier applied to a straggling participant's round time
+    /// (compute + comms), e.g. `8.0` for a device throttled to 1/8th.
+    pub straggler_slowdown: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            dropout_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_slowdown: 1.0,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a high-quality stateless mixer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform `[0, 1)` draw determined entirely by its arguments.
+fn unit(seed: u64, round: u64, client: u64, salt: u64) -> f64 {
+    let h = mix(seed ^ mix(round ^ mix(client ^ salt)));
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultConfig {
+    /// Whether any fault injection is enabled.
+    pub fn is_active(&self) -> bool {
+        self.dropout_prob > 0.0 || (self.straggler_prob > 0.0 && self.straggler_slowdown != 1.0)
+    }
+
+    /// Whether the given participant drops out of the given round.
+    pub fn drops(&self, seed: u64, round: u32, client: usize) -> bool {
+        self.dropout_prob > 0.0
+            && unit(seed, u64::from(round), client as u64, 0x5EED_D120) < self.dropout_prob
+    }
+
+    /// The round-time multiplier for the given participant (1.0 when
+    /// not straggling).
+    pub fn slowdown(&self, seed: u64, round: u32, client: usize) -> f64 {
+        if self.straggler_prob > 0.0
+            && unit(seed, u64::from(round), client as u64, 0x51AC_C42A) < self.straggler_prob
+        {
+            self.straggler_slowdown
+        } else {
+            1.0
+        }
+    }
+
+    /// Removes dropped clients from a selection, in place.
+    pub fn apply_dropout(&self, seed: u64, round: u32, participants: &mut Vec<usize>) {
+        if self.dropout_prob > 0.0 {
+            participants.retain(|&c| !self.drops(seed, round, c));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inert() {
+        let f = FaultConfig::default();
+        assert!(!f.is_active());
+        let mut sel = vec![0, 1, 2];
+        f.apply_dropout(7, 3, &mut sel);
+        assert_eq!(sel, vec![0, 1, 2]);
+        assert_eq!(f.slowdown(7, 3, 1), 1.0);
+    }
+
+    #[test]
+    fn dropout_rate_is_respected() {
+        let f = FaultConfig {
+            dropout_prob: 0.3,
+            ..Default::default()
+        };
+        let mut dropped = 0usize;
+        let total = 20_000;
+        for round in 0..200u32 {
+            for client in 0..100usize {
+                if f.drops(42, round, client) {
+                    dropped += 1;
+                }
+            }
+        }
+        let rate = dropped as f64 / total as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed dropout rate {rate}");
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_tuple() {
+        let f = FaultConfig {
+            dropout_prob: 0.5,
+            straggler_prob: 0.5,
+            straggler_slowdown: 4.0,
+        };
+        for round in 0..20u32 {
+            for client in 0..20usize {
+                assert_eq!(f.drops(1, round, client), f.drops(1, round, client));
+                assert_eq!(f.slowdown(1, round, client), f.slowdown(1, round, client));
+            }
+        }
+        // A different seed decorrelates.
+        let same: usize = (0..1000)
+            .filter(|&c| f.drops(1, 0, c) == f.drops(2, 0, c))
+            .count();
+        assert!(
+            same < 650,
+            "seeds should decorrelate, agreement {same}/1000"
+        );
+    }
+
+    #[test]
+    fn stragglers_slow_down_by_the_configured_factor() {
+        let f = FaultConfig {
+            straggler_prob: 0.4,
+            straggler_slowdown: 8.0,
+            ..Default::default()
+        };
+        let slowed = (0..1000).filter(|&c| f.slowdown(9, 0, c) == 8.0).count();
+        assert!((250..550).contains(&slowed), "straggler count {slowed}");
+        assert!((0..1000).all(|c| {
+            let s = f.slowdown(9, 0, c);
+            s == 1.0 || s == 8.0
+        }));
+    }
+}

@@ -19,7 +19,11 @@
 //! * [`metrics`] — per-client accuracy statistics (mean, IQR, boxplot
 //!   quartiles for Fig. 6);
 //! * [`roundtime`] — round-completion-time model for the straggler
-//!   analysis (Table 6).
+//!   analysis (Table 6);
+//! * [`faults`] — deterministic client dropout / straggler injection;
+//! * [`driver`] — the [`driver::Algorithm`] trait the scenario harness
+//!   drives every method (FedTrans and all baselines) through,
+//!   including checkpoint/resume.
 //!
 //! # Example
 //!
@@ -34,7 +38,9 @@
 
 pub mod costs;
 pub mod device;
+pub mod driver;
 pub mod eval;
+pub mod faults;
 pub mod metrics;
 pub mod report;
 pub mod roundtime;
@@ -43,7 +49,9 @@ pub mod trainer;
 
 mod error;
 
+pub use driver::Algorithm;
 pub use error::SimError;
+pub use faults::FaultConfig;
 
 /// Convenience alias for results produced by the simulator.
 pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,14 +1,27 @@
-//! Shared run-report types.
+//! Shared run-report types, artifact output, and report digests.
 //!
 //! FedTrans and every baseline produce the same telemetry so the bench
-//! harness can print Table 2 rows and Fig. 6/7 series uniformly.
+//! harness can print Table 2 rows and Fig. 6/7 series uniformly. The
+//! scenario harness additionally serializes these reports to JSON and
+//! compares runs by [`report_digest`].
+//!
+//! # Artifact paths
+//!
+//! JSON artifacts are anchored at the **workspace root** (like
+//! `bench_results/matmul.json`), not the process working directory:
+//! `cargo run -p <crate>` and `cargo test` set different CWDs, and
+//! CWD-relative output used to scatter reports across crate
+//! directories. [`artifact_dir`] resolves the root at compile time and
+//! honours the `FT_ARTIFACT_DIR` environment variable as an override.
 
-use serde::Serialize;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
 
 use crate::metrics::BoxStats;
 
 /// Per-round telemetry common to all methods.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RoundReport {
     /// Round index (0-based).
     pub round: u32,
@@ -29,7 +42,7 @@ pub struct RoundReport {
 }
 
 /// Full-run outcome: everything the paper's tables and figures need.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
     /// Per-round telemetry.
     pub rounds: Vec<RoundReport>,
@@ -53,4 +66,120 @@ pub struct RunReport {
     pub accuracy_curve: Vec<(f64, f32)>,
     /// Every participant-round completion time, seconds (Table 6).
     pub client_times_s: Vec<f32>,
+}
+
+/// The directory JSON artifacts are written to: `FT_ARTIFACT_DIR` if
+/// set, otherwise `<workspace root>/bench_results`.
+pub fn artifact_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("FT_ARTIFACT_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    // crates/fedsim/../.. is the workspace root at compile time; the
+    // sources do not move between compile and run in this repo's
+    // workflows (CI runs from a checkout, local runs from the tree).
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results")
+}
+
+/// Writes a pretty-printed JSON artifact as `<artifact_dir>/<name>.json`
+/// and returns the path written, or `None` when the directory could not
+/// be created or written.
+pub fn dump_json(name: &str, value: &impl Serialize) -> Option<PathBuf> {
+    let dir = artifact_dir();
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).ok()?;
+    std::fs::write(&path, json).ok()?;
+    Some(path)
+}
+
+/// FNV-1a 64-bit hash of a byte string, rendered as 16 hex digits.
+///
+/// Used for golden-digest comparison of scenario reports: collision
+/// resistance against adversaries is irrelevant here, bit-stability
+/// across platforms and toolchains is what matters.
+pub fn fnv1a64(bytes: &[u8]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// Digest of a run report: FNV-1a over its compact canonical JSON.
+///
+/// Two runs digest equal iff their reports serialize byte-identically —
+/// the property the checkpoint/resume tests and the CI golden gate
+/// assert.
+pub fn report_digest(report: &RunReport) -> String {
+    let json = serde_json::to_string(report).expect("report serializes");
+    fnv1a64(json.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::box_stats;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            rounds: vec![RoundReport {
+                round: 0,
+                mean_loss: 1.25,
+                participants: 4,
+                num_models: 1,
+                transformed: false,
+                cumulative_pmacs: 0.5,
+                round_time_s: 2.0,
+            }],
+            final_accuracy: box_stats(&[0.25, 0.5, 0.75]),
+            per_client_accuracy: vec![0.25, 0.5, 0.75],
+            per_client_model: vec![0, 0, 0],
+            pmacs: 0.5,
+            network_mb: 1.5,
+            storage_mb: 0.25,
+            model_archs: vec!["dense(8)+head(2)".to_owned()],
+            model_macs: vec![1000],
+            accuracy_curve: vec![(0.5, 0.5)],
+            client_times_s: vec![1.0, 2.0],
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let r = sample_report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        assert_eq!(report_digest(&back), report_digest(&r));
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let r = sample_report();
+        let d1 = report_digest(&r);
+        assert_eq!(d1.len(), 16);
+        assert_eq!(d1, report_digest(&r.clone()));
+        let mut changed = r;
+        changed.pmacs += 1.0;
+        assert_ne!(d1, report_digest(&changed));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // Known FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), "cbf29ce484222325");
+        assert_eq!(fnv1a64(b"a"), "af63dc4c8601ec8c");
+    }
+
+    #[test]
+    fn artifact_dir_honours_override() {
+        // Can't mutate the process env safely under parallel tests;
+        // just check the default is anchored, not CWD-relative.
+        let dir = artifact_dir();
+        assert!(dir.is_absolute() || std::env::var("FT_ARTIFACT_DIR").is_ok());
+        assert!(dir.ends_with("bench_results") || std::env::var("FT_ARTIFACT_DIR").is_ok());
+    }
 }

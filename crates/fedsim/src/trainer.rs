@@ -7,6 +7,7 @@
 //! (Algorithm 1, line 10).
 
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use ft_data::ClientData;
 use ft_model::CellModel;
@@ -16,7 +17,7 @@ use ft_tensor::Tensor;
 use crate::{Result, SimError};
 
 /// Hyperparameters for one client's local training.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LocalTrainConfig {
     /// Number of local SGD steps (paper default: 20).
     pub local_steps: usize,

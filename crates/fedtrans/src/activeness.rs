@@ -86,6 +86,29 @@ impl ActivenessTracker {
     pub fn history_len(&self, id: CellId) -> usize {
         self.history.get(&id).map_or(0, VecDeque::len)
     }
+
+    /// Checkpoint view of the full history: `(cell id, oldest→newest)`
+    /// entries sorted by id, so serialization is independent of
+    /// `HashMap` iteration order.
+    pub fn export_history(&self) -> Vec<(u64, Vec<f32>)> {
+        let mut out: Vec<(u64, Vec<f32>)> = self
+            .history
+            .iter()
+            .map(|(id, h)| (id.0, h.iter().copied().collect()))
+            .collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Replaces the history from a checkpoint produced by
+    /// [`ActivenessTracker::export_history`]. The window is unchanged
+    /// (it comes from configuration, not state).
+    pub fn import_history(&mut self, entries: Vec<(u64, Vec<f32>)>) {
+        self.history = entries
+            .into_iter()
+            .map(|(id, h)| (CellId(id), h.into_iter().collect()))
+            .collect();
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 use serde::{Deserialize, Serialize};
 
 use ft_fedsim::trainer::LocalTrainConfig;
+use ft_fedsim::FaultConfig;
 
 /// How the Model Transformer picks cells to transform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -57,6 +58,8 @@ pub struct FedTransConfig {
     /// lr 0.05).
     #[serde(skip, default)]
     pub local: LocalTrainConfig,
+    /// Client dropout / straggler injection (default: fault-free).
+    pub faults: FaultConfig,
     /// Base RNG seed for the whole run.
     pub seed: u64,
 
@@ -92,6 +95,7 @@ impl Default for FedTransConfig {
             max_models: 6,
             transform_cooldown: 10,
             local: LocalTrainConfig::default(),
+            faults: FaultConfig::default(),
             seed: 1,
             layer_selection: LayerSelection::GradientActiveness,
             soft_aggregation: true,
@@ -154,6 +158,12 @@ impl FedTransConfig {
     /// Sets the local-training hyperparameters.
     pub fn with_local(mut self, local: LocalTrainConfig) -> Self {
         self.local = local;
+        self
+    }
+
+    /// Sets the client dropout / straggler model.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 

@@ -58,6 +58,11 @@ impl DocTracker {
         self.losses.clear();
     }
 
+    /// Replaces the loss history (checkpoint restore).
+    pub fn restore_losses(&mut self, losses: Vec<f32>) {
+        self.losses = losses;
+    }
+
     /// The degree of convergence per Eq. 1, or `None` until
     /// `γ + δ` rounds of history exist.
     pub fn doc(&self) -> Option<f32> {

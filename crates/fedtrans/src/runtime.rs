@@ -209,12 +209,16 @@ impl FedTransRuntime {
         let macs = self.model_macs();
         let capacities = self.capacities();
 
-        // 1. Participant selection.
-        let participants = select::uniform(
+        // 1. Participant selection, minus clients the fault model
+        // drops this round (stateless: consumes no RNG).
+        let mut participants = select::uniform(
             &mut self.rng,
             self.data.num_clients(),
             self.cfg.clients_per_round,
         );
+        self.cfg
+            .faults
+            .apply_dropout(self.cfg.seed, self.round, &mut participants);
 
         // 2. Utility-based model assignment (§4.2).
         let mut assignments: Vec<(usize, CellModel)> = Vec::with_capacity(participants.len());
@@ -247,7 +251,10 @@ impl FedTransRuntime {
                 macs[n],
                 self.models[n].param_count(),
                 outcome.samples_processed,
-            );
+            ) * self
+                .cfg
+                .faults
+                .slowdown(self.cfg.seed, self.round, outcome.client);
             times.push(t as f32);
         }
         self.client_times.extend(&times);
@@ -313,10 +320,14 @@ impl FedTransRuntime {
         self.manager
             .update(&participation, &self.sims, &macs, &capacities);
 
-        // 8. Transformation (§4.1), seeded from the newest model.
+        // 8. Transformation (§4.1), seeded from the newest model. A
+        // fully dropped-out round produced no loss reports; the
+        // coordinator has nothing to record and cannot transform.
         let losses: Vec<f32> = outcomes.iter().map(|o| o.avg_loss).collect();
         let mean_loss = ft_fedsim::metrics::mean(&losses);
-        self.transformer.record_loss(mean_loss);
+        if !outcomes.is_empty() {
+            self.transformer.record_loss(mean_loss);
+        }
         let parent_index = self.models.len() - 1;
         let parent_acts = self.activeness.model_activeness(&self.models[parent_index]);
         let transformed = if let Some((child, _decision)) = self.transformer.maybe_transform(
@@ -425,6 +436,131 @@ impl FedTransRuntime {
             client_times_s: self.client_times.clone(),
         })
     }
+
+    /// Serializes every piece of mutable round state: the model suite
+    /// (weights and identities), trackers, cost meter, similarity
+    /// matrix, RNG stream, telemetry, and the process id counters.
+    /// Restoring this into a freshly built runtime of the same
+    /// configuration reproduces the uninterrupted run byte-for-byte.
+    pub fn checkpoint_state(&self) -> serde::Value {
+        let (losses, widened, rounds_since) = self.transformer.export_state();
+        let (next_model, next_cell) = ft_model::id_counters();
+        serde_json::json!({
+            "kind": "fedtrans",
+            "round": self.round,
+            "models": self.models,
+            "model_birth": self.model_birth,
+            "utilities": self.manager.utilities(),
+            "transformer_losses": losses,
+            "transformer_widened": widened,
+            "transformer_rounds_since": rounds_since,
+            "activeness": self.activeness.export_history(),
+            "cost": self.cost,
+            "sims": self.sims,
+            "rng": ft_fedsim::driver::rng_to_value(&self.rng),
+            "history": self.history,
+            "curve": self.curve,
+            "client_times": self.client_times,
+            "next_model_id": next_model,
+            "next_cell_id": next_cell,
+        })
+    }
+
+    /// Restores state captured by [`FedTransRuntime::checkpoint_state`]
+    /// into this runtime, which must have been constructed from the
+    /// same configuration, dataset, and device trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a snapshot error on malformed or mismatched state.
+    pub fn restore_state(&mut self, state: &serde::Value) -> Result<()> {
+        use ft_fedsim::driver::field;
+        let kind: String = field(state, "kind")?;
+        if kind != "fedtrans" {
+            return Err(ft_fedsim::SimError::snapshot(format!(
+                "checkpoint is for `{kind}`, runtime is `fedtrans`"
+            ))
+            .into());
+        }
+        let models: Vec<CellModel> = field(state, "models")?;
+        if models.is_empty() {
+            return Err(ft_fedsim::SimError::snapshot("checkpoint has no models").into());
+        }
+        for m in &models {
+            if m.input_width() != self.data.input_dim() {
+                return Err(ft_fedsim::SimError::snapshot(format!(
+                    "checkpointed model expects {} inputs, dataset provides {}",
+                    m.input_width(),
+                    self.data.input_dim()
+                ))
+                .into());
+            }
+        }
+        self.models = models;
+        self.model_birth = field(state, "model_birth")?;
+        self.manager.restore_utilities(field(state, "utilities")?);
+        self.transformer.import_state(
+            field(state, "transformer_losses")?,
+            field(state, "transformer_widened")?,
+            field(state, "transformer_rounds_since")?,
+        );
+        self.activeness.import_history(field(state, "activeness")?);
+        self.cost = field(state, "cost")?;
+        self.sims = field(state, "sims")?;
+        self.rng = ft_fedsim::driver::rng_from_value(
+            state
+                .get("rng")
+                .ok_or_else(|| ft_fedsim::SimError::snapshot("missing rng state"))?,
+        )?;
+        self.round = field(state, "round")?;
+        self.history = field(state, "history")?;
+        self.curve = field(state, "curve")?;
+        self.client_times = field(state, "client_times")?;
+        // Keep freshly allocated ids disjoint from every restored id:
+        // a collision would silently merge activeness histories and
+        // similarity entries of unrelated cells.
+        ft_model::ensure_id_counters(
+            field(state, "next_model_id")?,
+            field(state, "next_cell_id")?,
+        );
+        Ok(())
+    }
+}
+
+/// Maps FedTrans errors onto the simulator error type the
+/// [`ft_fedsim::Algorithm`] trait speaks.
+fn to_sim_error(e: FedTransError) -> ft_fedsim::SimError {
+    match e {
+        FedTransError::Sim(e) => e,
+        FedTransError::Model(e) => ft_fedsim::SimError::Model(e),
+        FedTransError::BadConfig { detail } => ft_fedsim::SimError::BadConfig { detail },
+    }
+}
+
+impl ft_fedsim::Algorithm for FedTransRuntime {
+    fn name(&self) -> &'static str {
+        "fedtrans"
+    }
+
+    fn round(&self) -> u32 {
+        self.round
+    }
+
+    fn step(&mut self) -> ft_fedsim::Result<RoundReport> {
+        FedTransRuntime::step(self).map_err(to_sim_error)
+    }
+
+    fn report(&mut self) -> ft_fedsim::Result<RunReport> {
+        FedTransRuntime::report(self).map_err(to_sim_error)
+    }
+
+    fn checkpoint(&self) -> serde::Value {
+        self.checkpoint_state()
+    }
+
+    fn restore(&mut self, state: &serde::Value) -> ft_fedsim::Result<()> {
+        self.restore_state(state).map_err(to_sim_error)
+    }
 }
 
 #[cfg(test)]
@@ -517,6 +653,96 @@ mod tests {
         // Newer models are at least as expensive.
         let macs = &report.model_macs;
         assert!(macs.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_uninterrupted_run_byte_identically() {
+        let (mut cfg, data, devices) = small_setup();
+        // Force a transformation after the resume point so the id
+        // counter sync and transformer state both get exercised.
+        cfg.transform_cooldown = 4;
+        cfg.beta = 10.0;
+
+        let mut full = FedTransRuntime::new(cfg.clone(), data.clone(), devices.clone()).unwrap();
+        let full_report = full.run(12).unwrap();
+        assert!(
+            full_report.model_archs.len() > 1,
+            "reference run must transform for the test to be meaningful"
+        );
+
+        let mut first = FedTransRuntime::new(cfg.clone(), data.clone(), devices.clone()).unwrap();
+        for _ in 0..5 {
+            first.step().unwrap();
+        }
+        // Serialize the checkpoint all the way to JSON text and back,
+        // exactly like the on-disk kill/restart path.
+        let json = serde_json::to_string(&first.checkpoint_state()).unwrap();
+        drop(first);
+
+        let mut resumed = FedTransRuntime::new(cfg, data, devices).unwrap();
+        let state = serde_json::parse_value(&json).unwrap();
+        resumed.restore_state(&state).unwrap();
+        assert_eq!(resumed.round, 5);
+        for _ in 0..7 {
+            resumed.step().unwrap();
+        }
+        let resumed_report = resumed.report().unwrap();
+        assert_eq!(
+            serde_json::to_string(&resumed_report).unwrap(),
+            serde_json::to_string(&full_report).unwrap(),
+            "resumed report must be byte-identical to the uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_wrong_kind_and_garbage() {
+        let (cfg, data, devices) = small_setup();
+        let mut rt = FedTransRuntime::new(cfg, data, devices).unwrap();
+        let bogus = serde_json::json!({"kind": "fedavg"});
+        assert!(rt.restore_state(&bogus).is_err());
+        assert!(rt.restore_state(&serde_json::json!({})).is_err());
+    }
+
+    #[test]
+    fn dropout_reduces_participation_and_stays_deterministic() {
+        let (mut cfg, data, devices) = small_setup();
+        cfg.faults.dropout_prob = 0.5;
+        let mut a = FedTransRuntime::new(cfg.clone(), data.clone(), devices.clone()).unwrap();
+        let mut b = FedTransRuntime::new(cfg, data, devices).unwrap();
+        let ra = a.run(6).unwrap();
+        let rb = b.run(6).unwrap();
+        assert_eq!(ra.per_client_accuracy, rb.per_client_accuracy);
+        let trained: usize = ra.rounds.iter().map(|r| r.participants).sum();
+        // 6 rounds x 6 selected, half dropped in expectation.
+        assert!(
+            trained < 30,
+            "dropout should shrink participation, got {trained}"
+        );
+        assert!(
+            trained > 6,
+            "dropout should not empty every round, got {trained}"
+        );
+    }
+
+    #[test]
+    fn stragglers_lengthen_rounds() {
+        let (cfg, data, devices) = small_setup();
+        let mut plain = FedTransRuntime::new(cfg.clone(), data.clone(), devices.clone()).unwrap();
+        let mut cfg_slow = cfg;
+        cfg_slow.faults.straggler_prob = 1.0;
+        cfg_slow.faults.straggler_slowdown = 8.0;
+        let mut slow = FedTransRuntime::new(cfg_slow, data, devices).unwrap();
+        let rp = plain.run(3).unwrap();
+        let rs = slow.run(3).unwrap();
+        for (p, s) in rp.rounds.iter().zip(&rs.rounds) {
+            assert!(
+                s.round_time_s > p.round_time_s * 7.9,
+                "straggler round {} not slowed: {} vs {}",
+                p.round,
+                s.round_time_s,
+                p.round_time_s
+            );
+        }
     }
 
     #[test]

@@ -61,6 +61,32 @@ impl ModelTransformer {
         self.doc.doc()
     }
 
+    /// Checkpoint view of the mutable transformer state: `(loss
+    /// history, widen/deepen alternation per cell id sorted by id,
+    /// rounds since the last transformation)`.
+    pub fn export_state(&self) -> (Vec<f32>, Vec<(u64, bool)>, usize) {
+        let mut widened: Vec<(u64, bool)> =
+            self.widened_last.iter().map(|(id, w)| (id.0, *w)).collect();
+        widened.sort_unstable_by_key(|(id, _)| *id);
+        (
+            self.doc.losses().to_vec(),
+            widened,
+            self.rounds_since_transform,
+        )
+    }
+
+    /// Restores state captured by [`ModelTransformer::export_state`].
+    pub fn import_state(
+        &mut self,
+        losses: Vec<f32>,
+        widened: Vec<(u64, bool)>,
+        rounds_since_transform: usize,
+    ) {
+        self.doc.restore_losses(losses);
+        self.widened_last = widened.into_iter().map(|(id, w)| (CellId(id), w)).collect();
+        self.rounds_since_transform = rounds_since_transform;
+    }
+
     /// Whether the transformer would fire this round, before budget and
     /// capacity gates.
     pub fn at_elbow(&self) -> bool {

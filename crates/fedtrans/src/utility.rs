@@ -58,6 +58,17 @@ impl ClientManager {
         self.utilities[client][model]
     }
 
+    /// The full utility table (checkpoint view): one row per client,
+    /// one column per model.
+    pub fn utilities(&self) -> &[Vec<f32>] {
+        &self.utilities
+    }
+
+    /// Replaces the utility table (checkpoint restore).
+    pub fn restore_utilities(&mut self, utilities: Vec<Vec<f32>>) {
+        self.utilities = utilities;
+    }
+
     /// The indices of models whose MACs fit within `capacity`
     /// (the paper's compatibility rule). Falls back to the single
     /// cheapest model when nothing fits, so every client can always

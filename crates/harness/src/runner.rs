@@ -1,0 +1,325 @@
+//! The scenario runner: deterministic execution, per-round metrics,
+//! checkpoint/resume.
+//!
+//! Checkpoints are single JSON files written atomically (temp file +
+//! rename). A checkpoint records the scenario name, mode, and target
+//! round count alongside the algorithm state, so a resume against the
+//! wrong scenario or mode fails loudly instead of silently diverging.
+
+use std::path::{Path, PathBuf};
+
+use serde::Value;
+
+use ft_fedsim::report::{report_digest, RunReport};
+use ft_fedsim::{Algorithm, SimError};
+
+use crate::Scenario;
+
+/// Checkpoint file format version.
+const CHECKPOINT_VERSION: u64 = 1;
+
+/// How a scenario run is executed.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Quick (CI) mode: use [`Scenario::quick_rounds`]. Also enabled
+    /// by the `FT_SCENARIO_QUICK=1` environment variable.
+    pub quick: bool,
+    /// Overrides the scenario's round budget when set.
+    pub rounds_override: Option<usize>,
+    /// Checkpoint file to resume from (if it exists) and write to.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Write a checkpoint every N completed rounds (0: only when
+    /// stopping early).
+    pub checkpoint_every: usize,
+    /// Stop (and checkpoint) after this many completed rounds — the
+    /// kill/restart injection point for resume testing.
+    pub stop_after: Option<usize>,
+}
+
+impl RunOptions {
+    /// Whether quick mode is in effect (flag or environment).
+    pub fn quick_mode(&self) -> bool {
+        self.quick || std::env::var("FT_SCENARIO_QUICK").as_deref() == Ok("1")
+    }
+}
+
+/// What a scenario run produced.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// Method name reported by the driver.
+    pub algorithm: &'static str,
+    /// Rounds completed when the run stopped.
+    pub rounds_completed: usize,
+    /// The round budget for this mode.
+    pub target_rounds: usize,
+    /// Round the run resumed from, if it restored a checkpoint.
+    pub resumed_from: Option<u32>,
+    /// The final report, present only when the run reached the budget.
+    pub report: Option<RunReport>,
+    /// FNV-1a digest of the report's canonical JSON, when finished.
+    pub digest: Option<String>,
+}
+
+impl RunOutcome {
+    /// Whether the run reached its round budget.
+    pub fn finished(&self) -> bool {
+        self.report.is_some()
+    }
+}
+
+/// Executes a scenario.
+///
+/// # Errors
+///
+/// Propagates scenario validation, training, and checkpoint I/O
+/// errors.
+pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> ft_fedsim::Result<RunOutcome> {
+    let quick = opts.quick_mode();
+    let target = opts
+        .rounds_override
+        .unwrap_or_else(|| scenario.rounds_for(quick));
+    // A statically invalid option combination must fail before any
+    // training happens, not after `stop` rounds of discarded work.
+    if opts.stop_after.is_some() && opts.checkpoint_path.is_none() {
+        return Err(SimError::BadConfig {
+            detail: "stop_after requires a checkpoint path".to_owned(),
+        });
+    }
+    let mut driver = scenario.build()?;
+
+    let mut resumed_from = None;
+    if let Some(path) = &opts.checkpoint_path {
+        if path.exists() {
+            let round = resume_from_file(path, scenario, quick, target, driver.as_mut())?;
+            resumed_from = Some(round);
+        }
+    }
+
+    while (driver.round() as usize) < target {
+        if let Some(stop) = opts.stop_after {
+            if driver.round() as usize >= stop {
+                let path = opts
+                    .checkpoint_path
+                    .as_ref()
+                    .expect("checked before the loop");
+                write_checkpoint(path, scenario, quick, target, driver.as_ref())?;
+                return Ok(RunOutcome {
+                    scenario: scenario.name.clone(),
+                    algorithm: driver.name(),
+                    rounds_completed: driver.round() as usize,
+                    target_rounds: target,
+                    resumed_from,
+                    report: None,
+                    digest: None,
+                });
+            }
+        }
+        driver.step()?;
+        if opts.checkpoint_every > 0
+            && (driver.round() as usize).is_multiple_of(opts.checkpoint_every)
+        {
+            if let Some(path) = &opts.checkpoint_path {
+                write_checkpoint(path, scenario, quick, target, driver.as_ref())?;
+            }
+        }
+    }
+
+    let report = driver.report()?;
+    let digest = report_digest(&report);
+    // A finished run's checkpoint is stale; remove it so the next
+    // invocation starts fresh instead of resuming past the budget.
+    if let Some(path) = &opts.checkpoint_path {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(RunOutcome {
+        scenario: scenario.name.clone(),
+        algorithm: driver.name(),
+        rounds_completed: driver.round() as usize,
+        target_rounds: target,
+        resumed_from,
+        report: Some(report),
+        digest: Some(digest),
+    })
+}
+
+/// Writes the driver's checkpoint to `path` atomically.
+fn write_checkpoint(
+    path: &Path,
+    scenario: &Scenario,
+    quick: bool,
+    target: usize,
+    driver: &dyn Algorithm,
+) -> ft_fedsim::Result<()> {
+    let envelope = serde_json::json!({
+        "version": CHECKPOINT_VERSION,
+        "scenario": scenario.name,
+        "quick": quick,
+        "target_rounds": target,
+        "round": driver.round(),
+        "state": driver.checkpoint(),
+    });
+    let json = serde_json::to_string(&envelope)
+        .map_err(|e| SimError::snapshot(format!("serializing checkpoint: {e}")))?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| SimError::snapshot(format!("creating {}: {e}", parent.display())))?;
+        }
+    }
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, json)
+        .map_err(|e| SimError::snapshot(format!("writing {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| SimError::snapshot(format!("renaming into {}: {e}", path.display())))?;
+    Ok(())
+}
+
+/// Restores a checkpoint file into `driver`, returning the round it
+/// resumes from.
+fn resume_from_file(
+    path: &Path,
+    scenario: &Scenario,
+    quick: bool,
+    target: usize,
+    driver: &mut dyn Algorithm,
+) -> ft_fedsim::Result<u32> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SimError::snapshot(format!("reading {}: {e}", path.display())))?;
+    let envelope = serde_json::parse_value(&text)
+        .map_err(|e| SimError::snapshot(format!("parsing {}: {e}", path.display())))?;
+    let check = |key: &str, expect: &Value, what: &str| -> ft_fedsim::Result<()> {
+        let got = envelope
+            .get(key)
+            .ok_or_else(|| SimError::snapshot(format!("checkpoint missing `{key}`")))?;
+        if got != expect {
+            return Err(SimError::snapshot(format!(
+                "checkpoint {what} mismatch: {got:?} vs expected {expect:?}"
+            )));
+        }
+        Ok(())
+    };
+    check(
+        "version",
+        &Value::Number(CHECKPOINT_VERSION as f64),
+        "format version",
+    )?;
+    check(
+        "scenario",
+        &Value::String(scenario.name.clone()),
+        "scenario",
+    )?;
+    check("quick", &Value::Bool(quick), "mode")?;
+    check(
+        "target_rounds",
+        &Value::Number(target as f64),
+        "round budget",
+    )?;
+    let state = envelope
+        .get("state")
+        .ok_or_else(|| SimError::snapshot("checkpoint missing `state`"))?;
+    driver.restore(state)?;
+    Ok(driver.round())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ft-harness-test-{tag}-{}.json", std::process::id()))
+    }
+
+    /// Kill/resume against a real canned scenario must reproduce the
+    /// uninterrupted report byte-identically (fedtrans flavour; the
+    /// baseline flavour lives in the workspace integration tests).
+    #[test]
+    fn interrupted_run_resumes_byte_identically() {
+        let scenario = registry::find("iid-small").unwrap();
+        let quick = RunOptions {
+            quick: true,
+            ..Default::default()
+        };
+        let reference = run_scenario(&scenario, &quick).unwrap();
+        let reference_json = serde_json::to_string(reference.report.as_ref().unwrap()).unwrap();
+
+        let path = tmp_path("resume");
+        let _ = std::fs::remove_file(&path);
+        let interrupted = run_scenario(
+            &scenario,
+            &RunOptions {
+                quick: true,
+                checkpoint_path: Some(path.clone()),
+                stop_after: Some(3),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!interrupted.finished());
+        assert_eq!(interrupted.rounds_completed, 3);
+        assert!(path.exists(), "stop_after must leave a checkpoint behind");
+
+        let resumed = run_scenario(
+            &scenario,
+            &RunOptions {
+                quick: true,
+                checkpoint_path: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.resumed_from, Some(3));
+        assert!(resumed.finished());
+        assert_eq!(
+            serde_json::to_string(resumed.report.as_ref().unwrap()).unwrap(),
+            reference_json,
+            "resumed report must be byte-identical to the uninterrupted run"
+        );
+        assert_eq!(resumed.digest, reference.digest);
+        assert!(!path.exists(), "finished run must clear its checkpoint");
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_scenario() {
+        let a = registry::find("iid-small").unwrap();
+        let b = registry::find("dirichlet-skew").unwrap();
+        let path = tmp_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        run_scenario(
+            &a,
+            &RunOptions {
+                quick: true,
+                checkpoint_path: Some(path.clone()),
+                stop_after: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let err = run_scenario(
+            &b,
+            &RunOptions {
+                quick: true,
+                checkpoint_path: Some(path.clone()),
+                ..Default::default()
+            },
+        );
+        assert!(err.is_err(), "resuming the wrong scenario must fail");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stop_after_requires_checkpoint_path() {
+        let scenario = registry::find("iid-small").unwrap();
+        let err = run_scenario(
+            &scenario,
+            &RunOptions {
+                quick: true,
+                stop_after: Some(1),
+                ..Default::default()
+            },
+        );
+        assert!(err.is_err());
+    }
+}

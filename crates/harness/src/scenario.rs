@@ -1,0 +1,435 @@
+//! The declarative scenario schema.
+//!
+//! A [`Scenario`] is a complete, serializable description of one
+//! federated-learning experiment: workload (dataset preset +
+//! non-IID partition), device population (log-uniform spread or
+//! explicit heterogeneity tiers), fault model (dropout/stragglers),
+//! algorithm (FedTrans or any baseline), round budget, and seed. The
+//! same scenario always produces the same report, byte for byte —
+//! that determinism is what the CI golden digests pin down.
+
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use fedtrans::{seed_model, FedTransConfig, FedTransRuntime};
+use ft_baselines::{BaselineConfig, FedAvg, Fluid, HeteroFl, ServerOpt, SplitMix};
+use ft_data::DatasetConfig;
+use ft_fedsim::device::{DeviceTier, DeviceTrace, DeviceTraceConfig};
+use ft_fedsim::trainer::LocalTrainConfig;
+use ft_fedsim::{Algorithm, FaultConfig, SimError};
+
+/// The device population of a scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Capacity of the least capable device, in MACs per sample.
+    pub base_capacity_macs: u64,
+    /// Max/min capacity ratio for the log-uniform spread (ignored when
+    /// `tiers` is non-empty).
+    pub disparity: f64,
+    /// Explicit heterogeneity tiers; empty means log-uniform spread.
+    pub tiers: Vec<DeviceTier>,
+    /// Trace RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        DeviceSpec {
+            base_capacity_macs: 3_000,
+            disparity: 30.0,
+            tiers: Vec::new(),
+            seed: 7,
+        }
+    }
+}
+
+impl DeviceSpec {
+    /// Generates the trace for `num_devices` devices.
+    pub fn generate(&self, num_devices: usize) -> DeviceTrace {
+        let cfg = DeviceTraceConfig::default()
+            .with_num_devices(num_devices)
+            .with_base_capacity(self.base_capacity_macs)
+            .with_disparity(self.disparity)
+            .with_seed(self.seed);
+        cfg.generate_tiered(&self.tiers)
+    }
+}
+
+/// Which federated method a scenario runs, with method-specific knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum AlgorithmSpec {
+    /// FedTrans (the paper's method).
+    FedTrans {
+        /// Hard cap on the model suite size.
+        max_models: usize,
+        /// Minimum rounds between transformations.
+        transform_cooldown: usize,
+        /// DoC slope window `γ`.
+        gamma: usize,
+        /// DoC slope step `δ`.
+        delta: usize,
+        /// DoC threshold `β`.
+        beta: f32,
+    },
+    /// FedAvg / FedProx / FedYogi (single global model).
+    FedAvg {
+        /// Server Yogi learning rate; `None` is plain averaging.
+        yogi_lr: Option<f32>,
+        /// FedProx proximal coefficient; `None` is plain SGD.
+        prox_mu: Option<f32>,
+    },
+    /// HeteroFL width-sliced submodels.
+    HeteroFl,
+    /// SplitMix ensemble of narrow bases.
+    SplitMix {
+        /// Number of base models the width axis is split into.
+        bases: usize,
+    },
+    /// FLuID invariant dropout.
+    Fluid,
+}
+
+/// A complete experiment description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Registry key (kebab-case).
+    pub name: String,
+    /// One-line human description.
+    pub description: String,
+    /// Dataset preset and non-IID partition (Dirichlet `alpha`,
+    /// client count, per-client sample volume, seed).
+    pub dataset: DatasetConfig,
+    /// Device population.
+    pub devices: DeviceSpec,
+    /// The method under test.
+    pub algorithm: AlgorithmSpec,
+    /// Client dropout / straggler injection.
+    pub faults: FaultConfig,
+    /// Participants selected per round.
+    pub clients_per_round: usize,
+    /// Training rounds in full mode.
+    pub rounds: usize,
+    /// Training rounds in quick mode (CI).
+    pub quick_rounds: usize,
+    /// `(cost, accuracy)` checkpoint cadence in rounds (0 disables).
+    pub eval_every: usize,
+    /// Local training hyperparameters.
+    pub local: LocalTrainConfig,
+    /// Base RNG seed for the run.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("scenario name must not be empty".to_owned());
+        }
+        if self.rounds == 0 || self.quick_rounds == 0 {
+            return Err(format!(
+                "rounds ({}) and quick_rounds ({}) must be at least 1",
+                self.rounds, self.quick_rounds
+            ));
+        }
+        if self.clients_per_round == 0 {
+            return Err("clients_per_round must be at least 1".to_owned());
+        }
+        if self.dataset.num_clients == 0 {
+            return Err("dataset must have at least one client".to_owned());
+        }
+        if let AlgorithmSpec::SplitMix { bases } = self.algorithm {
+            if bases == 0 {
+                return Err("SplitMix needs at least one base".to_owned());
+            }
+        }
+        if self.devices.base_capacity_macs == 0 {
+            return Err("base_capacity_macs must be at least 1".to_owned());
+        }
+        if !self.devices.disparity.is_finite() || self.devices.disparity < 1.0 {
+            // disparity <= 0 would drive the log-uniform sampler to
+            // 0-capacity (or NaN) devices and score every client 0.
+            return Err(format!(
+                "device disparity must be a finite ratio >= 1, got {}",
+                self.devices.disparity
+            ));
+        }
+        for (i, tier) in self.devices.tiers.iter().enumerate() {
+            if !tier.weight.is_finite() || tier.weight < 0.0 {
+                return Err(format!("tier {i} weight must be finite and >= 0"));
+            }
+            if !tier.capacity_mult.is_finite() || tier.capacity_mult <= 0.0 {
+                return Err(format!("tier {i} capacity_mult must be finite and > 0"));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.faults.dropout_prob) {
+            return Err(format!(
+                "dropout_prob must be in [0,1], got {}",
+                self.faults.dropout_prob
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.faults.straggler_prob) {
+            return Err(format!(
+                "straggler_prob must be in [0,1], got {}",
+                self.faults.straggler_prob
+            ));
+        }
+        if !self.faults.straggler_slowdown.is_finite() || self.faults.straggler_slowdown < 1.0 {
+            return Err(format!(
+                "straggler_slowdown must be a finite factor >= 1, got {}",
+                self.faults.straggler_slowdown
+            ));
+        }
+        Ok(())
+    }
+
+    /// The round budget for the given mode.
+    pub fn rounds_for(&self, quick: bool) -> usize {
+        if quick {
+            self.quick_rounds
+        } else {
+            self.rounds
+        }
+    }
+
+    /// The baseline configuration this scenario implies.
+    fn baseline_config(&self) -> BaselineConfig {
+        BaselineConfig {
+            clients_per_round: self.clients_per_round,
+            local: self.local,
+            seed: self.seed,
+            eval_every: self.eval_every,
+            enforce_capacity: true,
+            faults: self.faults,
+        }
+    }
+
+    /// Builds the ready-to-run driver: generates the dataset and
+    /// device trace, sizes the models, and wires the method behind the
+    /// [`Algorithm`] trait object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] on an invalid scenario.
+    pub fn build(&self) -> ft_fedsim::Result<Box<dyn Algorithm>> {
+        self.validate()
+            .map_err(|detail| SimError::BadConfig { detail })?;
+        let data = self.dataset.generate();
+        let devices = self.devices.generate(data.num_clients());
+
+        match self.algorithm {
+            AlgorithmSpec::FedTrans {
+                max_models,
+                transform_cooldown,
+                gamma,
+                delta,
+                beta,
+            } => {
+                let mut cfg = FedTransConfig::default()
+                    .with_clients_per_round(self.clients_per_round)
+                    .with_gamma(gamma)
+                    .with_delta(delta)
+                    .with_beta(beta)
+                    .with_local(self.local)
+                    .with_faults(self.faults)
+                    .with_seed(self.seed);
+                cfg.max_models = max_models;
+                cfg.transform_cooldown = transform_cooldown;
+                let mut rt =
+                    FedTransRuntime::new(cfg, data, devices).map_err(|e| SimError::BadConfig {
+                        detail: e.to_string(),
+                    })?;
+                if self.eval_every > 0 {
+                    rt.set_eval_every(self.eval_every);
+                }
+                Ok(Box::new(rt))
+            }
+            AlgorithmSpec::FedAvg { yogi_lr, prox_mu } => {
+                let mut cfg = self.baseline_config();
+                cfg.local.prox_mu = prox_mu;
+                // A one-size-fits-all model must fit the least capable
+                // device, or weak clients cannot be served at all.
+                let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed.wrapping_add(0x5EED));
+                let model = seed_model(
+                    &mut rng,
+                    data.input(),
+                    data.num_classes(),
+                    devices.min_capacity(),
+                );
+                let server = match yogi_lr {
+                    Some(lr) => ServerOpt::Yogi { lr },
+                    None => ServerOpt::Average,
+                };
+                Ok(Box::new(FedAvg::new(cfg, data, devices, model, server)))
+            }
+            AlgorithmSpec::HeteroFl => {
+                let global = self.global_model(&data, &devices);
+                Ok(Box::new(HeteroFl::new(
+                    self.baseline_config(),
+                    data,
+                    devices,
+                    global,
+                )))
+            }
+            AlgorithmSpec::SplitMix { bases } => {
+                let global = self.global_model(&data, &devices);
+                Ok(Box::new(SplitMix::new(
+                    self.baseline_config(),
+                    data,
+                    devices,
+                    &global,
+                    bases,
+                )))
+            }
+            AlgorithmSpec::Fluid => {
+                let global = self.global_model(&data, &devices);
+                Ok(Box::new(Fluid::new(
+                    self.baseline_config(),
+                    data,
+                    devices,
+                    global,
+                )))
+            }
+        }
+    }
+
+    /// The input global model for the multi-model baselines: the
+    /// largest architecture fitting the most capable device (the
+    /// paper's Appendix A.1 protocol uses FedTrans's largest
+    /// transformed model; a capacity-sized model is its deterministic,
+    /// self-contained stand-in).
+    fn global_model(
+        &self,
+        data: &ft_data::FederatedDataset,
+        devices: &DeviceTrace,
+    ) -> ft_model::CellModel {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed.wrapping_add(0x610B));
+        seed_model(
+            &mut rng,
+            data.input(),
+            data.num_classes(),
+            devices.max_capacity(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scenario {
+        Scenario {
+            name: "tiny".to_owned(),
+            description: "test scenario".to_owned(),
+            dataset: DatasetConfig::femnist_like()
+                .with_num_clients(8)
+                .with_mean_samples(20),
+            devices: DeviceSpec::default(),
+            algorithm: AlgorithmSpec::FedAvg {
+                yogi_lr: None,
+                prox_mu: None,
+            },
+            faults: FaultConfig::default(),
+            clients_per_round: 4,
+            rounds: 4,
+            quick_rounds: 2,
+            eval_every: 0,
+            local: LocalTrainConfig {
+                local_steps: 3,
+                ..Default::default()
+            },
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn scenario_json_round_trips() {
+        let s = tiny();
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string_pretty(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        let mut s = tiny();
+        s.rounds = 0;
+        assert!(s.validate().is_err());
+        let mut s = tiny();
+        s.faults.dropout_prob = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = tiny();
+        s.algorithm = AlgorithmSpec::SplitMix { bases: 0 };
+        assert!(s.validate().is_err());
+        let mut s = tiny();
+        s.faults.straggler_slowdown = -8.0;
+        assert!(s.validate().is_err());
+        let mut s = tiny();
+        s.faults.straggler_slowdown = f64::INFINITY;
+        assert!(s.validate().is_err());
+        let mut s = tiny();
+        s.devices.disparity = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = tiny();
+        s.devices.base_capacity_macs = 0;
+        assert!(s.validate().is_err());
+        let mut s = tiny();
+        s.devices.tiers = vec![ft_fedsim::device::DeviceTier {
+            weight: 1.0,
+            capacity_mult: -2.0,
+        }];
+        assert!(s.validate().is_err());
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn build_produces_a_runnable_driver() {
+        let s = tiny();
+        let mut driver = s.build().unwrap();
+        assert_eq!(driver.name(), "fedavg");
+        assert_eq!(driver.round(), 0);
+        let report = driver.run_to(2).unwrap();
+        assert_eq!(report.rounds.len(), 2);
+    }
+
+    #[test]
+    fn every_algorithm_spec_builds() {
+        for (spec, expect) in [
+            (
+                AlgorithmSpec::FedTrans {
+                    max_models: 2,
+                    transform_cooldown: 4,
+                    gamma: 2,
+                    delta: 2,
+                    beta: 0.01,
+                },
+                "fedtrans",
+            ),
+            (
+                AlgorithmSpec::FedAvg {
+                    yogi_lr: Some(0.05),
+                    prox_mu: None,
+                },
+                "fedyogi",
+            ),
+            (
+                AlgorithmSpec::FedAvg {
+                    yogi_lr: None,
+                    prox_mu: Some(0.1),
+                },
+                "fedprox",
+            ),
+            (AlgorithmSpec::HeteroFl, "heterofl"),
+            (AlgorithmSpec::SplitMix { bases: 2 }, "splitmix"),
+            (AlgorithmSpec::Fluid, "fluid"),
+        ] {
+            let mut s = tiny();
+            s.algorithm = spec;
+            let driver = s.build().unwrap();
+            assert_eq!(driver.name(), expect);
+        }
+    }
+}

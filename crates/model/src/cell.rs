@@ -22,6 +22,17 @@ impl CellId {
     }
 }
 
+/// The next cell id the process would allocate (checkpoint metadata).
+pub(crate) fn next_cell_id() -> u64 {
+    NEXT_CELL_ID.load(Ordering::Relaxed)
+}
+
+/// Raises the cell-id counter to at least `min_next`, so ids restored
+/// from a checkpoint can never collide with freshly allocated ones.
+pub(crate) fn ensure_next_cell_id(min_next: u64) {
+    NEXT_CELL_ID.fetch_max(min_next, Ordering::Relaxed);
+}
+
 impl std::fmt::Display for CellId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "cell#{}", self.0)

@@ -48,6 +48,22 @@ pub use transform::{deepen_cell, widen_cell, TransformOp, TransformRecord};
 /// Convenience alias for results produced by model operations.
 pub type Result<T> = std::result::Result<T, ModelError>;
 
+/// The process-wide `(next model id, next cell id)` counters.
+///
+/// Checkpoints record these so a resumed run can call
+/// [`ensure_id_counters`] and keep freshly allocated ids disjoint from
+/// every id carried inside the restored models.
+pub fn id_counters() -> (u64, u64) {
+    (network::next_model_id(), cell::next_cell_id())
+}
+
+/// Raises the id counters to at least the given values (monotonic:
+/// never lowers them, so concurrently running models stay safe).
+pub fn ensure_id_counters(next_model: u64, next_cell: u64) {
+    network::ensure_next_model_id(next_model);
+    cell::ensure_next_cell_id(next_cell);
+}
+
 #[cfg(test)]
 mod smoke {
     use super::CellModel;
@@ -61,5 +77,45 @@ mod smoke {
         assert!(model.param_count() > 0);
         let y = model.forward(&ft_tensor::Tensor::ones(&[3, 8])).unwrap();
         assert_eq!(y.shape().dims(), &[3, 4]);
+    }
+
+    fn assert_serde_round_trip(model: &CellModel) {
+        let json = serde_json::to_string(model).unwrap();
+        let back: CellModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id(), model.id());
+        assert_eq!(back.arch_string(), model.arch_string());
+        assert_eq!(
+            back.cells().iter().map(super::Cell::id).collect::<Vec<_>>(),
+            model
+                .cells()
+                .iter()
+                .map(super::Cell::id)
+                .collect::<Vec<_>>()
+        );
+        for (a, b) in back.snapshot().iter().zip(model.snapshot().iter()) {
+            assert_eq!(a, b, "weights must survive JSON byte-exactly");
+        }
+        // And the re-serialization is byte-identical.
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn every_model_family_survives_json_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        assert_serde_round_trip(&CellModel::dense(&mut rng, 6, &[8, 4], 3));
+        assert_serde_round_trip(&CellModel::conv(&mut rng, 2, 5, 5, &[4], 3, 3));
+        assert_serde_round_trip(&CellModel::vit(&mut rng, 4, 6, 1, 8, 3));
+    }
+
+    #[test]
+    fn id_counters_are_monotonic() {
+        let (m0, c0) = super::id_counters();
+        super::ensure_id_counters(m0 + 10, c0 + 10);
+        let (m1, c1) = super::id_counters();
+        assert!(m1 >= m0 + 10 && c1 >= c0 + 10);
+        // Lowering is a no-op.
+        super::ensure_id_counters(0, 0);
+        let (m2, c2) = super::id_counters();
+        assert!(m2 >= m1 && c2 >= c1);
     }
 }

@@ -20,6 +20,17 @@ impl ModelId {
     }
 }
 
+/// The next model id the process would allocate (checkpoint metadata).
+pub(crate) fn next_model_id() -> u64 {
+    NEXT_MODEL_ID.load(Ordering::Relaxed)
+}
+
+/// Raises the model-id counter to at least `min_next`, so ids restored
+/// from a checkpoint can never collide with freshly allocated ones.
+pub(crate) fn ensure_next_model_id(min_next: u64) {
+    NEXT_MODEL_ID.fetch_max(min_next, Ordering::Relaxed);
+}
+
 impl std::fmt::Display for ModelId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "M{}", self.0)

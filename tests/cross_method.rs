@@ -33,6 +33,7 @@ fn bl() -> BaselineConfig {
         seed: 1,
         eval_every: 0,
         enforce_capacity: true,
+        ..Default::default()
     }
 }
 

@@ -81,6 +81,7 @@ fn fedtrans_round_times_beat_one_size_fits_all() {
         seed: 1,
         eval_every: 0,
         enforce_capacity: true,
+        ..Default::default()
     };
     let fedavg =
         ft_baselines::FedAvg::new(bl, data, devices, largest, ft_baselines::ServerOpt::Average)

@@ -1,0 +1,141 @@
+//! Cross-crate integration tests for the scenario harness: canned
+//! registry execution, checkpoint/resume byte-identity for FedTrans
+//! and a baseline, and golden-digest agreement.
+
+use std::path::PathBuf;
+
+use ft_harness::{registry, run_scenario, RunOptions};
+
+fn tmp_checkpoint(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ft-scenario-harness-{tag}-{}.json",
+        std::process::id()
+    ))
+}
+
+/// Runs a canned scenario uninterrupted, then again with a mid-run
+/// checkpoint/restart, asserting byte-identical reports.
+fn assert_resume_byte_identical(name: &str, stop_after: usize) {
+    let scenario = registry::find(name).expect("canned scenario");
+    let reference = run_scenario(
+        &scenario,
+        &RunOptions {
+            quick: true,
+            ..Default::default()
+        },
+    )
+    .expect("reference run");
+    let reference_json = serde_json::to_string(reference.report.as_ref().unwrap()).unwrap();
+
+    let path = tmp_checkpoint(name);
+    let _ = std::fs::remove_file(&path);
+    let interrupted = run_scenario(
+        &scenario,
+        &RunOptions {
+            quick: true,
+            checkpoint_path: Some(path.clone()),
+            stop_after: Some(stop_after),
+            ..Default::default()
+        },
+    )
+    .expect("interrupted run");
+    assert!(!interrupted.finished());
+
+    let resumed = run_scenario(
+        &scenario,
+        &RunOptions {
+            quick: true,
+            checkpoint_path: Some(path),
+            ..Default::default()
+        },
+    )
+    .expect("resumed run");
+    assert_eq!(resumed.resumed_from, Some(stop_after as u32));
+    assert_eq!(
+        serde_json::to_string(resumed.report.as_ref().unwrap()).unwrap(),
+        reference_json,
+        "{name}: resumed report must be byte-identical to the uninterrupted run"
+    );
+    assert_eq!(resumed.digest, reference.digest);
+}
+
+#[test]
+fn fedtrans_scenario_resumes_byte_identically() {
+    // dirichlet-skew is the FedTrans arm with non-trivial skew.
+    assert_resume_byte_identical("dirichlet-skew", 3);
+}
+
+#[test]
+fn baseline_scenario_resumes_byte_identically() {
+    // hetero-tiers drives HeteroFL through the same checkpoint path.
+    assert_resume_byte_identical("hetero-tiers", 3);
+}
+
+#[test]
+fn fault_injected_scenario_resumes_byte_identically() {
+    // Dropout/straggler hashing must not depend on process history.
+    assert_resume_byte_identical("straggler-heavy", 5);
+}
+
+#[test]
+fn every_canned_scenario_matches_its_committed_golden() {
+    let goldens = registry::load_goldens().expect("goldens.json committed");
+    for scenario in registry::canned() {
+        let outcome = run_scenario(
+            &scenario,
+            &RunOptions {
+                quick: true,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        assert!(outcome.finished(), "{} must finish", scenario.name);
+        let digest = outcome.digest.expect("finished");
+        let report = outcome.report.expect("finished");
+        assert_eq!(
+            report.rounds.len(),
+            scenario.quick_rounds,
+            "{} round count",
+            scenario.name
+        );
+        assert_eq!(
+            report.per_client_accuracy.len(),
+            scenario.dataset.num_clients,
+            "{} per-client accuracy length",
+            scenario.name
+        );
+        assert_eq!(
+            goldens.get(&scenario.name),
+            Some(&digest),
+            "{}: quick-mode digest drifted from goldens.json — \
+             regenerate with `ft-run --update-goldens` if intentional",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn scenario_json_config_round_trips_through_the_runner() {
+    // A scenario serialized to JSON (the --config path) runs to the
+    // same digest as its in-memory twin.
+    let scenario = registry::find("iid-small").unwrap();
+    let json = serde_json::to_string_pretty(&scenario).unwrap();
+    let parsed: ft_harness::Scenario = serde_json::from_str(&json).unwrap();
+    let a = run_scenario(
+        &scenario,
+        &RunOptions {
+            quick: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let b = run_scenario(
+        &parsed,
+        &RunOptions {
+            quick: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(a.digest, b.digest);
+}

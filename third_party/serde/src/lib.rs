@@ -1,12 +1,34 @@
 //! Offline shim for the subset of `serde` this workspace uses.
 //!
 //! Serialization is modelled directly as conversion into a JSON
-//! [`Value`] tree (the only sink in this workspace is
-//! `serde_json::to_string_pretty`). The derive macros re-exported here
-//! come from the sibling `serde_derive` shim; `Deserialize` derives to
-//! nothing because nothing in the workspace deserializes.
+//! [`Value`] tree; deserialization is the inverse conversion out of a
+//! [`Value`] tree (produced by the `serde_json` shim's parser). The
+//! derive macros re-exported here come from the sibling `serde_derive`
+//! shim and generate both directions.
 
 pub use serde_derive::{Deserialize, Serialize};
+
+/// Error produced when a [`Value`] tree cannot be converted into the
+/// requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
 
 /// In-memory JSON tree, shared with the `serde_json` shim.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +47,61 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// The entry list if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The element list if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric contents if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean contents if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Looks up an object field by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
 /// Types that can be converted into a JSON [`Value`].
 ///
 /// The same name also resolves to the derive macro, mirroring the real
@@ -32,6 +109,150 @@ pub enum Value {
 pub trait Serialize {
     /// Converts `self` into a JSON tree.
     fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a JSON [`Value`].
+///
+/// The same name also resolves to the derive macro, mirroring the real
+/// serde crate layout. This shim's deserializer is the exact inverse
+/// of [`Serialize`]: floats round-trip losslessly (JSON text uses
+/// Rust's shortest round-trip formatting), integers are exact below
+/// 2^53, and non-finite floats — written as `null` — come back as NaN.
+pub trait Deserialize: Sized {
+    /// Reconstructs a value from a JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree does not match the expected
+    /// structure.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_bool().ok_or_else(|| DeError::new("expected bool"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::new("expected string"))
+    }
+}
+
+macro_rules! impl_deserialize_float {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(n) => Ok(*n as $t),
+                    // The serializer writes non-finite floats as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(DeError::new("expected number")),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_float!(f32, f64);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value
+                    .as_f64()
+                    .ok_or_else(|| DeError::new("expected integer"))?;
+                if !n.is_finite() || n.fract() != 0.0 {
+                    return Err(DeError::new(format!("expected integer, got {n}")));
+                }
+                // Range-check before the cast: `as` would silently
+                // saturate (e.g. -1 -> 0u32). Exactness past 2^53 is
+                // unrepresentable in a JSON number; reject rather than
+                // hand back corrupted bits.
+                if n < <$t>::MIN as f64
+                    || n > <$t>::MAX as f64
+                    || n.abs() > 9_007_199_254_740_992.0
+                {
+                    return Err(DeError::new(format!(
+                        "integer {n} out of exact range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::new("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            v => Ok(Some(T::from_value(v)?)),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(DeError::new("expected 2-element array")),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value.as_array() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(DeError::new("expected 3-element array")),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::new("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::new("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
 }
 
 impl Serialize for Value {
@@ -142,6 +363,62 @@ impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn primitives_deserialize_from_values() {
+        assert_eq!(usize::from_value(&Value::Number(3.0)).unwrap(), 3);
+        assert!(bool::from_value(&Value::Bool(true)).unwrap());
+        assert_eq!(
+            String::from_value(&Value::String("hi".into())).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Vec::<u32>::from_value(&Value::Array(vec![Value::Number(1.0), Value::Number(2.0)]))
+                .unwrap(),
+            vec![1, 2]
+        );
+        assert!(u32::from_value(&Value::Number(1.5)).is_err());
+        assert!(u32::from_value(&Value::String("x".into())).is_err());
+    }
+
+    #[test]
+    fn integer_deserialize_rejects_out_of_range_values() {
+        // Negative into unsigned must error, not saturate to 0.
+        assert!(u32::from_value(&Value::Number(-1.0)).is_err());
+        assert!(usize::from_value(&Value::Number(-7.0)).is_err());
+        // Beyond the type's range.
+        assert!(u8::from_value(&Value::Number(256.0)).is_err());
+        assert!(i8::from_value(&Value::Number(-129.0)).is_err());
+        // Beyond f64's exact-integer window (2^53): corrupt, so reject.
+        assert!(u64::from_value(&Value::Number(1.14e19)).is_err());
+        assert!(u64::from_value(&Value::Number(9_007_199_254_740_992.0)).is_ok());
+        assert_eq!(i64::from_value(&Value::Number(-42.0)).unwrap(), -42);
+    }
+
+    #[test]
+    fn nan_round_trips_through_null() {
+        assert!(f32::from_value(&Value::Null).unwrap().is_nan());
+        assert_eq!(f64::from_value(&Value::Number(-2.5)).unwrap(), -2.5);
+    }
+
+    #[test]
+    fn tuples_and_maps_deserialize() {
+        let v = Value::Array(vec![Value::Number(1.0), Value::Number(0.5)]);
+        let t: (u64, f32) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(t, (1, 0.5));
+        let obj = Value::Object(vec![("a".into(), Value::Number(7.0))]);
+        let m: std::collections::BTreeMap<String, u32> = Deserialize::from_value(&obj).unwrap();
+        assert_eq!(m["a"], 7);
+    }
+
+    #[test]
+    fn value_accessors() {
+        let obj = Value::Object(vec![("k".into(), Value::Number(1.0))]);
+        assert_eq!(obj.get("k").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(obj.get("missing"), None);
+        assert!(Value::Null.is_null());
+    }
 
     #[test]
     fn primitives_round_trip_into_values() {

@@ -10,9 +10,12 @@
 //! * enums with unit, named-field, and tuple variants (externally
 //!   tagged, matching serde's default representation).
 //!
-//! `#[derive(Deserialize)]` expands to nothing: nothing in this
-//! workspace deserializes, but the derive must parse so the shared
-//! type definitions keep their upstream-style derive lists.
+//! `#[derive(Deserialize)]` generates the inverse conversion (the shim
+//! `serde::Deserialize` trait) for the same shapes. Fields marked
+//! `#[serde(skip)]` are reconstructed with `Default::default()`,
+//! matching real serde's `skip` + `default` pairing; field types are
+//! never spelled out — struct-literal positions give the compiler the
+//! inference target for `Deserialize::from_value`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -28,11 +31,17 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 }
 
-/// Accepts `#[derive(Deserialize)]` and expands to nothing; nothing
-/// in this workspace deserializes.
+/// Derives the shim `serde::Deserialize` (reconstruction from a JSON
+/// `Value`), honouring `#[serde(skip)]` on fields (skipped fields are
+/// filled with `Default::default()`).
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match generate_de(input) {
+        Ok(code) => code.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
 }
 
 struct Field {
@@ -235,6 +244,206 @@ fn tuple_struct_body(arity: usize) -> String {
             format!("::serde::Value::Array(vec![{}])", elems.join(", "))
         }
     }
+}
+
+fn generate_de(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "shim #[derive(Deserialize)] does not support generic type `{name}`"
+        ));
+    }
+
+    let body = match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            de_named_struct_body(&name, &parse_named_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            de_tuple_struct_body(&name, count_tuple_fields(g.stream()))
+        }
+        ("struct", _) => "let _ = value;\n::std::result::Result::Ok(Self)".to_string(),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            de_enum_body(&name, &parse_variants(g.stream())?)
+        }
+        _ => {
+            return Err(format!(
+                "unsupported item for #[derive(Deserialize)]: {kind}"
+            ))
+        }
+    };
+
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    ))
+}
+
+/// Field initializer list for a named shape: present fields pull from
+/// the entry slice by key, skipped fields take `Default::default()`.
+fn de_field_inits(type_name: &str, fields: &[Field], source: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{field}: match {source}.iter().find(|(k, _)| k == {field:?}) {{\n\
+                     ::std::option::Option::Some((_, v)) => ::serde::Deserialize::from_value(v)?,\n\
+                     ::std::option::Option::None => return ::std::result::Result::Err(\n\
+                         ::serde::DeError::new(concat!({type_name:?}, \": missing field `\", {field:?}, \"`\"))),\n\
+                 }},\n",
+                field = f.name,
+                type_name = type_name,
+                source = source,
+            ));
+        }
+    }
+    out
+}
+
+fn de_named_struct_body(name: &str, fields: &[Field]) -> String {
+    format!(
+        "let obj = value.as_object().ok_or_else(|| \
+             ::serde::DeError::new(concat!({name:?}, \": expected object\")))?;\n\
+         ::std::result::Result::Ok(Self {{\n{}\n}})",
+        de_field_inits(name, fields, "obj")
+    )
+}
+
+/// Positional initializers `from_value(&items[0])?, ...` for a tuple
+/// shape read out of a slice named `items`.
+fn de_tuple_args(arity: usize) -> String {
+    (0..arity)
+        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn de_tuple_struct_body(name: &str, arity: usize) -> String {
+    match arity {
+        0 => "let _ = value;\n::std::result::Result::Ok(Self())".to_string(),
+        1 => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))".to_string()
+        }
+        n => format!(
+            "let items = value.as_array().ok_or_else(|| \
+                 ::serde::DeError::new(concat!({name:?}, \": expected array\")))?;\n\
+             if items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(\
+                     ::serde::DeError::new(concat!({name:?}, \": wrong tuple arity\")));\n\
+             }}\n\
+             ::std::result::Result::Ok(Self({}))",
+            de_tuple_args(n)
+        ),
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            format!(
+                "{:?} => ::std::result::Result::Ok(Self::{}),\n",
+                v.name, v.name
+            )
+        })
+        .collect();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        match &v.shape {
+            VariantShape::Unit => {}
+            VariantShape::Named(fields) => {
+                tagged_arms.push_str(&format!(
+                    "{vname:?} => {{\n\
+                         let obj = inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::new(concat!({name:?}, \"::\", {vname:?}, \": expected object\")))?;\n\
+                         ::std::result::Result::Ok(Self::{vname} {{\n{inits}\n}})\n\
+                     }}\n",
+                    vname = v.name,
+                    name = name,
+                    inits = de_field_inits(name, fields, "obj"),
+                ));
+            }
+            VariantShape::Tuple(arity) => {
+                let ctor = if *arity == 1 {
+                    format!(
+                        "::std::result::Result::Ok(Self::{}(\
+                         ::serde::Deserialize::from_value(inner)?))",
+                        v.name
+                    )
+                } else {
+                    format!(
+                        "{{\n\
+                             let items = inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::new(concat!({name:?}, \"::\", {vname:?}, \": expected array\")))?;\n\
+                             if items.len() != {arity} {{\n\
+                                 return ::std::result::Result::Err(\
+                                     ::serde::DeError::new(concat!({name:?}, \"::\", {vname:?}, \": wrong arity\")));\n\
+                             }}\n\
+                             ::std::result::Result::Ok(Self::{vname}({args}))\n\
+                         }}",
+                        name = name,
+                        vname = v.name,
+                        arity = arity,
+                        args = de_tuple_args(*arity),
+                    )
+                };
+                tagged_arms.push_str(&format!("{:?} => {ctor},\n", v.name));
+            }
+        }
+    }
+    let mut arms = String::new();
+    if !unit_arms.is_empty() {
+        arms.push_str(&format!(
+            "::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                     format!(concat!({name:?}, \": unknown variant `{{}}`\"), other))),\n\
+             }},\n"
+        ));
+    }
+    if !tagged_arms.is_empty() {
+        arms.push_str(&format!(
+            "::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                     {tagged_arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                         format!(concat!({name:?}, \": unknown variant `{{}}`\"), other))),\n\
+                 }}\n\
+             }}\n"
+        ));
+    }
+    format!(
+        "match value {{\n\
+             {arms}\
+             _ => ::std::result::Result::Err(::serde::DeError::new(\
+                 concat!({name:?}, \": expected variant encoding\"))),\n\
+         }}"
+    )
 }
 
 fn enum_body(variants: &[Variant]) -> String {

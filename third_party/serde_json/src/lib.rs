@@ -1,21 +1,36 @@
 //! Offline shim for the subset of `serde_json` this workspace uses:
 //! the [`Value`] tree (shared with the `serde` shim), the [`json!`]
-//! macro with full nesting support, and string serialization.
+//! macro with full nesting support, string serialization, and a JSON
+//! parser ([`from_str`] / [`parse_value`]) feeding the shim
+//! [`serde::Deserialize`] trait.
 
 pub use serde::Value;
 
-/// Serialization error type (kept for signature compatibility; the
-/// shim serializer cannot fail).
+/// Error raised by serialization (never, kept for signature
+/// compatibility) or by the parser (with a description and byte
+/// offset).
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    fn parse(msg: impl Into<String>, at: usize) -> Self {
+        Error(format!("{} at byte {at}", msg.into()))
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("serde_json shim error")
+        write!(f, "serde_json shim error: {}", self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.to_string())
+    }
+}
 
 /// Converts any [`serde::Serialize`] value into a [`Value`] tree.
 pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
@@ -116,6 +131,11 @@ fn write_seq<I, T>(
 fn write_number(out: &mut String, n: f64) {
     if !n.is_finite() {
         out.push_str("null");
+    } else if n == 0.0 && n.is_sign_negative() {
+        // `-0` must not collapse to `0`: checkpointed weights round-trip
+        // through this writer and negative zero is arithmetically
+        // observable.
+        out.push_str("-0.0");
     } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
         out.push_str(&format!("{}", n as i64));
     } else {
@@ -137,6 +157,249 @@ fn write_escaped(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// Parses a JSON document into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] with a byte offset on malformed input.
+pub fn parse_value(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse("trailing characters", p.pos));
+    }
+    Ok(v)
+}
+
+/// Parses a JSON document directly into a [`serde::Deserialize`] type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a structure mismatch.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let v = parse_value(input)?;
+    Ok(T::from_value(&v)?)
+}
+
+/// Converts a [`Value`] tree into a [`serde::Deserialize`] type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on a structure mismatch.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(format!("expected `{kw}`"), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null", Value::Null),
+            Some(b't') => self.eat_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::parse("expected a JSON value", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::parse("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse("invalid number bytes", start))?;
+        let n: f64 = text
+            .parse()
+            .map_err(|_| Error::parse(format!("invalid number `{text}`"), start))?;
+        // `1e999` parses to infinity; JSON has no infinity and letting
+        // it through would silently poison restored weights. Fail like
+        // real serde_json does.
+        if !n.is_finite() {
+            return Err(Error::parse(
+                format!("number `{text}` overflows an f64"),
+                start,
+            ));
+        }
+        Ok(Value::Number(n))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::parse("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::parse("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect `\uXXXX` low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::parse(
+                                        "high surrogate not followed by a low surrogate",
+                                        self.pos,
+                                    ));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::parse("invalid codepoint", self.pos))?,
+                            );
+                        }
+                        _ => return Err(Error::parse("invalid escape", self.pos)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::parse("invalid UTF-8", self.pos))?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::parse("truncated \\u escape", self.pos));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::parse("invalid \\u escape", self.pos))?;
+        let code = u32::from_str_radix(text, 16)
+            .map_err(|_| Error::parse("invalid \\u escape", self.pos))?;
+        self.pos = end;
+        Ok(code)
+    }
 }
 
 /// Builds a [`Value`] from JSON-like syntax, with expression
@@ -285,6 +548,69 @@ mod tests {
     fn strings_are_escaped() {
         let v = json!({"q": "a\"b\\c\n"});
         assert_eq!(to_string(&v).unwrap(), r#"{"q":"a\"b\\c\n"}"#);
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let v = json!({
+            "a": 1,
+            "b": {"inner": 2.5, "list": [1, true, null, -0.25]},
+            "s": "a\"b\\c\n\tü",
+            "neg": -0.0,
+        });
+        let text = to_string(&v).unwrap();
+        let back = parse_value(&text).unwrap();
+        assert_eq!(to_string(&back).unwrap(), text);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2 = parse_value(&pretty).unwrap();
+        assert_eq!(to_string(&back2).unwrap(), text);
+    }
+
+    #[test]
+    fn parser_preserves_float_precision() {
+        for x in [0.1f64, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -2.5e-9] {
+            let text = to_string(&x).unwrap();
+            let back = parse_value(&text).unwrap();
+            assert_eq!(back.as_f64().unwrap().to_bits(), x.to_bits(), "{text}");
+        }
+        // Negative zero survives the writer and the parser.
+        let text = to_string(&(-0.0f64)).unwrap();
+        assert_eq!(text, "-0.0");
+        let bits = parse_value(&text).unwrap().as_f64().unwrap().to_bits();
+        assert_eq!(bits, (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("nul").is_err());
+        assert!(parse_value("1 2").is_err());
+        assert!(parse_value("\"abc").is_err());
+        assert!(
+            parse_value("1e999").is_err(),
+            "overflowing numbers must fail"
+        );
+        assert!(parse_value("-1e999").is_err());
+    }
+
+    #[test]
+    fn typed_from_str_deserializes() {
+        let xs: Vec<u32> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(xs, vec![1, 2, 3]);
+        let pair: (f32, bool) = from_str("[0.5, true]").unwrap();
+        assert_eq!(pair, (0.5, true));
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v = parse_value(r#""A😀""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "A😀");
+        let esc = parse_value("\"\\ud83d\\ude00A\"").unwrap();
+        assert_eq!(esc.as_str().unwrap(), "😀A");
+        // A high surrogate must be followed by a low surrogate.
+        assert!(parse_value("\"\\uD800\\uE000\"").is_err());
+        assert!(parse_value("\"\\uD800x\"").is_err());
     }
 
     #[test]
