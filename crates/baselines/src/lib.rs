@@ -18,6 +18,14 @@
 //! prints Table 2 rows uniformly. Following the paper's protocol
 //! (Appendix A.1), the multi-model baselines take "the largest model
 //! transformed by FedTrans" as their input global model.
+//!
+//! Every baseline trains its participants through the shared parallel
+//! client engine (`ft_fedsim::exec`, gated by `FT_CLIENT_THREADS`):
+//! FedAvg/HeteroFL/FLuID fan out one task per participant via
+//! [`ft_fedsim::trainer::train_participants`], SplitMix one task per
+//! `(participant, base)` pair. Aggregation always replays outcomes in
+//! the fixed selection order, so baseline reports — like FedTrans's —
+//! are byte-identical at any thread count.
 
 pub mod common;
 mod fedavg;

@@ -105,31 +105,60 @@ impl SplitMix {
         self.cfg
             .faults
             .apply_dropout(self.cfg.seed, self.round, &mut participants);
-        // Each participant trains each of its bases.
+        // Each participant trains each of its bases. The (client, base)
+        // work items fan out concurrently over the shared pool; the
+        // seed of each item is derived statelessly from
+        // (run seed, round, client, base), so execution order cannot
+        // leak into the trained weights.
+        let carried: Vec<(usize, Vec<usize>)> = participants
+            .iter()
+            .map(|&c| {
+                let count = self.bases_for(self.devices.profile(c).capacity_macs);
+                (c, self.base_set(c, count))
+            })
+            .collect();
+        let run_seed = self.cfg.seed;
+        let round = self.round;
+        let items: Vec<(usize, usize, u64)> = carried
+            .iter()
+            .flat_map(|(c, set)| {
+                set.iter().map(move |&b| {
+                    let seed = run_seed
+                        .wrapping_add(round as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((c * 131 + b) as u64);
+                    (*c, b, seed)
+                })
+            })
+            .collect();
+        let bases = &self.bases;
+        let data = &self.data;
+        let local = &self.cfg.local;
+        let outcomes: Vec<LocalOutcome> =
+            ft_fedsim::exec::try_par_map(items.len(), ft_fedsim::exec::client_threads(), |i| {
+                let (c, b, seed) = items[i];
+                let mut model = bases[b].clone();
+                train_local(&mut model, c, data.client(c), local, seed)
+            })?;
+
+        // Accounting replays the exact serial iteration order — one
+        // fixed (client, base) sequence — so the f32 loss/time
+        // reductions below are order-identical to the pre-engine loop.
         let mut per_base_updates: Vec<Vec<(Vec<Tensor>, u64)>> = vec![Vec::new(); self.bases.len()];
         let mut losses = Vec::new();
         let mut round_time = 0.0f64;
-        for &c in &participants {
-            let count = self.bases_for(self.devices.profile(c).capacity_macs);
-            let set = self.base_set(c, count);
+        let mut outcome_it = outcomes.into_iter();
+        for (c, set) in &carried {
             let mut client_time = 0.0f64;
-            for &b in &set {
-                let mut model = self.bases[b].clone();
-                let seed = self
-                    .cfg
-                    .seed
-                    .wrapping_add(self.round as u64)
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add((c * 131 + b) as u64);
-                let outcome: LocalOutcome =
-                    train_local(&mut model, c, self.data.client(c), &self.cfg.local, seed)?;
+            for &b in set {
+                let outcome = outcome_it.next().expect("one outcome per work item");
                 client_time += self.acc.record_participant(
                     &self.devices,
-                    c,
+                    *c,
                     self.base_macs,
                     self.base_params,
                     outcome.samples_processed,
-                    self.cfg.faults.slowdown(self.cfg.seed, self.round, c),
+                    self.cfg.faults.slowdown(self.cfg.seed, self.round, *c),
                 );
                 losses.push(outcome.avg_loss);
                 per_base_updates[b].push((outcome.weights, outcome.samples_processed));

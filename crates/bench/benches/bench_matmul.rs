@@ -1,4 +1,5 @@
-//! `bench_matmul`: the tiled GEMM core versus the old scalar kernels.
+//! `bench_matmul`: the tiled GEMM core versus the old scalar kernels,
+//! plus the round-level client-parallelism measurement.
 //!
 //! Two outputs:
 //!
@@ -6,7 +7,10 @@
 //!    variants plus the pre-rewrite scalar kernels at matched shapes.
 //! 2. A JSON artifact, `bench_results/matmul.json`, recording
 //!    seconds-per-iteration and the tiled-over-scalar speedup per
-//!    size, so the repo accumulates a perf trajectory run over run.
+//!    size — and a `round` entry timing one simulated round of
+//!    parallel client local training (the `ft_fedsim::exec` engine at
+//!    full width) against the serial client loop, so the bench
+//!    regression gate covers round wall-clock too.
 //!
 //! `FT_BENCH_QUICK=1` trims sizes and repetitions to CI scale.
 //! `FT_TENSOR_THREADS` controls the worker pool as usual.
@@ -123,6 +127,60 @@ fn time_median<F: FnMut()>(mut f: F, reps: usize) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Times one round of client local training — the `large-population`
+/// fan-out shape (10 participants per round) at bench-sized models —
+/// through the serial client loop (`threads = 1`, which leaves the
+/// pool to the GEMM kernels) and through the client engine at the
+/// pool's full width. The gated metric is their ratio: like the GEMM
+/// speedups it is normalized against the same machine in the same run,
+/// so it is comparable across hosts of one core count.
+fn bench_round(reps: usize) -> serde_json::Value {
+    use ft_fedsim::trainer::{train_participants_with_threads, LocalTrainConfig};
+
+    let clients = if quick() { 8 } else { 10 };
+    let data = ft_data::DatasetConfig::femnist_like()
+        .with_num_clients(clients)
+        .with_mean_samples(40)
+        .generate();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+    let model =
+        ft_model::CellModel::dense(&mut rng, data.input_dim(), &[96, 96], data.num_classes());
+    let cfg = LocalTrainConfig {
+        local_steps: if quick() { 5 } else { 10 },
+        ..Default::default()
+    };
+    let assignments = || -> Vec<(usize, ft_model::CellModel)> {
+        (0..clients).map(|c| (c, model.clone())).collect()
+    };
+    let threads = ft_tensor::pool::max_parallelism();
+    let serial_s = time_median(
+        || {
+            train_participants_with_threads(assignments(), data.clients(), &cfg, 77, 1)
+                .expect("round trains");
+        },
+        reps,
+    );
+    let parallel_s = time_median(
+        || {
+            train_participants_with_threads(assignments(), data.clients(), &cfg, 77, threads)
+                .expect("round trains");
+        },
+        reps,
+    );
+    println!(
+        "round ({clients} clients, {threads} threads): serial {serial_s:.2e}s \
+         parallel {parallel_s:.2e}s ({:.2}x)",
+        serial_s / parallel_s
+    );
+    serde_json::json!({
+        "clients": clients,
+        "threads": threads,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+    })
+}
+
 /// Emits `bench_results/matmul.json`: per-size scalar vs tiled timings
 /// for `matmul` and `matmul_t`, with speedups, so CI keeps a perf
 /// trajectory across PRs.
@@ -166,6 +224,7 @@ fn emit_json() {
         "threads": ft_tensor::pool::max_parallelism(),
         "quick": quick(),
         "results": results,
+        "round": bench_round(reps),
     });
     // `cargo bench` runs with the package as cwd; the shared artifact
     // helper anchors the path at the workspace root so local runs and

@@ -13,6 +13,12 @@
 //! speedup drop on every machine; a slow CI runner does not. The
 //! tolerance can be overridden via `FT_BENCH_GATE_TOLERANCE` (default
 //! `0.25`).
+//!
+//! The report's `round` entry — round wall-clock of the parallel
+//! client engine versus the serial client loop — is gated the same
+//! way, but only when the fresh run had more than one thread of
+//! parallelism: on a single-core runner parallel and serial collapse
+//! to the same schedule and the ratio is pure noise.
 
 use std::process::ExitCode;
 
@@ -62,13 +68,59 @@ fn speedups(report: &Value) -> Result<Vec<(u64, String, f64)>, String> {
     Ok(out)
 }
 
+/// Extracts the round-engine measurement, if the report carries one:
+/// `(threads, speedup)`.
+fn round_speedup(report: &Value) -> Option<(u64, f64)> {
+    let round = report.get("round")?;
+    let threads = round.get("threads").and_then(Value::as_f64)? as u64;
+    let speedup = round.get("speedup").and_then(Value::as_f64)?;
+    Some((threads, speedup))
+}
+
+/// Gates the round wall-clock measurement. Infallible by design: a
+/// missing entry on either side (e.g. a pre-engine baseline) is
+/// reported but never fails the gate.
+fn gate_round(fresh: &Value, baseline: &Value, tolerance: f64) -> bool {
+    let (Some((threads, cur)), Some((base_threads, base))) =
+        (round_speedup(fresh), round_speedup(baseline))
+    else {
+        println!("round      no measurement on one side; skipping");
+        return true;
+    };
+    let ratio = cur / base;
+    // The round speedup is only comparable between runs with real
+    // parallelism on both sides: a single-core measurement is ~1.0
+    // noise, and gating a 2-core runner against a 16-core baseline
+    // (or vice versa) would flag hardware, not code.
+    let gated = threads >= 2 && base_threads >= 2;
+    let pass = !gated || ratio >= 1.0 - tolerance;
+    println!(
+        "{:<10} {:<10} {:>9.2}x {:>9.2}x {:>8.2}  {}",
+        "round",
+        "engine",
+        base,
+        cur,
+        ratio,
+        if !gated {
+            "info-only (needs >=2 threads on both sides)"
+        } else if pass {
+            "ok"
+        } else {
+            "REGRESSION"
+        }
+    );
+    pass
+}
+
 fn gate() -> Result<bool, String> {
     let tolerance: f64 = std::env::var("FT_BENCH_GATE_TOLERANCE")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.25);
-    let fresh = speedups(&load(&fresh_path())?)?;
-    let baseline = speedups(&load(&baseline_path())?)?;
+    let fresh_report = load(&fresh_path())?;
+    let baseline_report = load(&baseline_path())?;
+    let fresh = speedups(&fresh_report)?;
+    let baseline = speedups(&baseline_report)?;
 
     println!(
         "{:<10} {:<10} {:>10} {:>10} {:>8}  verdict (tolerance {:.0}%)",
@@ -110,6 +162,7 @@ fn gate() -> Result<bool, String> {
         );
         ok &= pass;
     }
+    ok &= gate_round(&fresh_report, &baseline_report, tolerance);
     Ok(ok)
 }
 

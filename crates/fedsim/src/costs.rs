@@ -185,6 +185,41 @@ mod more_tests {
         assert_eq!(storage_mb(&[]), 0.0);
     }
 
+    /// Pin for the concurrent-client-completion audit: every counter in
+    /// the meter is an integer (u128 / u32), so accumulation commutes
+    /// and recording participants in *any* completion order yields an
+    /// identical meter. (Floating-point round telemetry — client
+    /// times, loss means — is NOT commutative and must instead be
+    /// reduced in fixed client-index order, which the engine
+    /// guarantees by returning outcomes in assignment order; see
+    /// `trainer::outcomes_are_identical_and_ordered_across_thread_counts`.)
+    #[test]
+    fn recording_order_does_not_change_the_meter() {
+        let participants: Vec<(u64, u64, u64)> = (0..17)
+            .map(|i| (1_000 + 7 * i, 10 + i, 500 + 13 * i))
+            .collect();
+        let mut forward = CostMeter::new();
+        for &(macs, samples, params) in &participants {
+            forward.record_local_training(macs, samples);
+            forward.record_model_transfer(params);
+            forward.record_extra_bytes(4);
+        }
+        forward.finish_round();
+        let mut scrambled = CostMeter::new();
+        // A "completion order" no scheduler is likely to produce.
+        let mut order: Vec<usize> = (0..participants.len()).collect();
+        order.reverse();
+        order.swap(0, 9);
+        for &i in &order {
+            let (macs, samples, params) = participants[i];
+            scrambled.record_local_training(macs, samples);
+            scrambled.record_model_transfer(params);
+            scrambled.record_extra_bytes(4);
+        }
+        scrambled.finish_round();
+        assert_eq!(forward, scrambled);
+    }
+
     #[test]
     fn large_runs_do_not_overflow() {
         let mut m = CostMeter::new();

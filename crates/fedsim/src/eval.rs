@@ -18,22 +18,16 @@
 ///
 /// `f` runs exactly once per index. Falls back to a serial loop on
 /// single-core hosts or when the pool is already owned (see
-/// [`ft_tensor::pool::parallel_for`]).
+/// [`ft_tensor::pool::parallel_for`]). Thin unbudgeted wrapper around
+/// the round-level engine's [`crate::exec::par_map_indexed`] —
+/// evaluation tasks hold only a model clone, so they use the pool's
+/// full width.
 pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let slots = parking_lot::Mutex::new((0..n).map(|_| None).collect::<Vec<Option<T>>>());
-    ft_tensor::pool::parallel_for(n, &|i| {
-        let value = f(i);
-        slots.lock()[i] = Some(value);
-    });
-    slots
-        .into_inner()
-        .into_iter()
-        .map(|slot| slot.expect("parallel_for runs every index exactly once"))
-        .collect()
+    crate::exec::par_map_indexed(n, usize::MAX, f)
 }
 
 #[cfg(test)]

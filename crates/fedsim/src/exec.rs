@@ -1,0 +1,171 @@
+//! The deterministic parallel client execution engine.
+//!
+//! A federated round is dominated by the embarrassingly parallel part:
+//! each selected client trains its own model copy on its own shard.
+//! This module fans that per-client work out over the shared tensor
+//! worker pool ([`ft_tensor::pool`]) — the same threads the GEMM
+//! kernels and the evaluation fan-out use, so round-level, eval-level,
+//! and kernel-level parallelism never oversubscribe the host.
+//!
+//! # Thread budget
+//!
+//! The fan-out width is capped by the `FT_CLIENT_THREADS` environment
+//! variable (default: the pool's full parallelism). Each in-flight
+//! client pins a model clone plus optimizer state in memory, so the
+//! budget bounds peak memory; `FT_CLIENT_THREADS=1` selects a plain
+//! serial loop that never touches the pool, which both restores the
+//! pre-engine execution shape and leaves every worker free for
+//! *intra*-client GEMM fan-out (the right trade when rounds select
+//! few clients but train large models).
+//!
+//! # Determinism contract
+//!
+//! Parallel execution is observationally identical to the serial loop:
+//!
+//! * every task's result lands in its caller-assigned slot, so output
+//!   order is the submission order, never completion order;
+//! * tasks draw randomness only from seeds derived statelessly from
+//!   `(round seed, client)` (see [`crate::trainer::client_seed`]) —
+//!   there is no shared mutable RNG on the parallel path;
+//! * the kernels underneath guarantee thread-count-independent
+//!   numerics, and GEMMs issued from inside a client task run inline
+//!   on that worker (nested-dispatch guard);
+//! * on failure, [`try_par_map`] reports the error of the
+//!   lowest-indexed failing task — not whichever failure happened to
+//!   finish first — so error paths are as reproducible as success
+//!   paths.
+//!
+//! Reports produced under any `FT_CLIENT_THREADS` value are therefore
+//! byte-identical, which the harness determinism tests pin.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::{Result, SimError};
+
+/// The round-level fan-out width: `FT_CLIENT_THREADS`, defaulting to
+/// the shared pool's full parallelism. Values are clamped to at least
+/// 1; `1` means "serial, do not touch the pool".
+pub fn client_threads() -> usize {
+    if let Ok(v) = std::env::var("FT_CLIENT_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    ft_tensor::pool::max_parallelism()
+}
+
+/// Maps `f` over `0..n` with at most `threads` concurrent tasks,
+/// returning results in index order. Infallible twin of
+/// [`try_par_map`]; see the module docs for the determinism contract.
+pub fn par_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots = parking_lot::Mutex::new((0..n).map(|_| None).collect::<Vec<Option<T>>>());
+    ft_tensor::pool::parallel_for_budgeted(n, threads, &|i| {
+        let value = f(i);
+        slots.lock()[i] = Some(value);
+    });
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("parallel_for runs every index exactly once"))
+        .collect()
+}
+
+/// Maps a fallible `f` over `0..n` with at most `threads` concurrent
+/// tasks. Returns all results in index order, or the error of the
+/// lowest-indexed failing task.
+///
+/// # Errors
+///
+/// Propagates the first (by index) task error; returns
+/// [`SimError::WorkerPanicked`] if any task panicked.
+pub fn try_par_map<T, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        // The serial path short-circuits on the first error, exactly
+        // like the pre-engine loop did — but maps panics to the same
+        // `WorkerPanicked` the parallel path reports, so failure
+        // surfaces do not depend on the thread budget.
+        return catch_unwind(AssertUnwindSafe(|| (0..n).map(&f).collect()))
+            .unwrap_or(Err(SimError::WorkerPanicked));
+    }
+    let results = catch_unwind(AssertUnwindSafe(|| par_map_indexed(n, threads, &f)))
+        .map_err(|_| SimError::WorkerPanicked)?;
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order_at_any_width() {
+        for threads in [1usize, 2, 4, usize::MAX] {
+            let out = par_map_indexed(100, threads, |i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn handles_empty_input() {
+        let out: Vec<usize> = par_map_indexed(0, 4, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(try_par_map(0, 4, Ok).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn error_is_lowest_failing_index() {
+        for threads in [1usize, 4] {
+            let err = try_par_map(10, threads, |i| {
+                if i == 3 || i == 7 {
+                    Err(SimError::NoSuchClient {
+                        index: i,
+                        clients: 0,
+                    })
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(
+                err,
+                SimError::NoSuchClient {
+                    index: 3,
+                    clients: 0
+                },
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn panic_maps_to_worker_panicked_at_any_width() {
+        for threads in [1usize, 4] {
+            let err = try_par_map(8, threads, |i| {
+                assert!(i != 5, "task 5 died");
+                Ok(i)
+            });
+            // On a single-core host the serial fallback runs inside
+            // parallel_for, which still re-raises into catch_unwind.
+            assert_eq!(
+                err.unwrap_err(),
+                SimError::WorkerPanicked,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn client_threads_is_at_least_one() {
+        assert!(client_threads() >= 1);
+    }
+}

@@ -6,7 +6,12 @@
 //! **stateless** perturbation: whether a `(round, client)` pair drops
 //! or straggles is a pure hash of the run seed, so fault injection is
 //! deterministic, checkpoint-free, and identical before and after a
-//! resume — no RNG stream is consumed.
+//! resume — no RNG stream is consumed. Statelessness also makes the
+//! fault model parallel-safe by construction: any thread may query
+//! [`FaultConfig::drops`] or [`FaultConfig::slowdown`] in any order
+//! without affecting what any other query returns, which is why the
+//! round-level client engine ([`crate::exec`]) needs no coordination
+//! with it.
 
 use serde::{Deserialize, Serialize};
 

@@ -11,6 +11,10 @@
 //! * [`trainer`] — the local SGD executor (with optional FedProx
 //!   proximal term) run by each participant, including parallel
 //!   fan-out over participants;
+//! * [`exec`] — the deterministic parallel client execution engine:
+//!   budgeted fan-out of per-client work over the shared tensor worker
+//!   pool, gated by `FT_CLIENT_THREADS`, with byte-identical results
+//!   at any thread count;
 //! * [`select`] — per-round participant selection;
 //! * [`eval`] — parallel per-client evaluation fan-out over the shared
 //!   tensor worker pool;
@@ -40,6 +44,7 @@ pub mod costs;
 pub mod device;
 pub mod driver;
 pub mod eval;
+pub mod exec;
 pub mod faults;
 pub mod metrics;
 pub mod report;

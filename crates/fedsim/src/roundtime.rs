@@ -6,6 +6,14 @@
 //! speed) plus communication time (model bytes over bandwidth, both
 //! directions), and a round's completion time as the slowest
 //! participant — the synchronous-FL convention.
+//!
+//! Round times are a *model* of the simulated fleet, not a measurement
+//! of the host: they are pure functions of the device profile, model
+//! size, and sample count, so they are identical however the
+//! simulator schedules the actual training. The max-reduction in
+//! [`round_completion`] commutes; per-client time *lists* are
+//! recorded in client-index order by every caller (see the
+//! concurrent-completion audit pinned in `costs`' tests).
 
 use crate::costs::TRAIN_MACS_MULTIPLIER;
 use crate::device::DeviceProfile;

@@ -5,6 +5,13 @@
 //! batch size 10), and uploads its weights, aggregate update, and mean
 //! training loss — exactly the feedback FedTrans's coordinator consumes
 //! (Algorithm 1, line 10).
+//!
+//! [`train_participants`] executes a whole round's participants
+//! concurrently through the [`crate::exec`] engine. Downstream
+//! accounting (cost meters, round times, loss means) iterates the
+//! returned outcomes in assignment order, which is what keeps every
+//! floating-point reduction order-fixed regardless of which client
+//! finished first.
 
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -121,21 +128,65 @@ pub fn train_local(
     })
 }
 
-/// Trains many participants in parallel across OS threads.
+/// The per-client training seed: a fixed stateless derivation from the
+/// round seed and the client index.
+///
+/// This is the engine's RNG contract. Each participant gets its own
+/// `StdRng` stream seeded by this value instead of drawing from a
+/// shared mutable RNG, so local training neither contends on an RNG
+/// nor depends on execution order — and checkpoint/resume needs no
+/// per-client RNG state beyond the round counter and base seed the
+/// coordinator already serializes.
+pub fn client_seed(round_seed: u64, client: usize) -> u64 {
+    round_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(client as u64)
+}
+
+/// Trains many participants concurrently over the shared worker pool,
+/// with the fan-out width taken from `FT_CLIENT_THREADS` (see
+/// [`crate::exec::client_threads`]).
 ///
 /// `assignments` pairs each participating client index with the model it
 /// downloads (already holding coordinator weights). Outcomes are
-/// returned in the same order as `assignments`.
+/// returned in the same order as `assignments`, and are byte-identical
+/// at any thread count: each client's RNG stream is derived by
+/// [`client_seed`], results land in submission-order slots, and the
+/// GEMM kernels underneath are thread-count invariant.
 ///
 /// # Errors
 ///
-/// Returns the first training error, or [`SimError::WorkerPanicked`] if
-/// a worker thread dies.
+/// Returns the lowest-indexed training error, or
+/// [`SimError::WorkerPanicked`] if a training task dies.
 pub fn train_participants(
     assignments: Vec<(usize, CellModel)>,
     shards: &[ClientData],
     cfg: &LocalTrainConfig,
     round_seed: u64,
+) -> Result<Vec<LocalOutcome>> {
+    train_participants_with_threads(
+        assignments,
+        shards,
+        cfg,
+        round_seed,
+        crate::exec::client_threads(),
+    )
+}
+
+/// [`train_participants`] with an explicit thread budget instead of the
+/// `FT_CLIENT_THREADS` environment gate — the entry point for
+/// cross-thread-count determinism tests and benchmarks.
+///
+/// # Errors
+///
+/// Returns the lowest-indexed training error, or
+/// [`SimError::WorkerPanicked`] if a training task dies.
+pub fn train_participants_with_threads(
+    assignments: Vec<(usize, CellModel)>,
+    shards: &[ClientData],
+    cfg: &LocalTrainConfig,
+    round_seed: u64,
+    threads: usize,
 ) -> Result<Vec<LocalOutcome>> {
     let n = assignments.len();
     if n == 0 {
@@ -149,47 +200,26 @@ pub fn train_participants(
             });
         }
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    let work: Vec<(usize, (usize, CellModel))> = assignments.into_iter().enumerate().collect();
-    let queue = parking_lot::Mutex::new(work);
-    let results = parking_lot::Mutex::new(vec![None; n]);
-    let first_error = parking_lot::Mutex::new(None::<SimError>);
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let item = queue.lock().pop();
-                let Some((slot, (client, mut model))) = item else {
-                    break;
-                };
-                let seed = round_seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(client as u64);
-                match train_local(&mut model, client, &shards[client], cfg, seed) {
-                    Ok(outcome) => {
-                        results.lock()[slot] = Some(outcome);
-                    }
-                    Err(e) => {
-                        let mut guard = first_error.lock();
-                        if guard.is_none() {
-                            *guard = Some(e);
-                        }
-                        break;
-                    }
-                }
-            });
-        }
+    // Each slot's model is taken (not cloned) by the task that trains
+    // it; the mutex only mediates the one-time handoff.
+    let work: Vec<(usize, parking_lot::Mutex<Option<CellModel>>)> = assignments
+        .into_iter()
+        .map(|(client, model)| (client, parking_lot::Mutex::new(Some(model))))
+        .collect();
+    crate::exec::try_par_map(n, threads, |slot| {
+        let (client, cell) = &work[slot];
+        let mut model = cell
+            .lock()
+            .take()
+            .expect("each slot is claimed exactly once");
+        train_local(
+            &mut model,
+            *client,
+            &shards[*client],
+            cfg,
+            client_seed(round_seed, *client),
+        )
     })
-    .map_err(|_| SimError::WorkerPanicked)?;
-
-    if let Some(e) = first_error.into_inner() {
-        return Err(e);
-    }
-    let collected: Option<Vec<LocalOutcome>> = results.into_inner().into_iter().collect();
-    collected.ok_or(SimError::WorkerPanicked)
 }
 
 #[cfg(test)]
@@ -271,14 +301,46 @@ mod tests {
         let par = train_participants(assignments, data.clients(), &cfg, 77).unwrap();
         for (i, outcome) in par.iter().enumerate() {
             let mut m = model.clone();
-            let seed = 77u64
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(i as u64);
-            let serial = train_local(&mut m, i, data.client(i), &cfg, seed).unwrap();
+            let serial = train_local(&mut m, i, data.client(i), &cfg, client_seed(77, i)).unwrap();
             assert_eq!(outcome.client, serial.client);
             assert!((outcome.avg_loss - serial.avg_loss).abs() < 1e-6);
             for (a, b) in outcome.weights.iter().zip(&serial.weights) {
                 assert_eq!(a, b);
+            }
+        }
+    }
+
+    /// The engine's core determinism invariant: outcomes are
+    /// byte-identical and in assignment order at every thread budget.
+    /// Assignments are deliberately in descending client order so a
+    /// completion-order bug cannot hide behind sorted input.
+    #[test]
+    fn outcomes_are_identical_and_ordered_across_thread_counts() {
+        let (data, model) = tiny();
+        let cfg = LocalTrainConfig {
+            local_steps: 6,
+            ..Default::default()
+        };
+        let make =
+            || -> Vec<(usize, CellModel)> { (0..4).rev().map(|c| (c, model.clone())).collect() };
+        let reference =
+            train_participants_with_threads(make(), data.clients(), &cfg, 123, 1).unwrap();
+        assert_eq!(
+            reference.iter().map(|o| o.client).collect::<Vec<_>>(),
+            vec![3, 2, 1, 0],
+            "outcome order must be assignment order"
+        );
+        for threads in [2usize, 4, 8] {
+            let par = train_participants_with_threads(make(), data.clients(), &cfg, 123, threads)
+                .unwrap();
+            assert_eq!(par.len(), reference.len());
+            for (a, b) in par.iter().zip(&reference) {
+                assert_eq!(a.client, b.client, "threads {threads}");
+                assert_eq!(a.weights, b.weights, "threads {threads}");
+                assert_eq!(a.delta, b.delta, "threads {threads}");
+                assert!((a.avg_loss - b.avg_loss).abs() == 0.0, "threads {threads}");
+                assert!((a.avg_acc - b.avg_acc).abs() == 0.0, "threads {threads}");
+                assert_eq!(a.samples_processed, b.samples_processed);
             }
         }
     }

@@ -4,6 +4,17 @@
 //! utility sampling, train locally (in parallel), account costs, update
 //! utilities, soft-aggregate the model suite, and — when the loss curve
 //! reaches its elbow — transform the newest model into a larger one.
+//!
+//! Concurrency discipline: the coordinator's own `StdRng` stream
+//! (selection, assignment, transformation) is consumed serially in a
+//! fixed program order, while the parallel section — local training
+//! via the `ft_fedsim::exec` engine — draws only from per-client
+//! streams derived statelessly from `(round seed, client)`
+//! ([`ft_fedsim::trainer::client_seed`]). Every reduction over
+//! training outcomes (costs, round times, FedAvg, activeness
+//! recording) iterates in fixed client-/model-index order, never
+//! completion order, so reports are byte-identical at any
+//! `FT_CLIENT_THREADS` setting.
 
 use std::collections::HashMap;
 
@@ -442,6 +453,12 @@ impl FedTransRuntime {
     /// matrix, RNG stream, telemetry, and the process id counters.
     /// Restoring this into a freshly built runtime of the same
     /// configuration reproduces the uninterrupted run byte-for-byte.
+    ///
+    /// Per-client training RNG streams need no capture: they are
+    /// derived statelessly from the base seed, the round counter (both
+    /// serialized here), and the client index
+    /// ([`ft_fedsim::trainer::client_seed`]) — the engine property that
+    /// makes resume thread-count independent.
     pub fn checkpoint_state(&self) -> serde::Value {
         let (losses, widened, rounds_since) = self.transformer.export_state();
         let (next_model, next_cell) = ft_model::id_counters();

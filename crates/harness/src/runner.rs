@@ -5,6 +5,13 @@
 //! rename). A checkpoint records the scenario name, mode, and target
 //! round count alongside the algorithm state, so a resume against the
 //! wrong scenario or mode fails loudly instead of silently diverging.
+//!
+//! Resume is thread-count independent: a run may be killed under one
+//! `FT_CLIENT_THREADS` setting and resumed under another and still
+//! reproduce the uninterrupted report byte-for-byte, because
+//! per-client training RNG streams are derived statelessly from state
+//! the checkpoint already carries (base seed + round counter; see
+//! `ft_fedsim::trainer::client_seed`).
 
 use std::path::{Path, PathBuf};
 

@@ -22,6 +22,14 @@
 //! 3. **Low dispatch overhead.** Workers are parked on a condvar
 //!    between jobs; a dispatch is one mutex lock plus a wake, so even
 //!    millisecond-scale GEMMs amortize it.
+//!
+//! Two fan-out granularities share this one pool: kernel tiles (GEMM
+//! row panels) and whole clients (the round-level engine in
+//! `ft_fedsim::exec`). [`parallel_for_budgeted`] lets the outer,
+//! memory-heavy client fan-out cap its thread budget, and the
+//! nested-dispatch guard keeps per-client GEMM fan-out from
+//! oversubscribing the host while client fan-out is active: a GEMM
+//! issued from inside a pool task runs inline on that worker.
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -44,12 +52,42 @@ struct Job {
     next: AtomicUsize,
     total: usize,
     finished: AtomicUsize,
+    /// Threads allowed to execute tasks of this job, counting the
+    /// submitter. Workers beyond the budget leave the job alone — the
+    /// knob behind [`parallel_for_budgeted`].
+    max_claimants: usize,
+    /// Threads currently (or ever) enrolled on this job. Starts at 1:
+    /// the submitter is always enrolled.
+    claimants: AtomicUsize,
     /// First panic raised by any task; re-thrown by the submitter once
     /// the job has fully drained. Tasks must never unwind out of
     /// `run_tasks` — an unwinding submitter would free the borrowed
     /// closure/output while workers still hold pointers to them, and a
     /// dead worker would leave `finished` short of `total` forever.
     panic: Mutex<Option<PanicPayload>>,
+}
+
+impl Job {
+    /// Tries to enroll the calling worker within the job's thread
+    /// budget. Enrollment never needs to be released: a job is consumed
+    /// exactly once and dropped when drained.
+    fn try_enroll(&self) -> bool {
+        let mut cur = self.claimants.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max_claimants {
+                return false;
+            }
+            match self.claimants.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
 }
 
 // SAFETY: `task` points at a `Sync` closure, so sharing it across
@@ -129,7 +167,12 @@ impl Pool {
                     st = self.work_cv.wait(st).expect("pool mutex poisoned");
                 }
             };
-            self.run_tasks(&job);
+            // A budgeted job may already have its full complement of
+            // threads; late workers go back to sleep instead of
+            // claiming tasks past the budget.
+            if job.try_enroll() {
+                self.run_tasks(&job);
+            }
         }
     }
 }
@@ -182,11 +225,30 @@ pub fn max_parallelism() -> usize {
 /// callers therefore never deadlock and results never depend on where a
 /// task ran.
 pub fn parallel_for(tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+    parallel_for_budgeted(tasks, usize::MAX, task);
+}
+
+/// [`parallel_for`] with a cap on how many threads (submitter
+/// included) may execute tasks concurrently.
+///
+/// The cap exists for *outer* fan-outs whose tasks are whole units of
+/// work rather than kernel tiles — e.g. one federated client's local
+/// training, which pins a full model clone plus optimizer state in
+/// memory for as long as the task runs. Budgeting the fan-out bounds
+/// that peak footprint without giving up the shared pool. `max_threads`
+/// does not change results: tasks are claimed from one atomic counter
+/// and each index runs exactly once regardless of who runs it.
+///
+/// A `max_threads` of 1 degenerates to the inline serial loop without
+/// touching the pool, so nested [`parallel_for`] calls issued by the
+/// tasks (e.g. per-client GEMM fan-out) may still use every worker.
+pub fn parallel_for_budgeted(tasks: usize, max_threads: usize, task: &(dyn Fn(usize) + Sync)) {
     if tasks == 0 {
         return;
     }
     let pool = pool();
-    let serial = tasks == 1 || pool.workers == 0 || IN_POOL_WORKER.with(Cell::get);
+    let serial =
+        tasks == 1 || max_threads <= 1 || pool.workers == 0 || IN_POOL_WORKER.with(Cell::get);
     if serial {
         for i in 0..tasks {
             task(i);
@@ -205,6 +267,8 @@ pub fn parallel_for(tasks: usize, task: &(dyn Fn(usize) + Sync)) {
         next: AtomicUsize::new(0),
         total: tasks,
         finished: AtomicUsize::new(0),
+        max_claimants: max_threads,
+        claimants: AtomicUsize::new(1),
         panic: Mutex::new(None),
     });
     {
@@ -315,5 +379,50 @@ mod tests {
     #[test]
     fn reports_at_least_one_thread() {
         assert!(max_parallelism() >= 1);
+    }
+
+    #[test]
+    fn budgeted_runs_every_index_exactly_once() {
+        for budget in [1, 2, usize::MAX] {
+            let hits: Vec<AtomicU64> = (0..97).map(|_| AtomicU64::new(0)).collect();
+            parallel_for_budgeted(hits.len(), budget, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_caps_concurrency() {
+        // High-water mark of concurrently running tasks must never
+        // exceed the budget (trivially satisfied on a single-core
+        // host; the multi-worker case is forced in
+        // tests/pool_budget.rs, which pins the pool size).
+        let budget = 2usize;
+        let running = AtomicU64::new(0);
+        let peak = AtomicU64::new(0);
+        parallel_for_budgeted(64, budget, &|_| {
+            let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            running.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= budget as u64);
+    }
+
+    #[test]
+    fn budget_of_one_leaves_pool_free_for_nested_dispatch() {
+        // With a serial outer loop the pool is not owned, so an inner
+        // parallel_for may still dispatch; either way every index runs.
+        let total = AtomicU64::new(0);
+        parallel_for_budgeted(4, 1, &|_| {
+            parallel_for(8, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
     }
 }

@@ -1,0 +1,92 @@
+//! Multi-worker tests for the budgeted pool dispatch.
+//!
+//! This file is its own test binary, so it can pin the pool size with
+//! `FT_TENSOR_THREADS` *before* the pool is first touched — the in-crate
+//! unit tests run with whatever the host offers (possibly a single
+//! core), which would leave the budget path untested on small CI
+//! runners.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+
+use ft_tensor::pool::{max_parallelism, parallel_for, parallel_for_budgeted};
+
+/// Forces a 7-worker pool (8 threads of parallelism) regardless of the
+/// host's core count. Must run before any other pool use in this
+/// process; every test funnels through it.
+fn pinned_pool() {
+    static PIN: Once = Once::new();
+    PIN.call_once(|| {
+        std::env::set_var("FT_TENSOR_THREADS", "8");
+        assert_eq!(max_parallelism(), 8);
+    });
+}
+
+#[test]
+fn budget_caps_concurrency_with_real_workers() {
+    pinned_pool();
+    for budget in [1usize, 2, 3] {
+        let running = AtomicU64::new(0);
+        let peak = AtomicU64::new(0);
+        parallel_for_budgeted(48, budget, &|_| {
+            let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            running.fetch_sub(1, Ordering::SeqCst);
+        });
+        let peak = peak.load(Ordering::SeqCst);
+        assert!(
+            peak <= budget as u64,
+            "budget {budget} exceeded: peak {peak}"
+        );
+        assert!(peak >= 1);
+    }
+}
+
+#[test]
+fn unbudgeted_dispatch_uses_multiple_threads() {
+    pinned_pool();
+    let running = AtomicU64::new(0);
+    let peak = AtomicU64::new(0);
+    parallel_for(64, &|_| {
+        let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+        peak.fetch_max(now, Ordering::SeqCst);
+        std::thread::sleep(std::time::Duration::from_micros(500));
+        running.fetch_sub(1, Ordering::SeqCst);
+    });
+    assert!(
+        peak.load(Ordering::SeqCst) > 1,
+        "a 7-worker pool should overlap at least two tasks"
+    );
+}
+
+#[test]
+fn budgeted_results_match_serial_reference() {
+    pinned_pool();
+    let n = 257usize;
+    let reference: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+    for budget in [1usize, 3, usize::MAX] {
+        let out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_budgeted(n, budget, &|i| {
+            out[i].store((i as u64).wrapping_mul(0x9E37), Ordering::Relaxed);
+        });
+        let got: Vec<u64> = out.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        assert_eq!(got, reference, "budget {budget}");
+    }
+}
+
+#[test]
+fn budgeted_task_panic_propagates_and_pool_survives() {
+    pinned_pool();
+    let result = std::panic::catch_unwind(|| {
+        parallel_for_budgeted(16, 2, &|i| {
+            assert!(i != 3, "task 3 died");
+        });
+    });
+    assert!(result.is_err());
+    let n = AtomicU64::new(0);
+    parallel_for_budgeted(16, 2, &|_| {
+        n.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(n.load(Ordering::Relaxed), 16);
+}

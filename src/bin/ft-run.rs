@@ -56,7 +56,12 @@ OPTIONS:
     --update-goldens        re-run every canned scenario (quick) and rewrite
                             goldens.json
     --out <name>            report artifact name (default scenario-<name>)
-    --help                  print this help";
+    --help                  print this help
+
+ENVIRONMENT:
+    FT_CLIENT_THREADS / FT_TENSOR_THREADS control parallelism and never
+    change a report byte; FT_ARTIFACT_DIR overrides the report
+    directory. Full table: README.md#environment-variables";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {

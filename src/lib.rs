@@ -1,6 +1,20 @@
-//! Root library: re-exports the workspace public API.
+//! Root facade of the FedTrans reproduction workspace.
+//!
+//! Re-exports the crates a downstream user is expected to touch:
+//! [`fedtrans`] (the method), [`ft_fedsim`] (the simulator substrate
+//! and the [`ft_fedsim::Algorithm`] trait), and [`ft_harness`] (the
+//! config-driven scenario system behind the `ft-run` CLI). The
+//! remaining crates are implementation layers; see
+//! `docs/ARCHITECTURE.md` for the full crate map, the dataflow of one
+//! round, and the determinism contract.
+//!
+//! This package also hosts the cross-crate integration tests
+//! (`tests/`), the runnable examples (`examples/`), and the `ft-run`
+//! binary (`src/bin/ft-run.rs`).
 #![allow(unused_imports)]
 pub use fedtrans;
+pub use ft_fedsim;
+pub use ft_harness;
 
 #[cfg(test)]
 mod smoke {

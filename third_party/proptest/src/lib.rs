@@ -180,7 +180,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Length specifications accepted by [`vec`]: an exact `usize` or
+    /// Length specifications accepted by [`vec()`]: an exact `usize` or
     /// a `Range<usize>`.
     pub trait SizeSpec {
         /// Picks a concrete length.
