@@ -173,15 +173,15 @@ pub fn eval_ensemble_on_client(models: &[CellModel], shard: &ClientData) -> f32 
         let Ok(probs) = softmax(&logits) else {
             return 0.0;
         };
-        avg = Some(match avg {
-            None => probs,
-            Some(a) => a.add(&probs).expect("same shapes"),
-        });
+        // Fused in-place accumulate; bit-identical to `a.add(&probs)`.
+        match &mut avg {
+            None => avg = Some(probs),
+            Some(a) => a.add_assign(&probs).expect("same shapes"),
+        }
     }
     let avg = avg.expect("non-empty ensemble");
-    let preds = avg.argmax_rows().expect("matrix logits");
-    let correct = preds.iter().zip(&y).filter(|(p, l)| p == l).count();
-    correct as f32 / y.len() as f32
+    // Allocation-free argmax-vs-label comparison.
+    avg.argmax_accuracy(&y).expect("matrix logits")
 }
 
 #[cfg(test)]

@@ -126,11 +126,13 @@ impl FedAvg {
                 }
                 ServerOpt::Yogi { .. } => {
                     let current = self.model.snapshot();
-                    let deltas: Vec<Tensor> = avg
-                        .iter()
-                        .zip(&current)
-                        .map(|(a, c)| a.sub(c).expect("same shapes"))
-                        .collect();
+                    // Fused in-place: the average becomes the delta
+                    // (`avg -= current`), saving a full set of tensor
+                    // copies per round; bit-identical to `a.sub(c)`.
+                    let mut deltas = avg;
+                    for (a, c) in deltas.iter_mut().zip(&current) {
+                        a.sub_assign(c).expect("same shapes");
+                    }
                     let delta_refs: Vec<&Tensor> = deltas.iter().collect();
                     let mut params_mut = self.model.param_tensors_mut();
                     self.yogi

@@ -1,10 +1,12 @@
 //! `bench_gate` — the CI bench-regression gate.
 //!
-//! Compares the freshly emitted `bench_results/matmul.json` (produced
-//! by `FT_BENCH_QUICK=1 cargo bench -p ft_bench --bench bench_matmul`)
-//! against the committed `crates/bench/baselines/matmul.json` and
-//! fails on a >25% throughput regression. (The baseline lives inside
-//! the crate because `bench_results/` is gitignored scratch output.)
+//! Compares the freshly emitted `bench_results/matmul.json` and
+//! `bench_results/train_step.json` (produced by
+//! `FT_BENCH_QUICK=1 cargo bench -p ft_bench --bench bench_matmul`
+//! and `... --bench bench_train_step`) against the committed
+//! `crates/bench/baselines/*.json` and fails on a >25% throughput
+//! regression. (Baselines live inside the crate because
+//! `bench_results/` is gitignored scratch output.)
 //!
 //! CI runners and developer laptops differ wildly in absolute GFLOPS,
 //! so the gated metric is the **speedup** column: tiled-kernel
@@ -31,14 +33,16 @@ fn load(path: &std::path::Path) -> Result<Value, String> {
     serde_json::parse_value(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
 }
 
-/// The freshly emitted report (workspace `bench_results/`).
-fn fresh_path() -> std::path::PathBuf {
-    ft_fedsim::report::artifact_dir().join("matmul.json")
+/// A freshly emitted report (workspace `bench_results/`).
+fn fresh_path(name: &str) -> std::path::PathBuf {
+    ft_fedsim::report::artifact_dir().join(name)
 }
 
-/// The committed baseline (inside this crate, which is tracked).
-fn baseline_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines/matmul.json")
+/// A committed baseline (inside this crate, which is tracked).
+fn baseline_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("baselines")
+        .join(name)
 }
 
 /// Extracts `(size, op, speedup)` rows from a matmul report.
@@ -112,13 +116,47 @@ fn gate_round(fresh: &Value, baseline: &Value, tolerance: f64) -> bool {
     pass
 }
 
+/// Gates the train-step report: the fused hot path's speedup over the
+/// in-bench pre-optimization reference must stay within tolerance of
+/// the committed baseline, for both the single-client step and the
+/// small-round measurement. Unlike the GEMM `round` entry this needs
+/// no thread floor — both sides run the same serial schedule.
+fn gate_train_step(tolerance: f64) -> Result<bool, String> {
+    let fresh = load(&fresh_path("train_step.json"))?;
+    let baseline = load(&baseline_path("train_step.json"))?;
+    let mut ok = true;
+    for key in ["train_step", "round"] {
+        let read = |report: &Value| -> Result<f64, String> {
+            report
+                .get(key)
+                .and_then(|e| e.get("speedup"))
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("train_step report has no `{key}.speedup`"))
+        };
+        let (cur, base) = (read(&fresh)?, read(&baseline)?);
+        let ratio = cur / base;
+        let pass = ratio >= 1.0 - tolerance;
+        println!(
+            "{:<10} {:<10} {:>9.2}x {:>9.2}x {:>8.2}  {}",
+            "hot-path",
+            key,
+            base,
+            cur,
+            ratio,
+            if pass { "ok" } else { "REGRESSION" }
+        );
+        ok &= pass;
+    }
+    Ok(ok)
+}
+
 fn gate() -> Result<bool, String> {
     let tolerance: f64 = std::env::var("FT_BENCH_GATE_TOLERANCE")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.25);
-    let fresh_report = load(&fresh_path())?;
-    let baseline_report = load(&baseline_path())?;
+    let fresh_report = load(&fresh_path("matmul.json"))?;
+    let baseline_report = load(&baseline_path("matmul.json"))?;
     let fresh = speedups(&fresh_report)?;
     let baseline = speedups(&baseline_report)?;
 
@@ -163,6 +201,7 @@ fn gate() -> Result<bool, String> {
         ok &= pass;
     }
     ok &= gate_round(&fresh_report, &baseline_report, tolerance);
+    ok &= gate_train_step(tolerance)?;
     Ok(ok)
 }
 
@@ -174,11 +213,13 @@ fn main() -> ExitCode {
         }
         Ok(false) => {
             eprintln!(
-                "bench gate: tiled-kernel throughput regressed >25% vs \
-                 crates/bench/baselines/matmul.json.\n\
-                 If this is an intentional trade-off, refresh the baseline:\n\
+                "bench gate: a gated speedup regressed >25% vs \
+                 crates/bench/baselines/.\n\
+                 If this is an intentional trade-off, refresh the baseline(s):\n\
                  FT_BENCH_QUICK=1 cargo bench -p ft_bench --bench bench_matmul && \
-                 cp bench_results/matmul.json crates/bench/baselines/matmul.json"
+                 cp bench_results/matmul.json crates/bench/baselines/matmul.json\n\
+                 FT_BENCH_QUICK=1 cargo bench -p ft_bench --bench bench_train_step && \
+                 cp bench_results/train_step.json crates/bench/baselines/train_step.json"
             );
             ExitCode::FAILURE
         }

@@ -65,11 +65,42 @@ impl ClientData {
     ///
     /// Panics if the client has no training samples.
     pub fn sample_batch(&self, rng: &mut impl Rng, batch_size: usize) -> (Tensor, Vec<usize>) {
+        let mut x = Tensor::default();
+        let mut labels = Vec::new();
+        self.sample_batch_into(rng, batch_size, &mut x, &mut labels);
+        (x, labels)
+    }
+
+    /// [`ClientData::sample_batch`] into caller-owned buffers: `x` is
+    /// replaced (its old storage returns to the scratch pool) and
+    /// `labels` is refilled in place, so a training loop that passes
+    /// the same buffers every step allocates nothing once warm. The
+    /// RNG draw sequence is identical to [`ClientData::sample_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client has no training samples.
+    pub fn sample_batch_into(
+        &self,
+        rng: &mut impl Rng,
+        batch_size: usize,
+        x: &mut Tensor,
+        labels: &mut Vec<usize>,
+    ) {
         assert!(!self.train_x.is_empty(), "client has no training data");
-        let mut indices: Vec<usize> = (0..self.train_x.len()).collect();
-        indices.shuffle(rng);
-        indices.truncate(batch_size.max(1).min(self.train_x.len()));
-        self.gather_train(&indices)
+        ft_tensor::scratch::with_index_buf(|indices| {
+            indices.extend(0..self.train_x.len());
+            indices.shuffle(rng);
+            indices.truncate(batch_size.max(1).min(self.train_x.len()));
+            let dim = self.train_x[0].len();
+            let mut data = ft_tensor::scratch::take(indices.len() * dim);
+            labels.clear();
+            for (slot, &i) in indices.iter().enumerate() {
+                data[slot * dim..(slot + 1) * dim].copy_from_slice(&self.train_x[i]);
+                labels.push(self.train_y[i]);
+            }
+            *x = Tensor::from_vec(data, &[indices.len(), dim]).expect("dims consistent");
+        });
     }
 
     fn gather_train(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {

@@ -68,6 +68,81 @@ pub struct LocalOutcome {
     pub samples_processed: u64,
 }
 
+/// One client's reusable local-training state: RNG stream, optimizer,
+/// and batch buffers, owned across steps so that the warm steady-state
+/// step performs **zero heap allocations** (pinned by the
+/// `alloc_steady_state` regression test).
+///
+/// [`train_local`] drives this for a full local round; the train-step
+/// benchmark and the allocation regression test drive [`LocalStepper::step`]
+/// directly.
+pub struct LocalStepper<'a> {
+    shard: &'a ClientData,
+    cfg: LocalTrainConfig,
+    rng: rand::rngs::StdRng,
+    sgd: Sgd,
+    prox: Option<ProxSgd>,
+    x: Tensor,
+    labels: Vec<usize>,
+}
+
+impl<'a> LocalStepper<'a> {
+    /// Prepares a stepper for `model` (holding the round-start global
+    /// weights; a FedProx anchor is snapshotted from it when
+    /// `cfg.prox_mu` is set) with the client's derived RNG stream.
+    pub fn new(
+        model: &CellModel,
+        shard: &'a ClientData,
+        cfg: &LocalTrainConfig,
+        seed: u64,
+    ) -> Self {
+        LocalStepper {
+            shard,
+            cfg: *cfg,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            sgd: Sgd::new(cfg.lr).with_momentum(cfg.momentum),
+            prox: cfg
+                .prox_mu
+                .map(|mu| ProxSgd::new(cfg.lr, mu, model.snapshot())),
+            x: Tensor::default(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Runs one SGD step (sample a batch, forward/backward, fused
+    /// in-place parameter update), returning `(loss, accuracy,
+    /// samples_processed)`. Bit-identical to the former
+    /// clone-gradients-and-step implementation: the fused optimizer
+    /// kernels preserve per-element arithmetic order exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model/layer errors (geometry mismatches).
+    pub fn step(&mut self, model: &mut CellModel) -> Result<(f32, f32, u64)> {
+        self.shard.sample_batch_into(
+            &mut self.rng,
+            self.cfg.batch_size,
+            &mut self.x,
+            &mut self.labels,
+        );
+        model.zero_grad();
+        let (loss, acc) = model.loss_and_grad(&self.x, &self.labels)?;
+        match &mut self.prox {
+            Some(p) => {
+                let mut cur = p.begin_step();
+                model.for_each_param_and_grad(&mut |pt, g| cur.apply(pt, g));
+                cur.finish().map_err(ft_model::ModelError::from)?;
+            }
+            None => {
+                let mut cur = self.sgd.begin_step();
+                model.for_each_param_and_grad(&mut |pt, g| cur.apply(pt, g));
+                cur.finish().map_err(ft_model::ModelError::from)?;
+            }
+        }
+        Ok((loss, acc, self.labels.len() as u64))
+    }
+}
+
 /// Runs local training for one client on `model` (which enters holding
 /// the coordinator's weights and leaves holding the local weights).
 ///
@@ -81,34 +156,17 @@ pub fn train_local(
     cfg: &LocalTrainConfig,
     seed: u64,
 ) -> Result<LocalOutcome> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let global = model.snapshot();
-    let mut sgd = Sgd::new(cfg.lr).with_momentum(cfg.momentum);
-    let mut prox = cfg
-        .prox_mu
-        .map(|mu| ProxSgd::new(cfg.lr, mu, global.clone()));
+    let mut stepper = LocalStepper::new(model, shard, cfg, seed);
 
     let mut loss_sum = 0.0f32;
     let mut acc_sum = 0.0f32;
     let mut samples = 0u64;
     for _ in 0..cfg.local_steps {
-        let (x, labels) = shard.sample_batch(&mut rng, cfg.batch_size);
-        samples += labels.len() as u64;
-        model.zero_grad();
-        let (loss, acc) = model.loss_and_grad(&x, &labels)?;
+        let (loss, acc, batch) = stepper.step(model)?;
         loss_sum += loss;
         acc_sum += acc;
-        let grads: Vec<Tensor> = model.grad_tensors().into_iter().cloned().collect();
-        let grad_refs: Vec<&Tensor> = grads.iter().collect();
-        let mut params = model.param_tensors_mut();
-        match &mut prox {
-            Some(p) => p
-                .step(&mut params, &grad_refs)
-                .map_err(ft_model::ModelError::from)?,
-            None => sgd
-                .step(&mut params, &grad_refs)
-                .map_err(ft_model::ModelError::from)?,
-        }
+        samples += batch;
     }
 
     let weights = model.snapshot();

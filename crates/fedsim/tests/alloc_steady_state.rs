@@ -1,0 +1,136 @@
+//! Allocation-count regression gate for the steady-state train step.
+//!
+//! A counting global allocator wraps the system allocator; after a
+//! short warm-up, additional client train steps must perform **zero**
+//! heap allocations: every transient buffer (batch gather, GEMM
+//! outputs and pack panels, activation caches, loss temporaries,
+//! optimizer state) is served by `ft_tensor::scratch`'s per-thread
+//! pools and the layers' retained workspaces.
+//!
+//! Runs as a `harness = false` integration test: the default libtest
+//! harness keeps service threads that allocate at unpredictable
+//! moments, which would charge phantom allocations to the measured
+//! window. With a plain `main` and the worker pool pinned to a single
+//! thread, every allocation in the process is attributable to the
+//! steps being measured.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocator entry point; the payload is forwarded to
+/// the system allocator untouched.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System`; the counter itself never
+// allocates.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// Drives warm steps for one model/config and returns the allocation
+/// count observed across `measured` post-warm-up steps.
+fn allocations_during_warm_steps(
+    model: &mut ft_model::CellModel,
+    shard: &ft_data::ClientData,
+    cfg: &ft_fedsim::trainer::LocalTrainConfig,
+    warmup: usize,
+    measured: usize,
+) -> u64 {
+    let mut stepper = ft_fedsim::trainer::LocalStepper::new(model, shard, cfg, 7);
+    for _ in 0..warmup {
+        stepper.step(model).expect("warm-up step trains");
+    }
+    let before = allocations();
+    for _ in 0..measured {
+        stepper.step(model).expect("measured step trains");
+    }
+    allocations() - before
+}
+
+fn main() {
+    warm_train_step_performs_zero_heap_allocations();
+    println!("alloc_steady_state: ok (warm train steps allocation-free)");
+}
+
+fn warm_train_step_performs_zero_heap_allocations() {
+    // Pin the worker pool to one thread *before* anything touches it:
+    // with workers, their thread-local scratch pools would need their
+    // own warm-up and task assignment is not deterministic enough to
+    // guarantee it within a bounded warm-up.
+    std::env::set_var("FT_TENSOR_THREADS", "1");
+
+    let data = ft_data::DatasetConfig::femnist_like()
+        .with_num_clients(2)
+        .with_mean_samples(40)
+        .generate();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    use rand::SeedableRng;
+
+    // Dense body — the shape every canned scenario's clients train.
+    let mut dense =
+        ft_model::CellModel::dense(&mut rng, data.input_dim(), &[32, 32], data.num_classes());
+    let sgd_cfg = ft_fedsim::trainer::LocalTrainConfig {
+        local_steps: 20,
+        momentum: 0.9,
+        ..Default::default()
+    };
+    let n = allocations_during_warm_steps(&mut dense, data.client(0), &sgd_cfg, 3, 5);
+    assert_eq!(
+        n, 0,
+        "warm dense SGD train step allocated {n} times over 5 steps \
+         (expected 0; run with a heap profiler or bisect recent \
+         hot-path changes to find the offender)"
+    );
+
+    // FedProx path: the fused proximal cursor must be equally clean.
+    let prox_cfg = ft_fedsim::trainer::LocalTrainConfig {
+        local_steps: 20,
+        prox_mu: Some(0.1),
+        ..Default::default()
+    };
+    let n = allocations_during_warm_steps(&mut dense, data.client(1), &prox_cfg, 3, 5);
+    assert_eq!(
+        n, 0,
+        "warm FedProx train step allocated {n} times over 5 steps (expected 0)"
+    );
+
+    // Conv body — im2col forward/backward through scratch workspaces
+    // (the `large-population` scenario's workload shape).
+    let conv_data = ft_data::DatasetConfig::openimage_like()
+        .with_num_clients(1)
+        .with_mean_samples(30)
+        .generate();
+    let mut conv =
+        ft_model::CellModel::conv(&mut rng, 1, 8, 8, &[4, 4], 3, conv_data.num_classes());
+    let n = allocations_during_warm_steps(&mut conv, conv_data.client(0), &sgd_cfg, 3, 5);
+    assert_eq!(
+        n, 0,
+        "warm conv train step allocated {n} times over 5 steps (expected 0)"
+    );
+}

@@ -268,6 +268,17 @@ impl Cell {
         }
     }
 
+    /// Visits `(mutable parameter, gradient)` pairs in layer order —
+    /// same sequence as [`Cell::param_tensors_mut`] zipped with
+    /// [`Cell::grad_tensors`], without materializing either vector.
+    pub fn for_each_param_and_grad(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        match self {
+            Cell::Dense { linear, .. } => linear.for_each_param_and_grad(f),
+            Cell::Conv { conv, .. } => conv.for_each_param_and_grad(f),
+            Cell::Attention { block, .. } => block.for_each_param_and_grad(f),
+        }
+    }
+
     /// Immutable references to every gradient tensor in layer order.
     pub fn grad_tensors(&self) -> Vec<&Tensor> {
         match self {

@@ -100,14 +100,15 @@ impl Head {
                         ),
                     });
                 }
-                let mut pooled = Vec::with_capacity(batch * d);
+                // Scratch-pooled; every slot is written exactly once.
+                let mut pooled = ft_tensor::scratch::take(batch * d);
                 for s in 0..batch {
                     for j in 0..d {
                         let mut acc = 0.0f32;
                         for tok in 0..t {
                             acc += x.data()[s * t * d + tok * d + j];
                         }
-                        pooled.push(acc / t as f32);
+                        pooled[s * d + j] = acc / t as f32;
                     }
                 }
                 *cached_batch = Some(batch);
@@ -144,11 +145,12 @@ impl Head {
                 let t = *tokens;
                 let d = *d_model;
                 let inv = 1.0 / t as f32;
-                let mut dx = Vec::with_capacity(batch * t * d);
+                // Scratch-pooled; every slot is written exactly once.
+                let mut dx = ft_tensor::scratch::take(batch * t * d);
                 for s in 0..batch {
-                    for _tok in 0..t {
+                    for tok in 0..t {
                         for j in 0..d {
-                            dx.push(dpool.data()[s * d + j] * inv);
+                            dx[(s * t + tok) * d + j] = dpool.data()[s * d + j] * inv;
                         }
                     }
                 }
@@ -160,6 +162,11 @@ impl Head {
     /// Clears accumulated gradients.
     pub fn zero_grad(&mut self) {
         self.linear_mut().zero_grad();
+    }
+
+    /// Visits `(mutable parameter, gradient)` pairs in layer order.
+    pub fn for_each_param_and_grad(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        self.linear_mut().for_each_param_and_grad(f);
     }
 
     /// Number of trainable parameters.

@@ -310,6 +310,19 @@ impl CellModel {
         out
     }
 
+    /// Visits `(mutable parameter, gradient)` pairs body-first — the
+    /// same stable sequence as [`CellModel::param_tensors_mut`] zipped
+    /// with [`CellModel::grad_tensors`], but with no reference vectors
+    /// and no gradient clones. Optimizer step cursors
+    /// (`ft_nn::Sgd::begin_step`) consume this stream directly, which
+    /// is what makes the warm train step allocation-free.
+    pub fn for_each_param_and_grad(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        for cell in &mut self.cells {
+            cell.for_each_param_and_grad(f);
+        }
+        self.head.for_each_param_and_grad(f);
+    }
+
     /// Immutable references to every gradient tensor, body-first.
     pub fn grad_tensors(&self) -> Vec<&Tensor> {
         let mut out: Vec<&Tensor> = Vec::new();

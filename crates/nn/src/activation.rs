@@ -1,6 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use ft_tensor::Tensor;
+use ft_tensor::{scratch, Tensor};
 
 use crate::{NnError, Result};
 
@@ -9,24 +9,33 @@ use crate::{NnError, Result};
 /// All FedTrans cells use ReLU; its non-negativity is what makes the
 /// identity-initialized deepen transformation function-preserving
 /// (`relu(I · relu(x)) = relu(x)`).
+///
+/// The mask buffer is owned by the layer and refilled in place every
+/// forward pass, so the steady-state train step performs no mask
+/// allocation after the first step.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Relu {
     #[serde(skip)]
-    mask: Option<Vec<bool>>,
+    mask: Vec<bool>,
+    #[serde(skip)]
+    mask_valid: bool,
 }
 
 impl Relu {
     /// Creates a new ReLU layer.
     pub fn new() -> Self {
-        Relu { mask: None }
+        Relu {
+            mask: Vec::new(),
+            mask_valid: false,
+        }
     }
 
     /// Applies `max(0, x)` element-wise and caches the activation mask.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
-        let y = x.map(|v| if v > 0.0 { v } else { 0.0 });
-        self.mask = Some(mask);
-        y
+        self.mask.clear();
+        self.mask.extend(x.data().iter().map(|&v| v > 0.0));
+        self.mask_valid = true;
+        x.map(|v| if v > 0.0 { v } else { 0.0 })
     }
 
     /// Routes gradients through the cached mask.
@@ -37,22 +46,21 @@ impl Relu {
     /// [`Relu::forward`], or [`NnError::BadInput`] if `dy` has a different
     /// element count than the cached input.
     pub fn backward(&mut self, dy: &Tensor) -> Result<Tensor> {
-        let mask = self
-            .mask
-            .take()
-            .ok_or(NnError::MissingForwardCache { layer: "Relu" })?;
-        if mask.len() != dy.len() {
+        if !self.mask_valid {
+            return Err(NnError::MissingForwardCache { layer: "Relu" });
+        }
+        if self.mask.len() != dy.len() {
             return Err(NnError::BadInput {
                 layer: "Relu",
-                detail: format!("mask len {} vs grad len {}", mask.len(), dy.len()),
+                detail: format!("mask len {} vs grad len {}", self.mask.len(), dy.len()),
             });
         }
-        let data: Vec<f32> = dy
-            .data()
-            .iter()
-            .zip(&mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        self.mask_valid = false;
+        // Every slot is written exactly once, so unzeroed scratch is safe.
+        let mut data = scratch::take(dy.len());
+        for ((o, &g), &m) in data.iter_mut().zip(dy.data()).zip(&self.mask) {
+            *o = if m { g } else { 0.0 };
+        }
         Ok(Tensor::from_vec(data, dy.shape().dims())?)
     }
 }
@@ -82,6 +90,10 @@ mod tests {
     fn backward_without_forward_errors() {
         let mut r = Relu::new();
         assert!(r.backward(&Tensor::zeros(&[2])).is_err());
+        // A consumed mask cannot be reused either.
+        r.forward(&Tensor::ones(&[2]));
+        r.backward(&Tensor::ones(&[2])).unwrap();
+        assert!(r.backward(&Tensor::ones(&[2])).is_err());
     }
 
     #[test]
@@ -91,5 +103,15 @@ mod tests {
         let once = r.forward(&x);
         let twice = r.forward(&once);
         assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn mask_buffer_is_reused_across_steps() {
+        let mut r = Relu::new();
+        r.forward(&Tensor::ones(&[64]));
+        r.backward(&Tensor::ones(&[64])).unwrap();
+        let cap = r.mask.capacity();
+        r.forward(&Tensor::ones(&[64]));
+        assert_eq!(r.mask.capacity(), cap, "mask must refill in place");
     }
 }

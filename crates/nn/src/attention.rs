@@ -1,6 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use ft_tensor::{xavier_uniform, Tensor};
+use ft_tensor::{scratch, xavier_uniform, Tensor};
 
 use crate::{softmax, NnError, Result};
 
@@ -36,12 +36,18 @@ pub struct AttentionBlock {
     grads: Vec<Tensor>,
     #[serde(skip)]
     cache: Option<Box<BatchCache>>,
+    /// The cache box last consumed by `backward`, kept so the next
+    /// `forward` can refill it instead of allocating a fresh one —
+    /// the steady-state train step reuses one `BatchCache` (and its
+    /// `attn` vector's capacity) for the life of the block.
+    #[serde(skip)]
+    spare: Option<Box<BatchCache>>,
 }
 
 /// Whole-batch activations kept for the backward pass. Matrices are
 /// `[batch·tokens, d_model]` (or `d_ff` for `z`/`m`); `attn` holds the
 /// per-sample `[tokens, tokens]` softmax outputs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct BatchCache {
     batch: usize,
     x: Tensor,
@@ -105,6 +111,7 @@ impl AttentionBlock {
             w2,
             grads,
             cache: None,
+            spare: None,
         }
     }
 
@@ -145,6 +152,18 @@ impl AttentionBlock {
         &self.grads
     }
 
+    /// Visits `(mutable parameter, gradient)` pairs in weight order —
+    /// the streaming form optimizer cursors consume without building
+    /// reference vectors or cloning gradients.
+    pub fn for_each_param_and_grad(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        f(&mut self.wq, &self.grads[0]);
+        f(&mut self.wk, &self.grads[1]);
+        f(&mut self.wv, &self.grads[2]);
+        f(&mut self.wo, &self.grads[3]);
+        f(&mut self.w1, &self.grads[4]);
+        f(&mut self.w2, &self.grads[5]);
+    }
+
     /// Replaces the MLP weights after a widen operation.
     ///
     /// # Panics
@@ -162,10 +181,11 @@ impl AttentionBlock {
         self.cache = None;
     }
 
-    /// Clears accumulated gradients.
+    /// Clears accumulated gradients in place (no reallocation — part
+    /// of the zero-allocation steady-state train step).
     pub fn zero_grad(&mut self) {
         for g in &mut self.grads {
-            *g = Tensor::zeros(g.shape().dims());
+            g.data_mut().fill(0.0);
         }
     }
 
@@ -200,10 +220,14 @@ impl AttentionBlock {
         let q = xb.matmul(&self.wq)?;
         let k = xb.matmul(&self.wk)?;
         let v = xb.matmul(&self.wv)?;
+        // Refill the cache box consumed by the previous backward pass
+        // instead of allocating a new one each step.
+        let mut cache = self.spare.take().unwrap_or_default();
+        cache.attn.clear();
         // Attention is block-diagonal across samples: softmax and the
-        // A·V product stay per-sample.
-        let mut cbig = Vec::with_capacity(batch * t * d);
-        let mut attn = Vec::with_capacity(batch);
+        // A·V product stay per-sample. The stacked context matrix is a
+        // scratch checkout, fully written sample by sample.
+        let mut cbig = scratch::take(batch * t * d);
         for s in 0..batch {
             let qs = q.slice_rows(s * t, (s + 1) * t)?;
             let ks = k.slice_rows(s * t, (s + 1) * t)?;
@@ -211,8 +235,8 @@ impl AttentionBlock {
             let scores = qs.matmul_t(&ks)?.scale(scale);
             let a = softmax(&scores)?;
             let cs = a.matmul(&vs)?;
-            cbig.extend_from_slice(cs.data());
-            attn.push(a);
+            cbig[s * t * d..(s + 1) * t * d].copy_from_slice(cs.data());
+            cache.attn.push(a);
         }
         let c = Tensor::from_vec(cbig, &[batch * t, d])?;
         let h = xb.add(&c.matmul(&self.wo)?)?;
@@ -220,18 +244,16 @@ impl AttentionBlock {
         let m = z.map(|zv| zv.max(0.0));
         let y = h.add(&m.matmul(&self.w2)?)?;
         let out = y.reshaped(&[batch, self.sample_dim()])?;
-        self.cache = Some(Box::new(BatchCache {
-            batch,
-            x: xb,
-            q,
-            k,
-            v,
-            attn,
-            c,
-            h,
-            z,
-            m,
-        }));
+        cache.batch = batch;
+        cache.x = xb;
+        cache.q = q;
+        cache.k = k;
+        cache.v = v;
+        cache.c = c;
+        cache.h = h;
+        cache.z = z;
+        cache.m = m;
+        self.cache = Some(cache);
         Ok(out)
     }
 
@@ -256,14 +278,14 @@ impl AttentionBlock {
         let scale = 1.0 / (self.d_model as f32).sqrt();
         let (t, d) = (self.tokens, self.d_model);
         let dyb = dy.reshaped(&[batch * t, d])?;
-        // MLP branch: Y = H + relu(H W1) W2 — whole-batch GEMMs.
+        // MLP branch: Y = H + relu(H W1) W2 — whole-batch GEMMs. The
+        // ReLU mask application writes every slot of its scratch
+        // checkout exactly once.
         let dm = dyb.matmul_t(&self.w2)?;
-        let dz_data: Vec<f32> = dm
-            .data()
-            .iter()
-            .zip(cache.z.data())
-            .map(|(&g, &z)| if z > 0.0 { g } else { 0.0 })
-            .collect();
+        let mut dz_data = scratch::take(dm.len());
+        for ((o, &g), &z) in dz_data.iter_mut().zip(dm.data()).zip(cache.z.data()) {
+            *o = if z > 0.0 { g } else { 0.0 };
+        }
         let dz = Tensor::from_vec(dz_data, dm.shape().dims())?;
         self.grads[5].axpy(1.0, &cache.m.t_matmul(&dyb)?)?;
         self.grads[4].axpy(1.0, &cache.h.t_matmul(&dz)?)?;
@@ -272,10 +294,11 @@ impl AttentionBlock {
         let dc = dh.matmul_t(&self.wo)?;
         self.grads[3].axpy(1.0, &cache.c.t_matmul(&dh)?)?;
         // Softmax backward is per-sample (A is block-diagonal); the
-        // resulting dQ/dK/dV stack back into whole-batch matrices.
-        let mut dqb = Vec::with_capacity(batch * t * d);
-        let mut dkb = Vec::with_capacity(batch * t * d);
-        let mut dvb = Vec::with_capacity(batch * t * d);
+        // resulting dQ/dK/dV stack back into whole-batch matrices
+        // (scratch checkouts, each sample slice written exactly once).
+        let mut dqb = scratch::take(batch * t * d);
+        let mut dkb = scratch::take(batch * t * d);
+        let mut dvb = scratch::take(batch * t * d);
         for (s, a) in cache.attn.iter().enumerate() {
             let dcs = dc.slice_rows(s * t, (s + 1) * t)?;
             let qs = cache.q.slice_rows(s * t, (s + 1) * t)?;
@@ -293,9 +316,9 @@ impl AttentionBlock {
                 }
             }
             ds.scale_mut(scale);
-            dqb.extend_from_slice(ds.matmul(&ks)?.data());
-            dkb.extend_from_slice(ds.t_matmul(&qs)?.data());
-            dvb.extend_from_slice(dv.data());
+            dqb[s * t * d..(s + 1) * t * d].copy_from_slice(ds.matmul(&ks)?.data());
+            dkb[s * t * d..(s + 1) * t * d].copy_from_slice(ds.t_matmul(&qs)?.data());
+            dvb[s * t * d..(s + 1) * t * d].copy_from_slice(dv.data());
         }
         let dq = Tensor::from_vec(dqb, &[batch * t, d])?;
         let dk = Tensor::from_vec(dkb, &[batch * t, d])?;
@@ -307,6 +330,8 @@ impl AttentionBlock {
         dx.axpy(1.0, &dq.matmul_t(&self.wq)?)?;
         dx.axpy(1.0, &dk.matmul_t(&self.wk)?)?;
         dx.axpy(1.0, &dv.matmul_t(&self.wv)?)?;
+        // Keep the consumed cache for the next forward to refill.
+        self.spare = Some(cache);
         Ok(dx.reshaped(&[batch, self.sample_dim()])?)
     }
 

@@ -177,6 +177,14 @@ impl Conv2d {
         (&mut self.weight, &mut self.bias)
     }
 
+    /// Visits `(mutable parameter, gradient)` pairs in layer order —
+    /// the streaming form optimizer cursors consume without building
+    /// reference vectors or cloning gradients.
+    pub fn for_each_param_and_grad(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        f(&mut self.weight, &self.grad_weight);
+        f(&mut self.bias, &self.grad_bias);
+    }
+
     /// Replaces parameters and geometry, resetting gradients.
     pub fn set_params(&mut self, weight: Tensor, bias: Tensor, in_channels: usize) {
         let out_channels = weight.shape().dims()[0];
@@ -193,10 +201,11 @@ impl Conv2d {
         self.cache_cols = None;
     }
 
-    /// Clears accumulated gradients.
+    /// Clears accumulated gradients in place (no reallocation — part
+    /// of the zero-allocation steady-state train step).
     pub fn zero_grad(&mut self) {
-        self.grad_weight = Tensor::zeros(self.weight.shape().dims());
-        self.grad_bias = Tensor::zeros(self.bias.shape().dims());
+        self.grad_weight.data_mut().fill(0.0);
+        self.grad_bias.data_mut().fill(0.0);
     }
 
     fn expected_input_len(&self) -> usize {
@@ -289,7 +298,11 @@ impl Conv2d {
         let hw = self.height * self.width;
         let patch_rows = self.in_channels * self.kernel * self.kernel;
         let ld = batch * hw;
-        let mut cols = vec![0.0f32; patch_rows * ld];
+        // The im2col workspace and the output come from the scratch
+        // pool: steady-state conv forwards allocate nothing. The patch
+        // matrix must start zeroed (the same-padding border is never
+        // written); the output is fully overwritten below.
+        let mut cols = ft_tensor::scratch::take_zeroed(patch_rows * ld);
         for s in 0..batch {
             let sample =
                 &x.data()[s * self.expected_input_len()..(s + 1) * self.expected_input_len()];
@@ -298,11 +311,14 @@ impl Conv2d {
         let cols = Tensor::from_vec(cols, &[patch_rows, ld])?;
         let y = self.weight.matmul(&cols)?; // [out_c, batch*hw]
         let b = self.bias.data();
-        let mut out = Vec::with_capacity(batch * self.out_channels * hw);
+        let mut out = ft_tensor::scratch::take(batch * self.out_channels * hw);
         for s in 0..batch {
             for oc in 0..self.out_channels {
                 let row = &y.data()[oc * ld + s * hw..oc * ld + (s + 1) * hw];
-                out.extend(row.iter().map(|v| v + b[oc]));
+                let dst = &mut out[(s * self.out_channels + oc) * hw..][..hw];
+                for (o, &v) in dst.iter_mut().zip(row) {
+                    *o = v + b[oc];
+                }
             }
         }
         self.cache_cols = Some(cols);
@@ -338,7 +354,8 @@ impl Conv2d {
             });
         }
         // Regather dy from [batch, out_c*hw] to [out_c, batch*hw].
-        let mut dyb = vec![0.0f32; self.out_channels * ld];
+        // Scratch-pooled; every slot is written by the copy loops.
+        let mut dyb = ft_tensor::scratch::take(self.out_channels * ld);
         for s in 0..batch {
             for oc in 0..self.out_channels {
                 let src = &dy.data()[s * self.out_channels * hw + oc * hw..][..hw];
@@ -353,7 +370,8 @@ impl Conv2d {
             self.grad_bias.data_mut()[oc] += sum;
         }
         let dcols = self.weight.t_matmul(&dyb)?; // [c*k*k, batch*hw]
-        let mut dx = vec![0.0f32; batch * self.expected_input_len()];
+                                                 // col2im accumulates, so this buffer must start zeroed.
+        let mut dx = ft_tensor::scratch::take_zeroed(batch * self.expected_input_len());
         let per_sample = self.expected_input_len();
         for (s, sample) in dx.chunks_mut(per_sample).enumerate() {
             self.col2im_from(dcols.data(), s * hw, ld, sample);

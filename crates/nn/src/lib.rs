@@ -42,7 +42,7 @@ pub use conv::Conv2d;
 pub use error::NnError;
 pub use linear::Linear;
 pub use loss::{accuracy, softmax, softmax_cross_entropy};
-pub use optim::{ProxSgd, Sgd, Yogi};
+pub use optim::{ProxSgd, ProxStep, Sgd, SgdStep, Yogi};
 pub use pool::GlobalAvgPool;
 
 /// Convenience alias for results produced by NN operations.

@@ -101,6 +101,14 @@ impl Linear {
         (&mut self.weight, &mut self.bias)
     }
 
+    /// Visits `(mutable parameter, gradient)` pairs in layer order —
+    /// the streaming form optimizer cursors consume without building
+    /// reference vectors or cloning gradients.
+    pub fn for_each_param_and_grad(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        f(&mut self.weight, &self.grad_weight);
+        f(&mut self.bias, &self.grad_bias);
+    }
+
     /// Replaces both parameter tensors, resetting gradients.
     pub fn set_params(&mut self, weight: Tensor, bias: Tensor) {
         self.grad_weight = Tensor::zeros(weight.shape().dims());
@@ -110,10 +118,11 @@ impl Linear {
         self.cache_input = None;
     }
 
-    /// Clears accumulated gradients.
+    /// Clears accumulated gradients in place (no reallocation — part
+    /// of the zero-allocation steady-state train step).
     pub fn zero_grad(&mut self) {
-        self.grad_weight = Tensor::zeros(self.weight.shape().dims());
-        self.grad_bias = Tensor::zeros(self.bias.shape().dims());
+        self.grad_weight.data_mut().fill(0.0);
+        self.grad_bias.data_mut().fill(0.0);
     }
 
     /// Forward pass over a `[batch, in]` matrix.

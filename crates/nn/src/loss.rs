@@ -1,10 +1,19 @@
 //! Softmax cross-entropy loss and classification accuracy.
+//!
+//! The loss path is part of the steady-state train step, so it works
+//! entirely in scratch-pooled buffers: no per-row temporaries, no
+//! materialized prediction vector for accuracy.
 
-use ft_tensor::Tensor;
+use ft_tensor::{scratch, Tensor};
 
 use crate::{NnError, Result};
 
 /// Row-wise softmax with the usual max-subtraction for stability.
+///
+/// The exponentials are written straight into the output buffer and
+/// normalized in place — same values, same summation order as the
+/// former collect-then-divide implementation, without the per-row
+/// temporary vector.
 ///
 /// # Errors
 ///
@@ -12,13 +21,19 @@ use crate::{NnError, Result};
 pub fn softmax(logits: &Tensor) -> Result<Tensor> {
     let rows = logits.rows()?;
     let cols = logits.cols()?;
-    let mut out = Vec::with_capacity(rows * cols);
+    // Every slot is written before being read, so unzeroed scratch is safe.
+    let mut out = scratch::take(rows * cols);
     for r in 0..rows {
         let row = &logits.data()[r * cols..(r + 1) * cols];
+        let orow = &mut out[r * cols..(r + 1) * cols];
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = row.iter().map(|&v| (v - m).exp()).collect();
-        let sum: f32 = exps.iter().sum();
-        out.extend(exps.into_iter().map(|e| e / sum));
+        for (o, &v) in orow.iter_mut().zip(row) {
+            *o = (v - m).exp();
+        }
+        let sum: f32 = orow.iter().sum();
+        for o in orow.iter_mut() {
+            *o /= sum;
+        }
     }
     Ok(Tensor::from_vec(out, &[rows, cols])?)
 }
@@ -64,6 +79,9 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, 
 
 /// Fraction of rows whose argmax matches the label.
 ///
+/// Allocation-free: compares row argmaxes against labels on the fly
+/// instead of materializing a prediction vector.
+///
 /// # Errors
 ///
 /// Returns [`NnError::LabelMismatch`] when the label count differs from
@@ -76,12 +94,7 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
             labels: labels.len(),
         });
     }
-    if rows == 0 {
-        return Ok(0.0);
-    }
-    let preds = logits.argmax_rows()?;
-    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
-    Ok(correct as f32 / rows as f32)
+    Ok(logits.argmax_accuracy(labels)?)
 }
 
 #[cfg(test)]

@@ -3,10 +3,19 @@
 //! Clients run plain [`Sgd`] (optionally wrapped by [`ProxSgd`] to
 //! reproduce the FedProx experiments of Fig. 8); the server-side adaptive
 //! [`Yogi`] optimizer reproduces the FedYogi arm.
+//!
+//! All three optimizers apply their updates through the fused one-pass
+//! kernels in [`ft_tensor::fused`]: one zipped traversal per tensor,
+//! no per-element bounds checks, no materialized intermediate
+//! gradients. The slice-based `step` APIs are unchanged; the
+//! [`Sgd::begin_step`] / [`ProxSgd::begin_step`] cursors additionally
+//! let callers stream `(parameter, gradient)` pairs straight off a
+//! model without collecting reference vectors — the allocation-free
+//! path the client trainer uses.
 
 use serde::{Deserialize, Serialize};
 
-use ft_tensor::Tensor;
+use ft_tensor::{fused, Tensor};
 
 use crate::{NnError, Result};
 
@@ -55,6 +64,24 @@ impl Sgd {
         self.lr = lr;
     }
 
+    /// Begins one optimization step applied pair-by-pair.
+    ///
+    /// The returned cursor consumes `(parameter, gradient)` pairs in
+    /// the model's stable tensor order via [`SgdStep::apply`]; call
+    /// [`SgdStep::finish`] to validate that every velocity slot was
+    /// visited. This streaming form needs no slice of references and
+    /// no gradient clones, which is what keeps the warm train step
+    /// allocation-free.
+    pub fn begin_step(&mut self) -> SgdStep<'_> {
+        SgdStep {
+            lr: self.lr,
+            momentum: self.momentum,
+            weight_decay: self.weight_decay,
+            velocity: &mut self.velocity,
+            idx: 0,
+        }
+    }
+
     /// Applies one update: `p -= lr * (g + wd * p)` with momentum.
     ///
     /// `params` and `grads` must be parallel slices.
@@ -70,29 +97,97 @@ impl Sgd {
                 actual: grads.len(),
             });
         }
-        if self.velocity.is_empty() {
-            self.velocity = params
-                .iter()
-                .map(|p| Tensor::zeros(p.shape().dims()))
-                .collect();
-        }
-        if self.velocity.len() != params.len() {
+        if !self.velocity.is_empty() && self.velocity.len() != params.len() {
             return Err(NnError::OptimizerStateMismatch {
                 expected: self.velocity.len(),
                 actual: params.len(),
             });
         }
-        for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
-            if v.shape() != p.shape() {
-                // Model surgery resized this tensor; restart its momentum.
-                *v = Tensor::zeros(p.shape().dims());
-            }
-            for i in 0..p.len() {
-                let grad = g.data()[i] + self.weight_decay * p.data()[i];
-                let vel = self.momentum * v.data()[i] + grad;
-                v.data_mut()[i] = vel;
-                p.data_mut()[i] -= self.lr * vel;
-            }
+        let mut step = self.begin_step();
+        for (p, g) in params.iter_mut().zip(grads) {
+            step.apply(p, g);
+        }
+        step.finish()
+    }
+}
+
+/// An in-flight [`Sgd`] step; see [`Sgd::begin_step`].
+pub struct SgdStep<'a> {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: &'a mut Vec<Tensor>,
+    idx: usize,
+}
+
+impl SgdStep<'_> {
+    /// Applies the fused momentum update to the next parameter in the
+    /// sequence. A missing velocity slot is created lazily; a
+    /// shape-mismatched one (model surgery resized the tensor) is
+    /// restarted at zero, exactly as the slice API always did.
+    pub fn apply(&mut self, p: &mut Tensor, g: &Tensor) {
+        if self.velocity.len() == self.idx {
+            self.velocity.push(Tensor::zeros(p.shape().dims()));
+        }
+        let v = &mut self.velocity[self.idx];
+        if v.shape() != p.shape() {
+            // Model surgery resized this tensor; restart its momentum.
+            *v = Tensor::zeros(p.shape().dims());
+        }
+        fused::sgd_momentum_update(
+            p.data_mut(),
+            v.data_mut(),
+            g.data(),
+            self.lr,
+            self.momentum,
+            self.weight_decay,
+        );
+        self.idx += 1;
+    }
+
+    /// Fused FedProx variant: folds `g + mu * (p - anchor)` into the
+    /// same single pass. Behaviorally identical to adjusting the
+    /// gradient out of place and then applying [`SgdStep::apply`].
+    pub fn apply_prox(&mut self, p: &mut Tensor, g: &Tensor, anchor: &Tensor, mu: f32) {
+        if anchor.shape() != p.shape() {
+            // Anchor from before a resize: the proximal term is
+            // undefined, fall back to plain SGD (legacy behavior).
+            self.apply(p, g);
+            return;
+        }
+        if self.velocity.len() == self.idx {
+            self.velocity.push(Tensor::zeros(p.shape().dims()));
+        }
+        let v = &mut self.velocity[self.idx];
+        if v.shape() != p.shape() {
+            *v = Tensor::zeros(p.shape().dims());
+        }
+        fused::prox_sgd_momentum_update(
+            p.data_mut(),
+            v.data_mut(),
+            g.data(),
+            anchor.data(),
+            mu,
+            self.lr,
+            self.momentum,
+            self.weight_decay,
+        );
+        self.idx += 1;
+    }
+
+    /// Ends the step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::OptimizerStateMismatch`] when fewer pairs
+    /// were applied than the optimizer holds velocity buffers for —
+    /// the stale-state condition the slice API rejects up front.
+    pub fn finish(self) -> Result<()> {
+        if self.idx != self.velocity.len() {
+            return Err(NnError::OptimizerStateMismatch {
+                expected: self.velocity.len(),
+                actual: self.idx,
+            });
         }
         Ok(())
     }
@@ -123,6 +218,18 @@ impl ProxSgd {
         self.mu
     }
 
+    /// Begins one streaming proximal step; pairs must arrive in the
+    /// same stable order as the anchor snapshot. [`ProxStep::finish`]
+    /// validates the pair count against the anchor.
+    pub fn begin_step(&mut self) -> ProxStep<'_> {
+        ProxStep {
+            inner: self.inner.begin_step(),
+            anchor: &self.anchor,
+            mu: self.mu,
+            idx: 0,
+        }
+    }
+
     /// Applies one proximal step.
     ///
     /// # Errors
@@ -136,19 +243,56 @@ impl ProxSgd {
                 actual: params.len(),
             });
         }
-        // Materialize proximal-adjusted gradients, then delegate.
-        let mut adjusted: Vec<Tensor> = Vec::with_capacity(grads.len());
-        for ((g, p), a) in grads.iter().zip(params.iter()).zip(&self.anchor) {
-            let mut t = (*g).clone();
-            if a.shape() == p.shape() {
-                for i in 0..t.len() {
-                    t.data_mut()[i] += self.mu * (p.data()[i] - a.data()[i]);
-                }
-            }
-            adjusted.push(t);
+        if params.len() != grads.len() {
+            return Err(NnError::OptimizerStateMismatch {
+                expected: params.len(),
+                actual: grads.len(),
+            });
         }
-        let refs: Vec<&Tensor> = adjusted.iter().collect();
-        self.inner.step(params, &refs)
+        let mut step = self.begin_step();
+        for (p, g) in params.iter_mut().zip(grads) {
+            step.apply(p, g);
+        }
+        step.finish()
+    }
+}
+
+/// An in-flight [`ProxSgd`] step; see [`ProxSgd::begin_step`].
+pub struct ProxStep<'a> {
+    inner: SgdStep<'a>,
+    anchor: &'a [Tensor],
+    mu: f32,
+    idx: usize,
+}
+
+impl ProxStep<'_> {
+    /// Applies the fused proximal update to the next parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more pairs arrive than the anchor holds (the
+    /// caller's parameter walk disagrees with the round-start
+    /// snapshot, which the slice API rejects up front).
+    pub fn apply(&mut self, p: &mut Tensor, g: &Tensor) {
+        let anchor = &self.anchor[self.idx];
+        self.inner.apply_prox(p, g, anchor, self.mu);
+        self.idx += 1;
+    }
+
+    /// Ends the step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::OptimizerStateMismatch`] when the pair count
+    /// differs from the anchor length.
+    pub fn finish(self) -> Result<()> {
+        if self.idx != self.anchor.len() {
+            return Err(NnError::OptimizerStateMismatch {
+                expected: self.anchor.len(),
+                actual: self.idx,
+            });
+        }
+        self.inner.finish()
     }
 }
 
@@ -216,15 +360,16 @@ impl Yogi {
                 *m = Tensor::zeros(p.shape().dims());
                 *v = Tensor::zeros(p.shape().dims());
             }
-            for i in 0..p.len() {
-                let g = d.data()[i];
-                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * g;
-                let g2 = g * g;
-                let vi = v.data()[i] - (1.0 - self.beta2) * g2 * (v.data()[i] - g2).signum();
-                m.data_mut()[i] = mi;
-                v.data_mut()[i] = vi;
-                p.data_mut()[i] += self.lr * mi / (vi.sqrt() + self.eps);
-            }
+            fused::yogi_update(
+                p.data_mut(),
+                m.data_mut(),
+                v.data_mut(),
+                d.data(),
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+            );
         }
         Ok(())
     }
@@ -297,5 +442,57 @@ mod tests {
         let g2 = Tensor::ones(&[4]);
         opt.step(&mut [&mut p2], &[&g2]).unwrap();
         assert!(p2.data().iter().all(|&x| x < 0.0));
+    }
+
+    #[test]
+    fn cursor_step_matches_slice_step() {
+        // The streaming cursor and the slice API must produce
+        // bit-identical trajectories.
+        let g1 = Tensor::from_vec(vec![0.5, -0.25], &[2]).unwrap();
+        let g2 = Tensor::from_vec(vec![1.5], &[1]).unwrap();
+        let mut pa1 = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let mut pa2 = Tensor::from_vec(vec![-3.0], &[1]).unwrap();
+        let mut pb1 = pa1.clone();
+        let mut pb2 = pa2.clone();
+        let mut oa = Sgd::new(0.1).with_momentum(0.9).with_weight_decay(0.01);
+        let mut ob = oa.clone();
+        for _ in 0..4 {
+            oa.step(&mut [&mut pa1, &mut pa2], &[&g1, &g2]).unwrap();
+            let mut cur = ob.begin_step();
+            cur.apply(&mut pb1, &g1);
+            cur.apply(&mut pb2, &g2);
+            cur.finish().unwrap();
+        }
+        assert_eq!(pa1, pb1);
+        assert_eq!(pa2, pb2);
+    }
+
+    #[test]
+    fn cursor_finish_rejects_short_walks() {
+        let g = Tensor::ones(&[2]);
+        let mut p1 = Tensor::zeros(&[2]);
+        let mut p2 = Tensor::zeros(&[2]);
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut [&mut p1, &mut p2], &[&g, &g]).unwrap();
+        let mut cur = opt.begin_step();
+        cur.apply(&mut p1, &g);
+        assert!(cur.finish().is_err(), "one of two velocity slots unused");
+    }
+
+    #[test]
+    fn prox_cursor_matches_slice_step() {
+        let anchor = vec![Tensor::from_vec(vec![0.5, 0.5], &[2]).unwrap()];
+        let g = Tensor::from_vec(vec![0.1, -0.2], &[2]).unwrap();
+        let mut pa = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        let mut pb = pa.clone();
+        let mut oa = ProxSgd::new(0.05, 0.7, anchor.clone());
+        let mut ob = ProxSgd::new(0.05, 0.7, anchor);
+        for _ in 0..3 {
+            oa.step(&mut [&mut pa], &[&g]).unwrap();
+            let mut cur = ob.begin_step();
+            cur.apply(&mut pb, &g);
+            cur.finish().unwrap();
+        }
+        assert_eq!(pa, pb);
     }
 }

@@ -57,12 +57,13 @@ impl GlobalAvgPool {
                 ),
             });
         }
-        let mut out = Vec::with_capacity(batch * self.channels);
+        // Scratch-pooled; every slot is written exactly once.
+        let mut out = ft_tensor::scratch::take(batch * self.channels);
         for s in 0..batch {
             for c in 0..self.channels {
                 let start = s * self.channels * self.spatial + c * self.spatial;
                 let sum: f32 = x.data()[start..start + self.spatial].iter().sum();
-                out.push(sum / self.spatial as f32);
+                out[s * self.channels + c] = sum / self.spatial as f32;
             }
         }
         self.cached_batch = Some(batch);
@@ -82,12 +83,14 @@ impl GlobalAvgPool {
             .ok_or(NnError::MissingForwardCache {
                 layer: "GlobalAvgPool",
             })?;
-        let mut out = Vec::with_capacity(batch * self.channels * self.spatial);
+        // Scratch-pooled; every plane segment is filled below.
+        let mut out = ft_tensor::scratch::take(batch * self.channels * self.spatial);
         let inv = 1.0 / self.spatial as f32;
         for s in 0..batch {
             for c in 0..self.channels {
                 let g = dy.data()[s * self.channels + c] * inv;
-                out.extend(std::iter::repeat_n(g, self.spatial));
+                let start = (s * self.channels + c) * self.spatial;
+                out[start..start + self.spatial].fill(g);
             }
         }
         Ok(Tensor::from_vec(

@@ -19,16 +19,18 @@
 //! ```
 
 mod error;
+pub mod fused;
 mod init;
 mod matmul;
 mod ops;
 pub mod pool;
+pub mod scratch;
 mod shape;
 mod tensor;
 
 pub use error::TensorError;
 pub use init::{he_normal, uniform, xavier_uniform};
-pub use shape::Shape;
+pub use shape::{Shape, MAX_RANK};
 pub use tensor::Tensor;
 
 /// Convenience alias for results produced by tensor operations.

@@ -22,6 +22,7 @@
 //! surface in metrics instead of being silently masked (an earlier
 //! version short-circuited `a == 0.0` rows and swallowed them).
 
+use crate::scratch::{self, ScratchVec};
 use crate::{pool, Result, Tensor, TensorError};
 
 /// Rows per register tile.
@@ -82,7 +83,7 @@ impl Tensor {
         let b = other.data();
         if m * n * k < SMALL_WORK {
             // p-outer loop reads A rows contiguously; no transpose.
-            let mut out = vec![0.0f32; m * n];
+            let mut out = scratch::take_zeroed(m * n);
             for p in 0..k {
                 let arow = &a[p * m..(p + 1) * m];
                 let brow = &b[p * n..(p + 1) * n];
@@ -122,7 +123,9 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         if m * n * k < SMALL_WORK {
-            let mut out = vec![0.0f32; m * n];
+            // Every element is stored exactly once, so unzeroed
+            // scratch is safe here.
+            let mut out = scratch::take(m * n);
             for i in 0..m {
                 let arow = &a[i * k..(i + 1) * k];
                 for j in 0..n {
@@ -142,10 +145,11 @@ impl Tensor {
     }
 }
 
-/// Transposes a `rows × cols` row-major buffer into a fresh
-/// `cols × rows` one.
-fn transposed(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; src.len()];
+/// Transposes a `rows × cols` row-major buffer into a scratch-backed
+/// `cols × rows` one (returned to the pool when the guard drops).
+/// Every slot is written exactly once, so unzeroed scratch is safe.
+fn transposed(src: &[f32], rows: usize, cols: usize) -> ScratchVec {
+    let mut out = ScratchVec::take(src.len());
     for r in 0..rows {
         let srow = &src[r * cols..(r + 1) * cols];
         for (c, &v) in srow.iter().enumerate() {
@@ -163,9 +167,11 @@ struct PanelPtr(*mut f32);
 unsafe impl Send for PanelPtr {}
 unsafe impl Sync for PanelPtr {}
 
-/// `A[m×k] @ B[k×n]`, both row-major, into a fresh row-major buffer.
+/// `A[m×k] @ B[k×n]`, both row-major, into a scratch-pooled row-major
+/// buffer (the caller hands it to a `Tensor`, which recycles it on
+/// drop). Zeroed up front because the panel kernel accumulates.
 fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * n];
+    let mut out = scratch::take_zeroed(m * n);
     if m == 0 || n == 0 || k == 0 {
         return out;
     }
@@ -225,7 +231,9 @@ fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
             let j0 = t * chunk;
             let j1 = ((t + 1) * chunk).min(n);
             let nw = j1 - j0;
-            let mut window = vec![0.0f32; m * nw];
+            // Checked out of the executing worker's own scratch pool;
+            // zeroed because the panel kernel accumulates into it.
+            let mut window = ScratchVec::take_zeroed(m * nw);
             gemm_panel(a, b, &mut window, m, k, nw, j0, n);
             for (i, row) in window.chunks_exact(nw).enumerate() {
                 // SAFETY: `j0..j1` column ranges are disjoint across
@@ -266,8 +274,16 @@ fn gemm_panel(
 ) {
     let groups = rows.div_ceil(MR);
     let kc_max = KC.min(k);
-    let mut apack = vec![0.0f32; groups * MR * kc_max];
-    let mut bpack = vec![0.0f32; kc_max * NR];
+    // The A pack panel comes from the executing thread's scratch pool
+    // — the steady-state GEMM invocation allocates nothing. Unzeroed
+    // scratch is safe: full tiles are overwritten before every read
+    // and edge tiles are explicitly zero-filled below. The B slab has
+    // a compile-time bound (`KC × NR` = 4 KiB), so it lives on the
+    // stack — and its statically known extent is what lets LLVM keep
+    // the micro-kernel's bounds checks out of the k-loop (an opaque,
+    // pool-provided slab measurably de-vectorizes the kernel).
+    let mut apack = ScratchVec::take(groups * MR * kc_max);
+    let mut bpack = [0.0f32; KC * NR];
     let mut pc = 0;
     while pc < k {
         let kc = (k - pc).min(KC);

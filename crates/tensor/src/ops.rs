@@ -1,6 +1,12 @@
 //! Element-wise arithmetic, broadcasting helpers, and reductions.
+//!
+//! Out-of-place operators draw their result buffers from the
+//! per-thread scratch pool ([`crate::scratch`]); the in-place
+//! `*_assign` family delegates to the fused kernels in
+//! [`crate::fused`], which large call sites across the workspace use
+//! to keep the steady-state train step allocation-free.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{fused, scratch, Result, Tensor, TensorError};
 
 impl Tensor {
     fn check_same_shape(&self, other: &Tensor) -> Result<()> {
@@ -20,13 +26,24 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn add(&self, other: &Tensor) -> Result<Tensor> {
         self.check_same_shape(other)?;
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data())
-            .map(|(a, b)| a + b)
-            .collect();
-        Tensor::from_vec(data, self.shape().dims())
+        let mut data = scratch::take(self.len());
+        for ((o, &a), &b) in data.iter_mut().zip(self.data()).zip(other.data()) {
+            *o = a + b;
+        }
+        Ok(Tensor::from_parts(*self.shape(), data))
+    }
+
+    /// In-place element-wise sum, `self += other`.
+    ///
+    /// Bit-identical to [`Tensor::add`] without the result buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        self.check_same_shape(other)?;
+        fused::add_assign(self.data_mut(), other.data());
+        Ok(())
     }
 
     /// Element-wise difference.
@@ -36,13 +53,24 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
         self.check_same_shape(other)?;
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data())
-            .map(|(a, b)| a - b)
-            .collect();
-        Tensor::from_vec(data, self.shape().dims())
+        let mut data = scratch::take(self.len());
+        for ((o, &a), &b) in data.iter_mut().zip(self.data()).zip(other.data()) {
+            *o = a - b;
+        }
+        Ok(Tensor::from_parts(*self.shape(), data))
+    }
+
+    /// In-place element-wise difference, `self -= other`.
+    ///
+    /// Bit-identical to [`Tensor::sub`] without the result buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn sub_assign(&mut self, other: &Tensor) -> Result<()> {
+        self.check_same_shape(other)?;
+        fused::sub_assign(self.data_mut(), other.data());
+        Ok(())
     }
 
     /// Element-wise (Hadamard) product.
@@ -52,13 +80,24 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
         self.check_same_shape(other)?;
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data())
-            .map(|(a, b)| a * b)
-            .collect();
-        Tensor::from_vec(data, self.shape().dims())
+        let mut data = scratch::take(self.len());
+        for ((o, &a), &b) in data.iter_mut().zip(self.data()).zip(other.data()) {
+            *o = a * b;
+        }
+        Ok(Tensor::from_parts(*self.shape(), data))
+    }
+
+    /// In-place Hadamard product, `self *= other`.
+    ///
+    /// Bit-identical to [`Tensor::mul`] without the result buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn mul_assign(&mut self, other: &Tensor) -> Result<()> {
+        self.check_same_shape(other)?;
+        fused::mul_assign(self.data_mut(), other.data());
+        Ok(())
     }
 
     /// In-place `self += alpha * other`, the axpy primitive used by every
@@ -69,29 +108,31 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
         self.check_same_shape(other)?;
-        for (a, b) in self.data_mut().iter_mut().zip(other.data()) {
-            *a += alpha * b;
-        }
+        fused::axpy(self.data_mut(), alpha, other.data());
         Ok(())
     }
 
     /// Returns a copy scaled by `alpha`.
     pub fn scale(&self, alpha: f32) -> Tensor {
-        let data = self.data().iter().map(|x| x * alpha).collect();
-        Tensor::from_vec(data, self.shape().dims()).expect("same shape")
+        let mut data = scratch::take(self.len());
+        for (o, &a) in data.iter_mut().zip(self.data()) {
+            *o = a * alpha;
+        }
+        Tensor::from_parts(*self.shape(), data)
     }
 
     /// Scales in place by `alpha`.
     pub fn scale_mut(&mut self, alpha: f32) {
-        for x in self.data_mut() {
-            *x *= alpha;
-        }
+        fused::scale_assign(self.data_mut(), alpha);
     }
 
     /// Applies `f` element-wise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let data = self.data().iter().map(|&x| f(x)).collect();
-        Tensor::from_vec(data, self.shape().dims()).expect("same shape")
+        let mut data = scratch::take(self.len());
+        for (o, &a) in data.iter_mut().zip(self.data()) {
+            *o = f(a);
+        }
+        Tensor::from_parts(*self.shape(), data)
     }
 
     /// Adds a length-`cols` bias vector to every row of a matrix.
@@ -110,9 +151,9 @@ impl Tensor {
         }
         let mut out = self.clone();
         let b = bias.data();
-        for r in 0..rows {
-            for c in 0..cols {
-                out.data_mut()[r * cols + c] += b[c];
+        for row in out.data_mut().chunks_exact_mut(cols.max(1)) {
+            for (o, &bv) in row.iter_mut().zip(b) {
+                *o += bv;
             }
         }
         Ok(out)
@@ -126,10 +167,11 @@ impl Tensor {
     pub fn sum_rows(&self) -> Result<Tensor> {
         let rows = self.rows()?;
         let cols = self.cols()?;
-        let mut out = vec![0.0f32; cols];
+        let mut out = scratch::take_zeroed(cols);
         for r in 0..rows {
-            for c in 0..cols {
-                out[c] += self.data()[r * cols + c];
+            let row = &self.data()[r * cols..(r + 1) * cols];
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
             }
         }
         Tensor::from_vec(out, &[cols])
@@ -174,18 +216,45 @@ impl Tensor {
         let cols = self.cols()?;
         let mut out = Vec::with_capacity(rows);
         for r in 0..rows {
-            let mut best = 0usize;
-            let mut best_v = f32::NEG_INFINITY;
-            for c in 0..cols {
-                let v = self.data()[r * cols + c];
-                if v > best_v {
-                    best_v = v;
-                    best = c;
-                }
-            }
-            out.push(best);
+            out.push(self.argmax_row(r, cols));
         }
         Ok(out)
+    }
+
+    /// Argmax of one row (allocation-free helper behind
+    /// [`Tensor::argmax_rows`] and `ft_nn::accuracy`).
+    pub(crate) fn argmax_row(&self, r: usize, cols: usize) -> usize {
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (c, &v) in self.data()[r * cols..(r + 1) * cols].iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Fraction of rows whose argmax equals the paired label; `0.0` for
+    /// an empty batch. Allocation-free (no materialized prediction
+    /// vector) — the accuracy inner loop of every evaluation pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    pub fn argmax_accuracy(&self, labels: &[usize]) -> Result<f32> {
+        let rows = self.rows()?;
+        let cols = self.cols()?;
+        if rows == 0 {
+            return Ok(0.0);
+        }
+        let mut correct = 0usize;
+        for (r, &label) in labels.iter().enumerate().take(rows) {
+            if self.argmax_row(r, cols) == label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f32 / rows as f32)
     }
 
     /// Clamps every element into `[lo, hi]`.
@@ -215,6 +284,9 @@ mod tests {
         let a = t(&[1.0, 2.0], &[2]);
         let b = t(&[1.0, 2.0], &[1, 2]);
         assert!(a.add(&b).is_err());
+        assert!(a.clone().add_assign(&b).is_err());
+        assert!(a.clone().sub_assign(&b).is_err());
+        assert!(a.clone().mul_assign(&b).is_err());
     }
 
     #[test]
@@ -223,6 +295,21 @@ mod tests {
         let b = t(&[2.0, 4.0], &[2]);
         a.axpy(0.5, &b).unwrap();
         assert_eq!(a.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn assign_ops_match_out_of_place() {
+        let a = t(&[1.5, -2.0, 0.25, 8.0], &[4]);
+        let b = t(&[0.3, 7.0, -1.5, 0.125], &[4]);
+        let mut ip = a.clone();
+        ip.add_assign(&b).unwrap();
+        assert_eq!(ip, a.add(&b).unwrap());
+        let mut ip = a.clone();
+        ip.sub_assign(&b).unwrap();
+        assert_eq!(ip, a.sub(&b).unwrap());
+        let mut ip = a.clone();
+        ip.mul_assign(&b).unwrap();
+        assert_eq!(ip, a.mul(&b).unwrap());
     }
 
     #[test]
@@ -244,6 +331,15 @@ mod tests {
     fn argmax_rows_finds_maxima() {
         let a = t(&[1.0, 5.0, 2.0, 9.0, 0.0, -1.0], &[2, 3]);
         assert_eq!(a.argmax_rows().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn argmax_accuracy_counts_matches() {
+        let a = t(&[0.9, 0.1, 0.2, 0.8], &[2, 2]);
+        assert_eq!(a.argmax_accuracy(&[0, 1]).unwrap(), 1.0);
+        assert_eq!(a.argmax_accuracy(&[1, 0]).unwrap(), 0.0);
+        assert_eq!(a.argmax_accuracy(&[0, 0]).unwrap(), 0.5);
+        assert_eq!(Tensor::zeros(&[0, 3]).argmax_accuracy(&[]).unwrap(), 0.0);
     }
 
     #[test]

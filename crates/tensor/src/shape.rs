@@ -1,11 +1,17 @@
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::TensorError;
 
+/// Maximum tensor rank the inline shape representation supports.
+pub const MAX_RANK: usize = 4;
+
 /// The dimensions of a [`crate::Tensor`], stored outermost-first.
 ///
-/// A `Shape` is a thin wrapper over `Vec<usize>` that centralizes volume
-/// computation and rank checks used throughout the workspace.
+/// Dimensions live in a fixed inline array (up to [`MAX_RANK`] axes),
+/// so creating, cloning, and dropping a `Shape` never touches the
+/// heap — one of the pieces of the zero-allocation steady-state train
+/// step. Unused trailing slots are kept at zero so the derived
+/// equality and hashing see only the live prefix.
 ///
 /// ```
 /// use ft_tensor::Shape;
@@ -13,28 +19,46 @@ use crate::TensorError;
 /// assert_eq!(s.volume(), 24);
 /// assert_eq!(s.rank(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct Shape(Vec<usize>);
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
 
 impl Shape {
     /// Creates a shape from a slice of dimension sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_RANK`] dimensions are supplied; the
+    /// workspace only ever builds rank-0..=2 tensors.
     pub fn new(dims: &[usize]) -> Self {
-        Shape(dims.to_vec())
+        assert!(
+            dims.len() <= MAX_RANK,
+            "rank {} exceeds the inline maximum of {MAX_RANK}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
+        Shape {
+            dims: inline,
+            rank: dims.len() as u8,
+        }
     }
 
     /// Returns the dimension sizes, outermost first.
     pub fn dims(&self) -> &[usize] {
-        &self.0
+        &self.dims[..self.rank as usize]
     }
 
     /// Returns the number of axes.
     pub fn rank(&self) -> usize {
-        self.0.len()
+        self.rank as usize
     }
 
     /// Total number of elements a tensor of this shape holds.
     pub fn volume(&self) -> usize {
-        self.0.iter().product()
+        self.dims().iter().product()
     }
 
     /// Returns the size of axis `axis`.
@@ -43,21 +67,22 @@ impl Shape {
     ///
     /// Returns [`TensorError::IndexOutOfBounds`] if `axis >= rank`.
     pub fn dim(&self, axis: usize) -> Result<usize, TensorError> {
-        self.0
+        self.dims()
             .get(axis)
             .copied()
             .ok_or(TensorError::IndexOutOfBounds {
                 axis,
                 index: axis,
-                len: self.0.len(),
+                len: self.rank(),
             })
     }
 
     /// Row-major strides for this shape.
     pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![1usize; self.0.len()];
-        for i in (0..self.0.len().saturating_sub(1)).rev() {
-            strides[i] = strides[i + 1] * self.0[i + 1];
+        let dims = self.dims();
+        let mut strides = vec![1usize; dims.len()];
+        for i in (0..dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * dims[i + 1];
         }
         strides
     }
@@ -79,6 +104,33 @@ impl Shape {
     }
 }
 
+// Shape used to be a newtype over `Vec<usize>`, whose derived serde
+// form is a transparent JSON array; the manual impls preserve that
+// wire format for the inline representation.
+impl Serialize for Shape {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.dims()
+                .iter()
+                .map(|&d| Value::Number(d as f64))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for Shape {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let dims = Vec::<usize>::from_value(value)?;
+        if dims.len() > MAX_RANK {
+            return Err(DeError::new(format!(
+                "shape rank {} exceeds the inline maximum of {MAX_RANK}",
+                dims.len()
+            )));
+        }
+        Ok(Shape::new(&dims))
+    }
+}
+
 impl From<&[usize]> for Shape {
     fn from(dims: &[usize]) -> Self {
         Shape::new(dims)
@@ -87,13 +139,13 @@ impl From<&[usize]> for Shape {
 
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
-        Shape(dims)
+        Shape::new(&dims)
     }
 }
 
 impl std::fmt::Display for Shape {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:?}", self.0)
+        write!(f, "{:?}", self.dims())
     }
 }
 
@@ -124,5 +176,20 @@ mod tests {
         let s = Shape::new(&[2, 2]);
         assert!(s.expect_rank(2).is_ok());
         assert!(s.expect_rank(3).is_err());
+    }
+
+    #[test]
+    fn equality_ignores_trailing_slots() {
+        // Same dims through different construction paths must agree.
+        assert_eq!(Shape::new(&[3, 4]), Shape::from(vec![3, 4]));
+        assert_ne!(Shape::new(&[3, 4]), Shape::new(&[3, 4, 1]));
+    }
+
+    #[test]
+    fn serde_round_trips_as_plain_array() {
+        let s = Shape::new(&[2, 5]);
+        let v = s.to_value();
+        assert_eq!(v, Vec::<usize>::from([2, 5]).to_value());
+        assert_eq!(Shape::from_value(&v).unwrap(), s);
     }
 }

@@ -1,6 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use crate::{Result, Shape, TensorError};
+use crate::{scratch, Result, Shape, TensorError};
 
 /// A dense, row-major, owned `f32` tensor.
 ///
@@ -10,19 +10,35 @@ use crate::{Result, Shape, TensorError};
 /// (widening/deepening cells, cropping for HeteroFL-style aggregation)
 /// manipulates `Tensor`s through the safe accessors here.
 ///
+/// # Storage lifecycle
+///
+/// Data buffers are checked out of the per-thread scratch pool
+/// ([`crate::scratch`]) on construction and returned to it on drop, so
+/// steady-state loops that create and destroy same-shaped tensors every
+/// iteration stop touching the allocator once warm. This is invisible
+/// to callers: contents and semantics are exactly those of a
+/// `Vec<f32>`-backed tensor.
+///
 /// ```
 /// use ft_tensor::Tensor;
 /// let t = Tensor::zeros(&[2, 3]);
 /// assert_eq!(t.shape().dims(), &[2, 3]);
 /// assert_eq!(t.len(), 6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
 }
 
 impl Tensor {
+    /// Assembles a tensor from parts without validation (crate-internal
+    /// fast path; callers guarantee `data.len() == shape.volume()`).
+    pub(crate) fn from_parts(shape: Shape, data: Vec<f32>) -> Self {
+        debug_assert_eq!(shape.volume(), data.len());
+        Tensor { shape, data }
+    }
+
     /// Creates a tensor from a buffer and shape.
     ///
     /// # Errors
@@ -43,21 +59,20 @@ impl Tensor {
     /// Creates a tensor filled with zeros.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        let data = vec![0.0; shape.volume()];
+        let data = scratch::take_zeroed(shape.volume());
         Tensor { shape, data }
     }
 
     /// Creates a tensor filled with ones.
     pub fn ones(dims: &[usize]) -> Self {
-        let shape = Shape::new(dims);
-        let data = vec![1.0; shape.volume()];
-        Tensor { shape, data }
+        Tensor::full(dims, 1.0)
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        let data = vec![value; shape.volume()];
+        let mut data = scratch::take(shape.volume());
+        data.fill(value);
         Tensor { shape, data }
     }
 
@@ -96,8 +111,8 @@ impl Tensor {
     }
 
     /// Consumes the tensor and returns its buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Reshapes in place without moving data.
@@ -198,7 +213,6 @@ impl Tensor {
     pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self> {
         let first = rows.first().ok_or(TensorError::Empty)?;
         let cols = first.len();
-        let mut data = Vec::with_capacity(rows.len() * cols);
         for row in rows {
             if row.len() != cols {
                 return Err(TensorError::ShapeMismatch {
@@ -206,7 +220,10 @@ impl Tensor {
                     right: vec![rows.len(), row.len()],
                 });
             }
-            data.extend_from_slice(row);
+        }
+        let mut data = scratch::take(rows.len() * cols);
+        for (row, dst) in rows.iter().zip(data.chunks_exact_mut(cols.max(1))) {
+            dst.copy_from_slice(row);
         }
         Tensor::from_vec(data, &[rows.len(), cols])
     }
@@ -226,10 +243,9 @@ impl Tensor {
                 len: rows,
             });
         }
-        Tensor::from_vec(
-            self.data[start * cols..end * cols].to_vec(),
-            &[end - start, cols],
-        )
+        let mut data = scratch::take((end - start) * cols);
+        data.copy_from_slice(&self.data[start * cols..end * cols]);
+        Ok(Tensor::from_parts(Shape::new(&[end - start, cols]), data))
     }
 
     /// Transposes a rank-2 tensor.
@@ -240,13 +256,41 @@ impl Tensor {
     pub fn transpose(&self) -> Result<Self> {
         let rows = self.rows()?;
         let cols = self.cols()?;
-        let mut out = vec![0.0f32; self.data.len()];
+        // Every slot is written exactly once, so unzeroed scratch is safe.
+        let mut out = scratch::take(self.data.len());
         for r in 0..rows {
             for c in 0..cols {
                 out[c * rows + r] = self.data[r * cols + c];
             }
         }
-        Tensor::from_vec(out, &[cols, rows])
+        Ok(Tensor::from_parts(Shape::new(&[cols, rows]), out))
+    }
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = scratch::take(self.data.len());
+        data.copy_from_slice(&self.data);
+        Tensor {
+            shape: self.shape,
+            data,
+        }
+    }
+
+    /// Copies in place, reusing the existing buffer when it is large
+    /// enough (same-shaped tensors always are) — the allocation-free
+    /// path for refreshing persistent gradient/weight snapshots.
+    fn clone_from(&mut self, source: &Self) {
+        self.shape = source.shape;
+        self.data.clear();
+        self.data.extend_from_slice(&source.data);
+    }
+}
+
+impl Drop for Tensor {
+    /// Returns the data buffer to the per-thread scratch pool.
+    fn drop(&mut self) {
+        scratch::recycle(std::mem::take(&mut self.data));
     }
 }
 
@@ -303,5 +347,37 @@ mod tests {
         assert!(Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0]]).is_err());
         let t = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         assert_eq!(t.shape().dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn recycled_buffers_never_leak_contents() {
+        // A dropped tensor's buffer may be reused; fresh constructors
+        // must still observe fully initialized contents.
+        drop(Tensor::full(&[64], 7.0));
+        let z = Tensor::zeros(&[64]);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        drop(Tensor::full(&[64], 3.0));
+        let o = Tensor::ones(&[64]);
+        assert!(o.data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn clone_from_reuses_capacity() {
+        let src = Tensor::full(&[128], 2.0);
+        let mut dst = Tensor::zeros(&[128]);
+        let ptr = dst.data().as_ptr();
+        dst.clone_from(&src);
+        assert_eq!(
+            dst.data().as_ptr(),
+            ptr,
+            "same-size clone_from must not realloc"
+        );
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn into_vec_hands_off_storage() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        assert_eq!(t.into_vec(), vec![1.0, 2.0]);
     }
 }
