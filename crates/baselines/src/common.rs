@@ -4,10 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use ft_data::ClientData;
 use ft_fedsim::costs::CostMeter;
-use ft_fedsim::device::DeviceTrace;
 use ft_fedsim::metrics::box_stats;
 use ft_fedsim::report::{RoundReport, RunReport};
-use ft_fedsim::roundtime::client_round_time;
 use ft_fedsim::trainer::LocalTrainConfig;
 use ft_fedsim::FaultConfig;
 use ft_model::CellModel;
@@ -77,24 +75,22 @@ pub struct Accumulator {
 }
 
 impl Accumulator {
-    /// Records one participant's training and transfer, returning the
-    /// client's round time in seconds scaled by `slowdown` (the fault
-    /// model's straggler factor; 1.0 when absent).
+    /// Records one participant's training and transfer. `elapsed_s` is
+    /// the client's wall-clock round time as reported by the
+    /// coordinator's training reply (compute + transfer, already scaled
+    /// by any straggler throttling); it is echoed back for convenience
+    /// so callers can fold it into the round maximum.
     pub fn record_participant(
         &mut self,
-        devices: &DeviceTrace,
-        client: usize,
         model_macs: u64,
         param_count: usize,
         samples: u64,
-        slowdown: f64,
+        elapsed_s: f64,
     ) -> f64 {
         self.cost.record_local_training(model_macs, samples);
         self.cost.record_model_transfer(param_count as u64);
-        let t =
-            client_round_time(devices.profile(client), model_macs, param_count, samples) * slowdown;
-        self.client_times.push(t as f32);
-        t
+        self.client_times.push(elapsed_s as f32);
+        elapsed_s
     }
 
     /// Closes a round with its telemetry.
@@ -188,16 +184,14 @@ pub fn eval_ensemble_on_client(models: &[CellModel], shard: &ClientData) -> f32 
 mod tests {
     use super::*;
     use ft_data::DatasetConfig;
-    use ft_fedsim::device::DeviceTraceConfig;
     use rand::SeedableRng;
 
     #[test]
     fn accumulator_tracks_costs_and_history() {
-        let devices = DeviceTraceConfig::default().with_num_devices(3).generate();
         let mut acc = Accumulator::default();
-        let t = acc.record_participant(&devices, 0, 1000, 500, 100, 1.0);
-        assert!(t > 0.0);
-        let slowed = acc.record_participant(&devices, 0, 1000, 500, 100, 4.0);
+        let t = acc.record_participant(1000, 500, 100, 2.5);
+        assert!((t - 2.5).abs() < 1e-12);
+        let slowed = acc.record_participant(1000, 500, 100, 4.0 * t);
         assert!((slowed - 4.0 * t).abs() < 1e-9);
         acc.finish_round(0, 1.5, 1, 1, t);
         assert_eq!(acc.history.len(), 1);
@@ -209,9 +203,8 @@ mod tests {
 
     #[test]
     fn accumulator_serde_round_trips() {
-        let devices = DeviceTraceConfig::default().with_num_devices(2).generate();
         let mut acc = Accumulator::default();
-        let t = acc.record_participant(&devices, 1, 2000, 700, 50, 1.0);
+        let t = acc.record_participant(2000, 700, 50, 1.25);
         acc.finish_round(0, 0.75, 1, 1, t);
         acc.curve.push((0.125, 0.5));
         let json = serde_json::to_string(&acc).unwrap();

@@ -8,10 +8,11 @@
 use rand::SeedableRng;
 
 use ft_data::FederatedDataset;
+use ft_fedsim::coordinator::{Coordinator, RoundOptions};
 use ft_fedsim::device::DeviceTrace;
 use ft_fedsim::report::{RoundReport, RunReport};
 use ft_fedsim::select;
-use ft_fedsim::trainer::train_participants;
+use ft_fedsim::trainer::{client_seed, TrainTask};
 use ft_fedsim::Result;
 use ft_model::CellModel;
 use ft_nn::Yogi;
@@ -24,6 +25,7 @@ pub struct FedAvg {
     cfg: BaselineConfig,
     data: FederatedDataset,
     devices: DeviceTrace,
+    coordinator: Coordinator,
     model: CellModel,
     server: ServerOpt,
     yogi: Yogi,
@@ -45,11 +47,13 @@ impl FedAvg {
             ServerOpt::Yogi { lr } => lr,
             ServerOpt::Average => 0.0,
         };
+        let coordinator = Coordinator::new(cfg.seed, cfg.faults, devices.clone());
         FedAvg {
             rng: rand::rngs::StdRng::seed_from_u64(cfg.seed),
             cfg,
             data,
             devices,
+            coordinator,
             model,
             server,
             yogi: Yogi::new(yogi_lr),
@@ -69,44 +73,37 @@ impl FedAvg {
     ///
     /// Propagates training errors.
     pub fn step(&mut self) -> Result<RoundReport> {
-        let mut participants = select::uniform(
+        let invited = select::uniform(
             &mut self.rng,
             self.data.num_clients(),
             self.cfg.clients_per_round,
         );
-        self.cfg
-            .faults
-            .apply_dropout(self.cfg.seed, self.round, &mut participants);
-        let assignments: Vec<(usize, CellModel)> = participants
+        let participants = self.coordinator.begin_round(self.round, &invited)?;
+        let round_seed = self.cfg.seed.wrapping_add(self.round as u64);
+        let tasks: Vec<TrainTask> = participants
             .iter()
-            .map(|&c| (c, self.model.clone()))
+            .map(|&c| TrainTask {
+                client: c,
+                model: self.model.clone(),
+                seed: client_seed(round_seed, c),
+            })
             .collect();
-        let outcomes = train_participants(
-            assignments,
-            self.data.clients(),
-            &self.cfg.local,
-            self.cfg.seed.wrapping_add(self.round as u64),
-        )?;
+        let replies = self
+            .coordinator
+            .train(tasks, self.data.clients(), &self.cfg.local)?;
 
         let macs = self.model.macs_per_sample();
         let params = self.model.param_count();
         let mut round_time = 0.0f64;
-        for o in &outcomes {
-            let t = self.acc.record_participant(
-                &self.devices,
-                o.client,
-                macs,
-                params,
-                o.samples_processed,
-                self.cfg
-                    .faults
-                    .slowdown(self.cfg.seed, self.round, o.client),
-            );
+        for r in &replies {
+            let t =
+                self.acc
+                    .record_participant(macs, params, r.outcome.samples_processed, r.elapsed_s);
             round_time = round_time.max(t);
         }
 
         // Sample-weighted average of local weights.
-        let total: u64 = outcomes.iter().map(|o| o.samples_processed).sum();
+        let total: u64 = replies.iter().map(|r| r.outcome.samples_processed).sum();
         if total > 0 {
             let mut avg: Vec<Tensor> = self
                 .model
@@ -114,9 +111,9 @@ impl FedAvg {
                 .iter()
                 .map(|t| Tensor::zeros(t.shape().dims()))
                 .collect();
-            for o in &outcomes {
-                let w = o.samples_processed as f32 / total as f32;
-                for (a, t) in avg.iter_mut().zip(&o.weights) {
+            for r in &replies {
+                let w = r.outcome.samples_processed as f32 / total as f32;
+                for (a, t) in avg.iter_mut().zip(&r.outcome.weights) {
                     a.axpy(w, t).expect("same global model shapes");
                 }
             }
@@ -142,10 +139,11 @@ impl FedAvg {
             }
         }
 
-        let losses: Vec<f32> = outcomes.iter().map(|o| o.avg_loss).collect();
+        let losses: Vec<f32> = replies.iter().map(|r| r.outcome.avg_loss).collect();
         let mean_loss = ft_fedsim::metrics::mean(&losses);
+        self.coordinator.finish_round()?;
         self.acc
-            .finish_round(self.round, mean_loss, outcomes.len(), 1, round_time);
+            .finish_round(self.round, mean_loss, replies.len(), 1, round_time);
         self.round += 1;
 
         if self.cfg.eval_every > 0 && (self.round as usize).is_multiple_of(self.cfg.eval_every) {
@@ -184,16 +182,30 @@ impl FedAvg {
         )
     }
 
-    /// Runs `rounds` rounds and produces the report.
+    /// Installs the coordinator round options (thread budget, protocol
+    /// timing) used by subsequent rounds.
+    pub fn set_round_options(&mut self, opts: RoundOptions) {
+        self.coordinator.set_options(opts);
+    }
+
+    /// The message-driven coordinator this runner rendezvouses and
+    /// trains through (for tests and protocol telemetry).
+    pub fn coordinator(&mut self) -> &mut Coordinator {
+        &mut self.coordinator
+    }
+
+    /// Runs `rounds` more rounds and produces the report.
     ///
     /// # Errors
     ///
     /// Propagates per-round errors.
+    #[deprecated(
+        since = "0.6.0",
+        note = "drive the runner through `ft_fedsim::coordinator::drive` instead"
+    )]
     pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
-        for _ in 0..rounds {
-            self.step()?;
-        }
-        Ok(self.report())
+        let total = self.round as usize + rounds;
+        ft_fedsim::coordinator::drive(self, total, &RoundOptions::from_env())
     }
 }
 
@@ -223,6 +235,10 @@ impl ft_fedsim::Algorithm for FedAvg {
         Ok(FedAvg::report(self))
     }
 
+    fn set_round_options(&mut self, opts: RoundOptions) {
+        FedAvg::set_round_options(self, opts);
+    }
+
     fn checkpoint(&self) -> serde::Value {
         serde_json::json!({
             "kind": "fedavg",
@@ -231,6 +247,7 @@ impl ft_fedsim::Algorithm for FedAvg {
             "yogi": self.yogi,
             "acc": self.acc,
             "rng": ft_fedsim::driver::rng_to_value(&self.rng),
+            "coordinator": self.coordinator.checkpoint_value(),
         })
     }
 
@@ -257,6 +274,10 @@ impl ft_fedsim::Algorithm for FedAvg {
                 .ok_or_else(|| ft_fedsim::SimError::snapshot("missing rng state"))?,
         )?;
         self.round = field(state, "round")?;
+        let coord = state
+            .get("coordinator")
+            .ok_or_else(|| ft_fedsim::SimError::snapshot("missing coordinator state"))?;
+        self.coordinator.restore_value(coord)?;
         Ok(())
     }
 }
@@ -265,6 +286,7 @@ impl ft_fedsim::Algorithm for FedAvg {
 mod tests {
     use super::*;
     use ft_data::DatasetConfig;
+    use ft_fedsim::coordinator::drive;
     use ft_fedsim::device::DeviceTraceConfig;
     use ft_fedsim::trainer::LocalTrainConfig;
 
@@ -304,7 +326,7 @@ mod tests {
         let (mut cfg, data, devices, model) = setup();
         cfg.local.prox_mu = Some(0.1);
         let mut runner = FedAvg::new(cfg, data, devices, model, ServerOpt::Average);
-        let report = runner.run(3).unwrap();
+        let report = drive(&mut runner, 3, &RoundOptions::default()).unwrap();
         assert_eq!(report.rounds.len(), 3);
     }
 
@@ -322,7 +344,7 @@ mod tests {
     fn report_has_costs_and_accuracies() {
         let (cfg, data, devices, model) = setup();
         let mut runner = FedAvg::new(cfg, data, devices, model, ServerOpt::Average);
-        let report = runner.run(2).unwrap();
+        let report = drive(&mut runner, 2, &RoundOptions::default()).unwrap();
         assert!(report.pmacs > 0.0);
         assert!(report.network_mb > 0.0);
         assert_eq!(report.per_client_accuracy.len(), 8);
@@ -341,7 +363,7 @@ mod tests {
             model.clone(),
             ServerOpt::Yogi { lr: 0.05 },
         );
-        let full_report = full.run(8).unwrap();
+        let full_report = drive(&mut full, 8, &RoundOptions::default()).unwrap();
 
         let mut first = FedAvg::new(
             cfg,
@@ -375,7 +397,7 @@ mod tests {
         let (mut cfg, data, devices, model) = setup();
         cfg.faults.dropout_prob = 0.5;
         let mut runner = FedAvg::new(cfg, data, devices, model, ServerOpt::Average);
-        let report = runner.run(6).unwrap();
+        let report = drive(&mut runner, 6, &RoundOptions::default()).unwrap();
         let trained: usize = report.rounds.iter().map(|r| r.participants).sum();
         assert!(
             trained < 24,
@@ -394,8 +416,8 @@ mod tests {
             ServerOpt::Average,
         );
         let mut b = FedAvg::new(cfg, data, devices, model, ServerOpt::Average);
-        let ra = a.run(3).unwrap();
-        let rb = b.run(3).unwrap();
+        let ra = drive(&mut a, 3, &RoundOptions::default()).unwrap();
+        let rb = drive(&mut b, 3, &RoundOptions::default()).unwrap();
         assert_eq!(ra.per_client_accuracy, rb.per_client_accuracy);
     }
 }

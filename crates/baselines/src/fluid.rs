@@ -16,10 +16,11 @@ use std::collections::HashMap;
 use rand::SeedableRng;
 
 use ft_data::FederatedDataset;
+use ft_fedsim::coordinator::{Coordinator, RoundOptions};
 use ft_fedsim::device::DeviceTrace;
 use ft_fedsim::report::{RoundReport, RunReport};
 use ft_fedsim::select;
-use ft_fedsim::trainer::train_participants;
+use ft_fedsim::trainer::{client_seed, TrainTask};
 use ft_fedsim::Result;
 use ft_model::{Cell, CellId, CellModel};
 use ft_tensor::Tensor;
@@ -37,6 +38,7 @@ pub struct Fluid {
     cfg: BaselineConfig,
     data: FederatedDataset,
     devices: DeviceTrace,
+    coordinator: Coordinator,
     global: CellModel,
     ratios: Vec<f32>,
     /// Per-cell neuron-update scores (higher = more variant = kept).
@@ -59,11 +61,13 @@ impl Fluid {
             .iter()
             .map(|c| (c.id(), vec![0.0f32; unit_count(c)]))
             .collect();
+        let coordinator = Coordinator::new(cfg.seed, cfg.faults, devices.clone());
         Fluid {
             rng: rand::rngs::StdRng::seed_from_u64(cfg.seed),
             cfg,
             data,
             devices,
+            coordinator,
             global,
             ratios: DEFAULT_RATIOS.to_vec(),
             scores,
@@ -173,16 +177,15 @@ impl Fluid {
     ///
     /// Propagates training errors.
     pub fn step(&mut self) -> Result<RoundReport> {
-        let mut participants = select::uniform(
+        let invited = select::uniform(
             &mut self.rng,
             self.data.num_clients(),
             self.cfg.clients_per_round,
         );
-        self.cfg
-            .faults
-            .apply_dropout(self.cfg.seed, self.round, &mut participants);
+        let participants = self.coordinator.begin_round(self.round, &invited)?;
+        let round_seed = self.cfg.seed.wrapping_add(self.round as u64);
         let mut plans = Vec::with_capacity(participants.len());
-        let mut assignments = Vec::with_capacity(participants.len());
+        let mut tasks = Vec::with_capacity(participants.len());
         let mut sub_stats = Vec::with_capacity(participants.len());
         for &c in &participants {
             let lvl = self.level_for(self.devices.profile(c).capacity_macs);
@@ -190,27 +193,22 @@ impl Fluid {
             let sub = extract(&self.global, &plan);
             sub_stats.push((sub.macs_per_sample(), sub.param_count()));
             plans.push(plan);
-            assignments.push((c, sub));
+            tasks.push(TrainTask {
+                client: c,
+                model: sub,
+                seed: client_seed(round_seed, c),
+            });
         }
-        let outcomes = train_participants(
-            assignments,
-            self.data.clients(),
-            &self.cfg.local,
-            self.cfg.seed.wrapping_add(self.round as u64),
-        )?;
+        let replies = self
+            .coordinator
+            .train(tasks, self.data.clients(), &self.cfg.local)?;
 
         let mut round_time = 0.0f64;
-        for (o, &(macs, params)) in outcomes.iter().zip(&sub_stats) {
-            let t = self.acc.record_participant(
-                &self.devices,
-                o.client,
-                macs,
-                params,
-                o.samples_processed,
-                self.cfg
-                    .faults
-                    .slowdown(self.cfg.seed, self.round, o.client),
-            );
+        for r in &replies {
+            let (macs, params) = sub_stats[r.task];
+            let t =
+                self.acc
+                    .record_participant(macs, params, r.outcome.samples_processed, r.elapsed_s);
             round_time = round_time.max(t);
         }
 
@@ -224,11 +222,11 @@ impl Fluid {
             .iter()
             .map(|t| Tensor::zeros(t.shape().dims()))
             .collect();
-        for (o, plan) in outcomes.iter().zip(&plans) {
-            let maps = scatter_maps(&self.global, plan);
+        for r in &replies {
+            let maps = scatter_maps(&self.global, &plans[r.task]);
             for ((map, src), (a, c)) in maps
                 .iter()
-                .zip(&o.weights)
+                .zip(&r.outcome.weights)
                 .zip(agg.iter_mut().zip(counts.iter_mut()))
             {
                 if map.rank1 {
@@ -251,12 +249,13 @@ impl Fluid {
         let updated = self.global.snapshot();
         self.update_scores(&original, &updated);
 
-        let losses: Vec<f32> = outcomes.iter().map(|o| o.avg_loss).collect();
+        let losses: Vec<f32> = replies.iter().map(|r| r.outcome.avg_loss).collect();
         let mean_loss = ft_fedsim::metrics::mean(&losses);
+        self.coordinator.finish_round()?;
         self.acc.finish_round(
             self.round,
             mean_loss,
-            outcomes.len(),
+            replies.len(),
             self.ratios.len(),
             round_time,
         );
@@ -300,16 +299,30 @@ impl Fluid {
             .into_report(accs, lvls, archs, macs, storage)
     }
 
-    /// Runs `rounds` rounds and produces the report.
+    /// Installs the coordinator round options (thread budget, protocol
+    /// timing) used by subsequent rounds.
+    pub fn set_round_options(&mut self, opts: RoundOptions) {
+        self.coordinator.set_options(opts);
+    }
+
+    /// The message-driven coordinator this runner rendezvouses and
+    /// trains through (for tests and protocol telemetry).
+    pub fn coordinator(&mut self) -> &mut Coordinator {
+        &mut self.coordinator
+    }
+
+    /// Runs `rounds` more rounds and produces the report.
     ///
     /// # Errors
     ///
     /// Propagates per-round errors.
+    #[deprecated(
+        since = "0.6.0",
+        note = "drive the runner through `ft_fedsim::coordinator::drive` instead"
+    )]
     pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
-        for _ in 0..rounds {
-            self.step()?;
-        }
-        Ok(self.report())
+        let total = self.round as usize + rounds;
+        ft_fedsim::coordinator::drive(self, total, &RoundOptions::from_env())
     }
 }
 
@@ -330,6 +343,10 @@ impl ft_fedsim::Algorithm for Fluid {
         Ok(Fluid::report(self))
     }
 
+    fn set_round_options(&mut self, opts: RoundOptions) {
+        Fluid::set_round_options(self, opts);
+    }
+
     fn checkpoint(&self) -> serde::Value {
         // Scores are keyed by CellId; sort for a HashMap-order-free
         // encoding.
@@ -346,6 +363,7 @@ impl ft_fedsim::Algorithm for Fluid {
             "scores": scores,
             "acc": self.acc,
             "rng": ft_fedsim::driver::rng_to_value(&self.rng),
+            "coordinator": self.coordinator.checkpoint_value(),
         })
     }
 
@@ -373,6 +391,10 @@ impl ft_fedsim::Algorithm for Fluid {
                 .ok_or_else(|| ft_fedsim::SimError::snapshot("missing rng state"))?,
         )?;
         self.round = field(state, "round")?;
+        let coord = state
+            .get("coordinator")
+            .ok_or_else(|| ft_fedsim::SimError::snapshot("missing coordinator state"))?;
+        self.coordinator.restore_value(coord)?;
         Ok(())
     }
 }
@@ -381,6 +403,7 @@ impl ft_fedsim::Algorithm for Fluid {
 mod tests {
     use super::*;
     use ft_data::DatasetConfig;
+    use ft_fedsim::coordinator::drive;
     use ft_fedsim::device::DeviceTraceConfig;
     use ft_fedsim::trainer::LocalTrainConfig;
 
@@ -445,7 +468,7 @@ mod tests {
     fn run_produces_report() {
         let (cfg, data, devices, model) = setup();
         let mut f = Fluid::new(cfg, data, devices, model);
-        let report = f.run(3).unwrap();
+        let report = drive(&mut f, 3, &RoundOptions::default()).unwrap();
         assert_eq!(report.per_client_accuracy.len(), 6);
         assert!(report.pmacs > 0.0);
         assert_eq!(report.model_archs.len(), DEFAULT_RATIOS.len());

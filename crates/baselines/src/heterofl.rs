@@ -10,10 +10,11 @@
 use rand::SeedableRng;
 
 use ft_data::FederatedDataset;
+use ft_fedsim::coordinator::{Coordinator, RoundOptions};
 use ft_fedsim::device::DeviceTrace;
 use ft_fedsim::report::{RoundReport, RunReport};
 use ft_fedsim::select;
-use ft_fedsim::trainer::train_participants;
+use ft_fedsim::trainer::{client_seed, TrainTask};
 use ft_fedsim::Result;
 use ft_model::CellModel;
 use ft_tensor::Tensor;
@@ -30,6 +31,7 @@ pub struct HeteroFl {
     cfg: BaselineConfig,
     data: FederatedDataset,
     devices: DeviceTrace,
+    coordinator: Coordinator,
     global: CellModel,
     ratios: Vec<f32>,
     plans: Vec<KeepPlan>,
@@ -66,11 +68,13 @@ impl HeteroFl {
         let submodels: Vec<CellModel> = plans.iter().map(|p| extract(&global, p)).collect();
         let level_macs = submodels.iter().map(CellModel::macs_per_sample).collect();
         let level_params = submodels.iter().map(CellModel::param_count).collect();
+        let coordinator = Coordinator::new(cfg.seed, cfg.faults, devices.clone());
         HeteroFl {
             rng: rand::rngs::StdRng::seed_from_u64(cfg.seed),
             cfg,
             data,
             devices,
+            coordinator,
             global,
             ratios: ratios.to_vec(),
             plans,
@@ -103,39 +107,36 @@ impl HeteroFl {
     ///
     /// Propagates training errors.
     pub fn step(&mut self) -> Result<RoundReport> {
-        let mut participants = select::uniform(
+        let invited = select::uniform(
             &mut self.rng,
             self.data.num_clients(),
             self.cfg.clients_per_round,
         );
-        self.cfg
-            .faults
-            .apply_dropout(self.cfg.seed, self.round, &mut participants);
+        let participants = self.coordinator.begin_round(self.round, &invited)?;
+        let round_seed = self.cfg.seed.wrapping_add(self.round as u64);
         let mut levels = Vec::with_capacity(participants.len());
-        let mut assignments = Vec::with_capacity(participants.len());
+        let mut tasks = Vec::with_capacity(participants.len());
         for &c in &participants {
             let lvl = self.level_for(self.devices.profile(c).capacity_macs);
             levels.push(lvl);
-            assignments.push((c, extract(&self.global, &self.plans[lvl])));
+            tasks.push(TrainTask {
+                client: c,
+                model: extract(&self.global, &self.plans[lvl]),
+                seed: client_seed(round_seed, c),
+            });
         }
-        let outcomes = train_participants(
-            assignments,
-            self.data.clients(),
-            &self.cfg.local,
-            self.cfg.seed.wrapping_add(self.round as u64),
-        )?;
+        let replies = self
+            .coordinator
+            .train(tasks, self.data.clients(), &self.cfg.local)?;
 
         let mut round_time = 0.0f64;
-        for (o, &lvl) in outcomes.iter().zip(&levels) {
+        for r in &replies {
+            let lvl = levels[r.task];
             let t = self.acc.record_participant(
-                &self.devices,
-                o.client,
                 self.level_macs[lvl],
                 self.level_params[lvl],
-                o.samples_processed,
-                self.cfg
-                    .faults
-                    .slowdown(self.cfg.seed, self.round, o.client),
+                r.outcome.samples_processed,
+                r.elapsed_s,
             );
             round_time = round_time.max(t);
         }
@@ -150,11 +151,12 @@ impl HeteroFl {
             .iter()
             .map(|t| Tensor::zeros(t.shape().dims()))
             .collect();
-        for (o, &lvl) in outcomes.iter().zip(&levels) {
+        for r in &replies {
+            let lvl = levels[r.task];
             let maps = scatter_maps(&self.global, &self.plans[lvl]);
             for ((map, src), (a, c)) in maps
                 .iter()
-                .zip(&o.weights)
+                .zip(&r.outcome.weights)
                 .zip(agg.iter_mut().zip(counts.iter_mut()))
             {
                 if map.rank1 {
@@ -175,12 +177,13 @@ impl HeteroFl {
         }
         self.global.restore(&agg)?;
 
-        let losses: Vec<f32> = outcomes.iter().map(|o| o.avg_loss).collect();
+        let losses: Vec<f32> = replies.iter().map(|r| r.outcome.avg_loss).collect();
         let mean_loss = ft_fedsim::metrics::mean(&losses);
+        self.coordinator.finish_round()?;
         self.acc.finish_round(
             self.round,
             mean_loss,
-            outcomes.len(),
+            replies.len(),
             self.ratios.len(),
             round_time,
         );
@@ -221,16 +224,30 @@ impl HeteroFl {
             .into_report(accs, lvls, archs, self.level_macs.clone(), storage)
     }
 
-    /// Runs `rounds` rounds and produces the report.
+    /// Installs the coordinator round options (thread budget, protocol
+    /// timing) used by subsequent rounds.
+    pub fn set_round_options(&mut self, opts: RoundOptions) {
+        self.coordinator.set_options(opts);
+    }
+
+    /// The message-driven coordinator this runner rendezvouses and
+    /// trains through (for tests and protocol telemetry).
+    pub fn coordinator(&mut self) -> &mut Coordinator {
+        &mut self.coordinator
+    }
+
+    /// Runs `rounds` more rounds and produces the report.
     ///
     /// # Errors
     ///
     /// Propagates per-round errors.
+    #[deprecated(
+        since = "0.6.0",
+        note = "drive the runner through `ft_fedsim::coordinator::drive` instead"
+    )]
     pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
-        for _ in 0..rounds {
-            self.step()?;
-        }
-        Ok(self.report())
+        let total = self.round as usize + rounds;
+        ft_fedsim::coordinator::drive(self, total, &RoundOptions::from_env())
     }
 }
 
@@ -251,6 +268,10 @@ impl ft_fedsim::Algorithm for HeteroFl {
         Ok(HeteroFl::report(self))
     }
 
+    fn set_round_options(&mut self, opts: RoundOptions) {
+        HeteroFl::set_round_options(self, opts);
+    }
+
     fn checkpoint(&self) -> serde::Value {
         serde_json::json!({
             "kind": "heterofl",
@@ -258,6 +279,7 @@ impl ft_fedsim::Algorithm for HeteroFl {
             "global": self.global,
             "acc": self.acc,
             "rng": ft_fedsim::driver::rng_to_value(&self.rng),
+            "coordinator": self.coordinator.checkpoint_value(),
         })
     }
 
@@ -283,6 +305,10 @@ impl ft_fedsim::Algorithm for HeteroFl {
                 .ok_or_else(|| ft_fedsim::SimError::snapshot("missing rng state"))?,
         )?;
         self.round = field(state, "round")?;
+        let coord = state
+            .get("coordinator")
+            .ok_or_else(|| ft_fedsim::SimError::snapshot("missing coordinator state"))?;
+        self.coordinator.restore_value(coord)?;
         Ok(())
     }
 }
@@ -291,6 +317,7 @@ impl ft_fedsim::Algorithm for HeteroFl {
 mod tests {
     use super::*;
     use ft_data::DatasetConfig;
+    use ft_fedsim::coordinator::drive;
     use ft_fedsim::device::DeviceTraceConfig;
     use ft_fedsim::trainer::LocalTrainConfig;
 
@@ -341,7 +368,7 @@ mod tests {
     fn run_reports_per_level_archs() {
         let (cfg, data, devices, model) = setup();
         let mut h = HeteroFl::new(cfg, data, devices, model);
-        let report = h.run(3).unwrap();
+        let report = drive(&mut h, 3, &RoundOptions::default()).unwrap();
         assert_eq!(report.model_archs.len(), DEFAULT_RATIOS.len());
         assert_eq!(report.per_client_accuracy.len(), 8);
         assert!(report.pmacs > 0.0);

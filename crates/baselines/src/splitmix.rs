@@ -10,10 +10,11 @@
 use rand::SeedableRng;
 
 use ft_data::FederatedDataset;
+use ft_fedsim::coordinator::{Coordinator, RoundOptions};
 use ft_fedsim::device::DeviceTrace;
 use ft_fedsim::report::{RoundReport, RunReport};
 use ft_fedsim::select;
-use ft_fedsim::trainer::{train_local, LocalOutcome};
+use ft_fedsim::trainer::TrainTask;
 use ft_fedsim::Result;
 use ft_model::CellModel;
 use ft_tensor::Tensor;
@@ -26,6 +27,7 @@ pub struct SplitMix {
     cfg: BaselineConfig,
     data: FederatedDataset,
     devices: DeviceTrace,
+    coordinator: Coordinator,
     bases: Vec<CellModel>,
     base_macs: u64,
     base_params: usize,
@@ -61,11 +63,13 @@ impl SplitMix {
             .collect();
         let base_macs = template.macs_per_sample();
         let base_params = template.param_count();
+        let coordinator = Coordinator::new(cfg.seed, cfg.faults, devices.clone());
         SplitMix {
             rng: rand::rngs::StdRng::seed_from_u64(cfg.seed),
             cfg,
             data,
             devices,
+            coordinator,
             bases,
             base_macs,
             base_params,
@@ -97,19 +101,17 @@ impl SplitMix {
     ///
     /// Propagates training errors.
     pub fn step(&mut self) -> Result<RoundReport> {
-        let mut participants = select::uniform(
+        let invited = select::uniform(
             &mut self.rng,
             self.data.num_clients(),
             self.cfg.clients_per_round,
         );
-        self.cfg
-            .faults
-            .apply_dropout(self.cfg.seed, self.round, &mut participants);
-        // Each participant trains each of its bases. The (client, base)
-        // work items fan out concurrently over the shared pool; the
-        // seed of each item is derived statelessly from
-        // (run seed, round, client, base), so execution order cannot
-        // leak into the trained weights.
+        let participants = self.coordinator.begin_round(self.round, &invited)?;
+        // Each participant trains each of its bases: one coordinator
+        // task per (client, base) pair, dispatched concurrently as
+        // `StartTrainingRound` messages. The seed of each task is
+        // derived statelessly from (run seed, round, client, base), so
+        // execution and delivery order cannot leak into the weights.
         let carried: Vec<(usize, Vec<usize>)> = participants
             .iter()
             .map(|&c| {
@@ -119,52 +121,45 @@ impl SplitMix {
             .collect();
         let run_seed = self.cfg.seed;
         let round = self.round;
-        let items: Vec<(usize, usize, u64)> = carried
-            .iter()
-            .flat_map(|(c, set)| {
-                set.iter().map(move |&b| {
-                    let seed = run_seed
-                        .wrapping_add(round as u64)
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add((c * 131 + b) as u64);
-                    (*c, b, seed)
-                })
-            })
-            .collect();
-        let bases = &self.bases;
-        let data = &self.data;
-        let local = &self.cfg.local;
-        let outcomes: Vec<LocalOutcome> =
-            ft_fedsim::exec::try_par_map(items.len(), ft_fedsim::exec::client_threads(), |i| {
-                let (c, b, seed) = items[i];
-                let mut model = bases[b].clone();
-                train_local(&mut model, c, data.client(c), local, seed)
-            })?;
+        let mut tasks = Vec::new();
+        // Task index -> (owner position in `carried`, base index).
+        let mut task_meta: Vec<(usize, usize)> = Vec::new();
+        for (pos, (c, set)) in carried.iter().enumerate() {
+            for &b in set {
+                let seed = run_seed
+                    .wrapping_add(round as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((c * 131 + b) as u64);
+                tasks.push(TrainTask {
+                    client: *c,
+                    model: self.bases[b].clone(),
+                    seed,
+                });
+                task_meta.push((pos, b));
+            }
+        }
+        let replies = self
+            .coordinator
+            .train(tasks, self.data.clients(), &self.cfg.local)?;
 
-        // Accounting replays the exact serial iteration order — one
-        // fixed (client, base) sequence — so the f32 loss/time
+        // Replies come back in task order — the same fixed
+        // (client, base) sequence as dispatch — so the f32 loss/time
         // reductions below are order-identical to the pre-engine loop.
         let mut per_base_updates: Vec<Vec<(Vec<Tensor>, u64)>> = vec![Vec::new(); self.bases.len()];
         let mut losses = Vec::new();
-        let mut round_time = 0.0f64;
-        let mut outcome_it = outcomes.into_iter();
-        for (c, set) in &carried {
-            let mut client_time = 0.0f64;
-            for &b in set {
-                let outcome = outcome_it.next().expect("one outcome per work item");
-                client_time += self.acc.record_participant(
-                    &self.devices,
-                    *c,
-                    self.base_macs,
-                    self.base_params,
-                    outcome.samples_processed,
-                    self.cfg.faults.slowdown(self.cfg.seed, self.round, *c),
-                );
-                losses.push(outcome.avg_loss);
-                per_base_updates[b].push((outcome.weights, outcome.samples_processed));
-            }
-            round_time = round_time.max(client_time);
+        let mut client_time = vec![0.0f64; carried.len()];
+        for r in replies {
+            let (owner, b) = task_meta[r.task];
+            client_time[owner] += self.acc.record_participant(
+                self.base_macs,
+                self.base_params,
+                r.outcome.samples_processed,
+                r.elapsed_s,
+            );
+            losses.push(r.outcome.avg_loss);
+            per_base_updates[b].push((r.outcome.weights, r.outcome.samples_processed));
         }
+        let round_time = client_time.iter().fold(0.0f64, |m, &t| m.max(t));
 
         // FedAvg per base.
         for (b, updates) in per_base_updates.iter().enumerate() {
@@ -187,6 +182,7 @@ impl SplitMix {
         }
 
         let mean_loss = ft_fedsim::metrics::mean(&losses);
+        self.coordinator.finish_round()?;
         self.acc.finish_round(
             self.round,
             mean_loss,
@@ -234,16 +230,30 @@ impl SplitMix {
             .into_report(accs, sizes, archs, macs, storage)
     }
 
-    /// Runs `rounds` rounds and produces the report.
+    /// Installs the coordinator round options (thread budget, protocol
+    /// timing) used by subsequent rounds.
+    pub fn set_round_options(&mut self, opts: RoundOptions) {
+        self.coordinator.set_options(opts);
+    }
+
+    /// The message-driven coordinator this runner rendezvouses and
+    /// trains through (for tests and protocol telemetry).
+    pub fn coordinator(&mut self) -> &mut Coordinator {
+        &mut self.coordinator
+    }
+
+    /// Runs `rounds` more rounds and produces the report.
     ///
     /// # Errors
     ///
     /// Propagates per-round errors.
+    #[deprecated(
+        since = "0.6.0",
+        note = "drive the runner through `ft_fedsim::coordinator::drive` instead"
+    )]
     pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
-        for _ in 0..rounds {
-            self.step()?;
-        }
-        Ok(self.report())
+        let total = self.round as usize + rounds;
+        ft_fedsim::coordinator::drive(self, total, &RoundOptions::from_env())
     }
 }
 
@@ -264,6 +274,10 @@ impl ft_fedsim::Algorithm for SplitMix {
         Ok(SplitMix::report(self))
     }
 
+    fn set_round_options(&mut self, opts: RoundOptions) {
+        SplitMix::set_round_options(self, opts);
+    }
+
     fn checkpoint(&self) -> serde::Value {
         serde_json::json!({
             "kind": "splitmix",
@@ -271,6 +285,7 @@ impl ft_fedsim::Algorithm for SplitMix {
             "bases": self.bases,
             "acc": self.acc,
             "rng": ft_fedsim::driver::rng_to_value(&self.rng),
+            "coordinator": self.coordinator.checkpoint_value(),
         })
     }
 
@@ -296,6 +311,10 @@ impl ft_fedsim::Algorithm for SplitMix {
                 .ok_or_else(|| ft_fedsim::SimError::snapshot("missing rng state"))?,
         )?;
         self.round = field(state, "round")?;
+        let coord = state
+            .get("coordinator")
+            .ok_or_else(|| ft_fedsim::SimError::snapshot("missing coordinator state"))?;
+        self.coordinator.restore_value(coord)?;
         Ok(())
     }
 }
@@ -304,6 +323,7 @@ impl ft_fedsim::Algorithm for SplitMix {
 mod tests {
     use super::*;
     use ft_data::DatasetConfig;
+    use ft_fedsim::coordinator::drive;
     use ft_fedsim::device::DeviceTraceConfig;
     use ft_fedsim::trainer::LocalTrainConfig;
 
@@ -353,7 +373,7 @@ mod tests {
     fn run_produces_report() {
         let (cfg, data, devices, model) = setup();
         let mut sm = SplitMix::new(cfg, data, devices, &model, 3);
-        let report = sm.run(3).unwrap();
+        let report = drive(&mut sm, 3, &RoundOptions::default()).unwrap();
         assert_eq!(report.model_archs.len(), 3);
         assert!(report.pmacs > 0.0);
         assert_eq!(report.per_client_accuracy.len(), 6);

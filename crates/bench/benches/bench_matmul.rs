@@ -135,7 +135,8 @@ fn time_median<F: FnMut()>(mut f: F, reps: usize) -> f64 {
 /// speedups it is normalized against the same machine in the same run,
 /// so it is comparable across hosts of one core count.
 fn bench_round(reps: usize) -> serde_json::Value {
-    use ft_fedsim::trainer::{train_participants_with_threads, LocalTrainConfig};
+    use ft_fedsim::coordinator::RoundOptions;
+    use ft_fedsim::trainer::{train_round, LocalTrainConfig};
 
     let clients = if quick() { 8 } else { 10 };
     let data = ft_data::DatasetConfig::femnist_like()
@@ -155,15 +156,21 @@ fn bench_round(reps: usize) -> serde_json::Value {
     let threads = ft_tensor::pool::max_parallelism();
     let serial_s = time_median(
         || {
-            train_participants_with_threads(assignments(), data.clients(), &cfg, 77, 1)
-                .expect("round trains");
+            let opts = RoundOptions {
+                threads: Some(1),
+                ..Default::default()
+            };
+            train_round(assignments(), data.clients(), &cfg, 77, &opts).expect("round trains");
         },
         reps,
     );
     let parallel_s = time_median(
         || {
-            train_participants_with_threads(assignments(), data.clients(), &cfg, 77, threads)
-                .expect("round trains");
+            let opts = RoundOptions {
+                threads: Some(threads),
+                ..Default::default()
+            };
+            train_round(assignments(), data.clients(), &cfg, 77, &opts).expect("round trains");
         },
         reps,
     );

@@ -25,7 +25,8 @@
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, Criterion};
-use ft_fedsim::trainer::{train_participants_with_threads, LocalStepper, LocalTrainConfig};
+use ft_fedsim::coordinator::RoundOptions;
+use ft_fedsim::trainer::{train_round, LocalStepper, LocalTrainConfig};
 use ft_model::CellModel;
 use ft_tensor::Tensor;
 use rand::SeedableRng;
@@ -250,8 +251,11 @@ fn bench_round(reps: usize) -> serde_json::Value {
             ft_tensor::scratch::set_enabled(true);
         },
         || {
-            train_participants_with_threads(assignments(), data.clients(), &cfg, 77, 1)
-                .expect("round trains");
+            let opts = RoundOptions {
+                threads: Some(1),
+                ..Default::default()
+            };
+            train_round(assignments(), data.clients(), &cfg, 77, &opts).expect("round trains");
         },
         reps,
     );

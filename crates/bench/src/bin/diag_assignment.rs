@@ -2,6 +2,7 @@
 use fedtrans::{ClientManager, FedTransRuntime};
 use ft_baselines::eval_on_client;
 use ft_bench::{Scale, Setup, Workload};
+use ft_fedsim::coordinator::{drive, RoundOptions};
 
 fn main() {
     let scale = Scale::from_env();
@@ -13,7 +14,7 @@ fn main() {
         setup.seed.clone(),
     )
     .unwrap();
-    let report = rt.run(scale.rounds()).unwrap();
+    let report = drive(&mut rt, scale.rounds(), &RoundOptions::from_env()).unwrap();
     println!("suite: {:?}", report.model_archs);
     println!(
         "utility-assigned mean acc: {:.3}",

@@ -8,6 +8,7 @@
 
 use fedtrans::FedTransRuntime;
 use ft_bench::{dump_json, Scale, Setup, Workload};
+use ft_fedsim::coordinator::{drive, RoundOptions};
 
 fn main() {
     let scale = Scale::from_env();
@@ -33,7 +34,7 @@ fn main() {
         )
         .expect("runtime");
         rt.set_eval_every(eval_every);
-        let ft = rt.run(rounds).expect("fedtrans");
+        let ft = drive(&mut rt, rounds, &RoundOptions::from_env()).expect("fedtrans");
         let largest = rt.models().last().expect("suite non-empty").clone();
 
         let mut bl = setup.baseline_config();

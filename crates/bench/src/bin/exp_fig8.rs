@@ -10,6 +10,7 @@
 use fedtrans::FedTransRuntime;
 use ft_baselines::ServerOpt;
 use ft_bench::{dump_json, print_header, print_row, Scale, Setup, Workload};
+use ft_fedsim::coordinator::{drive, RoundOptions};
 
 fn main() {
     let scale = Scale::from_env();
@@ -31,7 +32,7 @@ fn main() {
         setup.seed.clone(),
     )
     .expect("runtime");
-    let ft_plain = rt.run(rounds).expect("fedtrans");
+    let ft_plain = drive(&mut rt, rounds, &RoundOptions::from_env()).expect("fedtrans");
     // Middle-sized generated model for the plain baselines.
     let models = rt.models();
     let middle = models[models.len() / 2].clone();

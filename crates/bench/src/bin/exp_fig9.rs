@@ -11,6 +11,7 @@
 
 use ft_baselines::ServerOpt;
 use ft_bench::{dump_json, print_header, print_row, Scale, Setup, Workload};
+use ft_fedsim::coordinator::{drive, RoundOptions};
 
 use ft_model::CellModel;
 use rand::SeedableRng;
@@ -28,7 +29,7 @@ fn main() {
         setup.seed.clone(),
     )
     .expect("runtime");
-    rt.run(scale.rounds()).expect("fedtrans growth run");
+    drive(&mut rt, scale.rounds(), &RoundOptions::from_env()).expect("fedtrans growth run");
     let suite: Vec<CellModel> = rt.models().to_vec();
     let sampled: Vec<&CellModel> = if suite.len() <= 4 {
         suite.iter().collect()

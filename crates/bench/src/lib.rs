@@ -12,6 +12,7 @@
 use fedtrans::{seed_model, FedTransConfig, FedTransRuntime};
 use ft_baselines::{BaselineConfig, FedAvg, Fluid, HeteroFl, ServerOpt, SplitMix};
 use ft_data::{DatasetConfig, FederatedDataset};
+use ft_fedsim::coordinator::{drive, RoundOptions};
 use ft_fedsim::device::{DeviceTrace, DeviceTraceConfig};
 use ft_fedsim::report::RunReport;
 use ft_fedsim::trainer::LocalTrainConfig;
@@ -251,7 +252,7 @@ impl Setup {
             self.devices.clone(),
             self.seed.clone(),
         )?;
-        rt.run(rounds)
+        Ok(drive(&mut rt, rounds, &RoundOptions::from_env())?)
     }
 
     /// Runs FedTrans and also returns its largest transformed model —
@@ -271,7 +272,7 @@ impl Setup {
             self.devices.clone(),
             self.seed.clone(),
         )?;
-        let report = rt.run(rounds)?;
+        let report = drive(&mut rt, rounds, &RoundOptions::from_env())?;
         let largest = rt
             .models()
             .last()
@@ -292,7 +293,8 @@ impl Setup {
         server: ServerOpt,
         rounds: usize,
     ) -> SimResult<RunReport> {
-        FedAvg::new(cfg, self.data.clone(), self.devices.clone(), model, server).run(rounds)
+        let mut rt = FedAvg::new(cfg, self.data.clone(), self.devices.clone(), model, server);
+        drive(&mut rt, rounds, &RoundOptions::from_env())
     }
 
     /// Runs HeteroFL around `global`.
@@ -306,7 +308,8 @@ impl Setup {
         global: CellModel,
         rounds: usize,
     ) -> SimResult<RunReport> {
-        HeteroFl::new(cfg, self.data.clone(), self.devices.clone(), global).run(rounds)
+        let mut rt = HeteroFl::new(cfg, self.data.clone(), self.devices.clone(), global);
+        drive(&mut rt, rounds, &RoundOptions::from_env())
     }
 
     /// Runs SplitMix with `k` bases split from `global`.
@@ -321,7 +324,8 @@ impl Setup {
         k: usize,
         rounds: usize,
     ) -> SimResult<RunReport> {
-        SplitMix::new(cfg, self.data.clone(), self.devices.clone(), global, k).run(rounds)
+        let mut rt = SplitMix::new(cfg, self.data.clone(), self.devices.clone(), global, k);
+        drive(&mut rt, rounds, &RoundOptions::from_env())
     }
 
     /// Runs FLuID around `global`.
@@ -335,7 +339,8 @@ impl Setup {
         global: CellModel,
         rounds: usize,
     ) -> SimResult<RunReport> {
-        Fluid::new(cfg, self.data.clone(), self.devices.clone(), global).run(rounds)
+        let mut rt = Fluid::new(cfg, self.data.clone(), self.devices.clone(), global);
+        drive(&mut rt, rounds, &RoundOptions::from_env())
     }
 }
 

@@ -1,0 +1,86 @@
+//! Lock-step virtual clock for the in-memory transport.
+//!
+//! The coordinator runtime is discrete-event: nothing happens *between*
+//! message deliveries, so the clock only ever jumps forward to the next
+//! scheduled delivery (or deadline) instead of ticking through idle
+//! time. Ticks are the transport's scheduling unit; wall-clock-shaped
+//! quantities (heartbeat intervals, deadlines, simulated round times)
+//! are expressed in seconds and converted with [`ticks_for_seconds`].
+//!
+//! The clock is reset at every round boundary, which keeps checkpoints
+//! trivially resume-safe: no in-flight transport state ever needs to be
+//! serialized, because rounds begin and end with an empty wire and
+//! `tick == 0`.
+
+/// Virtual-clock resolution: ticks per simulated second.
+pub const TICKS_PER_SECOND: f64 = 10.0;
+
+/// Converts a simulated duration in seconds to a whole number of ticks,
+/// rounding up so an event never lands *before* its duration has
+/// elapsed, and adding one tick so zero-duration events still occupy a
+/// distinct delivery slot.
+pub fn ticks_for_seconds(seconds: f64) -> u64 {
+    if !seconds.is_finite() || seconds <= 0.0 {
+        return 1;
+    }
+    (seconds * TICKS_PER_SECOND).ceil() as u64 + 1
+}
+
+/// A monotone lock-step clock shared by the coordinator and every
+/// simulated participant. Advancing is explicit; the round loop drives
+/// it from one delivery (or deadline) to the next.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    tick: u64,
+}
+
+impl VirtualClock {
+    /// A clock at tick zero.
+    pub fn new() -> Self {
+        VirtualClock { tick: 0 }
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advances to `tick` if it is in the future; a past tick is a
+    /// no-op (the clock never runs backwards).
+    pub fn advance_to(&mut self, tick: u64) {
+        self.tick = self.tick.max(tick);
+    }
+
+    /// Resets to tick zero (round boundary).
+    pub fn reset(&mut self) {
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone_until_reset() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance_to(7);
+        c.advance_to(3);
+        assert_eq!(c.now(), 7, "advancing to the past must be a no-op");
+        c.advance_to(7);
+        assert_eq!(c.now(), 7);
+        c.reset();
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn seconds_round_up_and_never_collapse_to_zero() {
+        assert_eq!(ticks_for_seconds(0.0), 1);
+        assert_eq!(ticks_for_seconds(-3.0), 1);
+        assert_eq!(ticks_for_seconds(f64::NAN), 1);
+        assert_eq!(ticks_for_seconds(0.05), 2); // ceil(0.5) + 1
+        assert_eq!(ticks_for_seconds(1.0), 11); // 10 ticks + 1
+        assert!(ticks_for_seconds(2.0) > ticks_for_seconds(1.0));
+    }
+}

@@ -1,0 +1,132 @@
+//! The typed message vocabulary between coordinator and participants.
+//!
+//! Every interaction in a round — admission, liveness, training — is
+//! one of these messages crossing a [`crate::coordinator::Transport`].
+//! The sender/recipient client index travels in the transport envelope,
+//! not in the message body, so a message value is meaningful for any
+//! peer.
+
+use ft_model::CellModel;
+
+use crate::trainer::LocalOutcome;
+
+/// Coordinator's answer to a rendezvous request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RendezvousReply {
+    /// The client is admitted to the round's cohort.
+    Accept,
+    /// The round has no slot for this client (uninvited, duplicate, or
+    /// wrong phase); it should retry at a later round.
+    Later,
+}
+
+/// Messages a participant sends up to the coordinator.
+#[derive(Debug, Clone)]
+pub enum ClientMessage {
+    /// Asks to join the given round's cohort (sent after an
+    /// [`CoordinatorMessage::Invite`], or unsolicited by an eager
+    /// client).
+    RendezvousRequest {
+        /// The round the client wants to join.
+        round: u32,
+    },
+    /// Periodic liveness signal while the client is training. A client
+    /// whose signals stop for longer than the heartbeat deadline is
+    /// declared dropped.
+    Heartbeat {
+        /// The round the client is training in.
+        round: u32,
+    },
+    /// The client's completed local-training result.
+    EndTrainingRound {
+        /// The round the result belongs to.
+        round: u32,
+        /// Index into the round's task list (assignment order).
+        task: usize,
+        /// The uploaded weights, delta, and training statistics.
+        outcome: LocalOutcome,
+        /// Simulated seconds the client spent on the round (compute +
+        /// comms, after any straggler slowdown).
+        elapsed_s: f64,
+    },
+}
+
+/// Messages the coordinator sends down to a participant.
+#[derive(Debug, Clone)]
+pub enum CoordinatorMessage {
+    /// Invites a selected client to rendezvous for a round.
+    Invite {
+        /// The round being formed.
+        round: u32,
+    },
+    /// Answers a [`ClientMessage::RendezvousRequest`].
+    Rendezvous {
+        /// The round the request was for.
+        round: u32,
+        /// Admission decision.
+        reply: RendezvousReply,
+    },
+    /// Dispatches a training task: the model payload the client
+    /// downloads plus its derived RNG seed.
+    StartTrainingRound {
+        /// The round being trained.
+        round: u32,
+        /// Index into the round's task list (assignment order).
+        task: usize,
+        /// The model the client trains (holding coordinator weights).
+        /// Boxed: the payload dwarfs every other variant, and boxing
+        /// keeps queued non-training messages small.
+        model: Box<CellModel>,
+        /// The client's stateless per-round training seed.
+        seed: u64,
+    },
+    /// Tells an admitted participant the round is over.
+    EndRound {
+        /// The round that finished.
+        round: u32,
+    },
+}
+
+impl ClientMessage {
+    /// The round this message refers to.
+    pub fn round(&self) -> u32 {
+        match self {
+            ClientMessage::RendezvousRequest { round }
+            | ClientMessage::Heartbeat { round }
+            | ClientMessage::EndTrainingRound { round, .. } => *round,
+        }
+    }
+}
+
+impl CoordinatorMessage {
+    /// The round this message refers to.
+    pub fn round(&self) -> u32 {
+        match self {
+            CoordinatorMessage::Invite { round }
+            | CoordinatorMessage::Rendezvous { round, .. }
+            | CoordinatorMessage::StartTrainingRound { round, .. }
+            | CoordinatorMessage::EndRound { round } => *round,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_accessor_covers_every_variant() {
+        assert_eq!(ClientMessage::RendezvousRequest { round: 3 }.round(), 3);
+        assert_eq!(ClientMessage::Heartbeat { round: 4 }.round(), 4);
+        assert_eq!(CoordinatorMessage::Invite { round: 5 }.round(), 5);
+        assert_eq!(
+            CoordinatorMessage::Rendezvous {
+                round: 6,
+                reply: RendezvousReply::Later
+            }
+            .round(),
+            6
+        );
+        assert_eq!(CoordinatorMessage::EndRound { round: 7 }.round(), 7);
+    }
+}

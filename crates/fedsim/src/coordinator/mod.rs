@@ -1,0 +1,747 @@
+//! The message-driven coordinator runtime.
+//!
+//! This module replaces the function-call round loop with the shape of
+//! a production federated-learning *service*: an explicit state machine
+//! (`STANDBY → ROUND(selecting → training → aggregating) → FINISHED`)
+//! that talks to participants exclusively through typed messages over a
+//! pluggable [`Transport`], under a lock-step [`clock::VirtualClock`].
+//!
+//! One round, as messages:
+//!
+//! 1. **Selecting** — [`Coordinator::begin_round`] sends an
+//!    [`CoordinatorMessage::Invite`] to every selected client; reachable
+//!    devices answer with [`ClientMessage::RendezvousRequest`] and are
+//!    admitted ([`RendezvousReply::Accept`]); uninvited or duplicate
+//!    requests get [`RendezvousReply::Later`] and may be readmitted in
+//!    a later round. Devices that have not rendezvoused by the deadline
+//!    are dropped from the round — which is exactly how client dropout
+//!    *emerges* here: an offline device simply never answers.
+//! 2. **Training** — [`Coordinator::train`] dispatches
+//!    [`CoordinatorMessage::StartTrainingRound`] with the model payload
+//!    and derived seed for each task, executes the device compute
+//!    through [`crate::trainer::train_tasks`], and collects
+//!    [`ClientMessage::EndTrainingRound`] results whose arrival tick is
+//!    the device's simulated round time — so stragglers are simply
+//!    *late*. Periodic [`ClientMessage::Heartbeat`]s keep slow devices
+//!    alive; a device silent past the heartbeat deadline is reaped.
+//! 3. **Aggregating** — the algorithm folds the collected replies into
+//!    its global state, then [`Coordinator::finish_round`] notifies the
+//!    cohort ([`CoordinatorMessage::EndRound`]) and returns to standby.
+//!
+//! # Determinism contract under transport
+//!
+//! The coordinator's decisions are insensitive to the delivery order of
+//! messages *within* one virtual-clock tick: admission has no capacity
+//! contention (every invited, reachable device is admitted), liveness
+//! bookkeeping commutes, and replies are keyed by task index rather
+//! than arrival order. [`transport::InMemoryTransport`] deliberately
+//! scrambles within-tick order with a seeded hash, and the
+//! delivery-permutation proptest pins that any order yields the same
+//! round outcome. Fault emergence reuses the exact stateless hashes of
+//! [`crate::faults::FaultConfig`], so runs produce byte-identical
+//! reports to the pre-coordinator round loops — at any thread count,
+//! across kill/resume, and under any delivery permutation.
+
+pub mod clock;
+pub mod message;
+pub mod participant;
+pub mod transport;
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize, Value};
+
+use ft_data::ClientData;
+
+use crate::device::DeviceTrace;
+use crate::driver::Algorithm;
+use crate::faults::FaultConfig;
+use crate::report::RunReport;
+use crate::trainer::{LocalTrainConfig, TrainTask};
+use crate::{Result, SimError};
+
+use clock::{ticks_for_seconds, VirtualClock};
+pub use message::{ClientMessage, CoordinatorMessage, RendezvousReply};
+pub use participant::{Behavior, Cohort};
+pub use transport::{DeliveryOrder, InMemoryTransport, Transport};
+
+/// Salt decorrelating the transport's delivery-order seed from the run
+/// seed proper (which keys selection, data, and fault hashes).
+const ORDER_SEED_SALT: u64 = 0xDE11_0E2D_E2A1_5EED;
+
+/// Stage of an in-progress round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundStage {
+    /// Inviting and admitting participants (rendezvous).
+    Selecting,
+    /// Tasks dispatched; collecting results and heartbeats.
+    Training,
+    /// All results in; the algorithm is folding them into global state.
+    Aggregating,
+}
+
+/// Coordinator lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Between rounds; ready to begin the next one.
+    Standby,
+    /// Inside a round, at the given stage.
+    Round(RoundStage),
+    /// Shut down; no further rounds may begin.
+    Finished,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Phase::Standby => write!(f, "standby"),
+            Phase::Round(RoundStage::Selecting) => write!(f, "round/selecting"),
+            Phase::Round(RoundStage::Training) => write!(f, "round/training"),
+            Phase::Round(RoundStage::Aggregating) => write!(f, "round/aggregating"),
+            Phase::Finished => write!(f, "finished"),
+        }
+    }
+}
+
+/// Options governing how the coordinator runs a round: executor thread
+/// budget and the protocol's timing knobs (simulated seconds).
+///
+/// Timing knobs shape *when* protocol events fire on the virtual
+/// clock; they never change what a healthy device computes, so any
+/// setting that keeps healthy devices inside their deadlines yields
+/// the same report (the effective heartbeat deadline is clamped to at
+/// least one heartbeat interval for exactly this reason).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundOptions {
+    /// Fan-out width for the training executor; `None` defers to
+    /// `FT_CLIENT_THREADS` (see [`crate::exec::client_threads`]).
+    pub threads: Option<usize>,
+    /// How long the coordinator waits for rendezvous answers before
+    /// dropping unresponsive invitees.
+    pub rendezvous_deadline_s: f64,
+    /// How often a training device emits a liveness heartbeat.
+    pub heartbeat_interval_s: f64,
+    /// How long a training device may stay silent before the
+    /// coordinator declares it dropped.
+    pub heartbeat_deadline_s: f64,
+}
+
+impl Default for RoundOptions {
+    fn default() -> Self {
+        RoundOptions {
+            threads: None,
+            rendezvous_deadline_s: 5.0,
+            heartbeat_interval_s: 30.0,
+            heartbeat_deadline_s: 120.0,
+        }
+    }
+}
+
+fn env_f64(name: &str) -> Option<f64> {
+    let v = std::env::var(name).ok()?;
+    let x: f64 = v.trim().parse().ok()?;
+    (x.is_finite() && x > 0.0).then_some(x)
+}
+
+impl RoundOptions {
+    /// Defaults overlaid with the `FT_RENDEZVOUS_DEADLINE_S`,
+    /// `FT_HEARTBEAT_INTERVAL_S`, and `FT_HEARTBEAT_DEADLINE_S`
+    /// environment knobs (invalid or non-positive values are ignored).
+    pub fn from_env() -> Self {
+        RoundOptions::default().with_env_overrides()
+    }
+
+    /// Overlays the environment timing knobs onto `self`.
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Some(x) = env_f64("FT_RENDEZVOUS_DEADLINE_S") {
+            self.rendezvous_deadline_s = x;
+        }
+        if let Some(x) = env_f64("FT_HEARTBEAT_INTERVAL_S") {
+            self.heartbeat_interval_s = x;
+        }
+        if let Some(x) = env_f64("FT_HEARTBEAT_DEADLINE_S") {
+            self.heartbeat_deadline_s = x;
+        }
+        self
+    }
+
+    /// The effective heartbeat deadline in ticks: clamped to at least
+    /// one heartbeat interval plus one tick, so a configuration with
+    /// `deadline < interval` cannot reap devices that heartbeat on
+    /// schedule.
+    fn heartbeat_deadline_ticks(&self) -> u64 {
+        ticks_for_seconds(self.heartbeat_deadline_s)
+            .max(ticks_for_seconds(self.heartbeat_interval_s) + 1)
+    }
+}
+
+/// Protocol telemetry the coordinator accumulates across rounds.
+/// Serialized into every algorithm checkpoint (the report schema is
+/// frozen by the golden digests, so telemetry lives here instead).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoordinatorStats {
+    /// Invites sent (one per selected client per round).
+    pub invitations: u64,
+    /// Rendezvous requests answered with Accept.
+    pub accepted: u64,
+    /// Rendezvous requests answered with Later.
+    pub later_replies: u64,
+    /// Invitees dropped for missing the rendezvous deadline.
+    pub rendezvous_dropouts: u64,
+    /// Training participants reaped by the heartbeat deadline.
+    pub heartbeat_dropouts: u64,
+    /// Heartbeats received.
+    pub heartbeats: u64,
+    /// Training results received.
+    pub results: u64,
+    /// Total participant→coordinator messages received.
+    pub messages_up: u64,
+    /// Total coordinator→participant messages sent.
+    pub messages_down: u64,
+}
+
+/// One collected training result, keyed by its task index (never by
+/// arrival order — a task list with gaps stays unambiguous when a
+/// device vanishes mid-round).
+#[derive(Debug, Clone)]
+pub struct TrainReply {
+    /// Index into the round's task list.
+    pub task: usize,
+    /// The client that trained.
+    pub client: usize,
+    /// The uploaded local-training result.
+    pub outcome: crate::trainer::LocalOutcome,
+    /// The device's simulated round time in seconds (compute + comms,
+    /// after any straggler slowdown).
+    pub elapsed_s: f64,
+}
+
+/// The coordinator: owns the state machine, the virtual clock, the
+/// transport, and the simulated cohort.
+pub struct Coordinator {
+    clock: VirtualClock,
+    transport: Box<dyn Transport>,
+    cohort: Cohort,
+    opts: RoundOptions,
+    phase: Phase,
+    round: u32,
+    admitted: Vec<usize>,
+    stats: CoordinatorStats,
+}
+
+impl Coordinator {
+    /// Builds a coordinator for a fleet, with the default seeded
+    /// in-memory transport and the environment-derived [`RoundOptions`].
+    pub fn new(seed: u64, faults: FaultConfig, devices: DeviceTrace) -> Self {
+        Coordinator::with_transport(
+            seed,
+            faults,
+            devices,
+            Box::new(InMemoryTransport::seeded(seed ^ ORDER_SEED_SALT)),
+        )
+    }
+
+    /// [`Coordinator::new`] with an explicit transport (tests use this
+    /// to force FIFO/LIFO/other delivery orders).
+    pub fn with_transport(
+        seed: u64,
+        faults: FaultConfig,
+        devices: DeviceTrace,
+        transport: Box<dyn Transport>,
+    ) -> Self {
+        Coordinator {
+            clock: VirtualClock::new(),
+            transport,
+            cohort: Cohort::new(seed, faults, devices),
+            opts: RoundOptions::from_env(),
+            phase: Phase::Standby,
+            round: 0,
+            admitted: Vec::new(),
+            stats: CoordinatorStats::default(),
+        }
+    }
+
+    /// The current lifecycle phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The round the coordinator will run (or is running) next.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Accumulated protocol telemetry.
+    pub fn stats(&self) -> &CoordinatorStats {
+        &self.stats
+    }
+
+    /// The active round options.
+    pub fn options(&self) -> &RoundOptions {
+        &self.opts
+    }
+
+    /// Replaces the round options (scenario timing knobs, thread
+    /// overrides).
+    pub fn set_options(&mut self, opts: RoundOptions) {
+        self.opts = opts;
+    }
+
+    /// Mutable access to the simulated cohort, for installing
+    /// per-round [`Behavior`] overrides in tests.
+    pub fn cohort_mut(&mut self) -> &mut Cohort {
+        &mut self.cohort
+    }
+
+    fn expect(&self, want: Phase, action: &str) -> Result<()> {
+        if self.phase == want {
+            Ok(())
+        } else {
+            Err(SimError::protocol(format!(
+                "{action} requires phase {want}, coordinator is in {}",
+                self.phase
+            )))
+        }
+    }
+
+    /// Opens round `round`: resets the clock and wire, invites
+    /// `invited`, runs the rendezvous exchange, and returns the
+    /// admitted participants **in invitation order** once the
+    /// rendezvous deadline passes. Invitees that never answered
+    /// (offline devices) are dropped from the round.
+    ///
+    /// Transitions `STANDBY → ROUND(selecting)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when not in standby or when `round` is
+    /// not the coordinator's next round.
+    pub fn begin_round(&mut self, round: u32, invited: &[usize]) -> Result<Vec<usize>> {
+        self.expect(Phase::Standby, "begin_round")?;
+        if round != self.round {
+            return Err(SimError::protocol(format!(
+                "begin_round({round}) out of sequence: coordinator is at round {}",
+                self.round
+            )));
+        }
+        self.clock.reset();
+        self.transport.clear();
+        self.phase = Phase::Round(RoundStage::Selecting);
+        self.admitted.clear();
+
+        self.cohort.on_round_start(round, 0, &mut *self.transport);
+        for &client in invited {
+            self.transport
+                .send_down(client, 1, CoordinatorMessage::Invite { round });
+            self.stats.invitations += 1;
+            self.stats.messages_down += 1;
+        }
+
+        let deadline = 1 + ticks_for_seconds(self.opts.rendezvous_deadline_s);
+        let position: HashMap<usize, usize> =
+            invited.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let mut admitted_flag = vec![false; invited.len()];
+
+        while let Some(t) = self.transport.next_delivery() {
+            if t > deadline {
+                break;
+            }
+            self.clock.advance_to(t);
+            let now = self.clock.now();
+            for (client, msg) in self.transport.recv_down(now) {
+                self.cohort.handle(client, &msg, now, &mut *self.transport);
+            }
+            for (client, msg) in self.transport.recv_up(now) {
+                self.stats.messages_up += 1;
+                match msg {
+                    ClientMessage::RendezvousRequest { round: r } => {
+                        let slot = (r == round)
+                            .then(|| position.get(&client))
+                            .flatten()
+                            .copied()
+                            .filter(|&i| !admitted_flag[i]);
+                        let reply = match slot {
+                            Some(i) => {
+                                admitted_flag[i] = true;
+                                self.stats.accepted += 1;
+                                RendezvousReply::Accept
+                            }
+                            None => {
+                                self.stats.later_replies += 1;
+                                RendezvousReply::Later
+                            }
+                        };
+                        self.transport.send_down(
+                            client,
+                            now + 1,
+                            CoordinatorMessage::Rendezvous { round: r, reply },
+                        );
+                        self.stats.messages_down += 1;
+                    }
+                    // A heartbeat or result from a previous round's
+                    // stray schedule: the wire was cleared at the round
+                    // boundary, so these cannot occur; ignore defensively.
+                    ClientMessage::Heartbeat { .. } | ClientMessage::EndTrainingRound { .. } => {}
+                }
+            }
+        }
+        self.clock.advance_to(deadline);
+
+        let admitted: Vec<usize> = invited
+            .iter()
+            .zip(&admitted_flag)
+            .filter(|(_, &ok)| ok)
+            .map(|(&c, _)| c)
+            .collect();
+        self.stats.rendezvous_dropouts += (invited.len() - admitted.len()) as u64;
+        self.admitted = admitted.clone();
+        Ok(admitted)
+    }
+
+    /// Runs the training phase: dispatches one
+    /// [`CoordinatorMessage::StartTrainingRound`] per task, executes
+    /// the cohort's compute (fan-out width from
+    /// [`RoundOptions::threads`]), and collects
+    /// [`ClientMessage::EndTrainingRound`] replies as they arrive on
+    /// the virtual clock, keeping stragglers alive through their
+    /// heartbeats and reaping devices silent past the heartbeat
+    /// deadline.
+    ///
+    /// Replies come back **in task order**; a reaped device's task is
+    /// simply absent. Transitions `selecting → training → aggregating`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when not in the selecting stage or when a
+    /// task names a client outside the admitted cohort;
+    /// [`SimError::NoSuchClient`] for an out-of-range client index;
+    /// training errors propagate from the executor.
+    pub fn train(
+        &mut self,
+        tasks: Vec<TrainTask>,
+        shards: &[ClientData],
+        cfg: &LocalTrainConfig,
+    ) -> Result<Vec<TrainReply>> {
+        self.expect(Phase::Round(RoundStage::Selecting), "train")?;
+        let cohort_set: HashSet<usize> = self.admitted.iter().copied().collect();
+        for t in &tasks {
+            if t.client >= shards.len() {
+                return Err(SimError::NoSuchClient {
+                    index: t.client,
+                    clients: shards.len(),
+                });
+            }
+            if !cohort_set.contains(&t.client) {
+                return Err(SimError::protocol(format!(
+                    "train task for client {} which was not admitted to round {}",
+                    t.client, self.round
+                )));
+            }
+        }
+        self.phase = Phase::Round(RoundStage::Training);
+        let round = self.round;
+        let n = tasks.len();
+        if n == 0 {
+            self.phase = Phase::Round(RoundStage::Aggregating);
+            return Ok(Vec::new());
+        }
+
+        // Dispatch: the model payload travels in the message.
+        let dispatch_at = self.clock.now() + 1;
+        let mut task_meta: Vec<(usize, u64, usize)> = Vec::with_capacity(n); // (client, macs, params)
+        for (i, t) in tasks.into_iter().enumerate() {
+            task_meta.push((t.client, t.model.macs_per_sample(), t.model.param_count()));
+            self.transport.send_down(
+                t.client,
+                dispatch_at,
+                CoordinatorMessage::StartTrainingRound {
+                    round,
+                    task: i,
+                    model: Box::new(t.model),
+                    seed: t.seed,
+                },
+            );
+            self.stats.messages_down += 1;
+        }
+
+        // Devices receive their payloads; vanish-scripted devices die
+        // here (payload lost), everything else queues for execution.
+        self.clock.advance_to(dispatch_at);
+        let mut exec_tasks: Vec<Option<TrainTask>> = (0..n).map(|_| None).collect();
+        for (client, msg) in self.transport.recv_down(dispatch_at) {
+            match msg {
+                CoordinatorMessage::StartTrainingRound {
+                    task, model, seed, ..
+                } => {
+                    if self.cohort.behavior(round, client) != Behavior::Vanish {
+                        exec_tasks[task] = Some(TrainTask {
+                            client,
+                            model: *model,
+                            seed,
+                        });
+                    }
+                }
+                other => self
+                    .cohort
+                    .handle(client, &other, dispatch_at, &mut *self.transport),
+            }
+        }
+
+        // Execute the cohort's compute deterministically (the simulated
+        // timeline below is independent of this host-side schedule).
+        let mut slot_to_task: Vec<usize> = Vec::new();
+        let mut exec_input: Vec<TrainTask> = Vec::new();
+        for (i, t) in exec_tasks.into_iter().enumerate() {
+            if let Some(t) = t {
+                slot_to_task.push(i);
+                exec_input.push(t);
+            }
+        }
+        let threads = self
+            .opts
+            .threads
+            .unwrap_or_else(crate::exec::client_threads);
+        let outcomes = crate::trainer::train_tasks(exec_input, shards, cfg, threads)?;
+
+        // Schedule each device's uploads on the virtual clock: the
+        // result lands after its simulated round time, with heartbeats
+        // every interval in between.
+        let start = self.clock.now();
+        let hb_ticks = ticks_for_seconds(self.opts.heartbeat_interval_s);
+        let deadline_ticks = self.opts.heartbeat_deadline_ticks();
+        let mut last_signal: HashMap<usize, u64> = HashMap::new();
+        let mut open_tasks: HashMap<usize, Vec<usize>> = HashMap::new(); // client -> task idxs
+        for (client, _, _) in &task_meta {
+            last_signal.insert(*client, start);
+        }
+        for i in 0..n {
+            let client = task_meta[i].0;
+            open_tasks.entry(client).or_default().push(i);
+        }
+        for (slot, outcome) in outcomes.into_iter().enumerate() {
+            let i = slot_to_task[slot];
+            let (client, macs, params) = task_meta[i];
+            let elapsed_s =
+                self.cohort
+                    .round_time(round, client, macs, params, outcome.samples_processed);
+            let end = start + ticks_for_seconds(elapsed_s);
+            // Liveness beats every interval until the result lands. For
+            // degenerate spans (a tiny interval against a huge round
+            // time) the stride widens so no device ever schedules more
+            // than ~10k beats — wide strides stay under the deadline
+            // because the effective deadline is clamped to ≥ 1 stride
+            // only for configured intervals; absurd spans are a
+            // documented non-goal.
+            let stride = hb_ticks.max(end.saturating_sub(start) / 10_000);
+            let mut beat = start + stride;
+            while beat < end {
+                self.transport
+                    .send_up(client, beat, ClientMessage::Heartbeat { round });
+                beat += stride;
+            }
+            self.transport.send_up(
+                client,
+                end,
+                ClientMessage::EndTrainingRound {
+                    round,
+                    task: i,
+                    outcome,
+                    elapsed_s,
+                },
+            );
+        }
+
+        // Collect: jump the clock from event to event; reap devices
+        // whose signals go silent past the deadline.
+        let mut replies: Vec<Option<TrainReply>> = (0..n).map(|_| None).collect();
+        let mut unresolved: usize = n;
+        let mut reaped: HashSet<usize> = HashSet::new();
+        while unresolved > 0 {
+            let next_deadline = last_signal
+                .iter()
+                .filter(|(c, _)| {
+                    !reaped.contains(c) && open_tasks.get(c).is_some_and(|t| !t.is_empty())
+                })
+                .map(|(_, &t)| t + deadline_ticks)
+                .min();
+            let target = match (self.transport.next_delivery(), next_deadline) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            self.clock.advance_to(target);
+            let now = self.clock.now();
+            for (client, msg) in self.transport.recv_up(now) {
+                self.stats.messages_up += 1;
+                match msg {
+                    ClientMessage::Heartbeat { .. } => {
+                        last_signal.insert(client, now);
+                        self.stats.heartbeats += 1;
+                    }
+                    ClientMessage::EndTrainingRound {
+                        task,
+                        outcome,
+                        elapsed_s,
+                        ..
+                    } => {
+                        last_signal.insert(client, now);
+                        if let Some(open) = open_tasks.get_mut(&client) {
+                            open.retain(|&t| t != task);
+                        }
+                        if replies[task].is_none() {
+                            unresolved -= 1;
+                        }
+                        replies[task] = Some(TrainReply {
+                            task,
+                            client,
+                            outcome,
+                            elapsed_s,
+                        });
+                        self.stats.results += 1;
+                    }
+                    ClientMessage::RendezvousRequest { round: r } => {
+                        // Mid-round admission request: no slot now.
+                        self.stats.later_replies += 1;
+                        self.transport.send_down(
+                            client,
+                            now + 1,
+                            CoordinatorMessage::Rendezvous {
+                                round: r,
+                                reply: RendezvousReply::Later,
+                            },
+                        );
+                        self.stats.messages_down += 1;
+                    }
+                }
+            }
+            for (client, msg) in self.transport.recv_down(now) {
+                self.cohort.handle(client, &msg, now, &mut *self.transport);
+            }
+            let silent: Vec<usize> = last_signal
+                .iter()
+                .filter(|(c, &seen)| {
+                    !reaped.contains(c)
+                        && open_tasks.get(c).is_some_and(|t| !t.is_empty())
+                        && now >= seen + deadline_ticks
+                })
+                .map(|(&c, _)| c)
+                .collect();
+            for client in silent {
+                reaped.insert(client);
+                self.stats.heartbeat_dropouts += 1;
+                if let Some(open) = open_tasks.get_mut(&client) {
+                    unresolved -= open.len();
+                    open.clear();
+                }
+            }
+        }
+
+        self.phase = Phase::Round(RoundStage::Aggregating);
+        Ok(replies.into_iter().flatten().collect())
+    }
+
+    /// Closes the round: notifies the cohort, clears the wire, and
+    /// returns to standby with the round counter advanced.
+    ///
+    /// Transitions `ROUND(aggregating) → STANDBY`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when not in the aggregating stage.
+    pub fn finish_round(&mut self) -> Result<()> {
+        self.expect(Phase::Round(RoundStage::Aggregating), "finish_round")?;
+        let round = self.round;
+        let notify_at = self.clock.now() + 1;
+        for &client in &self.admitted {
+            self.transport
+                .send_down(client, notify_at, CoordinatorMessage::EndRound { round });
+            self.stats.messages_down += 1;
+        }
+        self.clock.advance_to(notify_at);
+        for (client, msg) in self.transport.recv_down(notify_at) {
+            self.cohort
+                .handle(client, &msg, notify_at, &mut *self.transport);
+        }
+        self.transport.clear();
+        self.admitted.clear();
+        self.clock.reset();
+        self.round += 1;
+        self.phase = Phase::Standby;
+        Ok(())
+    }
+
+    /// Permanently shuts the coordinator down.
+    ///
+    /// Transitions `STANDBY → FINISHED`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when a round is in progress (or the
+    /// coordinator is already finished).
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.expect(Phase::Standby, "shutdown")?;
+        self.phase = Phase::Finished;
+        Ok(())
+    }
+
+    /// Serializes the coordinator's between-round state (phase, round
+    /// counter, protocol telemetry). Rounds are atomic with respect to
+    /// checkpoints — the wire is always empty and the clock at zero
+    /// when an algorithm checkpoints — so this is the *complete*
+    /// coordinator state.
+    pub fn checkpoint_value(&self) -> Value {
+        serde_json::json!({
+            "phase": format!("{}", self.phase),
+            "round": self.round,
+            "stats": self.stats,
+        })
+    }
+
+    /// Restores state captured by [`Coordinator::checkpoint_value`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Snapshot`] on a malformed checkpoint or one taken
+    /// mid-round (which the runtime never produces).
+    pub fn restore_value(&mut self, state: &Value) -> Result<()> {
+        let phase: String = crate::driver::field(state, "phase")?;
+        self.phase = match phase.as_str() {
+            "standby" => Phase::Standby,
+            "finished" => Phase::Finished,
+            other => {
+                return Err(SimError::snapshot(format!(
+                    "coordinator checkpoint taken mid-round (phase `{other}`)"
+                )))
+            }
+        };
+        self.round = crate::driver::field(state, "round")?;
+        self.stats = crate::driver::field(state, "stats")?;
+        self.admitted.clear();
+        self.transport.clear();
+        self.clock.reset();
+        Ok(())
+    }
+}
+
+/// Drives any [`Algorithm`] to `total_rounds` completed rounds under
+/// the given [`RoundOptions`], then produces its report — the one
+/// generic round loop that replaced the five per-method `run` loops.
+///
+/// `total_rounds` is absolute (like [`Algorithm::run_to`]): a restored
+/// algorithm continues from its checkpointed round.
+///
+/// # Errors
+///
+/// Propagates step and evaluation errors.
+pub fn drive<A: Algorithm + ?Sized>(
+    algo: &mut A,
+    total_rounds: usize,
+    opts: &RoundOptions,
+) -> Result<RunReport> {
+    algo.set_round_options(*opts);
+    while (algo.round() as usize) < total_rounds {
+        algo.step()?;
+    }
+    algo.report()
+}

@@ -1,0 +1,280 @@
+//! The transport abstraction between coordinator and participants, and
+//! its deterministic in-memory implementation.
+//!
+//! The coordinator never calls a participant function directly: every
+//! interaction is a typed message pushed into a [`Transport`] with a
+//! delivery tick, then drained by the receiving side once the virtual
+//! clock reaches that tick. Swapping the transport (e.g. for a socket
+//! transport later) cannot change round semantics, because the
+//! coordinator's state machine is written to be insensitive to the
+//! delivery order of messages within one tick — the property the
+//! delivery-permutation proptest pins.
+//!
+//! # Within-tick delivery order
+//!
+//! [`InMemoryTransport`] totally orders same-tick messages by a
+//! stateless hash of its order seed and a per-message sequence number
+//! ([`DeliveryOrder::Seeded`]). This deliberately *scrambles* queue
+//! order — a correct coordinator must not care — while remaining a
+//! pure function of the seed, so a run is reproducible end to end. The
+//! [`DeliveryOrder::Fifo`] and [`DeliveryOrder::Lifo`] policies exist
+//! for tests that want to drive the two extreme orders explicitly.
+
+use super::message::{ClientMessage, CoordinatorMessage};
+
+/// Within-tick delivery-order policy for [`InMemoryTransport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOrder {
+    /// Order same-tick messages by a stateless hash of `(seed, seq)`.
+    /// The default; scrambles arrival order deterministically.
+    Seeded(u64),
+    /// Deliver same-tick messages in send order.
+    Fifo,
+    /// Deliver same-tick messages in reverse send order.
+    Lifo,
+}
+
+/// SplitMix64 finalizer (same mixer as [`crate::faults`]); used only
+/// to derive the within-tick delivery permutation, so it consumes no
+/// RNG stream any algorithm observes.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DeliveryOrder {
+    /// The sort key assigned to the `seq`-th message pushed into the
+    /// transport. Keys are unique per `seq`, so the induced order is
+    /// total and reproducible.
+    fn key(&self, seq: u64) -> (u64, u64) {
+        match self {
+            DeliveryOrder::Seeded(seed) => (mix(seed ^ seq), seq),
+            DeliveryOrder::Fifo => (seq, seq),
+            DeliveryOrder::Lifo => (u64::MAX - seq, seq),
+        }
+    }
+}
+
+/// A bidirectional, tick-scheduled message channel between the
+/// coordinator and its participants.
+///
+/// `send_*` schedules a message for a future tick; `recv_*` drains all
+/// messages due at or before the given tick, in the transport's
+/// delivery order. [`Transport::next_delivery`] lets the round loop
+/// jump the virtual clock straight to the next event.
+///
+/// Implementations must be `Send + Sync` so a coordinator-owning
+/// runtime can still fan evaluation and training out across the shared
+/// worker pool.
+pub trait Transport: Send + Sync {
+    /// Schedules a participant→coordinator message from client `from`
+    /// for delivery at `deliver_at`.
+    fn send_up(&mut self, from: usize, deliver_at: u64, msg: ClientMessage);
+
+    /// Schedules a coordinator→participant message to client `to` for
+    /// delivery at `deliver_at`.
+    fn send_down(&mut self, to: usize, deliver_at: u64, msg: CoordinatorMessage);
+
+    /// Drains every participant→coordinator message due at or before
+    /// `now`, paired with its sender, in delivery order.
+    fn recv_up(&mut self, now: u64) -> Vec<(usize, ClientMessage)>;
+
+    /// Drains every coordinator→participant message due at or before
+    /// `now`, paired with its recipient, in delivery order.
+    fn recv_down(&mut self, now: u64) -> Vec<(usize, CoordinatorMessage)>;
+
+    /// The earliest delivery tick among in-flight messages, if any.
+    fn next_delivery(&self) -> Option<u64>;
+
+    /// Number of in-flight (undelivered) messages.
+    fn pending(&self) -> usize;
+
+    /// Drops every in-flight message (round boundary).
+    fn clear(&mut self);
+}
+
+struct Queued<M> {
+    peer: usize,
+    deliver_at: u64,
+    key: (u64, u64),
+    msg: M,
+}
+
+/// The deterministic in-memory [`Transport`]: a pair of queues ordered
+/// by `(deliver_at, order_key)` under a lock-step virtual clock.
+pub struct InMemoryTransport {
+    order: DeliveryOrder,
+    seq: u64,
+    up: Vec<Queued<ClientMessage>>,
+    down: Vec<Queued<CoordinatorMessage>>,
+}
+
+impl InMemoryTransport {
+    /// A transport whose within-tick order is scrambled by `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        InMemoryTransport::with_order(DeliveryOrder::Seeded(seed))
+    }
+
+    /// A transport with an explicit delivery-order policy.
+    pub fn with_order(order: DeliveryOrder) -> Self {
+        InMemoryTransport {
+            order,
+            seq: 0,
+            up: Vec::new(),
+            down: Vec::new(),
+        }
+    }
+
+    fn next_key(&mut self) -> (u64, u64) {
+        let key = self.order.key(self.seq);
+        self.seq += 1;
+        key
+    }
+}
+
+fn drain_due<M>(queue: &mut Vec<Queued<M>>, now: u64) -> Vec<(usize, M)> {
+    let mut due: Vec<Queued<M>> = Vec::new();
+    let mut rest: Vec<Queued<M>> = Vec::new();
+    for q in queue.drain(..) {
+        if q.deliver_at <= now {
+            due.push(q);
+        } else {
+            rest.push(q);
+        }
+    }
+    *queue = rest;
+    due.sort_by_key(|q| (q.deliver_at, q.key));
+    due.into_iter().map(|q| (q.peer, q.msg)).collect()
+}
+
+impl Transport for InMemoryTransport {
+    fn send_up(&mut self, from: usize, deliver_at: u64, msg: ClientMessage) {
+        let key = self.next_key();
+        self.up.push(Queued {
+            peer: from,
+            deliver_at,
+            key,
+            msg,
+        });
+    }
+
+    fn send_down(&mut self, to: usize, deliver_at: u64, msg: CoordinatorMessage) {
+        let key = self.next_key();
+        self.down.push(Queued {
+            peer: to,
+            deliver_at,
+            key,
+            msg,
+        });
+    }
+
+    fn recv_up(&mut self, now: u64) -> Vec<(usize, ClientMessage)> {
+        drain_due(&mut self.up, now)
+    }
+
+    fn recv_down(&mut self, now: u64) -> Vec<(usize, CoordinatorMessage)> {
+        drain_due(&mut self.down, now)
+    }
+
+    fn next_delivery(&self) -> Option<u64> {
+        let up = self.up.iter().map(|q| q.deliver_at).min();
+        let down = self.down.iter().map(|q| q.deliver_at).min();
+        match (up, down) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.up.len() + self.down.len()
+    }
+
+    fn clear(&mut self) {
+        self.up.clear();
+        self.down.clear();
+        // Round boundary: also restart the order-key sequence, so a
+        // round's within-tick delivery permutation never depends on how
+        // many messages earlier rounds exchanged. This is what makes a
+        // resumed run's delivery order identical to an uninterrupted
+        // one without serializing any transport state.
+        self.seq = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hb(round: u32) -> ClientMessage {
+        ClientMessage::Heartbeat { round }
+    }
+
+    #[test]
+    fn messages_wait_for_their_delivery_tick() {
+        let mut t = InMemoryTransport::seeded(1);
+        t.send_up(0, 5, hb(0));
+        t.send_up(1, 2, hb(0));
+        assert_eq!(t.next_delivery(), Some(2));
+        assert!(t.recv_up(1).is_empty());
+        let at2 = t.recv_up(2);
+        assert_eq!(at2.len(), 1);
+        assert_eq!(at2[0].0, 1);
+        assert_eq!(t.next_delivery(), Some(5));
+        assert_eq!(t.recv_up(10).len(), 1);
+        assert_eq!(t.pending(), 0);
+        assert_eq!(t.next_delivery(), None);
+    }
+
+    #[test]
+    fn fifo_and_lifo_are_exact_mirrors_within_a_tick() {
+        let mut fifo = InMemoryTransport::with_order(DeliveryOrder::Fifo);
+        let mut lifo = InMemoryTransport::with_order(DeliveryOrder::Lifo);
+        for t in [&mut fifo, &mut lifo] {
+            for c in 0..5usize {
+                t.send_up(c, 1, hb(0));
+            }
+        }
+        let f: Vec<usize> = fifo.recv_up(1).into_iter().map(|(c, _)| c).collect();
+        let l: Vec<usize> = lifo.recv_up(1).into_iter().map(|(c, _)| c).collect();
+        assert_eq!(f, vec![0, 1, 2, 3, 4]);
+        assert_eq!(l, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn seeded_order_is_reproducible_and_scrambles() {
+        let run = |seed: u64| -> Vec<usize> {
+            let mut t = InMemoryTransport::seeded(seed);
+            for c in 0..8usize {
+                t.send_up(c, 1, hb(0));
+            }
+            t.recv_up(1).into_iter().map(|(c, _)| c).collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same permutation");
+        let scrambled = (0..64u64).any(|s| run(s) != (0..8).collect::<Vec<_>>());
+        assert!(scrambled, "some seed must differ from send order");
+    }
+
+    #[test]
+    fn delivery_tick_dominates_order_key() {
+        let mut t = InMemoryTransport::with_order(DeliveryOrder::Lifo);
+        t.send_up(0, 1, hb(0));
+        t.send_up(1, 2, hb(0));
+        let order: Vec<usize> = t.recv_up(2).into_iter().map(|(c, _)| c).collect();
+        assert_eq!(order, vec![0, 1], "earlier tick delivers first");
+    }
+
+    #[test]
+    fn clear_restores_a_fresh_wire_and_order_sequence() {
+        let mut t = InMemoryTransport::seeded(3);
+        t.send_up(0, 1, hb(0));
+        t.send_down(1, 1, CoordinatorMessage::EndRound { round: 0 });
+        assert_eq!(t.pending(), 2);
+        t.clear();
+        assert_eq!(t.pending(), 0);
+        assert_eq!(t.seq, 0, "clear must restart the order-key sequence");
+    }
+}

@@ -54,6 +54,16 @@ pub trait Algorithm {
     /// mismatched checkpoint.
     fn restore(&mut self, state: &Value) -> Result<()>;
 
+    /// Installs the coordinator round options (executor thread budget,
+    /// protocol timing knobs) this method should run its rounds under.
+    /// The default implementation ignores them, so methods without a
+    /// coordinator (none, after this refactor) remain valid
+    /// implementors; [`crate::coordinator::drive`] calls this before
+    /// stepping.
+    fn set_round_options(&mut self, opts: crate::coordinator::RoundOptions) {
+        let _ = opts;
+    }
+
     /// Runs rounds until `total_rounds` have completed, then reports.
     ///
     /// # Errors

@@ -26,12 +26,26 @@ pub enum SimError {
         /// Explanation of the failure.
         detail: String,
     },
+    /// The coordinator protocol was violated (illegal state-machine
+    /// transition, out-of-sequence round, or a task for a client
+    /// outside the admitted cohort).
+    Protocol {
+        /// Explanation of the violation.
+        detail: String,
+    },
 }
 
 impl SimError {
     /// Builds a [`SimError::Snapshot`] from any displayable cause.
     pub fn snapshot(detail: impl std::fmt::Display) -> Self {
         SimError::Snapshot {
+            detail: detail.to_string(),
+        }
+    }
+
+    /// Builds a [`SimError::Protocol`] from any displayable cause.
+    pub fn protocol(detail: impl std::fmt::Display) -> Self {
+        SimError::Protocol {
             detail: detail.to_string(),
         }
     }
@@ -47,6 +61,9 @@ impl fmt::Display for SimError {
             SimError::WorkerPanicked => write!(f, "a local-training worker thread panicked"),
             SimError::BadConfig { detail } => write!(f, "bad simulation config: {detail}"),
             SimError::Snapshot { detail } => write!(f, "checkpoint error: {detail}"),
+            SimError::Protocol { detail } => {
+                write!(f, "coordinator protocol violation: {detail}")
+            }
         }
     }
 }

@@ -2,16 +2,22 @@
 //!
 //! Production federated deployments lose clients mid-round (battery,
 //! connectivity, eviction) and see heavy-tailed completion times from
-//! background load. This module injects both into the simulator as a
-//! **stateless** perturbation: whether a `(round, client)` pair drops
-//! or straggles is a pure hash of the run seed, so fault injection is
+//! background load. This module describes both as a **stateless**
+//! ground truth: whether a `(round, client)` pair is offline or
+//! throttled is a pure hash of the run seed, so the fault landscape is
 //! deterministic, checkpoint-free, and identical before and after a
 //! resume — no RNG stream is consumed. Statelessness also makes the
 //! fault model parallel-safe by construction: any thread may query
 //! [`FaultConfig::drops`] or [`FaultConfig::slowdown`] in any order
-//! without affecting what any other query returns, which is why the
-//! round-level client engine ([`crate::exec`]) needs no coordination
-//! with it.
+//! without affecting what any other query returns.
+//!
+//! Faults are no longer *injected* into round results. The
+//! message-driven coordinator's cohort ([`crate::coordinator`]) reads
+//! this config to decide how each simulated participant behaves on the
+//! wire: an offline client never answers its rendezvous invitation and
+//! misses the deadline; a throttled one replies late on the virtual
+//! clock. Dropout and stragglers thereby *emerge* from the protocol
+//! while remaining bit-identical to the old direct injection.
 
 use serde::{Deserialize, Serialize};
 
@@ -81,6 +87,14 @@ impl FaultConfig {
     }
 
     /// Removes dropped clients from a selection, in place.
+    ///
+    /// Deprecated: the coordinator now *emerges* dropout from missed
+    /// rendezvous deadlines ([`crate::coordinator::Coordinator::begin_round`]),
+    /// which admits exactly the cohort this function would retain.
+    #[deprecated(
+        since = "0.6.0",
+        note = "dropout is emergent in the coordinator rendezvous; use `Coordinator::begin_round`"
+    )]
     pub fn apply_dropout(&self, seed: u64, round: u32, participants: &mut Vec<usize>) {
         if self.dropout_prob > 0.0 {
             participants.retain(|&c| !self.drops(seed, round, c));
@@ -93,6 +107,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(deprecated)]
     fn default_is_inert() {
         let f = FaultConfig::default();
         assert!(!f.is_active());

@@ -24,7 +24,13 @@
 //!   quartiles for Fig. 6);
 //! * [`roundtime`] — round-completion-time model for the straggler
 //!   analysis (Table 6);
-//! * [`faults`] — deterministic client dropout / straggler injection;
+//! * [`faults`] — the deterministic client fault model (stateless
+//!   dropout / straggler hashes) the coordinator's cohort emerges
+//!   faults from;
+//! * [`coordinator`] — the message-driven coordinator runtime: the
+//!   round state machine, the typed message protocol, the pluggable
+//!   [`coordinator::Transport`], and the generic [`coordinator::drive`]
+//!   round loop;
 //! * [`driver`] — the [`driver::Algorithm`] trait the scenario harness
 //!   drives every method (FedTrans and all baselines) through,
 //!   including checkpoint/resume.
@@ -40,6 +46,7 @@
 //! assert!(disparity >= 20.0);
 //! ```
 
+pub mod coordinator;
 pub mod costs;
 pub mod device;
 pub mod driver;
@@ -54,6 +61,7 @@ pub mod trainer;
 
 mod error;
 
+pub use coordinator::{drive, Coordinator, RoundOptions};
 pub use driver::Algorithm;
 pub use error::SimError;
 pub use faults::FaultConfig;

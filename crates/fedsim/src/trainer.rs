@@ -6,12 +6,13 @@
 //! training loss — exactly the feedback FedTrans's coordinator consumes
 //! (Algorithm 1, line 10).
 //!
-//! [`train_participants`] executes a whole round's participants
-//! concurrently through the [`crate::exec`] engine. Downstream
-//! accounting (cost meters, round times, loss means) iterates the
-//! returned outcomes in assignment order, which is what keeps every
-//! floating-point reduction order-fixed regardless of which client
-//! finished first.
+//! [`train_round`] executes a whole round's participants concurrently
+//! through the [`crate::exec`] engine, and [`train_tasks`] is the
+//! underlying batch executor the message-driven coordinator dispatches
+//! through. Downstream accounting (cost meters, round times, loss
+//! means) iterates the returned outcomes in assignment order, which is
+//! what keeps every floating-point reduction order-fixed regardless of
+//! which client finished first.
 
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -201,44 +202,138 @@ pub fn client_seed(round_seed: u64, client: usize) -> u64 {
         .wrapping_add(client as u64)
 }
 
-/// Trains many participants concurrently over the shared worker pool,
-/// with the fan-out width taken from `FT_CLIENT_THREADS` (see
-/// [`crate::exec::client_threads`]).
+/// One unit of training work the coordinator dispatches: which client
+/// trains, the model payload it downloads (already holding coordinator
+/// weights), and its explicit RNG seed.
 ///
-/// `assignments` pairs each participating client index with the model it
-/// downloads (already holding coordinator weights). Outcomes are
-/// returned in the same order as `assignments`, and are byte-identical
-/// at any thread count: each client's RNG stream is derived by
-/// [`client_seed`], results land in submission-order slots, and the
-/// GEMM kernels underneath are thread-count invariant.
+/// The seed is carried rather than derived inside the executor so
+/// callers with bespoke seed schedules (e.g. SplitMix's per-base
+/// streams) use the same entry point as everyone else.
+#[derive(Debug)]
+pub struct TrainTask {
+    /// Index of the client that trains.
+    pub client: usize,
+    /// The model to train (enters holding global weights).
+    pub model: CellModel,
+    /// Seed for the client's local RNG stream.
+    pub seed: u64,
+}
+
+/// Executes a batch of [`TrainTask`]s concurrently over the shared
+/// worker pool — the coordinator's training-phase executor.
+///
+/// Outcomes are returned in task order and are byte-identical at any
+/// thread budget: each task's RNG stream comes from its own seed,
+/// results land in submission-order slots, and the GEMM kernels
+/// underneath are thread-count invariant.
+///
+/// # Errors
+///
+/// Returns [`SimError::NoSuchClient`] for an out-of-range client index
+/// (checked upfront, before any training starts), the lowest-indexed
+/// training error, or [`SimError::WorkerPanicked`] if a task dies.
+pub fn train_tasks(
+    tasks: Vec<TrainTask>,
+    shards: &[ClientData],
+    cfg: &LocalTrainConfig,
+    threads: usize,
+) -> Result<Vec<LocalOutcome>> {
+    let n = tasks.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    for task in &tasks {
+        if task.client >= shards.len() {
+            return Err(SimError::NoSuchClient {
+                index: task.client,
+                clients: shards.len(),
+            });
+        }
+    }
+    // Each slot's model is taken (not cloned) by the worker that trains
+    // it; the mutex only mediates the one-time handoff.
+    let work: Vec<(usize, u64, parking_lot::Mutex<Option<CellModel>>)> = tasks
+        .into_iter()
+        .map(|t| (t.client, t.seed, parking_lot::Mutex::new(Some(t.model))))
+        .collect();
+    crate::exec::try_par_map(n, threads, |slot| {
+        let (client, seed, cell) = &work[slot];
+        let mut model = cell
+            .lock()
+            .take()
+            .expect("each slot is claimed exactly once");
+        train_local(&mut model, *client, &shards[*client], cfg, *seed)
+    })
+}
+
+/// Trains one round's participants, deriving each client's seed from
+/// `round_seed` via [`client_seed`] and the fan-out width from
+/// `opts.threads` (falling back to `FT_CLIENT_THREADS`; see
+/// [`crate::exec::client_threads`]). This is the single round-training
+/// entry point that replaced the `train_participants` /
+/// `train_participants_with_threads` pair.
+///
+/// `assignments` pairs each participating client index with the model
+/// it downloads. Outcomes come back in assignment order, byte-identical
+/// at any thread count.
+///
+/// # Errors
+///
+/// Returns [`SimError::NoSuchClient`] for an out-of-range client index,
+/// the lowest-indexed training error, or [`SimError::WorkerPanicked`]
+/// if a training task dies.
+pub fn train_round(
+    assignments: Vec<(usize, CellModel)>,
+    shards: &[ClientData],
+    cfg: &LocalTrainConfig,
+    round_seed: u64,
+    opts: &crate::coordinator::RoundOptions,
+) -> Result<Vec<LocalOutcome>> {
+    let tasks = assignments
+        .into_iter()
+        .map(|(client, model)| TrainTask {
+            client,
+            model,
+            seed: client_seed(round_seed, client),
+        })
+        .collect();
+    let threads = opts.threads.unwrap_or_else(crate::exec::client_threads);
+    train_tasks(tasks, shards, cfg, threads)
+}
+
+/// Trains many participants concurrently with the fan-out width taken
+/// from `FT_CLIENT_THREADS`.
 ///
 /// # Errors
 ///
 /// Returns the lowest-indexed training error, or
 /// [`SimError::WorkerPanicked`] if a training task dies.
+#[deprecated(since = "0.6.0", note = "use `train_round` with `RoundOptions`")]
 pub fn train_participants(
     assignments: Vec<(usize, CellModel)>,
     shards: &[ClientData],
     cfg: &LocalTrainConfig,
     round_seed: u64,
 ) -> Result<Vec<LocalOutcome>> {
-    train_participants_with_threads(
+    train_round(
         assignments,
         shards,
         cfg,
         round_seed,
-        crate::exec::client_threads(),
+        &crate::coordinator::RoundOptions::default(),
     )
 }
 
-/// [`train_participants`] with an explicit thread budget instead of the
-/// `FT_CLIENT_THREADS` environment gate — the entry point for
-/// cross-thread-count determinism tests and benchmarks.
+/// [`train_participants`] with an explicit thread budget.
 ///
 /// # Errors
 ///
 /// Returns the lowest-indexed training error, or
 /// [`SimError::WorkerPanicked`] if a training task dies.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `train_round` with `RoundOptions { threads: Some(n), .. }`"
+)]
 pub fn train_participants_with_threads(
     assignments: Vec<(usize, CellModel)>,
     shards: &[ClientData],
@@ -246,38 +341,16 @@ pub fn train_participants_with_threads(
     round_seed: u64,
     threads: usize,
 ) -> Result<Vec<LocalOutcome>> {
-    let n = assignments.len();
-    if n == 0 {
-        return Ok(Vec::new());
-    }
-    for (client, _) in &assignments {
-        if *client >= shards.len() {
-            return Err(SimError::NoSuchClient {
-                index: *client,
-                clients: shards.len(),
-            });
-        }
-    }
-    // Each slot's model is taken (not cloned) by the task that trains
-    // it; the mutex only mediates the one-time handoff.
-    let work: Vec<(usize, parking_lot::Mutex<Option<CellModel>>)> = assignments
-        .into_iter()
-        .map(|(client, model)| (client, parking_lot::Mutex::new(Some(model))))
-        .collect();
-    crate::exec::try_par_map(n, threads, |slot| {
-        let (client, cell) = &work[slot];
-        let mut model = cell
-            .lock()
-            .take()
-            .expect("each slot is claimed exactly once");
-        train_local(
-            &mut model,
-            *client,
-            &shards[*client],
-            cfg,
-            client_seed(round_seed, *client),
-        )
-    })
+    train_round(
+        assignments,
+        shards,
+        cfg,
+        round_seed,
+        &crate::coordinator::RoundOptions {
+            threads: Some(threads),
+            ..Default::default()
+        },
+    )
 }
 
 #[cfg(test)]
@@ -351,12 +424,19 @@ mod tests {
         assert!(drift(&o2.delta) < drift(&o1.delta));
     }
 
+    fn opts_with_threads(threads: usize) -> crate::coordinator::RoundOptions {
+        crate::coordinator::RoundOptions {
+            threads: Some(threads),
+            ..Default::default()
+        }
+    }
+
     #[test]
     fn parallel_matches_serial() {
         let (data, model) = tiny();
         let cfg = LocalTrainConfig::default();
         let assignments: Vec<(usize, CellModel)> = (0..3).map(|c| (c, model.clone())).collect();
-        let par = train_participants(assignments, data.clients(), &cfg, 77).unwrap();
+        let par = train_round(assignments, data.clients(), &cfg, 77, &Default::default()).unwrap();
         for (i, outcome) in par.iter().enumerate() {
             let mut m = model.clone();
             let serial = train_local(&mut m, i, data.client(i), &cfg, client_seed(77, i)).unwrap();
@@ -382,15 +462,21 @@ mod tests {
         let make =
             || -> Vec<(usize, CellModel)> { (0..4).rev().map(|c| (c, model.clone())).collect() };
         let reference =
-            train_participants_with_threads(make(), data.clients(), &cfg, 123, 1).unwrap();
+            train_round(make(), data.clients(), &cfg, 123, &opts_with_threads(1)).unwrap();
         assert_eq!(
             reference.iter().map(|o| o.client).collect::<Vec<_>>(),
             vec![3, 2, 1, 0],
             "outcome order must be assignment order"
         );
         for threads in [2usize, 4, 8] {
-            let par = train_participants_with_threads(make(), data.clients(), &cfg, 123, threads)
-                .unwrap();
+            let par = train_round(
+                make(),
+                data.clients(),
+                &cfg,
+                123,
+                &opts_with_threads(threads),
+            )
+            .unwrap();
             assert_eq!(par.len(), reference.len());
             for (a, b) in par.iter().zip(&reference) {
                 assert_eq!(a.client, b.client, "threads {threads}");
@@ -406,12 +492,38 @@ mod tests {
     #[test]
     fn parallel_rejects_unknown_client() {
         let (data, model) = tiny();
-        let err = train_participants(
+        let err = train_round(
             vec![(99, model)],
             data.clients(),
             &LocalTrainConfig::default(),
             0,
+            &Default::default(),
         );
         assert!(err.is_err());
+    }
+
+    /// The deprecated wrappers stay behaviourally identical to the
+    /// merged entry point for their final release.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_train_round() {
+        let (data, model) = tiny();
+        let cfg = LocalTrainConfig {
+            local_steps: 4,
+            ..Default::default()
+        };
+        let make = || vec![(0usize, model.clone()), (2, model.clone())];
+        let merged = train_round(make(), data.clients(), &cfg, 9, &opts_with_threads(2)).unwrap();
+        let via_env_gate = train_participants(make(), data.clients(), &cfg, 9).unwrap();
+        let via_threads =
+            train_participants_with_threads(make(), data.clients(), &cfg, 9, 2).unwrap();
+        for old in [&via_env_gate, &via_threads] {
+            assert_eq!(old.len(), merged.len());
+            for (a, b) in old.iter().zip(&merged) {
+                assert_eq!(a.client, b.client);
+                assert_eq!(a.weights, b.weights);
+                assert_eq!(a.samples_processed, b.samples_processed);
+            }
+        }
     }
 }

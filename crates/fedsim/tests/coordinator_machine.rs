@@ -1,0 +1,424 @@
+//! Coordinator protocol tests: the state machine's legal and illegal
+//! transitions, emergent dropout and straggling, heartbeat-deadline
+//! reaping, Later-then-Accept readmission, and the delivery-permutation
+//! property (any within-tick message order yields the same round
+//! outcome).
+
+use proptest::prelude::*;
+
+use ft_data::{DatasetConfig, FederatedDataset};
+use ft_fedsim::coordinator::{
+    Behavior, Coordinator, DeliveryOrder, InMemoryTransport, RoundOptions,
+};
+use ft_fedsim::device::{DeviceTrace, DeviceTraceConfig};
+use ft_fedsim::roundtime::client_round_time;
+use ft_fedsim::trainer::{client_seed, LocalTrainConfig, TrainTask};
+use ft_fedsim::{FaultConfig, SimError};
+use ft_model::CellModel;
+use rand::SeedableRng;
+
+const SEED: u64 = 42;
+
+fn fleet(n: usize) -> DeviceTrace {
+    DeviceTraceConfig::default().with_num_devices(n).generate()
+}
+
+fn dataset(n: usize) -> FederatedDataset {
+    DatasetConfig::femnist_like()
+        .with_num_clients(n)
+        .with_mean_samples(12)
+        .generate()
+}
+
+fn tiny_model(data: &FederatedDataset) -> CellModel {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    CellModel::dense(&mut rng, data.input_dim(), &[8], data.num_classes())
+}
+
+fn tiny_cfg() -> LocalTrainConfig {
+    LocalTrainConfig {
+        local_steps: 1,
+        batch_size: 8,
+        ..Default::default()
+    }
+}
+
+fn tasks_for(clients: &[usize], model: &CellModel, round_seed: u64) -> Vec<TrainTask> {
+    clients
+        .iter()
+        .map(|&c| TrainTask {
+            client: c,
+            model: model.clone(),
+            seed: client_seed(round_seed, c),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// State machine transitions, table-driven.
+// ---------------------------------------------------------------------
+
+/// Every externally observable coordinator phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum At {
+    Standby,
+    Selecting,
+    Aggregating,
+    Finished,
+}
+
+/// Every protocol action a caller can attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Do {
+    Begin,
+    Train,
+    Finish,
+    Shutdown,
+}
+
+struct Fixture {
+    coord: Coordinator,
+    data: FederatedDataset,
+    model: CellModel,
+    cfg: LocalTrainConfig,
+    admitted: Vec<usize>,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let n = 4;
+        let data = dataset(n);
+        let model = tiny_model(&data);
+        Fixture {
+            coord: Coordinator::new(SEED, FaultConfig::default(), fleet(n)),
+            data,
+            model,
+            cfg: tiny_cfg(),
+            admitted: Vec::new(),
+        }
+    }
+
+    /// Drives the coordinator into the given phase via legal actions.
+    fn reach(&mut self, at: At) {
+        match at {
+            At::Standby => {}
+            At::Selecting => {
+                self.admitted = self.coord.begin_round(0, &[0, 1]).unwrap();
+            }
+            At::Aggregating => {
+                self.admitted = self.coord.begin_round(0, &[0, 1]).unwrap();
+                let tasks = tasks_for(&self.admitted, &self.model, SEED);
+                self.coord
+                    .train(tasks, self.data.clients(), &self.cfg)
+                    .unwrap();
+            }
+            At::Finished => {
+                self.coord.shutdown().unwrap();
+            }
+        }
+    }
+
+    /// Attempts one protocol action, reporting only success/failure.
+    fn attempt(&mut self, action: Do) -> Result<(), SimError> {
+        match action {
+            Do::Begin => {
+                let round = self.coord.round();
+                self.coord.begin_round(round, &[0, 1]).map(|_| ())
+            }
+            Do::Train => {
+                let tasks = tasks_for(&self.admitted, &self.model, SEED);
+                self.coord
+                    .train(tasks, self.data.clients(), &self.cfg)
+                    .map(|_| ())
+            }
+            Do::Finish => self.coord.finish_round(),
+            Do::Shutdown => self.coord.shutdown(),
+        }
+    }
+}
+
+#[test]
+fn every_transition_in_the_table_behaves_as_specified() {
+    // (phase, action, legal?) — the full protocol matrix. Anything
+    // marked illegal must fail with `SimError::Protocol` and leave the
+    // coordinator's phase unchanged.
+    let table: &[(At, Do, bool)] = &[
+        (At::Standby, Do::Begin, true),
+        (At::Standby, Do::Train, false),
+        (At::Standby, Do::Finish, false),
+        (At::Standby, Do::Shutdown, true),
+        (At::Selecting, Do::Begin, false),
+        (At::Selecting, Do::Train, true),
+        (At::Selecting, Do::Finish, false),
+        (At::Selecting, Do::Shutdown, false),
+        (At::Aggregating, Do::Begin, false),
+        (At::Aggregating, Do::Train, false),
+        (At::Aggregating, Do::Finish, true),
+        (At::Aggregating, Do::Shutdown, false),
+        (At::Finished, Do::Begin, false),
+        (At::Finished, Do::Train, false),
+        (At::Finished, Do::Finish, false),
+        (At::Finished, Do::Shutdown, false),
+    ];
+    for &(at, action, legal) in table {
+        let mut fx = Fixture::new();
+        fx.reach(at);
+        let phase_before = fx.coord.phase();
+        let got = fx.attempt(action);
+        if legal {
+            assert!(
+                got.is_ok(),
+                "{at:?} + {action:?} must be legal, got {got:?}"
+            );
+        } else {
+            match got {
+                Err(SimError::Protocol { .. }) => {}
+                other => panic!("{at:?} + {action:?} must be a protocol error, got {other:?}"),
+            }
+            assert_eq!(
+                fx.coord.phase(),
+                phase_before,
+                "a rejected {action:?} must not move the {at:?} machine"
+            );
+        }
+    }
+}
+
+#[test]
+fn begin_round_enforces_the_round_sequence() {
+    let mut c = Coordinator::new(SEED, FaultConfig::default(), fleet(4));
+    match c.begin_round(3, &[0]) {
+        Err(SimError::Protocol { .. }) => {}
+        other => panic!("out-of-sequence round must be rejected, got {other:?}"),
+    }
+    // The rejection leaves standby intact; the correct round proceeds.
+    assert_eq!(c.begin_round(0, &[0]).unwrap(), vec![0]);
+}
+
+#[test]
+fn train_rejects_tasks_for_unadmitted_clients() {
+    let data = dataset(4);
+    let model = tiny_model(&data);
+    let mut c = Coordinator::new(SEED, FaultConfig::default(), fleet(4));
+    c.begin_round(0, &[0, 1]).unwrap();
+    let stray = tasks_for(&[2], &model, SEED);
+    match c.train(stray, data.clients(), &tiny_cfg()) {
+        Err(SimError::Protocol { .. }) => {}
+        other => panic!("unadmitted client must be rejected, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Emergent faults and liveness.
+// ---------------------------------------------------------------------
+
+#[test]
+#[allow(deprecated)]
+fn rendezvous_dropout_matches_the_stateless_fault_hash() {
+    let faults = FaultConfig {
+        dropout_prob: 0.5,
+        ..Default::default()
+    };
+    let invited: Vec<usize> = (0..24).collect();
+    for round in 0..4u32 {
+        let mut c = Coordinator::new(SEED, faults, fleet(24));
+        // Fast-forward the round counter through empty rounds.
+        for r in 0..round {
+            c.begin_round(r, &[]).unwrap();
+            c.train(Vec::new(), &[], &tiny_cfg()).unwrap();
+            c.finish_round().unwrap();
+        }
+        let admitted = c.begin_round(round, &invited).unwrap();
+        // The emergent cohort must admit exactly what the injected
+        // fault model used to retain, in invitation order.
+        let mut expected = invited.clone();
+        faults.apply_dropout(SEED, round, &mut expected);
+        assert_eq!(admitted, expected, "round {round}");
+        assert_eq!(
+            c.stats().rendezvous_dropouts,
+            (invited.len() - admitted.len()) as u64
+        );
+    }
+}
+
+#[test]
+fn reply_round_times_reproduce_the_straggler_model() {
+    let faults = FaultConfig {
+        straggler_prob: 0.5,
+        straggler_slowdown: 8.0,
+        ..Default::default()
+    };
+    let n = 6;
+    let data = dataset(n);
+    let model = tiny_model(&data);
+    let devices = fleet(n);
+    let mut c = Coordinator::new(SEED, faults, devices.clone());
+    let admitted = c.begin_round(0, &(0..n).collect::<Vec<_>>()).unwrap();
+    assert_eq!(admitted.len(), n, "no dropout configured");
+    let replies = c
+        .train(
+            tasks_for(&admitted, &model, SEED),
+            data.clients(),
+            &tiny_cfg(),
+        )
+        .unwrap();
+    assert_eq!(replies.len(), n);
+    for r in &replies {
+        let expected = client_round_time(
+            devices.profile(r.client),
+            model.macs_per_sample(),
+            model.param_count(),
+            r.outcome.samples_processed,
+        ) * faults.slowdown(SEED, 0, r.client);
+        assert_eq!(
+            r.elapsed_s.to_bits(),
+            expected.to_bits(),
+            "client {} round time must be bit-identical to the model",
+            r.client
+        );
+    }
+}
+
+#[test]
+fn heartbeat_deadline_reaps_a_vanished_device() {
+    let n = 4;
+    let data = dataset(n);
+    let model = tiny_model(&data);
+    let mut c = Coordinator::new(SEED, FaultConfig::default(), fleet(n));
+    c.cohort_mut().set_behavior(0, 1, Behavior::Vanish);
+    let admitted = c.begin_round(0, &[0, 1, 2]).unwrap();
+    // A vanishing device still rendezvouses — it dies *after* accepting
+    // its training payload, which only the heartbeat deadline catches.
+    assert_eq!(admitted, vec![0, 1, 2]);
+    let replies = c
+        .train(
+            tasks_for(&admitted, &model, SEED),
+            data.clients(),
+            &tiny_cfg(),
+        )
+        .unwrap();
+    let responders: Vec<usize> = replies.iter().map(|r| r.client).collect();
+    assert_eq!(responders, vec![0, 2], "the vanished device sends nothing");
+    assert_eq!(c.stats().heartbeat_dropouts, 1);
+    c.finish_round().unwrap();
+    // The reaped device is not blacklisted: the next round readmits it.
+    let next = c.begin_round(1, &[1]).unwrap();
+    assert_eq!(next, vec![1]);
+}
+
+#[test]
+fn slow_devices_survive_past_the_deadline_via_heartbeats() {
+    let n = 3;
+    let data = dataset(n);
+    let model = tiny_model(&data);
+    let mut c = Coordinator::new(SEED, FaultConfig::default(), fleet(n));
+    // Stretch one device far past the heartbeat deadline: its result
+    // arrives very late, but periodic heartbeats keep it alive.
+    let opts = RoundOptions {
+        heartbeat_interval_s: 1.0,
+        heartbeat_deadline_s: 4.0,
+        ..RoundOptions::default()
+    };
+    c.set_options(opts);
+    c.cohort_mut().set_behavior(0, 2, Behavior::Slow(1000.0));
+    let admitted = c.begin_round(0, &[0, 1, 2]).unwrap();
+    let replies = c
+        .train(
+            tasks_for(&admitted, &model, SEED),
+            data.clients(),
+            &tiny_cfg(),
+        )
+        .unwrap();
+    assert_eq!(replies.len(), 3, "the straggler must not be reaped");
+    assert_eq!(c.stats().heartbeat_dropouts, 0);
+    assert!(
+        c.stats().heartbeats > 0,
+        "the straggler heartbeat at least once"
+    );
+}
+
+#[test]
+fn later_then_accept_readmission() {
+    let n = 6;
+    let data = dataset(n);
+    let model = tiny_model(&data);
+    let mut c = Coordinator::new(SEED, FaultConfig::default(), fleet(n));
+    // Round 0: client 5 begs for admission without an invite. It gets
+    // `Later` and stays out of the cohort.
+    c.cohort_mut().set_behavior(0, 5, Behavior::Eager);
+    let admitted = c.begin_round(0, &[0, 1]).unwrap();
+    assert_eq!(admitted, vec![0, 1], "uninvited devices are deferred");
+    assert!(c.stats().later_replies >= 1, "the eager device got Later");
+    let accepted_before = c.stats().accepted;
+    c.train(
+        tasks_for(&admitted, &model, SEED),
+        data.clients(),
+        &tiny_cfg(),
+    )
+    .unwrap();
+    c.finish_round().unwrap();
+    // Round 1: the same device is invited and must be admitted.
+    let admitted = c.begin_round(1, &[5, 0]).unwrap();
+    assert_eq!(admitted, vec![5, 0], "deferred device readmitted in order");
+    assert_eq!(c.stats().accepted, accepted_before + 2);
+}
+
+// ---------------------------------------------------------------------
+// Delivery-permutation property.
+// ---------------------------------------------------------------------
+
+/// One reply's digest: task, client, sample count, loss bits, time bits.
+type ReplyDigest = (usize, usize, u64, u32, u64);
+
+/// A comparable digest of one round's outcome: the admitted cohort and
+/// every reply's identity, sample count, loss bits, and time bits.
+fn round_outcome(order: DeliveryOrder) -> (Vec<usize>, Vec<ReplyDigest>) {
+    let n = 8;
+    let faults = FaultConfig {
+        dropout_prob: 0.3,
+        straggler_prob: 0.3,
+        straggler_slowdown: 6.0,
+    };
+    let data = dataset(n);
+    let model = tiny_model(&data);
+    let mut c = Coordinator::with_transport(
+        SEED,
+        faults,
+        fleet(n),
+        Box::new(InMemoryTransport::with_order(order)),
+    );
+    // Extra wire noise: an uninvited device rendezvouses mid-selection.
+    c.cohort_mut().set_behavior(0, 7, Behavior::Eager);
+    let admitted = c.begin_round(0, &(0..7).collect::<Vec<_>>()).unwrap();
+    let replies = c
+        .train(
+            tasks_for(&admitted, &model, SEED),
+            data.clients(),
+            &tiny_cfg(),
+        )
+        .unwrap();
+    let digest = replies
+        .iter()
+        .map(|r| {
+            (
+                r.task,
+                r.client,
+                r.outcome.samples_processed,
+                r.outcome.avg_loss.to_bits(),
+                r.elapsed_s.to_bits(),
+            )
+        })
+        .collect();
+    (admitted, digest)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn any_delivery_permutation_yields_the_same_round_outcome(seed in 0u64..1_000_000) {
+        let baseline = round_outcome(DeliveryOrder::Fifo);
+        prop_assert_eq!(round_outcome(DeliveryOrder::Seeded(seed)), baseline.clone());
+        prop_assert_eq!(round_outcome(DeliveryOrder::Lifo), baseline);
+    }
+}

@@ -1,20 +1,27 @@
 //! The FedTrans coordinator loop (Algorithm 1).
 //!
-//! Each round: select participants, assign each a compatible model via
-//! utility sampling, train locally (in parallel), account costs, update
-//! utilities, soft-aggregate the model suite, and — when the loss curve
-//! reaches its elbow — transform the newest model into a larger one.
+//! Each round: select participants, rendezvous with them through the
+//! message-driven [`ft_fedsim::coordinator`] runtime, assign each
+//! admitted client a compatible model via utility sampling, train
+//! locally (dispatched as `StartTrainingRound` messages and executed
+//! in parallel), account costs from the collected replies, update
+//! utilities, soft-aggregate the model suite, and — when the loss
+//! curve reaches its elbow — transform the newest model into a larger
+//! one. Client dropout and stragglers are *emergent* on this path: an
+//! offline device misses the rendezvous deadline, a throttled one
+//! replies late on the virtual clock.
 //!
-//! Concurrency discipline: the coordinator's own `StdRng` stream
+//! Concurrency discipline: the runtime's own `StdRng` stream
 //! (selection, assignment, transformation) is consumed serially in a
 //! fixed program order, while the parallel section — local training
 //! via the `ft_fedsim::exec` engine — draws only from per-client
 //! streams derived statelessly from `(round seed, client)`
 //! ([`ft_fedsim::trainer::client_seed`]). Every reduction over
-//! training outcomes (costs, round times, FedAvg, activeness
-//! recording) iterates in fixed client-/model-index order, never
-//! completion order, so reports are byte-identical at any
-//! `FT_CLIENT_THREADS` setting.
+//! training replies (costs, round times, FedAvg, activeness
+//! recording) iterates in fixed task-/model-index order, never
+//! completion or delivery order, so reports are byte-identical at any
+//! `FT_CLIENT_THREADS` setting and under any within-tick message
+//! permutation.
 
 use std::collections::HashMap;
 
@@ -22,13 +29,13 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use ft_data::{FederatedDataset, InputSpec};
+use ft_fedsim::coordinator::{Coordinator, RoundOptions, TrainReply};
 use ft_fedsim::costs::{storage_mb, CostMeter};
 use ft_fedsim::device::DeviceTrace;
 use ft_fedsim::metrics::{box_stats, BoxStats};
 use ft_fedsim::report::{RoundReport, RunReport};
-use ft_fedsim::roundtime::client_round_time;
 use ft_fedsim::select;
-use ft_fedsim::trainer::{train_participants, LocalOutcome};
+use ft_fedsim::trainer::TrainTask;
 use ft_model::{similarity::similarity_matrix, CellModel};
 use ft_tensor::Tensor;
 
@@ -87,6 +94,7 @@ pub struct FedTransRuntime {
     cfg: FedTransConfig,
     data: FederatedDataset,
     devices: DeviceTrace,
+    coordinator: Coordinator,
     models: Vec<CellModel>,
     /// Round each model was created, for age-based sharing decay.
     model_birth: Vec<u32>,
@@ -162,10 +170,12 @@ impl FedTransRuntime {
         let transformer = ModelTransformer::new(&cfg);
         let activeness = ActivenessTracker::new(cfg.activeness_window);
         let sims = vec![vec![1.0]];
+        let coordinator = Coordinator::new(cfg.seed, cfg.faults, devices.clone());
         Ok(FedTransRuntime {
             cfg,
             data,
             devices,
+            coordinator,
             models: vec![seed],
             model_birth: vec![0],
             manager,
@@ -220,66 +230,68 @@ impl FedTransRuntime {
         let macs = self.model_macs();
         let capacities = self.capacities();
 
-        // 1. Participant selection, minus clients the fault model
-        // drops this round (stateless: consumes no RNG).
-        let mut participants = select::uniform(
+        // 1. Participant selection (consumes RNG), then rendezvous:
+        // the coordinator invites the selection and admits whoever
+        // answers before the deadline — offline devices never answer,
+        // so dropout emerges from the message exchange (which itself
+        // consumes no RNG).
+        let invited = select::uniform(
             &mut self.rng,
             self.data.num_clients(),
             self.cfg.clients_per_round,
         );
-        self.cfg
-            .faults
-            .apply_dropout(self.cfg.seed, self.round, &mut participants);
+        let participants = self
+            .coordinator
+            .begin_round(self.round, &invited)
+            .map_err(FedTransError::from)?;
 
         // 2. Utility-based model assignment (§4.2).
-        let mut assignments: Vec<(usize, CellModel)> = Vec::with_capacity(participants.len());
+        let round_seed = self.cfg.seed.wrapping_add(self.round as u64);
+        let mut tasks: Vec<TrainTask> = Vec::with_capacity(participants.len());
         let mut assigned_model: Vec<usize> = Vec::with_capacity(participants.len());
         for &c in &participants {
             let compatible = ClientManager::compatible_models(&macs, capacities[c]);
             let n = self.manager.assign(&mut self.rng, c, &compatible);
             assigned_model.push(n);
-            assignments.push((c, self.models[n].clone()));
+            tasks.push(TrainTask {
+                client: c,
+                model: self.models[n].clone(),
+                seed: ft_fedsim::trainer::client_seed(round_seed, c),
+            });
         }
 
-        // 3. Parallel local training.
-        let outcomes = train_participants(
-            assignments,
-            self.data.clients(),
-            &self.cfg.local,
-            self.cfg.seed.wrapping_add(self.round as u64),
-        )?;
+        // 3. Training phase: dispatch tasks, collect replies (in task
+        // order; a reply's simulated arrival time is the device's
+        // round time, so stragglers are simply late).
+        let replies = self
+            .coordinator
+            .train(tasks, self.data.clients(), &self.cfg.local)
+            .map_err(FedTransError::from)?;
 
         // 4. Cost accounting and round time.
-        let mut times = Vec::with_capacity(outcomes.len());
-        for (outcome, &n) in outcomes.iter().zip(&assigned_model) {
+        let mut times = Vec::with_capacity(replies.len());
+        for reply in &replies {
+            let n = assigned_model[reply.task];
             self.cost
-                .record_local_training(macs[n], outcome.samples_processed);
+                .record_local_training(macs[n], reply.outcome.samples_processed);
             self.cost
                 .record_model_transfer(self.models[n].param_count() as u64);
             self.cost.record_extra_bytes(4); // the scalar loss upload
-            let t = client_round_time(
-                self.devices.profile(outcome.client),
-                macs[n],
-                self.models[n].param_count(),
-                outcome.samples_processed,
-            ) * self
-                .cfg
-                .faults
-                .slowdown(self.cfg.seed, self.round, outcome.client);
-            times.push(t as f32);
+            times.push(reply.elapsed_s as f32);
         }
         self.client_times.extend(&times);
         let round_time = times.iter().copied().fold(0.0f32, f32::max) as f64;
 
-        // 5. Group outcomes per model, FedAvg, soft aggregation (§4.3).
+        // 5. Group replies per model, FedAvg, soft aggregation (§4.3).
         let mut per_model_updates: HashMap<usize, Vec<(Vec<Tensor>, u64)>> = HashMap::new();
-        let mut per_model_deltas: HashMap<usize, Vec<&LocalOutcome>> = HashMap::new();
-        for (outcome, &n) in outcomes.iter().zip(&assigned_model) {
-            per_model_updates
-                .entry(n)
-                .or_default()
-                .push((outcome.weights.clone(), outcome.samples_processed));
-            per_model_deltas.entry(n).or_default().push(outcome);
+        let mut per_model_deltas: HashMap<usize, Vec<&TrainReply>> = HashMap::new();
+        for reply in &replies {
+            let n = assigned_model[reply.task];
+            per_model_updates.entry(n).or_default().push((
+                reply.outcome.weights.clone(),
+                reply.outcome.samples_processed,
+            ));
+            per_model_deltas.entry(n).or_default().push(reply);
         }
         let fedavg: Vec<Option<Vec<Tensor>>> = (0..self.models.len())
             .map(|n| {
@@ -310,12 +322,13 @@ impl FedTransRuntime {
             };
             let count = deltas.len() as f32;
             let mut mean_delta: Vec<Tensor> = deltas[0]
+                .outcome
                 .delta
                 .iter()
                 .map(|t| Tensor::zeros(t.shape().dims()))
                 .collect();
-            for outcome in deltas {
-                for (m, d) in mean_delta.iter_mut().zip(&outcome.delta) {
+            for reply in deltas {
+                for (m, d) in mean_delta.iter_mut().zip(&reply.outcome.delta) {
                     m.axpy(1.0 / count, d).expect("same shapes per model");
                 }
             }
@@ -323,10 +336,9 @@ impl FedTransRuntime {
         }
 
         // 7. Joint utility update (Eq. 4).
-        let participation: Vec<(usize, usize, f32)> = outcomes
+        let participation: Vec<(usize, usize, f32)> = replies
             .iter()
-            .zip(&assigned_model)
-            .map(|(o, &n)| (o.client, n, o.avg_loss))
+            .map(|r| (r.client, assigned_model[r.task], r.outcome.avg_loss))
             .collect();
         self.manager
             .update(&participation, &self.sims, &macs, &capacities);
@@ -334,9 +346,9 @@ impl FedTransRuntime {
         // 8. Transformation (§4.1), seeded from the newest model. A
         // fully dropped-out round produced no loss reports; the
         // coordinator has nothing to record and cannot transform.
-        let losses: Vec<f32> = outcomes.iter().map(|o| o.avg_loss).collect();
+        let losses: Vec<f32> = replies.iter().map(|r| r.outcome.avg_loss).collect();
         let mean_loss = ft_fedsim::metrics::mean(&losses);
-        if !outcomes.is_empty() {
+        if !replies.is_empty() {
             self.transformer.record_loss(mean_loss);
         }
         let parent_index = self.models.len() - 1;
@@ -358,11 +370,14 @@ impl FedTransRuntime {
             false
         };
 
+        self.coordinator
+            .finish_round()
+            .map_err(FedTransError::from)?;
         self.cost.finish_round();
         let report = RoundReport {
             round: self.round,
             mean_loss,
-            participants: outcomes.len(),
+            participants: replies.len(),
             num_models: self.models.len(),
             transformed,
             cumulative_pmacs: self.cost.train_pmacs(),
@@ -413,16 +428,31 @@ impl FedTransRuntime {
         Ok((box_stats(&accs), accs, chosen))
     }
 
-    /// Runs `rounds` rounds and produces the full report.
+    /// Installs the coordinator round options (thread budget, protocol
+    /// timing knobs) future rounds run under.
+    pub fn set_round_options(&mut self, opts: RoundOptions) {
+        self.coordinator.set_options(opts);
+    }
+
+    /// The message-driven coordinator this runtime rounds through
+    /// (protocol telemetry, phase, cohort overrides for tests).
+    pub fn coordinator(&mut self) -> &mut Coordinator {
+        &mut self.coordinator
+    }
+
+    /// Runs `rounds` *additional* rounds and produces the full report.
     ///
     /// # Errors
     ///
     /// Propagates per-round errors.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `ft_fedsim::coordinator::drive(&mut runtime, total_rounds, &opts)`"
+    )]
     pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
-        for _ in 0..rounds {
-            self.step()?;
-        }
-        self.report()
+        let total = self.round as usize + rounds;
+        ft_fedsim::coordinator::drive(self, total, &RoundOptions::from_env())
+            .map_err(FedTransError::from)
     }
 
     /// Produces the report for the rounds run so far.
@@ -480,6 +510,7 @@ impl FedTransRuntime {
             "client_times": self.client_times,
             "next_model_id": next_model,
             "next_cell_id": next_cell,
+            "coordinator": self.coordinator.checkpoint_value(),
         })
     }
 
@@ -540,6 +571,12 @@ impl FedTransRuntime {
             field(state, "next_model_id")?,
             field(state, "next_cell_id")?,
         );
+        let coord = state
+            .get("coordinator")
+            .ok_or_else(|| ft_fedsim::SimError::snapshot("missing coordinator state"))?;
+        self.coordinator
+            .restore_value(coord)
+            .map_err(FedTransError::from)?;
         Ok(())
     }
 }
@@ -578,12 +615,17 @@ impl ft_fedsim::Algorithm for FedTransRuntime {
     fn restore(&mut self, state: &serde::Value) -> ft_fedsim::Result<()> {
         self.restore_state(state).map_err(to_sim_error)
     }
+
+    fn set_round_options(&mut self, opts: RoundOptions) {
+        FedTransRuntime::set_round_options(self, opts);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ft_data::DatasetConfig;
+    use ft_fedsim::coordinator::drive;
     use ft_fedsim::device::DeviceTraceConfig;
     use ft_fedsim::trainer::LocalTrainConfig;
 
@@ -636,7 +678,7 @@ mod tests {
     fn short_run_completes_and_reports() {
         let (cfg, data, devices) = small_setup();
         let mut rt = FedTransRuntime::new(cfg, data, devices).unwrap();
-        let report = rt.run(5).unwrap();
+        let report = drive(&mut rt, 5, &RoundOptions::default()).unwrap();
         assert_eq!(report.rounds.len(), 5);
         assert!(report.pmacs > 0.0);
         assert!(report.network_mb > 0.0);
@@ -649,8 +691,8 @@ mod tests {
         let (cfg, data, devices) = small_setup();
         let mut a = FedTransRuntime::new(cfg.clone(), data.clone(), devices.clone()).unwrap();
         let mut b = FedTransRuntime::new(cfg, data, devices).unwrap();
-        let ra = a.run(4).unwrap();
-        let rb = b.run(4).unwrap();
+        let ra = drive(&mut a, 4, &RoundOptions::default()).unwrap();
+        let rb = drive(&mut b, 4, &RoundOptions::default()).unwrap();
         assert_eq!(ra.per_client_accuracy, rb.per_client_accuracy);
         assert_eq!(ra.pmacs, rb.pmacs);
     }
@@ -661,7 +703,7 @@ mod tests {
         cfg.transform_cooldown = 4;
         cfg.beta = 10.0; // trigger as soon as history allows
         let mut rt = FedTransRuntime::new(cfg, data, devices).unwrap();
-        let report = rt.run(12).unwrap();
+        let report = drive(&mut rt, 12, &RoundOptions::default()).unwrap();
         assert!(
             report.model_archs.len() > 1,
             "expected at least one transformation, archs: {:?}",
@@ -681,7 +723,7 @@ mod tests {
         cfg.beta = 10.0;
 
         let mut full = FedTransRuntime::new(cfg.clone(), data.clone(), devices.clone()).unwrap();
-        let full_report = full.run(12).unwrap();
+        let full_report = drive(&mut full, 12, &RoundOptions::default()).unwrap();
         assert!(
             full_report.model_archs.len() > 1,
             "reference run must transform for the test to be meaningful"
@@ -726,8 +768,8 @@ mod tests {
         cfg.faults.dropout_prob = 0.5;
         let mut a = FedTransRuntime::new(cfg.clone(), data.clone(), devices.clone()).unwrap();
         let mut b = FedTransRuntime::new(cfg, data, devices).unwrap();
-        let ra = a.run(6).unwrap();
-        let rb = b.run(6).unwrap();
+        let ra = drive(&mut a, 6, &RoundOptions::default()).unwrap();
+        let rb = drive(&mut b, 6, &RoundOptions::default()).unwrap();
         assert_eq!(ra.per_client_accuracy, rb.per_client_accuracy);
         let trained: usize = ra.rounds.iter().map(|r| r.participants).sum();
         // 6 rounds x 6 selected, half dropped in expectation.
@@ -749,8 +791,8 @@ mod tests {
         cfg_slow.faults.straggler_prob = 1.0;
         cfg_slow.faults.straggler_slowdown = 8.0;
         let mut slow = FedTransRuntime::new(cfg_slow, data, devices).unwrap();
-        let rp = plain.run(3).unwrap();
-        let rs = slow.run(3).unwrap();
+        let rp = drive(&mut plain, 3, &RoundOptions::default()).unwrap();
+        let rs = drive(&mut slow, 3, &RoundOptions::default()).unwrap();
         for (p, s) in rp.rounds.iter().zip(&rs.rounds) {
             assert!(
                 s.round_time_s > p.round_time_s * 7.9,
@@ -767,7 +809,7 @@ mod tests {
         let (cfg, data, devices) = small_setup();
         let mut rt = FedTransRuntime::new(cfg, data, devices).unwrap();
         rt.set_eval_every(2);
-        rt.run(6).unwrap();
+        drive(&mut rt, 6, &RoundOptions::default()).unwrap();
         let report = rt.report().unwrap();
         assert_eq!(report.accuracy_curve.len(), 3);
         // Cost is monotone along the curve.

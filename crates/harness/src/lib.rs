@@ -40,7 +40,7 @@ pub mod runner;
 mod scenario;
 
 pub use runner::{run_scenario, RunOptions, RunOutcome};
-pub use scenario::{AlgorithmSpec, DeviceSpec, Scenario};
+pub use scenario::{AlgorithmSpec, DeviceSpec, Scenario, TimingSpec};
 
 #[cfg(test)]
 mod smoke {

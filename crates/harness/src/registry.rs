@@ -15,7 +15,7 @@ use ft_fedsim::device::DeviceTier;
 use ft_fedsim::trainer::LocalTrainConfig;
 use ft_fedsim::FaultConfig;
 
-use crate::{AlgorithmSpec, DeviceSpec, Scenario};
+use crate::{AlgorithmSpec, DeviceSpec, Scenario, TimingSpec};
 
 fn default_fedtrans() -> AlgorithmSpec {
     AlgorithmSpec::FedTrans {
@@ -45,6 +45,7 @@ fn base(name: &str, description: &str) -> Scenario {
             local_steps: 6,
             ..Default::default()
         },
+        timing: TimingSpec::default(),
         seed: 1,
     }
 }

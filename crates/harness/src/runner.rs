@@ -22,8 +22,11 @@ use ft_fedsim::{Algorithm, SimError};
 
 use crate::Scenario;
 
-/// Checkpoint file format version.
-const CHECKPOINT_VERSION: u64 = 1;
+/// Checkpoint file format version. Version 2 adds the coordinator
+/// protocol state (phase, round, liveness stats) to every algorithm's
+/// `state` object; version-1 checkpoints cannot restore a coordinator
+/// and are rejected.
+const CHECKPOINT_VERSION: u64 = 2;
 
 /// How a scenario run is executed.
 #[derive(Debug, Clone, Default)]

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use fedtrans::{seed_model, FedTransConfig, FedTransRuntime};
 use ft_baselines::{BaselineConfig, FedAvg, Fluid, HeteroFl, ServerOpt, SplitMix};
 use ft_data::DatasetConfig;
+use ft_fedsim::coordinator::RoundOptions;
 use ft_fedsim::device::{DeviceTier, DeviceTrace, DeviceTraceConfig};
 use ft_fedsim::trainer::LocalTrainConfig;
 use ft_fedsim::{Algorithm, FaultConfig, SimError};
@@ -52,6 +53,73 @@ impl DeviceSpec {
             .with_disparity(self.disparity)
             .with_seed(self.seed);
         cfg.generate_tiered(&self.tiers)
+    }
+}
+
+/// The coordinator protocol timing of a scenario: how long the
+/// rendezvous waits, how often training devices heartbeat, and how
+/// long one may stay silent before it is declared dropped. All values
+/// are in simulated (virtual-clock) seconds. Defaults match
+/// [`RoundOptions::default`], so scenarios written before this field
+/// existed keep their exact behaviour — the field deserializes to the
+/// defaults when absent.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TimingSpec {
+    /// Rendezvous reply deadline in seconds.
+    pub rendezvous_deadline_s: f64,
+    /// Heartbeat cadence of a training device, in seconds.
+    pub heartbeat_interval_s: f64,
+    /// Max silence before a training device counts as dropped, in
+    /// seconds.
+    pub heartbeat_deadline_s: f64,
+}
+
+impl Default for TimingSpec {
+    fn default() -> Self {
+        let opts = RoundOptions::default();
+        TimingSpec {
+            rendezvous_deadline_s: opts.rendezvous_deadline_s,
+            heartbeat_interval_s: opts.heartbeat_interval_s,
+            heartbeat_deadline_s: opts.heartbeat_deadline_s,
+        }
+    }
+}
+
+impl TimingSpec {
+    /// The coordinator round options this timing implies (executor
+    /// thread budget deferred to `FT_CLIENT_THREADS`).
+    pub fn round_options(&self) -> RoundOptions {
+        RoundOptions {
+            threads: None,
+            rendezvous_deadline_s: self.rendezvous_deadline_s,
+            heartbeat_interval_s: self.heartbeat_interval_s,
+            heartbeat_deadline_s: self.heartbeat_deadline_s,
+        }
+    }
+
+    /// Validates the timing knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("rendezvous_deadline_s", self.rendezvous_deadline_s),
+            ("heartbeat_interval_s", self.heartbeat_interval_s),
+            ("heartbeat_deadline_s", self.heartbeat_deadline_s),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{name} must be finite and > 0, got {v}"));
+            }
+        }
+        if self.heartbeat_deadline_s < self.heartbeat_interval_s {
+            return Err(format!(
+                "heartbeat_deadline_s ({}) must be >= heartbeat_interval_s ({}), or every \
+                 training device would be declared dropped between two of its own beats",
+                self.heartbeat_deadline_s, self.heartbeat_interval_s
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -115,6 +183,11 @@ pub struct Scenario {
     pub eval_every: usize,
     /// Local training hyperparameters.
     pub local: LocalTrainConfig,
+    /// Coordinator protocol timing (rendezvous / heartbeat deadlines).
+    /// Absent in older scenario files; defaults preserve their
+    /// behaviour.
+    #[serde(default)]
+    pub timing: TimingSpec,
     /// Base RNG seed for the run.
     pub seed: u64,
 }
@@ -183,6 +256,7 @@ impl Scenario {
                 self.faults.straggler_slowdown
             ));
         }
+        self.timing.validate()?;
         Ok(())
     }
 
@@ -219,7 +293,18 @@ impl Scenario {
             .map_err(|detail| SimError::BadConfig { detail })?;
         let data = self.dataset.generate();
         let devices = self.devices.generate(data.num_clients());
+        let mut driver = self.build_algorithm(data, devices)?;
+        // Scenario timing first, then explicit FT_* env overrides on
+        // top, so operators can experiment without editing scenarios.
+        driver.set_round_options(self.timing.round_options().with_env_overrides());
+        Ok(driver)
+    }
 
+    fn build_algorithm(
+        &self,
+        data: ft_data::FederatedDataset,
+        devices: DeviceTrace,
+    ) -> ft_fedsim::Result<Box<dyn Algorithm>> {
         match self.algorithm {
             AlgorithmSpec::FedTrans {
                 max_models,
@@ -341,6 +426,7 @@ mod tests {
                 local_steps: 3,
                 ..Default::default()
             },
+            timing: TimingSpec::default(),
             seed: 11,
         }
     }
@@ -383,6 +469,46 @@ mod tests {
         }];
         assert!(s.validate().is_err());
         assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn timing_validation_catches_nonsense() {
+        let mut s = tiny();
+        s.timing.rendezvous_deadline_s = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = tiny();
+        s.timing.heartbeat_interval_s = f64::NAN;
+        assert!(s.validate().is_err());
+        let mut s = tiny();
+        s.timing.heartbeat_deadline_s = -1.0;
+        assert!(s.validate().is_err());
+        // A deadline shorter than the heartbeat cadence would reap
+        // every device between two of its own beats.
+        let mut s = tiny();
+        s.timing.heartbeat_interval_s = 30.0;
+        s.timing.heartbeat_deadline_s = 1.0;
+        assert!(s.validate().is_err());
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn scenario_without_timing_field_parses_to_defaults() {
+        // Emulates a scenario file written before the timing knobs
+        // existed: strip the field and re-parse.
+        let json = serde_json::to_string(&tiny()).unwrap();
+        let value = serde_json::parse_value(&json).unwrap();
+        let serde::Value::Object(fields) = value else {
+            panic!("scenario must encode as an object");
+        };
+        let stripped: Vec<(String, serde::Value)> =
+            fields.into_iter().filter(|(k, _)| k != "timing").collect();
+        let old_json = serde_json::to_string(&serde::Value::Object(stripped)).unwrap();
+        let back: Scenario = serde_json::from_str(&old_json).unwrap();
+        let d = TimingSpec::default();
+        assert_eq!(back.timing.rendezvous_deadline_s, d.rendezvous_deadline_s);
+        assert_eq!(back.timing.heartbeat_interval_s, d.heartbeat_interval_s);
+        assert_eq!(back.timing.heartbeat_deadline_s, d.heartbeat_deadline_s);
+        assert!(back.validate().is_ok());
     }
 
     #[test]

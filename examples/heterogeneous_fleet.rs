@@ -10,6 +10,7 @@
 
 use fedtrans::{ClientManager, FedTransConfig, FedTransRuntime};
 use ft_data::DatasetConfig;
+use ft_fedsim::coordinator::{drive, RoundOptions};
 use ft_fedsim::device::DeviceTraceConfig;
 use ft_fedsim::metrics::box_stats;
 
@@ -50,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_gamma(4)
         .with_delta(4);
     let mut runtime = FedTransRuntime::new(cfg, data, devices.clone())?;
-    let report = runtime.run(60)?;
+    let report = drive(&mut runtime, 60, &RoundOptions::from_env())?;
 
     // (3) Capacity tiers vs assigned models.
     println!("\nFedTrans model suite:");

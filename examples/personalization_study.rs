@@ -12,6 +12,7 @@
 use fedtrans::{ClientManager, FedTransConfig, FedTransRuntime};
 use ft_baselines::eval_on_client;
 use ft_data::DatasetConfig;
+use ft_fedsim::coordinator::{drive, RoundOptions};
 use ft_fedsim::device::DeviceTraceConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_gamma(4)
         .with_delta(4);
     let mut runtime = FedTransRuntime::new(cfg, data.clone(), devices.clone())?;
-    let report = runtime.run(60)?;
+    let report = drive(&mut runtime, 60, &RoundOptions::from_env())?;
     let models = runtime.models();
     println!("grew {} models: {:?}\n", models.len(), report.model_archs);
 

@@ -8,6 +8,7 @@
 
 use fedtrans::{FedTransConfig, FedTransRuntime};
 use ft_data::DatasetConfig;
+use ft_fedsim::coordinator::{drive, RoundOptions};
 use ft_fedsim::device::DeviceTraceConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_gamma(4)
         .with_delta(4);
     let mut runtime = FedTransRuntime::new(cfg, data, devices)?;
-    let report = runtime.run(50)?;
+    let report = drive(&mut runtime, 50, &RoundOptions::from_env())?;
 
     println!("\nmodel suite after 50 rounds:");
     for (arch, macs) in report.model_archs.iter().zip(&report.model_macs) {

@@ -61,7 +61,10 @@ OPTIONS:
 ENVIRONMENT:
     FT_CLIENT_THREADS / FT_TENSOR_THREADS control parallelism and never
     change a report byte; FT_ARTIFACT_DIR overrides the report
-    directory. Full table: README.md#environment-variables";
+    directory. FT_RENDEZVOUS_DEADLINE_S / FT_HEARTBEAT_INTERVAL_S /
+    FT_HEARTBEAT_DEADLINE_S tune the coordinator protocol's timing (a
+    healthy fleet's report is invariant to them). Full table:
+    README.md#environment-variables";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {

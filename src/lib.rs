@@ -1,11 +1,13 @@
 //! Root facade of the FedTrans reproduction workspace.
 //!
 //! Re-exports the crates a downstream user is expected to touch:
-//! [`fedtrans`] (the method), [`ft_fedsim`] (the simulator substrate
-//! and the [`ft_fedsim::Algorithm`] trait), and [`ft_harness`] (the
-//! config-driven scenario system behind the `ft-run` CLI). The
-//! remaining crates are implementation layers; see
-//! `docs/ARCHITECTURE.md` for the full crate map, the dataflow of one
+//! [`fedtrans`] (the method), [`ft_fedsim`] (the simulator substrate:
+//! the [`ft_fedsim::Algorithm`] trait plus the message-driven
+//! [`ft_fedsim::coordinator`] whose [`ft_fedsim::coordinator::drive`]
+//! loop runs every method), and [`ft_harness`] (the config-driven
+//! scenario system behind the `ft-run` CLI). The remaining crates are
+//! implementation layers; see `docs/ARCHITECTURE.md` for the full
+//! crate map, the coordinator state machine, the dataflow of one
 //! round, and the determinism contract.
 //!
 //! This package also hosts the cross-crate integration tests

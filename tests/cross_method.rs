@@ -4,8 +4,11 @@
 use fedtrans::{ClientManager, FedTransConfig, FedTransRuntime};
 use ft_baselines::{BaselineConfig, FedAvg, Fluid, HeteroFl, ServerOpt, SplitMix};
 use ft_data::{DatasetConfig, FederatedDataset};
+use ft_fedsim::coordinator::{drive, RoundOptions};
 use ft_fedsim::device::{DeviceTrace, DeviceTraceConfig};
+use ft_fedsim::report::RunReport;
 use ft_fedsim::trainer::LocalTrainConfig;
+use ft_fedsim::Algorithm;
 use ft_model::CellModel;
 use rand::SeedableRng;
 
@@ -21,6 +24,12 @@ fn env() -> (FederatedDataset, DeviceTrace, CellModel) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let global = CellModel::dense(&mut rng, data.input_dim(), &[24, 24], data.num_classes());
     (data, devices, global)
+}
+
+/// Drives any method `rounds` rounds through the message-driven
+/// coordinator round loop.
+fn run_n(mut algo: impl Algorithm, rounds: usize) -> RunReport {
+    drive(&mut algo, rounds, &RoundOptions::default()).unwrap()
 }
 
 fn bl() -> BaselineConfig {
@@ -46,45 +55,50 @@ fn every_method_completes_and_reports_consistently() {
     let reports = vec![
         (
             "fedavg",
-            FedAvg::new(
-                bl(),
-                data.clone(),
-                devices.clone(),
-                global.clone(),
-                ServerOpt::Average,
-            )
-            .run(rounds)
-            .unwrap(),
+            run_n(
+                FedAvg::new(
+                    bl(),
+                    data.clone(),
+                    devices.clone(),
+                    global.clone(),
+                    ServerOpt::Average,
+                ),
+                rounds,
+            ),
         ),
         (
             "fedyogi",
-            FedAvg::new(
-                bl(),
-                data.clone(),
-                devices.clone(),
-                global.clone(),
-                ServerOpt::Yogi { lr: 0.05 },
-            )
-            .run(rounds)
-            .unwrap(),
+            run_n(
+                FedAvg::new(
+                    bl(),
+                    data.clone(),
+                    devices.clone(),
+                    global.clone(),
+                    ServerOpt::Yogi { lr: 0.05 },
+                ),
+                rounds,
+            ),
         ),
         (
             "heterofl",
-            HeteroFl::new(bl(), data.clone(), devices.clone(), global.clone())
-                .run(rounds)
-                .unwrap(),
+            run_n(
+                HeteroFl::new(bl(), data.clone(), devices.clone(), global.clone()),
+                rounds,
+            ),
         ),
         (
             "fluid",
-            Fluid::new(bl(), data.clone(), devices.clone(), global.clone())
-                .run(rounds)
-                .unwrap(),
+            run_n(
+                Fluid::new(bl(), data.clone(), devices.clone(), global.clone()),
+                rounds,
+            ),
         ),
         (
             "splitmix",
-            SplitMix::new(bl(), data.clone(), devices.clone(), &global, 3)
-                .run(rounds)
-                .unwrap(),
+            run_n(
+                SplitMix::new(bl(), data.clone(), devices.clone(), &global, 3),
+                rounds,
+            ),
         ),
     ];
     for (name, r) in &reports {
@@ -108,18 +122,20 @@ fn fedprox_differs_from_fedavg() {
     let (data, devices, global) = env();
     let mut prox_cfg = bl();
     prox_cfg.local.prox_mu = Some(0.5);
-    let plain = FedAvg::new(
-        bl(),
-        data.clone(),
-        devices.clone(),
-        global.clone(),
-        ServerOpt::Average,
-    )
-    .run(5)
-    .unwrap();
-    let prox = FedAvg::new(prox_cfg, data, devices, global, ServerOpt::Average)
-        .run(5)
-        .unwrap();
+    let plain = run_n(
+        FedAvg::new(
+            bl(),
+            data.clone(),
+            devices.clone(),
+            global.clone(),
+            ServerOpt::Average,
+        ),
+        5,
+    );
+    let prox = run_n(
+        FedAvg::new(prox_cfg, data, devices, global, ServerOpt::Average),
+        5,
+    );
     assert_ne!(plain.per_client_accuracy, prox.per_client_accuracy);
 }
 
@@ -135,7 +151,7 @@ fn fedtrans_assignments_respect_capacity() {
             ..Default::default()
         });
     let mut rt = FedTransRuntime::new(cfg, data.clone(), devices.clone()).unwrap();
-    let report = rt.run(15).unwrap();
+    let report = drive(&mut rt, 15, &RoundOptions::default()).unwrap();
     for c in 0..data.num_clients() {
         let cap = devices.profile(c).capacity_macs;
         let assigned = report.per_client_model[c];
@@ -153,18 +169,17 @@ fn splitmix_moves_more_bytes_than_fedavg() {
     // must exceed single-model FedAvg on the same budget (the paper's
     // Table 2 network column).
     let (data, devices, global) = env();
-    let fedavg = FedAvg::new(
-        bl(),
-        data.clone(),
-        devices.clone(),
-        global.clone(),
-        ServerOpt::Average,
-    )
-    .run(6)
-    .unwrap();
-    let splitmix = SplitMix::new(bl(), data, devices, &global, 4)
-        .run(6)
-        .unwrap();
+    let fedavg = run_n(
+        FedAvg::new(
+            bl(),
+            data.clone(),
+            devices.clone(),
+            global.clone(),
+            ServerOpt::Average,
+        ),
+        6,
+    );
+    let splitmix = run_n(SplitMix::new(bl(), data, devices, &global, 4), 6);
     // Normalize per MAC of model trained: SplitMix bases are smaller, so
     // compare raw byte counts only when base count > 1 on most clients.
     assert!(splitmix.network_mb > 0.0 && fedavg.network_mb > 0.0);

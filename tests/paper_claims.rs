@@ -5,6 +5,7 @@
 
 use fedtrans::{DocTracker, FedTransConfig, FedTransRuntime};
 use ft_data::DatasetConfig;
+use ft_fedsim::coordinator::{drive, RoundOptions};
 use ft_fedsim::device::DeviceTraceConfig;
 use ft_fedsim::metrics::{mean, std_dev};
 use ft_fedsim::trainer::LocalTrainConfig;
@@ -36,7 +37,7 @@ fn warmup_preserves_training_progress() {
     c.beta = 10.0;
     c.transform_cooldown = 6;
     let mut rt = FedTransRuntime::new(c, data, devices).unwrap();
-    let report = rt.run(20).unwrap();
+    let report = drive(&mut rt, 20, &RoundOptions::default()).unwrap();
     assert!(report.model_archs.len() >= 2, "needs a transformation");
     // Find the transform round; the next round's loss must not blow up
     // past the initial (cold-start) loss.
@@ -69,7 +70,7 @@ fn fedtrans_round_times_beat_one_size_fits_all() {
     c.beta = 10.0;
     c.transform_cooldown = 4;
     let mut rt = FedTransRuntime::new(c, data.clone(), devices.clone()).unwrap();
-    let ft = rt.run(20).unwrap();
+    let ft = drive(&mut rt, 20, &RoundOptions::default()).unwrap();
     let largest = rt.models().last().unwrap().clone();
 
     let bl = ft_baselines::BaselineConfig {
@@ -83,10 +84,9 @@ fn fedtrans_round_times_beat_one_size_fits_all() {
         enforce_capacity: true,
         ..Default::default()
     };
-    let fedavg =
-        ft_baselines::FedAvg::new(bl, data, devices, largest, ft_baselines::ServerOpt::Average)
-            .run(20)
-            .unwrap();
+    let mut fedavg_rt =
+        ft_baselines::FedAvg::new(bl, data, devices, largest, ft_baselines::ServerOpt::Average);
+    let fedavg = drive(&mut fedavg_rt, 20, &RoundOptions::default()).unwrap();
     assert!(
         mean(&ft.client_times_s) < mean(&fedavg.client_times_s),
         "FedTrans should have lower mean round time"
@@ -129,7 +129,7 @@ fn multi_model_suite_covers_capacity_spectrum() {
     c.beta = 10.0;
     c.transform_cooldown = 4;
     let mut rt = FedTransRuntime::new(c, data, devices.clone()).unwrap();
-    let report = rt.run(30).unwrap();
+    let report = drive(&mut rt, 30, &RoundOptions::default()).unwrap();
     let min_macs = *report.model_macs.first().unwrap();
     let max_macs = *report.model_macs.last().unwrap();
     assert!(
@@ -160,13 +160,9 @@ fn ablations_change_behaviour() {
     let mut base = cfg();
     base.beta = 10.0;
     base.transform_cooldown = 4;
-    let full = FedTransRuntime::new(base.clone(), data.clone(), devices.clone())
-        .unwrap()
-        .run(16)
-        .unwrap();
-    let no_warm = FedTransRuntime::new(base.ablate_warmup(), data, devices)
-        .unwrap()
-        .run(16)
-        .unwrap();
+    let mut full_rt = FedTransRuntime::new(base.clone(), data.clone(), devices.clone()).unwrap();
+    let full = drive(&mut full_rt, 16, &RoundOptions::default()).unwrap();
+    let mut no_warm_rt = FedTransRuntime::new(base.ablate_warmup(), data, devices).unwrap();
+    let no_warm = drive(&mut no_warm_rt, 16, &RoundOptions::default()).unwrap();
     assert_ne!(full.per_client_accuracy, no_warm.per_client_accuracy);
 }

@@ -13,9 +13,12 @@
 //! `#[derive(Deserialize)]` generates the inverse conversion (the shim
 //! `serde::Deserialize` trait) for the same shapes. Fields marked
 //! `#[serde(skip)]` are reconstructed with `Default::default()`,
-//! matching real serde's `skip` + `default` pairing; field types are
-//! never spelled out — struct-literal positions give the compiler the
-//! inference target for `Deserialize::from_value`.
+//! matching real serde's `skip` + `default` pairing; fields marked
+//! `#[serde(default)]` are serialized normally but fall back to
+//! `Default::default()` when the key is absent, which is how schema
+//! types grow new fields without invalidating committed JSON. Field
+//! types are never spelled out — struct-literal positions give the
+//! compiler the inference target for `Deserialize::from_value`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -47,6 +50,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct Field {
     name: String,
     skip: bool,
+    /// `#[serde(default)]`: absent keys deserialize to
+    /// `Default::default()` instead of erroring.
+    default: bool,
 }
 
 enum VariantShape {
@@ -150,9 +156,9 @@ fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
     chunks
 }
 
-/// True if the chunk position starts a `#[serde(... skip ...)]`
-/// attribute.
-fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+/// True if the attribute group is `#[serde(...)]` containing the bare
+/// flag `flag` (e.g. `skip`, `default`).
+fn attr_has_serde_flag(group: &proc_macro::Group, flag: &str) -> bool {
     let mut inner = group.stream().into_iter();
     match inner.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
@@ -162,7 +168,7 @@ fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
         Some(TokenTree::Group(args)) => args
             .stream()
             .into_iter()
-            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "skip")),
+            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == flag)),
         _ => false,
     }
 }
@@ -172,9 +178,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     for chunk in split_top_level(stream) {
         let mut i = 0;
         let mut skip = false;
+        let mut default = false;
         while matches!(chunk.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             if let Some(TokenTree::Group(g)) = chunk.get(i + 1) {
-                skip |= attr_is_serde_skip(g);
+                skip |= attr_has_serde_flag(g, "skip");
+                default |= attr_has_serde_flag(g, "default");
             }
             i += 2;
         }
@@ -183,7 +191,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             Some(TokenTree::Ident(id)) => id.to_string(),
             other => return Err(format!("expected field name, found {other:?}")),
         };
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
     Ok(fields)
 }
@@ -298,7 +310,9 @@ fn generate_de(input: TokenStream) -> Result<String, String> {
 }
 
 /// Field initializer list for a named shape: present fields pull from
-/// the entry slice by key, skipped fields take `Default::default()`.
+/// the entry slice by key, skipped fields take `Default::default()`,
+/// and `#[serde(default)]` fields fall back to `Default::default()`
+/// when the key is absent.
 fn de_field_inits(type_name: &str, fields: &[Field], source: &str) -> String {
     let mut out = String::new();
     for f in fields {
@@ -306,6 +320,15 @@ fn de_field_inits(type_name: &str, fields: &[Field], source: &str) -> String {
             out.push_str(&format!(
                 "{}: ::std::default::Default::default(),\n",
                 f.name
+            ));
+        } else if f.default {
+            out.push_str(&format!(
+                "{field}: match {source}.iter().find(|(k, _)| k == {field:?}) {{\n\
+                     ::std::option::Option::Some((_, v)) => ::serde::Deserialize::from_value(v)?,\n\
+                     ::std::option::Option::None => ::std::default::Default::default(),\n\
+                 }},\n",
+                field = f.name,
+                source = source,
             ));
         } else {
             out.push_str(&format!(
