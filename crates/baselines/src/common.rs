@@ -153,6 +153,10 @@ pub fn eval_on_client(model: &CellModel, shard: &ClientData) -> f32 {
 
 /// Accuracy of a softmax-averaged ensemble on a client's shard
 /// (SplitMix's inference rule).
+///
+/// # Panics
+///
+/// Panics if the ensemble's models disagree on logits shape.
 pub fn eval_ensemble_on_client(models: &[CellModel], shard: &ClientData) -> f32 {
     let Some((x, y)) = shard.test_all() else {
         return 0.0;

@@ -72,6 +72,12 @@ impl FedAvg {
     /// # Errors
     ///
     /// Propagates training errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a client reply's tensors disagree with the global
+    /// model's shapes — trained submodels must come from this round's
+    /// global snapshot.
     pub fn step(&mut self) -> Result<RoundReport> {
         let invited = select::uniform(
             &mut self.rng,
@@ -192,20 +198,6 @@ impl FedAvg {
     /// trains through (for tests and protocol telemetry).
     pub fn coordinator(&mut self) -> &mut Coordinator {
         &mut self.coordinator
-    }
-
-    /// Runs `rounds` more rounds and produces the report.
-    ///
-    /// # Errors
-    ///
-    /// Propagates per-round errors.
-    #[deprecated(
-        since = "0.6.0",
-        note = "drive the runner through `ft_fedsim::coordinator::drive` instead"
-    )]
-    pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
-        let total = self.round as usize + rounds;
-        ft_fedsim::coordinator::drive(self, total, &RoundOptions::from_env())
     }
 }
 

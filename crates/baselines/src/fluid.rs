@@ -11,7 +11,7 @@
 //! coordinator-visible signal), and rebuild each capacity level's
 //! [`KeepPlan`] from the freshest scores at assignment time.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::SeedableRng;
 
@@ -42,7 +42,7 @@ pub struct Fluid {
     global: CellModel,
     ratios: Vec<f32>,
     /// Per-cell neuron-update scores (higher = more variant = kept).
-    scores: HashMap<CellId, Vec<f32>>,
+    scores: BTreeMap<CellId, Vec<f32>>,
     acc: Accumulator,
     rng: rand::rngs::StdRng,
     round: u32,
@@ -120,6 +120,11 @@ impl Fluid {
     }
 
     /// Folds the aggregate delta into the per-neuron update scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old`/`new` are not snapshots of the current global
+    /// model (cells registered at construction, matching shapes).
     fn update_scores(&mut self, old: &[Tensor], new: &[Tensor]) {
         let layout = self.global.param_layout();
         for (cell, (id_opt, start, _len)) in self.global.cells().iter().zip(&layout) {
@@ -176,6 +181,12 @@ impl Fluid {
     /// # Errors
     ///
     /// Propagates training errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a client reply's tensors disagree with the global
+    /// model's shapes — trained submodels must come from this round's
+    /// global snapshot.
     pub fn step(&mut self) -> Result<RoundReport> {
         let invited = select::uniform(
             &mut self.rng,
@@ -310,20 +321,6 @@ impl Fluid {
     pub fn coordinator(&mut self) -> &mut Coordinator {
         &mut self.coordinator
     }
-
-    /// Runs `rounds` more rounds and produces the report.
-    ///
-    /// # Errors
-    ///
-    /// Propagates per-round errors.
-    #[deprecated(
-        since = "0.6.0",
-        note = "drive the runner through `ft_fedsim::coordinator::drive` instead"
-    )]
-    pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
-        let total = self.round as usize + rounds;
-        ft_fedsim::coordinator::drive(self, total, &RoundOptions::from_env())
-    }
 }
 
 impl ft_fedsim::Algorithm for Fluid {
@@ -348,14 +345,13 @@ impl ft_fedsim::Algorithm for Fluid {
     }
 
     fn checkpoint(&self) -> serde::Value {
-        // Scores are keyed by CellId; sort for a HashMap-order-free
-        // encoding.
-        let mut scores: Vec<(u64, Vec<f32>)> = self
+        // Scores live in a BTreeMap keyed by CellId, so the encoding
+        // is in id order by construction.
+        let scores: Vec<(u64, Vec<f32>)> = self
             .scores
             .iter()
             .map(|(id, s)| (id.0, s.clone()))
             .collect();
-        scores.sort_unstable_by_key(|(id, _)| *id);
         serde_json::json!({
             "kind": "fluid",
             "round": self.round,

@@ -194,6 +194,7 @@ impl HeteroFl {
             let mean = ft_fedsim::metrics::mean(&accs);
             self.acc.curve.push((self.acc.cost.train_pmacs(), mean));
         }
+        // ft-lint: allow(P001) — `finish_round` above just pushed this entry.
         Ok(self.acc.history.last().expect("just pushed").clone())
     }
 
@@ -234,20 +235,6 @@ impl HeteroFl {
     /// trains through (for tests and protocol telemetry).
     pub fn coordinator(&mut self) -> &mut Coordinator {
         &mut self.coordinator
-    }
-
-    /// Runs `rounds` more rounds and produces the report.
-    ///
-    /// # Errors
-    ///
-    /// Propagates per-round errors.
-    #[deprecated(
-        since = "0.6.0",
-        note = "drive the runner through `ft_fedsim::coordinator::drive` instead"
-    )]
-    pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
-        let total = self.round as usize + rounds;
-        ft_fedsim::coordinator::drive(self, total, &RoundOptions::from_env())
     }
 }
 

@@ -21,11 +21,14 @@
 //!
 //! Every baseline trains its participants through the shared parallel
 //! client engine (`ft_fedsim::exec`, gated by `FT_CLIENT_THREADS`):
-//! FedAvg/HeteroFL/FLuID fan out one task per participant via
-//! [`ft_fedsim::trainer::train_participants`], SplitMix one task per
+//! FedAvg/HeteroFL/FLuID fan out one task per participant through
+//! [`ft_fedsim::trainer::train_round`], SplitMix one task per
 //! `(participant, base)` pair. Aggregation always replays outcomes in
 //! the fixed selection order, so baseline reports — like FedTrans's —
 //! are byte-identical at any thread count.
+
+// Enforced in depth by ft-lint (S001); the compiler backstops it here.
+#![forbid(unsafe_code)]
 
 pub mod common;
 mod fedavg;

@@ -100,6 +100,12 @@ impl SplitMix {
     /// # Errors
     ///
     /// Propagates training errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a client's returned base weights disagree with the
+    /// base models' shapes — updates must come from this round's base
+    /// snapshots.
     pub fn step(&mut self) -> Result<RoundReport> {
         let invited = select::uniform(
             &mut self.rng,
@@ -240,20 +246,6 @@ impl SplitMix {
     /// trains through (for tests and protocol telemetry).
     pub fn coordinator(&mut self) -> &mut Coordinator {
         &mut self.coordinator
-    }
-
-    /// Runs `rounds` more rounds and produces the report.
-    ///
-    /// # Errors
-    ///
-    /// Propagates per-round errors.
-    #[deprecated(
-        since = "0.6.0",
-        note = "drive the runner through `ft_fedsim::coordinator::drive` instead"
-    )]
-    pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
-        let total = self.round as usize + rounds;
-        ft_fedsim::coordinator::drive(self, total, &RoundOptions::from_env())
     }
 }
 

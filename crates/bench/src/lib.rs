@@ -276,6 +276,7 @@ impl Setup {
         let largest = rt
             .models()
             .last()
+            // ft-lint: allow(P001) — a runtime always holds ≥1 model (the seed).
             .expect("suite always has the seed model")
             .clone();
         Ok((report, largest))

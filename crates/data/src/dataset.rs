@@ -111,6 +111,7 @@ impl ClientData {
             data.extend_from_slice(&self.train_x[i]);
             labels.push(self.train_y[i]);
         }
+        // ft-lint: allow(P001) — `dim` floats appended per index above.
         let x = Tensor::from_vec(data, &[indices.len(), dim]).expect("dims consistent");
         (x, labels)
     }
@@ -133,6 +134,7 @@ impl ClientData {
         for x in &self.test_x {
             data.extend_from_slice(x);
         }
+        // ft-lint: allow(P001) — every test row has `dim` floats by construction.
         let x = Tensor::from_vec(data, &[self.test_x.len(), dim]).expect("dims consistent");
         Some((x, self.test_y.clone()))
     }
@@ -208,6 +210,7 @@ impl FederatedDataset {
         }
         let n = labels.len();
         (
+            // ft-lint: allow(P001) — every pooled row carries `dim` floats and one label.
             Tensor::from_vec(data, &[n, dim]).expect("dims consistent"),
             labels,
         )

@@ -48,6 +48,10 @@ fn image_prototype(
 }
 
 /// Generates a flat Gaussian prototype.
+///
+/// # Panics
+///
+/// Panics if `sep` is not finite and non-negative.
 fn flat_prototype(rng: &mut impl Rng, dim: usize, sep: f32) -> Vec<f32> {
     let normal = Normal::new(0.0f32, sep).expect("sep is finite");
     (0..dim).map(|_| normal.sample(rng)).collect()
@@ -55,6 +59,12 @@ fn flat_prototype(rng: &mut impl Rng, dim: usize, sep: f32) -> Vec<f32> {
 
 /// Generates the dataset described by `config`. Deterministic in
 /// `config.seed`.
+///
+/// # Panics
+///
+/// Panics if `config`'s `noise_std`, `shift_std`, `class_sep`, or
+/// `sample_spread` is not finite and non-negative (they parameterize
+/// the sampling distributions).
 pub fn generate(config: &DatasetConfig) -> FederatedDataset {
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
     let dim = config.input.flat_dim();

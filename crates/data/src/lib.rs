@@ -32,6 +32,9 @@
 //! assert!(client.train_len() > 0);
 //! ```
 
+// Enforced in depth by ft-lint (S001); the compiler backstops it here.
+#![forbid(unsafe_code)]
+
 mod config;
 mod dataset;
 mod generator;

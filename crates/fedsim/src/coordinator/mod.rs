@@ -47,7 +47,7 @@ pub mod message;
 pub mod participant;
 pub mod transport;
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize, Value};
 
@@ -317,6 +317,7 @@ impl Coordinator {
     /// [`SimError::Protocol`] when not in standby or when `round` is
     /// not the coordinator's next round.
     pub fn begin_round(&mut self, round: u32, invited: &[usize]) -> Result<Vec<usize>> {
+        // ft-lint: allow(P001) — phase guard returning Result, not Option::expect.
         self.expect(Phase::Standby, "begin_round")?;
         if round != self.round {
             return Err(SimError::protocol(format!(
@@ -422,6 +423,7 @@ impl Coordinator {
         shards: &[ClientData],
         cfg: &LocalTrainConfig,
     ) -> Result<Vec<TrainReply>> {
+        // ft-lint: allow(P001) — phase guard returning Result, not Option::expect.
         self.expect(Phase::Round(RoundStage::Selecting), "train")?;
         let cohort_set: HashSet<usize> = self.admitted.iter().copied().collect();
         for t in &tasks {
@@ -509,8 +511,10 @@ impl Coordinator {
         let start = self.clock.now();
         let hb_ticks = ticks_for_seconds(self.opts.heartbeat_interval_s);
         let deadline_ticks = self.opts.heartbeat_deadline_ticks();
-        let mut last_signal: HashMap<usize, u64> = HashMap::new();
-        let mut open_tasks: HashMap<usize, Vec<usize>> = HashMap::new(); // client -> task idxs
+        // BTreeMaps so the deadline/silence scans below walk clients in
+        // ascending order — reap order is part of the digested trace.
+        let mut last_signal: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut open_tasks: BTreeMap<usize, Vec<usize>> = BTreeMap::new(); // client -> task idxs
         for (client, _, _) in &task_meta {
             last_signal.insert(*client, start);
         }
@@ -650,6 +654,7 @@ impl Coordinator {
     ///
     /// [`SimError::Protocol`] when not in the aggregating stage.
     pub fn finish_round(&mut self) -> Result<()> {
+        // ft-lint: allow(P001) — phase guard returning Result, not Option::expect.
         self.expect(Phase::Round(RoundStage::Aggregating), "finish_round")?;
         let round = self.round;
         let notify_at = self.clock.now() + 1;
@@ -680,6 +685,7 @@ impl Coordinator {
     /// [`SimError::Protocol`] when a round is in progress (or the
     /// coordinator is already finished).
     pub fn shutdown(&mut self) -> Result<()> {
+        // ft-lint: allow(P001) — phase guard returning Result, not Option::expect.
         self.expect(Phase::Standby, "shutdown")?;
         self.phase = Phase::Finished;
         Ok(())

@@ -18,7 +18,7 @@
 //! heartbeat deadline, or request admission without an invite to
 //! exercise Later-then-Accept readmission).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::device::DeviceTrace;
 use crate::faults::FaultConfig;
@@ -50,7 +50,7 @@ pub struct Cohort {
     seed: u64,
     faults: FaultConfig,
     devices: DeviceTrace,
-    overrides: HashMap<(u32, usize), Behavior>,
+    overrides: BTreeMap<(u32, usize), Behavior>,
 }
 
 impl Cohort {
@@ -61,7 +61,7 @@ impl Cohort {
             seed,
             faults,
             devices,
-            overrides: HashMap::new(),
+            overrides: BTreeMap::new(),
         }
     }
 
@@ -120,14 +120,15 @@ impl Cohort {
     }
 
     /// Round-start hook: eager devices request admission unsolicited.
+    /// `overrides` is a `BTreeMap` keyed `(round, client)`, so the
+    /// requests arrive in ascending client order by construction.
     pub fn on_round_start(&self, round: u32, now: u64, transport: &mut dyn Transport) {
-        let mut eager: Vec<usize> = self
+        let eager: Vec<usize> = self
             .overrides
             .iter()
             .filter(|((r, _), b)| *r == round && matches!(b, Behavior::Eager))
             .map(|((_, c), _)| *c)
             .collect();
-        eager.sort_unstable();
         for client in eager {
             transport.send_up(client, now + 1, ClientMessage::RendezvousRequest { round });
         }

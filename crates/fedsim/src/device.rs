@@ -178,6 +178,11 @@ impl DeviceTraceConfig {
     /// Generates the trace. Deterministic in the seed. The first and
     /// last devices are pinned to the extremes so the configured
     /// disparity is always realized exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_jitter_sigma` or `median_bandwidth` is not
+    /// finite and positive (they parameterize log-normal draws).
     pub fn generate(&self) -> DeviceTrace {
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         let jitter = LogNormal::new(0.0, self.speed_jitter_sigma).expect("sigma finite");
@@ -215,6 +220,11 @@ impl DeviceTraceConfig {
     ///
     /// Falls back to [`DeviceTraceConfig::generate`] when `tiers` is
     /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_jitter_sigma` or `median_bandwidth` is not
+    /// finite and positive (they parameterize log-normal draws).
     pub fn generate_tiered(&self, tiers: &[DeviceTier]) -> DeviceTrace {
         if tiers.is_empty() {
             return self.generate();

@@ -73,6 +73,7 @@ where
     slots
         .into_inner()
         .into_iter()
+        // ft-lint: allow(P001) — parallel_for runs every index exactly once.
         .map(|slot| slot.expect("parallel_for runs every index exactly once"))
         .collect()
 }

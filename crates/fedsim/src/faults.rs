@@ -85,21 +85,6 @@ impl FaultConfig {
             1.0
         }
     }
-
-    /// Removes dropped clients from a selection, in place.
-    ///
-    /// Deprecated: the coordinator now *emerges* dropout from missed
-    /// rendezvous deadlines ([`crate::coordinator::Coordinator::begin_round`]),
-    /// which admits exactly the cohort this function would retain.
-    #[deprecated(
-        since = "0.6.0",
-        note = "dropout is emergent in the coordinator rendezvous; use `Coordinator::begin_round`"
-    )]
-    pub fn apply_dropout(&self, seed: u64, round: u32, participants: &mut Vec<usize>) {
-        if self.dropout_prob > 0.0 {
-            participants.retain(|&c| !self.drops(seed, round, c));
-        }
-    }
 }
 
 #[cfg(test)]
@@ -107,13 +92,10 @@ mod tests {
     use super::*;
 
     #[test]
-    #[allow(deprecated)]
     fn default_is_inert() {
         let f = FaultConfig::default();
         assert!(!f.is_active());
-        let mut sel = vec![0, 1, 2];
-        f.apply_dropout(7, 3, &mut sel);
-        assert_eq!(sel, vec![0, 1, 2]);
+        assert!((0..3).all(|c| !f.drops(7, 3, c)));
         assert_eq!(f.slowdown(7, 3, 1), 1.0);
     }
 

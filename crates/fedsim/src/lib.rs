@@ -46,6 +46,9 @@
 //! assert!(disparity >= 20.0);
 //! ```
 
+// Enforced in depth by ft-lint (S001); the compiler backstops it here.
+#![forbid(unsafe_code)]
+
 pub mod coordinator;
 pub mod costs;
 pub mod device;

@@ -174,6 +174,7 @@ pub fn train_local(
     let delta: Vec<Tensor> = weights
         .iter()
         .zip(&global)
+        // ft-lint: allow(P001) — trained weights mirror the snapshot they came from.
         .map(|(w, g)| w.sub(g).expect("same shapes by construction"))
         .collect();
     let steps = cfg.local_steps.max(1) as f32;
@@ -261,6 +262,7 @@ pub fn train_tasks(
         let mut model = cell
             .lock()
             .take()
+            // ft-lint: allow(P001) — parallel_for claims each slot exactly once.
             .expect("each slot is claimed exactly once");
         train_local(&mut model, *client, &shards[*client], cfg, *seed)
     })
@@ -299,58 +301,6 @@ pub fn train_round(
         .collect();
     let threads = opts.threads.unwrap_or_else(crate::exec::client_threads);
     train_tasks(tasks, shards, cfg, threads)
-}
-
-/// Trains many participants concurrently with the fan-out width taken
-/// from `FT_CLIENT_THREADS`.
-///
-/// # Errors
-///
-/// Returns the lowest-indexed training error, or
-/// [`SimError::WorkerPanicked`] if a training task dies.
-#[deprecated(since = "0.6.0", note = "use `train_round` with `RoundOptions`")]
-pub fn train_participants(
-    assignments: Vec<(usize, CellModel)>,
-    shards: &[ClientData],
-    cfg: &LocalTrainConfig,
-    round_seed: u64,
-) -> Result<Vec<LocalOutcome>> {
-    train_round(
-        assignments,
-        shards,
-        cfg,
-        round_seed,
-        &crate::coordinator::RoundOptions::default(),
-    )
-}
-
-/// [`train_participants`] with an explicit thread budget.
-///
-/// # Errors
-///
-/// Returns the lowest-indexed training error, or
-/// [`SimError::WorkerPanicked`] if a training task dies.
-#[deprecated(
-    since = "0.6.0",
-    note = "use `train_round` with `RoundOptions { threads: Some(n), .. }`"
-)]
-pub fn train_participants_with_threads(
-    assignments: Vec<(usize, CellModel)>,
-    shards: &[ClientData],
-    cfg: &LocalTrainConfig,
-    round_seed: u64,
-    threads: usize,
-) -> Result<Vec<LocalOutcome>> {
-    train_round(
-        assignments,
-        shards,
-        cfg,
-        round_seed,
-        &crate::coordinator::RoundOptions {
-            threads: Some(threads),
-            ..Default::default()
-        },
-    )
 }
 
 #[cfg(test)]
@@ -502,11 +452,11 @@ mod tests {
         assert!(err.is_err());
     }
 
-    /// The deprecated wrappers stay behaviourally identical to the
-    /// merged entry point for their final release.
+    /// One entry point, any fan-out width, identical outcomes: the
+    /// invariant the removed `train_participants` wrappers used to
+    /// witness now holds across `RoundOptions` thread settings.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_train_round() {
+    fn train_round_is_thread_count_invariant() {
         let (data, model) = tiny();
         let cfg = LocalTrainConfig {
             local_steps: 4,
@@ -514,12 +464,12 @@ mod tests {
         };
         let make = || vec![(0usize, model.clone()), (2, model.clone())];
         let merged = train_round(make(), data.clients(), &cfg, 9, &opts_with_threads(2)).unwrap();
-        let via_env_gate = train_participants(make(), data.clients(), &cfg, 9).unwrap();
-        let via_threads =
-            train_participants_with_threads(make(), data.clients(), &cfg, 9, 2).unwrap();
-        for old in [&via_env_gate, &via_threads] {
-            assert_eq!(old.len(), merged.len());
-            for (a, b) in old.iter().zip(&merged) {
+        let serial = train_round(make(), data.clients(), &cfg, 9, &opts_with_threads(1)).unwrap();
+        let default_opts =
+            train_round(make(), data.clients(), &cfg, 9, &Default::default()).unwrap();
+        for other in [&serial, &default_opts] {
+            assert_eq!(other.len(), merged.len());
+            for (a, b) in other.iter().zip(&merged) {
                 assert_eq!(a.client, b.client);
                 assert_eq!(a.weights, b.weights);
                 assert_eq!(a.samples_processed, b.samples_processed);

@@ -213,7 +213,6 @@ fn train_rejects_tasks_for_unadmitted_clients() {
 // ---------------------------------------------------------------------
 
 #[test]
-#[allow(deprecated)]
 fn rendezvous_dropout_matches_the_stateless_fault_hash() {
     let faults = FaultConfig {
         dropout_prob: 0.5,
@@ -232,7 +231,7 @@ fn rendezvous_dropout_matches_the_stateless_fault_hash() {
         // The emergent cohort must admit exactly what the injected
         // fault model used to retain, in invitation order.
         let mut expected = invited.clone();
-        faults.apply_dropout(SEED, round, &mut expected);
+        expected.retain(|&c| !faults.drops(SEED, round, c));
         assert_eq!(admitted, expected, "round {round}");
         assert_eq!(
             c.stats().rendezvous_dropouts,

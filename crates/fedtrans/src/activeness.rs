@@ -6,7 +6,7 @@
 //! 5). Only aggregate updates reach the coordinator — never individual
 //! client gradients — matching the paper's privacy posture.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use ft_model::{CellId, CellModel};
 use ft_tensor::Tensor;
@@ -15,7 +15,7 @@ use ft_tensor::Tensor;
 #[derive(Debug, Clone, Default)]
 pub struct ActivenessTracker {
     window: usize,
-    history: HashMap<CellId, VecDeque<f32>>,
+    history: BTreeMap<CellId, VecDeque<f32>>,
 }
 
 impl ActivenessTracker {
@@ -23,7 +23,7 @@ impl ActivenessTracker {
     pub fn new(window: usize) -> Self {
         ActivenessTracker {
             window: window.max(1),
-            history: HashMap::new(),
+            history: BTreeMap::new(),
         }
     }
 
@@ -49,6 +49,7 @@ impl ActivenessTracker {
                 .cells()
                 .iter()
                 .find(|c| c.id() == id)
+                // ft-lint: allow(P001) — `param_layout` only yields this model's cell ids.
                 .expect("layout ids come from this model");
             let w = cell.weight_norm();
             let act = if w <= f32::EPSILON {
@@ -88,16 +89,14 @@ impl ActivenessTracker {
     }
 
     /// Checkpoint view of the full history: `(cell id, oldest→newest)`
-    /// entries sorted by id, so serialization is independent of
-    /// `HashMap` iteration order.
+    /// entries sorted by id. The history lives in a `BTreeMap`, so the
+    /// id order falls out of iteration and serialization is stable by
+    /// construction.
     pub fn export_history(&self) -> Vec<(u64, Vec<f32>)> {
-        let mut out: Vec<(u64, Vec<f32>)> = self
-            .history
+        self.history
             .iter()
             .map(|(id, h)| (id.0, h.iter().copied().collect()))
-            .collect();
-        out.sort_unstable_by_key(|(id, _)| *id);
-        out
+            .collect()
     }
 
     /// Replaces the history from a checkpoint produced by

@@ -53,6 +53,10 @@ impl ModelAggregator {
     /// Sample-weighted FedAvg of participant weights for one model.
     ///
     /// Returns `None` when the model had no participants this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the updates do not all share one model's shapes.
     pub fn fedavg(updates: &[(Vec<Tensor>, u64)]) -> Option<Vec<Tensor>> {
         let total: u64 = updates.iter().map(|(_, n)| *n).sum();
         if updates.is_empty() || total == 0 {

@@ -32,10 +32,17 @@
 //! let data = DatasetConfig::femnist_like().with_num_clients(50).generate();
 //! let devices = DeviceTraceConfig::default().with_num_devices(50).generate();
 //! let mut runtime = FedTransRuntime::new(FedTransConfig::default(), data, devices)?;
-//! let report = runtime.run(100)?;
+//! let report = ft_fedsim::coordinator::drive(
+//!     &mut runtime,
+//!     100,
+//!     &ft_fedsim::RoundOptions::from_env(),
+//! )?;
 //! println!("mean accuracy {:.3}", report.final_accuracy.mean);
 //! # Ok::<(), fedtrans::FedTransError>(())
 //! ```
+
+// Enforced in depth by ft-lint (S001); the compiler backstops it here.
+#![forbid(unsafe_code)]
 
 mod activeness;
 mod aggregator;

@@ -329,6 +329,7 @@ impl FedTransRuntime {
                 .collect();
             for reply in deltas {
                 for (m, d) in mean_delta.iter_mut().zip(&reply.outcome.delta) {
+                    // ft-lint: allow(P001) — deltas grouped by model index share shapes.
                     m.axpy(1.0 / count, d).expect("same shapes per model");
                 }
             }
@@ -438,21 +439,6 @@ impl FedTransRuntime {
     /// (protocol telemetry, phase, cohort overrides for tests).
     pub fn coordinator(&mut self) -> &mut Coordinator {
         &mut self.coordinator
-    }
-
-    /// Runs `rounds` *additional* rounds and produces the full report.
-    ///
-    /// # Errors
-    ///
-    /// Propagates per-round errors.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `ft_fedsim::coordinator::drive(&mut runtime, total_rounds, &opts)`"
-    )]
-    pub fn run(&mut self, rounds: usize) -> Result<RunReport> {
-        let total = self.round as usize + rounds;
-        ft_fedsim::coordinator::drive(self, total, &RoundOptions::from_env())
-            .map_err(FedTransError::from)
     }
 
     /// Produces the report for the rounds run so far.

@@ -12,7 +12,7 @@
 //! flow): a cell that was widened in its last transformation is deepened
 //! next, and vice versa — the compound-scaling heuristic.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::Rng;
 
@@ -35,7 +35,7 @@ pub struct ModelTransformer {
     cfg: FedTransConfig,
     doc: DocTracker,
     /// Whether each cell's most recent transformation was a widen.
-    widened_last: HashMap<CellId, bool>,
+    widened_last: BTreeMap<CellId, bool>,
     rounds_since_transform: usize,
 }
 
@@ -45,7 +45,7 @@ impl ModelTransformer {
         ModelTransformer {
             cfg: cfg.clone(),
             doc: DocTracker::new(cfg.gamma, cfg.delta),
-            widened_last: HashMap::new(),
+            widened_last: BTreeMap::new(),
             rounds_since_transform: 0,
         }
     }
@@ -65,9 +65,10 @@ impl ModelTransformer {
     /// history, widen/deepen alternation per cell id sorted by id,
     /// rounds since the last transformation)`.
     pub fn export_state(&self) -> (Vec<f32>, Vec<(u64, bool)>, usize) {
-        let mut widened: Vec<(u64, bool)> =
+        // `widened_last` is a BTreeMap, so iteration is already in id
+        // order — serialization is stable by construction.
+        let widened: Vec<(u64, bool)> =
             self.widened_last.iter().map(|(id, w)| (id.0, *w)).collect();
-        widened.sort_unstable_by_key(|(id, _)| *id);
         (
             self.doc.losses().to_vec(),
             widened,

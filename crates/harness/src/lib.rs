@@ -35,6 +35,9 @@
 //! # Ok::<(), ft_fedsim::SimError>(())
 //! ```
 
+// Enforced in depth by ft-lint (S001); the compiler backstops it here.
+#![forbid(unsafe_code)]
+
 pub mod registry;
 pub mod runner;
 mod scenario;

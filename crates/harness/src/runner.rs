@@ -113,6 +113,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> ft_fedsim::Result
                 let path = opts
                     .checkpoint_path
                     .as_ref()
+                    // ft-lint: allow(P001) — stop_after implies a path, validated before the loop.
                     .expect("checked before the loop");
                 write_checkpoint(path, scenario, quick, target, driver.as_ref())?;
                 return Ok(RunOutcome {

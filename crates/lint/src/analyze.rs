@@ -1,0 +1,909 @@
+//! The rule engine: walks one file's token stream and reports
+//! findings.
+//!
+//! The analyzer is deliberately *token-level* (no type information, no
+//! full parse): it tracks just enough structure — brace-nested item
+//! frames, attributes, doc comments — to know, at every code token,
+//! whether it sits in `#[cfg(test)]`/`#[test]` code, inside a struct
+//! body, or under a function whose docs declare a `# Panics` section.
+//! That context plus a per-file table of identifiers *declared* as
+//! `HashMap`/`HashSet` is enough to enforce the determinism contract
+//! mechanically. The trade-off is honest: the analyzer can miss
+//! exotic constructions (a hash map smuggled through a type alias),
+//! but it can never be silenced accidentally — suppression requires
+//! an inline waiver that names the rule and states a reason, and
+//! stale waivers are themselves findings.
+
+use crate::config::Config;
+use crate::lexer::{lex, Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// How a file participates in the build, which decides rule
+/// applicability (e.g. [`P001`](crate::CATALOG) is library-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source under `src/` (excluding `src/bin`).
+    Lib,
+    /// Binary target (`src/bin/**`, `src/main.rs`).
+    Bin,
+    /// Integration test under `tests/`.
+    Test,
+    /// Benchmark under `benches/`.
+    Bench,
+    /// Example under `examples/`.
+    Example,
+}
+
+/// One reported lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`D001`, …, `W002`).
+    pub rule: &'static str,
+    /// Human-readable description with a fix hint.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Rule ids, used by findings, waivers, and `lint.toml` scoping.
+pub mod rule {
+    /// Iteration over a hash-ordered collection in digest-relevant code.
+    pub const D001: &str = "D001";
+    /// Wall-clock read (`Instant::now` / `SystemTime::now`).
+    pub const D002: &str = "D002";
+    /// Raw thread spawn outside the sanctioned worker pool.
+    pub const D003: &str = "D003";
+    /// Nondeterministically seeded RNG entry point.
+    pub const D004: &str = "D004";
+    /// `unsafe` without a `// SAFETY:` justification.
+    pub const S001: &str = "S001";
+    /// `.unwrap()` / `.expect()` / `panic!` in library code.
+    pub const P001: &str = "P001";
+    /// Malformed waiver (missing reason or unknown rule id).
+    pub const W001: &str = "W001";
+    /// Waiver that suppresses nothing (stale).
+    pub const W002: &str = "W002";
+
+    /// Every rule id the analyzer knows, for waiver validation.
+    pub const ALL: &[&str] = &[D001, D002, D003, D004, S001, P001, W001, W002];
+}
+
+// ---------------------------------------------------------------------
+// Context-annotated code tokens.
+// ---------------------------------------------------------------------
+
+/// What kind of item a brace frame belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ItemKind {
+    Fn,
+    Struct,
+    Other,
+}
+
+/// A code token annotated with the lexical context it appears in.
+struct CodeTok {
+    kind: TokKind,
+    text: String,
+    line: u32,
+    /// Inside `#[cfg(test)]` / `#[test]` code.
+    in_test: bool,
+    /// Inside a fn whose doc comment has a `# Panics` section.
+    panics_doc: bool,
+    /// Directly inside a struct/enum/union body (field declarations).
+    in_struct: bool,
+}
+
+struct Frame {
+    in_test: bool,
+    panics_doc: bool,
+    in_struct: bool,
+}
+
+/// Pending item header: `(kind, is_test, panics_doc)` captured when an
+/// item keyword is seen, consumed at the opening `{`.
+struct Header {
+    kind: ItemKind,
+    is_test: bool,
+    panics_doc: bool,
+}
+
+fn is_test_attr(flat: &str) -> bool {
+    flat == "test"
+        || flat.ends_with("::test")
+        || (flat.starts_with("cfg") && flat.contains("test") && !flat.contains("not(test)"))
+}
+
+/// Filters `toks` down to code tokens, annotating each with its
+/// context. This is the "lightweight item/attribute scanner": brace
+/// frames classified by the item keyword that opened them, attributes
+/// flattened to text, doc comments accumulated per item.
+fn annotate(toks: &[Tok]) -> Vec<CodeTok> {
+    let mut out: Vec<CodeTok> = Vec::with_capacity(toks.len());
+    let mut stack: Vec<Frame> = vec![Frame {
+        in_test: false,
+        panics_doc: false,
+        in_struct: false,
+    }];
+    let mut pending_doc = String::new();
+    let mut pending_test_attr = false;
+    let mut header: Option<Header> = None;
+    // Attribute collection state: bracket depth and flattened text.
+    let mut attr_depth = 0usize;
+    let mut attr_buf = String::new();
+    let mut attr_started = false; // saw `#`, waiting for `[`
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_comment() {
+            if t.is_doc_comment() {
+                pending_doc.push_str(&t.text);
+                pending_doc.push('\n');
+            }
+            i += 1;
+            continue;
+        }
+        // Emit every code token with the *current* context.
+        let (in_test, panics_doc, in_struct) = stack.last().map_or((false, false, false), |f| {
+            (f.in_test, f.panics_doc, f.in_struct)
+        });
+        out.push(CodeTok {
+            kind: t.kind,
+            text: t.text.clone(),
+            line: t.line,
+            in_test,
+            panics_doc,
+            in_struct,
+        });
+
+        // Attribute state machine (structure tracking is suspended
+        // inside attributes; their brackets are not item braces).
+        if attr_depth > 0 {
+            match t.text.as_str() {
+                "[" => attr_depth += 1,
+                "]" => {
+                    attr_depth -= 1;
+                    if attr_depth == 0 {
+                        pending_test_attr |= is_test_attr(&attr_buf);
+                        attr_buf.clear();
+                    }
+                }
+                _ => {}
+            }
+            if attr_depth > 0 && t.kind != TokKind::Str {
+                attr_buf.push_str(&t.text);
+            } else if attr_depth > 0 {
+                attr_buf.push('"'); // placeholder for string payloads
+            }
+            i += 1;
+            continue;
+        }
+        if attr_started {
+            // `#` followed by `[` (outer attr) or `!` then `[` (inner
+            // attr — applies to the enclosing scope; collected the
+            // same way, which is conservative for `#![cfg(test)]`).
+            match t.text.as_str() {
+                "[" => {
+                    attr_depth = 1;
+                    attr_started = false;
+                }
+                "!" => {} // keep waiting for the `[`
+                _ => attr_started = false,
+            }
+            i += 1;
+            continue;
+        }
+
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "#") => attr_started = true,
+            // The first item keyword between two braces owns the
+            // pending header: later keyword sightings are type
+            // positions (`impl Rng` in a parameter list, `-> impl
+            // Iterator` in a return type, `fn()` pointer types) and
+            // must not clobber it.
+            (TokKind::Ident, "fn") if header.is_none() => {
+                header = Some(Header {
+                    kind: ItemKind::Fn,
+                    is_test: pending_test_attr,
+                    panics_doc: pending_doc.contains("# Panics"),
+                });
+            }
+            (TokKind::Ident, "struct" | "enum" | "union") if header.is_none() => {
+                header = Some(Header {
+                    kind: ItemKind::Struct,
+                    is_test: pending_test_attr,
+                    panics_doc: false,
+                });
+            }
+            (TokKind::Ident, "mod" | "impl" | "trait") if header.is_none() => {
+                header = Some(Header {
+                    kind: ItemKind::Other,
+                    is_test: pending_test_attr,
+                    panics_doc: false,
+                });
+            }
+            (TokKind::Punct, "{") => {
+                let parent = stack.last().map(|f| (f.in_test, f.panics_doc, f.in_struct));
+                let (p_test, p_panics, p_struct) = parent.unwrap_or((false, false, false));
+                let frame = match header.take() {
+                    Some(h) => Frame {
+                        in_test: p_test || h.is_test,
+                        panics_doc: match h.kind {
+                            ItemKind::Fn => h.panics_doc,
+                            _ => false,
+                        },
+                        in_struct: h.kind == ItemKind::Struct,
+                    },
+                    // Expression/closure/match braces inherit.
+                    None => Frame {
+                        in_test: p_test,
+                        panics_doc: p_panics,
+                        in_struct: p_struct,
+                    },
+                };
+                stack.push(frame);
+                pending_doc.clear();
+                pending_test_attr = false;
+            }
+            (TokKind::Punct, "}") if stack.len() > 1 => {
+                stack.pop();
+            }
+            (TokKind::Punct, ";") => {
+                header = None;
+                pending_doc.clear();
+                pending_test_attr = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Waivers.
+// ---------------------------------------------------------------------
+
+/// An inline `// ft-lint: allow(RULE, …) — reason` suppression.
+struct Waiver {
+    line: u32,
+    rules: Vec<String>,
+    used: bool,
+}
+
+/// Result of parsing one comment that mentions `ft-lint:`.
+enum WaiverParse {
+    Ok(Waiver),
+    Malformed { line: u32, why: String },
+}
+
+fn parse_waiver(line: u32, text: &str) -> Option<WaiverParse> {
+    // Only a comment whose *content* begins with `ft-lint:` is a
+    // waiver. Exactly one comment marker is stripped, so prose that
+    // quotes the syntax (`/// … \`// ft-lint: allow(…)\` …`) and doc
+    // examples (`//! // ft-lint: allow(…)`) are never parsed as live
+    // waivers — their content starts with a backtick or a second `//`.
+    let body = text
+        .strip_prefix("//")
+        .or_else(|| text.strip_prefix("/*"))?;
+    let content = body
+        .strip_prefix(['/', '!', '*'])
+        .unwrap_or(body)
+        .trim_start();
+    let rest = content.strip_prefix("ft-lint:")?.trim_start();
+    let Some(args) = rest.strip_prefix("allow") else {
+        return Some(WaiverParse::Malformed {
+            line,
+            why: "expected `ft-lint: allow(<RULE>) — <reason>`".to_string(),
+        });
+    };
+    let args = args.trim_start();
+    let Some(inner_start) = args.strip_prefix('(') else {
+        return Some(WaiverParse::Malformed {
+            line,
+            why: "expected `(` after `allow`".to_string(),
+        });
+    };
+    let Some(close) = inner_start.find(')') else {
+        return Some(WaiverParse::Malformed {
+            line,
+            why: "unterminated rule list".to_string(),
+        });
+    };
+    let mut rules = Vec::new();
+    for id in inner_start[..close].split(',') {
+        let id = id.trim();
+        if id.is_empty() {
+            continue;
+        }
+        if !rule::ALL.contains(&id) {
+            return Some(WaiverParse::Malformed {
+                line,
+                why: format!("unknown rule id `{id}` in waiver"),
+            });
+        }
+        rules.push(id.to_string());
+    }
+    if rules.is_empty() {
+        return Some(WaiverParse::Malformed {
+            line,
+            why: "waiver names no rules".to_string(),
+        });
+    }
+    // The reason is whatever follows the rule list, after separator
+    // punctuation; it must contain real words to count.
+    let reason = &inner_start[close + 1..];
+    let words = reason.chars().filter(char::is_ascii_alphanumeric).count();
+    if words < 3 {
+        return Some(WaiverParse::Malformed {
+            line,
+            why: "waiver has no reason — write `ft-lint: allow(RULE) — <why this is sound>`"
+                .to_string(),
+        });
+    }
+    Some(WaiverParse::Ok(Waiver {
+        line,
+        rules,
+        used: false,
+    }))
+}
+
+// ---------------------------------------------------------------------
+// The analyzer.
+// ---------------------------------------------------------------------
+
+/// Hash-ordered iteration entry points flagged by D001.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+struct FileAnalysis<'a> {
+    file: &'a str,
+    class: FileClass,
+    crate_name: &'a str,
+    cfg: &'a Config,
+    code: Vec<CodeTok>,
+    /// Lines that contain at least one code token.
+    code_lines: BTreeSet<u32>,
+    /// First code token (index into `code`) per line.
+    line_first_code: BTreeMap<u32, usize>,
+    /// Joined comment text per line, with a doc-comment flag.
+    line_comments: BTreeMap<u32, (String, bool)>,
+    /// Identifiers declared as `HashMap`/`HashSet` locals/params.
+    hash_locals: BTreeSet<String>,
+    /// Struct fields declared as `HashMap`/`HashSet` (match `self.x`).
+    hash_fields: BTreeSet<String>,
+    waivers: Vec<Waiver>,
+    malformed: Vec<(u32, String)>,
+    findings: Vec<Finding>,
+}
+
+/// Analyzes one file's source and returns its findings, sorted by
+/// line then rule id.
+pub fn analyze_source(
+    file: &str,
+    crate_name: &str,
+    class: FileClass,
+    src: &str,
+    cfg: &Config,
+) -> Vec<Finding> {
+    let toks = lex(src);
+    let code = annotate(&toks);
+
+    let mut code_lines = BTreeSet::new();
+    let mut line_first_code = BTreeMap::new();
+    for (i, c) in code.iter().enumerate() {
+        code_lines.insert(c.line);
+        line_first_code.entry(c.line).or_insert(i);
+    }
+    let mut line_comments: BTreeMap<u32, (String, bool)> = BTreeMap::new();
+    let mut waivers = Vec::new();
+    let mut malformed = Vec::new();
+    for t in &toks {
+        if t.is_comment() {
+            let entry = line_comments.entry(t.line).or_default();
+            entry.0.push_str(&t.text);
+            entry.0.push(' ');
+            entry.1 |= t.is_doc_comment();
+            match parse_waiver(t.line, &t.text) {
+                Some(WaiverParse::Ok(w)) => waivers.push(w),
+                Some(WaiverParse::Malformed { line, why }) => malformed.push((line, why)),
+                None => {}
+            }
+        }
+    }
+
+    let mut fa = FileAnalysis {
+        file,
+        class,
+        crate_name,
+        cfg,
+        code,
+        code_lines,
+        line_first_code,
+        line_comments,
+        hash_locals: BTreeSet::new(),
+        hash_fields: BTreeSet::new(),
+        waivers,
+        malformed,
+        findings: Vec::new(),
+    };
+    fa.collect_hash_names();
+    fa.run_rules();
+    fa.apply_waivers()
+}
+
+impl FileAnalysis<'_> {
+    fn enabled(&self, rule: &str) -> bool {
+        self.cfg.applies(rule, self.crate_name, self.file)
+    }
+
+    /// Whether determinism rules (D00x) consider this token: library
+    /// and binary targets only, and never test-gated code.
+    fn det_relevant(&self, c: &CodeTok) -> bool {
+        matches!(self.class, FileClass::Lib | FileClass::Bin) && !c.in_test
+    }
+
+    fn push(&mut self, rule: &'static str, line: u32, message: String) {
+        self.findings.push(Finding {
+            file: self.file.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    // -- D001 pass 1: which names are hash-ordered collections? ------
+
+    fn collect_hash_names(&mut self) {
+        for j in 0..self.code.len() {
+            let c = &self.code[j];
+            if c.kind != TokKind::Ident || (c.text != "HashMap" && c.text != "HashSet") {
+                continue;
+            }
+            // `name: [&][mut] Hash{Map,Set}` — a typed binding, field
+            // declaration, or function parameter.
+            let mut k = j;
+            while k > 0
+                && matches!(
+                    self.code[k - 1].text.as_str(),
+                    "&" | "mut" | "'" | "dyn" | "'static"
+                )
+            {
+                k -= 1;
+            }
+            if k >= 2 && self.code[k - 1].text == ":" && self.code[k - 2].kind == TokKind::Ident {
+                // Exclude `::` paths (`std::collections::HashMap`).
+                if !(k >= 3 && self.code[k - 3].text == ":") && self.code[k - 2].text != "self" {
+                    let name = self.code[k - 2].text.clone();
+                    if c.in_struct {
+                        self.hash_fields.insert(name);
+                    } else {
+                        self.hash_locals.insert(name);
+                    }
+                    continue;
+                }
+            }
+            // `name = HashMap::…` / `self.name = HashMap::…` — an
+            // untyped binding initialised from a constructor.
+            let followed_by_path = self.code.get(j + 1).is_some_and(|t| t.text == ":")
+                && self.code.get(j + 2).is_some_and(|t| t.text == ":");
+            if j >= 2 && self.code[j - 1].text == "=" && followed_by_path {
+                let name_tok = &self.code[j - 2];
+                if name_tok.kind == TokKind::Ident {
+                    let is_field =
+                        j >= 4 && self.code[j - 3].text == "." && self.code[j - 4].text == "self";
+                    if is_field {
+                        self.hash_fields.insert(name_tok.text.clone());
+                    } else {
+                        self.hash_locals.insert(name_tok.text.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    // -- rule pass ----------------------------------------------------
+
+    fn run_rules(&mut self) {
+        for j in 0..self.code.len() {
+            self.check_d001_method(j);
+            self.check_d001_for_loop(j);
+            self.check_d002(j);
+            self.check_d003(j);
+            self.check_d004(j);
+            self.check_s001(j);
+            self.check_p001(j);
+        }
+    }
+
+    fn ident_at(&self, j: usize, text: &str) -> bool {
+        self.code
+            .get(j)
+            .is_some_and(|c| c.kind == TokKind::Ident && c.text == text)
+    }
+
+    fn text_at(&self, j: usize) -> &str {
+        self.code.get(j).map_or("", |c| c.text.as_str())
+    }
+
+    /// `name.iter()` / `self.name.keys()` / … on a tracked hash
+    /// collection.
+    fn check_d001_method(&mut self, j: usize) {
+        let c = &self.code[j];
+        if c.kind != TokKind::Ident
+            || !HASH_ITER_METHODS.contains(&c.text.as_str())
+            || self.text_at(j + 1) != "("
+            || j < 2
+            || self.text_at(j - 1) != "."
+        {
+            return;
+        }
+        if !self.enabled(rule::D001) || !self.det_relevant(c) {
+            return;
+        }
+        let recv = &self.code[j - 2];
+        if recv.kind != TokKind::Ident {
+            return;
+        }
+        let is_field_access = j >= 4 && self.text_at(j - 3) == "." && self.text_at(j - 4) == "self";
+        let hit = if is_field_access {
+            self.hash_fields.contains(&recv.text)
+        } else {
+            recv.text != "self" && self.hash_locals.contains(&recv.text)
+        };
+        if hit {
+            let line = c.line;
+            let (recv_name, method) = (recv.text.clone(), c.text.clone());
+            self.push(
+                rule::D001,
+                line,
+                format!(
+                    "iteration over hash-ordered collection `{recv_name}` \
+                     (`.{method}()`): order is nondeterministic — use a \
+                     BTreeMap/BTreeSet or sort before iterating"
+                ),
+            );
+        }
+    }
+
+    /// `for … in [&[mut]] name { }` / `for … in &self.name { }`.
+    fn check_d001_for_loop(&mut self, j: usize) {
+        if !self.ident_at(j, "for") || self.text_at(j + 1) == "<" {
+            return; // HRTB `for<'a>` or not a loop
+        }
+        let c_line_tok = &self.code[j];
+        if !self.enabled(rule::D001) || !self.det_relevant(c_line_tok) {
+            return;
+        }
+        // Find the `in` of this loop header (bounded; abort at `{`/`;`
+        // which mean this `for` was something else, e.g. `impl X for Y`).
+        let mut k = j + 1;
+        let limit = (j + 40).min(self.code.len());
+        while k < limit {
+            match (self.code[k].kind, self.code[k].text.as_str()) {
+                (TokKind::Ident, "in") => break,
+                (TokKind::Punct, "{" | ";") => return,
+                _ => k += 1,
+            }
+        }
+        if k >= limit {
+            return;
+        }
+        // The iterated expression must be exactly a tracked name (with
+        // optional `&`/`mut`, optional `self.`) followed by `{`.
+        let mut e = k + 1;
+        while matches!(self.text_at(e), "&" | "mut") {
+            e += 1;
+        }
+        let (name_idx, is_field) = if self.ident_at(e, "self") && self.text_at(e + 1) == "." {
+            (e + 2, true)
+        } else {
+            (e, false)
+        };
+        let Some(name_tok) = self.code.get(name_idx) else {
+            return;
+        };
+        if name_tok.kind != TokKind::Ident || self.text_at(name_idx + 1) != "{" {
+            return;
+        }
+        let hit = if is_field {
+            self.hash_fields.contains(&name_tok.text)
+        } else {
+            self.hash_locals.contains(&name_tok.text)
+        };
+        if hit {
+            let line = self.code[j].line;
+            let name = name_tok.text.clone();
+            self.push(
+                rule::D001,
+                line,
+                format!(
+                    "`for` loop over hash-ordered collection `{name}`: \
+                     order is nondeterministic — use a BTreeMap/BTreeSet \
+                     or sort before iterating"
+                ),
+            );
+        }
+    }
+
+    /// `Instant::now` / `SystemTime::now`.
+    fn check_d002(&mut self, j: usize) {
+        let c = &self.code[j];
+        if c.kind != TokKind::Ident || (c.text != "Instant" && c.text != "SystemTime") {
+            return;
+        }
+        if self.text_at(j + 1) != ":" || self.text_at(j + 2) != ":" || !self.ident_at(j + 3, "now")
+        {
+            return;
+        }
+        if !self.enabled(rule::D002) || !self.det_relevant(c) {
+            return;
+        }
+        let (line, source) = (c.line, c.text.clone());
+        self.push(
+            rule::D002,
+            line,
+            format!(
+                "wall-clock read `{source}::now()` in deterministic code: \
+                 simulated time must come from the virtual clock \
+                 (timing belongs in ft_bench or metrics timestamp fields)"
+            ),
+        );
+    }
+
+    /// `thread::spawn` / `thread::Builder` outside the worker pool.
+    fn check_d003(&mut self, j: usize) {
+        let c = &self.code[j];
+        if c.kind != TokKind::Ident || c.text != "thread" {
+            return;
+        }
+        if self.text_at(j + 1) != ":" || self.text_at(j + 2) != ":" {
+            return;
+        }
+        let target = self.text_at(j + 3);
+        if target != "spawn" && target != "Builder" {
+            return;
+        }
+        if !self.enabled(rule::D003) || !self.det_relevant(c) {
+            return;
+        }
+        let line = c.line;
+        let target = target.to_string();
+        self.push(
+            rule::D003,
+            line,
+            format!(
+                "raw `thread::{target}` outside `ft_tensor::pool`: all \
+                 parallelism must go through the shared worker pool so \
+                 thread count never changes results"
+            ),
+        );
+    }
+
+    /// `thread_rng` / `from_entropy`.
+    fn check_d004(&mut self, j: usize) {
+        let c = &self.code[j];
+        if c.kind != TokKind::Ident || (c.text != "thread_rng" && c.text != "from_entropy") {
+            return;
+        }
+        if !self.enabled(rule::D004) || !self.det_relevant(c) {
+            return;
+        }
+        let (line, name) = (c.line, c.text.clone());
+        self.push(
+            rule::D004,
+            line,
+            format!(
+                "nondeterministic RNG entry point `{name}`: every stream \
+                 must derive from an explicit seed (`StdRng::seed_from_u64` \
+                 or a stateless hash)"
+            ),
+        );
+    }
+
+    /// `unsafe` without a `// SAFETY:` comment (or, for `unsafe fn`, a
+    /// `# Safety` doc section).
+    fn check_s001(&mut self, j: usize) {
+        if !self.ident_at(j, "unsafe") {
+            return;
+        }
+        if !self.enabled(rule::S001) {
+            return;
+        }
+        let line = self.code[j].line;
+        // The justification sits above the enclosing *statement*, so a
+        // multi-line `let x =\n unsafe { … }` scans from the `let`.
+        let mut stmt = j;
+        while stmt > 0 && !matches!(self.text_at(stmt - 1), ";" | "{" | "}") {
+            stmt -= 1;
+        }
+        let stmt_line = self.code[stmt].line;
+        let next = self.text_at(j + 1).to_string();
+        let is_fn = next == "fn"
+            || (next == "extern" // `unsafe extern "C" fn`
+                && (self.text_at(j + 2) == "fn" || self.text_at(j + 3) == "fn"));
+        if self.safety_documented(line, stmt_line, is_fn) {
+            return;
+        }
+        let what = match next.as_str() {
+            "impl" => "unsafe impl",
+            "trait" => "unsafe trait",
+            "fn" | "extern" => "unsafe fn",
+            _ => "unsafe block",
+        };
+        self.push(
+            rule::S001,
+            line,
+            format!(
+                "{what} without a `// SAFETY:` comment: state the invariant \
+                 that makes this sound (unsafe fns may use a `# Safety` doc \
+                 section instead)"
+            ),
+        );
+    }
+
+    /// Scans the site line and upward for a SAFETY justification,
+    /// skipping blank lines, comments, attributes, and sibling
+    /// `unsafe impl` lines (a Send/Sync pair may share one comment).
+    fn safety_documented(&self, site_line: u32, stmt_line: u32, is_fn: bool) -> bool {
+        let accepts = |l: u32| -> Option<bool> {
+            let (text, is_doc) = self.line_comments.get(&l)?;
+            if text.contains("SAFETY:") {
+                return Some(true);
+            }
+            if is_fn && *is_doc && text.contains("# Safety") {
+                return Some(true);
+            }
+            None
+        };
+        // Comments anywhere within the enclosing statement count
+        // (trailing same-line, or on the `let …=` line of a multi-line
+        // statement whose `unsafe` sits on a continuation line).
+        for l in stmt_line..=site_line {
+            if accepts(l) == Some(true) {
+                return true;
+            }
+        }
+        let mut l = stmt_line.saturating_sub(1);
+        let floor = stmt_line.saturating_sub(40);
+        while l >= floor.max(1) {
+            if accepts(l) == Some(true) {
+                return true;
+            }
+            if self.code_lines.contains(&l) {
+                // A code line ends the scan unless it is an attribute
+                // or a sibling `unsafe impl`.
+                let first = self.line_first_code.get(&l).copied();
+                let passable = first.is_some_and(|i| {
+                    self.text_at(i) == "#"
+                        || (self.ident_at(i, "unsafe") && self.text_at(i + 1) == "impl")
+                });
+                if !passable {
+                    return false;
+                }
+            }
+            if l == 1 {
+                break;
+            }
+            l -= 1;
+        }
+        false
+    }
+
+    /// `.unwrap()` / `.expect(` / `panic!` in non-test library code
+    /// without a documented `# Panics` contract.
+    fn check_p001(&mut self, j: usize) {
+        if self.class != FileClass::Lib {
+            return;
+        }
+        let c = &self.code[j];
+        if c.kind != TokKind::Ident {
+            return;
+        }
+        let call = match c.text.as_str() {
+            "unwrap" | "expect"
+                if self.text_at(j + 1) == "(" && j >= 1 && self.text_at(j - 1) == "." =>
+            {
+                format!(".{}()", c.text)
+            }
+            "panic" if self.text_at(j + 1) == "!" => "panic!".to_string(),
+            _ => return,
+        };
+        let c = &self.code[j];
+        if c.in_test || c.panics_doc || !self.enabled(rule::P001) {
+            return;
+        }
+        let line = c.line;
+        self.push(
+            rule::P001,
+            line,
+            format!(
+                "`{call}` in library code: return a Result, or document the \
+                 invariant in the fn's `# Panics` doc section"
+            ),
+        );
+    }
+
+    // -- waiver application ------------------------------------------
+
+    /// Suppresses findings covered by well-formed waivers, then adds
+    /// W001 (malformed) and W002 (stale) findings. Returns the final
+    /// sorted list.
+    fn apply_waivers(mut self) -> Vec<Finding> {
+        // A waiver on a code line covers that line; a waiver on its
+        // own line covers the next line that has code.
+        let targets: Vec<(usize, u32)> = self
+            .waivers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let target = if self.code_lines.contains(&w.line) {
+                    w.line
+                } else {
+                    self.code_lines
+                        .range(w.line..)
+                        .next()
+                        .copied()
+                        .unwrap_or(w.line)
+                };
+                (i, target)
+            })
+            .collect();
+        let mut kept = Vec::new();
+        'findings: for f in std::mem::take(&mut self.findings) {
+            for &(wi, target) in &targets {
+                let w = &mut self.waivers[wi];
+                if target == f.line && w.rules.iter().any(|r| r == f.rule) {
+                    w.used = true;
+                    continue 'findings;
+                }
+            }
+            kept.push(f);
+        }
+        for (line, why) in std::mem::take(&mut self.malformed) {
+            kept.push(Finding {
+                file: self.file.to_string(),
+                line,
+                rule: rule::W001,
+                message: format!("{why} (bare allows are not auditable)"),
+            });
+        }
+        for w in &self.waivers {
+            if !w.used {
+                kept.push(Finding {
+                    file: self.file.to_string(),
+                    line: w.line,
+                    rule: rule::W002,
+                    message: format!(
+                        "stale waiver for {}: it suppresses nothing — remove it",
+                        w.rules.join(", ")
+                    ),
+                });
+            }
+        }
+        kept.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+        kept
+    }
+}

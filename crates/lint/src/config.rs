@@ -1,0 +1,204 @@
+//! `lint.toml` — per-crate and per-file rule scoping.
+//!
+//! The workspace commits a `lint.toml` at its root that narrows where
+//! each rule applies. Scoping lives in config (not code) so a future
+//! crate can opt in or out in review, with the diff visible next to
+//! the code it covers. The format is a small, hand-rolled TOML subset
+//! (this workspace has no registry access, mirroring the vendored
+//! serde stack): table headers, string / string-array / boolean
+//! values, and `#` comments.
+//!
+//! ```toml
+//! [rules.D001]
+//! # Only these crates are digest-relevant.
+//! crates = ["ft_fedsim", "fedtrans"]
+//!
+//! [rules.D003]
+//! # The one sanctioned thread-spawn site.
+//! exclude-files = ["crates/tensor/src/pool.rs"]
+//! ```
+//!
+//! Semantics per rule table: if `crates` is present the rule applies
+//! *only* in those crates; `exclude-crates` and `exclude-files`
+//! subtract afterwards. A rule with no table applies everywhere.
+
+use std::collections::BTreeMap;
+
+/// Scoping for one rule id.
+#[derive(Debug, Default, Clone)]
+pub struct RuleScope {
+    /// When non-empty, the rule fires only in these crates.
+    pub crates: Vec<String>,
+    /// Crates the rule never fires in.
+    pub exclude_crates: Vec<String>,
+    /// Workspace-relative file paths the rule never fires in.
+    pub exclude_files: Vec<String>,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// Per-rule scopes, keyed by rule id (`D001`, …). Deterministic
+    /// order so diagnostics and debug output are stable.
+    pub rules: BTreeMap<String, RuleScope>,
+}
+
+impl Config {
+    /// A config with no scoping: every rule applies everywhere. Used
+    /// by fixture tests that exercise rule logic directly.
+    pub fn permissive() -> Self {
+        Config::default()
+    }
+
+    /// Whether `rule` applies to `file` (workspace-relative path) in
+    /// `crate_name`.
+    pub fn applies(&self, rule: &str, crate_name: &str, file: &str) -> bool {
+        match self.rules.get(rule) {
+            None => true,
+            Some(scope) => {
+                if !scope.crates.is_empty() && !scope.crates.iter().any(|c| c == crate_name) {
+                    return false;
+                }
+                if scope.exclude_crates.iter().any(|c| c == crate_name) {
+                    return false;
+                }
+                !scope.exclude_files.iter().any(|f| f == file)
+            }
+        }
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-tagged message for syntax this subset does not
+    /// accept, unknown keys under a `[rules.*]` table, or tables
+    /// outside the `rules` namespace.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let mut cfg = Config::default();
+        // Current `[rules.<id>]` table, if inside one.
+        let mut current: Option<String> = None;
+        for (idx, raw) in src.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("lint.toml:{lineno}: unterminated table header"))?
+                    .trim();
+                let rule = header.strip_prefix("rules.").ok_or_else(|| {
+                    format!("lint.toml:{lineno}: only [rules.<ID>] tables are recognised")
+                })?;
+                if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric()) {
+                    return Err(format!("lint.toml:{lineno}: malformed rule id `{rule}`"));
+                }
+                cfg.rules.entry(rule.to_string()).or_default();
+                current = Some(rule.to_string());
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lint.toml:{lineno}: expected `key = value`"))?;
+            let rule = current
+                .as_ref()
+                .ok_or_else(|| format!("lint.toml:{lineno}: key outside any [rules.*] table"))?;
+            let values = parse_string_array(value.trim())
+                .ok_or_else(|| format!("lint.toml:{lineno}: expected an array of strings"))?;
+            let scope = cfg
+                .rules
+                .get_mut(rule)
+                .unwrap_or_else(|| unreachable!("table inserted when header was read"));
+            match key.trim() {
+                "crates" => scope.crates = values,
+                "exclude-crates" => scope.exclude_crates = values,
+                "exclude-files" => scope.exclude_files = values,
+                other => {
+                    return Err(format!(
+                        "lint.toml:{lineno}: unknown key `{other}` \
+                         (expected crates / exclude-crates / exclude-files)"
+                    ));
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Drops a trailing `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `["a", "b"]` (trailing comma tolerated). Returns `None` on
+/// anything else.
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(part.strip_prefix('"')?.strip_suffix('"')?.to_string());
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scopes_and_applies_them() {
+        let cfg = Config::parse(
+            r#"
+            # workspace scoping
+            [rules.D001]
+            crates = ["ft_fedsim", "fedtrans"] # digest-relevant
+            [rules.D002]
+            exclude-crates = ["ft_bench"]
+            [rules.D003]
+            exclude-files = ["crates/tensor/src/pool.rs"]
+            "#,
+        )
+        .expect("valid config parses");
+        assert!(cfg.applies("D001", "ft_fedsim", "crates/fedsim/src/lib.rs"));
+        assert!(!cfg.applies("D001", "ft_tensor", "crates/tensor/src/lib.rs"));
+        assert!(!cfg.applies("D002", "ft_bench", "crates/bench/src/lib.rs"));
+        assert!(cfg.applies("D002", "ft_nn", "crates/nn/src/lib.rs"));
+        assert!(!cfg.applies("D003", "ft_tensor", "crates/tensor/src/pool.rs"));
+        assert!(cfg.applies("D003", "ft_tensor", "crates/tensor/src/matmul.rs"));
+        // A rule without a table applies everywhere.
+        assert!(cfg.applies("S001", "anything", "anywhere.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_malformed_syntax() {
+        assert!(Config::parse("[rules.D001]\nfoo = [\"x\"]").is_err());
+        assert!(Config::parse("crates = [\"x\"]").is_err());
+        assert!(Config::parse("[general]\n").is_err());
+        assert!(Config::parse("[rules.D001]\ncrates = \"x\"").is_err());
+        assert!(Config::parse("[rules.D0 01]\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_trailing_commas_are_tolerated() {
+        let cfg = Config::parse("[rules.X9]\ncrates = [\"a\", ] # tail\n").expect("parses");
+        assert!(cfg.applies("X9", "a", "f.rs"));
+        assert!(!cfg.applies("X9", "b", "f.rs"));
+    }
+}

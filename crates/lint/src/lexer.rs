@@ -1,0 +1,464 @@
+//! A minimal Rust lexer: just enough to tell code from non-code.
+//!
+//! The analyzer only needs a faithful *token stream* — identifiers,
+//! punctuation, and comments with line numbers — so this lexer's one
+//! job is to never mistake the inside of a string, character literal,
+//! or comment for code (and vice versa). It therefore handles the
+//! full literal surface that trips naive regex scanners:
+//!
+//! * line comments (`//`, `///`, `//!`) and *nested* block comments;
+//! * string literals with escapes, including multi-line strings;
+//! * raw strings `r"…"` / `r#"…"#` with any number of hashes (and the
+//!   byte/C variants `b"…"`, `br#"…"#`, `c"…"`, `cr#"…"#`);
+//! * raw identifiers (`r#unsafe` is an identifier, not a keyword);
+//! * char literals vs. lifetimes (`'a'` vs. `'a`, `'\u{1F600}'`,
+//!   `'\''`);
+//! * numeric literals without swallowing range punctuation (`0..n`
+//!   must not absorb `n`).
+//!
+//! Everything else is a single-character [`TokKind::Punct`]. Unknown
+//! (non-ASCII) bytes outside literals are treated as punctuation,
+//! which is safe: the lints only ever match ASCII identifiers.
+
+/// What a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `spawn`, …).
+    Ident,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String literal of any flavour (plain, raw, byte, C).
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Single punctuation character.
+    Punct,
+    /// `//…` comment (includes doc comments `///` and `//!`).
+    LineComment,
+    /// `/*…*/` comment (includes doc comments `/**`), nesting handled.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Raw source text of the token (comment text includes the `//`).
+    pub text: String,
+    /// 1-based line the token *starts* on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is a comment of either flavour.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Whether this token is a doc comment (`///`, `//!`, `/**`).
+    pub fn is_doc_comment(&self) -> bool {
+        match self.kind {
+            TokKind::LineComment => {
+                (self.text.starts_with("///") && !self.text.starts_with("////"))
+                    || self.text.starts_with("//!")
+            }
+            TokKind::BlockComment => self.text.starts_with("/**") || self.text.starts_with("/*!"),
+            _ => false,
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Cursor over the source bytes. Multi-byte UTF-8 sequences only ever
+/// appear inside comments and literals (or as stray punctuation), and
+/// the lexer only splits the input at ASCII delimiters, so byte-wise
+/// scanning preserves UTF-8 boundaries in every emitted token.
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn text(&self, from: usize) -> String {
+        String::from_utf8_lossy(&self.src[from..self.pos]).into_owned()
+    }
+
+    /// Consumes a `//…` comment up to (not including) the newline.
+    fn line_comment(&mut self, from: usize, start_line: u32) -> Tok {
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.pos += 1;
+        }
+        Tok {
+            kind: TokKind::LineComment,
+            text: self.text(from),
+            line: start_line,
+        }
+    }
+
+    /// Consumes a `/*…*/` comment, honouring nesting.
+    fn block_comment(&mut self, from: usize, start_line: u32) -> Tok {
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.pos += 2;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump();
+            }
+        }
+        Tok {
+            kind: TokKind::BlockComment,
+            text: self.text(from),
+            line: start_line,
+        }
+    }
+
+    /// Consumes a plain (escapable) string body after the opening `"`.
+    fn escaped_string(&mut self, from: usize, start_line: u32) -> Tok {
+        loop {
+            match self.bump() {
+                0 => break, // unterminated; EOF
+                b'\\' => {
+                    self.bump(); // whatever follows is escaped
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        Tok {
+            kind: TokKind::Str,
+            text: self.text(from),
+            line: start_line,
+        }
+    }
+
+    /// Consumes a raw string body after `r##…"` given its hash count.
+    fn raw_string(&mut self, from: usize, start_line: u32, hashes: usize) -> Tok {
+        loop {
+            match self.bump() {
+                0 => break, // unterminated; EOF
+                b'"' => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == b'#' {
+                        self.pos += 1;
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Tok {
+            kind: TokKind::Str,
+            text: self.text(from),
+            line: start_line,
+        }
+    }
+
+    /// Consumes a char/byte literal after the opening `'`.
+    fn char_literal(&mut self, from: usize, start_line: u32) -> Tok {
+        loop {
+            match self.bump() {
+                0 | b'\'' => break,
+                b'\\' => {
+                    self.bump();
+                }
+                _ => {}
+            }
+        }
+        Tok {
+            kind: TokKind::Char,
+            text: self.text(from),
+            line: start_line,
+        }
+    }
+
+    /// Consumes a numeric literal conservatively: digits, `_`, type
+    /// suffixes, one fractional part, and exponents — but never `..`,
+    /// so ranges like `0..n` stay three tokens.
+    fn number(&mut self, from: usize, start_line: u32) -> Tok {
+        // Integer part (also covers hex/octal/binary via the alnum
+        // continue set: `0x1F_u8` is one token).
+        while is_ident_continue(self.peek(0)) {
+            self.pos += 1;
+        }
+        // Fractional part only when a digit follows the dot (so `1..`
+        // and `1.method()` are left alone).
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.pos += 1;
+            while is_ident_continue(self.peek(0)) {
+                self.pos += 1;
+            }
+        }
+        // Exponent sign: `1e-3` / `2.5E+7` (the `e` itself was eaten
+        // by the alnum loop; a sign right after keeps consuming).
+        if (self.peek(0) == b'+' || self.peek(0) == b'-')
+            && matches!(self.src.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+        {
+            self.pos += 1;
+            while is_ident_continue(self.peek(0)) {
+                self.pos += 1;
+            }
+        }
+        Tok {
+            kind: TokKind::Num,
+            text: self.text(from),
+            line: start_line,
+        }
+    }
+}
+
+/// Returns the hash count if the bytes at `pos` begin a raw-string
+/// opener (`#…#"` or `"` directly), else `None`.
+fn raw_opener(cur: &Cursor<'_>, mut ahead: usize) -> Option<usize> {
+    let mut hashes = 0usize;
+    while cur.peek(ahead) == b'#' {
+        hashes += 1;
+        ahead += 1;
+    }
+    (cur.peek(ahead) == b'"').then_some(hashes)
+}
+
+/// Lexes `src` into a flat token stream, comments included.
+///
+/// Never fails: malformed input (unterminated literals) degrades to a
+/// best-effort tail token, which is the right behaviour for a linter
+/// that runs on code the compiler also sees.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while cur.pos < cur.src.len() {
+        let from = cur.pos;
+        let line = cur.line;
+        let b = cur.peek(0);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == b'/' => out.push(cur.line_comment(from, line)),
+            b'/' if cur.peek(1) == b'*' => out.push(cur.block_comment(from, line)),
+            b'"' => {
+                cur.pos += 1;
+                out.push(cur.escaped_string(from, line));
+            }
+            b'\'' => {
+                cur.pos += 1;
+                // Lifetime iff an identifier follows and the char
+                // after that identifier-start is not a closing quote:
+                // `'a'` is a char literal, `'a` / `'static` lifetimes.
+                if is_ident_start(cur.peek(0)) && cur.peek(1) != b'\'' {
+                    while is_ident_continue(cur.peek(0)) {
+                        cur.pos += 1;
+                    }
+                    out.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: cur.text(from),
+                        line,
+                    });
+                } else {
+                    out.push(cur.char_literal(from, line));
+                }
+            }
+            _ if b.is_ascii_digit() => out.push(cur.number(from, line)),
+            _ if is_ident_start(b) => {
+                // String prefixes and raw identifiers come first.
+                let two = [cur.peek(0), cur.peek(1)];
+                let (prefix_len, raw) = match &two {
+                    [b'r', _] => (1, true),
+                    [b'b', b'r'] | [b'c', b'r'] => (2, true),
+                    [b'b' | b'c', _] => (1, false),
+                    _ => (0, false),
+                };
+                if prefix_len > 0 && raw {
+                    if let Some(hashes) = raw_opener(&cur, prefix_len) {
+                        cur.pos += prefix_len + hashes + 1; // past `"`
+                        out.push(cur.raw_string(from, line, hashes));
+                        continue;
+                    }
+                }
+                if prefix_len == 1 && !raw && cur.peek(1) == b'"' {
+                    cur.pos += 2; // past prefix and `"`
+                    out.push(cur.escaped_string(from, line));
+                    continue;
+                }
+                if two == [b'r', b'#'] && is_ident_start(cur.peek(2)) {
+                    // Raw identifier `r#name`: emit as a plain ident so
+                    // `r#unsafe` never reads as the `unsafe` keyword
+                    // (the text keeps the `r#` marker).
+                    cur.pos += 2;
+                    while is_ident_continue(cur.peek(0)) {
+                        cur.pos += 1;
+                    }
+                    out.push(Tok {
+                        kind: TokKind::Ident,
+                        text: cur.text(from),
+                        line,
+                    });
+                    continue;
+                }
+                while is_ident_continue(cur.peek(0)) {
+                    cur.pos += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Ident,
+                    text: cur.text(from),
+                    line,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    text: String::from_utf8_lossy(&cur.src[from..cur.pos]).into_owned(),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(
+            idents(r#"let s = "unsafe { thread::spawn }";"#),
+            ["let", "s"]
+        );
+        assert_eq!(idents("let s = \"multi\nline unsafe\";"), ["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_contents() {
+        let src = "let s = r#\"unsafe fn evil() { panic!(\"x\") }\"#; done();";
+        assert_eq!(idents(src), ["let", "s", "done"]);
+        let src2 = "let s = r##\"nested \"# quote unsafe\"##; after";
+        assert_eq!(idents(src2), ["let", "s", "after"]);
+        let src3 = "let b = br#\"unsafe\"#; let c = cr\"unsafe\"; tail";
+        assert_eq!(idents(src3), ["let", "b", "let", "c", "tail"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_keyword() {
+        let toks = kinds("fn r#unsafe() {}");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#unsafe"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn comments_are_tokens_not_code() {
+        let toks = kinds("code(); // trailing unsafe\n/* block\nunsafe */ more();");
+        let comments: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        assert_eq!(comments.len(), 2);
+        assert_eq!(idents("code(); // unsafe\n/* unsafe */ x"), ["code", "x"]);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        assert_eq!(
+            idents("/* outer /* inner */ still comment */ code"),
+            ["code"]
+        );
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        // 'a' → char; 'a (before comma) → lifetime; '\'' → char.
+        assert_eq!(
+            kinds("'a'").iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            [TokKind::Char]
+        );
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { '\\'' }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Char));
+        // A char literal containing a quote-worthy escape sequence.
+        assert_eq!(idents(r"let c = '\u{1F600}'; next"), ["let", "c", "next"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let toks = kinds("for i in 0..map { 1.0e-3; 2.5; 0x1F_u8; 1.max(2) }");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "map"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Num && t == "1.0e-3"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Num && t == "0x1F_u8"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_track_every_literal() {
+        let src = "a\n\"two\nthree\"\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // string starts on line 2
+        assert_eq!(toks[2].line, 4); // `b` after the multi-line string
+    }
+
+    #[test]
+    fn doc_comment_detection() {
+        let toks = lex("/// doc\n//! inner\n//// not doc\n// plain\n/** block doc */");
+        let flags: Vec<bool> = toks.iter().map(Tok::is_doc_comment).collect();
+        assert_eq!(flags, [true, true, false, false, true]);
+    }
+}

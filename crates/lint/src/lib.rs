@@ -1,0 +1,104 @@
+//! `ft_lint` — workspace determinism & safety static analysis.
+//!
+//! Every correctness incident in this repository's history was a
+//! *determinism* bug caught by hand: hash-map-ordered activeness
+//! recording, thread-order-sensitive float reductions, a slab layout
+//! that silently de-vectorized a kernel. The determinism contract in
+//! `docs/ARCHITECTURE.md` was, until this crate, enforced only by
+//! golden digests — observed at the output, never checked at the
+//! source. `ft_lint` checks it at the source: a hand-rolled,
+//! dependency-free, token-level analyzer (no `syn`, no registry
+//! crates — the same constraint the vendored serde stack lives under)
+//! that walks every first-party file and enforces the rule catalog
+//! below. See `docs/LINTS.md` for the full rationale and examples.
+//!
+//! | Rule | Fires on |
+//! |------|----------|
+//! | D001 | iteration over `HashMap`/`HashSet` in digest-relevant crates |
+//! | D002 | `Instant::now` / `SystemTime::now` outside `ft_bench` |
+//! | D003 | `thread::spawn` / `thread::Builder` outside `ft_tensor::pool` |
+//! | D004 | `thread_rng` / `from_entropy` anywhere |
+//! | S001 | `unsafe` without a `// SAFETY:` comment (or `# Safety` doc) |
+//! | P001 | `.unwrap()` / `.expect()` / `panic!` in undocumented library code |
+//! | W001 | waiver without a reason, or naming an unknown rule |
+//! | W002 | waiver that suppresses nothing (stale) |
+//!
+//! Findings are suppressed only by an *auditable inline waiver* on or
+//! directly above the offending line:
+//!
+//! ```text
+//! // ft-lint: allow(D002) — operator-facing progress line; not digested.
+//! ```
+//!
+//! A waiver without a reason is itself a finding (W001), as is a
+//! waiver that no longer suppresses anything (W002) — the waiver set
+//! can only shrink to match reality, never rot. Per-crate and
+//! per-file rule scoping lives in the committed `lint.toml` at the
+//! workspace root ([`Config`]).
+//!
+//! The `ft-lint` binary wires this library into CI:
+//! `cargo run -p ft_lint -- --deny` exits nonzero on any finding.
+
+mod analyze;
+mod config;
+mod lexer;
+mod walk;
+
+pub use analyze::{analyze_source, rule, FileClass, Finding};
+pub use config::{Config, RuleScope};
+pub use lexer::{lex, Tok, TokKind};
+pub use walk::{discover, scan_workspace, SourceFile};
+
+/// One catalog entry: a rule's id and its one-line contract.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule id (`D001`, …).
+    pub id: &'static str,
+    /// What the rule enforces, in one line.
+    pub summary: &'static str,
+}
+
+/// The rule catalog, in id order. `docs/LINTS.md` is the prose
+/// counterpart; the ids here are the source of truth for waiver
+/// validation.
+pub const CATALOG: &[RuleInfo] = &[
+    RuleInfo {
+        id: rule::D001,
+        summary: "no iteration over HashMap/HashSet in digest-relevant crates \
+                  (hash order is nondeterministic; use BTreeMap or sort first)",
+    },
+    RuleInfo {
+        id: rule::D002,
+        summary: "no wall-clock reads (Instant::now/SystemTime::now) outside \
+                  ft_bench; simulated time comes from the virtual clock",
+    },
+    RuleInfo {
+        id: rule::D003,
+        summary: "no raw thread::spawn/thread::Builder outside ft_tensor::pool; \
+                  all parallelism rides the shared deterministic worker pool",
+    },
+    RuleInfo {
+        id: rule::D004,
+        summary: "no nondeterministic RNG entry points (thread_rng/from_entropy); \
+                  every stream derives from an explicit seed",
+    },
+    RuleInfo {
+        id: rule::S001,
+        summary: "every unsafe block/fn/impl carries a `// SAFETY:` comment \
+                  (unsafe fns may use a `# Safety` doc section)",
+    },
+    RuleInfo {
+        id: rule::P001,
+        summary: "no .unwrap()/.expect()/panic! in library code unless the \
+                  enclosing fn documents a `# Panics` contract",
+    },
+    RuleInfo {
+        id: rule::W001,
+        summary: "every `ft-lint: allow` waiver states a reason and names \
+                  known rules",
+    },
+    RuleInfo {
+        id: rule::W002,
+        summary: "no stale waivers: an allow that suppresses nothing must go",
+    },
+];

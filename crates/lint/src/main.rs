@@ -1,0 +1,94 @@
+//! `ft-lint` — CLI for the workspace determinism & safety analyzer.
+//!
+//! ```text
+//! ft-lint [--deny] [--root <path>] [--rules]
+//! ```
+//!
+//! * `--deny`  exit 1 on any finding (the CI gate). Without it the run
+//!   is advisory: findings print, exit stays 0.
+//! * `--root`  workspace root; defaults to the nearest ancestor of the
+//!   current directory containing both `Cargo.toml` and `lint.toml`.
+//! * `--rules` print the rule catalog and exit.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lint.toml").is_file() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| "--root requires a path".to_string())?;
+                root = Some(PathBuf::from(path));
+            }
+            "--rules" => {
+                for r in ft_lint::CATALOG {
+                    println!("{}  {}", r.id, r.summary);
+                }
+                return Ok(true);
+            }
+            "--help" | "-h" => {
+                println!("usage: ft-lint [--deny] [--root <path>] [--rules]");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => find_root().ok_or_else(|| {
+            "no workspace root found (need Cargo.toml + lint.toml in an ancestor \
+             directory; or pass --root)"
+                .to_string()
+        })?,
+    };
+    let cfg_path = root.join("lint.toml");
+    let cfg_text =
+        std::fs::read_to_string(&cfg_path).map_err(|e| format!("{}: {e}", cfg_path.display()))?;
+    let cfg = ft_lint::Config::parse(&cfg_text)?;
+
+    let (findings, scanned) = ft_lint::scan_workspace(Path::new(&root), &cfg)?;
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("ft-lint: clean ({scanned} files)");
+        Ok(true)
+    } else {
+        println!(
+            "ft-lint: {} finding{} across {} files scanned",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            scanned
+        );
+        Ok(!deny)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("ft-lint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

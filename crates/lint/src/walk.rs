@@ -1,0 +1,187 @@
+//! Workspace discovery: which files to analyze, under which crate
+//! name and file class.
+//!
+//! The walker covers every *first-party* source in the workspace: the
+//! root facade package (`src/`, `tests/`, `examples/`) and each crate
+//! under `crates/*` (`src/`, `tests/`, `benches/`, `examples/`).
+//! `third_party/` is deliberately out of scope — those are vendored
+//! stand-ins for registry crates, not code this workspace authors —
+//! as are build artifacts under `target/`.
+//!
+//! Crate names come from each manifest's `[package] name`, read with
+//! a tolerant line scan (the full TOML subset parser in
+//! [`crate::config`] is reserved for `lint.toml`, whose shape we
+//! control). Directory entries are sorted at every level, so the scan
+//! order — and therefore the finding order — is deterministic across
+//! platforms and runs, the same contract this tool enforces on the
+//! code it checks.
+
+use crate::analyze::{analyze_source, FileClass, Finding};
+use crate::config::Config;
+use std::path::{Path, PathBuf};
+
+/// A source file scheduled for analysis.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative path with `/` separators (finding key and
+    /// `lint.toml` `exclude-files` key).
+    pub rel: String,
+    /// Owning crate's package name.
+    pub crate_name: String,
+    /// Build-target class, which gates rule applicability.
+    pub class: FileClass,
+}
+
+/// Reads `[package] name = "…"` from a manifest.
+fn package_name(manifest: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(manifest).ok()?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(header) = line.strip_prefix('[') {
+            in_package = header.trim_end_matches(']').trim() == "package";
+            continue;
+        }
+        if in_package {
+            if let Some((key, value)) = line.split_once('=') {
+                if key.trim() == "name" {
+                    return Some(value.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Collects `.rs` files under `dir` recursively, sorted by path.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Classifies a file by its path *within one crate*: `kind_dir` is the
+/// crate-relative top directory (`src`, `tests`, `benches`,
+/// `examples`).
+fn classify(kind_dir: &str, rel_in_crate: &str) -> FileClass {
+    match kind_dir {
+        "tests" => FileClass::Test,
+        "benches" => FileClass::Bench,
+        "examples" => FileClass::Example,
+        _ if rel_in_crate.contains("src/bin/") || rel_in_crate.ends_with("src/main.rs") => {
+            FileClass::Bin
+        }
+        _ => FileClass::Lib,
+    }
+}
+
+/// Enumerates every first-party source file in the workspace rooted
+/// at `root`, sorted by workspace-relative path.
+pub fn discover(root: &Path) -> Vec<SourceFile> {
+    let mut crate_dirs: Vec<PathBuf> = vec![root.to_path_buf()];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        crate_dirs.extend(dirs);
+    }
+
+    let mut files = Vec::new();
+    for crate_dir in &crate_dirs {
+        let Some(name) = package_name(&crate_dir.join("Cargo.toml")) else {
+            continue;
+        };
+        for kind_dir in ["src", "tests", "benches", "examples"] {
+            let mut paths = Vec::new();
+            rust_files(&crate_dir.join(kind_dir), &mut paths);
+            for path in paths {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let in_crate = path
+                    .strip_prefix(crate_dir)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                files.push(SourceFile {
+                    path,
+                    rel,
+                    crate_name: name.clone(),
+                    class: classify(kind_dir, &in_crate),
+                });
+            }
+        }
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    files
+}
+
+/// Analyzes every discovered file and returns all findings plus the
+/// number of files scanned.
+///
+/// # Errors
+///
+/// Returns an error naming the file if any source fails to read.
+pub fn scan_workspace(root: &Path, cfg: &Config) -> Result<(Vec<Finding>, usize), String> {
+    let files = discover(root);
+    let mut findings = Vec::new();
+    for f in &files {
+        let src = std::fs::read_to_string(&f.path)
+            .map_err(|e| format!("{}: unreadable source: {e}", f.rel))?;
+        findings.extend(analyze_source(&f.rel, &f.crate_name, f.class, &src, cfg));
+    }
+    Ok((findings, files.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_cargo_target_layout() {
+        assert_eq!(classify("src", "src/lib.rs"), FileClass::Lib);
+        assert_eq!(classify("src", "src/bin/ft-run.rs"), FileClass::Bin);
+        assert_eq!(classify("src", "src/main.rs"), FileClass::Bin);
+        assert_eq!(classify("tests", "tests/end_to_end.rs"), FileClass::Test);
+        assert_eq!(
+            classify("benches", "benches/bench_matmul.rs"),
+            FileClass::Bench
+        );
+        assert_eq!(
+            classify("examples", "examples/quickstart.rs"),
+            FileClass::Example
+        );
+    }
+
+    #[test]
+    fn discovery_finds_this_crate_and_skips_third_party() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = discover(&root);
+        assert!(files.iter().any(|f| f.rel == "crates/lint/src/lib.rs"));
+        assert!(files.iter().any(|f| f.crate_name == "ft_lint"));
+        assert!(!files.iter().any(|f| f.rel.starts_with("third_party/")));
+        assert!(!files.iter().any(|f| f.rel.contains("target/")));
+        // Deterministic order.
+        let mut sorted = files.iter().map(|f| f.rel.clone()).collect::<Vec<_>>();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            files.iter().map(|f| f.rel.clone()).collect::<Vec<_>>()
+        );
+    }
+}

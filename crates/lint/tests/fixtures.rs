@@ -1,0 +1,517 @@
+//! Fixture tests for the `ft-lint` analyzer: one firing and one
+//! non-firing source per rule, plus the lexing corner cases the
+//! token-level approach must survive (raw strings, commented-out
+//! code, `#[cfg(test)]` scoping, waiver grammar).
+//!
+//! Fixtures live in string literals, not files on disk, so each test
+//! states its entire input next to its assertion and the suite adds
+//! nothing to workspace file discovery.
+
+use ft_lint::{analyze_source, rule, Config, FileClass, Finding};
+
+/// Lints `src` as library code of a digest-relevant crate with no
+/// scoping, which is the strictest configuration every rule fires in.
+fn lint(src: &str) -> Vec<Finding> {
+    analyze_source(
+        "crates/demo/src/lib.rs",
+        "ft_demo",
+        FileClass::Lib,
+        src,
+        &Config::permissive(),
+    )
+}
+
+/// The rule ids `src` trips, in report order.
+fn rules(src: &str) -> Vec<&'static str> {
+    lint(src).iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------------
+// D001 — hash-ordered iteration.
+// ---------------------------------------------------------------------
+
+#[test]
+fn d001_fires_on_for_loop_over_hash_map_local() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn agg() -> f32 {\n\
+                   let m: HashMap<u64, f32> = HashMap::new();\n\
+                   let mut s = 0.0;\n\
+                   for (_k, v) in &m {\n\
+                       s += v;\n\
+                   }\n\
+                   s\n\
+               }\n";
+    let found = lint(src);
+    assert_eq!(rules(src), vec![rule::D001]);
+    assert_eq!(found[0].line, 5);
+}
+
+#[test]
+fn d001_fires_on_iter_method_on_hash_set_field() {
+    let src = "use std::collections::HashSet;\n\
+               pub struct S {\n\
+                   seen: HashSet<u64>,\n\
+               }\n\
+               impl S {\n\
+                   pub fn sum(&self) -> u64 {\n\
+                       self.seen.iter().sum()\n\
+                   }\n\
+               }\n";
+    assert_eq!(rules(src), vec![rule::D001]);
+}
+
+#[test]
+fn d001_fires_on_untyped_constructor_binding() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn f() {\n\
+                   let m = HashMap::<u32, u32>::new();\n\
+                   for k in m.keys() {\n\
+                       let _ = k;\n\
+                   }\n\
+               }\n";
+    assert_eq!(rules(src), vec![rule::D001]);
+}
+
+#[test]
+fn d001_silent_on_btree_map_iteration() {
+    let src = "use std::collections::BTreeMap;\n\
+               pub fn agg(m: &BTreeMap<u64, f32>) -> f32 {\n\
+                   m.values().sum()\n\
+               }\n";
+    assert!(rules(src).is_empty());
+}
+
+#[test]
+fn d001_silent_on_hash_map_point_lookup() {
+    // Point access is order-independent; only iteration is flagged.
+    let src = "use std::collections::HashMap;\n\
+               pub fn get(m: &HashMap<u64, f32>, k: u64) -> Option<f32> {\n\
+                   m.get(&k).copied()\n\
+               }\n";
+    assert!(rules(src).is_empty());
+}
+
+#[test]
+fn d001_silent_in_test_code() {
+    let src = "use std::collections::HashMap;\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   use super::*;\n\
+                   #[test]\n\
+                   fn order_free() {\n\
+                       let m: HashMap<u32, u32> = HashMap::new();\n\
+                       for v in m.values() {\n\
+                           let _ = v;\n\
+                       }\n\
+                   }\n\
+               }\n";
+    assert!(rules(src).is_empty());
+}
+
+// ---------------------------------------------------------------------
+// D002 — wall-clock reads.
+// ---------------------------------------------------------------------
+
+#[test]
+fn d002_fires_on_instant_now() {
+    let src = "pub fn stamp() -> std::time::Instant {\n\
+                   std::time::Instant::now()\n\
+               }\n";
+    assert_eq!(rules(src), vec![rule::D002]);
+}
+
+#[test]
+fn d002_fires_on_system_time_now() {
+    let src = "pub fn epoch() -> std::time::SystemTime {\n\
+                   std::time::SystemTime::now()\n\
+               }\n";
+    assert_eq!(rules(src), vec![rule::D002]);
+}
+
+#[test]
+fn d002_silent_on_virtual_clock_and_instant_types() {
+    // Mentioning the type (params, fields) is fine; only `::now()`
+    // reads the wall clock.
+    let src = "pub fn span(a: std::time::Instant, b: std::time::Instant) -> f64 {\n\
+                   b.duration_since(a).as_secs_f64()\n\
+               }\n";
+    assert!(rules(src).is_empty());
+}
+
+// ---------------------------------------------------------------------
+// D003 — raw thread spawns.
+// ---------------------------------------------------------------------
+
+#[test]
+fn d003_fires_on_thread_spawn_and_builder() {
+    let src = "pub fn go() {\n\
+                   std::thread::spawn(|| {}).join().ok();\n\
+                   let _b = std::thread::Builder::new();\n\
+               }\n";
+    assert_eq!(rules(src), vec![rule::D003, rule::D003]);
+}
+
+#[test]
+fn d003_silent_on_thread_sleep() {
+    let src = "pub fn nap() {\n\
+                   std::thread::sleep(std::time::Duration::from_millis(1));\n\
+               }\n";
+    assert!(rules(src).is_empty());
+}
+
+// ---------------------------------------------------------------------
+// D004 — nondeterministically seeded RNGs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn d004_fires_on_thread_rng_and_from_entropy() {
+    let src = "pub fn roll() {\n\
+                   let _a = rand::thread_rng();\n\
+                   let _b = StdRng::from_entropy();\n\
+               }\n";
+    assert_eq!(rules(src), vec![rule::D004, rule::D004]);
+}
+
+#[test]
+fn d004_silent_on_seeded_rng() {
+    let src = "pub fn roll(seed: u64) {\n\
+                   let _rng = StdRng::seed_from_u64(seed);\n\
+               }\n";
+    assert!(rules(src).is_empty());
+}
+
+// ---------------------------------------------------------------------
+// S001 — undocumented unsafe.
+// ---------------------------------------------------------------------
+
+#[test]
+fn s001_fires_on_bare_unsafe_block() {
+    let src = "pub fn peek(p: *const u8) -> u8 {\n\
+                   unsafe { *p }\n\
+               }\n";
+    assert_eq!(rules(src), vec![rule::S001]);
+}
+
+#[test]
+fn s001_silent_with_safety_comment_above() {
+    let src = "pub fn peek(p: *const u8) -> u8 {\n\
+                   // SAFETY: caller guarantees `p` is valid for reads.\n\
+                   unsafe { *p }\n\
+               }\n";
+    assert!(rules(src).is_empty());
+}
+
+#[test]
+fn s001_accepts_comment_on_statement_head_of_multiline_unsafe() {
+    // The justification sits on the `let` line; the `unsafe` keyword
+    // lands on a continuation line. The statement-aware scan must
+    // still find it.
+    let src = "pub fn peek(p: *const u8) -> u8 {\n\
+                   // SAFETY: caller guarantees `p` is valid for reads.\n\
+                   let v =\n\
+                       unsafe { *p };\n\
+                   v\n\
+               }\n";
+    assert!(rules(src).is_empty());
+}
+
+#[test]
+fn s001_accepts_safety_doc_section_on_unsafe_fn() {
+    let src = "/// Reads a byte.\n\
+               ///\n\
+               /// # Safety\n\
+               ///\n\
+               /// `p` must be valid for reads.\n\
+               pub unsafe fn peek(p: *const u8) -> u8 {\n\
+                   // SAFETY: valid per this fn's contract.\n\
+                   unsafe { *p }\n\
+               }\n";
+    assert!(rules(src).is_empty());
+}
+
+#[test]
+fn s001_doc_section_does_not_cover_a_plain_block() {
+    // `# Safety` docs only excuse `unsafe fn` headers, not blocks.
+    let src = "/// # Safety\n\
+               /// nothing, this is a safe fn\n\
+               pub fn peek(p: *const u8) -> u8 {\n\
+                   let q = p;\n\
+                   let r = q;\n\
+                   unsafe { *r }\n\
+               }\n";
+    assert_eq!(rules(src), vec![rule::S001]);
+}
+
+#[test]
+fn s001_sibling_unsafe_impls_share_one_comment() {
+    let src = "pub struct P(*mut u8);\n\
+               // SAFETY: P is only moved between pool threads whole.\n\
+               unsafe impl Send for P {}\n\
+               unsafe impl Sync for P {}\n";
+    assert!(rules(src).is_empty());
+}
+
+// ---------------------------------------------------------------------
+// P001 — panics in library code.
+// ---------------------------------------------------------------------
+
+#[test]
+fn p001_fires_on_unwrap_expect_and_panic() {
+    let src = "pub fn f(v: Option<u32>) -> u32 {\n\
+                   let a = v.unwrap();\n\
+                   let b = v.expect(\"present\");\n\
+                   if a != b { panic!(\"mismatch\"); }\n\
+                   a\n\
+               }\n";
+    assert_eq!(rules(src), vec![rule::P001, rule::P001, rule::P001]);
+}
+
+#[test]
+fn p001_exempts_fn_with_panics_doc_section() {
+    let src = "/// Divides.\n\
+               ///\n\
+               /// # Panics\n\
+               ///\n\
+               /// Panics when `b` is zero.\n\
+               pub fn div(a: u32, b: u32) -> u32 {\n\
+                   assert!(b != 0);\n\
+                   if b == 0 { panic!(\"b is zero\"); }\n\
+                   a / b\n\
+               }\n";
+    assert!(rules(src).is_empty());
+}
+
+#[test]
+fn p001_panics_doc_survives_impl_in_parameter_position() {
+    // `impl Trait` in a parameter must not clobber the pending fn
+    // header (a regression the live workspace hit in partition.rs).
+    let src = "/// Picks.\n\
+               ///\n\
+               /// # Panics\n\
+               ///\n\
+               /// Panics when empty.\n\
+               pub fn pick(xs: &mut impl Iterator<Item = u32>) -> u32 {\n\
+                   xs.next().unwrap()\n\
+               }\n";
+    assert!(rules(src).is_empty());
+}
+
+#[test]
+fn p001_silent_in_tests_and_non_lib_targets() {
+    let in_test = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() {\n\
+                           let v: Option<u32> = Some(1);\n\
+                           assert_eq!(v.unwrap(), 1);\n\
+                       }\n\
+                   }\n";
+    assert!(rules(in_test).is_empty());
+
+    let bin = "fn main() {\n\
+                   let v: Option<u32> = Some(1);\n\
+                   let _ = v.unwrap();\n\
+               }\n";
+    let findings = analyze_source(
+        "crates/demo/src/main.rs",
+        "ft_demo",
+        FileClass::Bin,
+        bin,
+        &Config::permissive(),
+    );
+    assert!(findings.is_empty(), "P001 is library-only: {findings:?}");
+}
+
+// ---------------------------------------------------------------------
+// Waivers — suppression, W001 malformed, W002 stale.
+// ---------------------------------------------------------------------
+
+#[test]
+fn waiver_with_reason_suppresses_the_named_rule() {
+    let line_above = "pub fn f(v: Option<u32>) -> u32 {\n\
+                      // ft-lint: allow(P001) — fixture-invariant value is always present.\n\
+                      v.unwrap()\n\
+                      }\n";
+    assert!(rules(line_above).is_empty());
+
+    let trailing = "pub fn f(v: Option<u32>) -> u32 {\n\
+                    v.unwrap() // ft-lint: allow(P001) — fixture-invariant value is always present.\n\
+                    }\n";
+    assert!(rules(trailing).is_empty());
+}
+
+#[test]
+fn waiver_covers_only_its_named_rules() {
+    let src = "pub fn f(v: Option<u32>) -> u32 {\n\
+               // ft-lint: allow(D002) — wrong rule for this line.\n\
+               v.unwrap()\n\
+               }\n";
+    // The unwrap still fires, and the D002 waiver is now stale.
+    assert_eq!(rules(src), vec![rule::W002, rule::P001]);
+}
+
+#[test]
+fn w001_fires_on_reasonless_waiver() {
+    let src = "pub fn f(v: Option<u32>) -> u32 {\n\
+               // ft-lint: allow(P001)\n\
+               v.unwrap()\n\
+               }\n";
+    // No reason ⇒ the waiver is malformed and suppresses nothing.
+    assert_eq!(rules(src), vec![rule::W001, rule::P001]);
+}
+
+#[test]
+fn w001_fires_on_unknown_rule_id() {
+    let src = "pub fn f() {}\n\
+               // ft-lint: allow(Z999) — no such rule exists.\n";
+    assert_eq!(rules(src), vec![rule::W001]);
+}
+
+#[test]
+fn w002_fires_on_waiver_that_suppresses_nothing() {
+    let src = "// ft-lint: allow(P001) — there is no panic here at all.\n\
+               pub fn f() -> u32 {\n\
+                   7\n\
+               }\n";
+    assert_eq!(rules(src), vec![rule::W002]);
+}
+
+#[test]
+fn doc_comment_quoting_waiver_syntax_is_not_a_waiver() {
+    // Prose documenting the grammar must neither suppress findings
+    // nor count as a stale waiver.
+    let src = "/// Suppress with `// ft-lint: allow(P001) — reason`.\n\
+               pub fn f(v: Option<u32>) -> u32 {\n\
+                   v.unwrap()\n\
+               }\n";
+    assert_eq!(rules(src), vec![rule::P001]);
+}
+
+// ---------------------------------------------------------------------
+// Lexing corner cases.
+// ---------------------------------------------------------------------
+
+#[test]
+fn strings_and_comments_never_trip_rules() {
+    let src = "pub fn f() -> String {\n\
+                   // let x = v.unwrap(); thread::spawn(|| {});\n\
+                   /* unsafe { *p } Instant::now() */\n\
+                   let s = \"thread_rng() .unwrap() unsafe panic!\";\n\
+                   let r = r#\"Instant::now() SystemTime::now()\"#;\n\
+                   format!(\"{s}{r}\")\n\
+               }\n";
+    assert!(rules(src).is_empty());
+}
+
+#[test]
+fn raw_string_containing_quote_does_not_desync_the_lexer() {
+    // If the lexer mishandled the `"#` terminator, the unwrap after
+    // the raw string would be swallowed into the literal.
+    let src = "pub fn f(v: Option<u32>) -> u32 {\n\
+                   let _r = r##\"quote \" and hash # inside\"##;\n\
+                   v.unwrap()\n\
+               }\n";
+    assert_eq!(rules(src), vec![rule::P001]);
+}
+
+#[test]
+fn lifetime_ticks_are_not_char_literals() {
+    // `'a` must not open a character literal that eats the rest of
+    // the file (which would hide the unwrap).
+    let src = "pub fn first<'a>(xs: &'a [u32]) -> &'a u32 {\n\
+                   xs.first().unwrap()\n\
+               }\n";
+    assert_eq!(rules(src), vec![rule::P001]);
+}
+
+// ---------------------------------------------------------------------
+// lint.toml scoping.
+// ---------------------------------------------------------------------
+
+#[test]
+fn config_scoping_gates_rules_by_crate_and_file() {
+    let cfg = Config::parse(
+        "[rules.D001]\n\
+         crates = [\"ft_fedsim\"]\n\
+         \n\
+         [rules.D002]\n\
+         exclude-crates = [\"ft_bench\"]\n\
+         \n\
+         [rules.D003]\n\
+         exclude-files = [\"crates/tensor/src/pool.rs\"]\n",
+    )
+    .expect("fixture config parses");
+
+    let hash_iter = "use std::collections::HashMap;\n\
+                     pub fn f() {\n\
+                         let m: HashMap<u32, u32> = HashMap::new();\n\
+                         for v in m.values() { let _ = v; }\n\
+                     }\n";
+    let in_scope = analyze_source(
+        "crates/fedsim/src/x.rs",
+        "ft_fedsim",
+        FileClass::Lib,
+        hash_iter,
+        &cfg,
+    );
+    assert_eq!(in_scope.len(), 1, "D001 fires in a listed crate");
+    let out_of_scope = analyze_source(
+        "crates/bench/src/x.rs",
+        "ft_bench",
+        FileClass::Lib,
+        hash_iter,
+        &cfg,
+    );
+    assert!(
+        out_of_scope.is_empty(),
+        "D001 is scoped to digest-relevant crates"
+    );
+
+    let clock = "pub fn t() { let _ = std::time::Instant::now(); }\n";
+    assert!(
+        analyze_source(
+            "crates/bench/src/x.rs",
+            "ft_bench",
+            FileClass::Lib,
+            clock,
+            &cfg
+        )
+        .is_empty(),
+        "D002 excluded in ft_bench"
+    );
+    assert_eq!(
+        analyze_source(
+            "crates/fedsim/src/x.rs",
+            "ft_fedsim",
+            FileClass::Lib,
+            clock,
+            &cfg
+        )
+        .len(),
+        1
+    );
+
+    let spawn = "pub fn go() { std::thread::spawn(|| {}); }\n";
+    assert!(
+        analyze_source(
+            "crates/tensor/src/pool.rs",
+            "ft_tensor",
+            FileClass::Lib,
+            spawn,
+            &cfg
+        )
+        .is_empty(),
+        "D003 excluded in the sanctioned pool file"
+    );
+    assert_eq!(
+        analyze_source(
+            "crates/tensor/src/other.rs",
+            "ft_tensor",
+            FileClass::Lib,
+            spawn,
+            &cfg
+        )
+        .len(),
+        1
+    );
+}

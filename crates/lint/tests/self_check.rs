@@ -1,0 +1,29 @@
+//! The analyzer's own CI promise, as a test: `ft-lint --deny` must be
+//! clean on the live workspace. This is the same scan the
+//! `lint-determinism` CI job runs, so a finding introduced anywhere
+//! in the tree fails `cargo test` locally before it fails CI.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg_src = std::fs::read_to_string(root.join("lint.toml"))
+        .expect("committed lint.toml at the workspace root");
+    let cfg = ft_lint::Config::parse(&cfg_src).expect("lint.toml parses");
+    let (findings, scanned) =
+        ft_lint::scan_workspace(&root, &cfg).expect("every workspace source is readable");
+    assert!(
+        scanned > 50,
+        "workspace discovery looks broken: only {scanned} files found"
+    );
+    assert!(
+        findings.is_empty(),
+        "ft-lint must be clean on the workspace; fix or waive:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

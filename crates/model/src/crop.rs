@@ -28,6 +28,7 @@ pub fn crop_to(src: &Tensor, dims: &[usize]) -> Tensor {
     match (src.shape().rank(), dims.len()) {
         (1, 1) => {
             let n = dims[0].min(src.len());
+            // ft-lint: allow(P001) — `n` elements copied for an `[n]` shape.
             Tensor::from_vec(src.data()[..n].to_vec(), &[n]).expect("length matches")
         }
         (2, 2) => {
@@ -39,6 +40,7 @@ pub fn crop_to(src: &Tensor, dims: &[usize]) -> Tensor {
             for r in 0..rows {
                 out.extend_from_slice(&src.data()[r * src_cols..r * src_cols + cols]);
             }
+            // ft-lint: allow(P001) — `rows * cols` elements pushed in the loop above.
             Tensor::from_vec(out, &[rows, cols]).expect("length matches")
         }
         _ => src.clone(),

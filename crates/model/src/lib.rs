@@ -31,6 +31,9 @@
 //! assert!(model.macs_per_sample() > 0);
 //! ```
 
+// Enforced in depth by ft-lint (S001); the compiler backstops it here.
+#![forbid(unsafe_code)]
+
 mod cell;
 pub mod crop;
 mod error;

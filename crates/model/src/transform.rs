@@ -108,6 +108,7 @@ fn widen_rows_scaled(w: &Tensor, mapping: &[usize], multiplicity: &[usize]) -> T
 /// Widens a vector (bias) according to `mapping`.
 fn widen_vector(v: &Tensor, mapping: &[usize]) -> Tensor {
     let data: Vec<f32> = mapping.iter().map(|&src| v.data()[src]).collect();
+    // ft-lint: allow(P001) — one element gathered per mapping slot.
     Tensor::from_vec(data, &[mapping.len()]).expect("length matches mapping")
 }
 

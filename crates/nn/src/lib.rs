@@ -27,6 +27,9 @@
 //! # Ok::<(), ft_nn::NnError>(())
 //! ```
 
+// Enforced in depth by ft-lint (S001); the compiler backstops it here.
+#![forbid(unsafe_code)]
+
 mod activation;
 mod attention;
 mod conv;

@@ -65,12 +65,19 @@ fn dispatch(len: usize, body: &(dyn Fn(usize, usize) + Sync)) {
 /// `start..end` must be in-bounds for the original allocation and
 /// disjoint across concurrently running tasks.
 unsafe fn sub_mut<'a>(p: &MutPtr, start: usize, end: usize) -> &'a mut [f32] {
-    std::slice::from_raw_parts_mut(p.0.add(start), end - start)
+    // SAFETY: in-bounds and exclusive per this fn's contract.
+    unsafe { std::slice::from_raw_parts_mut(p.0.add(start), end - start) }
 }
 
-/// See [`sub_mut`].
+/// Shared-slice counterpart of [`sub_mut`].
+///
+/// # Safety
+///
+/// `start..end` must be in-bounds for the original allocation; shared
+/// reborrows may overlap, but no task may mutate the range.
 unsafe fn sub_ref<'a>(p: &ConstPtr, start: usize, end: usize) -> &'a [f32] {
-    std::slice::from_raw_parts(p.0.add(start), end - start)
+    // SAFETY: in-bounds and unaliased by writers per this fn's contract.
+    unsafe { std::slice::from_raw_parts(p.0.add(start), end - start) }
 }
 
 /// `a[i] += b[i]`.

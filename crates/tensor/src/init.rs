@@ -23,6 +23,7 @@ pub fn xavier_uniform(rng: &mut impl Rng, dims: &[usize], fan_in: usize, fan_out
 /// Appropriate for ReLU networks, which is what all FedTrans cells use.
 pub fn he_normal(rng: &mut impl Rng, dims: &[usize], fan_in: usize) -> Tensor {
     let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    // ft-lint: allow(P001) — std derives from `fan_in.max(1)`, always finite and positive.
     let dist = Normal::new(0.0, std).expect("std is finite and positive");
     sample(rng, dims, dist)
 }
@@ -36,6 +37,7 @@ pub fn uniform(rng: &mut impl Rng, dims: &[usize], lo: f32, hi: f32) -> Tensor {
 fn sample<D: Distribution<f32>>(rng: &mut impl Rng, dims: &[usize], dist: D) -> Tensor {
     let volume: usize = dims.iter().product();
     let data: Vec<f32> = (0..volume).map(|_| dist.sample(rng)).collect();
+    // ft-lint: allow(P001) — exactly `dims.iter().product()` samples drawn above.
     Tensor::from_vec(data, dims).expect("volume matches by construction")
 }
 

@@ -18,6 +18,12 @@
 //! # Ok::<(), ft_tensor::TensorError>(())
 //! ```
 
+// The raw-pointer kernels must spell out every unsafe operation; docs
+// are part of the public contract (ft-lint S001 enforces the SAFETY
+// comments themselves).
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(missing_docs)]
+
 mod error;
 pub mod fused;
 mod init;

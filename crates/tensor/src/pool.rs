@@ -120,6 +120,12 @@ impl Pool {
     /// Claims task indices until the job is drained, running each.
     /// Whoever finishes the last index clears the job and wakes the
     /// submitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool mutex is poisoned, which only happens if a
+    /// thread panicked *outside* the catch_unwind below — task panics
+    /// are parked on the job instead.
     fn run_tasks(&self, job: &Job) {
         loop {
             let i = job.next.fetch_add(1, Ordering::Relaxed);
@@ -151,6 +157,12 @@ impl Pool {
         }
     }
 
+    /// Parks until a new job epoch appears, then joins it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool mutex is poisoned (task panics never poison
+    /// it; see [`Pool::run_tasks`]).
     fn worker_loop(&self) {
         IN_POOL_WORKER.with(|f| f.set(true));
         let mut seen_epoch = 0u64;
@@ -188,6 +200,11 @@ fn desired_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// The process-wide pool, spawned on first use.
+///
+/// # Panics
+///
+/// Panics if the OS refuses to spawn a worker thread.
 fn pool() -> &'static Pool {
     static POOL: OnceLock<&'static Pool> = OnceLock::new();
     POOL.get_or_init(|| {
@@ -242,6 +259,12 @@ pub fn parallel_for(tasks: usize, task: &(dyn Fn(usize) + Sync)) {
 /// A `max_threads` of 1 degenerates to the inline serial loop without
 /// touching the pool, so nested [`parallel_for`] calls issued by the
 /// tasks (e.g. per-client GEMM fan-out) may still use every worker.
+///
+/// # Panics
+///
+/// A panic inside `task` is re-raised here on the submitting thread
+/// once every index has run. Pool-mutex poisoning (unreachable via
+/// task panics) also panics.
 pub fn parallel_for_budgeted(tasks: usize, max_threads: usize, task: &(dyn Fn(usize) + Sync)) {
     if tasks == 0 {
         return;
@@ -278,6 +301,10 @@ pub fn parallel_for_budgeted(tasks: usize, max_threads: usize, task: &(dyn Fn(us
             // queueing behind it (avoids lock convoys and keeps
             // worst-case latency bounded).
             drop(st);
+            // SAFETY: `job.task` points at the caller's closure, which
+            // outlives this call; no worker ever saw this job (it was
+            // never installed in pool state), so the reference is
+            // unique to this inline loop.
             let task = unsafe { &*job.task };
             for i in 0..tasks {
                 task(i);
