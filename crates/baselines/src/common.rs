@@ -44,6 +44,12 @@ pub struct BaselineConfig {
     pub enforce_capacity: bool,
     /// Client dropout / straggler injection (default: fault-free).
     pub faults: FaultConfig,
+    /// Evaluate only the first `n` clients (`None` = the whole fleet).
+    /// Million-device populations make full-fleet evaluation the
+    /// dominant cost of a run whose object of study is the *round*
+    /// path; capping the eval sweep keeps the 1M-device bench honest
+    /// about aggregation memory without hours of inference.
+    pub eval_clients: Option<usize>,
 }
 
 impl Default for BaselineConfig {
@@ -55,6 +61,7 @@ impl Default for BaselineConfig {
             eval_every: 0,
             enforce_capacity: true,
             faults: FaultConfig::default(),
+            eval_clients: None,
         }
     }
 }

@@ -7,23 +7,29 @@
 
 use rand::SeedableRng;
 
-use ft_data::FederatedDataset;
+use ft_data::{FederatedDataset, ShardSource};
 use ft_fedsim::coordinator::{Coordinator, RoundOptions};
 use ft_fedsim::device::DeviceTrace;
 use ft_fedsim::report::{RoundReport, RunReport};
 use ft_fedsim::select;
+use ft_fedsim::sink::FedAvgSink;
 use ft_fedsim::trainer::{client_seed, TrainTask};
 use ft_fedsim::Result;
 use ft_model::CellModel;
 use ft_nn::Yogi;
-use ft_tensor::Tensor;
 
 use crate::common::{eval_on_client, Accumulator, BaselineConfig, ServerOpt};
 
 /// The FedAvg family runner.
-pub struct FedAvg {
+///
+/// Generic over its population source so the same round loop serves
+/// both a materialized [`FederatedDataset`] and a procedurally derived
+/// [`ft_data::SparseFederatedData`] — the representation the 1M-device
+/// bench leg uses, where materializing every shard up front would
+/// dwarf the aggregation memory the bench is measuring.
+pub struct FedAvg<D: ShardSource = FederatedDataset> {
     cfg: BaselineConfig,
-    data: FederatedDataset,
+    data: D,
     devices: DeviceTrace,
     coordinator: Coordinator,
     model: CellModel,
@@ -34,11 +40,11 @@ pub struct FedAvg {
     round: u32,
 }
 
-impl FedAvg {
+impl<D: ShardSource> FedAvg<D> {
     /// Creates a runner training `model` as the single global model.
     pub fn new(
         cfg: BaselineConfig,
-        data: FederatedDataset,
+        data: D,
         devices: DeviceTrace,
         model: CellModel,
         server: ServerOpt,
@@ -71,13 +77,9 @@ impl FedAvg {
     ///
     /// # Errors
     ///
-    /// Propagates training errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a client reply's tensors disagree with the global
-    /// model's shapes — trained submodels must come from this round's
-    /// global snapshot.
+    /// Propagates training errors; a reply whose tensors disagree with
+    /// the global model's shapes surfaces as a protocol error from the
+    /// streaming fold.
     pub fn step(&mut self) -> Result<RoundReport> {
         let invited = select::uniform(
             &mut self.rng,
@@ -90,39 +92,34 @@ impl FedAvg {
             .iter()
             .map(|&c| TrainTask {
                 client: c,
-                model: self.model.clone(),
+                model: 0,
                 seed: client_seed(round_seed, c),
             })
             .collect();
-        let replies = self
-            .coordinator
-            .train(tasks, self.data.clients(), &self.cfg.local)?;
+        // Stream every update into the weighted-mean fold as it lands;
+        // no per-client weights survive the round.
+        let mut sink = FedAvgSink::single();
+        let replies = self.coordinator.train(
+            tasks,
+            std::slice::from_ref(&self.model),
+            &self.data,
+            &self.cfg.local,
+            &mut sink,
+        )?;
 
         let macs = self.model.macs_per_sample();
         let params = self.model.param_count();
         let mut round_time = 0.0f64;
         for r in &replies {
-            let t =
-                self.acc
-                    .record_participant(macs, params, r.outcome.samples_processed, r.elapsed_s);
+            let t = self
+                .acc
+                .record_participant(macs, params, r.samples, r.elapsed_s);
             round_time = round_time.max(t);
         }
 
-        // Sample-weighted average of local weights.
-        let total: u64 = replies.iter().map(|r| r.outcome.samples_processed).sum();
-        if total > 0 {
-            let mut avg: Vec<Tensor> = self
-                .model
-                .snapshot()
-                .iter()
-                .map(|t| Tensor::zeros(t.shape().dims()))
-                .collect();
-            for r in &replies {
-                let w = r.outcome.samples_processed as f32 / total as f32;
-                for (a, t) in avg.iter_mut().zip(&r.outcome.weights) {
-                    a.axpy(w, t).expect("same global model shapes");
-                }
-            }
+        // Sample-weighted average of local weights (None when the
+        // round delivered no weighted updates).
+        if let Some(avg) = sink.take_average() {
             match self.server {
                 ServerOpt::Average => {
                     self.model.restore(&avg)?;
@@ -134,9 +131,11 @@ impl FedAvg {
                     // copies per round; bit-identical to `a.sub(c)`.
                     let mut deltas = avg;
                     for (a, c) in deltas.iter_mut().zip(&current) {
+                        // ft-lint: allow(P001) — average and snapshot
+                        // come from the same model, shapes match.
                         a.sub_assign(c).expect("same shapes");
                     }
-                    let delta_refs: Vec<&Tensor> = deltas.iter().collect();
+                    let delta_refs: Vec<&ft_tensor::Tensor> = deltas.iter().collect();
                     let mut params_mut = self.model.param_tensors_mut();
                     self.yogi
                         .step(&mut params_mut, &delta_refs)
@@ -145,7 +144,7 @@ impl FedAvg {
             }
         }
 
-        let losses: Vec<f32> = replies.iter().map(|r| r.outcome.avg_loss).collect();
+        let losses: Vec<f32> = replies.iter().map(|r| r.avg_loss).collect();
         let mean_loss = ft_fedsim::metrics::mean(&losses);
         self.coordinator.finish_round()?;
         self.acc
@@ -157,19 +156,26 @@ impl FedAvg {
             let mean = ft_fedsim::metrics::mean(&accs);
             self.acc.curve.push((self.acc.cost.train_pmacs(), mean));
         }
+        // ft-lint: allow(P001) — `finish_round` above just pushed this entry.
         Ok(self.acc.history.last().expect("just pushed").clone())
     }
 
     /// Per-client accuracy of the global model. With
     /// `enforce_capacity`, clients whose device cannot run the model
     /// score 0 — a one-size-fits-all model simply cannot serve them.
+    /// `eval_clients` caps the sweep to the first `n` clients.
     pub fn evaluate(&self) -> Vec<f32> {
         let macs = self.model.macs_per_sample();
-        ft_fedsim::eval::par_map_indexed(self.data.num_clients(), |c| {
+        let n = self
+            .cfg
+            .eval_clients
+            .map_or(self.data.num_clients(), |k| k.min(self.data.num_clients()));
+        ft_fedsim::eval::par_map_indexed(n, |c| {
             if self.cfg.enforce_capacity && !self.devices.profile(c).is_compatible(macs) {
                 0.0
             } else {
-                eval_on_client(&self.model, self.data.client(c))
+                let shard = self.data.shard(c);
+                eval_on_client(&self.model, &shard)
             }
         })
     }
@@ -201,7 +207,7 @@ impl FedAvg {
     }
 }
 
-impl ft_fedsim::Algorithm for FedAvg {
+impl<D: ShardSource> ft_fedsim::Algorithm for FedAvg<D> {
     fn name(&self) -> &'static str {
         match self.server {
             ServerOpt::Yogi { .. } => "fedyogi",

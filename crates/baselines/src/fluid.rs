@@ -27,8 +27,8 @@ use ft_tensor::Tensor;
 
 use crate::common::{eval_on_client, Accumulator, BaselineConfig};
 use crate::heterofl::DEFAULT_RATIOS;
-use crate::submodel::{extract, scatter_maps, unit_count, KeepPlan};
-use crate::tensor_select::{scatter_add1, scatter_add2};
+use crate::scatter_sink::ScatterSink;
+use crate::submodel::{extract, unit_count, KeepPlan};
 
 /// EMA coefficient for neuron-update scores.
 const SCORE_EMA: f32 = 0.5;
@@ -196,71 +196,48 @@ impl Fluid {
         let participants = self.coordinator.begin_round(self.round, &invited)?;
         let round_seed = self.cfg.seed.wrapping_add(self.round as u64);
         let mut plans = Vec::with_capacity(participants.len());
+        let mut submodels = Vec::with_capacity(participants.len());
         let mut tasks = Vec::with_capacity(participants.len());
         let mut sub_stats = Vec::with_capacity(participants.len());
-        for &c in &participants {
+        for (i, &c) in participants.iter().enumerate() {
             let lvl = self.level_for(self.devices.profile(c).capacity_macs);
             let plan = self.plan_for_ratio(self.ratios[lvl]);
             let sub = extract(&self.global, &plan);
             sub_stats.push((sub.macs_per_sample(), sub.param_count()));
             plans.push(plan);
+            // Plans are score-dependent and per-participant, so the
+            // round's model table holds one submodel per task.
+            submodels.push(sub);
             tasks.push(TrainTask {
                 client: c,
-                model: sub,
+                model: i,
                 seed: client_seed(round_seed, c),
             });
         }
-        let replies = self
-            .coordinator
-            .train(tasks, self.data.clients(), &self.cfg.local)?;
+        // Scatter aggregation streams through the sink, per
+        // participant plan; updates drop as soon as they fold.
+        let original = self.global.snapshot();
+        let task_plans: Vec<&KeepPlan> = plans.iter().collect();
+        let mut sink = ScatterSink::new(&self.global, task_plans);
+        let replies =
+            self.coordinator
+                .train(tasks, &submodels, &self.data, &self.cfg.local, &mut sink)?;
 
         let mut round_time = 0.0f64;
         for r in &replies {
             let (macs, params) = sub_stats[r.task];
-            let t =
-                self.acc
-                    .record_participant(macs, params, r.outcome.samples_processed, r.elapsed_s);
+            let t = self
+                .acc
+                .record_participant(macs, params, r.samples, r.elapsed_s);
             round_time = round_time.max(t);
         }
 
-        // Scatter aggregation, per participant plan.
-        let original = self.global.snapshot();
-        let mut agg: Vec<Tensor> = original
-            .iter()
-            .map(|t| Tensor::zeros(t.shape().dims()))
-            .collect();
-        let mut counts: Vec<Tensor> = original
-            .iter()
-            .map(|t| Tensor::zeros(t.shape().dims()))
-            .collect();
-        for r in &replies {
-            let maps = scatter_maps(&self.global, &plans[r.task]);
-            for ((map, src), (a, c)) in maps
-                .iter()
-                .zip(&r.outcome.weights)
-                .zip(agg.iter_mut().zip(counts.iter_mut()))
-            {
-                if map.rank1 {
-                    match &map.rows {
-                        Some(idx) => scatter_add1(a, c, src, idx, 1.0),
-                        None => {
-                            let idx: Vec<usize> = (0..src.len()).collect();
-                            scatter_add1(a, c, src, &idx, 1.0);
-                        }
-                    }
-                } else {
-                    scatter_add2(a, c, src, map.rows.as_deref(), map.cols.as_deref(), 1.0);
-                }
-            }
-        }
-        for ((a, c), orig) in agg.iter_mut().zip(&counts).zip(&original) {
-            ft_model::crop::finalize_overlap(a, c, orig);
-        }
+        let agg = sink.take_aggregate();
         self.global.restore(&agg)?;
         let updated = self.global.snapshot();
         self.update_scores(&original, &updated);
 
-        let losses: Vec<f32> = replies.iter().map(|r| r.outcome.avg_loss).collect();
+        let losses: Vec<f32> = replies.iter().map(|r| r.avg_loss).collect();
         let mean_loss = ft_fedsim::metrics::mean(&losses);
         self.coordinator.finish_round()?;
         self.acc.finish_round(

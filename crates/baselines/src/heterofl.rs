@@ -17,11 +17,10 @@ use ft_fedsim::select;
 use ft_fedsim::trainer::{client_seed, TrainTask};
 use ft_fedsim::Result;
 use ft_model::CellModel;
-use ft_tensor::Tensor;
 
 use crate::common::{eval_on_client, Accumulator, BaselineConfig};
-use crate::submodel::{extract, scatter_maps, KeepPlan};
-use crate::tensor_select::{scatter_add1, scatter_add2};
+use crate::scatter_sink::ScatterSink;
+use crate::submodel::{extract, KeepPlan};
 
 /// The standard HeteroFL width levels (largest first).
 pub const DEFAULT_RATIOS: [f32; 5] = [1.0, 0.5, 0.25, 0.125, 0.0625];
@@ -114,6 +113,15 @@ impl HeteroFl {
         );
         let participants = self.coordinator.begin_round(self.round, &invited)?;
         let round_seed = self.cfg.seed.wrapping_add(self.round as u64);
+        // The round's model table: one submodel per width level;
+        // extraction is a pure function of (global, plan), so cutting
+        // each level once and letting the engine clone per task is
+        // bit-identical to the retired per-participant extraction.
+        let submodels: Vec<CellModel> = self
+            .plans
+            .iter()
+            .map(|p| extract(&self.global, p))
+            .collect();
         let mut levels = Vec::with_capacity(participants.len());
         let mut tasks = Vec::with_capacity(participants.len());
         for &c in &participants {
@@ -121,13 +129,18 @@ impl HeteroFl {
             levels.push(lvl);
             tasks.push(TrainTask {
                 client: c,
-                model: extract(&self.global, &self.plans[lvl]),
+                model: lvl,
                 seed: client_seed(round_seed, c),
             });
         }
-        let replies = self
-            .coordinator
-            .train(tasks, self.data.clients(), &self.cfg.local)?;
+        // Overlap aggregation streams through the scatter sink: each
+        // update scatter-adds into the global-shaped accumulator the
+        // moment it lands, then drops.
+        let task_plans: Vec<&KeepPlan> = levels.iter().map(|&l| &self.plans[l]).collect();
+        let mut sink = ScatterSink::new(&self.global, task_plans);
+        let replies =
+            self.coordinator
+                .train(tasks, &submodels, &self.data, &self.cfg.local, &mut sink)?;
 
         let mut round_time = 0.0f64;
         for r in &replies {
@@ -135,49 +148,16 @@ impl HeteroFl {
             let t = self.acc.record_participant(
                 self.level_macs[lvl],
                 self.level_params[lvl],
-                r.outcome.samples_processed,
+                r.samples,
                 r.elapsed_s,
             );
             round_time = round_time.max(t);
         }
 
-        // Overlap aggregation into the global tensors.
-        let original = self.global.snapshot();
-        let mut agg: Vec<Tensor> = original
-            .iter()
-            .map(|t| Tensor::zeros(t.shape().dims()))
-            .collect();
-        let mut counts: Vec<Tensor> = original
-            .iter()
-            .map(|t| Tensor::zeros(t.shape().dims()))
-            .collect();
-        for r in &replies {
-            let lvl = levels[r.task];
-            let maps = scatter_maps(&self.global, &self.plans[lvl]);
-            for ((map, src), (a, c)) in maps
-                .iter()
-                .zip(&r.outcome.weights)
-                .zip(agg.iter_mut().zip(counts.iter_mut()))
-            {
-                if map.rank1 {
-                    match &map.rows {
-                        Some(idx) => scatter_add1(a, c, src, idx, 1.0),
-                        None => {
-                            let idx: Vec<usize> = (0..src.len()).collect();
-                            scatter_add1(a, c, src, &idx, 1.0);
-                        }
-                    }
-                } else {
-                    scatter_add2(a, c, src, map.rows.as_deref(), map.cols.as_deref(), 1.0);
-                }
-            }
-        }
-        for ((a, c), orig) in agg.iter_mut().zip(&counts).zip(&original) {
-            ft_model::crop::finalize_overlap(a, c, orig);
-        }
+        let agg = sink.take_aggregate();
         self.global.restore(&agg)?;
 
-        let losses: Vec<f32> = replies.iter().map(|r| r.outcome.avg_loss).collect();
+        let losses: Vec<f32> = replies.iter().map(|r| r.avg_loss).collect();
         let mean_loss = ft_fedsim::metrics::mean(&losses);
         self.coordinator.finish_round()?;
         self.acc.finish_round(

@@ -21,11 +21,15 @@
 //!
 //! Every baseline trains its participants through the shared parallel
 //! client engine (`ft_fedsim::exec`, gated by `FT_CLIENT_THREADS`):
-//! FedAvg/HeteroFL/FLuID fan out one task per participant through
-//! [`ft_fedsim::trainer::train_round`], SplitMix one task per
-//! `(participant, base)` pair. Aggregation always replays outcomes in
-//! the fixed selection order, so baseline reports — like FedTrans's —
-//! are byte-identical at any thread count.
+//! FedAvg/HeteroFL/FLuID fan out one task per participant, SplitMix
+//! one task per `(participant, base)` pair. Each update streams into
+//! an [`ft_fedsim::sink::UpdateSink`] the moment it lands — a
+//! [`ft_fedsim::sink::FedAvgSink`] for the weighted-mean family, a
+//! [`ScatterSink`] for the submodel-overlap family — and is dropped
+//! right after, so peak memory is bounded by the in-flight window.
+//! Folds always run in fixed task order, never completion order, so
+//! baseline reports — like FedTrans's — are byte-identical at any
+//! thread count and any `FT_MAX_IN_FLIGHT`.
 
 // Enforced in depth by ft-lint (S001); the compiler backstops it here.
 #![forbid(unsafe_code)]
@@ -34,6 +38,7 @@ pub mod common;
 mod fedavg;
 mod fluid;
 mod heterofl;
+pub mod scatter_sink;
 mod splitmix;
 pub mod submodel;
 pub mod tensor_select;
@@ -42,6 +47,7 @@ pub use common::{eval_ensemble_on_client, eval_on_client, BaselineConfig, Server
 pub use fedavg::FedAvg;
 pub use fluid::Fluid;
 pub use heterofl::HeteroFl;
+pub use scatter_sink::ScatterSink;
 pub use splitmix::SplitMix;
 
 #[cfg(test)]

@@ -1,0 +1,261 @@
+//! Streaming scatter-overlap aggregation for submodel baselines.
+//!
+//! HeteroFL and FLuID average each global parameter over exactly the
+//! clients whose submodels contain it. The pre-streaming loop
+//! materialized every reply's weights first; [`ScatterSink`] folds
+//! each update into the global-shaped accumulator the moment it lands
+//! (scatter-add through the task's [`KeepPlan`]) and drops it, then
+//! finalizes the element-wise counts once at `finish`. Absorb order is
+//! task order, so the scatter op sequence — and therefore the digest —
+//! is identical to the retired batch loop at any in-flight window.
+
+use ft_fedsim::sink::{ClientUpdate, RoundManifest, UpdateSink};
+use ft_fedsim::{Result, SimError};
+use ft_model::crop::finalize_overlap;
+use ft_model::CellModel;
+use ft_tensor::Tensor;
+
+use crate::submodel::{scatter_maps, KeepPlan};
+use crate::tensor_select::{scatter_add1, scatter_add2};
+
+/// The [`UpdateSink`] form of corner/invariant-dropout overlap
+/// aggregation: one global-shaped accumulator plus per-element counts,
+/// scatter-added into by each update's keep plan.
+pub struct ScatterSink<'a> {
+    global: &'a CellModel,
+    /// Per *task index*: the plan that cut that task's submodel.
+    plans: Vec<&'a KeepPlan>,
+    original: Vec<Tensor>,
+    agg: Vec<Tensor>,
+    counts: Vec<Tensor>,
+    expected: usize,
+    absorbed: usize,
+    finished: bool,
+}
+
+impl<'a> ScatterSink<'a> {
+    /// Builds the sink for one round: `plans[t]` is the keep plan task
+    /// `t`'s submodel was extracted with from `global`.
+    pub fn new(global: &'a CellModel, plans: Vec<&'a KeepPlan>) -> Self {
+        let original = global.snapshot();
+        let agg: Vec<Tensor> = original
+            .iter()
+            .map(|t| Tensor::zeros(t.shape().dims()))
+            .collect();
+        let counts: Vec<Tensor> = original
+            .iter()
+            .map(|t| Tensor::zeros(t.shape().dims()))
+            .collect();
+        ScatterSink {
+            global,
+            plans,
+            original,
+            agg,
+            counts,
+            expected: 0,
+            absorbed: 0,
+            finished: false,
+        }
+    }
+
+    /// The finalized global weights (positions no update covered keep
+    /// their original values), consuming the round's accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`UpdateSink::finish`] — extracting a
+    /// half-folded aggregate is always a bug.
+    pub fn take_aggregate(&mut self) -> Vec<Tensor> {
+        assert!(
+            self.finished,
+            "take_aggregate before finish(): the fold is incomplete"
+        );
+        std::mem::take(&mut self.agg)
+    }
+}
+
+impl UpdateSink for ScatterSink<'_> {
+    fn begin_round(&mut self, manifest: &RoundManifest<'_>) -> Result<()> {
+        for spec in manifest.tasks {
+            if spec.task >= self.plans.len() {
+                return Err(SimError::protocol(format!(
+                    "manifest task {} outside the sink's {} keep plans",
+                    spec.task,
+                    self.plans.len()
+                )));
+            }
+        }
+        self.expected = manifest.tasks.len();
+        self.absorbed = 0;
+        self.finished = false;
+        Ok(())
+    }
+
+    fn absorb(&mut self, update: ClientUpdate) -> Result<()> {
+        let plan = self.plans.get(update.task).ok_or_else(|| {
+            SimError::protocol(format!(
+                "absorb of task {} outside the sink's {} keep plans",
+                update.task,
+                self.plans.len()
+            ))
+        })?;
+        let maps = scatter_maps(self.global, plan);
+        for ((map, src), (a, c)) in maps
+            .iter()
+            .zip(&update.weights)
+            .zip(self.agg.iter_mut().zip(self.counts.iter_mut()))
+        {
+            if map.rank1 {
+                match &map.rows {
+                    Some(idx) => scatter_add1(a, c, src, idx, 1.0),
+                    None => {
+                        let idx: Vec<usize> = (0..src.len()).collect();
+                        scatter_add1(a, c, src, &idx, 1.0);
+                    }
+                }
+            } else {
+                scatter_add2(a, c, src, map.rows.as_deref(), map.cols.as_deref(), 1.0);
+            }
+        }
+        self.absorbed += 1;
+        // `update` drops here: nothing per-client is retained.
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        if self.absorbed != self.expected {
+            return Err(SimError::protocol(format!(
+                "finish after {} of {} manifest tasks were absorbed",
+                self.absorbed, self.expected
+            )));
+        }
+        for ((a, c), orig) in self.agg.iter_mut().zip(&self.counts).zip(&self.original) {
+            finalize_overlap(a, c, orig);
+        }
+        self.finished = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::submodel::extract;
+    use ft_fedsim::sink::TaskSpec;
+    use rand::SeedableRng;
+
+    fn global() -> CellModel {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        CellModel::dense(&mut rng, 6, &[8, 8], 4)
+    }
+
+    #[test]
+    fn streamed_scatter_matches_batch_loop() {
+        let g = global();
+        let plans = [KeepPlan::corner(&g, 0.5), KeepPlan::corner(&g, 0.25)];
+        let updates: Vec<Vec<Tensor>> = plans
+            .iter()
+            .map(|p| {
+                extract(&g, p)
+                    .snapshot()
+                    .into_iter()
+                    .map(|t| Tensor::full(t.shape().dims(), 2.0))
+                    .collect()
+            })
+            .collect();
+
+        // Reference: the retired materialize-then-scatter loop.
+        let original = g.snapshot();
+        let mut agg: Vec<Tensor> = original
+            .iter()
+            .map(|t| Tensor::zeros(t.shape().dims()))
+            .collect();
+        let mut counts: Vec<Tensor> = original
+            .iter()
+            .map(|t| Tensor::zeros(t.shape().dims()))
+            .collect();
+        for (plan, weights) in plans.iter().zip(&updates) {
+            let maps = scatter_maps(&g, plan);
+            for ((map, src), (a, c)) in maps
+                .iter()
+                .zip(weights)
+                .zip(agg.iter_mut().zip(counts.iter_mut()))
+            {
+                if map.rank1 {
+                    match &map.rows {
+                        Some(idx) => scatter_add1(a, c, src, idx, 1.0),
+                        None => {
+                            let idx: Vec<usize> = (0..src.len()).collect();
+                            scatter_add1(a, c, src, &idx, 1.0);
+                        }
+                    }
+                } else {
+                    scatter_add2(a, c, src, map.rows.as_deref(), map.cols.as_deref(), 1.0);
+                }
+            }
+        }
+        for ((a, c), orig) in agg.iter_mut().zip(&counts).zip(&original) {
+            finalize_overlap(a, c, orig);
+        }
+
+        // Streamed: absorb one update at a time, drop each after.
+        let specs: Vec<TaskSpec> = (0..2)
+            .map(|i| TaskSpec {
+                task: i,
+                client: i,
+                samples: 10,
+            })
+            .collect();
+        let mut sink = ScatterSink::new(&g, plans.iter().collect());
+        sink.begin_round(&RoundManifest {
+            round: 0,
+            tasks: &specs,
+        })
+        .unwrap();
+        for (i, weights) in updates.into_iter().enumerate() {
+            sink.absorb(ClientUpdate {
+                task: i,
+                client: i,
+                samples: 10,
+                weights,
+                delta: Vec::new(),
+            })
+            .unwrap();
+        }
+        sink.finish().unwrap();
+        assert_eq!(sink.take_aggregate(), agg);
+    }
+
+    #[test]
+    fn finish_requires_all_absorbs() {
+        let g = global();
+        let plan = KeepPlan::corner(&g, 0.5);
+        let mut sink = ScatterSink::new(&g, vec![&plan]);
+        sink.begin_round(&RoundManifest {
+            round: 0,
+            tasks: &[TaskSpec {
+                task: 0,
+                client: 0,
+                samples: 5,
+            }],
+        })
+        .unwrap();
+        assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn manifest_task_outside_plans_is_rejected() {
+        let g = global();
+        let plan = KeepPlan::corner(&g, 0.5);
+        let mut sink = ScatterSink::new(&g, vec![&plan]);
+        let err = sink.begin_round(&RoundManifest {
+            round: 0,
+            tasks: &[TaskSpec {
+                task: 3,
+                client: 0,
+                samples: 5,
+            }],
+        });
+        assert!(err.is_err());
+    }
+}

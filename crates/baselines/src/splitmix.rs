@@ -14,10 +14,10 @@ use ft_fedsim::coordinator::{Coordinator, RoundOptions};
 use ft_fedsim::device::DeviceTrace;
 use ft_fedsim::report::{RoundReport, RunReport};
 use ft_fedsim::select;
+use ft_fedsim::sink::FedAvgSink;
 use ft_fedsim::trainer::TrainTask;
 use ft_fedsim::Result;
 use ft_model::CellModel;
-use ft_tensor::Tensor;
 
 use crate::common::{eval_ensemble_on_client, Accumulator, BaselineConfig};
 use crate::submodel::{extract, KeepPlan};
@@ -99,13 +99,9 @@ impl SplitMix {
     ///
     /// # Errors
     ///
-    /// Propagates training errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a client's returned base weights disagree with the
-    /// base models' shapes — updates must come from this round's base
-    /// snapshots.
+    /// Propagates training errors; a reply whose base weights disagree
+    /// with the base models' shapes surfaces as a protocol error from
+    /// the streaming fold.
     pub fn step(&mut self) -> Result<RoundReport> {
         let invited = select::uniform(
             &mut self.rng,
@@ -138,53 +134,44 @@ impl SplitMix {
                     .wrapping_add((c * 131 + b) as u64);
                 tasks.push(TrainTask {
                     client: *c,
-                    model: self.bases[b].clone(),
+                    model: b,
                     seed,
                 });
                 task_meta.push((pos, b));
             }
         }
-        let replies = self
-            .coordinator
-            .train(tasks, self.data.clients(), &self.cfg.local)?;
+        // One aggregation group per base: each update folds into its
+        // base's weighted mean the moment it lands and is dropped.
+        let group_of: Vec<usize> = task_meta.iter().map(|&(_, b)| b).collect();
+        let mut sink = FedAvgSink::grouped(self.bases.len(), group_of);
+        let replies =
+            self.coordinator
+                .train(tasks, &self.bases, &self.data, &self.cfg.local, &mut sink)?;
 
         // Replies come back in task order — the same fixed
         // (client, base) sequence as dispatch — so the f32 loss/time
-        // reductions below are order-identical to the pre-engine loop.
-        let mut per_base_updates: Vec<Vec<(Vec<Tensor>, u64)>> = vec![Vec::new(); self.bases.len()];
+        // reductions below are order-identical to the pre-streaming
+        // loop, and so were the sink's per-base folds.
         let mut losses = Vec::new();
         let mut client_time = vec![0.0f64; carried.len()];
         for r in replies {
-            let (owner, b) = task_meta[r.task];
+            let (owner, _) = task_meta[r.task];
             client_time[owner] += self.acc.record_participant(
                 self.base_macs,
                 self.base_params,
-                r.outcome.samples_processed,
+                r.samples,
                 r.elapsed_s,
             );
-            losses.push(r.outcome.avg_loss);
-            per_base_updates[b].push((r.outcome.weights, r.outcome.samples_processed));
+            losses.push(r.avg_loss);
         }
         let round_time = client_time.iter().fold(0.0f64, |m, &t| m.max(t));
 
-        // FedAvg per base.
-        for (b, updates) in per_base_updates.iter().enumerate() {
-            let total: u64 = updates.iter().map(|(_, n)| n).sum();
-            if total == 0 {
-                continue;
+        // Install each base's streamed FedAvg (None: base saw no
+        // weighted updates this round).
+        for (b, avg) in sink.take_averages().into_iter().enumerate() {
+            if let Some(avg) = avg {
+                self.bases[b].restore(&avg)?;
             }
-            let mut avg: Vec<Tensor> = self.bases[b]
-                .snapshot()
-                .iter()
-                .map(|t| Tensor::zeros(t.shape().dims()))
-                .collect();
-            for (w, n) in updates {
-                let weight = *n as f32 / total as f32;
-                for (a, t) in avg.iter_mut().zip(w) {
-                    a.axpy(weight, t).expect("same base shapes");
-                }
-            }
-            self.bases[b].restore(&avg)?;
         }
 
         let mean_loss = ft_fedsim::metrics::mean(&losses);
@@ -203,6 +190,7 @@ impl SplitMix {
             let mean = ft_fedsim::metrics::mean(&accs);
             self.acc.curve.push((self.acc.cost.train_pmacs(), mean));
         }
+        // ft-lint: allow(P001) — `finish_round` above just pushed this entry.
         Ok(self.acc.history.last().expect("just pushed").clone())
     }
 

@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fedtrans::{FedTransConfig, ModelAggregator};
+use ft_fedsim::sink::{ClientUpdate, FedAvgSink, RoundManifest, TaskSpec, UpdateSink};
 use ft_model::similarity::similarity_matrix;
 use ft_model::{deepen_cell, widen_cell, CellModel};
 use ft_tensor::Tensor;
@@ -20,10 +21,35 @@ fn suite() -> Vec<CellModel> {
 
 fn bench_fedavg(c: &mut Criterion) {
     let models = suite();
-    let updates: Vec<(Vec<Tensor>, u64)> =
-        (0..10).map(|i| (models[0].snapshot(), 10 + i)).collect();
+    let specs: Vec<TaskSpec> = (0..10)
+        .map(|i| TaskSpec {
+            task: i,
+            client: i,
+            samples: 10 + i as u64,
+        })
+        .collect();
+    let snapshot = models[0].snapshot();
     c.bench_function("fedavg_10_clients", |b| {
-        b.iter(|| ModelAggregator::fedavg(&updates).unwrap());
+        b.iter(|| {
+            let mut sink = FedAvgSink::single();
+            sink.begin_round(&RoundManifest {
+                round: 0,
+                tasks: &specs,
+            })
+            .unwrap();
+            for spec in &specs {
+                sink.absorb(ClientUpdate {
+                    task: spec.task,
+                    client: spec.client,
+                    samples: spec.samples,
+                    weights: snapshot.clone(),
+                    delta: Vec::new(),
+                })
+                .unwrap();
+            }
+            sink.finish().unwrap();
+            sink.take_average().unwrap()
+        });
     });
 }
 

@@ -1,12 +1,14 @@
 //! `bench_gate` — the CI bench-regression gate.
 //!
-//! Compares the freshly emitted `bench_results/matmul.json` and
-//! `bench_results/train_step.json` (produced by
-//! `FT_BENCH_QUICK=1 cargo bench -p ft_bench --bench bench_matmul`
-//! and `... --bench bench_train_step`) against the committed
-//! `crates/bench/baselines/*.json` and fails on a >25% throughput
-//! regression. (Baselines live inside the crate because
-//! `bench_results/` is gitignored scratch output.)
+//! Compares the freshly emitted `bench_results/matmul.json`,
+//! `bench_results/train_step.json`, and `bench_results/round_1m.json`
+//! (produced by `FT_BENCH_QUICK=1 cargo bench -p ft_bench --bench
+//! bench_matmul` / `... --bench bench_train_step` / `... --bench
+//! bench_rounds`) against the committed `crates/bench/baselines/*.json`
+//! and fails on a >25% throughput regression or a million-device
+//! round whose peak RSS exceeds the committed bound. (Baselines live
+//! inside the crate because `bench_results/` is gitignored scratch
+//! output.)
 //!
 //! CI runners and developer laptops differ wildly in absolute GFLOPS,
 //! so the gated metric is the **speedup** column: tiled-kernel
@@ -150,6 +152,37 @@ fn gate_train_step(tolerance: f64) -> Result<bool, String> {
     Ok(ok)
 }
 
+/// Gates the million-device round's peak RSS: the fresh
+/// `round_1m.json` (emitted by `bench_rounds`) must stay under the
+/// absolute `max_rss_mb` bound committed in the baseline. Unlike the
+/// speedup gates this is not machine-normalized — resident memory of
+/// a deterministic workload is stable across hosts, and the bound is
+/// what demonstrates O(clients in flight) aggregation. A `null`
+/// measurement (non-Linux, no `/proc`) is reported and skipped.
+fn gate_round_1m() -> Result<bool, String> {
+    let fresh = load(&fresh_path("round_1m.json"))?;
+    let baseline = load(&baseline_path("round_1m.json"))?;
+    let bound = baseline
+        .get("max_rss_mb")
+        .and_then(Value::as_f64)
+        .ok_or("round_1m baseline has no `max_rss_mb`")?;
+    let Some(rss) = fresh.get("peak_rss_mb").and_then(Value::as_f64) else {
+        println!("round_1m   rss        no /proc measurement; skipping");
+        return Ok(true);
+    };
+    let pass = rss <= bound;
+    println!(
+        "{:<10} {:<10} {:>8.0}MB {:>8.0}MB {:>8.2}  {}",
+        "round_1m",
+        "peak-rss",
+        bound,
+        rss,
+        rss / bound,
+        if pass { "ok" } else { "MEMORY REGRESSION" }
+    );
+    Ok(pass)
+}
+
 fn gate() -> Result<bool, String> {
     let tolerance: f64 = std::env::var("FT_BENCH_GATE_TOLERANCE")
         .ok()
@@ -202,6 +235,7 @@ fn gate() -> Result<bool, String> {
     }
     ok &= gate_round(&fresh_report, &baseline_report, tolerance);
     ok &= gate_train_step(tolerance)?;
+    ok &= gate_round_1m()?;
     Ok(ok)
 }
 
@@ -214,7 +248,8 @@ fn main() -> ExitCode {
         Ok(false) => {
             eprintln!(
                 "bench gate: a gated speedup regressed >25% vs \
-                 crates/bench/baselines/.\n\
+                 crates/bench/baselines/, or the million-device round \
+                 broke its peak-RSS bound (see rows above).\n\
                  If this is an intentional trade-off, refresh the baseline(s):\n\
                  FT_BENCH_QUICK=1 cargo bench -p ft_bench --bench bench_matmul && \
                  cp bench_results/matmul.json crates/bench/baselines/matmul.json\n\

@@ -32,11 +32,8 @@ fn main() {
     print_header(&["Model", "p10 (ms)", "median (ms)", "p90 (ms)", "max (ms)"]);
     let mut overlap_check: Vec<(f32, f32)> = Vec::new();
     for (name, macs) in reference {
-        let lats: Vec<f32> = setup
-            .devices
-            .profiles()
-            .iter()
-            .map(|p| p.inference_latency_ms(macs) as f32)
+        let lats: Vec<f32> = (0..setup.devices.len())
+            .map(|c| setup.devices.profile(c).inference_latency_ms(macs) as f32)
             .collect();
         let b = box_stats(&lats);
         overlap_check.push((b.min, b.max));

@@ -57,6 +57,135 @@ fn flat_prototype(rng: &mut impl Rng, dim: usize, sep: f32) -> Vec<f32> {
     (0..dim).map(|_| normal.sample(rng)).collect()
 }
 
+/// The per-dataset global structure every client's samples are built
+/// from: class prototypes plus per-class manifold directions. Computed
+/// once per dataset (O(classes × dim)), shared by the sequential
+/// generator and the sparse per-client derivation.
+#[derive(Debug, Clone)]
+pub(crate) struct Prototypes {
+    /// One prototype vector per class.
+    pub prototypes: Vec<Vec<f32>>,
+    /// Per-class manifold direction pairs for the nonlinear component.
+    pub directions: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+/// Draws the global class prototypes and manifold directions. The draw
+/// order is part of the dataset's determinism contract: `generate`
+/// feeds the same RNG straight into the per-client loop afterwards.
+pub(crate) fn sample_prototypes(
+    config: &DatasetConfig,
+    rng: &mut rand::rngs::StdRng,
+) -> Prototypes {
+    let dim = config.input.flat_dim();
+    let prototypes: Vec<Vec<f32>> = (0..config.num_classes)
+        .map(|_| match config.input {
+            InputSpec::Image {
+                channels,
+                height,
+                width,
+            } => image_prototype(rng, channels, height, width, config.class_sep),
+            _ => flat_prototype(rng, dim, config.class_sep),
+        })
+        .collect();
+    let directions: Vec<(Vec<f32>, Vec<f32>)> = (0..config.num_classes)
+        .map(|_| {
+            let d1 = flat_prototype(rng, dim, 1.0);
+            let d2 = flat_prototype(rng, dim, 1.0);
+            (d1, d2)
+        })
+        .collect();
+    Prototypes {
+        prototypes,
+        directions,
+    }
+}
+
+/// Generates one client's shard from the shared prototypes. Draws from
+/// `rng` in a fixed order, so the same RNG state always yields the
+/// same shard — `generate` threads one sequential RNG through every
+/// client, while the sparse representation hands each client its own
+/// index-derived RNG.
+///
+/// # Panics
+///
+/// Panics when `config.noise_std`, `config.shift_std`, or
+/// `config.sample_spread` is not finite — the presets all are, and
+/// these are sampler parameters, not per-client data.
+pub(crate) fn generate_client(
+    config: &DatasetConfig,
+    protos: &Prototypes,
+    client_idx: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> ClientData {
+    let dim = config.input.flat_dim();
+    let prototypes = &protos.prototypes;
+    let directions = &protos.directions;
+    let noise = Normal::new(0.0f32, config.noise_std).expect("noise_std finite");
+    let shift = Normal::new(0.0f32, config.shift_std).expect("shift_std finite");
+    let count_dist = LogNormal::new(
+        (config.mean_samples.max(2) as f32).ln() as f64,
+        config.sample_spread as f64,
+    )
+    .expect("spread finite");
+
+    let label_dist = sample_dirichlet(rng, config.num_classes, config.dirichlet_alpha);
+    let n_total = (count_dist.sample(rng).round() as usize).clamp(8, config.mean_samples * 6);
+    let n_test = ((n_total as f32 * config.test_fraction).round() as usize).max(2);
+    let n_train = (n_total - n_test.min(n_total)).max(4);
+    // Difficulty spread: deterministic ramp + jitter keeps the
+    // population covering the full range at any client count.
+    let ramp = client_idx as f32 / config.num_clients.max(1) as f32;
+    let difficulty = (ramp * config.max_difficulty + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0);
+    let client_shift: Vec<f32> = (0..dim).map(|_| shift.sample(rng)).collect();
+
+    let gen_sample = |rng: &mut rand::rngs::StdRng| -> (Vec<f32>, usize) {
+        let label = sample_class(rng, &label_dist);
+        let mut x = prototypes[label].clone();
+        // Nonlinear class manifold: samples spread along a curve, so
+        // carving the class region rewards model capacity.
+        let t: f32 = rng.gen_range(-1.5..1.5);
+        let (d1, d2) = &directions[label];
+        // Curvature scales with client difficulty: easy clients have
+        // near-linear class regions (small models suffice), hard
+        // clients need capacity — the per-client spread of Fig. 1b.
+        let bend = config.manifold_curvature * (0.25 + difficulty) * (2.0 * t).sin();
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi += t * d1[i] + bend * d2[i];
+        }
+        if rng.gen::<f32>() < difficulty {
+            // Blend in a confuser class; the label stays the same, so
+            // the decision boundary bends around the blend.
+            let confuser = rng.gen_range(0..config.num_classes);
+            if confuser != label {
+                let w: f32 = rng.gen_range(0.4..0.65);
+                for (xi, pi) in x.iter_mut().zip(&prototypes[confuser]) {
+                    *xi = *xi * (1.0 - w) + pi * w;
+                }
+            }
+        }
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi += client_shift[i] + noise.sample(rng);
+        }
+        (x, label)
+    };
+
+    let mut train_x = Vec::with_capacity(n_train);
+    let mut train_y = Vec::with_capacity(n_train);
+    for _ in 0..n_train {
+        let (x, y) = gen_sample(rng);
+        train_x.push(x);
+        train_y.push(y);
+    }
+    let mut test_x = Vec::with_capacity(n_test);
+    let mut test_y = Vec::with_capacity(n_test);
+    for _ in 0..n_test {
+        let (x, y) = gen_sample(rng);
+        test_x.push(x);
+        test_y.push(y);
+    }
+    ClientData::new(train_x, train_y, test_x, test_y, label_dist, difficulty)
+}
+
 /// Generates the dataset described by `config`. Deterministic in
 /// `config.seed`.
 ///
@@ -67,101 +196,10 @@ fn flat_prototype(rng: &mut impl Rng, dim: usize, sep: f32) -> Vec<f32> {
 /// the sampling distributions).
 pub fn generate(config: &DatasetConfig) -> FederatedDataset {
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
-    let dim = config.input.flat_dim();
-
-    // Global class prototypes.
-    let prototypes: Vec<Vec<f32>> = (0..config.num_classes)
-        .map(|_| match config.input {
-            InputSpec::Image {
-                channels,
-                height,
-                width,
-            } => image_prototype(&mut rng, channels, height, width, config.class_sep),
-            _ => flat_prototype(&mut rng, dim, config.class_sep),
-        })
+    let protos = sample_prototypes(config, &mut rng);
+    let clients = (0..config.num_clients)
+        .map(|client_idx| generate_client(config, &protos, client_idx, &mut rng))
         .collect();
-
-    // Per-class manifold directions for the nonlinear component.
-    let directions: Vec<(Vec<f32>, Vec<f32>)> = (0..config.num_classes)
-        .map(|_| {
-            let d1 = flat_prototype(&mut rng, dim, 1.0);
-            let d2 = flat_prototype(&mut rng, dim, 1.0);
-            (d1, d2)
-        })
-        .collect();
-
-    let noise = Normal::new(0.0f32, config.noise_std).expect("noise_std finite");
-    let shift = Normal::new(0.0f32, config.shift_std).expect("shift_std finite");
-    let count_dist = LogNormal::new(
-        (config.mean_samples.max(2) as f32).ln() as f64,
-        config.sample_spread as f64,
-    )
-    .expect("spread finite");
-
-    let mut clients = Vec::with_capacity(config.num_clients);
-    for client_idx in 0..config.num_clients {
-        let label_dist = sample_dirichlet(&mut rng, config.num_classes, config.dirichlet_alpha);
-        let n_total =
-            (count_dist.sample(&mut rng).round() as usize).clamp(8, config.mean_samples * 6);
-        let n_test = ((n_total as f32 * config.test_fraction).round() as usize).max(2);
-        let n_train = (n_total - n_test.min(n_total)).max(4);
-        // Difficulty spread: deterministic ramp + jitter keeps the
-        // population covering the full range at any client count.
-        let ramp = client_idx as f32 / config.num_clients.max(1) as f32;
-        let difficulty =
-            (ramp * config.max_difficulty + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0);
-        let client_shift: Vec<f32> = (0..dim).map(|_| shift.sample(&mut rng)).collect();
-
-        let gen_sample = |rng: &mut rand::rngs::StdRng| -> (Vec<f32>, usize) {
-            let label = sample_class(rng, &label_dist);
-            let mut x = prototypes[label].clone();
-            // Nonlinear class manifold: samples spread along a curve, so
-            // carving the class region rewards model capacity.
-            let t: f32 = rng.gen_range(-1.5..1.5);
-            let (d1, d2) = &directions[label];
-            // Curvature scales with client difficulty: easy clients have
-            // near-linear class regions (small models suffice), hard
-            // clients need capacity — the per-client spread of Fig. 1b.
-            let bend = config.manifold_curvature * (0.25 + difficulty) * (2.0 * t).sin();
-            for (i, xi) in x.iter_mut().enumerate() {
-                *xi += t * d1[i] + bend * d2[i];
-            }
-            if rng.gen::<f32>() < difficulty {
-                // Blend in a confuser class; the label stays the same, so
-                // the decision boundary bends around the blend.
-                let confuser = rng.gen_range(0..config.num_classes);
-                if confuser != label {
-                    let w: f32 = rng.gen_range(0.4..0.65);
-                    for (xi, pi) in x.iter_mut().zip(&prototypes[confuser]) {
-                        *xi = *xi * (1.0 - w) + pi * w;
-                    }
-                }
-            }
-            for (i, xi) in x.iter_mut().enumerate() {
-                *xi += client_shift[i] + noise.sample(rng);
-            }
-            (x, label)
-        };
-
-        let mut train_x = Vec::with_capacity(n_train);
-        let mut train_y = Vec::with_capacity(n_train);
-        for _ in 0..n_train {
-            let (x, y) = gen_sample(&mut rng);
-            train_x.push(x);
-            train_y.push(y);
-        }
-        let mut test_x = Vec::with_capacity(n_test);
-        let mut test_y = Vec::with_capacity(n_test);
-        for _ in 0..n_test {
-            let (x, y) = gen_sample(&mut rng);
-            test_x.push(x);
-            test_y.push(y);
-        }
-        clients.push(ClientData::new(
-            train_x, train_y, test_x, test_y, label_dist, difficulty,
-        ));
-    }
-
     FederatedDataset::new(config.clone(), clients)
 }
 

@@ -39,9 +39,11 @@ mod config;
 mod dataset;
 mod generator;
 pub mod partition;
+mod shard;
 
 pub use config::{DatasetConfig, InputSpec};
 pub use dataset::{ClientData, FederatedDataset};
+pub use shard::{ShardSource, SparseFederatedData};
 
 #[cfg(test)]
 mod smoke {

@@ -6,10 +6,6 @@
 //! not in the message body, so a message value is meaningful for any
 //! peer.
 
-use ft_model::CellModel;
-
-use crate::trainer::LocalOutcome;
-
 /// Coordinator's answer to a rendezvous request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RendezvousReply {
@@ -37,14 +33,20 @@ pub enum ClientMessage {
         /// The round the client is training in.
         round: u32,
     },
-    /// The client's completed local-training result.
+    /// Announces the client's completed local-training round.
+    ///
+    /// Deliberately *slim*: the weight payload does not ride the
+    /// protocol wire. The coordinator pulls each completed update into
+    /// the round's streaming [`crate::sink::UpdateSink`] fold as this
+    /// message lands, so no queue ever holds a cohort's worth of
+    /// weights — peak memory stays O(clients in flight).
     EndTrainingRound {
         /// The round the result belongs to.
         round: u32,
         /// Index into the round's task list (assignment order).
         task: usize,
-        /// The uploaded weights, delta, and training statistics.
-        outcome: LocalOutcome,
+        /// Samples the client processed (the FedAvg weight numerator).
+        samples: u64,
         /// Simulated seconds the client spent on the round (compute +
         /// comms, after any straggler slowdown).
         elapsed_s: f64,
@@ -66,17 +68,19 @@ pub enum CoordinatorMessage {
         /// Admission decision.
         reply: RendezvousReply,
     },
-    /// Dispatches a training task: the model payload the client
+    /// Dispatches a training task: which round-model the client
     /// downloads plus its derived RNG seed.
     StartTrainingRound {
         /// The round being trained.
         round: u32,
         /// Index into the round's task list (assignment order).
         task: usize,
-        /// The model the client trains (holding coordinator weights).
-        /// Boxed: the payload dwarfs every other variant, and boxing
-        /// keeps queued non-training messages small.
-        model: Box<CellModel>,
+        /// Index into the round's model table (the coordinator's
+        /// deduplicated set of dispatched weights). Carrying the index
+        /// instead of a boxed weight payload keeps the queued wire
+        /// O(tasks), not O(tasks × parameters) — a requirement once
+        /// populations reach millions of devices.
+        model: usize,
         /// The client's stateless per-round training seed.
         seed: u64,
     },

@@ -17,16 +17,20 @@
 //!    are dropped from the round — which is exactly how client dropout
 //!    *emerges* here: an offline device simply never answers.
 //! 2. **Training** — [`Coordinator::train`] dispatches
-//!    [`CoordinatorMessage::StartTrainingRound`] with the model payload
-//!    and derived seed for each task, executes the device compute
-//!    through [`crate::trainer::train_tasks`], and collects
-//!    [`ClientMessage::EndTrainingRound`] results whose arrival tick is
-//!    the device's simulated round time — so stragglers are simply
-//!    *late*. Periodic [`ClientMessage::Heartbeat`]s keep slow devices
-//!    alive; a device silent past the heartbeat deadline is reaped.
-//! 3. **Aggregating** — the algorithm folds the collected replies into
-//!    its global state, then [`Coordinator::finish_round`] notifies the
-//!    cohort ([`CoordinatorMessage::EndRound`]) and returns to standby.
+//!    [`CoordinatorMessage::StartTrainingRound`] with the model-table
+//!    index and derived seed for each task, prices every task's
+//!    timeline from the round manifest, and collects
+//!    [`ClientMessage::EndTrainingRound`] announcements whose arrival
+//!    tick is the device's simulated round time — so stragglers are
+//!    simply *late*. Periodic [`ClientMessage::Heartbeat`]s keep slow
+//!    devices alive; a device silent past the heartbeat deadline is
+//!    reaped.
+//! 3. **Aggregating** — delivered updates are *folded as they land*
+//!    into the round's [`crate::sink::UpdateSink`] (in task order,
+//!    bounded by [`RoundOptions::max_in_flight`] concurrent clients,
+//!    each update dropped after its absorb), then
+//!    [`Coordinator::finish_round`] notifies the cohort
+//!    ([`CoordinatorMessage::EndRound`]) and returns to standby.
 //!
 //! # Determinism contract under transport
 //!
@@ -51,12 +55,14 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize, Value};
 
-use ft_data::ClientData;
+use ft_data::ShardSource;
+use ft_model::CellModel;
 
 use crate::device::DeviceTrace;
 use crate::driver::Algorithm;
 use crate::faults::FaultConfig;
 use crate::report::RunReport;
+use crate::sink::{ClientUpdate, RoundManifest, TaskSpec, UpdateSink};
 use crate::trainer::{LocalTrainConfig, TrainTask};
 use crate::{Result, SimError};
 
@@ -104,13 +110,31 @@ impl std::fmt::Display for Phase {
 }
 
 /// Options governing how the coordinator runs a round: executor thread
-/// budget and the protocol's timing knobs (simulated seconds).
+/// budget, the protocol's timing knobs (simulated seconds), and the
+/// streaming-aggregation knobs.
 ///
 /// Timing knobs shape *when* protocol events fire on the virtual
 /// clock; they never change what a healthy device computes, so any
 /// setting that keeps healthy devices inside their deadlines yields
 /// the same report (the effective heartbeat deadline is clamped to at
-/// least one heartbeat interval for exactly this reason).
+/// least one heartbeat interval for exactly this reason). The
+/// streaming knobs bound *how* the round executes on the host —
+/// neither changes the report unless [`RoundOptions::quantize_updates`]
+/// is explicitly opted into.
+///
+/// Construct via the builder so new knobs never grow positional
+/// literals:
+///
+/// ```
+/// use ft_fedsim::coordinator::RoundOptions;
+///
+/// let opts = RoundOptions::new()
+///     .threads(4)
+///     .rendezvous_deadline_s(10.0)
+///     .max_in_flight(64);
+/// assert_eq!(opts.threads, Some(4));
+/// assert_eq!(opts.max_in_flight, Some(64));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundOptions {
     /// Fan-out width for the training executor; `None` defers to
@@ -124,6 +148,17 @@ pub struct RoundOptions {
     /// How long a training device may stay silent before the
     /// coordinator declares it dropped.
     pub heartbeat_deadline_s: f64,
+    /// Cap on client updates in flight during the streaming fold (each
+    /// pins a model clone plus an uploaded weight set); `None` defers
+    /// to the executor thread budget. Peak round memory is
+    /// O(`max_in_flight`), never O(cohort), and the folded result is
+    /// bit-identical at any value.
+    pub max_in_flight: Option<usize>,
+    /// Simulate int8-quantized uplinks: each update's weights and
+    /// delta take a lossy int8 round trip (per-tensor scale) before
+    /// aggregation. Off by default — it changes the numbers, so it
+    /// stays off the golden digest path unless a scenario opts in.
+    pub quantize_updates: bool,
 }
 
 impl Default for RoundOptions {
@@ -133,6 +168,8 @@ impl Default for RoundOptions {
             rendezvous_deadline_s: 5.0,
             heartbeat_interval_s: 30.0,
             heartbeat_deadline_s: 120.0,
+            max_in_flight: None,
+            quantize_updates: false,
         }
     }
 }
@@ -143,15 +180,78 @@ fn env_f64(name: &str) -> Option<f64> {
     (x.is_finite() && x > 0.0).then_some(x)
 }
 
+fn env_usize(name: &str) -> Option<usize> {
+    let v = std::env::var(name).ok()?;
+    let x: usize = v.trim().parse().ok()?;
+    (x > 0).then_some(x)
+}
+
+fn env_bool(name: &str) -> Option<bool> {
+    let v = std::env::var(name).ok()?;
+    match v.trim() {
+        "1" | "true" | "yes" | "on" => Some(true),
+        "0" | "false" | "no" | "off" => Some(false),
+        _ => None,
+    }
+}
+
 impl RoundOptions {
+    /// The builder's starting point — identical to `Default`.
+    pub fn new() -> Self {
+        RoundOptions::default()
+    }
+
+    /// Sets the executor fan-out width.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Sets the rendezvous deadline in simulated seconds.
+    #[must_use]
+    pub fn rendezvous_deadline_s(mut self, s: f64) -> Self {
+        self.rendezvous_deadline_s = s;
+        self
+    }
+
+    /// Sets the heartbeat interval in simulated seconds.
+    #[must_use]
+    pub fn heartbeat_interval_s(mut self, s: f64) -> Self {
+        self.heartbeat_interval_s = s;
+        self
+    }
+
+    /// Sets the heartbeat deadline in simulated seconds.
+    #[must_use]
+    pub fn heartbeat_deadline_s(mut self, s: f64) -> Self {
+        self.heartbeat_deadline_s = s;
+        self
+    }
+
+    /// Caps the streaming fold's in-flight client updates.
+    #[must_use]
+    pub fn max_in_flight(mut self, n: usize) -> Self {
+        self.max_in_flight = Some(n);
+        self
+    }
+
+    /// Toggles the simulated int8-quantized uplink.
+    #[must_use]
+    pub fn quantize_updates(mut self, on: bool) -> Self {
+        self.quantize_updates = on;
+        self
+    }
+
     /// Defaults overlaid with the `FT_RENDEZVOUS_DEADLINE_S`,
-    /// `FT_HEARTBEAT_INTERVAL_S`, and `FT_HEARTBEAT_DEADLINE_S`
-    /// environment knobs (invalid or non-positive values are ignored).
+    /// `FT_HEARTBEAT_INTERVAL_S`, `FT_HEARTBEAT_DEADLINE_S`,
+    /// `FT_MAX_IN_FLIGHT`, and `FT_QUANTIZE_UPDATES` environment knobs
+    /// (invalid or non-positive values are ignored).
     pub fn from_env() -> Self {
         RoundOptions::default().with_env_overrides()
     }
 
-    /// Overlays the environment timing knobs onto `self`.
+    /// Overlays the environment knobs onto `self`.
     pub fn with_env_overrides(mut self) -> Self {
         if let Some(x) = env_f64("FT_RENDEZVOUS_DEADLINE_S") {
             self.rendezvous_deadline_s = x;
@@ -161,6 +261,12 @@ impl RoundOptions {
         }
         if let Some(x) = env_f64("FT_HEARTBEAT_DEADLINE_S") {
             self.heartbeat_deadline_s = x;
+        }
+        if let Some(x) = env_usize("FT_MAX_IN_FLIGHT") {
+            self.max_in_flight = Some(x);
+        }
+        if let Some(x) = env_bool("FT_QUANTIZE_UPDATES") {
+            self.quantize_updates = x;
         }
         self
     }
@@ -203,14 +309,23 @@ pub struct CoordinatorStats {
 /// One collected training result, keyed by its task index (never by
 /// arrival order — a task list with gaps stays unambiguous when a
 /// device vanishes mid-round).
-#[derive(Debug, Clone)]
+///
+/// Carries only scalars: the weight payload itself was folded into the
+/// round's [`UpdateSink`] the moment it landed and no longer exists by
+/// the time [`Coordinator::train`] returns. Algorithms read aggregates
+/// out of their sink and per-participant accounting out of this reply.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainReply {
     /// Index into the round's task list.
     pub task: usize,
     /// The client that trained.
     pub client: usize,
-    /// The uploaded local-training result.
-    pub outcome: crate::trainer::LocalOutcome,
+    /// Samples the client processed (MAC accounting, FedAvg weight).
+    pub samples: u64,
+    /// Mean training loss over the client's local steps.
+    pub avg_loss: f32,
+    /// Mean training accuracy over the client's local steps.
+    pub avg_acc: f32,
     /// The device's simulated round time in seconds (compute + comms,
     /// after any straggler slowdown).
     pub elapsed_s: f64,
@@ -399,38 +514,58 @@ impl Coordinator {
         Ok(admitted)
     }
 
-    /// Runs the training phase: dispatches one
-    /// [`CoordinatorMessage::StartTrainingRound`] per task, executes
-    /// the cohort's compute (fan-out width from
-    /// [`RoundOptions::threads`]), and collects
-    /// [`ClientMessage::EndTrainingRound`] replies as they arrive on
-    /// the virtual clock, keeping stragglers alive through their
-    /// heartbeats and reaping devices silent past the heartbeat
-    /// deadline.
+    /// Runs the training phase as a **streaming fold**, in two stages.
+    ///
+    /// First the protocol timeline: one slim
+    /// [`CoordinatorMessage::StartTrainingRound`] per task (a model
+    /// *index* into `models`, never a weight payload), then the
+    /// virtual-clock message loop collects
+    /// [`ClientMessage::EndTrainingRound`] announcements as they
+    /// arrive, keeping stragglers alive through their heartbeats and
+    /// reaping devices silent past the heartbeat deadline. Every
+    /// announcement is priced from the round's *manifest* — per-task
+    /// sample counts are a pure function of config and shard size (see
+    /// [`crate::trainer::expected_samples`]) — so the delivered set and
+    /// all telemetry are decided before any weights exist.
+    ///
+    /// Then the fold: delivered tasks execute in windows of at most
+    /// [`RoundOptions::max_in_flight`] concurrent clients, and each
+    /// update is absorbed into `sink` **in task order** (never arrival
+    /// order) and dropped immediately. Peak memory is O(in-flight),
+    /// not O(cohort), and the fold is bit-identical to materializing
+    /// every update first — at any thread count, any window, and any
+    /// within-tick delivery permutation. With
+    /// [`RoundOptions::quantize_updates`] set, each update's tensors
+    /// take a lossy int8 round trip before absorption.
     ///
     /// Replies come back **in task order**; a reaped device's task is
-    /// simply absent. Transitions `selecting → training → aggregating`.
+    /// simply absent. The sink sees `begin_round → absorb × delivered
+    /// → finish` exactly once, even for an empty round. Transitions
+    /// `selecting → training → aggregating`.
     ///
     /// # Errors
     ///
     /// [`SimError::Protocol`] when not in the selecting stage or when a
     /// task names a client outside the admitted cohort;
     /// [`SimError::NoSuchClient`] for an out-of-range client index;
-    /// training errors propagate from the executor.
-    pub fn train(
+    /// [`SimError::BadConfig`] for an out-of-range model index;
+    /// training and sink errors propagate.
+    pub fn train<S: ShardSource + ?Sized>(
         &mut self,
         tasks: Vec<TrainTask>,
-        shards: &[ClientData],
+        models: &[CellModel],
+        shards: &S,
         cfg: &LocalTrainConfig,
+        sink: &mut dyn UpdateSink,
     ) -> Result<Vec<TrainReply>> {
         // ft-lint: allow(P001) — phase guard returning Result, not Option::expect.
         self.expect(Phase::Round(RoundStage::Selecting), "train")?;
         let cohort_set: HashSet<usize> = self.admitted.iter().copied().collect();
         for t in &tasks {
-            if t.client >= shards.len() {
+            if t.client >= shards.num_clients() {
                 return Err(SimError::NoSuchClient {
                     index: t.client,
-                    clients: shards.len(),
+                    clients: shards.num_clients(),
                 });
             }
             if !cohort_set.contains(&t.client) {
@@ -439,48 +574,62 @@ impl Coordinator {
                     t.client, self.round
                 )));
             }
+            if t.model >= models.len() {
+                return Err(SimError::BadConfig {
+                    detail: format!(
+                        "task for client {} names model {} but the round table holds {}",
+                        t.client,
+                        t.model,
+                        models.len()
+                    ),
+                });
+            }
         }
         self.phase = Phase::Round(RoundStage::Training);
         let round = self.round;
         let n = tasks.len();
         if n == 0 {
+            sink.begin_round(&RoundManifest { round, tasks: &[] })?;
+            sink.finish()?;
             self.phase = Phase::Round(RoundStage::Aggregating);
             return Ok(Vec::new());
         }
 
-        // Dispatch: the model payload travels in the message.
+        // Dispatch: slim messages only — the model table stays host-side.
         let dispatch_at = self.clock.now() + 1;
-        let mut task_meta: Vec<(usize, u64, usize)> = Vec::with_capacity(n); // (client, macs, params)
+        // (client, model index, seed, macs, params) per task.
+        let mut task_meta: Vec<(usize, usize, u64, u64, usize)> = Vec::with_capacity(n);
         for (i, t) in tasks.into_iter().enumerate() {
-            task_meta.push((t.client, t.model.macs_per_sample(), t.model.param_count()));
+            let m = &models[t.model];
+            task_meta.push((
+                t.client,
+                t.model,
+                t.seed,
+                m.macs_per_sample(),
+                m.param_count(),
+            ));
             self.transport.send_down(
                 t.client,
                 dispatch_at,
                 CoordinatorMessage::StartTrainingRound {
                     round,
                     task: i,
-                    model: Box::new(t.model),
+                    model: t.model,
                     seed: t.seed,
                 },
             );
             self.stats.messages_down += 1;
         }
 
-        // Devices receive their payloads; vanish-scripted devices die
-        // here (payload lost), everything else queues for execution.
+        // Devices receive their dispatches; vanish-scripted devices die
+        // here (payload lost), everything else will train.
         self.clock.advance_to(dispatch_at);
-        let mut exec_tasks: Vec<Option<TrainTask>> = (0..n).map(|_| None).collect();
+        let mut executed = vec![false; n];
         for (client, msg) in self.transport.recv_down(dispatch_at) {
             match msg {
-                CoordinatorMessage::StartTrainingRound {
-                    task, model, seed, ..
-                } => {
+                CoordinatorMessage::StartTrainingRound { task, .. } => {
                     if self.cohort.behavior(round, client) != Behavior::Vanish {
-                        exec_tasks[task] = Some(TrainTask {
-                            client,
-                            model: *model,
-                            seed,
-                        });
+                        executed[task] = true;
                     }
                 }
                 other => self
@@ -489,25 +638,9 @@ impl Coordinator {
             }
         }
 
-        // Execute the cohort's compute deterministically (the simulated
-        // timeline below is independent of this host-side schedule).
-        let mut slot_to_task: Vec<usize> = Vec::new();
-        let mut exec_input: Vec<TrainTask> = Vec::new();
-        for (i, t) in exec_tasks.into_iter().enumerate() {
-            if let Some(t) = t {
-                slot_to_task.push(i);
-                exec_input.push(t);
-            }
-        }
-        let threads = self
-            .opts
-            .threads
-            .unwrap_or_else(crate::exec::client_threads);
-        let outcomes = crate::trainer::train_tasks(exec_input, shards, cfg, threads)?;
-
-        // Schedule each device's uploads on the virtual clock: the
-        // result lands after its simulated round time, with heartbeats
-        // every interval in between.
+        // Price every executing task from the manifest alone: the
+        // sample count is a pure function of config and shard size, so
+        // the full virtual-clock timeline exists before any training.
         let start = self.clock.now();
         let hb_ticks = ticks_for_seconds(self.opts.heartbeat_interval_s);
         let deadline_ticks = self.opts.heartbeat_deadline_ticks();
@@ -515,19 +648,22 @@ impl Coordinator {
         // ascending order — reap order is part of the digested trace.
         let mut last_signal: BTreeMap<usize, u64> = BTreeMap::new();
         let mut open_tasks: BTreeMap<usize, Vec<usize>> = BTreeMap::new(); // client -> task idxs
-        for (client, _, _) in &task_meta {
+        for (client, ..) in &task_meta {
             last_signal.insert(*client, start);
         }
         for i in 0..n {
             let client = task_meta[i].0;
             open_tasks.entry(client).or_default().push(i);
         }
-        for (slot, outcome) in outcomes.into_iter().enumerate() {
-            let i = slot_to_task[slot];
-            let (client, macs, params) = task_meta[i];
-            let elapsed_s =
-                self.cohort
-                    .round_time(round, client, macs, params, outcome.samples_processed);
+        let mut task_samples = vec![0u64; n];
+        for i in 0..n {
+            if !executed[i] {
+                continue;
+            }
+            let (client, _, _, macs, params) = task_meta[i];
+            let samples = crate::trainer::expected_samples(cfg, shards.train_len(client));
+            task_samples[i] = samples;
+            let elapsed_s = self.cohort.round_time(round, client, macs, params, samples);
             let end = start + ticks_for_seconds(elapsed_s);
             // Liveness beats every interval until the result lands. For
             // degenerate spans (a tiny interval against a huge round
@@ -549,7 +685,7 @@ impl Coordinator {
                 ClientMessage::EndTrainingRound {
                     round,
                     task: i,
-                    outcome,
+                    samples,
                     elapsed_s,
                 },
             );
@@ -585,7 +721,7 @@ impl Coordinator {
                     }
                     ClientMessage::EndTrainingRound {
                         task,
-                        outcome,
+                        samples,
                         elapsed_s,
                         ..
                     } => {
@@ -599,7 +735,9 @@ impl Coordinator {
                         replies[task] = Some(TrainReply {
                             task,
                             client,
-                            outcome,
+                            samples,
+                            avg_loss: 0.0,
+                            avg_acc: 0.0,
                             elapsed_s,
                         });
                         self.stats.results += 1;
@@ -640,6 +778,68 @@ impl Coordinator {
                 }
             }
         }
+
+        // The fold: stream delivered tasks through the sink in task
+        // order, at most `max_in_flight` updates alive at once.
+        let delivered: Vec<usize> = (0..n).filter(|&i| replies[i].is_some()).collect();
+        let specs: Vec<TaskSpec> = delivered
+            .iter()
+            .map(|&i| TaskSpec {
+                task: i,
+                client: task_meta[i].0,
+                samples: task_samples[i],
+            })
+            .collect();
+        sink.begin_round(&RoundManifest {
+            round,
+            tasks: &specs,
+        })?;
+        let threads = self
+            .opts
+            .threads
+            .unwrap_or_else(crate::exec::client_threads);
+        let window = self.opts.max_in_flight.unwrap_or(threads).max(1);
+        let quantize = self.opts.quantize_updates;
+        crate::exec::try_stream_map(
+            delivered.len(),
+            threads,
+            window,
+            |slot| {
+                let (client, model_idx, seed, ..) = task_meta[delivered[slot]];
+                let mut model = models[model_idx].clone();
+                let shard = shards.shard(client);
+                crate::trainer::train_local(&mut model, client, &shard, cfg, seed)
+            },
+            |slot, mut outcome| {
+                let i = delivered[slot];
+                // Tripwire: the manifest priced this task before it
+                // ran; the executed outcome must agree or the timeline
+                // the cohort saw was a lie.
+                if outcome.samples_processed != task_samples[i] {
+                    return Err(SimError::protocol(format!(
+                        "task {i} processed {} samples but was priced at {}",
+                        outcome.samples_processed, task_samples[i]
+                    )));
+                }
+                if let Some(reply) = replies[i].as_mut() {
+                    reply.avg_loss = outcome.avg_loss;
+                    reply.avg_acc = outcome.avg_acc;
+                }
+                if quantize {
+                    crate::sink::quantize_roundtrip(&mut outcome.weights);
+                    crate::sink::quantize_roundtrip(&mut outcome.delta);
+                }
+                sink.absorb(ClientUpdate {
+                    task: i,
+                    client: outcome.client,
+                    samples: outcome.samples_processed,
+                    weights: outcome.weights,
+                    delta: outcome.delta,
+                })
+                // The update drops here — nothing outlives its absorb.
+            },
+        )?;
+        sink.finish()?;
 
         self.phase = Phase::Round(RoundStage::Aggregating);
         Ok(replies.into_iter().flatten().collect())

@@ -112,7 +112,7 @@ impl Cohort {
         samples: u64,
     ) -> f64 {
         client_round_time(
-            self.devices.profile(client),
+            &self.devices.profile(client),
             model_macs,
             param_count,
             samples,

@@ -37,59 +37,136 @@ impl DeviceProfile {
 }
 
 /// A population of device profiles, indexed by client id.
+///
+/// Two representations share the type: a **dense** trace holds an
+/// explicit profile list, while a **procedural** trace stores only its
+/// generating parameters and derives any device's profile statelessly
+/// from the index on demand. Procedural traces make million-device
+/// fleets free to hold at rest (O(1) memory) and to checkpoint
+/// (O(config) wire size); the two forms answer every query through the
+/// same API, which is why [`DeviceTrace::profile`] returns the `Copy`
+/// profile *by value*.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DeviceTrace {
-    profiles: Vec<DeviceProfile>,
+    repr: TraceRepr,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum TraceRepr {
+    Dense(Vec<DeviceProfile>),
+    Procedural(DeviceTraceConfig),
+}
+
+/// SplitMix64-style avalanche giving every device of a procedural
+/// trace an independent, stateless RNG stream.
+fn device_seed(seed: u64, index: usize) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((index as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DeviceTrace {
     /// Wraps an explicit profile list.
     pub fn new(profiles: Vec<DeviceProfile>) -> Self {
-        DeviceTrace { profiles }
+        DeviceTrace {
+            repr: TraceRepr::Dense(profiles),
+        }
+    }
+
+    /// A procedural trace: per-device profiles derived statelessly
+    /// from `config` and the device index, nothing stored per device.
+    /// The first and last devices are pinned to the configured
+    /// capacity extremes (like [`DeviceTraceConfig::generate`]), so
+    /// [`DeviceTrace::min_capacity`] and [`DeviceTrace::max_capacity`]
+    /// are exact without scanning the population.
+    ///
+    /// Note the profile *values* differ from the dense generator's for
+    /// the same config: the dense path threads one sequential RNG
+    /// through the population, which is exactly the coupling a
+    /// stateless per-index derivation must break.
+    pub fn procedural(config: DeviceTraceConfig) -> Self {
+        DeviceTrace {
+            repr: TraceRepr::Procedural(config),
+        }
     }
 
     /// Number of devices.
     pub fn len(&self) -> usize {
-        self.profiles.len()
+        match &self.repr {
+            TraceRepr::Dense(profiles) => profiles.len(),
+            TraceRepr::Procedural(cfg) => cfg.num_devices,
+        }
     }
 
     /// Whether the trace is empty.
     pub fn is_empty(&self) -> bool {
-        self.profiles.is_empty()
+        self.len() == 0
     }
 
-    /// The profile of client `index`.
+    /// The profile of client `index`, by value (derived on demand for
+    /// procedural traces).
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
-    pub fn profile(&self, index: usize) -> &DeviceProfile {
-        &self.profiles[index]
+    pub fn profile(&self, index: usize) -> DeviceProfile {
+        match &self.repr {
+            TraceRepr::Dense(profiles) => profiles[index],
+            TraceRepr::Procedural(cfg) => {
+                assert!(
+                    index < cfg.num_devices,
+                    "device index {index} out of range for fleet of {}",
+                    cfg.num_devices
+                );
+                cfg.derive_profile(index)
+            }
+        }
     }
 
-    /// All profiles.
-    pub fn profiles(&self) -> &[DeviceProfile] {
-        &self.profiles
+    /// All profiles of a dense trace; `None` for a procedural trace
+    /// (which has no materialized list — iterate [`DeviceTrace::profile`]
+    /// by index instead).
+    pub fn profiles(&self) -> Option<&[DeviceProfile]> {
+        match &self.repr {
+            TraceRepr::Dense(profiles) => Some(profiles),
+            TraceRepr::Procedural(_) => None,
+        }
     }
 
     /// Smallest capacity in the trace (the seed model's complexity
-    /// budget per §5.1).
+    /// budget per §5.1). O(1) for procedural traces (extremes are
+    /// pinned by construction).
     pub fn min_capacity(&self) -> u64 {
-        self.profiles
-            .iter()
-            .map(|p| p.capacity_macs)
-            .min()
-            .unwrap_or(0)
+        match &self.repr {
+            TraceRepr::Dense(profiles) => {
+                profiles.iter().map(|p| p.capacity_macs).min().unwrap_or(0)
+            }
+            TraceRepr::Procedural(cfg) => {
+                if cfg.num_devices == 0 {
+                    0
+                } else {
+                    cfg.base_capacity_macs
+                }
+            }
+        }
     }
 
     /// Largest capacity in the trace (the maximum model's complexity
-    /// budget per §5.1).
+    /// budget per §5.1). O(1) for procedural traces.
     pub fn max_capacity(&self) -> u64 {
-        self.profiles
-            .iter()
-            .map(|p| p.capacity_macs)
-            .max()
-            .unwrap_or(0)
+        match &self.repr {
+            TraceRepr::Dense(profiles) => {
+                profiles.iter().map(|p| p.capacity_macs).max().unwrap_or(0)
+            }
+            TraceRepr::Procedural(cfg) => match cfg.num_devices {
+                0 => 0,
+                1 => cfg.base_capacity_macs,
+                _ => (cfg.base_capacity_macs as f64 * cfg.disparity).round() as u64,
+            },
+        }
     }
 
     /// Ratio of the most to least capable device.
@@ -213,6 +290,39 @@ impl DeviceTraceConfig {
         DeviceTrace::new(profiles)
     }
 
+    /// Derives device `index`'s profile statelessly: the same
+    /// log-uniform capacity spread and speed/bandwidth model as
+    /// [`DeviceTraceConfig::generate`], but from a per-index RNG stream
+    /// instead of one threaded sequentially through the fleet — the
+    /// engine behind [`DeviceTrace::procedural`]. Extremes are pinned
+    /// exactly as in the dense generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `speed_jitter_sigma` or `median_bandwidth` is not
+    /// finite and positive (builder defaults always are).
+    fn derive_profile(&self, index: usize) -> DeviceProfile {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(device_seed(self.seed, index));
+        let jitter = LogNormal::new(0.0, self.speed_jitter_sigma).expect("sigma finite");
+        let bw = LogNormal::new(self.median_bandwidth.ln(), 0.6).expect("bw finite");
+        let lo = self.base_capacity_macs as f64;
+        let hi = lo * self.disparity;
+        let capacity = if index == 0 {
+            lo
+        } else if index + 1 == self.num_devices && self.num_devices > 1 {
+            hi
+        } else {
+            let u: f64 = rng.gen();
+            (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+        };
+        let speed = capacity.powf(0.85) * 50.0 * jitter.sample(&mut rng);
+        DeviceProfile {
+            capacity_macs: capacity.round() as u64,
+            speed_macs_per_s: speed,
+            bandwidth_bytes_per_s: bw.sample(&mut rng),
+        }
+    }
+
     /// Generates a tiered trace: device `i` lands in the tier covering
     /// position `(i + ½)/n` of the normalized cumulative weights, with
     /// capacity jittered ±10% (log-normal) around the tier level so
@@ -276,7 +386,7 @@ mod tests {
     fn generation_is_deterministic() {
         let a = DeviceTraceConfig::default().generate();
         let b = DeviceTraceConfig::default().generate();
-        assert_eq!(a.profiles(), b.profiles());
+        assert_eq!(a.profiles().unwrap(), b.profiles().unwrap());
     }
 
     #[test]
@@ -293,7 +403,7 @@ mod tests {
     fn capacities_stay_in_range() {
         let cfg = DeviceTraceConfig::default().with_num_devices(500);
         let t = cfg.generate();
-        for p in t.profiles() {
+        for p in t.profiles().unwrap() {
             assert!(p.capacity_macs >= cfg.base_capacity_macs);
             assert!(p.capacity_macs as f64 <= cfg.base_capacity_macs as f64 * cfg.disparity * 1.01);
         }
@@ -337,16 +447,53 @@ mod tests {
         }
         // Deterministic in the seed.
         let again = cfg.generate_tiered(&tiers);
-        assert_eq!(t.profiles(), again.profiles());
+        assert_eq!(t.profiles().unwrap(), again.profiles().unwrap());
     }
 
     #[test]
     fn tiered_with_no_tiers_falls_back() {
         let cfg = DeviceTraceConfig::default().with_num_devices(10);
         assert_eq!(
-            cfg.generate_tiered(&[]).profiles(),
-            cfg.generate().profiles()
+            cfg.generate_tiered(&[]).profiles().unwrap(),
+            cfg.generate().profiles().unwrap()
         );
+    }
+
+    #[test]
+    fn procedural_trace_is_stateless_and_reproducible() {
+        let cfg = DeviceTraceConfig::default().with_num_devices(1_000_000);
+        let t = DeviceTrace::procedural(cfg);
+        assert_eq!(t.len(), 1_000_000);
+        // Any index is directly derivable, twice over, identically.
+        let a = t.profile(777_777);
+        let b = DeviceTrace::procedural(cfg).profile(777_777);
+        assert_eq!(a, b);
+        assert!(t.profiles().is_none(), "no materialized list exists");
+    }
+
+    #[test]
+    fn procedural_extremes_are_pinned_and_analytic() {
+        let cfg = DeviceTraceConfig::default()
+            .with_num_devices(1_000_000)
+            .with_disparity(29.0);
+        let t = DeviceTrace::procedural(cfg);
+        assert_eq!(t.min_capacity(), cfg.base_capacity_macs);
+        assert_eq!(t.profile(0).capacity_macs, t.min_capacity());
+        assert_eq!(t.profile(999_999).capacity_macs, t.max_capacity());
+        assert!((t.capacity_disparity() - 29.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn procedural_capacities_stay_in_range() {
+        let cfg = DeviceTraceConfig::default().with_num_devices(10_000);
+        let t = DeviceTrace::procedural(cfg);
+        for i in (0..10_000).step_by(997) {
+            let p = t.profile(i);
+            assert!(p.capacity_macs >= cfg.base_capacity_macs);
+            assert!(p.capacity_macs as f64 <= cfg.base_capacity_macs as f64 * cfg.disparity * 1.01);
+            assert!(p.speed_macs_per_s > 0.0);
+            assert!(p.bandwidth_bytes_per_s > 0.0);
+        }
     }
 
     #[test]

@@ -104,6 +104,48 @@ where
     results.into_iter().collect()
 }
 
+/// Streams a fallible `f` over `0..n` in windows of at most `window`
+/// in-flight results: each window is computed concurrently (at most
+/// `threads` wide), then `consume` folds its results sequentially in
+/// index order before the next window starts.
+///
+/// This is the memory-bounded executor under the coordinator's
+/// streaming aggregation: at most `window` results (model clones,
+/// weight uploads) exist at once, yet `consume` still observes strict
+/// index order — so a fold over the stream is bit-identical to a fold
+/// over a fully materialized batch, at any `window` and any `threads`.
+///
+/// # Errors
+///
+/// Propagates the first (by index) error from `f` within the failing
+/// window, a `consume` error as soon as it occurs, or
+/// [`SimError::WorkerPanicked`] if a task panicked. Later windows do
+/// not start after a failure.
+pub fn try_stream_map<T, F, C>(
+    n: usize,
+    threads: usize,
+    window: usize,
+    f: F,
+    mut consume: C,
+) -> Result<()>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+    C: FnMut(usize, T) -> Result<()>,
+{
+    let window = window.max(1);
+    let mut start = 0;
+    while start < n {
+        let len = window.min(n - start);
+        let results = try_par_map(len, threads, |i| f(start + i))?;
+        for (offset, value) in results.into_iter().enumerate() {
+            consume(start + offset, value)?;
+        }
+        start += len;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +210,70 @@ mod tests {
     #[test]
     fn client_threads_is_at_least_one() {
         assert!(client_threads() >= 1);
+    }
+
+    #[test]
+    fn stream_map_consumes_in_order_at_any_window() {
+        for window in [1usize, 3, 7, 100] {
+            for threads in [1usize, 4] {
+                let mut seen = Vec::new();
+                try_stream_map(
+                    10,
+                    threads,
+                    window,
+                    |i| Ok(i * 2),
+                    |i, v| {
+                        seen.push((i, v));
+                        Ok(())
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    seen,
+                    (0..10).map(|i| (i, i * 2)).collect::<Vec<_>>(),
+                    "window {window} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_map_bounds_in_flight_results() {
+        // With window 2, the consumer must run before indices 2+ are
+        // computed: record the max produced-but-unconsumed count.
+        let produced = parking_lot::Mutex::new(0usize);
+        let mut consumed = 0usize;
+        let mut max_gap = 0usize;
+        try_stream_map(
+            9,
+            4,
+            2,
+            |i| {
+                *produced.lock() += 1;
+                Ok(i)
+            },
+            |_, _| {
+                consumed += 1;
+                max_gap = max_gap.max(*produced.lock() - consumed + 1);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert!(max_gap <= 2, "window of 2 exceeded: {max_gap} in flight");
+    }
+
+    #[test]
+    fn stream_map_stops_on_consume_error() {
+        let mut calls = 0usize;
+        let err = try_stream_map(10, 2, 2, Ok, |i, _: usize| {
+            calls += 1;
+            if i == 3 {
+                Err(SimError::WorkerPanicked)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(err.is_err());
+        assert_eq!(calls, 4, "no window may start after a failure");
     }
 }

@@ -60,6 +60,7 @@ pub mod metrics;
 pub mod report;
 pub mod roundtime;
 pub mod select;
+pub mod sink;
 pub mod trainer;
 
 mod error;
@@ -68,6 +69,7 @@ pub use coordinator::{drive, Coordinator, RoundOptions};
 pub use driver::Algorithm;
 pub use error::SimError;
 pub use faults::FaultConfig;
+pub use sink::{ClientUpdate, FedAvgSink, RoundManifest, TaskSpec, UpdateSink};
 
 /// Convenience alias for results produced by the simulator.
 pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,729 @@
+//! Streaming aggregation: fold client updates as they land.
+//!
+//! The pre-streaming aggregation API materialized every participant's
+//! full weight set before merging (`&[(Vec<Tensor>, u64)]` slices), so
+//! peak memory grew with the cohort. This module replaces that with a
+//! *fold*: the coordinator drives an [`UpdateSink`] through
+//! `begin_round → absorb × k → finish`, handing each update over as
+//! soon as its `EndTrainingRound` lands on the exec engine and
+//! dropping it immediately after. Peak memory is O(clients in flight
+//! — bounded by [`crate::coordinator::RoundOptions::max_in_flight`]),
+//! not O(cohort).
+//!
+//! # Determinism
+//!
+//! A streaming sample-weighted mean needs its normalization constants
+//! *before* the first absorb — that is what [`RoundManifest`] carries.
+//! The coordinator can build it ahead of training because every
+//! delivered task's sample count is a pure function of configuration
+//! and shard size (`local_steps × min(batch_size, train_len)`), and
+//! the delivered set itself is decided by the virtual-clock message
+//! timeline, which needs no weights. Updates are then absorbed in
+//! **task order** (never arrival order), so the floating-point op
+//! sequence of the fold is byte-identical to the retired batch
+//! aggregation — at any thread count, any `max_in_flight`, and any
+//! within-tick delivery permutation.
+//!
+//! # Worked example
+//!
+//! ```
+//! use ft_fedsim::sink::{ClientUpdate, FedAvgSink, RoundManifest, TaskSpec, UpdateSink};
+//! use ft_tensor::Tensor;
+//!
+//! // Two delivered tasks this round: client 4 trained on 10 samples,
+//! // client 7 on 30. The manifest is known before any update arrives.
+//! let manifest = RoundManifest {
+//!     round: 0,
+//!     tasks: &[
+//!         TaskSpec { task: 0, client: 4, samples: 10 },
+//!         TaskSpec { task: 1, client: 7, samples: 30 },
+//!     ],
+//! };
+//!
+//! let mut sink = FedAvgSink::single();
+//! sink.begin_round(&manifest).unwrap();
+//! for (spec, value) in manifest.tasks.iter().zip([1.0f32, 3.0]) {
+//!     sink.absorb(ClientUpdate {
+//!         task: spec.task,
+//!         client: spec.client,
+//!         samples: spec.samples,
+//!         weights: vec![Tensor::from_vec(vec![value], &[1]).unwrap()],
+//!         delta: Vec::new(),
+//!     })
+//!     .unwrap(); // the update is folded and dropped here
+//! }
+//! sink.finish().unwrap();
+//!
+//! // Sample-weighted mean: (1·10 + 3·30) / 40 = 2.5.
+//! let avg = sink.take_average().unwrap();
+//! assert_eq!(avg[0].data(), &[2.5]);
+//! ```
+
+use serde::{Deserialize, Serialize, Value};
+
+use ft_tensor::Tensor;
+
+use crate::{Result, SimError};
+
+/// One delivered task in a round's manifest: which task index, which
+/// client, and how many samples its update is weighted by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Index into the round's task list.
+    pub task: usize,
+    /// The client that trained.
+    pub client: usize,
+    /// Samples the client processed (the FedAvg weight numerator).
+    pub samples: u64,
+}
+
+/// The set of updates a sink will receive this round, in absorb order
+/// (ascending task index). Built by the coordinator from the message
+/// timeline *before* any update is folded, so sinks can precompute
+/// their normalization constants.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundManifest<'a> {
+    /// The round being aggregated.
+    pub round: u32,
+    /// Delivered tasks in ascending task order.
+    pub tasks: &'a [TaskSpec],
+}
+
+/// One client's update, handed to [`UpdateSink::absorb`] and dropped
+/// by the caller immediately after — sinks must fold, not retain.
+#[derive(Debug, Clone)]
+pub struct ClientUpdate {
+    /// Index into the round's task list.
+    pub task: usize,
+    /// The client that trained.
+    pub client: usize,
+    /// Samples processed (matches the manifest's [`TaskSpec::samples`]).
+    pub samples: u64,
+    /// The client's final local weights, tensor per tensor.
+    pub weights: Vec<Tensor>,
+    /// The pseudo-gradient `w_local − w_global` (empty when the
+    /// algorithm does not track deltas).
+    pub delta: Vec<Tensor>,
+}
+
+/// A streaming aggregation fold.
+///
+/// The coordinator drives one sink per round:
+/// `begin_round(manifest)`, then one `absorb` per delivered task in
+/// ascending task order, then `finish`. The sink owns whatever
+/// accumulator its algorithm needs (a weighted mean, a scatter table,
+/// …); after `finish` the algorithm extracts the aggregate through the
+/// sink's own accessors. See the [module docs](self) for a worked
+/// example and the determinism argument.
+pub trait UpdateSink {
+    /// Announces the round's delivered-task manifest. Called exactly
+    /// once per round, before the first [`UpdateSink::absorb`].
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject manifests they cannot aggregate (e.g. a
+    /// task outside their grouping table).
+    fn begin_round(&mut self, manifest: &RoundManifest<'_>) -> Result<()>;
+
+    /// Folds one update into the running accumulator. Called once per
+    /// manifest entry, in manifest order; the update is dropped by the
+    /// caller when this returns.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject out-of-order or unexpected updates
+    /// ([`SimError::Protocol`]) and shape mismatches.
+    fn absorb(&mut self, update: ClientUpdate) -> Result<()>;
+
+    /// Closes the round after the last absorb.
+    ///
+    /// # Errors
+    ///
+    /// Implementations fail when absorbs are missing
+    /// ([`SimError::Protocol`]).
+    fn finish(&mut self) -> Result<()>;
+}
+
+/// How a [`FedAvgSink`] maps task indices to aggregation groups.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Grouping {
+    /// Every task folds into one group (single global model).
+    Single,
+    /// `group_of[task]` names each task's group (multi-model suites:
+    /// FedTrans's model assignment, SplitMix's bases).
+    ByTask(Vec<usize>),
+}
+
+/// The streaming sample-weighted mean: the [`UpdateSink`] form of
+/// FedAvg, with optional per-group mean-delta tracking.
+///
+/// Supports multiple aggregation *groups* (one per model in a
+/// FedTrans suite, one per SplitMix base): each update folds into the
+/// group its task is assigned to. Per group it reproduces the retired
+/// batch `fedavg` exactly — zero-initialized accumulator, one
+/// `axpy(samples_i / total, w_i)` per update in task order — so the
+/// result is bit-identical to materializing the slice first.
+///
+/// A group's average is `None` when it received no updates or its
+/// delivered sample total is zero, matching the retired
+/// `fedavg(&[]) == None` contract. Mean deltas are tracked
+/// independently of sample counts (an update with zero samples still
+/// contributes to its group's mean delta), preserving the activeness
+/// semantics of the pre-streaming FedTrans runtime.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FedAvgSink {
+    grouping: Grouping,
+    groups: usize,
+    track_deltas: bool,
+    /// Round state below; reset by `begin_round`.
+    expected: Vec<TaskSpec>,
+    absorbed: usize,
+    round: u32,
+    finished: bool,
+    totals: Vec<u64>,
+    counts: Vec<u64>,
+    acc: Vec<Option<Vec<Tensor>>>,
+    mean_delta: Vec<Option<Vec<Tensor>>>,
+}
+
+impl FedAvgSink {
+    /// A sink folding every task into one group (single global model).
+    pub fn single() -> Self {
+        FedAvgSink {
+            grouping: Grouping::Single,
+            groups: 1,
+            track_deltas: false,
+            expected: Vec::new(),
+            absorbed: 0,
+            round: 0,
+            finished: false,
+            totals: vec![0],
+            counts: vec![0],
+            acc: vec![None],
+            mean_delta: vec![None],
+        }
+    }
+
+    /// A sink with `groups` aggregation groups where task `i` folds
+    /// into `group_of[i]`. `group_of` covers the round's full task
+    /// list; undelivered tasks simply never absorb.
+    pub fn grouped(groups: usize, group_of: Vec<usize>) -> Self {
+        FedAvgSink {
+            grouping: Grouping::ByTask(group_of),
+            groups: groups.max(1),
+            track_deltas: false,
+            expected: Vec::new(),
+            absorbed: 0,
+            round: 0,
+            finished: false,
+            totals: Vec::new(),
+            counts: Vec::new(),
+            acc: Vec::new(),
+            mean_delta: Vec::new(),
+        }
+    }
+
+    /// Also maintain each group's mean delta (`Σ delta_i / count`),
+    /// the pseudo-gradient FedTrans's cell-activeness tracker consumes.
+    #[must_use]
+    pub fn with_delta_tracking(mut self) -> Self {
+        self.track_deltas = true;
+        self
+    }
+
+    fn group(&self, task: usize) -> Result<usize> {
+        match &self.grouping {
+            Grouping::Single => Ok(0),
+            Grouping::ByTask(map) => map.get(task).copied().ok_or_else(|| {
+                SimError::protocol(format!(
+                    "task {task} outside the sink's grouping table of {}",
+                    map.len()
+                ))
+            }),
+        }
+    }
+
+    /// The per-group sample-weighted averages, consuming the round's
+    /// accumulator. `None` per group without (weighted) updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`UpdateSink::finish`] — extracting a
+    /// half-folded mean is always a bug.
+    pub fn take_averages(&mut self) -> Vec<Option<Vec<Tensor>>> {
+        assert!(
+            self.finished,
+            "take_averages before finish(): the fold is incomplete"
+        );
+        std::mem::take(&mut self.acc)
+    }
+
+    /// The per-group mean deltas (zero-tracking sinks return `None`s),
+    /// consuming the round's accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`UpdateSink::finish`].
+    pub fn take_mean_deltas(&mut self) -> Vec<Option<Vec<Tensor>>> {
+        assert!(
+            self.finished,
+            "take_mean_deltas before finish(): the fold is incomplete"
+        );
+        std::mem::take(&mut self.mean_delta)
+    }
+
+    /// Single-group convenience: the sample-weighted average, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`UpdateSink::finish`].
+    pub fn take_average(&mut self) -> Option<Vec<Tensor>> {
+        self.take_averages().into_iter().next().flatten()
+    }
+
+    /// Per-group delivered-update counts (set by `begin_round`).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Serializes the mid-round fold state — accumulators, cursor, and
+    /// manifest — so a kill mid-stream can resume absorbing at the
+    /// exact update it stopped before, bit-identically.
+    pub fn checkpoint_value(&self) -> Value {
+        serde_json::json!({
+            "sink": "fedavg",
+            "state": self,
+        })
+    }
+
+    /// Restores state captured by [`FedAvgSink::checkpoint_value`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Snapshot`] on a malformed or foreign checkpoint.
+    pub fn restore_value(&mut self, state: &Value) -> Result<()> {
+        let kind: String = crate::driver::field(state, "sink")?;
+        if kind != "fedavg" {
+            return Err(SimError::snapshot(format!(
+                "sink checkpoint is for `{kind}`, expected `fedavg`"
+            )));
+        }
+        *self = crate::driver::field(state, "state")?;
+        Ok(())
+    }
+}
+
+impl UpdateSink for FedAvgSink {
+    fn begin_round(&mut self, manifest: &RoundManifest<'_>) -> Result<()> {
+        self.round = manifest.round;
+        self.finished = false;
+        self.absorbed = 0;
+        self.expected = manifest.tasks.to_vec();
+        self.totals = vec![0; self.groups];
+        self.counts = vec![0; self.groups];
+        self.acc = (0..self.groups).map(|_| None).collect();
+        self.mean_delta = (0..self.groups).map(|_| None).collect();
+        // The manifest is what lets a *streaming* fold be bit-identical
+        // to the batch path: per-group normalizers exist before the
+        // first update arrives.
+        for spec in manifest.tasks {
+            let g = self.group(spec.task)?;
+            self.totals[g] += spec.samples;
+            self.counts[g] += 1;
+        }
+        Ok(())
+    }
+
+    fn absorb(&mut self, update: ClientUpdate) -> Result<()> {
+        let expected = self.expected.get(self.absorbed).copied().ok_or_else(|| {
+            SimError::protocol(format!(
+                "absorb of task {} after the manifest's {} tasks were all folded",
+                update.task,
+                self.expected.len()
+            ))
+        })?;
+        if update.task != expected.task || update.samples != expected.samples {
+            return Err(SimError::protocol(format!(
+                "absorb out of manifest order: got task {} ({} samples), expected task {} ({} \
+                 samples)",
+                update.task, update.samples, expected.task, expected.samples
+            )));
+        }
+        self.absorbed += 1;
+        let g = self.group(update.task)?;
+        if self.totals[g] > 0 {
+            let w = update.samples as f32 / self.totals[g] as f32;
+            let acc = self.acc[g].get_or_insert_with(|| {
+                update
+                    .weights
+                    .iter()
+                    .map(|t| Tensor::zeros(t.shape().dims()))
+                    .collect()
+            });
+            if acc.len() != update.weights.len() {
+                return Err(SimError::protocol(format!(
+                    "update for task {} has {} weight tensors, group accumulator has {}",
+                    update.task,
+                    update.weights.len(),
+                    acc.len()
+                )));
+            }
+            for (a, t) in acc.iter_mut().zip(&update.weights) {
+                a.axpy(w, t).map_err(ft_model::ModelError::from)?;
+            }
+        }
+        if self.track_deltas && self.counts[g] > 0 && !update.delta.is_empty() {
+            let inv = 1.0 / self.counts[g] as f32;
+            let mean = self.mean_delta[g].get_or_insert_with(|| {
+                update
+                    .delta
+                    .iter()
+                    .map(|t| Tensor::zeros(t.shape().dims()))
+                    .collect()
+            });
+            for (m, d) in mean.iter_mut().zip(&update.delta) {
+                m.axpy(inv, d).map_err(ft_model::ModelError::from)?;
+            }
+        }
+        // `update` drops here: nothing per-client is retained.
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        if self.absorbed != self.expected.len() {
+            return Err(SimError::protocol(format!(
+                "finish after {} of {} manifest tasks were absorbed",
+                self.absorbed,
+                self.expected.len()
+            )));
+        }
+        self.finished = true;
+        Ok(())
+    }
+}
+
+/// A sink that drops every update: for protocol-only rounds where no
+/// algorithm state changes (e.g. coordinator tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiscardSink;
+
+impl UpdateSink for DiscardSink {
+    fn begin_round(&mut self, _manifest: &RoundManifest<'_>) -> Result<()> {
+        Ok(())
+    }
+
+    fn absorb(&mut self, _update: ClientUpdate) -> Result<()> {
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// An int8-quantized tensor: per-tensor scale, symmetric around zero.
+///
+/// The optional compressed update form: `value ≈ scale × q` with
+/// `q ∈ [−127, 127]` and `scale = max|value| / 127`. Dequantization is
+/// *exact* (one f32 multiply per element), so accumulation after
+/// dequantizing stays in f32 with the usual op order; only the
+/// quantization rounding itself is lossy — which is why the round
+/// engine keeps it off the digest path unless a scenario opts in via
+/// [`crate::coordinator::RoundOptions::quantize_updates`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    /// Per-tensor dequantization scale.
+    pub scale: f32,
+    /// Quantized values, row-major.
+    pub values: Vec<i8>,
+    /// Original tensor dimensions.
+    pub dims: Vec<usize>,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a tensor to int8 with a symmetric per-tensor scale.
+    pub fn quantize(t: &Tensor) -> QuantizedTensor {
+        let max_abs = t.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 0.0 };
+        let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+        let values = t
+            .data()
+            .iter()
+            .map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QuantizedTensor {
+            scale,
+            values,
+            dims: t.shape().dims().to_vec(),
+        }
+    }
+
+    /// Exact dequantization: one f32 multiply per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored dims do not match the value count (only
+    /// possible through manual construction).
+    pub fn dequantize(&self) -> Tensor {
+        let data: Vec<f32> = self.values.iter().map(|&q| q as f32 * self.scale).collect();
+        Tensor::from_vec(data, &self.dims).expect("dims stored at quantization time")
+    }
+
+    /// Wire size of this tensor in bytes (values + scale).
+    pub fn wire_bytes(&self) -> usize {
+        self.values.len() + std::mem::size_of::<f32>()
+    }
+}
+
+/// Lossy int8 round trip over a tensor list, in place: what an update
+/// looks like after crossing a quantized uplink.
+pub fn quantize_roundtrip(tensors: &mut [Tensor]) {
+    for t in tensors.iter_mut() {
+        *t = QuantizedTensor::quantize(t).dequantize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(vals: &[f32]) -> Tensor {
+        Tensor::from_vec(vals.to_vec(), &[vals.len()]).unwrap()
+    }
+
+    fn update(task: usize, samples: u64, weights: &[f32]) -> ClientUpdate {
+        ClientUpdate {
+            task,
+            client: task,
+            samples,
+            weights: vec![tensor(weights)],
+            delta: Vec::new(),
+        }
+    }
+
+    fn manifest(specs: &[TaskSpec]) -> RoundManifest<'_> {
+        RoundManifest {
+            round: 0,
+            tasks: specs,
+        }
+    }
+
+    /// The retired `ModelAggregator::fedavg` contract, now on the sink:
+    /// weights by sample count, (1·10 + 3·30) / 40 = 2.5.
+    #[test]
+    fn fedavg_sink_weights_by_samples() {
+        let specs = [
+            TaskSpec {
+                task: 0,
+                client: 0,
+                samples: 10,
+            },
+            TaskSpec {
+                task: 1,
+                client: 1,
+                samples: 30,
+            },
+        ];
+        let mut sink = FedAvgSink::single();
+        sink.begin_round(&manifest(&specs)).unwrap();
+        sink.absorb(update(0, 10, &[1.0])).unwrap();
+        sink.absorb(update(1, 30, &[3.0])).unwrap();
+        sink.finish().unwrap();
+        let avg = sink.take_average().unwrap();
+        assert_eq!(avg[0].data(), &[2.5]);
+    }
+
+    #[test]
+    fn empty_round_aggregates_to_none() {
+        let mut sink = FedAvgSink::single();
+        sink.begin_round(&manifest(&[])).unwrap();
+        sink.finish().unwrap();
+        assert!(sink.take_average().is_none());
+    }
+
+    #[test]
+    fn zero_sample_total_aggregates_to_none() {
+        let specs = [TaskSpec {
+            task: 0,
+            client: 0,
+            samples: 0,
+        }];
+        let mut sink = FedAvgSink::single();
+        sink.begin_round(&manifest(&specs)).unwrap();
+        sink.absorb(update(0, 0, &[5.0])).unwrap();
+        sink.finish().unwrap();
+        assert!(
+            sink.take_average().is_none(),
+            "a zero-weight round must not divide by zero"
+        );
+    }
+
+    #[test]
+    fn grouped_sink_folds_each_group_independently() {
+        // Tasks 0,2 → group 0; task 1 → group 1; group 2 gets nothing.
+        let specs = [
+            TaskSpec {
+                task: 0,
+                client: 0,
+                samples: 10,
+            },
+            TaskSpec {
+                task: 1,
+                client: 1,
+                samples: 20,
+            },
+            TaskSpec {
+                task: 2,
+                client: 2,
+                samples: 30,
+            },
+        ];
+        let mut sink = FedAvgSink::grouped(3, vec![0, 1, 0]);
+        sink.begin_round(&manifest(&specs)).unwrap();
+        sink.absorb(update(0, 10, &[4.0])).unwrap();
+        sink.absorb(update(1, 20, &[7.0])).unwrap();
+        sink.absorb(update(2, 30, &[8.0])).unwrap();
+        sink.finish().unwrap();
+        let avgs = sink.take_averages();
+        // Group 0: (4·10 + 8·30) / 40 = 7.0; group 1: 7.0; group 2: none.
+        assert_eq!(avgs[0].as_ref().unwrap()[0].data(), &[7.0]);
+        assert_eq!(avgs[1].as_ref().unwrap()[0].data(), &[7.0]);
+        assert!(avgs[2].is_none());
+    }
+
+    #[test]
+    fn delta_tracking_averages_uniformly() {
+        let specs = [
+            TaskSpec {
+                task: 0,
+                client: 0,
+                samples: 0,
+            },
+            TaskSpec {
+                task: 1,
+                client: 1,
+                samples: 0,
+            },
+        ];
+        let mut sink = FedAvgSink::single().with_delta_tracking();
+        sink.begin_round(&manifest(&specs)).unwrap();
+        for (task, d) in [(0usize, 2.0f32), (1, 4.0)] {
+            sink.absorb(ClientUpdate {
+                task,
+                client: task,
+                samples: 0,
+                weights: vec![tensor(&[1.0])],
+                delta: vec![tensor(&[d])],
+            })
+            .unwrap();
+        }
+        sink.finish().unwrap();
+        // Deltas average by count even when the sample total is zero —
+        // activeness tracking is independent of FedAvg weighting.
+        let deltas = sink.take_mean_deltas();
+        assert_eq!(deltas[0].as_ref().unwrap()[0].data(), &[3.0]);
+    }
+
+    #[test]
+    fn out_of_order_absorb_is_rejected() {
+        let specs = [
+            TaskSpec {
+                task: 0,
+                client: 0,
+                samples: 10,
+            },
+            TaskSpec {
+                task: 1,
+                client: 1,
+                samples: 10,
+            },
+        ];
+        let mut sink = FedAvgSink::single();
+        sink.begin_round(&manifest(&specs)).unwrap();
+        let err = sink.absorb(update(1, 10, &[1.0]));
+        assert!(err.is_err(), "arrival order must not drive the fold");
+    }
+
+    #[test]
+    fn finish_requires_all_absorbs() {
+        let specs = [TaskSpec {
+            task: 0,
+            client: 0,
+            samples: 10,
+        }];
+        let mut sink = FedAvgSink::single();
+        sink.begin_round(&manifest(&specs)).unwrap();
+        assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn mid_fold_checkpoint_resumes_bit_identically() {
+        let specs: Vec<TaskSpec> = (0..4)
+            .map(|i| TaskSpec {
+                task: i,
+                client: i,
+                samples: 10 * (i as u64 + 1),
+            })
+            .collect();
+        let weights = [[1.0f32], [2.0], [3.0], [4.0]];
+
+        let mut full = FedAvgSink::single();
+        full.begin_round(&manifest(&specs)).unwrap();
+        for (i, w) in weights.iter().enumerate() {
+            full.absorb(update(i, specs[i].samples, w)).unwrap();
+        }
+        full.finish().unwrap();
+
+        // Kill after two absorbs, serialize, restore, resume.
+        let mut half = FedAvgSink::single();
+        half.begin_round(&manifest(&specs)).unwrap();
+        for (i, w) in weights.iter().take(2).enumerate() {
+            half.absorb(update(i, specs[i].samples, w)).unwrap();
+        }
+        let json = serde_json::to_string(&half.checkpoint_value()).unwrap();
+        drop(half);
+        let mut resumed = FedAvgSink::single();
+        resumed
+            .restore_value(&serde_json::parse_value(&json).unwrap())
+            .unwrap();
+        for (i, w) in weights.iter().enumerate().skip(2) {
+            resumed.absorb(update(i, specs[i].samples, w)).unwrap();
+        }
+        resumed.finish().unwrap();
+
+        assert_eq!(
+            full.take_average().unwrap(),
+            resumed.take_average().unwrap(),
+            "a resumed mid-round fold must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn foreign_sink_checkpoint_is_rejected() {
+        let mut sink = FedAvgSink::single();
+        let bogus = serde_json::parse_value(r#"{"sink":"scatter","state":{}}"#).unwrap();
+        assert!(sink.restore_value(&bogus).is_err());
+    }
+
+    #[test]
+    fn quantization_round_trips_within_scale() {
+        let t = tensor(&[0.5, -1.0, 0.25, 0.0]);
+        let q = QuantizedTensor::quantize(&t);
+        assert_eq!(q.wire_bytes(), 4 + 4);
+        let back = q.dequantize();
+        let scale = 1.0 / 127.0;
+        for (a, b) in t.data().iter().zip(back.data()) {
+            assert!((a - b).abs() <= scale / 2.0 + f32::EPSILON, "{a} vs {b}");
+        }
+        // ±max round-trips exactly: q = ±127, scale × 127 = max.
+        assert_eq!(back.data()[1], -1.0);
+    }
+
+    #[test]
+    fn quantizing_zeros_is_exact() {
+        let t = tensor(&[0.0, 0.0]);
+        let q = QuantizedTensor::quantize(&t);
+        assert_eq!(q.scale, 0.0);
+        assert_eq!(q.dequantize().data(), t.data());
+    }
+}

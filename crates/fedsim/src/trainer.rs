@@ -17,7 +17,7 @@
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use ft_data::ClientData;
+use ft_data::{ClientData, ShardSource};
 use ft_model::CellModel;
 use ft_nn::{ProxSgd, Sgd};
 use ft_tensor::Tensor;
@@ -188,6 +188,23 @@ pub fn train_local(
     })
 }
 
+/// The number of samples a client processes in one local round: a pure
+/// function of the training configuration and the shard size, because
+/// every step's batch is truncated to
+/// `min(batch_size.max(1), train_len)` (see
+/// `ClientData::sample_batch_into`).
+///
+/// This is what lets the coordinator build a round's complete
+/// aggregation manifest — per-task sample weights, and from them the
+/// virtual-clock timeline — *before* any training executes, which in
+/// turn is what makes the streaming fold bit-identical to batch
+/// aggregation: normalizers are known up front, so updates can be
+/// folded and dropped as they land. The coordinator cross-checks this
+/// value against the executed outcome every round.
+pub fn expected_samples(cfg: &LocalTrainConfig, train_len: usize) -> u64 {
+    cfg.local_steps as u64 * cfg.batch_size.max(1).min(train_len) as u64
+}
+
 /// The per-client training seed: a fixed stateless derivation from the
 /// round seed and the client index.
 ///
@@ -204,24 +221,32 @@ pub fn client_seed(round_seed: u64, client: usize) -> u64 {
 }
 
 /// One unit of training work the coordinator dispatches: which client
-/// trains, the model payload it downloads (already holding coordinator
-/// weights), and its explicit RNG seed.
+/// trains, which entry of the round's model table it downloads, and
+/// its explicit RNG seed.
 ///
-/// The seed is carried rather than derived inside the executor so
-/// callers with bespoke seed schedules (e.g. SplitMix's per-base
-/// streams) use the same entry point as everyone else.
-#[derive(Debug)]
+/// The model travels as an *index* into the caller's table rather than
+/// an owned payload: most rounds dispatch a handful of distinct models
+/// to many clients, and a table reference keeps the task list (and the
+/// protocol wire it is mirrored onto) O(tasks) instead of
+/// O(tasks × parameters). The seed is carried rather than derived
+/// inside the executor so callers with bespoke seed schedules (e.g.
+/// SplitMix's per-base streams) use the same entry point as everyone
+/// else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrainTask {
     /// Index of the client that trains.
     pub client: usize,
-    /// The model to train (enters holding global weights).
-    pub model: CellModel,
+    /// Index into the round's model table.
+    pub model: usize,
     /// Seed for the client's local RNG stream.
     pub seed: u64,
 }
 
 /// Executes a batch of [`TrainTask`]s concurrently over the shared
-/// worker pool — the coordinator's training-phase executor.
+/// worker pool — the coordinator's training-phase executor. Each worker
+/// clones its task's entry of `models` and pulls the client's shard
+/// from the [`ShardSource`] on demand, so a sparse million-device
+/// population never materializes beyond the clients in flight.
 ///
 /// Outcomes are returned in task order and are byte-identical at any
 /// thread budget: each task's RNG stream comes from its own seed,
@@ -231,11 +256,13 @@ pub struct TrainTask {
 /// # Errors
 ///
 /// Returns [`SimError::NoSuchClient`] for an out-of-range client index
-/// (checked upfront, before any training starts), the lowest-indexed
+/// and [`SimError::BadConfig`] for an out-of-range model index (both
+/// checked upfront, before any training starts), the lowest-indexed
 /// training error, or [`SimError::WorkerPanicked`] if a task dies.
-pub fn train_tasks(
-    tasks: Vec<TrainTask>,
-    shards: &[ClientData],
+pub fn train_tasks<S: ShardSource + ?Sized>(
+    tasks: &[TrainTask],
+    models: &[CellModel],
+    shards: &S,
     cfg: &LocalTrainConfig,
     threads: usize,
 ) -> Result<Vec<LocalOutcome>> {
@@ -243,28 +270,29 @@ pub fn train_tasks(
     if n == 0 {
         return Ok(Vec::new());
     }
-    for task in &tasks {
-        if task.client >= shards.len() {
+    for task in tasks {
+        if task.client >= shards.num_clients() {
             return Err(SimError::NoSuchClient {
                 index: task.client,
-                clients: shards.len(),
+                clients: shards.num_clients(),
+            });
+        }
+        if task.model >= models.len() {
+            return Err(SimError::BadConfig {
+                detail: format!(
+                    "task for client {} names model {} but the round table holds {}",
+                    task.client,
+                    task.model,
+                    models.len()
+                ),
             });
         }
     }
-    // Each slot's model is taken (not cloned) by the worker that trains
-    // it; the mutex only mediates the one-time handoff.
-    let work: Vec<(usize, u64, parking_lot::Mutex<Option<CellModel>>)> = tasks
-        .into_iter()
-        .map(|t| (t.client, t.seed, parking_lot::Mutex::new(Some(t.model))))
-        .collect();
     crate::exec::try_par_map(n, threads, |slot| {
-        let (client, seed, cell) = &work[slot];
-        let mut model = cell
-            .lock()
-            .take()
-            // ft-lint: allow(P001) — parallel_for claims each slot exactly once.
-            .expect("each slot is claimed exactly once");
-        train_local(&mut model, *client, &shards[*client], cfg, *seed)
+        let t = tasks[slot];
+        let mut model = models[t.model].clone();
+        let shard = shards.shard(t.client);
+        train_local(&mut model, t.client, &shard, cfg, t.seed)
     })
 }
 
@@ -284,23 +312,28 @@ pub fn train_tasks(
 /// Returns [`SimError::NoSuchClient`] for an out-of-range client index,
 /// the lowest-indexed training error, or [`SimError::WorkerPanicked`]
 /// if a training task dies.
-pub fn train_round(
+pub fn train_round<S: ShardSource + ?Sized>(
     assignments: Vec<(usize, CellModel)>,
-    shards: &[ClientData],
+    shards: &S,
     cfg: &LocalTrainConfig,
     round_seed: u64,
     opts: &crate::coordinator::RoundOptions,
 ) -> Result<Vec<LocalOutcome>> {
-    let tasks = assignments
+    let mut models = Vec::with_capacity(assignments.len());
+    let tasks: Vec<TrainTask> = assignments
         .into_iter()
-        .map(|(client, model)| TrainTask {
-            client,
-            model,
-            seed: client_seed(round_seed, client),
+        .enumerate()
+        .map(|(i, (client, model))| {
+            models.push(model);
+            TrainTask {
+                client,
+                model: i,
+                seed: client_seed(round_seed, client),
+            }
         })
         .collect();
     let threads = opts.threads.unwrap_or_else(crate::exec::client_threads);
-    train_tasks(tasks, shards, cfg, threads)
+    train_tasks(&tasks, &models, shards, cfg, threads)
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use ft_fedsim::coordinator::{
 };
 use ft_fedsim::device::{DeviceTrace, DeviceTraceConfig};
 use ft_fedsim::roundtime::client_round_time;
+use ft_fedsim::sink::DiscardSink;
 use ft_fedsim::trainer::{client_seed, LocalTrainConfig, TrainTask};
 use ft_fedsim::{FaultConfig, SimError};
 use ft_model::CellModel;
@@ -43,12 +44,13 @@ fn tiny_cfg() -> LocalTrainConfig {
     }
 }
 
-fn tasks_for(clients: &[usize], model: &CellModel, round_seed: u64) -> Vec<TrainTask> {
+/// Tasks all downloading entry 0 of a one-model round table.
+fn tasks_for(clients: &[usize], round_seed: u64) -> Vec<TrainTask> {
     clients
         .iter()
         .map(|&c| TrainTask {
             client: c,
-            model: model.clone(),
+            model: 0,
             seed: client_seed(round_seed, c),
         })
         .collect()
@@ -107,9 +109,15 @@ impl Fixture {
             }
             At::Aggregating => {
                 self.admitted = self.coord.begin_round(0, &[0, 1]).unwrap();
-                let tasks = tasks_for(&self.admitted, &self.model, SEED);
+                let tasks = tasks_for(&self.admitted, SEED);
                 self.coord
-                    .train(tasks, self.data.clients(), &self.cfg)
+                    .train(
+                        tasks,
+                        std::slice::from_ref(&self.model),
+                        self.data.clients(),
+                        &self.cfg,
+                        &mut DiscardSink,
+                    )
                     .unwrap();
             }
             At::Finished => {
@@ -126,9 +134,15 @@ impl Fixture {
                 self.coord.begin_round(round, &[0, 1]).map(|_| ())
             }
             Do::Train => {
-                let tasks = tasks_for(&self.admitted, &self.model, SEED);
+                let tasks = tasks_for(&self.admitted, SEED);
                 self.coord
-                    .train(tasks, self.data.clients(), &self.cfg)
+                    .train(
+                        tasks,
+                        std::slice::from_ref(&self.model),
+                        self.data.clients(),
+                        &self.cfg,
+                        &mut DiscardSink,
+                    )
                     .map(|_| ())
             }
             Do::Finish => self.coord.finish_round(),
@@ -201,8 +215,14 @@ fn train_rejects_tasks_for_unadmitted_clients() {
     let model = tiny_model(&data);
     let mut c = Coordinator::new(SEED, FaultConfig::default(), fleet(4));
     c.begin_round(0, &[0, 1]).unwrap();
-    let stray = tasks_for(&[2], &model, SEED);
-    match c.train(stray, data.clients(), &tiny_cfg()) {
+    let stray = tasks_for(&[2], SEED);
+    match c.train(
+        stray,
+        std::slice::from_ref(&model),
+        data.clients(),
+        &tiny_cfg(),
+        &mut DiscardSink,
+    ) {
         Err(SimError::Protocol { .. }) => {}
         other => panic!("unadmitted client must be rejected, got {other:?}"),
     }
@@ -222,9 +242,11 @@ fn rendezvous_dropout_matches_the_stateless_fault_hash() {
     for round in 0..4u32 {
         let mut c = Coordinator::new(SEED, faults, fleet(24));
         // Fast-forward the round counter through empty rounds.
+        let no_shards: &[ft_data::ClientData] = &[];
         for r in 0..round {
             c.begin_round(r, &[]).unwrap();
-            c.train(Vec::new(), &[], &tiny_cfg()).unwrap();
+            c.train(Vec::new(), &[], no_shards, &tiny_cfg(), &mut DiscardSink)
+                .unwrap();
             c.finish_round().unwrap();
         }
         let admitted = c.begin_round(round, &invited).unwrap();
@@ -256,18 +278,20 @@ fn reply_round_times_reproduce_the_straggler_model() {
     assert_eq!(admitted.len(), n, "no dropout configured");
     let replies = c
         .train(
-            tasks_for(&admitted, &model, SEED),
+            tasks_for(&admitted, SEED),
+            std::slice::from_ref(&model),
             data.clients(),
             &tiny_cfg(),
+            &mut DiscardSink,
         )
         .unwrap();
     assert_eq!(replies.len(), n);
     for r in &replies {
         let expected = client_round_time(
-            devices.profile(r.client),
+            &devices.profile(r.client),
             model.macs_per_sample(),
             model.param_count(),
-            r.outcome.samples_processed,
+            r.samples,
         ) * faults.slowdown(SEED, 0, r.client);
         assert_eq!(
             r.elapsed_s.to_bits(),
@@ -291,9 +315,11 @@ fn heartbeat_deadline_reaps_a_vanished_device() {
     assert_eq!(admitted, vec![0, 1, 2]);
     let replies = c
         .train(
-            tasks_for(&admitted, &model, SEED),
+            tasks_for(&admitted, SEED),
+            std::slice::from_ref(&model),
             data.clients(),
             &tiny_cfg(),
+            &mut DiscardSink,
         )
         .unwrap();
     let responders: Vec<usize> = replies.iter().map(|r| r.client).collect();
@@ -323,9 +349,11 @@ fn slow_devices_survive_past_the_deadline_via_heartbeats() {
     let admitted = c.begin_round(0, &[0, 1, 2]).unwrap();
     let replies = c
         .train(
-            tasks_for(&admitted, &model, SEED),
+            tasks_for(&admitted, SEED),
+            std::slice::from_ref(&model),
             data.clients(),
             &tiny_cfg(),
+            &mut DiscardSink,
         )
         .unwrap();
     assert_eq!(replies.len(), 3, "the straggler must not be reaped");
@@ -350,9 +378,11 @@ fn later_then_accept_readmission() {
     assert!(c.stats().later_replies >= 1, "the eager device got Later");
     let accepted_before = c.stats().accepted;
     c.train(
-        tasks_for(&admitted, &model, SEED),
+        tasks_for(&admitted, SEED),
+        std::slice::from_ref(&model),
         data.clients(),
         &tiny_cfg(),
+        &mut DiscardSink,
     )
     .unwrap();
     c.finish_round().unwrap();
@@ -391,9 +421,11 @@ fn round_outcome(order: DeliveryOrder) -> (Vec<usize>, Vec<ReplyDigest>) {
     let admitted = c.begin_round(0, &(0..7).collect::<Vec<_>>()).unwrap();
     let replies = c
         .train(
-            tasks_for(&admitted, &model, SEED),
+            tasks_for(&admitted, SEED),
+            std::slice::from_ref(&model),
             data.clients(),
             &tiny_cfg(),
+            &mut DiscardSink,
         )
         .unwrap();
     let digest = replies
@@ -402,8 +434,8 @@ fn round_outcome(order: DeliveryOrder) -> (Vec<usize>, Vec<ReplyDigest>) {
             (
                 r.task,
                 r.client,
-                r.outcome.samples_processed,
-                r.outcome.avg_loss.to_bits(),
+                r.samples,
+                r.avg_loss.to_bits(),
                 r.elapsed_s.to_bits(),
             )
         })

@@ -1,0 +1,155 @@
+//! Property test: the streaming fold is 0-ULP identical to the
+//! retired batch FedAvg.
+//!
+//! The retired `ModelAggregator::fedavg` materialized every update in
+//! a `&[(Vec<Tensor>, u64)]` slice and folded the slice in one pass.
+//! The streaming [`FedAvgSink`] folds each update the moment it lands
+//! and drops it. Both must produce bitwise-equal averages — for any
+//! cohort, any completion-order permutation of the uploads, and any
+//! in-flight window size — because the sink replays the exact same
+//! `axpy(samples/total)` sequence in task order, no matter when each
+//! upload physically arrived.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use ft_fedsim::sink::{ClientUpdate, FedAvgSink, RoundManifest, TaskSpec, UpdateSink};
+use ft_tensor::Tensor;
+
+/// The retired batch FedAvg, verbatim: one pass over the materialized
+/// slice, `acc += (samples/total) · w` in task order.
+fn batch_fedavg(updates: &[(Vec<Tensor>, u64)]) -> Option<Vec<Tensor>> {
+    let total: u64 = updates.iter().map(|(_, n)| *n).sum();
+    if updates.is_empty() || total == 0 {
+        return None;
+    }
+    let mut acc: Vec<Tensor> = updates[0]
+        .0
+        .iter()
+        .map(|t| Tensor::zeros(t.shape().dims()))
+        .collect();
+    for (weights, n) in updates {
+        let w = *n as f32 / total as f32;
+        for (a, t) in acc.iter_mut().zip(weights) {
+            a.axpy(w, t).expect("same model, same shapes");
+        }
+    }
+    Some(acc)
+}
+
+/// Streams the same cohort through a [`FedAvgSink`], replaying the
+/// engine's dispatch discipline: tasks run in windows of
+/// `max_in_flight`; within a window, uploads *complete* in the given
+/// permutation order and sit in a reorder buffer until the contiguous
+/// task-order prefix can be absorbed (the sink rejects anything else).
+fn stream_fedavg(
+    updates: &[(Vec<Tensor>, u64)],
+    completion: &[usize],
+    max_in_flight: usize,
+) -> Option<Vec<Tensor>> {
+    let specs: Vec<TaskSpec> = updates
+        .iter()
+        .enumerate()
+        .map(|(i, (_, n))| TaskSpec {
+            task: i,
+            client: i,
+            samples: *n,
+        })
+        .collect();
+    let mut sink = FedAvgSink::single();
+    sink.begin_round(&RoundManifest {
+        round: 0,
+        tasks: &specs,
+    })
+    .unwrap();
+
+    let mut buffered: BTreeMap<usize, ClientUpdate> = BTreeMap::new();
+    let mut cursor = 0usize;
+    let window_of = |task: usize| task / max_in_flight;
+    for wnd in 0..updates.len().div_ceil(max_in_flight) {
+        for &task in completion.iter().filter(|&&t| window_of(t) == wnd) {
+            buffered.insert(
+                task,
+                ClientUpdate {
+                    task,
+                    client: task,
+                    samples: updates[task].1,
+                    weights: updates[task].0.clone(),
+                    delta: Vec::new(),
+                },
+            );
+            while let Some(u) = buffered.remove(&cursor) {
+                sink.absorb(u).unwrap();
+                cursor += 1;
+            }
+        }
+    }
+    assert!(buffered.is_empty(), "every upload must have been absorbed");
+    sink.finish().unwrap();
+    sink.take_average()
+}
+
+/// Per-task weights + sample counts.
+type Cohort = Vec<(Vec<Tensor>, u64)>;
+
+/// A cohort, a completion-order permutation of it, and an in-flight
+/// cap.
+fn cohort() -> impl Strategy<Value = (Cohort, Vec<usize>, usize)> {
+    (1usize..=10).prop_flat_map(|n| {
+        let one_update = (proptest::collection::vec(-1000i32..1000, 3 + 4), 0u64..500).prop_map(
+            |(vals, samples)| {
+                // Eighth-steps keep values exact in f32 while still
+                // exercising non-trivial rounding in the fold itself.
+                let f: Vec<f32> = vals.iter().map(|&v| v as f32 * 0.125).collect();
+                let t1 = Tensor::from_vec(f[..3].to_vec(), &[3]).unwrap();
+                let t2 = Tensor::from_vec(f[3..].to_vec(), &[4]).unwrap();
+                (vec![t1, t2], samples)
+            },
+        );
+        (
+            proptest::collection::vec(one_update, n),
+            proptest::collection::vec(0u64..u64::MAX, n),
+            1usize..=n + 2,
+        )
+            .prop_map(|(updates, keys, max_in_flight)| {
+                // Argsort of random keys: a uniform completion-order
+                // permutation (the vendored proptest has no shuffle).
+                let mut perm: Vec<usize> = (0..keys.len()).collect();
+                perm.sort_by_key(|&i| (keys[i], i));
+                (updates, perm, max_in_flight)
+            })
+    })
+}
+
+fn bits(tensors: &[Tensor]) -> Vec<u32> {
+    tensors
+        .iter()
+        .flat_map(|t| t.data().iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn streaming_fold_is_bit_identical_to_batch_fedavg(
+        (updates, completion, max_in_flight) in cohort()
+    ) {
+        let reference = batch_fedavg(&updates);
+        let streamed = stream_fedavg(&updates, &completion, max_in_flight);
+        match (reference, streamed) {
+            (None, None) => {}
+            (Some(r), Some(s)) => {
+                // Bitwise, not approximate: 0 ULP, same NaN/zero signs.
+                prop_assert_eq!(bits(&r), bits(&s));
+            }
+            (r, s) => prop_assert!(
+                false,
+                "presence mismatch: batch {:?} vs streamed {:?}",
+                r.is_some(),
+                s.is_some()
+            ),
+        }
+    }
+}

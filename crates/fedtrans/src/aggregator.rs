@@ -1,7 +1,9 @@
 //! Multi-model soft aggregation (§4.3, Eq. 5).
 //!
-//! Each round the aggregator first FedAvg's every model over its own
-//! participants, then blends weights *across* models:
+//! Each round the streaming fold
+//! ([`ft_fedsim::sink::FedAvgSink::grouped`]) FedAvg's every model
+//! over its own participants as updates land; this module then blends
+//! the per-model averages *across* models:
 //!
 //! ```text
 //! w_j = Σ_{i ≤ j} η^{1(i≠j)·t} · sim(M_i, M_j) · w_i
@@ -22,7 +24,7 @@
 //! cell's position; shape mismatches from widening are handled by
 //! corner cropping as in HeteroFL.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ft_model::crop::{finalize_overlap, overlap_add};
 use ft_model::{CellId, CellModel};
@@ -48,32 +50,6 @@ impl ModelAggregator {
             decayed: cfg.decayed_sharing,
             l2s: cfg.large_to_small_sharing,
         }
-    }
-
-    /// Sample-weighted FedAvg of participant weights for one model.
-    ///
-    /// Returns `None` when the model had no participants this round.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the updates do not all share one model's shapes.
-    pub fn fedavg(updates: &[(Vec<Tensor>, u64)]) -> Option<Vec<Tensor>> {
-        let total: u64 = updates.iter().map(|(_, n)| *n).sum();
-        if updates.is_empty() || total == 0 {
-            return None;
-        }
-        let mut acc: Vec<Tensor> = updates[0]
-            .0
-            .iter()
-            .map(|t| Tensor::zeros(t.shape().dims()))
-            .collect();
-        for (weights, n) in updates {
-            let w = *n as f32 / total as f32;
-            for (a, t) in acc.iter_mut().zip(weights) {
-                a.axpy(w, t).expect("same model, same shapes");
-            }
-        }
-        Some(acc)
     }
 
     /// Soft aggregation across the model suite.
@@ -109,7 +85,10 @@ impl ModelAggregator {
         // the O(models²) pair loop.
         let layouts: Vec<Vec<(Option<CellId>, usize, usize)>> =
             models.iter().map(CellModel::param_layout).collect();
-        let layout_maps: Vec<HashMap<Option<CellId>, (usize, usize)>> = layouts
+        // `BTreeMap` rather than `HashMap`: the pair loop below looks
+        // cells up by id, and every digest-relevant iteration in this
+        // workspace must be over a deterministic order (ft-lint D001).
+        let layout_maps: Vec<BTreeMap<Option<CellId>, (usize, usize)>> = layouts
             .iter()
             .map(|layout| {
                 layout
@@ -192,21 +171,6 @@ mod tests {
             .into_iter()
             .map(|t| Tensor::full(t.shape().dims(), v))
             .collect()
-    }
-
-    #[test]
-    fn fedavg_weights_by_samples() {
-        let m = CellModel::dense(&mut rng(0), 4, &[4], 2);
-        let a = constant_weights(&m, 1.0);
-        let b = constant_weights(&m, 3.0);
-        let avg = ModelAggregator::fedavg(&[(a, 10), (b, 30)]).unwrap();
-        // (1*10 + 3*30)/40 = 2.5
-        assert!((avg[0].data()[0] - 2.5).abs() < 1e-6);
-    }
-
-    #[test]
-    fn fedavg_of_nothing_is_none() {
-        assert!(ModelAggregator::fedavg(&[]).is_none());
     }
 
     fn make_family() -> (CellModel, CellModel, Vec<Vec<f32>>) {

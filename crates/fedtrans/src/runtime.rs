@@ -4,8 +4,10 @@
 //! message-driven [`ft_fedsim::coordinator`] runtime, assign each
 //! admitted client a compatible model via utility sampling, train
 //! locally (dispatched as `StartTrainingRound` messages and executed
-//! in parallel), account costs from the collected replies, update
-//! utilities, soft-aggregate the model suite, and — when the loss
+//! in parallel, each update folding into a grouped
+//! [`ft_fedsim::sink::FedAvgSink`] as it lands), account costs from
+//! the collected replies, update utilities, soft-aggregate the model
+//! suite from the streamed per-model averages, and — when the loss
 //! curve reaches its elbow — transform the newest model into a larger
 //! one. Client dropout and stragglers are *emergent* on this path: an
 //! offline device misses the rendezvous deadline, a throttled one
@@ -23,21 +25,19 @@
 //! `FT_CLIENT_THREADS` setting and under any within-tick message
 //! permutation.
 
-use std::collections::HashMap;
-
 use rand::Rng;
 use rand::SeedableRng;
 
 use ft_data::{FederatedDataset, InputSpec};
-use ft_fedsim::coordinator::{Coordinator, RoundOptions, TrainReply};
+use ft_fedsim::coordinator::{Coordinator, RoundOptions};
 use ft_fedsim::costs::{storage_mb, CostMeter};
 use ft_fedsim::device::DeviceTrace;
 use ft_fedsim::metrics::{box_stats, BoxStats};
 use ft_fedsim::report::{RoundReport, RunReport};
 use ft_fedsim::select;
+use ft_fedsim::sink::FedAvgSink;
 use ft_fedsim::trainer::TrainTask;
 use ft_model::{similarity::similarity_matrix, CellModel};
-use ft_tensor::Tensor;
 
 use crate::{
     ActivenessTracker, ClientManager, FedTransConfig, FedTransError, ModelAggregator,
@@ -255,25 +255,35 @@ impl FedTransRuntime {
             assigned_model.push(n);
             tasks.push(TrainTask {
                 client: c,
-                model: self.models[n].clone(),
+                model: n,
                 seed: ft_fedsim::trainer::client_seed(round_seed, c),
             });
         }
 
-        // 3. Training phase: dispatch tasks, collect replies (in task
-        // order; a reply's simulated arrival time is the device's
-        // round time, so stragglers are simply late).
+        // 3. Training phase: each update streams into a grouped
+        // FedAvg fold (one group per model in the suite) as its
+        // `EndTrainingRound` lands, and is dropped right after — peak
+        // memory is bounded by the in-flight window, not the cohort.
+        // Absorb order is task order, so the per-model folds are
+        // bit-identical to the retired materialize-then-average path.
+        let mut sink =
+            FedAvgSink::grouped(self.models.len(), assigned_model.clone()).with_delta_tracking();
         let replies = self
             .coordinator
-            .train(tasks, self.data.clients(), &self.cfg.local)
+            .train(
+                tasks,
+                &self.models,
+                self.data.clients(),
+                &self.cfg.local,
+                &mut sink,
+            )
             .map_err(FedTransError::from)?;
 
         // 4. Cost accounting and round time.
         let mut times = Vec::with_capacity(replies.len());
         for reply in &replies {
             let n = assigned_model[reply.task];
-            self.cost
-                .record_local_training(macs[n], reply.outcome.samples_processed);
+            self.cost.record_local_training(macs[n], reply.samples);
             self.cost
                 .record_model_transfer(self.models[n].param_count() as u64);
             self.cost.record_extra_bytes(4); // the scalar loss upload
@@ -282,24 +292,10 @@ impl FedTransRuntime {
         self.client_times.extend(&times);
         let round_time = times.iter().copied().fold(0.0f32, f32::max) as f64;
 
-        // 5. Group replies per model, FedAvg, soft aggregation (§4.3).
-        let mut per_model_updates: HashMap<usize, Vec<(Vec<Tensor>, u64)>> = HashMap::new();
-        let mut per_model_deltas: HashMap<usize, Vec<&TrainReply>> = HashMap::new();
-        for reply in &replies {
-            let n = assigned_model[reply.task];
-            per_model_updates.entry(n).or_default().push((
-                reply.outcome.weights.clone(),
-                reply.outcome.samples_processed,
-            ));
-            per_model_deltas.entry(n).or_default().push(reply);
-        }
-        let fedavg: Vec<Option<Vec<Tensor>>> = (0..self.models.len())
-            .map(|n| {
-                per_model_updates
-                    .get(&n)
-                    .and_then(|u| ModelAggregator::fedavg(u))
-            })
-            .collect();
+        // 5. Per-model FedAvg came out of the streaming fold; blend
+        // the suite with soft aggregation (§4.3).
+        let fedavg = sink.take_averages();
+        let mean_deltas = sink.take_mean_deltas();
         let ages: Vec<u32> = self
             .model_birth
             .iter()
@@ -313,33 +309,21 @@ impl FedTransRuntime {
         }
 
         // 6. Activeness from aggregate deltas (never per-client grads).
-        // Iterate in model order, NOT HashMap order: models share
-        // inherited CellIds, so the recording order of their histories
-        // is observable — random order made seeded runs diverge.
-        for n in 0..self.models.len() {
-            let Some(deltas) = per_model_deltas.get(&n) else {
+        // The sink maintained each model's mean delta in task order —
+        // the same fixed order the pre-streaming loop used, because
+        // models share inherited CellIds and the recording order of
+        // their histories is observable.
+        for (n, mean_delta) in mean_deltas.iter().enumerate() {
+            let Some(mean_delta) = mean_delta else {
                 continue;
             };
-            let count = deltas.len() as f32;
-            let mut mean_delta: Vec<Tensor> = deltas[0]
-                .outcome
-                .delta
-                .iter()
-                .map(|t| Tensor::zeros(t.shape().dims()))
-                .collect();
-            for reply in deltas {
-                for (m, d) in mean_delta.iter_mut().zip(&reply.outcome.delta) {
-                    // ft-lint: allow(P001) — deltas grouped by model index share shapes.
-                    m.axpy(1.0 / count, d).expect("same shapes per model");
-                }
-            }
-            self.activeness.record_round(&self.models[n], &mean_delta);
+            self.activeness.record_round(&self.models[n], mean_delta);
         }
 
         // 7. Joint utility update (Eq. 4).
         let participation: Vec<(usize, usize, f32)> = replies
             .iter()
-            .map(|r| (r.client, assigned_model[r.task], r.outcome.avg_loss))
+            .map(|r| (r.client, assigned_model[r.task], r.avg_loss))
             .collect();
         self.manager
             .update(&participation, &self.sims, &macs, &capacities);
@@ -347,7 +331,7 @@ impl FedTransRuntime {
         // 8. Transformation (§4.1), seeded from the newest model. A
         // fully dropped-out round produced no loss reports; the
         // coordinator has nothing to record and cannot transform.
-        let losses: Vec<f32> = replies.iter().map(|r| r.outcome.avg_loss).collect();
+        let losses: Vec<f32> = replies.iter().map(|r| r.avg_loss).collect();
         let mean_loss = ft_fedsim::metrics::mean(&losses);
         if !replies.is_empty() {
             self.transformer.record_loss(mean_loss);

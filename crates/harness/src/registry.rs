@@ -46,6 +46,8 @@ fn base(name: &str, description: &str) -> Scenario {
             ..Default::default()
         },
         timing: TimingSpec::default(),
+        sparse: false,
+        eval_clients: None,
         seed: 1,
     }
 }
@@ -146,6 +148,28 @@ pub fn canned() -> Vec<Scenario> {
     splitmix_ensemble.quick_rounds = 6;
     splitmix_ensemble.seed = 107;
 
+    let mut million_device = base(
+        "large-population-1m",
+        "FedAvg over a million-device sparse population (streaming fold)",
+    );
+    million_device.dataset = DatasetConfig::femnist_like()
+        .with_num_clients(1_000_000)
+        .with_mean_samples(20)
+        .with_seed(29);
+    million_device.algorithm = AlgorithmSpec::FedAvg {
+        yogi_lr: None,
+        prox_mu: None,
+    };
+    // Shards derive on demand and updates fold as they land: peak
+    // memory is O(clients in flight), never O(population).
+    million_device.sparse = true;
+    million_device.eval_clients = Some(200);
+    million_device.clients_per_round = 24;
+    million_device.rounds = 8;
+    million_device.quick_rounds = 2;
+    million_device.local.local_steps = 4;
+    million_device.seed = 109;
+
     let mut fluid_invariant = base(
         "fluid-invariant",
         "FLuID invariant dropout tracking update activity",
@@ -162,6 +186,7 @@ pub fn canned() -> Vec<Scenario> {
         hetero_tiers,
         straggler_heavy,
         large_population,
+        million_device,
         splitmix_ensemble,
         fluid_invariant,
     ]

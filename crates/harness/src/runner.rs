@@ -22,11 +22,14 @@ use ft_fedsim::{Algorithm, SimError};
 
 use crate::Scenario;
 
-/// Checkpoint file format version. Version 2 adds the coordinator
-/// protocol state (phase, round, liveness stats) to every algorithm's
-/// `state` object; version-1 checkpoints cannot restore a coordinator
-/// and are rejected.
-const CHECKPOINT_VERSION: u64 = 2;
+/// Checkpoint file format version. Version 3 is the streaming
+/// aggregation fold: replies carry scalars only and aggregates live in
+/// the round's `UpdateSink`, so the algorithm `state` written by this
+/// build is not interchangeable with the version-2 materialized-slice
+/// layout. Version 2 added the coordinator protocol state; version 1
+/// had neither. Older checkpoints are rejected with an explicit error
+/// instead of resuming into silently different aggregation state.
+const CHECKPOINT_VERSION: u64 = 3;
 
 /// How a scenario run is executed.
 #[derive(Debug, Clone, Default)]
@@ -211,11 +214,17 @@ fn resume_from_file(
         }
         Ok(())
     };
-    check(
-        "version",
-        &Value::Number(CHECKPOINT_VERSION as f64),
-        "format version",
-    )?;
+    let version = envelope
+        .get("version")
+        .ok_or_else(|| SimError::snapshot("checkpoint missing `version`"))?;
+    if version != &Value::Number(CHECKPOINT_VERSION as f64) {
+        return Err(SimError::snapshot(format!(
+            "checkpoint format version {version:?} is not readable by this build, which writes \
+             version {CHECKPOINT_VERSION} (the streaming aggregation fold). Checkpoints from \
+             older builds cannot be resumed — delete {} and rerun from round 0",
+            path.display()
+        )));
+    }
     check(
         "scenario",
         &Value::String(scenario.name.clone()),
@@ -318,6 +327,79 @@ mod tests {
         );
         assert!(err.is_err(), "resuming the wrong scenario must fail");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_older_checkpoint_versions() {
+        let scenario = registry::find("iid-small").unwrap();
+        let path = tmp_path("old-version");
+        let _ = std::fs::remove_file(&path);
+        // A syntactically valid version-2 envelope from a pre-streaming
+        // build; only the version gate should ever look at it.
+        std::fs::write(
+            &path,
+            r#"{"version":2,"scenario":"iid-small","quick":true,"target_rounds":4,"round":1,"state":{}}"#,
+        )
+        .unwrap();
+        let err = run_scenario(
+            &scenario,
+            &RunOptions {
+                quick: true,
+                checkpoint_path: Some(path.clone()),
+                ..Default::default()
+            },
+        );
+        let msg = err
+            .expect_err("version-2 checkpoint must be rejected")
+            .to_string();
+        assert!(
+            msg.contains("version") && msg.contains('3'),
+            "rejection must name the version gate, got: {msg}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Kill/resume over the sparse million-device scenario: on-demand
+    /// shards must regenerate identically after a restart, so the
+    /// resumed report matches the uninterrupted one byte for byte.
+    #[test]
+    fn sparse_scenario_resumes_byte_identically() {
+        let scenario = registry::find("large-population-1m").unwrap();
+        let quick = RunOptions {
+            quick: true,
+            ..Default::default()
+        };
+        let reference = run_scenario(&scenario, &quick).unwrap();
+        let reference_json = serde_json::to_string(reference.report.as_ref().unwrap()).unwrap();
+
+        let path = tmp_path("sparse-resume");
+        let _ = std::fs::remove_file(&path);
+        let interrupted = run_scenario(
+            &scenario,
+            &RunOptions {
+                quick: true,
+                checkpoint_path: Some(path.clone()),
+                stop_after: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!interrupted.finished());
+        let resumed = run_scenario(
+            &scenario,
+            &RunOptions {
+                quick: true,
+                checkpoint_path: Some(path),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.resumed_from, Some(1));
+        assert_eq!(
+            serde_json::to_string(resumed.report.as_ref().unwrap()).unwrap(),
+            reference_json,
+        );
+        assert_eq!(resumed.digest, reference.digest);
     }
 
     #[test]

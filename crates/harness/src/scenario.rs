@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use fedtrans::{seed_model, FedTransConfig, FedTransRuntime};
 use ft_baselines::{BaselineConfig, FedAvg, Fluid, HeteroFl, ServerOpt, SplitMix};
-use ft_data::DatasetConfig;
+use ft_data::{DatasetConfig, SparseFederatedData};
 use ft_fedsim::coordinator::RoundOptions;
 use ft_fedsim::device::{DeviceTier, DeviceTrace, DeviceTraceConfig};
 use ft_fedsim::trainer::LocalTrainConfig;
@@ -89,12 +89,10 @@ impl TimingSpec {
     /// The coordinator round options this timing implies (executor
     /// thread budget deferred to `FT_CLIENT_THREADS`).
     pub fn round_options(&self) -> RoundOptions {
-        RoundOptions {
-            threads: None,
-            rendezvous_deadline_s: self.rendezvous_deadline_s,
-            heartbeat_interval_s: self.heartbeat_interval_s,
-            heartbeat_deadline_s: self.heartbeat_deadline_s,
-        }
+        RoundOptions::new()
+            .rendezvous_deadline_s(self.rendezvous_deadline_s)
+            .heartbeat_interval_s(self.heartbeat_interval_s)
+            .heartbeat_deadline_s(self.heartbeat_deadline_s)
     }
 
     /// Validates the timing knobs.
@@ -188,6 +186,19 @@ pub struct Scenario {
     /// behaviour.
     #[serde(default)]
     pub timing: TimingSpec,
+    /// Derive client shards on demand instead of materializing the
+    /// whole population up front (see
+    /// [`ft_data::SparseFederatedData`]). Lets a scenario scale to
+    /// millions of devices with peak memory proportional to the
+    /// clients in flight; only the FedAvg arm supports it. Absent in
+    /// older scenario files; defaults to materialized.
+    #[serde(default)]
+    pub sparse: bool,
+    /// Cap on clients swept per evaluation pass (`None` sweeps all).
+    /// Million-device scenarios set this so eval cost does not dwarf
+    /// training.
+    #[serde(default)]
+    pub eval_clients: Option<usize>,
     /// Base RNG seed for the run.
     pub seed: u64,
 }
@@ -257,6 +268,15 @@ impl Scenario {
             ));
         }
         self.timing.validate()?;
+        if self.sparse && !matches!(self.algorithm, AlgorithmSpec::FedAvg { .. }) {
+            // The multi-model methods index weights across the whole
+            // suite; only the single-model arm is written against the
+            // on-demand shard source today.
+            return Err("sparse populations are only supported for the FedAvg arm".to_owned());
+        }
+        if self.eval_clients == Some(0) {
+            return Err("eval_clients must be at least 1 when set".to_owned());
+        }
         Ok(())
     }
 
@@ -278,6 +298,7 @@ impl Scenario {
             eval_every: self.eval_every,
             enforce_capacity: true,
             faults: self.faults,
+            eval_clients: self.eval_clients,
         }
     }
 
@@ -291,13 +312,51 @@ impl Scenario {
     pub fn build(&self) -> ft_fedsim::Result<Box<dyn Algorithm>> {
         self.validate()
             .map_err(|detail| SimError::BadConfig { detail })?;
-        let data = self.dataset.generate();
-        let devices = self.devices.generate(data.num_clients());
-        let mut driver = self.build_algorithm(data, devices)?;
+        let mut driver = if self.sparse {
+            // On-demand shards: construction cost is O(classes × dim),
+            // independent of the population size.
+            let data = SparseFederatedData::new(self.dataset.clone());
+            let devices = self
+                .devices
+                .generate(ft_data::ShardSource::num_clients(&data));
+            self.build_sparse(data, devices)?
+        } else {
+            let data = self.dataset.generate();
+            let devices = self.devices.generate(data.num_clients());
+            self.build_algorithm(data, devices)?
+        };
         // Scenario timing first, then explicit FT_* env overrides on
         // top, so operators can experiment without editing scenarios.
         driver.set_round_options(self.timing.round_options().with_env_overrides());
         Ok(driver)
+    }
+
+    /// Builds the FedAvg arm over an on-demand shard source (the only
+    /// arm the sparse path supports; `validate` enforces this).
+    fn build_sparse(
+        &self,
+        data: SparseFederatedData,
+        devices: DeviceTrace,
+    ) -> ft_fedsim::Result<Box<dyn Algorithm>> {
+        let AlgorithmSpec::FedAvg { yogi_lr, prox_mu } = self.algorithm else {
+            return Err(SimError::BadConfig {
+                detail: "sparse populations are only supported for the FedAvg arm".to_owned(),
+            });
+        };
+        let mut cfg = self.baseline_config();
+        cfg.local.prox_mu = prox_mu;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed.wrapping_add(0x5EED));
+        let model = seed_model(
+            &mut rng,
+            data.input(),
+            data.num_classes(),
+            devices.min_capacity(),
+        );
+        let server = match yogi_lr {
+            Some(lr) => ServerOpt::Yogi { lr },
+            None => ServerOpt::Average,
+        };
+        Ok(Box::new(FedAvg::new(cfg, data, devices, model, server)))
     }
 
     fn build_algorithm(
@@ -427,6 +486,8 @@ mod tests {
                 ..Default::default()
             },
             timing: TimingSpec::default(),
+            sparse: false,
+            eval_clients: None,
             seed: 11,
         }
     }

@@ -24,10 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // (1) A one-size-fits-all model sized for the BIG devices.
     let big_macs = devices.max_capacity();
-    let latencies: Vec<f32> = devices
-        .profiles()
-        .iter()
-        .map(|p| p.inference_latency_ms(big_macs) as f32)
+    let latencies: Vec<f32> = (0..devices.len())
+        .map(|c| devices.profile(c).inference_latency_ms(big_macs) as f32)
         .collect();
     let stats = box_stats(&latencies);
     println!("single large model ({big_macs} MACs): inference latency");
@@ -35,10 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  median {:.1} ms, p75 {:.1} ms, worst {:.1} ms",
         stats.median, stats.q3, stats.max
     );
-    let incompatible = devices
-        .profiles()
-        .iter()
-        .filter(|p| !p.is_compatible(big_macs))
+    let incompatible = (0..devices.len())
+        .filter(|&c| !devices.profile(c).is_compatible(big_macs))
         .count();
     println!(
         "  {incompatible}/{} devices cannot run it at all",

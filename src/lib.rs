@@ -5,10 +5,14 @@
 //! the [`ft_fedsim::Algorithm`] trait plus the message-driven
 //! [`ft_fedsim::coordinator`] whose [`ft_fedsim::coordinator::drive`]
 //! loop runs every method), and [`ft_harness`] (the config-driven
-//! scenario system behind the `ft-run` CLI). The remaining crates are
-//! implementation layers; see `docs/ARCHITECTURE.md` for the full
-//! crate map, the coordinator state machine, the dataflow of one
-//! round, and the determinism contract.
+//! scenario system behind the `ft-run` CLI). The streaming
+//! aggregation surface — [`UpdateSink`] and the [`FedAvgSink`] fold
+//! it ships with — is re-exported at this root because it is the one
+//! extension point every aggregation strategy implements. The
+//! remaining crates are implementation layers; see
+//! `docs/ARCHITECTURE.md` for the full crate map, the coordinator
+//! state machine, the dataflow of one round, and the determinism
+//! contract.
 //!
 //! This package also hosts the cross-crate integration tests
 //! (`tests/`), the runnable examples (`examples/`), and the `ft-run`
@@ -16,6 +20,7 @@
 #![allow(unused_imports)]
 pub use fedtrans;
 pub use ft_fedsim;
+pub use ft_fedsim::{ClientUpdate, FedAvgSink, RoundManifest, TaskSpec, UpdateSink};
 pub use ft_harness;
 
 #[cfg(test)]
@@ -24,5 +29,18 @@ mod smoke {
     fn facade_reexports_the_fedtrans_api() {
         let cfg = fedtrans::FedTransConfig::default();
         assert!(cfg.clients_per_round > 0);
+    }
+
+    #[test]
+    fn facade_reexports_the_streaming_sink_api() {
+        // The trait and its stock fold are reachable without naming
+        // ft_fedsim: an empty round folds to no average.
+        let mut sink: Box<dyn crate::UpdateSink> = Box::new(crate::FedAvgSink::single());
+        sink.begin_round(&crate::RoundManifest {
+            round: 0,
+            tasks: &[],
+        })
+        .unwrap();
+        sink.finish().unwrap();
     }
 }

@@ -98,9 +98,16 @@ fn every_canned_scenario_matches_its_committed_golden() {
             "{} round count",
             scenario.name
         );
+        // eval_clients caps the evaluation sweep (million-device
+        // scenarios would otherwise evaluate the whole population).
+        let evaluated = scenario
+            .eval_clients
+            .map_or(scenario.dataset.num_clients, |k| {
+                k.min(scenario.dataset.num_clients)
+            });
         assert_eq!(
             report.per_client_accuracy.len(),
-            scenario.dataset.num_clients,
+            evaluated,
             "{} per-client accuracy length",
             scenario.name
         );
