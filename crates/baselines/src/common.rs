@@ -50,6 +50,10 @@ pub struct BaselineConfig {
     /// path; capping the eval sweep keeps the 1M-device bench honest
     /// about aggregation memory without hours of inference.
     pub eval_clients: Option<usize>,
+    /// How the FedAvg arm aggregates each round's updates (defense
+    /// against byzantine participants). The default — plain FedAvg —
+    /// replays the undefended fold bit for bit.
+    pub robust: ft_fedsim::RobustAggregation,
 }
 
 impl Default for BaselineConfig {
@@ -62,6 +66,7 @@ impl Default for BaselineConfig {
             enforce_capacity: true,
             faults: FaultConfig::default(),
             eval_clients: None,
+            robust: ft_fedsim::RobustAggregation::default(),
         }
     }
 }

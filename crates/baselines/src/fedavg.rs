@@ -12,7 +12,7 @@ use ft_fedsim::coordinator::{Coordinator, RoundOptions};
 use ft_fedsim::device::DeviceTrace;
 use ft_fedsim::report::{RoundReport, RunReport};
 use ft_fedsim::select;
-use ft_fedsim::sink::FedAvgSink;
+use ft_fedsim::sink::RobustSink;
 use ft_fedsim::trainer::{client_seed, TrainTask};
 use ft_fedsim::Result;
 use ft_model::CellModel;
@@ -96,9 +96,12 @@ impl<D: ShardSource> FedAvg<D> {
                 seed: client_seed(round_seed, c),
             })
             .collect();
-        // Stream every update into the weighted-mean fold as it lands;
-        // no per-client weights survive the round.
-        let mut sink = FedAvgSink::single();
+        // Stream every update into the configured aggregation fold as
+        // it lands (plain FedAvg by default; buffering robust sinks
+        // retain the cohort's updates until finish). The default spec
+        // builds a plain FedAvgSink, so undefended runs fold the exact
+        // op sequence they always did.
+        let mut sink = RobustSink::new(self.cfg.robust);
         let replies = self.coordinator.train(
             tasks,
             std::slice::from_ref(&self.model),
@@ -200,6 +203,12 @@ impl<D: ShardSource> FedAvg<D> {
         self.coordinator.set_options(opts);
     }
 
+    /// Installs the adversarial fleet model (byzantine clients,
+    /// availability churn, concept drift) used by subsequent rounds.
+    pub fn set_adversity(&mut self, adversity: ft_fedsim::AdversityConfig) {
+        self.coordinator.set_adversity(adversity);
+    }
+
     /// The message-driven coordinator this runner rendezvouses and
     /// trains through (for tests and protocol telemetry).
     pub fn coordinator(&mut self) -> &mut Coordinator {
@@ -235,6 +244,10 @@ impl<D: ShardSource> ft_fedsim::Algorithm for FedAvg<D> {
 
     fn set_round_options(&mut self, opts: RoundOptions) {
         FedAvg::set_round_options(self, opts);
+    }
+
+    fn set_adversity(&mut self, adversity: ft_fedsim::AdversityConfig) {
+        FedAvg::set_adversity(self, adversity);
     }
 
     fn checkpoint(&self) -> serde::Value {

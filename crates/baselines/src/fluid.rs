@@ -293,6 +293,12 @@ impl Fluid {
         self.coordinator.set_options(opts);
     }
 
+    /// Installs the adversarial fleet model (byzantine clients,
+    /// availability churn, concept drift) used by subsequent rounds.
+    pub fn set_adversity(&mut self, adversity: ft_fedsim::AdversityConfig) {
+        self.coordinator.set_adversity(adversity);
+    }
+
     /// The message-driven coordinator this runner rendezvouses and
     /// trains through (for tests and protocol telemetry).
     pub fn coordinator(&mut self) -> &mut Coordinator {
@@ -319,6 +325,10 @@ impl ft_fedsim::Algorithm for Fluid {
 
     fn set_round_options(&mut self, opts: RoundOptions) {
         Fluid::set_round_options(self, opts);
+    }
+
+    fn set_adversity(&mut self, adversity: ft_fedsim::AdversityConfig) {
+        Fluid::set_adversity(self, adversity);
     }
 
     fn checkpoint(&self) -> serde::Value {

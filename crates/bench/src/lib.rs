@@ -16,7 +16,7 @@ use ft_fedsim::coordinator::{drive, RoundOptions};
 use ft_fedsim::device::{DeviceTrace, DeviceTraceConfig};
 use ft_fedsim::report::RunReport;
 use ft_fedsim::trainer::LocalTrainConfig;
-use ft_fedsim::Result as SimResult;
+use ft_fedsim::{AdversityConfig, Result as SimResult};
 use ft_model::CellModel;
 use rand::SeedableRng;
 
@@ -138,6 +138,10 @@ pub struct Setup {
     pub devices: DeviceTrace,
     /// The seed model (sized to the least capable device).
     pub seed: CellModel,
+    /// Fleet adversity (attacks / churn / drift) applied to every run
+    /// from this setup. The default is inert and replays the benign
+    /// fold bit for bit.
+    pub adversity: AdversityConfig,
 }
 
 impl Setup {
@@ -189,7 +193,15 @@ impl Setup {
             data,
             devices,
             seed,
+            adversity: AdversityConfig::default(),
         }
+    }
+
+    /// Applies a fleet adversity model to every subsequent run.
+    #[must_use]
+    pub fn with_adversity(mut self, adversity: AdversityConfig) -> Self {
+        self.adversity = adversity;
+        self
     }
 
     /// Training rounds for this workload: image (conv) workloads need
@@ -252,6 +264,7 @@ impl Setup {
             self.devices.clone(),
             self.seed.clone(),
         )?;
+        rt.set_adversity(self.adversity.clone());
         Ok(drive(&mut rt, rounds, &RoundOptions::from_env())?)
     }
 
@@ -272,6 +285,7 @@ impl Setup {
             self.devices.clone(),
             self.seed.clone(),
         )?;
+        rt.set_adversity(self.adversity.clone());
         let report = drive(&mut rt, rounds, &RoundOptions::from_env())?;
         let largest = rt
             .models()
@@ -295,6 +309,7 @@ impl Setup {
         rounds: usize,
     ) -> SimResult<RunReport> {
         let mut rt = FedAvg::new(cfg, self.data.clone(), self.devices.clone(), model, server);
+        rt.set_adversity(self.adversity.clone());
         drive(&mut rt, rounds, &RoundOptions::from_env())
     }
 
@@ -310,6 +325,7 @@ impl Setup {
         rounds: usize,
     ) -> SimResult<RunReport> {
         let mut rt = HeteroFl::new(cfg, self.data.clone(), self.devices.clone(), global);
+        rt.set_adversity(self.adversity.clone());
         drive(&mut rt, rounds, &RoundOptions::from_env())
     }
 
@@ -326,6 +342,7 @@ impl Setup {
         rounds: usize,
     ) -> SimResult<RunReport> {
         let mut rt = SplitMix::new(cfg, self.data.clone(), self.devices.clone(), global, k);
+        rt.set_adversity(self.adversity.clone());
         drive(&mut rt, rounds, &RoundOptions::from_env())
     }
 
@@ -341,6 +358,7 @@ impl Setup {
         rounds: usize,
     ) -> SimResult<RunReport> {
         let mut rt = Fluid::new(cfg, self.data.clone(), self.devices.clone(), global);
+        rt.set_adversity(self.adversity.clone());
         drive(&mut rt, rounds, &RoundOptions::from_env())
     }
 }

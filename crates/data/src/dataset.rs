@@ -103,6 +103,34 @@ impl ClientData {
         });
     }
 
+    /// Rebuilds the shard with every label sent through `f` (train,
+    /// test, and the label distribution alike). Features, sample
+    /// counts, and difficulty are untouched, so round pricing computed
+    /// from [`ClientData::train_len`] stays valid — the property the
+    /// drift and label-poisoning paths rely on.
+    ///
+    /// `num_classes` is the label-space size; `f` must map `[0,
+    /// num_classes)` into itself (the label distribution is permuted
+    /// through the same map).
+    #[must_use]
+    pub fn map_labels(mut self, num_classes: usize, f: impl Fn(usize) -> usize) -> Self {
+        let remap = |y: &mut usize| {
+            let mapped = f(*y);
+            debug_assert!(mapped < num_classes, "label map left [0, {num_classes})");
+            *y = mapped;
+        };
+        self.train_y.iter_mut().for_each(remap);
+        self.test_y.iter_mut().for_each(remap);
+        if self.label_dist.len() == num_classes {
+            let mut dist = vec![0.0f32; num_classes];
+            for (c, &p) in self.label_dist.iter().enumerate() {
+                dist[f(c).min(num_classes - 1)] += p;
+            }
+            self.label_dist = dist;
+        }
+        self
+    }
+
     fn gather_train(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
         let dim = self.train_x[0].len();
         let mut data = Vec::with_capacity(indices.len() * dim);

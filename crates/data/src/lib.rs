@@ -37,12 +37,14 @@
 
 mod config;
 mod dataset;
+pub mod drift;
 mod generator;
 pub mod partition;
 mod shard;
 
 pub use config::{DatasetConfig, InputSpec};
 pub use dataset::{ClientData, FederatedDataset};
+pub use drift::{DriftConfig, DriftedShards};
 pub use shard::{ShardSource, SparseFederatedData};
 
 #[cfg(test)]

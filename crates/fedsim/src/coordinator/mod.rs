@@ -58,6 +58,7 @@ use serde::{Deserialize, Serialize, Value};
 use ft_data::ShardSource;
 use ft_model::CellModel;
 
+use crate::attack::AdversityConfig;
 use crate::device::DeviceTrace;
 use crate::driver::Algorithm;
 use crate::faults::FaultConfig;
@@ -338,6 +339,8 @@ pub struct Coordinator {
     transport: Box<dyn Transport>,
     cohort: Cohort,
     opts: RoundOptions,
+    adversity: AdversityConfig,
+    seed: u64,
     phase: Phase,
     round: u32,
     admitted: Vec<usize>,
@@ -369,6 +372,8 @@ impl Coordinator {
             transport,
             cohort: Cohort::new(seed, faults, devices),
             opts: RoundOptions::from_env(),
+            adversity: AdversityConfig::default(),
+            seed,
             phase: Phase::Standby,
             round: 0,
             admitted: Vec::new(),
@@ -400,6 +405,17 @@ impl Coordinator {
     /// overrides).
     pub fn set_options(&mut self, opts: RoundOptions) {
         self.opts = opts;
+    }
+
+    /// Installs the adversarial fleet model: byzantine attacks corrupt
+    /// updates at the sink boundary (and optionally the labels clients
+    /// train on), the availability model churns the rendezvous path and
+    /// departs devices mid-round, and the drift schedule rotates labels
+    /// over time. Everything is a stateless hash of the run seed, so
+    /// the default (inert) config leaves every run bit-identical.
+    pub fn set_adversity(&mut self, adversity: AdversityConfig) {
+        self.cohort.set_availability(adversity.availability.clone());
+        self.adversity = adversity;
     }
 
     /// Mutable access to the simulated cohort, for installing
@@ -656,6 +672,8 @@ impl Coordinator {
             open_tasks.entry(client).or_default().push(i);
         }
         let mut task_samples = vec![0u64; n];
+        let mut task_timing = vec![(0.0f64, 0u64); n]; // (elapsed_s, end tick)
+        let mut client_span: BTreeMap<usize, f64> = BTreeMap::new();
         for i in 0..n {
             if !executed[i] {
                 continue;
@@ -664,7 +682,31 @@ impl Coordinator {
             let samples = crate::trainer::expected_samples(cfg, shards.train_len(client));
             task_samples[i] = samples;
             let elapsed_s = self.cohort.round_time(round, client, macs, params, samples);
-            let end = start + ticks_for_seconds(elapsed_s);
+            task_timing[i] = (elapsed_s, start + ticks_for_seconds(elapsed_s));
+            let span = client_span.entry(client).or_insert(0.0);
+            if elapsed_s > *span {
+                *span = elapsed_s;
+            }
+        }
+        // Mid-round departures: a departing device's cutoff tick is a
+        // stateless hash of its round span; events scheduled at or
+        // past the cutoff are never sent, so fast tasks still land
+        // while slow ones go silent and the heartbeat deadline reaps
+        // them. The default (no departure model) cutoff is ∞, which
+        // keeps the schedule below bit-identical to the pre-churn one.
+        let mut cutoff: BTreeMap<usize, u64> = BTreeMap::new();
+        for (&client, &span_s) in &client_span {
+            if let Some(dep_s) = self.cohort.departure_s(round, client, span_s) {
+                cutoff.insert(client, start + ticks_for_seconds(dep_s));
+            }
+        }
+        for i in 0..n {
+            if !executed[i] {
+                continue;
+            }
+            let client = task_meta[i].0;
+            let (elapsed_s, end) = task_timing[i];
+            let cut = cutoff.get(&client).copied().unwrap_or(u64::MAX);
             // Liveness beats every interval until the result lands. For
             // degenerate spans (a tiny interval against a huge round
             // time) the stride widens so no device ever schedules more
@@ -674,21 +716,23 @@ impl Coordinator {
             // documented non-goal.
             let stride = hb_ticks.max(end.saturating_sub(start) / 10_000);
             let mut beat = start + stride;
-            while beat < end {
+            while beat < end && beat < cut {
                 self.transport
                     .send_up(client, beat, ClientMessage::Heartbeat { round });
                 beat += stride;
             }
-            self.transport.send_up(
-                client,
-                end,
-                ClientMessage::EndTrainingRound {
-                    round,
-                    task: i,
-                    samples,
-                    elapsed_s,
-                },
-            );
+            if end < cut {
+                self.transport.send_up(
+                    client,
+                    end,
+                    ClientMessage::EndTrainingRound {
+                        round,
+                        task: i,
+                        samples: task_samples[i],
+                        elapsed_s,
+                    },
+                );
+            }
         }
 
         // Collect: jump the clock from event to event; reap devices
@@ -800,6 +844,9 @@ impl Coordinator {
             .unwrap_or_else(crate::exec::client_threads);
         let window = self.opts.max_in_flight.unwrap_or(threads).max(1);
         let quantize = self.opts.quantize_updates;
+        let run_seed = self.seed;
+        let attack = self.adversity.attack;
+        let drift = self.adversity.drift;
         crate::exec::try_stream_map(
             delivered.len(),
             threads,
@@ -807,7 +854,18 @@ impl Coordinator {
             |slot| {
                 let (client, model_idx, seed, ..) = task_meta[delivered[slot]];
                 let mut model = models[model_idx].clone();
-                let shard = shards.shard(client);
+                // Concept drift first (the whole fleet sees the same
+                // schedule), then the byzantine label flip on marked
+                // clients — both pure shard views, inert by default.
+                let mut shard = drift.apply(round, shards.shard(client));
+                if attack.flip_labels && attack.is_byzantine(run_seed, round, client) {
+                    let classes = shard.label_dist().len();
+                    if classes > 1 {
+                        shard = std::borrow::Cow::Owned(
+                            shard.into_owned().map_labels(classes, |y| classes - 1 - y),
+                        );
+                    }
+                }
                 crate::trainer::train_local(&mut model, client, &shard, cfg, seed)
             },
             |slot, mut outcome| {
@@ -824,6 +882,18 @@ impl Coordinator {
                 if let Some(reply) = replies[i].as_mut() {
                     reply.avg_loss = outcome.avg_loss;
                     reply.avg_acc = outcome.avg_acc;
+                }
+                // Byzantine corruption happens at the sink boundary —
+                // after training, before any uplink transform — so
+                // robust sinks see exactly what the attacker uploads.
+                if attack.is_byzantine(run_seed, round, outcome.client) {
+                    attack.corrupt(
+                        run_seed,
+                        round,
+                        outcome.client,
+                        &mut outcome.weights,
+                        &mut outcome.delta,
+                    )?;
                 }
                 if quantize {
                     crate::sink::quantize_roundtrip(&mut outcome.weights);

@@ -20,6 +20,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::attack::AvailabilityConfig;
 use crate::device::DeviceTrace;
 use crate::faults::FaultConfig;
 use crate::roundtime::client_round_time;
@@ -43,12 +44,19 @@ pub enum Behavior {
     /// Send a rendezvous request at round start without waiting for an
     /// invite (exercises the Later reply and later readmission).
     Eager,
+    /// Accept the invite and start training, then leave the fleet this
+    /// many simulated seconds after dispatch: events scheduled past the
+    /// cutoff (heartbeats, the result) are never sent, so the heartbeat
+    /// deadline reaps the task. Tasks that finish before the cutoff
+    /// still land — mid-round churn, not a whole-round outage.
+    Depart(f64),
 }
 
 /// The device side of every client in the fleet.
 pub struct Cohort {
     seed: u64,
     faults: FaultConfig,
+    availability: AvailabilityConfig,
     devices: DeviceTrace,
     overrides: BTreeMap<(u32, usize), Behavior>,
 }
@@ -60,9 +68,18 @@ impl Cohort {
         Cohort {
             seed,
             faults,
+            availability: AvailabilityConfig::default(),
             devices,
             overrides: BTreeMap::new(),
         }
+    }
+
+    /// Installs a diurnal availability trace and departure model. Like
+    /// the fault config, it is a stateless hash of `(seed, round,
+    /// client)`, so churn is deterministic and resume-safe. The default
+    /// config is inert — every device is available and never departs.
+    pub fn set_availability(&mut self, availability: AvailabilityConfig) {
+        self.availability = availability;
     }
 
     /// Overrides one device's conduct for one round (tests only; the
@@ -80,12 +97,33 @@ impl Cohort {
             .unwrap_or(Behavior::Auto)
     }
 
-    /// Whether the device is unreachable for the whole round.
+    /// Whether the device is unreachable for the whole round: dropped
+    /// by the fault model or off-shift in the diurnal availability
+    /// trace.
     pub fn offline(&self, round: u32, client: usize) -> bool {
         match self.behavior(round, client) {
             Behavior::Offline => true,
-            Behavior::Auto => self.faults.drops(self.seed, round, client),
+            Behavior::Auto => {
+                self.faults.drops(self.seed, round, client)
+                    || !self.availability.online(self.seed, round, client)
+            }
             _ => false,
+        }
+    }
+
+    /// If the device departs mid-round: the simulated seconds after
+    /// training dispatch at which it goes dark. `span_s` is the
+    /// device's full simulated round time, which the stochastic model
+    /// scales by a uniform fraction; a [`Behavior::Depart`] override
+    /// names the cutoff directly.
+    pub fn departure_s(&self, round: u32, client: usize, span_s: f64) -> Option<f64> {
+        match self.behavior(round, client) {
+            Behavior::Depart(s) => Some(s),
+            Behavior::Auto => self
+                .availability
+                .departure_frac(self.seed, round, client)
+                .map(|frac| frac * span_s),
+            _ => None,
         }
     }
 
@@ -231,6 +269,34 @@ mod tests {
         let up = t.recv_up(1);
         assert_eq!(up.len(), 1);
         assert_eq!(up[0].0, 5);
+    }
+
+    #[test]
+    fn availability_trace_takes_devices_offline() {
+        let mut c = cohort(FaultConfig::default());
+        assert!(!c.offline(0, 0), "default availability is inert");
+        c.set_availability(AvailabilityConfig {
+            trace: vec![0.0, 1.0],
+            departure_prob: 0.0,
+        });
+        // Trace entry 0.0: every device is off-shift in even rounds.
+        assert!((0..8).all(|cl| c.offline(0, cl)));
+        assert!((0..8).all(|cl| !c.offline(1, cl)));
+    }
+
+    #[test]
+    fn departures_follow_the_override_or_the_hash() {
+        let mut c = cohort(FaultConfig::default());
+        assert_eq!(c.departure_s(0, 0, 100.0), None);
+        c.set_behavior(0, 3, Behavior::Depart(12.5));
+        assert_eq!(c.departure_s(0, 3, 100.0), Some(12.5));
+        c.set_availability(AvailabilityConfig {
+            trace: Vec::new(),
+            departure_prob: 1.0,
+        });
+        let s = c.departure_s(1, 2, 100.0).expect("prob 1.0 always departs");
+        assert!((0.0..100.0).contains(&s), "cutoff within the round span");
+        assert_eq!(c.departure_s(1, 2, 100.0), Some(s), "deterministic");
     }
 
     #[test]

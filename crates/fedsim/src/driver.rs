@@ -64,6 +64,15 @@ pub trait Algorithm {
         let _ = opts;
     }
 
+    /// Installs the adversarial fleet model (byzantine clients,
+    /// availability churn, concept drift) this method's rounds run
+    /// under. The default implementation ignores it — the inert
+    /// default config changes nothing, so methods need only override
+    /// this to *support* adversity, not to stay correct without it.
+    fn set_adversity(&mut self, adversity: crate::attack::AdversityConfig) {
+        let _ = adversity;
+    }
+
     /// Runs rounds until `total_rounds` have completed, then reports.
     ///
     /// # Errors

@@ -48,8 +48,10 @@ impl Default for FaultConfig {
     }
 }
 
-/// SplitMix64 finalizer: a high-quality stateless mixer.
-fn mix(mut z: u64) -> u64 {
+/// SplitMix64 finalizer: a high-quality stateless mixer. Shared with
+/// the attack/availability hashes in [`crate::attack`], which key off
+/// the same `(seed, round, client)` tuples under distinct salts.
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -57,7 +59,7 @@ fn mix(mut z: u64) -> u64 {
 }
 
 /// A uniform `[0, 1)` draw determined entirely by its arguments.
-fn unit(seed: u64, round: u64, client: u64, salt: u64) -> f64 {
+pub(crate) fn unit(seed: u64, round: u64, client: u64, salt: u64) -> f64 {
     let h = mix(seed ^ mix(round ^ mix(client ^ salt)));
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }

@@ -27,6 +27,10 @@
 //! * [`faults`] — the deterministic client fault model (stateless
 //!   dropout / straggler hashes) the coordinator's cohort emerges
 //!   faults from;
+//! * [`attack`] — the deterministic adversarial fleet model: byzantine
+//!   clients (label flips, corrupted updates), diurnal availability
+//!   traces, mid-round departures, and the concept-drift schedule —
+//!   all stateless hashes like the fault model;
 //! * [`coordinator`] — the message-driven coordinator runtime: the
 //!   round state machine, the typed message protocol, the pluggable
 //!   [`coordinator::Transport`], and the generic [`coordinator::drive`]
@@ -49,6 +53,7 @@
 // Enforced in depth by ft-lint (S001); the compiler backstops it here.
 #![forbid(unsafe_code)]
 
+pub mod attack;
 pub mod coordinator;
 pub mod costs;
 pub mod device;
@@ -65,11 +70,15 @@ pub mod trainer;
 
 mod error;
 
+pub use attack::{AdversityConfig, AttackConfig, AvailabilityConfig, Corruption};
 pub use coordinator::{drive, Coordinator, RoundOptions};
 pub use driver::Algorithm;
 pub use error::SimError;
 pub use faults::FaultConfig;
-pub use sink::{ClientUpdate, FedAvgSink, RoundManifest, TaskSpec, UpdateSink};
+pub use sink::{
+    ClientUpdate, CoordinateMedianSink, FedAvgSink, NormClipSink, RobustAggregation, RobustSink,
+    RoundManifest, TaskSpec, TrimmedMeanSink, UpdateSink,
+};
 
 /// Convenience alias for results produced by the simulator.
 pub type Result<T> = std::result::Result<T, SimError>;

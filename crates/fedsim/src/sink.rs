@@ -58,6 +58,27 @@
 //! let avg = sink.take_average().unwrap();
 //! assert_eq!(avg[0].data(), &[2.5]);
 //! ```
+//!
+//! # Robust aggregation
+//!
+//! Byzantine-tolerant sinks compose behind the same [`UpdateSink`]
+//! trait, selected via [`RobustAggregation`] / [`RobustSink`]:
+//!
+//! * [`NormClipSink`] — **streaming**, O(1) extra memory: each
+//!   update's pseudo-gradient is L2-clipped to a threshold before
+//!   delegating to an inner sink, bounding any one client's pull on
+//!   the aggregate.
+//! * [`TrimmedMeanSink`] / [`CoordinateMedianSink`] — **buffering**:
+//!   order statistics need every update at once, so these retain the
+//!   round's full cohort and give up the streaming path's O(in-flight)
+//!   memory bound — peak memory is O(cohort), the price of trimming.
+//!
+//! The buffering sinks keep the determinism contract anyway: updates
+//! arrive in task order (the coordinator guarantees it), per-coordinate
+//! sorts use `total_cmp` with the buffer position as tie-break, and the
+//! surviving values fold in task order — so the result is bit-identical
+//! under any completion-order permutation, any `max_in_flight`, and any
+//! thread count, and both sinks checkpoint/restore mid-fold.
 
 use serde::{Deserialize, Serialize, Value};
 
@@ -402,6 +423,602 @@ impl UpdateSink for FedAvgSink {
     }
 }
 
+/// Which aggregation rule a round's [`RobustSink`] applies. The
+/// default is plain FedAvg — scenarios without a robust block keep
+/// their exact numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum RobustAggregation {
+    /// The plain sample-weighted mean ([`FedAvgSink`]).
+    #[default]
+    FedAvg,
+    /// L2-clip each update's pseudo-gradient to `tau` before the
+    /// weighted mean ([`NormClipSink`], streaming).
+    NormClip {
+        /// The L2 norm threshold.
+        tau: f64,
+    },
+    /// Coordinate-wise trimmed weighted mean ([`TrimmedMeanSink`],
+    /// buffering).
+    TrimmedMean {
+        /// Fraction trimmed from *each* end, in `[0, 0.5)`.
+        trim: f64,
+    },
+    /// Coordinate-wise median ([`CoordinateMedianSink`], buffering).
+    CoordinateMedian,
+}
+
+impl RobustAggregation {
+    /// Whether this is anything other than plain FedAvg.
+    pub fn is_robust(&self) -> bool {
+        !matches!(self, RobustAggregation::FedAvg)
+    }
+
+    /// Validates the rule's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first inconsistency found.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        match *self {
+            RobustAggregation::FedAvg | RobustAggregation::CoordinateMedian => Ok(()),
+            RobustAggregation::NormClip { tau } => {
+                if !tau.is_finite() || tau <= 0.0 {
+                    return Err(format!("norm-clip tau must be finite and > 0, got {tau}"));
+                }
+                Ok(())
+            }
+            RobustAggregation::TrimmedMean { trim } => {
+                if !trim.is_finite() || !(0.0..0.5).contains(&trim) {
+                    return Err(format!("trim fraction must be in [0, 0.5), got {trim}"));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A streaming norm-clipping wrapper: L2-clips each update's
+/// pseudo-gradient to `tau`, then hands it to the inner sink. Extra
+/// memory is O(1) — nothing is buffered — so the streaming path's
+/// O(in-flight) round memory bound survives the defense.
+///
+/// The clip factor is computed from an f64 sum of squares in fixed
+/// tensor/element order, and each update is clipped independently, so
+/// the fold downstream stays bit-identical under any completion-order
+/// permutation.
+#[derive(Debug, Clone)]
+pub struct NormClipSink<S = FedAvgSink> {
+    tau: f64,
+    inner: S,
+}
+
+impl<S: UpdateSink> NormClipSink<S> {
+    /// Wraps `inner`, clipping every update's delta to L2 norm `tau`.
+    pub fn new(tau: f64, inner: S) -> Self {
+        NormClipSink { tau, inner }
+    }
+
+    /// The wrapped sink.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    fn clip(&self, update: &mut ClientUpdate) -> Result<()> {
+        let view: &[Tensor] = if update.delta.is_empty() {
+            &update.weights
+        } else {
+            &update.delta
+        };
+        let mut sq = 0.0f64;
+        for t in view {
+            for &v in t.data() {
+                sq += f64::from(v) * f64::from(v);
+            }
+        }
+        let norm = sq.sqrt();
+        // ≤ tau (or NaN — nothing sane to scale by): pass through.
+        if norm.partial_cmp(&self.tau) != Some(std::cmp::Ordering::Greater) {
+            return Ok(());
+        }
+        let c = (self.tau / norm) as f32;
+        if update.delta.is_empty() {
+            for w in update.weights.iter_mut() {
+                w.scale_mut(c);
+            }
+        } else {
+            // w' = g + c·δ = w + (c−1)·δ keeps the views consistent.
+            for (w, d) in update.weights.iter_mut().zip(update.delta.iter_mut()) {
+                w.axpy(c - 1.0, d).map_err(ft_model::ModelError::from)?;
+                d.scale_mut(c);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl NormClipSink<FedAvgSink> {
+    /// A norm-clipping wrapper over a single-group [`FedAvgSink`].
+    pub fn fedavg(tau: f64) -> Self {
+        NormClipSink::new(tau, FedAvgSink::single())
+    }
+
+    /// The clipped sample-weighted average, after `finish`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`UpdateSink::finish`].
+    pub fn take_average(&mut self) -> Option<Vec<Tensor>> {
+        self.inner.take_average()
+    }
+
+    /// Serializes the mid-round fold state (see
+    /// [`FedAvgSink::checkpoint_value`]; the wrapper itself holds no
+    /// round state beyond its threshold).
+    pub fn checkpoint_value(&self) -> Value {
+        serde_json::json!({
+            "sink": "norm_clip",
+            "tau": self.tau,
+            "inner": self.inner.checkpoint_value(),
+        })
+    }
+
+    /// Restores state captured by [`NormClipSink::checkpoint_value`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Snapshot`] on a malformed or foreign checkpoint.
+    pub fn restore_value(&mut self, state: &Value) -> Result<()> {
+        let kind: String = crate::driver::field(state, "sink")?;
+        if kind != "norm_clip" {
+            return Err(SimError::snapshot(format!(
+                "sink checkpoint is for `{kind}`, expected `norm_clip`"
+            )));
+        }
+        self.tau = crate::driver::field(state, "tau")?;
+        let inner = state
+            .get("inner")
+            .ok_or_else(|| SimError::snapshot("norm_clip checkpoint missing inner sink"))?;
+        self.inner.restore_value(inner)
+    }
+}
+
+impl<S: UpdateSink> UpdateSink for NormClipSink<S> {
+    fn begin_round(&mut self, manifest: &RoundManifest<'_>) -> Result<()> {
+        self.inner.begin_round(manifest)
+    }
+
+    fn absorb(&mut self, mut update: ClientUpdate) -> Result<()> {
+        self.clip(&mut update)?;
+        self.inner.absorb(update)
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.inner.finish()
+    }
+}
+
+/// One buffered update of a buffering robust sink (deltas are not
+/// retained — robust aggregation operates on the uploaded weights).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BufferedUpdate {
+    samples: u64,
+    weights: Vec<Tensor>,
+}
+
+/// Shared round bookkeeping of the buffering sinks: manifest-order
+/// enforcement identical to [`FedAvgSink`]'s, plus the O(cohort)
+/// buffer itself.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct BufferedRound {
+    expected: Vec<TaskSpec>,
+    absorbed: usize,
+    round: u32,
+    finished: bool,
+    buffer: Vec<BufferedUpdate>,
+}
+
+impl BufferedRound {
+    fn begin(&mut self, manifest: &RoundManifest<'_>) {
+        self.round = manifest.round;
+        self.finished = false;
+        self.absorbed = 0;
+        self.expected = manifest.tasks.to_vec();
+        self.buffer = Vec::with_capacity(manifest.tasks.len());
+    }
+
+    fn absorb(&mut self, update: ClientUpdate) -> Result<()> {
+        let expected = self.expected.get(self.absorbed).copied().ok_or_else(|| {
+            SimError::protocol(format!(
+                "absorb of task {} after the manifest's {} tasks were all folded",
+                update.task,
+                self.expected.len()
+            ))
+        })?;
+        if update.task != expected.task || update.samples != expected.samples {
+            return Err(SimError::protocol(format!(
+                "absorb out of manifest order: got task {} ({} samples), expected task {} ({} \
+                 samples)",
+                update.task, update.samples, expected.task, expected.samples
+            )));
+        }
+        if let Some(first) = self.buffer.first() {
+            if first.weights.len() != update.weights.len() {
+                return Err(SimError::protocol(format!(
+                    "update for task {} has {} weight tensors, the round's first had {}",
+                    update.task,
+                    update.weights.len(),
+                    first.weights.len()
+                )));
+            }
+        }
+        self.absorbed += 1;
+        self.buffer.push(BufferedUpdate {
+            samples: update.samples,
+            weights: update.weights,
+        });
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        if self.absorbed != self.expected.len() {
+            return Err(SimError::protocol(format!(
+                "finish after {} of {} manifest tasks were absorbed",
+                self.absorbed,
+                self.expected.len()
+            )));
+        }
+        self.finished = true;
+        Ok(())
+    }
+}
+
+/// Per-coordinate sorted order of the buffer: ascending by value
+/// (`total_cmp`, so NaNs and signed zeros order deterministically),
+/// ties broken by buffer position — i.e. task order. The buffer is in
+/// task order by construction (absorbs arrive in manifest order), so
+/// this is completion-order invariant.
+fn coordinate_order(buffer: &[BufferedUpdate], tensor: usize, coord: usize, out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(0..buffer.len());
+    out.sort_by(|&a, &b| {
+        buffer[a].weights[tensor].data()[coord]
+            .total_cmp(&buffer[b].weights[tensor].data()[coord])
+            .then(a.cmp(&b))
+    });
+}
+
+/// The coordinate-wise trimmed weighted mean: a **buffering** robust
+/// sink. Per coordinate, the `⌊trim·k⌋` smallest and largest values
+/// are dropped and the survivors average with their FedAvg sample
+/// weights (renormalized over the survivors; unweighted when the
+/// surviving sample total is zero), folding in task order.
+///
+/// With `trim = 0` the round is replayed through a fresh
+/// [`FedAvgSink`] — the result is *bit-identical* to no defense at
+/// all, which the property tests pin.
+///
+/// Memory: O(cohort) — every update is retained until `finish` (order
+/// statistics cannot stream), unlike [`FedAvgSink`]'s O(in-flight).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrimmedMeanSink {
+    trim: f64,
+    state: BufferedRound,
+    result: Option<Vec<Tensor>>,
+}
+
+impl TrimmedMeanSink {
+    /// A sink trimming `trim` of the cohort from each end per
+    /// coordinate (`trim ∈ [0, 0.5)`; the trim count is clamped so at
+    /// least one value always survives).
+    pub fn new(trim: f64) -> Self {
+        TrimmedMeanSink {
+            trim,
+            state: BufferedRound::default(),
+            result: None,
+        }
+    }
+
+    /// The trimmed mean, consuming the round's result. `None` for an
+    /// empty round (or, with `trim = 0`, a zero-weight round — the
+    /// FedAvg replay contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`UpdateSink::finish`].
+    pub fn take_average(&mut self) -> Option<Vec<Tensor>> {
+        assert!(
+            self.state.finished,
+            "take_average before finish(): the fold is incomplete"
+        );
+        std::mem::take(&mut self.result)
+    }
+
+    /// Serializes the mid-round fold state (manifest, cursor, and the
+    /// full buffer) so a kill mid-stream resumes bit-identically.
+    pub fn checkpoint_value(&self) -> Value {
+        serde_json::json!({
+            "sink": "trimmed_mean",
+            "trim": self.trim,
+            "state": self.state,
+        })
+    }
+
+    /// Restores state captured by [`TrimmedMeanSink::checkpoint_value`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Snapshot`] on a malformed or foreign checkpoint.
+    pub fn restore_value(&mut self, state: &Value) -> Result<()> {
+        let kind: String = crate::driver::field(state, "sink")?;
+        if kind != "trimmed_mean" {
+            return Err(SimError::snapshot(format!(
+                "sink checkpoint is for `{kind}`, expected `trimmed_mean`"
+            )));
+        }
+        self.trim = crate::driver::field(state, "trim")?;
+        self.state = crate::driver::field(state, "state")?;
+        self.result = None;
+        Ok(())
+    }
+}
+
+impl UpdateSink for TrimmedMeanSink {
+    fn begin_round(&mut self, manifest: &RoundManifest<'_>) -> Result<()> {
+        self.state.begin(manifest);
+        self.result = None;
+        Ok(())
+    }
+
+    fn absorb(&mut self, update: ClientUpdate) -> Result<()> {
+        self.state.absorb(update)
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.state.finish()?;
+        let k = self.state.buffer.len();
+        if k == 0 {
+            self.result = None;
+            return Ok(());
+        }
+        let g = ((self.trim * k as f64).floor() as usize).min((k - 1) / 2);
+        if g == 0 {
+            // Nothing to trim: replay the buffered round through a
+            // fresh FedAvgSink, reproducing the undefended fold's exact
+            // floating-point op sequence (0 ULP).
+            let mut fedavg = FedAvgSink::single();
+            fedavg.begin_round(&RoundManifest {
+                round: self.state.round,
+                tasks: &self.state.expected,
+            })?;
+            for (spec, buffered) in self.state.expected.iter().zip(&self.state.buffer) {
+                fedavg.absorb(ClientUpdate {
+                    task: spec.task,
+                    client: spec.client,
+                    samples: buffered.samples,
+                    weights: buffered.weights.clone(),
+                    delta: Vec::new(),
+                })?;
+            }
+            fedavg.finish()?;
+            self.result = fedavg.take_average();
+            return Ok(());
+        }
+        let buffer = &self.state.buffer;
+        let mut out: Vec<Tensor> = buffer[0]
+            .weights
+            .iter()
+            .map(|t| Tensor::zeros(t.shape().dims()))
+            .collect();
+        let mut order: Vec<usize> = Vec::with_capacity(k);
+        for (ti, o) in out.iter_mut().enumerate() {
+            let len = o.data().len();
+            let dst = o.data_mut();
+            for j in 0..len {
+                coordinate_order(buffer, ti, j, &mut order);
+                let survivors = &mut order[g..k - g];
+                // Fold survivors in task order, never sorted order.
+                survivors.sort_unstable();
+                let total: u64 = survivors.iter().map(|&p| buffer[p].samples).sum();
+                let mut acc = 0.0f32;
+                if total > 0 {
+                    for &p in survivors.iter() {
+                        acc += (buffer[p].samples as f32 / total as f32)
+                            * buffer[p].weights[ti].data()[j];
+                    }
+                } else {
+                    let inv = 1.0 / survivors.len() as f32;
+                    for &p in survivors.iter() {
+                        acc += inv * buffer[p].weights[ti].data()[j];
+                    }
+                }
+                dst[j] = acc;
+            }
+        }
+        self.result = Some(out);
+        Ok(())
+    }
+}
+
+/// The coordinate-wise median: a **buffering** robust sink. Per
+/// coordinate, the median of the cohort's values (midpoint average of
+/// the two central values for even cohorts); sample counts are
+/// ignored, the classic unweighted rule.
+///
+/// Memory: O(cohort), like [`TrimmedMeanSink`] and unlike the
+/// streaming [`FedAvgSink`] / [`NormClipSink`].
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct CoordinateMedianSink {
+    state: BufferedRound,
+    result: Option<Vec<Tensor>>,
+}
+
+impl CoordinateMedianSink {
+    /// A fresh median sink.
+    pub fn new() -> Self {
+        CoordinateMedianSink::default()
+    }
+
+    /// The coordinate-wise median, consuming the round's result.
+    /// `None` for an empty round.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`UpdateSink::finish`].
+    pub fn take_average(&mut self) -> Option<Vec<Tensor>> {
+        assert!(
+            self.state.finished,
+            "take_average before finish(): the fold is incomplete"
+        );
+        std::mem::take(&mut self.result)
+    }
+
+    /// Serializes the mid-round fold state (manifest, cursor, and the
+    /// full buffer) so a kill mid-stream resumes bit-identically.
+    pub fn checkpoint_value(&self) -> Value {
+        serde_json::json!({
+            "sink": "coordinate_median",
+            "state": self.state,
+        })
+    }
+
+    /// Restores state captured by
+    /// [`CoordinateMedianSink::checkpoint_value`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Snapshot`] on a malformed or foreign checkpoint.
+    pub fn restore_value(&mut self, state: &Value) -> Result<()> {
+        let kind: String = crate::driver::field(state, "sink")?;
+        if kind != "coordinate_median" {
+            return Err(SimError::snapshot(format!(
+                "sink checkpoint is for `{kind}`, expected `coordinate_median`"
+            )));
+        }
+        self.state = crate::driver::field(state, "state")?;
+        self.result = None;
+        Ok(())
+    }
+}
+
+impl UpdateSink for CoordinateMedianSink {
+    fn begin_round(&mut self, manifest: &RoundManifest<'_>) -> Result<()> {
+        self.state.begin(manifest);
+        self.result = None;
+        Ok(())
+    }
+
+    fn absorb(&mut self, update: ClientUpdate) -> Result<()> {
+        self.state.absorb(update)
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.state.finish()?;
+        let k = self.state.buffer.len();
+        if k == 0 {
+            self.result = None;
+            return Ok(());
+        }
+        let buffer = &self.state.buffer;
+        let mut out: Vec<Tensor> = buffer[0]
+            .weights
+            .iter()
+            .map(|t| Tensor::zeros(t.shape().dims()))
+            .collect();
+        let mut order: Vec<usize> = Vec::with_capacity(k);
+        for (ti, o) in out.iter_mut().enumerate() {
+            let len = o.data().len();
+            let dst = o.data_mut();
+            for j in 0..len {
+                coordinate_order(buffer, ti, j, &mut order);
+                let hi = buffer[order[k / 2]].weights[ti].data()[j];
+                dst[j] = if k % 2 == 1 {
+                    hi
+                } else {
+                    let lo = buffer[order[k / 2 - 1]].weights[ti].data()[j];
+                    (lo + hi) * 0.5
+                };
+            }
+        }
+        self.result = Some(out);
+        Ok(())
+    }
+}
+
+/// The round sink a [`RobustAggregation`] rule selects, behind one
+/// enum so runners can swap defenses without changing their round
+/// loop.
+#[derive(Debug, Clone)]
+pub enum RobustSink {
+    /// No defense: the plain weighted mean.
+    FedAvg(FedAvgSink),
+    /// Streaming norm clipping over the weighted mean.
+    NormClip(NormClipSink<FedAvgSink>),
+    /// Buffering coordinate-wise trimmed mean.
+    TrimmedMean(TrimmedMeanSink),
+    /// Buffering coordinate-wise median.
+    CoordinateMedian(CoordinateMedianSink),
+}
+
+impl RobustSink {
+    /// Builds the sink `spec` selects (single aggregation group).
+    pub fn new(spec: RobustAggregation) -> Self {
+        match spec {
+            RobustAggregation::FedAvg => RobustSink::FedAvg(FedAvgSink::single()),
+            RobustAggregation::NormClip { tau } => RobustSink::NormClip(NormClipSink::fedavg(tau)),
+            RobustAggregation::TrimmedMean { trim } => {
+                RobustSink::TrimmedMean(TrimmedMeanSink::new(trim))
+            }
+            RobustAggregation::CoordinateMedian => {
+                RobustSink::CoordinateMedian(CoordinateMedianSink::new())
+            }
+        }
+    }
+
+    /// The round's aggregate, consuming it. `None` for an empty (or
+    /// zero-weight, where applicable) round.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`UpdateSink::finish`].
+    pub fn take_average(&mut self) -> Option<Vec<Tensor>> {
+        match self {
+            RobustSink::FedAvg(s) => s.take_average(),
+            RobustSink::NormClip(s) => s.take_average(),
+            RobustSink::TrimmedMean(s) => s.take_average(),
+            RobustSink::CoordinateMedian(s) => s.take_average(),
+        }
+    }
+}
+
+impl UpdateSink for RobustSink {
+    fn begin_round(&mut self, manifest: &RoundManifest<'_>) -> Result<()> {
+        match self {
+            RobustSink::FedAvg(s) => s.begin_round(manifest),
+            RobustSink::NormClip(s) => s.begin_round(manifest),
+            RobustSink::TrimmedMean(s) => s.begin_round(manifest),
+            RobustSink::CoordinateMedian(s) => s.begin_round(manifest),
+        }
+    }
+
+    fn absorb(&mut self, update: ClientUpdate) -> Result<()> {
+        match self {
+            RobustSink::FedAvg(s) => s.absorb(update),
+            RobustSink::NormClip(s) => s.absorb(update),
+            RobustSink::TrimmedMean(s) => s.absorb(update),
+            RobustSink::CoordinateMedian(s) => s.absorb(update),
+        }
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        match self {
+            RobustSink::FedAvg(s) => s.finish(),
+            RobustSink::NormClip(s) => s.finish(),
+            RobustSink::TrimmedMean(s) => s.finish(),
+            RobustSink::CoordinateMedian(s) => s.finish(),
+        }
+    }
+}
+
 /// A sink that drops every update: for protocol-only rounds where no
 /// algorithm state changes (e.g. coordinator tests).
 #[derive(Debug, Clone, Copy, Default)]
@@ -725,5 +1342,291 @@ mod tests {
         let q = QuantizedTensor::quantize(&t);
         assert_eq!(q.scale, 0.0);
         assert_eq!(q.dequantize().data(), t.data());
+    }
+
+    fn specs(samples: &[u64]) -> Vec<TaskSpec> {
+        samples
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| TaskSpec {
+                task: i,
+                client: i,
+                samples: s,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn norm_clip_shrinks_oversized_deltas_only() {
+        let specs = specs(&[10, 10]);
+        let mut sink = NormClipSink::fedavg(5.0);
+        sink.begin_round(&manifest(&specs)).unwrap();
+        // ‖(3,4)‖ = 5 ≤ τ: untouched. ‖(6,8)‖ = 10 > τ: halved.
+        sink.absorb(ClientUpdate {
+            task: 0,
+            client: 0,
+            samples: 10,
+            weights: vec![tensor(&[10.0, 10.0])],
+            delta: vec![tensor(&[3.0, 4.0])],
+        })
+        .unwrap();
+        sink.absorb(ClientUpdate {
+            task: 1,
+            client: 1,
+            samples: 10,
+            weights: vec![tensor(&[10.0, 10.0])],
+            delta: vec![tensor(&[6.0, 8.0])],
+        })
+        .unwrap();
+        sink.finish().unwrap();
+        // Client 1's weights become g + 0.5·δ = (4,2) + (3,4) = (7,6);
+        // client 0 stays (10,10). Average: (8.5, 8.0).
+        let avg = sink.take_average().unwrap();
+        assert_eq!(avg[0].data(), &[8.5, 8.0]);
+    }
+
+    #[test]
+    fn norm_clip_without_deltas_scales_weights() {
+        let specs = specs(&[10]);
+        let mut sink = NormClipSink::fedavg(5.0);
+        sink.begin_round(&manifest(&specs)).unwrap();
+        sink.absorb(update(0, 10, &[6.0, 8.0])).unwrap();
+        sink.finish().unwrap();
+        let avg = sink.take_average().unwrap();
+        assert_eq!(avg[0].data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_the_extremes_per_coordinate() {
+        let specs = specs(&[10, 10, 10, 10, 10]);
+        let mut sink = TrimmedMeanSink::new(0.2);
+        sink.begin_round(&manifest(&specs)).unwrap();
+        // Coordinate 0 is poisoned on task 4, coordinate 1 on task 0.
+        let rows = [
+            [1.0f32, 100.0],
+            [2.0, 2.0],
+            [3.0, 3.0],
+            [4.0, 4.0],
+            [-50.0, 5.0],
+        ];
+        for (i, w) in rows.iter().enumerate() {
+            sink.absorb(update(i, 10, w)).unwrap();
+        }
+        sink.finish().unwrap();
+        // g = ⌊0.2·5⌋ = 1: survivors per coordinate are {1,2,3} and
+        // {3,4,5}, equal weights → means 2.0 / 4.0. The poisoned
+        // values never touch the fold.
+        let avg = sink.take_average().unwrap();
+        assert_eq!(avg[0].data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_survivors_keep_their_sample_weights() {
+        let specs = specs(&[10, 30, 10]);
+        let mut sink = TrimmedMeanSink::new(1.0 / 3.0);
+        sink.begin_round(&manifest(&specs)).unwrap();
+        sink.absorb(update(0, 10, &[-100.0])).unwrap();
+        sink.absorb(update(1, 30, &[1.0])).unwrap();
+        sink.absorb(update(2, 10, &[3.0])).unwrap();
+        sink.finish().unwrap();
+        // g = 1 trims −100 and 3; the lone survivor keeps its value.
+        let avg = sink.take_average().unwrap();
+        assert_eq!(avg[0].data(), &[1.0]);
+    }
+
+    #[test]
+    fn trim_zero_is_bitwise_fedavg() {
+        let samples = [13u64, 7, 29, 1];
+        let rows = [[0.1f32, -0.7], [3.3, 2.2], [-1.25, 0.875], [9.0, -4.5]];
+        let specs = specs(&samples);
+
+        let mut reference = FedAvgSink::single();
+        reference.begin_round(&manifest(&specs)).unwrap();
+        let mut trimmed = TrimmedMeanSink::new(0.0);
+        trimmed.begin_round(&manifest(&specs)).unwrap();
+        for (i, w) in rows.iter().enumerate() {
+            reference.absorb(update(i, samples[i], w)).unwrap();
+            trimmed.absorb(update(i, samples[i], w)).unwrap();
+        }
+        reference.finish().unwrap();
+        trimmed.finish().unwrap();
+
+        let a = reference.take_average().unwrap();
+        let b = trimmed.take_average().unwrap();
+        let bits = |ts: &[Tensor]| -> Vec<u32> {
+            ts.iter()
+                .flat_map(|t| t.data().iter().map(|v| v.to_bits()))
+                .collect()
+        };
+        assert_eq!(bits(&a), bits(&b), "trim = 0 must replay FedAvg exactly");
+    }
+
+    #[test]
+    fn coordinate_median_is_robust_to_a_minority() {
+        let specs = specs(&[1, 1, 1]);
+        let mut sink = CoordinateMedianSink::new();
+        sink.begin_round(&manifest(&specs)).unwrap();
+        sink.absorb(update(0, 1, &[1.0, -99.0])).unwrap();
+        sink.absorb(update(1, 1, &[2.0, 5.0])).unwrap();
+        sink.absorb(update(2, 1, &[77.0, 6.0])).unwrap();
+        sink.finish().unwrap();
+        let avg = sink.take_average().unwrap();
+        assert_eq!(avg[0].data(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn even_cohort_median_is_the_midpoint() {
+        let specs = specs(&[1, 1, 1, 1]);
+        let mut sink = CoordinateMedianSink::new();
+        sink.begin_round(&manifest(&specs)).unwrap();
+        for (i, w) in [[1.0f32], [2.0], [10.0], [100.0]].iter().enumerate() {
+            sink.absorb(update(i, 1, w)).unwrap();
+        }
+        sink.finish().unwrap();
+        let avg = sink.take_average().unwrap();
+        assert_eq!(avg[0].data(), &[6.0]);
+    }
+
+    #[test]
+    fn buffering_sinks_handle_the_empty_round() {
+        let mut trimmed = TrimmedMeanSink::new(0.3);
+        trimmed.begin_round(&manifest(&[])).unwrap();
+        trimmed.finish().unwrap();
+        assert!(trimmed.take_average().is_none());
+
+        let mut median = CoordinateMedianSink::new();
+        median.begin_round(&manifest(&[])).unwrap();
+        median.finish().unwrap();
+        assert!(median.take_average().is_none());
+    }
+
+    #[test]
+    fn buffering_sinks_reject_out_of_manifest_order() {
+        let specs = specs(&[10, 10]);
+        let mut trimmed = TrimmedMeanSink::new(0.3);
+        trimmed.begin_round(&manifest(&specs)).unwrap();
+        assert!(trimmed.absorb(update(1, 10, &[1.0])).is_err());
+        let mut median = CoordinateMedianSink::new();
+        median.begin_round(&manifest(&specs)).unwrap();
+        median.absorb(update(0, 10, &[1.0])).unwrap();
+        assert!(median.finish().is_err(), "finish before all absorbs");
+    }
+
+    #[test]
+    fn trimmed_mean_mid_fold_checkpoint_resumes_bit_identically() {
+        let samples = [10u64, 20, 30, 40];
+        let rows = [[1.5f32], [-2.25], [3.125], [40.0]];
+        let specs = specs(&samples);
+
+        let mut full = TrimmedMeanSink::new(0.25);
+        full.begin_round(&manifest(&specs)).unwrap();
+        for (i, w) in rows.iter().enumerate() {
+            full.absorb(update(i, samples[i], w)).unwrap();
+        }
+        full.finish().unwrap();
+
+        let mut half = TrimmedMeanSink::new(0.25);
+        half.begin_round(&manifest(&specs)).unwrap();
+        for (i, w) in rows.iter().take(2).enumerate() {
+            half.absorb(update(i, samples[i], w)).unwrap();
+        }
+        let json = serde_json::to_string(&half.checkpoint_value()).unwrap();
+        drop(half);
+        let mut resumed = TrimmedMeanSink::new(0.0);
+        resumed
+            .restore_value(&serde_json::parse_value(&json).unwrap())
+            .unwrap();
+        for (i, w) in rows.iter().enumerate().skip(2) {
+            resumed.absorb(update(i, samples[i], w)).unwrap();
+        }
+        resumed.finish().unwrap();
+
+        assert_eq!(
+            full.take_average().unwrap(),
+            resumed.take_average().unwrap(),
+            "a resumed mid-round trimmed fold must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn median_mid_fold_checkpoint_resumes_bit_identically() {
+        let samples = [1u64, 1, 1];
+        let rows = [[4.0f32], [-1.0], [2.5]];
+        let specs = specs(&samples);
+
+        let mut full = CoordinateMedianSink::new();
+        full.begin_round(&manifest(&specs)).unwrap();
+        for (i, w) in rows.iter().enumerate() {
+            full.absorb(update(i, 1, w)).unwrap();
+        }
+        full.finish().unwrap();
+
+        let mut half = CoordinateMedianSink::new();
+        half.begin_round(&manifest(&specs)).unwrap();
+        half.absorb(update(0, 1, &rows[0])).unwrap();
+        let json = serde_json::to_string(&half.checkpoint_value()).unwrap();
+        let mut resumed = CoordinateMedianSink::new();
+        resumed
+            .restore_value(&serde_json::parse_value(&json).unwrap())
+            .unwrap();
+        for (i, w) in rows.iter().enumerate().skip(1) {
+            resumed.absorb(update(i, 1, w)).unwrap();
+        }
+        resumed.finish().unwrap();
+
+        assert_eq!(
+            full.take_average().unwrap(),
+            resumed.take_average().unwrap()
+        );
+    }
+
+    #[test]
+    fn robust_sink_checkpoints_reject_foreign_kinds() {
+        let envelope = serde_json::parse_value(r#"{"sink":"fedavg","state":{}}"#).unwrap();
+        assert!(TrimmedMeanSink::new(0.1).restore_value(&envelope).is_err());
+        assert!(CoordinateMedianSink::new()
+            .restore_value(&envelope)
+            .is_err());
+        assert!(NormClipSink::fedavg(1.0).restore_value(&envelope).is_err());
+    }
+
+    #[test]
+    fn robust_sink_dispatches_per_spec() {
+        let specs = specs(&[1, 1, 1]);
+        let rows = [[1.0f32], [2.0], [300.0]];
+        let mut results = Vec::new();
+        for spec in [
+            RobustAggregation::FedAvg,
+            RobustAggregation::TrimmedMean { trim: 1.0 / 3.0 },
+            RobustAggregation::CoordinateMedian,
+        ] {
+            let mut sink = RobustSink::new(spec);
+            sink.begin_round(&manifest(&specs)).unwrap();
+            for (i, w) in rows.iter().enumerate() {
+                sink.absorb(update(i, 1, w)).unwrap();
+            }
+            sink.finish().unwrap();
+            results.push(sink.take_average().unwrap()[0].data()[0]);
+        }
+        assert_eq!(results, vec![101.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn robust_aggregation_validates_parameters() {
+        assert!(RobustAggregation::FedAvg.validate().is_ok());
+        assert!(RobustAggregation::NormClip { tau: 1.0 }.validate().is_ok());
+        assert!(RobustAggregation::NormClip { tau: 0.0 }.validate().is_err());
+        assert!(RobustAggregation::NormClip { tau: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(RobustAggregation::TrimmedMean { trim: 0.49 }
+            .validate()
+            .is_ok());
+        assert!(RobustAggregation::TrimmedMean { trim: 0.5 }
+            .validate()
+            .is_err());
+        assert!(RobustAggregation::TrimmedMean { trim: -0.1 }
+            .validate()
+            .is_err());
     }
 }

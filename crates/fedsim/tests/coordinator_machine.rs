@@ -332,6 +332,66 @@ fn heartbeat_deadline_reaps_a_vanished_device() {
 }
 
 #[test]
+fn mid_round_departure_keeps_landed_tasks_and_reaps_open_ones() {
+    let n = 4;
+    let data = dataset(n);
+    let small = tiny_model(&data);
+    let big = {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        CellModel::dense(&mut rng, data.input_dim(), &[256, 256], data.num_classes())
+    };
+    let mut c = Coordinator::new(SEED, FaultConfig::default(), fleet(n));
+
+    // Client 1 runs BOTH models this round; its departure falls between
+    // the two completion times, so the small-model upload lands while
+    // the big-model task goes silent and the deadline reaps it.
+    let cfg = tiny_cfg();
+    let samples = ft_fedsim::trainer::expected_samples(&cfg, data.client(1).train_len());
+    let fast =
+        c.cohort_mut()
+            .round_time(0, 1, small.macs_per_sample(), small.param_count(), samples);
+    let slow = c
+        .cohort_mut()
+        .round_time(0, 1, big.macs_per_sample(), big.param_count(), samples);
+    assert!(
+        fast < slow,
+        "the big model must take longer ({fast} vs {slow})"
+    );
+    c.cohort_mut()
+        .set_behavior(0, 1, Behavior::Depart((fast + slow) * 0.5));
+
+    let admitted = c.begin_round(0, &[0, 1, 2]).unwrap();
+    assert_eq!(
+        admitted,
+        vec![0, 1, 2],
+        "departure is mid-round, not up-front"
+    );
+    let mut tasks = tasks_for(&admitted, SEED);
+    tasks.push(TrainTask {
+        client: 1,
+        model: 1,
+        seed: client_seed(SEED, 1),
+    });
+    let replies = c
+        .train(tasks, &[small, big], data.clients(), &cfg, &mut DiscardSink)
+        .unwrap();
+    // Task 3 (client 1 on the big model) is the only casualty: its
+    // sibling task 1 completed before the departure and still absorbs.
+    let landed: Vec<(usize, usize)> = replies.iter().map(|r| (r.task, r.client)).collect();
+    assert_eq!(landed, vec![(0, 0), (1, 1), (2, 2)]);
+    assert_eq!(
+        c.stats().heartbeat_dropouts,
+        1,
+        "the departed device is reaped once"
+    );
+    // The round still closes on the partial cohort, and the departed
+    // device is not blacklisted: the next round readmits it.
+    c.finish_round().unwrap();
+    let next = c.begin_round(1, &[1]).unwrap();
+    assert_eq!(next, vec![1]);
+}
+
+#[test]
 fn slow_devices_survive_past_the_deadline_via_heartbeats() {
     let n = 3;
     let data = dataset(n);

@@ -1,0 +1,275 @@
+//! Property battery: robust aggregation sinks are completion-order
+//! invariant to the bit.
+//!
+//! The coordinator absorbs uploads in ascending task order behind a
+//! reorder buffer, no matter when each upload physically completes.
+//! These tests replay that dispatch discipline against every
+//! [`RobustSink`] variant and pin the determinism contract from the
+//! module docs: for any cohort, any completion-order permutation, and
+//! any `max_in_flight` window, the aggregate is 0-ULP identical to a
+//! straight task-order fold — and `TrimmedMean { trim: 0 }` replays
+//! the plain [`FedAvgSink`] exactly, bit for bit.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use ft_fedsim::sink::{
+    ClientUpdate, FedAvgSink, RobustAggregation, RobustSink, RoundManifest, TaskSpec, UpdateSink,
+};
+use ft_tensor::Tensor;
+
+/// Per-task weights + sample counts.
+type Cohort = Vec<(Vec<Tensor>, u64)>;
+
+fn manifest_specs(updates: &Cohort) -> Vec<TaskSpec> {
+    updates
+        .iter()
+        .enumerate()
+        .map(|(i, (_, n))| TaskSpec {
+            task: i,
+            client: i,
+            samples: *n,
+        })
+        .collect()
+}
+
+/// Streams a cohort through `sink`, replaying the engine's dispatch
+/// discipline: tasks run in windows of `max_in_flight`; within a
+/// window, uploads *complete* in the given permutation order and sit
+/// in a reorder buffer until the contiguous task-order prefix can be
+/// absorbed (every sink rejects anything else).
+fn stream_through(
+    sink: &mut RobustSink,
+    updates: &Cohort,
+    completion: &[usize],
+    max_in_flight: usize,
+) -> Option<Vec<Tensor>> {
+    let specs = manifest_specs(updates);
+    sink.begin_round(&RoundManifest {
+        round: 0,
+        tasks: &specs,
+    })
+    .unwrap();
+
+    let mut buffered: BTreeMap<usize, ClientUpdate> = BTreeMap::new();
+    let mut cursor = 0usize;
+    let window_of = |task: usize| task / max_in_flight;
+    for wnd in 0..updates.len().div_ceil(max_in_flight) {
+        for &task in completion.iter().filter(|&&t| window_of(t) == wnd) {
+            buffered.insert(
+                task,
+                ClientUpdate {
+                    task,
+                    client: task,
+                    samples: updates[task].1,
+                    weights: updates[task].0.clone(),
+                    delta: Vec::new(),
+                },
+            );
+            while let Some(u) = buffered.remove(&cursor) {
+                sink.absorb(u).unwrap();
+                cursor += 1;
+            }
+        }
+    }
+    assert!(buffered.is_empty(), "every upload must have been absorbed");
+    sink.finish().unwrap();
+    sink.take_average()
+}
+
+/// The reference fold: the same sink family, absorbed in plain task
+/// order with an unbounded window.
+fn task_order_fold(spec: RobustAggregation, updates: &Cohort) -> Option<Vec<Tensor>> {
+    let identity: Vec<usize> = (0..updates.len()).collect();
+    let mut sink = RobustSink::new(spec);
+    stream_through(&mut sink, updates, &identity, updates.len().max(1))
+}
+
+fn bits(tensors: &[Tensor]) -> Vec<u32> {
+    tensors
+        .iter()
+        .flat_map(|t| t.data().iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+/// A cohort, a completion-order permutation of it, and an in-flight
+/// cap — same generator shape as `streaming_fold.rs`.
+fn cohort() -> impl Strategy<Value = (Cohort, Vec<usize>, usize)> {
+    (1usize..=10).prop_flat_map(|n| {
+        let one_update = (proptest::collection::vec(-1000i32..1000, 3 + 4), 0u64..500).prop_map(
+            |(vals, samples)| {
+                // Eighth-steps keep values exact in f32 while still
+                // exercising non-trivial rounding in the fold itself.
+                let f: Vec<f32> = vals.iter().map(|&v| v as f32 * 0.125).collect();
+                let t1 = Tensor::from_vec(f[..3].to_vec(), &[3]).unwrap();
+                let t2 = Tensor::from_vec(f[3..].to_vec(), &[4]).unwrap();
+                (vec![t1, t2], samples)
+            },
+        );
+        (
+            proptest::collection::vec(one_update, n),
+            proptest::collection::vec(0u64..u64::MAX, n),
+            1usize..=n + 2,
+        )
+            .prop_map(|(updates, keys, max_in_flight)| {
+                // Argsort of random keys: a uniform completion-order
+                // permutation (the vendored proptest has no shuffle).
+                let mut perm: Vec<usize> = (0..keys.len()).collect();
+                perm.sort_by_key(|&i| (keys[i], i));
+                (updates, perm, max_in_flight)
+            })
+    })
+}
+
+/// Every sink family plus a swept parameter: 0 = FedAvg, 1 = NormClip
+/// (tau in quarter-steps), 2 = TrimmedMean (trim in hundredths,
+/// including the 0 degenerate case), 3 = CoordinateMedian. The vendored
+/// proptest has no `prop_oneof`, so the variant is an index.
+fn spec() -> impl Strategy<Value = RobustAggregation> {
+    (0usize..4, 1u32..=64, 0u32..50).prop_map(|(variant, tau_q, trim_pct)| match variant {
+        0 => RobustAggregation::FedAvg,
+        1 => RobustAggregation::NormClip {
+            tau: f64::from(tau_q) * 0.25,
+        },
+        2 => RobustAggregation::TrimmedMean {
+            trim: f64::from(trim_pct) / 100.0,
+        },
+        _ => RobustAggregation::CoordinateMedian,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The headline invariant: for every sink family and parameter,
+    /// the aggregate is independent of upload completion order and of
+    /// the in-flight window size — 0 ULP, same NaN/zero signs.
+    #[test]
+    fn robust_sinks_are_completion_order_invariant(
+        (updates, completion, max_in_flight) in cohort(),
+        spec in spec(),
+    ) {
+        let reference = task_order_fold(spec, &updates);
+        let mut sink = RobustSink::new(spec);
+        let streamed = stream_through(&mut sink, &updates, &completion, max_in_flight);
+        match (reference, streamed) {
+            (None, None) => {}
+            (Some(r), Some(s)) => prop_assert_eq!(bits(&r), bits(&s)),
+            (r, s) => prop_assert!(
+                false,
+                "presence mismatch under {:?}: task-order {:?} vs streamed {:?}",
+                spec,
+                r.is_some(),
+                s.is_some()
+            ),
+        }
+    }
+
+    /// `TrimmedMean { trim: 0 }` is not merely close to FedAvg — it
+    /// replays the exact `axpy(samples/total)` sequence, so the result
+    /// is bitwise identical to [`FedAvgSink`] under any completion
+    /// order.
+    #[test]
+    fn trim_zero_replays_fedavg_exactly(
+        (updates, completion, max_in_flight) in cohort(),
+    ) {
+        let specs = manifest_specs(&updates);
+        let mut plain = FedAvgSink::single();
+        plain
+            .begin_round(&RoundManifest { round: 0, tasks: &specs })
+            .unwrap();
+        for (task, (weights, samples)) in updates.iter().enumerate() {
+            plain
+                .absorb(ClientUpdate {
+                    task,
+                    client: task,
+                    samples: *samples,
+                    weights: weights.clone(),
+                    delta: Vec::new(),
+                })
+                .unwrap();
+        }
+        plain.finish().unwrap();
+        let reference = plain.take_average();
+
+        let mut trimmed = RobustSink::new(RobustAggregation::TrimmedMean { trim: 0.0 });
+        let streamed = stream_through(&mut trimmed, &updates, &completion, max_in_flight);
+        match (reference, streamed) {
+            (None, None) => {}
+            (Some(r), Some(s)) => prop_assert_eq!(bits(&r), bits(&s)),
+            (r, s) => prop_assert!(
+                false,
+                "presence mismatch: fedavg {:?} vs trim-0 {:?}",
+                r.is_some(),
+                s.is_some()
+            ),
+        }
+    }
+}
+
+/// All four sink families, with representative parameters, for the
+/// edge-case sweeps below.
+fn all_specs() -> Vec<RobustAggregation> {
+    vec![
+        RobustAggregation::FedAvg,
+        RobustAggregation::NormClip { tau: 2.0 },
+        RobustAggregation::TrimmedMean { trim: 0.25 },
+        RobustAggregation::CoordinateMedian,
+    ]
+}
+
+#[test]
+fn empty_round_yields_no_aggregate_for_every_sink() {
+    for spec in all_specs() {
+        let mut sink = RobustSink::new(spec);
+        let out = stream_through(&mut sink, &Vec::new(), &[], 1);
+        assert!(out.is_none(), "{spec:?} must yield None on an empty round");
+    }
+}
+
+#[test]
+fn single_client_round_passes_the_lone_update_through() {
+    let w = vec![Tensor::from_vec(vec![0.5, -1.25, 3.0], &[3]).unwrap()];
+    let updates: Cohort = vec![(w.clone(), 10)];
+    // NormClip with a generous tau, trimmed mean (k=1 forces g=0), and
+    // the median of one value all degenerate to that single update.
+    for spec in [
+        RobustAggregation::FedAvg,
+        RobustAggregation::NormClip { tau: 1e9 },
+        RobustAggregation::TrimmedMean { trim: 0.4 },
+        RobustAggregation::CoordinateMedian,
+    ] {
+        let mut sink = RobustSink::new(spec);
+        let out = stream_through(&mut sink, &updates, &[0], 1).expect("one update");
+        assert_eq!(bits(&out), bits(&w), "{spec:?} must return the lone update");
+    }
+}
+
+#[test]
+fn unanimous_byzantine_cohort_is_deterministic_not_magical() {
+    // When *every* client is corrupted the same way, no aggregation
+    // rule can recover the honest value — robustness only bounds the
+    // damage a minority can do. What the sinks still owe us is a
+    // deterministic, completion-order-invariant answer: here, the
+    // corrupted value itself.
+    let poisoned = vec![Tensor::from_vec(vec![-8.0, -8.0], &[2]).unwrap()];
+    let updates: Cohort = (0..5).map(|_| (poisoned.clone(), 7)).collect();
+    for spec in [
+        RobustAggregation::TrimmedMean { trim: 0.3 },
+        RobustAggregation::CoordinateMedian,
+    ] {
+        let reference = task_order_fold(spec, &updates);
+        let out = reference.expect("non-empty round");
+        assert_eq!(
+            bits(&out),
+            bits(&poisoned),
+            "{spec:?} must converge on the unanimous (poisoned) value"
+        );
+        // Reversed completion order lands on the same bits.
+        let mut sink = RobustSink::new(spec);
+        let reversed: Vec<usize> = (0..5).rev().collect();
+        let streamed = stream_through(&mut sink, &updates, &reversed, 5).expect("non-empty");
+        assert_eq!(bits(&streamed), bits(&out));
+    }
+}

@@ -419,6 +419,12 @@ impl FedTransRuntime {
         self.coordinator.set_options(opts);
     }
 
+    /// Installs the adversarial fleet model (byzantine clients,
+    /// availability churn, concept drift) used by subsequent rounds.
+    pub fn set_adversity(&mut self, adversity: ft_fedsim::AdversityConfig) {
+        self.coordinator.set_adversity(adversity);
+    }
+
     /// The message-driven coordinator this runtime rounds through
     /// (protocol telemetry, phase, cohort overrides for tests).
     pub fn coordinator(&mut self) -> &mut Coordinator {
@@ -588,6 +594,10 @@ impl ft_fedsim::Algorithm for FedTransRuntime {
 
     fn set_round_options(&mut self, opts: RoundOptions) {
         FedTransRuntime::set_round_options(self, opts);
+    }
+
+    fn set_adversity(&mut self, adversity: ft_fedsim::AdversityConfig) {
+        FedTransRuntime::set_adversity(self, adversity);
     }
 }
 

@@ -10,12 +10,12 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
-use ft_data::DatasetConfig;
+use ft_data::{DatasetConfig, DriftConfig};
 use ft_fedsim::device::DeviceTier;
 use ft_fedsim::trainer::LocalTrainConfig;
-use ft_fedsim::FaultConfig;
+use ft_fedsim::{AvailabilityConfig, Corruption, FaultConfig, RobustAggregation};
 
-use crate::{AlgorithmSpec, DeviceSpec, Scenario, TimingSpec};
+use crate::{AlgorithmSpec, AttackSpec, DeviceSpec, Scenario, TimingSpec};
 
 fn default_fedtrans() -> AlgorithmSpec {
     AlgorithmSpec::FedTrans {
@@ -48,6 +48,9 @@ fn base(name: &str, description: &str) -> Scenario {
         timing: TimingSpec::default(),
         sparse: false,
         eval_clients: None,
+        attack: None,
+        availability: None,
+        drift: None,
         seed: 1,
     }
 }
@@ -179,6 +182,66 @@ pub fn canned() -> Vec<Scenario> {
     fluid_invariant.quick_rounds = 6;
     fluid_invariant.seed = 108;
 
+    let mut byzantine_signflip = base(
+        "byzantine-signflip",
+        "FedAvg under a 30% sign-flipping byzantine fleet, no defense",
+    );
+    byzantine_signflip.algorithm = AlgorithmSpec::FedAvg {
+        yogi_lr: None,
+        prox_mu: None,
+    };
+    byzantine_signflip.dataset = byzantine_signflip.dataset.with_seed(30);
+    byzantine_signflip.attack = Some(AttackSpec {
+        byzantine_prob: 0.3,
+        corruption: Corruption::SignFlip,
+        flip_labels: true,
+        robust: RobustAggregation::FedAvg,
+    });
+    byzantine_signflip.seed = 110;
+
+    let mut byzantine_trimmed = base(
+        "byzantine-trimmed-mean",
+        "The same byzantine fleet behind a coordinate-wise trimmed-mean sink",
+    );
+    byzantine_trimmed.algorithm = AlgorithmSpec::FedAvg {
+        yogi_lr: None,
+        prox_mu: None,
+    };
+    byzantine_trimmed.dataset = byzantine_trimmed.dataset.with_seed(31);
+    byzantine_trimmed.attack = Some(AttackSpec {
+        byzantine_prob: 0.3,
+        corruption: Corruption::SignFlip,
+        flip_labels: true,
+        robust: RobustAggregation::TrimmedMean { trim: 0.3 },
+    });
+    byzantine_trimmed.seed = 111;
+
+    let mut diurnal_churn = base(
+        "diurnal-churn",
+        "FedTrans over a diurnal availability trace with mid-round departures",
+    );
+    diurnal_churn.dataset = diurnal_churn.dataset.with_seed(32);
+    diurnal_churn.availability = Some(AvailabilityConfig {
+        trace: vec![0.95, 0.7, 0.4, 0.7],
+        departure_prob: 0.15,
+    });
+    diurnal_churn.seed = 112;
+
+    let mut label_drift = base(
+        "label-drift",
+        "FedAvg under label-rotation concept drift every other round",
+    );
+    label_drift.algorithm = AlgorithmSpec::FedAvg {
+        yogi_lr: None,
+        prox_mu: None,
+    };
+    label_drift.dataset = label_drift.dataset.with_seed(33);
+    label_drift.drift = Some(DriftConfig {
+        period: 2,
+        rotation: 1,
+    });
+    label_drift.seed = 113;
+
     vec![
         iid_small,
         dirichlet_skew,
@@ -189,6 +252,10 @@ pub fn canned() -> Vec<Scenario> {
         million_device,
         splitmix_ensemble,
         fluid_invariant,
+        byzantine_signflip,
+        byzantine_trimmed,
+        diurnal_churn,
+        label_drift,
     ]
 }
 

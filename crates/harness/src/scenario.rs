@@ -13,11 +13,14 @@ use serde::{Deserialize, Serialize};
 
 use fedtrans::{seed_model, FedTransConfig, FedTransRuntime};
 use ft_baselines::{BaselineConfig, FedAvg, Fluid, HeteroFl, ServerOpt, SplitMix};
-use ft_data::{DatasetConfig, SparseFederatedData};
+use ft_data::{DatasetConfig, DriftConfig, SparseFederatedData};
 use ft_fedsim::coordinator::RoundOptions;
 use ft_fedsim::device::{DeviceTier, DeviceTrace, DeviceTraceConfig};
 use ft_fedsim::trainer::LocalTrainConfig;
-use ft_fedsim::{Algorithm, FaultConfig, SimError};
+use ft_fedsim::{
+    AdversityConfig, Algorithm, AttackConfig, AvailabilityConfig, Corruption, FaultConfig,
+    RobustAggregation, SimError,
+};
 
 /// The device population of a scenario.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -121,6 +124,26 @@ impl TimingSpec {
     }
 }
 
+/// The byzantine-attack block of a scenario: which fraction of the
+/// fleet behaves byzantine, what a byzantine client uploads, and which
+/// aggregation defense (if any) the server runs against it.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AttackSpec {
+    /// Probability that a participant behaves byzantine in a round.
+    pub byzantine_prob: f64,
+    /// What a byzantine participant uploads (sign flip, scaling, or
+    /// Gaussian noise).
+    pub corruption: Corruption,
+    /// Whether byzantine participants also train on label-flipped
+    /// shards. Absent in older files; defaults off.
+    #[serde(default)]
+    pub flip_labels: bool,
+    /// The server's aggregation rule. Absent in older files; defaults
+    /// to plain (undefended) FedAvg.
+    #[serde(default)]
+    pub robust: RobustAggregation,
+}
+
 /// Which federated method a scenario runs, with method-specific knobs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum AlgorithmSpec {
@@ -199,6 +222,18 @@ pub struct Scenario {
     /// training.
     #[serde(default)]
     pub eval_clients: Option<usize>,
+    /// Byzantine clients and the aggregation defense against them.
+    /// Absent in older scenario files; defaults to no attack.
+    #[serde(default)]
+    pub attack: Option<AttackSpec>,
+    /// Diurnal availability trace and mid-round departures. Absent in
+    /// older scenario files; defaults to a fully available fleet.
+    #[serde(default)]
+    pub availability: Option<AvailabilityConfig>,
+    /// Temporal concept drift (label rotation every `period` rounds).
+    /// Absent in older scenario files; defaults to a stationary fleet.
+    #[serde(default)]
+    pub drift: Option<DriftConfig>,
     /// Base RNG seed for the run.
     pub seed: u64,
 }
@@ -277,7 +312,87 @@ impl Scenario {
         if self.eval_clients == Some(0) {
             return Err("eval_clients must be at least 1 when set".to_owned());
         }
+        if let Some(attack) = &self.attack {
+            if !(0.0..=1.0).contains(&attack.byzantine_prob) {
+                return Err(format!(
+                    "byzantine_prob must be in [0,1], got {}",
+                    attack.byzantine_prob
+                ));
+            }
+            match attack.corruption {
+                Corruption::SignFlip => {}
+                Corruption::Scale { factor } => {
+                    if !factor.is_finite() {
+                        return Err(format!("attack scale factor must be finite, got {factor}"));
+                    }
+                }
+                Corruption::Noise { std } => {
+                    if !std.is_finite() || std < 0.0 {
+                        return Err(format!(
+                            "attack noise std must be finite and >= 0, got {std}"
+                        ));
+                    }
+                }
+            }
+            attack.robust.validate()?;
+            if attack.robust.is_robust() && !matches!(self.algorithm, AlgorithmSpec::FedAvg { .. })
+            {
+                // Only the single-model arm folds through the pluggable
+                // RobustSink today; the multi-model methods group by
+                // architecture and keep their dedicated sinks.
+                return Err(
+                    "robust aggregation sinks are only supported for the FedAvg arm".to_owned(),
+                );
+            }
+        }
+        if let Some(availability) = &self.availability {
+            if availability.trace.is_empty() {
+                return Err(
+                    "availability trace must not be empty (use [1.0] for always-on fleets with \
+                     departures only)"
+                        .to_owned(),
+                );
+            }
+            for (i, &p) in availability.trace.iter().enumerate() {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!(
+                        "availability trace entry {i} must be in [0,1], got {p}"
+                    ));
+                }
+            }
+            if !(0.0..=1.0).contains(&availability.departure_prob) {
+                return Err(format!(
+                    "departure_prob must be in [0,1], got {}",
+                    availability.departure_prob
+                ));
+            }
+        }
+        if let Some(drift) = &self.drift {
+            if drift.period == 0 {
+                return Err("drift period must be at least 1 round".to_owned());
+            }
+            if drift.rotation == 0 {
+                return Err("drift rotation must be at least 1 class".to_owned());
+            }
+        }
         Ok(())
+    }
+
+    /// The adversarial fleet model this scenario implies (inert when no
+    /// adversity blocks are present).
+    fn adversity(&self) -> AdversityConfig {
+        AdversityConfig {
+            attack: self
+                .attack
+                .map(|a| AttackConfig {
+                    byzantine_prob: a.byzantine_prob,
+                    corruption: a.corruption,
+                    flip_labels: a.flip_labels,
+                })
+                .unwrap_or_default(),
+            availability: self.availability.clone().unwrap_or_default(),
+            drift: self.drift.unwrap_or_default(),
+        }
     }
 
     /// The round budget for the given mode.
@@ -299,6 +414,7 @@ impl Scenario {
             enforce_capacity: true,
             faults: self.faults,
             eval_clients: self.eval_clients,
+            robust: self.attack.map(|a| a.robust).unwrap_or_default(),
         }
     }
 
@@ -328,6 +444,10 @@ impl Scenario {
         // Scenario timing first, then explicit FT_* env overrides on
         // top, so operators can experiment without editing scenarios.
         driver.set_round_options(self.timing.round_options().with_env_overrides());
+        // The adversity bundle is inert when no blocks are present, so
+        // installing it unconditionally leaves benign scenarios (and
+        // their golden digests) untouched.
+        driver.set_adversity(self.adversity());
         Ok(driver)
     }
 
@@ -488,6 +608,9 @@ mod tests {
             timing: TimingSpec::default(),
             sparse: false,
             eval_clients: None,
+            attack: None,
+            availability: None,
+            drift: None,
             seed: 11,
         }
     }
@@ -550,6 +673,167 @@ mod tests {
         s.timing.heartbeat_deadline_s = 1.0;
         assert!(s.validate().is_err());
         assert!(tiny().validate().is_ok());
+    }
+
+    fn attack(robust: RobustAggregation) -> AttackSpec {
+        AttackSpec {
+            byzantine_prob: 0.3,
+            corruption: Corruption::SignFlip,
+            flip_labels: false,
+            robust,
+        }
+    }
+
+    #[test]
+    fn attack_validation_catches_nonsense() {
+        let mut s = tiny();
+        s.attack = Some(attack(RobustAggregation::FedAvg));
+        assert!(s.validate().is_ok());
+
+        let mut s = tiny();
+        let mut a = attack(RobustAggregation::FedAvg);
+        a.byzantine_prob = 1.5;
+        s.attack = Some(a);
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("byzantine_prob must be in [0,1]"), "{err}");
+
+        let mut s = tiny();
+        let mut a = attack(RobustAggregation::FedAvg);
+        a.corruption = Corruption::Scale {
+            factor: f64::INFINITY,
+        };
+        s.attack = Some(a);
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("scale factor must be finite"), "{err}");
+
+        let mut s = tiny();
+        let mut a = attack(RobustAggregation::FedAvg);
+        a.corruption = Corruption::Noise { std: -1.0 };
+        s.attack = Some(a);
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("noise std must be finite and >= 0"), "{err}");
+    }
+
+    #[test]
+    fn robust_sink_validation_catches_nonsense() {
+        let mut s = tiny();
+        s.attack = Some(attack(RobustAggregation::TrimmedMean { trim: 0.5 }));
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("trim fraction must be in [0, 0.5)"), "{err}");
+
+        let mut s = tiny();
+        s.attack = Some(attack(RobustAggregation::NormClip { tau: 0.0 }));
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("tau must be finite and > 0"), "{err}");
+
+        // Robust sinks are a FedAvg-arm feature.
+        let mut s = tiny();
+        s.algorithm = AlgorithmSpec::HeteroFl;
+        s.attack = Some(attack(RobustAggregation::CoordinateMedian));
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("only supported for the FedAvg arm"), "{err}");
+        // ... but an undefended attack runs against every arm.
+        let mut s = tiny();
+        s.algorithm = AlgorithmSpec::HeteroFl;
+        s.attack = Some(attack(RobustAggregation::FedAvg));
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn availability_validation_catches_nonsense() {
+        let mut s = tiny();
+        s.availability = Some(AvailabilityConfig {
+            trace: Vec::new(),
+            departure_prob: 0.1,
+        });
+        let err = s.validate().unwrap_err();
+        assert!(
+            err.contains("availability trace must not be empty"),
+            "{err}"
+        );
+
+        let mut s = tiny();
+        s.availability = Some(AvailabilityConfig {
+            trace: vec![0.9, 1.5],
+            departure_prob: 0.0,
+        });
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("trace entry 1 must be in [0,1]"), "{err}");
+
+        let mut s = tiny();
+        s.availability = Some(AvailabilityConfig {
+            trace: vec![0.9],
+            departure_prob: -0.5,
+        });
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("departure_prob must be in [0,1]"), "{err}");
+
+        let mut s = tiny();
+        s.availability = Some(AvailabilityConfig {
+            trace: vec![1.0],
+            departure_prob: 0.2,
+        });
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn drift_validation_catches_nonsense() {
+        let mut s = tiny();
+        s.drift = Some(DriftConfig {
+            period: 0,
+            rotation: 1,
+        });
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("drift period must be at least 1"), "{err}");
+
+        let mut s = tiny();
+        s.drift = Some(DriftConfig {
+            period: 2,
+            rotation: 0,
+        });
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("drift rotation must be at least 1"), "{err}");
+
+        let mut s = tiny();
+        s.drift = Some(DriftConfig {
+            period: 2,
+            rotation: 1,
+        });
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn scenario_without_adversity_fields_parses_to_none() {
+        // Emulates a scenario file written before the adversity blocks
+        // existed: strip them and re-parse.
+        let json = serde_json::to_string(&tiny()).unwrap();
+        let value = serde_json::parse_value(&json).unwrap();
+        let serde::Value::Object(fields) = value else {
+            panic!("scenario must encode as an object");
+        };
+        let stripped: Vec<(String, serde::Value)> = fields
+            .into_iter()
+            .filter(|(k, _)| k != "attack" && k != "availability" && k != "drift")
+            .collect();
+        let old_json = serde_json::to_string(&serde::Value::Object(stripped)).unwrap();
+        let back: Scenario = serde_json::from_str(&old_json).unwrap();
+        assert!(back.attack.is_none());
+        assert!(back.availability.is_none());
+        assert!(back.drift.is_none());
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn adversarial_scenario_builds_and_runs() {
+        let mut s = tiny();
+        s.attack = Some(attack(RobustAggregation::TrimmedMean { trim: 0.25 }));
+        s.drift = Some(DriftConfig {
+            period: 1,
+            rotation: 1,
+        });
+        let mut driver = s.build().unwrap();
+        let report = driver.run_to(2).unwrap();
+        assert_eq!(report.rounds.len(), 2);
     }
 
     #[test]

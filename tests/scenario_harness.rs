@@ -78,6 +78,15 @@ fn fault_injected_scenario_resumes_byte_identically() {
 }
 
 #[test]
+fn byzantine_scenario_resumes_byte_identically() {
+    // Attack injection and the buffering trimmed-mean sink are both
+    // stateless across rounds (corruption hashes from (seed, round,
+    // client); the sink drains inside each round), so a kill/resume
+    // under active attack must replay the defended fold bit for bit.
+    assert_resume_byte_identical("byzantine-trimmed-mean", 4);
+}
+
+#[test]
 fn every_canned_scenario_matches_its_committed_golden() {
     let goldens = registry::load_goldens().expect("goldens.json committed");
     for scenario in registry::canned() {
