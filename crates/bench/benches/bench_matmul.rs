@@ -7,13 +7,19 @@
 //!    variants plus the pre-rewrite scalar kernels at matched shapes.
 //! 2. A JSON artifact, `bench_results/matmul.json`, recording
 //!    seconds-per-iteration and the tiled-over-scalar speedup per
-//!    size — and a `round` entry timing one simulated round of
-//!    parallel client local training (the `ft_fedsim::exec` engine at
-//!    full width) against the serial client loop, so the bench
-//!    regression gate covers round wall-clock too.
+//!    size — plus a `simd` leg per size (the runtime-dispatched
+//!    intrinsics kernel versus the portable micro-kernel, forced via
+//!    `ft_tensor::simd::force`), a top-level `kernel` object naming
+//!    the dispatched variant and the autotuned MC/KC tile config, and
+//!    a `round` entry timing one simulated round of parallel client
+//!    local training (the `ft_fedsim::exec` engine at full width)
+//!    against the serial client loop, so the bench regression gate
+//!    covers round wall-clock too.
 //!
 //! `FT_BENCH_QUICK=1` trims sizes and repetitions to CI scale.
-//! `FT_TENSOR_THREADS` controls the worker pool as usual.
+//! `FT_TENSOR_THREADS` controls the worker pool as usual;
+//! `FT_TENSOR_SIMD=0` collapses the `simd` leg to `null` (there is
+//! nothing to A/B when dispatch is pinned to portable).
 
 use std::time::Instant;
 
@@ -101,6 +107,11 @@ fn bench_matmul(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("tiled_matmul_t", n), &n, |bench, _| {
             bench.iter(|| black_box(a.matmul_t(&b).unwrap()));
         });
+        group.bench_with_input(BenchmarkId::new("tiled_portable", n), &n, |bench, _| {
+            ft_tensor::simd::force(Some(ft_tensor::simd::Kernel::Portable));
+            bench.iter(|| black_box(a.matmul(&b).unwrap()));
+            ft_tensor::simd::force(None);
+        });
         group.bench_with_input(BenchmarkId::new("scalar", n), &n, |bench, _| {
             bench.iter(|| black_box(scalar_matmul(&a, &b)));
         });
@@ -125,6 +136,45 @@ fn time_median<F: FnMut()>(mut f: F, reps: usize) -> f64 {
         .collect();
     samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
+}
+
+/// Times the intrinsics-vs-fallback A/B leg for one operand pair: the
+/// same tiled `matmul` under the portable micro-kernel (forced via
+/// [`ft_tensor::simd::force`]) and under the runtime-dispatched
+/// intrinsics kernel. Samples alternate A/B/A/B so frequency ramps and
+/// noisy co-tenants hit both legs equally. Returns `null` when
+/// dispatch already resolves to portable (no intrinsics on this host,
+/// or `FT_TENSOR_SIMD=0`) — there is nothing to compare.
+fn simd_leg(a: &Tensor, b: &Tensor, reps: usize) -> serde_json::Value {
+    use ft_tensor::simd::{self, Kernel};
+    if simd::active() == Kernel::Portable {
+        return serde_json::json!(null);
+    }
+    // Warm both paths before sampling.
+    simd::force(Some(Kernel::Portable));
+    drop(black_box(a.matmul(b).unwrap()));
+    simd::force(None);
+    drop(black_box(a.matmul(b).unwrap()));
+    let mut fallback = Vec::with_capacity(reps);
+    let mut vectored = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        simd::force(Some(Kernel::Portable));
+        let start = Instant::now();
+        drop(black_box(a.matmul(b).unwrap()));
+        fallback.push(start.elapsed().as_secs_f64());
+        simd::force(None);
+        let start = Instant::now();
+        drop(black_box(a.matmul(b).unwrap()));
+        vectored.push(start.elapsed().as_secs_f64());
+    }
+    fallback.sort_by(f64::total_cmp);
+    vectored.sort_by(f64::total_cmp);
+    let (fallback_s, simd_s) = (fallback[fallback.len() / 2], vectored[vectored.len() / 2]);
+    serde_json::json!({
+        "fallback_s": fallback_s,
+        "simd_s": simd_s,
+        "speedup": fallback_s / simd_s,
+    })
 }
 
 /// Times one round of client local training — the `large-population`
@@ -203,9 +253,14 @@ fn emit_json() {
         let tiled_s = time_median(|| drop(black_box(a.matmul(&b).unwrap())), reps);
         let scalar_t_s = time_median(|| drop(black_box(scalar_matmul_t(&a, &b))), reps);
         let tiled_t_s = time_median(|| drop(black_box(a.matmul_t(&b).unwrap())), reps);
+        let simd = simd_leg(&a, &b, reps);
+        if let Some(s) = simd.get("speedup").and_then(serde::Value::as_f64) {
+            println!("matmul {n}x{n}x{n} simd-vs-fallback: {s:.2}x");
+        }
         let gflops = |s: f64| 2.0 * (n * n * n) as f64 / s / 1e9;
         results.push(serde_json::json!({
             "size": n,
+            "simd": simd,
             "matmul": {
                 "scalar_s": scalar_s,
                 "tiled_s": tiled_s,
@@ -226,10 +281,20 @@ fn emit_json() {
             scalar_t_s / tiled_t_s,
         );
     }
+    let tune = ft_tensor::tune::active();
     let report = serde_json::json!({
         "bench": "bench_matmul",
         "threads": ft_tensor::pool::max_parallelism(),
         "quick": quick(),
+        // Which micro-kernel dispatch picked and the autotuned tile
+        // config it ran with — so a perf trace in CI is attributable
+        // to the exact kernel configuration that produced it.
+        "kernel": {
+            "variant": ft_tensor::simd::active().name(),
+            "mc": tune.mc,
+            "kc": tune.kc,
+            "tune_source": tune.source.name(),
+        },
         "results": results,
         "round": bench_round(reps),
     });

@@ -8,10 +8,14 @@
 //!    and through the reference path.
 //! 2. A JSON artifact, `bench_results/train_step.json`, recording
 //!    seconds per step / per round and the fused-over-reference
-//!    speedups. Like `matmul.json`, the gated metrics are *speedups*
-//!    measured against a same-run, same-machine reference, so they
-//!    are comparable across hosts; `bench_gate` fails CI when they
-//!    regress against the committed baseline.
+//!    speedups, plus a `simd` leg (the fused step under the
+//!    runtime-dispatched intrinsics kernels versus the portable
+//!    fallback, forced via `ft_tensor::simd::force`) and a `kernel`
+//!    object naming the dispatched variant. Like `matmul.json`, the
+//!    gated metrics are *speedups* measured against a same-run,
+//!    same-machine reference, so they are comparable across hosts;
+//!    `bench_gate` fails CI when they regress against the committed
+//!    baseline.
 //!
 //! The reference step reproduces the pre-optimization hot path:
 //! buffer pooling disabled (`ft_tensor::scratch::set_enabled(false)`),
@@ -199,6 +203,55 @@ fn bench_step(reps: usize) -> serde_json::Value {
     })
 }
 
+/// The intrinsics-vs-fallback A/B leg: the *same* fused stepper code,
+/// once pinned to the portable kernels and once runtime-dispatched,
+/// alternately sampled via [`time_median_pair`]. This isolates what
+/// the explicit SIMD micro-kernels buy the training hot path (GEMM +
+/// fused SGD-momentum) on this host. Returns `null` when dispatch
+/// already resolves to portable (no intrinsics, or
+/// `FT_TENSOR_SIMD=0`).
+fn bench_simd(reps: usize) -> serde_json::Value {
+    use ft_tensor::simd::{self, Kernel};
+    if simd::active() == Kernel::Portable {
+        return serde_json::json!(null);
+    }
+    let (data, model, cfg) = workload();
+    let burst = if quick() { 20 } else { 40 };
+    let reps = reps * 3;
+
+    let mut portable_model = model.clone();
+    let mut portable_stepper = LocalStepper::new(&portable_model, data.client(0), &cfg, 7);
+    let mut simd_model = model.clone();
+    let mut simd_stepper = LocalStepper::new(&simd_model, data.client(0), &cfg, 7);
+    let (fallback_s, simd_s) = time_median_pair(
+        || {
+            simd::force(Some(Kernel::Portable));
+            for _ in 0..burst {
+                portable_stepper
+                    .step(&mut portable_model)
+                    .expect("step trains");
+            }
+            simd::force(None);
+        },
+        || {
+            for _ in 0..burst {
+                simd_stepper.step(&mut simd_model).expect("step trains");
+            }
+        },
+        reps,
+    );
+    let (fallback_s, simd_s) = (fallback_s / burst as f64, simd_s / burst as f64);
+    println!(
+        "train_step simd-vs-fallback: portable {fallback_s:.2e}s simd {simd_s:.2e}s ({:.2}x)",
+        fallback_s / simd_s
+    );
+    serde_json::json!({
+        "fallback_s": fallback_s,
+        "simd_s": simd_s,
+        "speedup": fallback_s / simd_s,
+    })
+}
+
 /// The pre-optimization version of one client's full local round:
 /// snapshot, allocating reference steps, snapshot, out-of-place delta
 /// — mirroring what `train_local` did before the scratch/fused
@@ -275,12 +328,20 @@ fn bench_round(reps: usize) -> serde_json::Value {
 /// trajectory across PRs and `bench_gate` can fail regressions.
 fn emit_json() {
     let reps = if quick() { 7 } else { 9 };
+    let tune = ft_tensor::tune::active();
     let report = serde_json::json!({
         "bench": "bench_train_step",
         "threads": ft_tensor::pool::max_parallelism(),
         "quick": quick(),
+        "kernel": {
+            "variant": ft_tensor::simd::active().name(),
+            "mc": tune.mc,
+            "kc": tune.kc,
+            "tune_source": tune.source.name(),
+        },
         "train_step": bench_step(reps),
         "round": bench_round(reps),
+        "simd": bench_simd(reps),
     });
     let path = ft_fedsim::report::dump_json("train_step", &report).expect("writing bench artifact");
     println!("wrote {}", path.display());

@@ -18,6 +18,14 @@
 //! tolerance can be overridden via `FT_BENCH_GATE_TOLERANCE` (default
 //! `0.25`).
 //!
+//! The explicit-SIMD micro-kernels are gated the same way through the
+//! reports' `simd` legs (intrinsics versus the forced-portable
+//! fallback, same run, same machine). Those rows only gate when the
+//! fresh run actually dispatched an intrinsics kernel — a run under
+//! `FT_TENSOR_SIMD=0` or on a host without AVX2 records
+//! `"variant": "portable"` and the SIMD rows report as skipped, never
+//! failed. A baseline predating the `simd` legs is likewise skipped.
+//!
 //! The report's `round` entry — round wall-clock of the parallel
 //! client engine versus the serial client loop — is gated the same
 //! way, but only when the fresh run had more than one thread of
@@ -72,6 +80,91 @@ fn speedups(report: &Value) -> Result<Vec<(u64, String, f64)>, String> {
         return Err("report contains no benchmark rows".to_owned());
     }
     Ok(out)
+}
+
+/// The kernel variant a report was produced under, if it records one
+/// (reports predating the SIMD micro-kernels carry no `kernel`
+/// object).
+fn kernel_variant(report: &Value) -> Option<&str> {
+    report
+        .get("kernel")
+        .and_then(|k| k.get("variant"))
+        .and_then(Value::as_str)
+}
+
+/// True when the fresh report ran with an intrinsics kernel — the
+/// precondition for any SIMD-vs-fallback row to be meaningful.
+fn fresh_ran_simd(fresh: &Value) -> bool {
+    kernel_variant(fresh).is_some_and(|v| v != "portable")
+}
+
+/// Reads a `simd.speedup` leg from a container value (a matmul size
+/// entry or a whole train-step report). `None` covers both a missing
+/// leg (old report) and an explicit `null` (portable-only run).
+fn simd_speedup(container: &Value) -> Option<f64> {
+    container
+        .get("simd")
+        .and_then(|s| s.get("speedup"))
+        .and_then(Value::as_f64)
+}
+
+/// Gates the per-size SIMD-vs-fallback legs of the matmul report.
+/// Infallible by design: a missing leg on either side, or a fresh run
+/// that dispatched the portable kernel, is reported and skipped.
+fn gate_simd_matmul(fresh: &Value, baseline: &Value, tolerance: f64) -> bool {
+    if !fresh_ran_simd(fresh) {
+        println!("simd       gemm       fresh run used the portable kernel; skipping");
+        return true;
+    }
+    let sizes = |report: &Value| -> Vec<(u64, Option<f64>)> {
+        report
+            .get("results")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|entry| {
+                let size = entry.get("size").and_then(Value::as_f64)? as u64;
+                Some((size, simd_speedup(entry)))
+            })
+            .collect()
+    };
+    let fresh_rows = sizes(fresh);
+    let mut ok = true;
+    for (size, base) in sizes(baseline) {
+        let cur = fresh_rows
+            .iter()
+            .find(|(s, _)| *s == size)
+            .and_then(|(_, v)| *v);
+        let (Some(base), Some(cur)) = (base, cur) else {
+            println!(
+                "{size:<10} {:<10} no simd leg on one side; skipping",
+                "simd"
+            );
+            continue;
+        };
+        let ratio = cur / base;
+        // Same floor as the scalar-vs-tiled rows: sub-128 sizes are
+        // timing noise on shared runners.
+        let gated = size >= 128;
+        let pass = !gated || ratio >= 1.0 - tolerance;
+        println!(
+            "{:<10} {:<10} {:>9.2}x {:>9.2}x {:>8.2}  {}",
+            size,
+            "simd",
+            base,
+            cur,
+            ratio,
+            if !gated {
+                "info-only"
+            } else if pass {
+                "ok"
+            } else {
+                "REGRESSION"
+            }
+        );
+        ok &= pass;
+    }
+    ok
 }
 
 /// Extracts the round-engine measurement, if the report carries one:
@@ -148,6 +241,29 @@ fn gate_train_step(tolerance: f64) -> Result<bool, String> {
             if pass { "ok" } else { "REGRESSION" }
         );
         ok &= pass;
+    }
+    // The SIMD-vs-fallback leg of the fused step, gated like the
+    // matmul `simd` rows: only when the fresh run dispatched an
+    // intrinsics kernel and both sides carry the leg.
+    match (simd_speedup(&fresh), simd_speedup(&baseline)) {
+        (Some(cur), Some(base)) if fresh_ran_simd(&fresh) => {
+            let ratio = cur / base;
+            let pass = ratio >= 1.0 - tolerance;
+            println!(
+                "{:<10} {:<10} {:>9.2}x {:>9.2}x {:>8.2}  {}",
+                "hot-path",
+                "simd",
+                base,
+                cur,
+                ratio,
+                if pass { "ok" } else { "REGRESSION" }
+            );
+            ok &= pass;
+        }
+        _ => println!(
+            "{:<10} {:<10} portable run or no simd leg on one side; skipping",
+            "hot-path", "simd"
+        ),
     }
     Ok(ok)
 }
@@ -233,6 +349,7 @@ fn gate() -> Result<bool, String> {
         );
         ok &= pass;
     }
+    ok &= gate_simd_matmul(&fresh_report, &baseline_report, tolerance);
     ok &= gate_round(&fresh_report, &baseline_report, tolerance);
     ok &= gate_train_step(tolerance)?;
     ok &= gate_round_1m()?;

@@ -1075,15 +1075,40 @@ impl QuantizedTensor {
         }
     }
 
-    /// Exact dequantization: one f32 multiply per element.
+    /// Exact dequantization: one f32 multiply per element, through the
+    /// SIMD-dispatched [`ft_tensor::fused::dequant_scale`] kernel into
+    /// a scratch-pooled buffer.
     ///
     /// # Panics
     ///
     /// Panics if the stored dims do not match the value count (only
     /// possible through manual construction).
     pub fn dequantize(&self) -> Tensor {
-        let data: Vec<f32> = self.values.iter().map(|&q| q as f32 * self.scale).collect();
+        let mut data = ft_tensor::scratch::take(self.values.len());
+        ft_tensor::fused::dequant_scale(&mut data, &self.values, self.scale);
         Tensor::from_vec(data, &self.dims).expect("dims stored at quantization time")
+    }
+
+    /// Folds this quantized update straight into a running aggregate:
+    /// `acc[i] += alpha · (values[i] · scale)`, via the fused
+    /// [`ft_tensor::fused::dequant_axpy`] kernel — no intermediate f32
+    /// tensor is materialized. Bit-identical to
+    /// [`QuantizedTensor::dequantize`] followed by `acc.axpy(alpha, _)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] when `acc`'s shape differs from the
+    /// quantized tensor's stored dims.
+    pub fn axpy_into(&self, alpha: f32, acc: &mut Tensor) -> Result<()> {
+        if acc.shape().dims() != self.dims.as_slice() {
+            return Err(SimError::protocol(format!(
+                "quantized axpy shape mismatch: accumulator {:?} vs update {:?}",
+                acc.shape().dims(),
+                self.dims
+            )));
+        }
+        ft_tensor::fused::dequant_axpy(acc.data_mut(), alpha, &self.values, self.scale);
+        Ok(())
     }
 
     /// Wire size of this tensor in bytes (values + scale).
@@ -1093,10 +1118,13 @@ impl QuantizedTensor {
 }
 
 /// Lossy int8 round trip over a tensor list, in place: what an update
-/// looks like after crossing a quantized uplink.
+/// looks like after crossing a quantized uplink. Dequantization writes
+/// straight back into each tensor's existing buffer through the
+/// SIMD-dispatched kernel — no reallocation, no intermediate copy.
 pub fn quantize_roundtrip(tensors: &mut [Tensor]) {
     for t in tensors.iter_mut() {
-        *t = QuantizedTensor::quantize(t).dequantize();
+        let q = QuantizedTensor::quantize(t);
+        ft_tensor::fused::dequant_scale(t.data_mut(), &q.values, q.scale);
     }
 }
 
@@ -1342,6 +1370,47 @@ mod tests {
         let q = QuantizedTensor::quantize(&t);
         assert_eq!(q.scale, 0.0);
         assert_eq!(q.dequantize().data(), t.data());
+    }
+
+    #[test]
+    fn in_place_roundtrip_matches_quantize_then_dequantize() {
+        // The fused in-place path must be bit-identical to the old
+        // materialize-a-new-tensor form, including a SIMD-width tail.
+        let vals: Vec<f32> = (0..37)
+            .map(|i| ((i * 7) % 23) as f32 * 0.37 - 4.0)
+            .collect();
+        let mut tensors = vec![tensor(&vals)];
+        let expect = QuantizedTensor::quantize(&tensors[0]).dequantize();
+        quantize_roundtrip(&mut tensors);
+        assert_eq!(tensors[0].data(), expect.data());
+    }
+
+    #[test]
+    fn quantized_axpy_into_matches_dequantize_then_axpy() {
+        let vals: Vec<f32> = (0..301)
+            .map(|i| ((i * 13) % 41) as f32 * 0.21 - 4.2)
+            .collect();
+        let q = QuantizedTensor::quantize(&tensor(&vals));
+        let acc0: Vec<f32> = (0..301).map(|i| (i as f32 * 0.11).sin()).collect();
+        let alpha = 0.375f32;
+
+        let mut reference = tensor(&acc0);
+        reference.axpy(alpha, &q.dequantize()).unwrap();
+        let mut fused = tensor(&acc0);
+        q.axpy_into(alpha, &mut fused).unwrap();
+        let bits = |t: &Tensor| -> Vec<u32> { t.data().iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(
+            bits(&reference),
+            bits(&fused),
+            "fused dequant-accumulate must be 0 ULP from dequantize-then-axpy"
+        );
+    }
+
+    #[test]
+    fn quantized_axpy_into_rejects_shape_mismatch() {
+        let q = QuantizedTensor::quantize(&tensor(&[1.0, 2.0]));
+        let mut acc = tensor(&[0.0, 0.0, 0.0]);
+        assert!(q.axpy_into(1.0, &mut acc).is_err());
     }
 
     fn specs(samples: &[u64]) -> Vec<TaskSpec> {

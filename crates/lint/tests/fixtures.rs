@@ -243,6 +243,53 @@ fn s001_doc_section_does_not_cover_a_plain_block() {
 }
 
 #[test]
+fn s001_safety_doc_survives_target_feature_attribute() {
+    // The SIMD micro-kernels put `#[target_feature(...)]` between the
+    // doc comment and the `unsafe fn` header; the `# Safety` section
+    // must still be credited to the fn.
+    let src = "/// AVX2 leg.\n\
+               ///\n\
+               /// # Safety\n\
+               ///\n\
+               /// Caller must have verified AVX2 support.\n\
+               #[target_feature(enable = \"avx2\")]\n\
+               pub unsafe fn kernel(p: *const u8) -> u8 {\n\
+                   // SAFETY: valid per this fn's contract.\n\
+                   unsafe { *p }\n\
+               }\n";
+    assert!(rules(src).is_empty());
+}
+
+#[test]
+fn s001_fires_on_uncommented_block_inside_target_feature_fn() {
+    // Under `#[deny(unsafe_op_in_unsafe_fn)]` the intrinsic bodies
+    // carry inner `unsafe {}` blocks; a `# Safety` doc on the fn
+    // header must not excuse an undocumented inner block.
+    let src = "/// AVX2 leg.\n\
+               ///\n\
+               /// # Safety\n\
+               ///\n\
+               /// Caller must have verified AVX2 support.\n\
+               #[target_feature(enable = \"avx2\")]\n\
+               pub unsafe fn kernel(p: *const u8) -> u8 {\n\
+                   unsafe { *p }\n\
+               }\n";
+    assert_eq!(rules(src), vec![rule::S001]);
+}
+
+#[test]
+fn s001_fires_on_target_feature_fn_without_safety_doc() {
+    // A `#[target_feature]` unsafe fn is still an unsafe fn: the
+    // attribute alone must not stand in for the `# Safety` section.
+    let src = "/// AVX2 leg, no safety contract documented.\n\
+               #[target_feature(enable = \"avx2\")]\n\
+               pub unsafe fn kernel(x: f32) -> f32 {\n\
+                   x\n\
+               }\n";
+    assert_eq!(rules(src), vec![rule::S001]);
+}
+
+#[test]
 fn s001_sibling_unsafe_impls_share_one_comment() {
     let src = "pub struct P(*mut u8);\n\
                // SAFETY: P is only moved between pool threads whole.\n\

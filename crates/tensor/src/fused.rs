@@ -16,8 +16,18 @@
 //! a cross-element reduction, so results are independent of thread
 //! count and scheduling by construction — the same discipline the
 //! GEMM kernels follow.
+//!
+//! # SIMD
+//!
+//! Each per-range body dispatches on [`crate::simd::active`]: the AVX2
+//! tier performs exactly the portable loop's arithmetic eight lanes at
+//! a time (no FMA contraction — even under `FT_TENSOR_SIMD=fma`, which
+//! only affects the GEMM micro-kernel), so results stay bit-identical
+//! across tiers; `proptest_simd` pins the equivalence.
 
-use crate::pool;
+use crate::{pool, simd};
+#[cfg(target_arch = "x86_64")]
+use simd::Kernel;
 
 /// At or above this many elements an in-place kernel fans out over
 /// the worker pool; below it, dispatch costs more than it buys on a
@@ -80,6 +90,25 @@ unsafe fn sub_ref<'a>(p: &ConstPtr, start: usize, end: usize) -> &'a [f32] {
     unsafe { std::slice::from_raw_parts(p.0.add(start), end - start) }
 }
 
+/// Shares a read-only `i8` pointer with pool tasks (the quantized
+/// update payload).
+struct ConstPtrI8(*const i8);
+// SAFETY: read-only access from multiple threads is always sound; the
+// submitter keeps the referent alive until `parallel_for` returns.
+unsafe impl Send for ConstPtrI8 {}
+unsafe impl Sync for ConstPtrI8 {}
+
+/// `i8` counterpart of [`sub_ref`].
+///
+/// # Safety
+///
+/// `start..end` must be in-bounds for the original allocation; shared
+/// reborrows may overlap, but no task may mutate the range.
+unsafe fn sub_ref_i8<'a>(p: &ConstPtrI8, start: usize, end: usize) -> &'a [i8] {
+    // SAFETY: in-bounds and unaliased by writers per this fn's contract.
+    unsafe { std::slice::from_raw_parts(p.0.add(start), end - start) }
+}
+
 /// `a[i] += b[i]`.
 ///
 /// # Panics
@@ -87,12 +116,22 @@ unsafe fn sub_ref<'a>(p: &ConstPtr, start: usize, end: usize) -> &'a [f32] {
 /// Panics if lengths differ.
 pub fn add_assign(a: &mut [f32], b: &[f32]) {
     assert_eq!(a.len(), b.len(), "fused add_assign length mismatch");
+    let kern = simd::active();
     let (pa, pb) = (MutPtr(a.as_mut_ptr()), ConstPtr(b.as_ptr()));
     dispatch(a.len(), &|s, e| {
         // SAFETY: ranges are disjoint and in-bounds (dispatch contract).
         let (a, b) = unsafe { (sub_mut(&pa, s, e), sub_ref(&pb, s, e)) };
-        for (x, &y) in a.iter_mut().zip(b) {
-            *x += y;
+        match kern {
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 | Kernel::Avx2Fma => {
+                // SAFETY: `simd::active` only returns supported tiers.
+                unsafe { simd::x86::add_assign_avx2(a, b) }
+            }
+            _ => {
+                for (x, &y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+            }
         }
     });
 }
@@ -104,12 +143,22 @@ pub fn add_assign(a: &mut [f32], b: &[f32]) {
 /// Panics if lengths differ.
 pub fn sub_assign(a: &mut [f32], b: &[f32]) {
     assert_eq!(a.len(), b.len(), "fused sub_assign length mismatch");
+    let kern = simd::active();
     let (pa, pb) = (MutPtr(a.as_mut_ptr()), ConstPtr(b.as_ptr()));
     dispatch(a.len(), &|s, e| {
         // SAFETY: ranges are disjoint and in-bounds (dispatch contract).
         let (a, b) = unsafe { (sub_mut(&pa, s, e), sub_ref(&pb, s, e)) };
-        for (x, &y) in a.iter_mut().zip(b) {
-            *x -= y;
+        match kern {
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 | Kernel::Avx2Fma => {
+                // SAFETY: `simd::active` only returns supported tiers.
+                unsafe { simd::x86::sub_assign_avx2(a, b) }
+            }
+            _ => {
+                for (x, &y) in a.iter_mut().zip(b) {
+                    *x -= y;
+                }
+            }
         }
     });
 }
@@ -121,24 +170,44 @@ pub fn sub_assign(a: &mut [f32], b: &[f32]) {
 /// Panics if lengths differ.
 pub fn mul_assign(a: &mut [f32], b: &[f32]) {
     assert_eq!(a.len(), b.len(), "fused mul_assign length mismatch");
+    let kern = simd::active();
     let (pa, pb) = (MutPtr(a.as_mut_ptr()), ConstPtr(b.as_ptr()));
     dispatch(a.len(), &|s, e| {
         // SAFETY: ranges are disjoint and in-bounds (dispatch contract).
         let (a, b) = unsafe { (sub_mut(&pa, s, e), sub_ref(&pb, s, e)) };
-        for (x, &y) in a.iter_mut().zip(b) {
-            *x *= y;
+        match kern {
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 | Kernel::Avx2Fma => {
+                // SAFETY: `simd::active` only returns supported tiers.
+                unsafe { simd::x86::mul_assign_avx2(a, b) }
+            }
+            _ => {
+                for (x, &y) in a.iter_mut().zip(b) {
+                    *x *= y;
+                }
+            }
         }
     });
 }
 
 /// `a[i] *= alpha`.
 pub fn scale_assign(a: &mut [f32], alpha: f32) {
+    let kern = simd::active();
     let pa = MutPtr(a.as_mut_ptr());
     dispatch(a.len(), &|s, e| {
         // SAFETY: ranges are disjoint and in-bounds (dispatch contract).
         let a = unsafe { sub_mut(&pa, s, e) };
-        for x in a {
-            *x *= alpha;
+        match kern {
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 | Kernel::Avx2Fma => {
+                // SAFETY: `simd::active` only returns supported tiers.
+                unsafe { simd::x86::scale_assign_avx2(a, alpha) }
+            }
+            _ => {
+                for x in a {
+                    *x *= alpha;
+                }
+            }
         }
     });
 }
@@ -150,12 +219,82 @@ pub fn scale_assign(a: &mut [f32], alpha: f32) {
 /// Panics if lengths differ.
 pub fn axpy(a: &mut [f32], alpha: f32, b: &[f32]) {
     assert_eq!(a.len(), b.len(), "fused axpy length mismatch");
+    let kern = simd::active();
     let (pa, pb) = (MutPtr(a.as_mut_ptr()), ConstPtr(b.as_ptr()));
     dispatch(a.len(), &|s, e| {
         // SAFETY: ranges are disjoint and in-bounds (dispatch contract).
         let (a, b) = unsafe { (sub_mut(&pa, s, e), sub_ref(&pb, s, e)) };
-        for (x, &y) in a.iter_mut().zip(b) {
-            *x += alpha * y;
+        match kern {
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 | Kernel::Avx2Fma => {
+                // SAFETY: `simd::active` only returns supported tiers.
+                unsafe { simd::x86::axpy_avx2(a, alpha, b) }
+            }
+            _ => {
+                for (x, &y) in a.iter_mut().zip(b) {
+                    *x += alpha * y;
+                }
+            }
+        }
+    });
+}
+
+/// `dst[i] = q[i] as f32 * scale` — int8 dequantization into a dense
+/// buffer (the wire-format decode for quantized client updates).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dequant_scale(dst: &mut [f32], q: &[i8], scale: f32) {
+    assert_eq!(dst.len(), q.len(), "fused dequant_scale length mismatch");
+    let kern = simd::active();
+    let (pd, pq) = (MutPtr(dst.as_mut_ptr()), ConstPtrI8(q.as_ptr()));
+    dispatch(dst.len(), &|s, e| {
+        // SAFETY: ranges are disjoint and in-bounds (dispatch contract).
+        let (dst, q) = unsafe { (sub_mut(&pd, s, e), sub_ref_i8(&pq, s, e)) };
+        match kern {
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 | Kernel::Avx2Fma => {
+                // SAFETY: `simd::active` only returns supported tiers.
+                unsafe { simd::x86::dequant_scale_avx2(dst, q, scale) }
+            }
+            _ => {
+                for (x, &qv) in dst.iter_mut().zip(q) {
+                    *x = qv as f32 * scale;
+                }
+            }
+        }
+    });
+}
+
+/// `acc[i] += alpha * (q[i] as f32 * scale)` — fused int8
+/// dequant-accumulate: folds a quantized client update straight into
+/// the running aggregate with no intermediate f32 buffer. The
+/// dequantized term is materialized per element (`mul`, `mul`, `add`
+/// — no contraction), bit-identical to dequantize-then-[`axpy`].
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dequant_axpy(acc: &mut [f32], alpha: f32, q: &[i8], scale: f32) {
+    assert_eq!(acc.len(), q.len(), "fused dequant_axpy length mismatch");
+    let kern = simd::active();
+    let (pa, pq) = (MutPtr(acc.as_mut_ptr()), ConstPtrI8(q.as_ptr()));
+    dispatch(acc.len(), &|s, e| {
+        // SAFETY: ranges are disjoint and in-bounds (dispatch contract).
+        let (acc, q) = unsafe { (sub_mut(&pa, s, e), sub_ref_i8(&pq, s, e)) };
+        match kern {
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 | Kernel::Avx2Fma => {
+                // SAFETY: `simd::active` only returns supported tiers.
+                unsafe { simd::x86::dequant_axpy_avx2(acc, alpha, q, scale) }
+            }
+            _ => {
+                for (x, &qv) in acc.iter_mut().zip(q) {
+                    let t = qv as f32 * scale;
+                    *x += alpha * t;
+                }
+            }
         }
     });
 }
@@ -190,14 +329,24 @@ pub fn sgd_momentum_update(
         MutPtr(v.as_mut_ptr()),
         ConstPtr(g.as_ptr()),
     );
+    let kern = simd::active();
     dispatch(p.len(), &|s, e| {
         // SAFETY: ranges are disjoint and in-bounds (dispatch contract).
         let (p, v, g) = unsafe { (sub_mut(&pp, s, e), sub_mut(&pv, s, e), sub_ref(&pg, s, e)) };
-        for ((p, v), &g) in p.iter_mut().zip(v).zip(g) {
-            let grad = g + weight_decay * *p;
-            let vel = momentum * *v + grad;
-            *v = vel;
-            *p -= lr * vel;
+        match kern {
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 | Kernel::Avx2Fma => {
+                // SAFETY: `simd::active` only returns supported tiers.
+                unsafe { simd::x86::sgd_momentum_avx2(p, v, g, lr, momentum, weight_decay) }
+            }
+            _ => {
+                for ((p, v), &g) in p.iter_mut().zip(v).zip(g) {
+                    let grad = g + weight_decay * *p;
+                    let vel = momentum * *v + grad;
+                    *v = vel;
+                    *p -= lr * vel;
+                }
+            }
         }
     });
 }
@@ -230,6 +379,7 @@ pub fn prox_sgd_momentum_update(
         ConstPtr(g.as_ptr()),
         ConstPtr(anchor.as_ptr()),
     );
+    let kern = simd::active();
     dispatch(p.len(), &|s, e| {
         // SAFETY: ranges are disjoint and in-bounds (dispatch contract).
         let (p, v, g, a) = unsafe {
@@ -240,12 +390,23 @@ pub fn prox_sgd_momentum_update(
                 sub_ref(&pa, s, e),
             )
         };
-        for (((p, v), &g), &a) in p.iter_mut().zip(v).zip(g).zip(a) {
-            let adjusted = g + mu * (*p - a);
-            let grad = adjusted + weight_decay * *p;
-            let vel = momentum * *v + grad;
-            *v = vel;
-            *p -= lr * vel;
+        match kern {
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 | Kernel::Avx2Fma => {
+                // SAFETY: `simd::active` only returns supported tiers.
+                unsafe {
+                    simd::x86::prox_sgd_momentum_avx2(p, v, g, a, mu, lr, momentum, weight_decay)
+                }
+            }
+            _ => {
+                for (((p, v), &g), &a) in p.iter_mut().zip(v).zip(g).zip(a) {
+                    let adjusted = g + mu * (*p - a);
+                    let grad = adjusted + weight_decay * *p;
+                    let vel = momentum * *v + grad;
+                    *v = vel;
+                    *p -= lr * vel;
+                }
+            }
         }
     });
 }
@@ -277,6 +438,7 @@ pub fn yogi_update(
         MutPtr(v.as_mut_ptr()),
         ConstPtr(d.as_ptr()),
     );
+    let kern = simd::active();
     dispatch(p.len(), &|s, e| {
         // SAFETY: ranges are disjoint and in-bounds (dispatch contract).
         let (p, m, v, d) = unsafe {
@@ -287,13 +449,22 @@ pub fn yogi_update(
                 sub_ref(&pd, s, e),
             )
         };
-        for (((p, m), v), &g) in p.iter_mut().zip(m).zip(v).zip(d) {
-            let mi = beta1 * *m + (1.0 - beta1) * g;
-            let g2 = g * g;
-            let vi = *v - (1.0 - beta2) * g2 * (*v - g2).signum();
-            *m = mi;
-            *v = vi;
-            *p += lr * mi / (vi.sqrt() + eps);
+        match kern {
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 | Kernel::Avx2Fma => {
+                // SAFETY: `simd::active` only returns supported tiers.
+                unsafe { simd::x86::yogi_avx2(p, m, v, d, lr, beta1, beta2, eps) }
+            }
+            _ => {
+                for (((p, m), v), &g) in p.iter_mut().zip(m).zip(v).zip(d) {
+                    let mi = beta1 * *m + (1.0 - beta1) * g;
+                    let g2 = g * g;
+                    let vi = *v - (1.0 - beta2) * g2 * (*v - g2).signum();
+                    *m = mi;
+                    *v = vi;
+                    *p += lr * mi / (vi.sqrt() + eps);
+                }
+            }
         }
     });
 }

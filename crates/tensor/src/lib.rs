@@ -32,7 +32,9 @@ mod ops;
 pub mod pool;
 pub mod scratch;
 mod shape;
+pub mod simd;
 mod tensor;
+pub mod tune;
 
 pub use error::TensorError;
 pub use init::{he_normal, uniform, xavier_uniform};

@@ -23,16 +23,13 @@
 //! version short-circuited `a == 0.0` rows and swallowed them).
 
 use crate::scratch::{self, ScratchVec};
-use crate::{pool, Result, Tensor, TensorError};
+use crate::{pool, simd, tune, Result, Tensor, TensorError};
 
 /// Rows per register tile.
-const MR: usize = 4;
-/// Columns per register tile (two 4-lane f32 vectors on baseline
-/// x86-64; MR·NR/4 + operand registers fit the 16-register SIMD file).
-const NR: usize = 8;
-/// k-block: one `KC × NR` B slab (8 KiB) stays L1-resident across all
-/// row tiles of a panel.
-const KC: usize = 128;
+pub(crate) const MR: usize = 4;
+/// Columns per register tile (one 8-lane f32 vector — a full `__m256`
+/// on AVX2; MR·NR/8 + operand registers fit the 16-register SIMD file).
+pub(crate) const NR: usize = 8;
 /// Below this many multiply-adds the plain loop nest beats the tiled
 /// kernel (no blocking bookkeeping, no operand transposes).
 const SMALL_WORK: usize = 1 << 15;
@@ -256,12 +253,19 @@ fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
 /// and `b` has row stride `ldb` with the window starting at column
 /// `jc` (`jc = 0, ldb = n` for a full-width panel).
 ///
-/// Per k-block, the A panel is packed into `MR`-interleaved micro-panels
-/// and each B block into a contiguous `kc × NR` slab, so the microkernel
-/// reads two dense streams (BLIS-style). Edge tiles are zero-padded into
-/// the same full-size microkernel; padded lanes are computed and then
-/// discarded by the partial store, which cannot change the kept values
-/// (each output element only ever accumulates its own row/column lane).
+/// Blocking is `pc` (k, autotuned `kc`) → `ic` (rows, autotuned `mc`)
+/// → `j0` (columns, `NR`): per k-block, each `mc`-row slice of A is
+/// packed into `MR`-interleaved micro-panels that stay L2-resident
+/// while every column window streams past, and each B block into a
+/// contiguous `kc × NR` slab, so the micro-kernel reads two dense
+/// streams (BLIS-style). Block sizes come from [`tune::config`] and
+/// cannot change results: every output element accumulates k-blocks in
+/// ascending `pc` order regardless of how `ic`/`j0` interleave, and a
+/// block boundary just round-trips the accumulator through an exact
+/// `f32` store. Edge tiles are zero-padded into the same full-size
+/// micro-kernel; padded lanes are computed and then discarded by the
+/// partial store, which cannot change the kept values (each output
+/// element only ever accumulates its own row/column lane).
 fn gemm_panel(
     a: &[f32],
     b: &[f32],
@@ -272,61 +276,71 @@ fn gemm_panel(
     jc: usize,
     ldb: usize,
 ) {
-    let groups = rows.div_ceil(MR);
-    let kc_max = KC.min(k);
+    let kern = simd::active();
+    let cfg = tune::active();
+    let kc_max = cfg.kc.min(k);
+    let mc = cfg.mc.min(rows.next_multiple_of(MR));
+    let block_groups = mc.div_ceil(MR);
     // The A pack panel comes from the executing thread's scratch pool
     // — the steady-state GEMM invocation allocates nothing. Unzeroed
     // scratch is safe: full tiles are overwritten before every read
     // and edge tiles are explicitly zero-filled below. The B slab has
-    // a compile-time bound (`KC × NR` = 4 KiB), so it lives on the
-    // stack — and its statically known extent is what lets LLVM keep
-    // the micro-kernel's bounds checks out of the k-loop (an opaque,
-    // pool-provided slab measurably de-vectorizes the kernel).
-    let mut apack = ScratchVec::take(groups * MR * kc_max);
-    let mut bpack = [0.0f32; KC * NR];
+    // a compile-time bound (`KC_MAX × NR` = 16 KiB), so it lives on
+    // the stack — and its statically known extent is what lets LLVM
+    // keep the micro-kernel's bounds checks out of the k-loop (an
+    // opaque, pool-provided slab measurably de-vectorizes the kernel).
+    let mut apack = ScratchVec::take(block_groups * MR * kc_max);
+    let mut bpack = [0.0f32; tune::KC_MAX * NR];
     let mut pc = 0;
     while pc < k {
-        let kc = (k - pc).min(KC);
-        for g in 0..groups {
-            let r0 = g * MR;
-            let rh = (rows - r0).min(MR);
-            let dst = &mut apack[g * MR * kc..(g + 1) * MR * kc];
-            if rh < MR {
-                dst.fill(0.0);
-            }
-            for r in 0..rh {
-                let src = &a[(r0 + r) * k + pc..(r0 + r) * k + pc + kc];
-                for (p, &v) in src.iter().enumerate() {
-                    dst[p * MR + r] = v;
+        let kc = (k - pc).min(kc_max);
+        let mut ic = 0;
+        while ic < rows {
+            let mh = (rows - ic).min(mc);
+            let groups = mh.div_ceil(MR);
+            for g in 0..groups {
+                let r0 = ic + g * MR;
+                let rh = (rows - r0).min(MR);
+                let dst = &mut apack[g * MR * kc..(g + 1) * MR * kc];
+                if rh < MR {
+                    dst.fill(0.0);
+                }
+                for r in 0..rh {
+                    let src = &a[(r0 + r) * k + pc..(r0 + r) * k + pc + kc];
+                    for (p, &v) in src.iter().enumerate() {
+                        dst[p * MR + r] = v;
+                    }
                 }
             }
-        }
-        let mut j0 = 0;
-        while j0 < n {
-            let jw = (n - j0).min(NR);
-            if jw < NR {
-                bpack[..kc * NR].fill(0.0);
+            let mut j0 = 0;
+            while j0 < n {
+                let jw = (n - j0).min(NR);
+                if jw < NR {
+                    bpack[..kc * NR].fill(0.0);
+                }
+                for p in 0..kc {
+                    let base = (pc + p) * ldb + jc + j0;
+                    bpack[p * NR..p * NR + jw].copy_from_slice(&b[base..base + jw]);
+                }
+                for g in 0..groups {
+                    let r0 = ic + g * MR;
+                    let rh = (rows - r0).min(MR);
+                    micro_tile(
+                        kern,
+                        &apack[g * MR * kc..(g + 1) * MR * kc],
+                        &bpack,
+                        out,
+                        r0,
+                        rh,
+                        j0,
+                        jw,
+                        kc,
+                        n,
+                    );
+                }
+                j0 += jw;
             }
-            for p in 0..kc {
-                let base = (pc + p) * ldb + jc + j0;
-                bpack[p * NR..p * NR + jw].copy_from_slice(&b[base..base + jw]);
-            }
-            for g in 0..groups {
-                let r0 = g * MR;
-                let rh = (rows - r0).min(MR);
-                micro_tile(
-                    &apack[g * MR * kc..(g + 1) * MR * kc],
-                    &bpack,
-                    out,
-                    r0,
-                    rh,
-                    j0,
-                    jw,
-                    kc,
-                    n,
-                );
-            }
-            j0 += jw;
+            ic += mh;
         }
         pc += kc;
     }
@@ -335,9 +349,15 @@ fn gemm_panel(
 /// `MR × NR` register tile over packed operands: accumulators live in
 /// registers across the k-block; `apack` is `kc × MR` (row-interleaved),
 /// `bpack` is `kc × NR`. Stores only the `rh × jw` live sub-tile.
+///
+/// The k-loop dispatches on `kern`: the AVX2 tier executes the same
+/// mul-then-add per lane (bit-identical, see [`crate::simd`]), the
+/// opt-in FMA tier contracts them, and everything else runs the
+/// portable loop. Accumulator copy-in/out is shared by all tiers.
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn micro_tile(
+    kern: simd::Kernel,
     apack: &[f32],
     bpack: &[f32],
     out: &mut [f32],
@@ -353,13 +373,28 @@ fn micro_tile(
         let base = (r0 + r) * n + j0;
         accr[..jw].copy_from_slice(&out[base..base + jw]);
     }
-    for p in 0..kc {
-        let arow = &apack[p * MR..p * MR + MR];
-        let brow = &bpack[p * NR..p * NR + NR];
-        for (r, accr) in acc.iter_mut().enumerate() {
-            let av = arow[r];
-            for (x, &bv) in accr.iter_mut().zip(brow) {
-                *x += av * bv;
+    match kern {
+        #[cfg(target_arch = "x86_64")]
+        simd::Kernel::Avx2 => {
+            // SAFETY: `simd::active` only returns tiers the CPU
+            // supports; apack/bpack hold kc·MR / kc·NR elements.
+            unsafe { simd::x86::gemm_micro_avx2(apack, bpack, &mut acc, kc) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        simd::Kernel::Avx2Fma => {
+            // SAFETY: as above (FMA support verified by `simd::active`).
+            unsafe { simd::x86::gemm_micro_fma(apack, bpack, &mut acc, kc) }
+        }
+        _ => {
+            for p in 0..kc {
+                let arow = &apack[p * MR..p * MR + MR];
+                let brow = &bpack[p * NR..p * NR + NR];
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = arow[r];
+                    for (x, &bv) in accr.iter_mut().zip(brow) {
+                        *x += av * bv;
+                    }
+                }
             }
         }
     }

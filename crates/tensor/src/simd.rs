@@ -1,0 +1,707 @@
+//! Runtime-dispatched SIMD micro-kernels for the GEMM core, the fused
+//! element-wise kernels, and the int8 dequantization path.
+//!
+//! # Dispatch
+//!
+//! The kernel tier is decided once per process by [`active`]:
+//!
+//! 1. `FT_TENSOR_SIMD=0` forces the portable fallback (the plain Rust
+//!    loops, exactly the pre-SIMD code path).
+//! 2. `FT_TENSOR_SIMD=fma` opts into the AVX2+FMA GEMM micro-kernel.
+//!    FMA contracts `mul`+`add` into one rounding, so its results are
+//!    **not** bit-identical to the portable path; it is excluded from
+//!    every golden-digest check and exists purely as an opt-in
+//!    throughput tier. Element-wise kernels never use FMA.
+//! 3. Otherwise, `is_x86_feature_detected!("avx2")` picks [`Kernel::Avx2`]
+//!    on capable x86-64 hosts and [`Kernel::Portable`] everywhere else.
+//!
+//! # Why AVX2 keeps results bit-identical
+//!
+//! Every [`Kernel::Avx2`] kernel performs exactly the scalar kernels'
+//! arithmetic — the same IEEE-754 single-precision `mul`/`add`/`sub`/
+//! `div`/`sqrt` operations, on the same operands, in the same
+//! per-element order — merely eight lanes at a time. Vectorizing runs
+//! across *independent* output elements (the `NR` column dimension in
+//! GEMM, disjoint indices element-wise), so no accumulation order
+//! changes and no reduction is split: each output element keeps its
+//! single accumulator and ascending-`k` order. `x86` vector `mulps`/
+//! `addps` lanes round exactly like their scalar `mulss`/`addss`
+//! counterparts, so the results are 0 ULP from the portable fallback —
+//! pinned by `crates/tensor/tests/proptest_simd.rs` and by the CI
+//! scenario legs that replay every golden digest under
+//! `FT_TENSOR_SIMD=0`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// A micro-kernel implementation tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Plain Rust loops — the reference semantics on every platform.
+    Portable,
+    /// Explicit AVX2 intrinsics, bit-identical to [`Kernel::Portable`].
+    Avx2,
+    /// AVX2 with FMA contraction in the GEMM micro-kernel. Opt-in via
+    /// `FT_TENSOR_SIMD=fma`; **not** bit-identical (one rounding per
+    /// multiply-add instead of two), so it is excluded from golden
+    /// checks. Element-wise kernels fall back to the AVX2 forms.
+    Avx2Fma,
+}
+
+impl Kernel {
+    /// Stable lowercase name used in bench emitters and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Portable => "portable",
+            Kernel::Avx2 => "avx2",
+            Kernel::Avx2Fma => "avx2+fma",
+        }
+    }
+}
+
+/// Pure decision function behind [`active`], separated so the env/CPU
+/// matrix is unit-testable without touching process state.
+fn decide(env: Option<&str>, has_avx2: bool, has_fma: bool) -> Kernel {
+    match env.map(str::trim) {
+        Some("0") | Some("off") | Some("portable") => Kernel::Portable,
+        Some("fma") if has_avx2 && has_fma => Kernel::Avx2Fma,
+        // Any other value (including an unsatisfiable `fma` request)
+        // falls through to best-available auto-detection.
+        _ => {
+            if has_avx2 {
+                Kernel::Avx2
+            } else {
+                Kernel::Portable
+            }
+        }
+    }
+}
+
+/// Whether this host's CPU can execute `k` at all (independent of the
+/// `FT_TENSOR_SIMD` setting).
+pub fn supported(k: Kernel) -> bool {
+    match k {
+        Kernel::Portable => true,
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2Fma => {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+/// Every kernel tier this host can execute, portable first. Hardware
+/// capability only — `FT_TENSOR_SIMD` does not narrow this list, so
+/// equivalence tests can always compare the tiers side by side.
+pub fn available() -> Vec<Kernel> {
+    [Kernel::Portable, Kernel::Avx2, Kernel::Avx2Fma]
+        .into_iter()
+        .filter(|&k| supported(k))
+        .collect()
+}
+
+/// The env- and CPU-derived kernel choice, computed once per process.
+fn detected() -> Kernel {
+    static DETECTED: OnceLock<Kernel> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        let env = std::env::var("FT_TENSOR_SIMD").ok();
+        #[cfg(target_arch = "x86_64")]
+        let (avx2, fma) = (
+            std::arch::is_x86_feature_detected!("avx2"),
+            std::arch::is_x86_feature_detected!("fma"),
+        );
+        #[cfg(not(target_arch = "x86_64"))]
+        let (avx2, fma) = (false, false);
+        decide(env.as_deref(), avx2, fma)
+    })
+}
+
+/// Test/bench override: 0 = none, otherwise `Kernel as u8 + 1`.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the kernel tier for subsequent calls (`None` restores
+/// the `FT_TENSOR_SIMD`/CPU auto-detection). A bench/test hook in the
+/// spirit of [`crate::scratch::set_enabled`]: production code never
+/// calls it, and callers must not flip it while kernels are running
+/// on other threads.
+///
+/// # Panics
+///
+/// Panics when `k` is a tier this host's CPU cannot execute
+/// ([`supported`] is false) — forcing it would be undefined behavior.
+pub fn force(k: Option<Kernel>) {
+    let v = match k {
+        None => 0,
+        Some(k) => {
+            assert!(
+                supported(k),
+                "cannot force {:?}: not supported by this host's CPU",
+                k
+            );
+            k as u8 + 1
+        }
+    };
+    FORCED.store(v, Ordering::SeqCst);
+}
+
+/// The kernel tier every dispatch site uses for this call.
+pub fn active() -> Kernel {
+    match FORCED.load(Ordering::SeqCst) {
+        1 => Kernel::Portable,
+        2 => Kernel::Avx2,
+        3 => Kernel::Avx2Fma,
+        _ => detected(),
+    }
+}
+
+/// The explicit AVX2/FMA kernels. Each function is `unsafe` solely
+/// because of the `target_feature` contract: the caller must have
+/// verified AVX2 (and FMA where noted) support, which every dispatch
+/// site does by construction ([`active`] only returns a tier
+/// [`supported`] reports true for).
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    use std::arch::x86_64::*;
+
+    use crate::matmul::{MR, NR};
+
+    /// AVX2 GEMM register tile: `acc[r][j] += Σ_p apack[p·MR+r] ·
+    /// bpack[p·NR+j]`, ascending `p`, one `mul` + one `add` per term —
+    /// the portable micro-kernel's arithmetic exactly, eight `j` lanes
+    /// per instruction (`NR` = 8 = one `__m256`).
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support, and `apack`/`bpack`
+    /// must hold at least `kc * MR` / `kc * NR` elements.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemm_micro_avx2(
+        apack: &[f32],
+        bpack: &[f32],
+        acc: &mut [[f32; NR]; MR],
+        kc: usize,
+    ) {
+        debug_assert!(apack.len() >= kc * MR && bpack.len() >= kc * NR);
+        let (ap, bp) = (apack.as_ptr(), bpack.as_ptr());
+        // SAFETY: each acc row is NR = 8 contiguous f32s.
+        let mut v0 = unsafe { _mm256_loadu_ps(acc[0].as_ptr()) };
+        // SAFETY: as above.
+        let mut v1 = unsafe { _mm256_loadu_ps(acc[1].as_ptr()) };
+        // SAFETY: as above.
+        let mut v2 = unsafe { _mm256_loadu_ps(acc[2].as_ptr()) };
+        // SAFETY: as above.
+        let mut v3 = unsafe { _mm256_loadu_ps(acc[3].as_ptr()) };
+        for p in 0..kc {
+            // SAFETY: p < kc, so p·NR + NR ≤ kc·NR ≤ bpack.len().
+            let b = unsafe { _mm256_loadu_ps(bp.add(p * NR)) };
+            // SAFETY: p < kc, so p·MR + MR ≤ kc·MR ≤ apack.len().
+            let (a0, a1, a2, a3) = unsafe {
+                (
+                    _mm256_set1_ps(*ap.add(p * MR)),
+                    _mm256_set1_ps(*ap.add(p * MR + 1)),
+                    _mm256_set1_ps(*ap.add(p * MR + 2)),
+                    _mm256_set1_ps(*ap.add(p * MR + 3)),
+                )
+            };
+            v0 = _mm256_add_ps(v0, _mm256_mul_ps(a0, b));
+            v1 = _mm256_add_ps(v1, _mm256_mul_ps(a1, b));
+            v2 = _mm256_add_ps(v2, _mm256_mul_ps(a2, b));
+            v3 = _mm256_add_ps(v3, _mm256_mul_ps(a3, b));
+        }
+        // SAFETY: each acc row is NR = 8 contiguous f32s.
+        unsafe {
+            _mm256_storeu_ps(acc[0].as_mut_ptr(), v0);
+            _mm256_storeu_ps(acc[1].as_mut_ptr(), v1);
+            _mm256_storeu_ps(acc[2].as_mut_ptr(), v2);
+            _mm256_storeu_ps(acc[3].as_mut_ptr(), v3);
+        }
+    }
+
+    /// FMA variant of [`gemm_micro_avx2`]: one contracted rounding per
+    /// multiply-add. Faster, but **not** bit-identical to the portable
+    /// path — only reachable through the opt-in `FT_TENSOR_SIMD=fma`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 *and* FMA support, and
+    /// `apack`/`bpack` must hold at least `kc * MR` / `kc * NR`
+    /// elements.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gemm_micro_fma(
+        apack: &[f32],
+        bpack: &[f32],
+        acc: &mut [[f32; NR]; MR],
+        kc: usize,
+    ) {
+        debug_assert!(apack.len() >= kc * MR && bpack.len() >= kc * NR);
+        let (ap, bp) = (apack.as_ptr(), bpack.as_ptr());
+        // SAFETY: each acc row is NR = 8 contiguous f32s.
+        let mut v0 = unsafe { _mm256_loadu_ps(acc[0].as_ptr()) };
+        // SAFETY: as above.
+        let mut v1 = unsafe { _mm256_loadu_ps(acc[1].as_ptr()) };
+        // SAFETY: as above.
+        let mut v2 = unsafe { _mm256_loadu_ps(acc[2].as_ptr()) };
+        // SAFETY: as above.
+        let mut v3 = unsafe { _mm256_loadu_ps(acc[3].as_ptr()) };
+        for p in 0..kc {
+            // SAFETY: p < kc, so p·NR + NR ≤ kc·NR ≤ bpack.len().
+            let b = unsafe { _mm256_loadu_ps(bp.add(p * NR)) };
+            // SAFETY: p < kc, so p·MR + MR ≤ kc·MR ≤ apack.len().
+            let (a0, a1, a2, a3) = unsafe {
+                (
+                    _mm256_set1_ps(*ap.add(p * MR)),
+                    _mm256_set1_ps(*ap.add(p * MR + 1)),
+                    _mm256_set1_ps(*ap.add(p * MR + 2)),
+                    _mm256_set1_ps(*ap.add(p * MR + 3)),
+                )
+            };
+            v0 = _mm256_fmadd_ps(a0, b, v0);
+            v1 = _mm256_fmadd_ps(a1, b, v1);
+            v2 = _mm256_fmadd_ps(a2, b, v2);
+            v3 = _mm256_fmadd_ps(a3, b, v3);
+        }
+        // SAFETY: each acc row is NR = 8 contiguous f32s.
+        unsafe {
+            _mm256_storeu_ps(acc[0].as_mut_ptr(), v0);
+            _mm256_storeu_ps(acc[1].as_mut_ptr(), v1);
+            _mm256_storeu_ps(acc[2].as_mut_ptr(), v2);
+            _mm256_storeu_ps(acc[3].as_mut_ptr(), v3);
+        }
+    }
+
+    /// Width of one `__m256` in `f32` lanes.
+    const LANES: usize = 8;
+
+    /// `a[i] += b[i]`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support; slices must be equal
+    /// length.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_assign_avx2(a: &mut [f32], b: &[f32]) {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (pa, pb) = (a.as_mut_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i + LANES <= n {
+            // SAFETY: i + 8 ≤ n, both slices are n long.
+            unsafe {
+                let va = _mm256_loadu_ps(pa.add(i));
+                let vb = _mm256_loadu_ps(pb.add(i));
+                _mm256_storeu_ps(pa.add(i), _mm256_add_ps(va, vb));
+            }
+            i += LANES;
+        }
+        for (x, &y) in a[i..].iter_mut().zip(&b[i..]) {
+            *x += y;
+        }
+    }
+
+    /// `a[i] -= b[i]`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support; slices must be equal
+    /// length.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sub_assign_avx2(a: &mut [f32], b: &[f32]) {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (pa, pb) = (a.as_mut_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i + LANES <= n {
+            // SAFETY: i + 8 ≤ n, both slices are n long.
+            unsafe {
+                let va = _mm256_loadu_ps(pa.add(i));
+                let vb = _mm256_loadu_ps(pb.add(i));
+                _mm256_storeu_ps(pa.add(i), _mm256_sub_ps(va, vb));
+            }
+            i += LANES;
+        }
+        for (x, &y) in a[i..].iter_mut().zip(&b[i..]) {
+            *x -= y;
+        }
+    }
+
+    /// `a[i] *= b[i]`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support; slices must be equal
+    /// length.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_assign_avx2(a: &mut [f32], b: &[f32]) {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (pa, pb) = (a.as_mut_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i + LANES <= n {
+            // SAFETY: i + 8 ≤ n, both slices are n long.
+            unsafe {
+                let va = _mm256_loadu_ps(pa.add(i));
+                let vb = _mm256_loadu_ps(pb.add(i));
+                _mm256_storeu_ps(pa.add(i), _mm256_mul_ps(va, vb));
+            }
+            i += LANES;
+        }
+        for (x, &y) in a[i..].iter_mut().zip(&b[i..]) {
+            *x *= y;
+        }
+    }
+
+    /// `a[i] *= alpha`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_assign_avx2(a: &mut [f32], alpha: f32) {
+        let n = a.len();
+        let pa = a.as_mut_ptr();
+        let va = _mm256_set1_ps(alpha);
+        let mut i = 0;
+        while i + LANES <= n {
+            // SAFETY: i + 8 ≤ n.
+            unsafe {
+                let v = _mm256_loadu_ps(pa.add(i));
+                _mm256_storeu_ps(pa.add(i), _mm256_mul_ps(v, va));
+            }
+            i += LANES;
+        }
+        for x in &mut a[i..] {
+            *x *= alpha;
+        }
+    }
+
+    /// `a[i] += alpha * b[i]` (no FMA: `mul` then `add`, matching the
+    /// portable kernel bit for bit).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support; slices must be equal
+    /// length.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_avx2(a: &mut [f32], alpha: f32, b: &[f32]) {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (pa, pb) = (a.as_mut_ptr(), b.as_ptr());
+        let valpha = _mm256_set1_ps(alpha);
+        let mut i = 0;
+        while i + LANES <= n {
+            // SAFETY: i + 8 ≤ n, both slices are n long.
+            unsafe {
+                let va = _mm256_loadu_ps(pa.add(i));
+                let vb = _mm256_loadu_ps(pb.add(i));
+                _mm256_storeu_ps(pa.add(i), _mm256_add_ps(va, _mm256_mul_ps(valpha, vb)));
+            }
+            i += LANES;
+        }
+        for (x, &y) in a[i..].iter_mut().zip(&b[i..]) {
+            *x += alpha * y;
+        }
+    }
+
+    /// Fused SGD-with-momentum update, the scalar kernel's arithmetic
+    /// lane for lane: `grad = g + wd·p; v = mom·v + grad; p -= lr·v`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support; slices must be equal
+    /// length.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sgd_momentum_avx2(
+        p: &mut [f32],
+        v: &mut [f32],
+        g: &[f32],
+        lr: f32,
+        momentum: f32,
+        weight_decay: f32,
+    ) {
+        debug_assert!(p.len() == v.len() && p.len() == g.len());
+        let n = p.len();
+        let (pp, pv, pg) = (p.as_mut_ptr(), v.as_mut_ptr(), g.as_ptr());
+        let (vlr, vmom, vwd) = (
+            _mm256_set1_ps(lr),
+            _mm256_set1_ps(momentum),
+            _mm256_set1_ps(weight_decay),
+        );
+        let mut i = 0;
+        while i + LANES <= n {
+            // SAFETY: i + 8 ≤ n; p/v/g are all n long.
+            unsafe {
+                let xp = _mm256_loadu_ps(pp.add(i));
+                let xv = _mm256_loadu_ps(pv.add(i));
+                let xg = _mm256_loadu_ps(pg.add(i));
+                let grad = _mm256_add_ps(xg, _mm256_mul_ps(vwd, xp));
+                let vel = _mm256_add_ps(_mm256_mul_ps(vmom, xv), grad);
+                _mm256_storeu_ps(pv.add(i), vel);
+                _mm256_storeu_ps(pp.add(i), _mm256_sub_ps(xp, _mm256_mul_ps(vlr, vel)));
+            }
+            i += LANES;
+        }
+        for ((p, v), &g) in p[i..].iter_mut().zip(&mut v[i..]).zip(&g[i..]) {
+            let grad = g + weight_decay * *p;
+            let vel = momentum * *v + grad;
+            *v = vel;
+            *p -= lr * vel;
+        }
+    }
+
+    /// Fused FedProx update: the SGD kernel with the proximal term
+    /// `g + mu·(p − anchor)` computed from the pre-update `p`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support; slices must be equal
+    /// length.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn prox_sgd_momentum_avx2(
+        p: &mut [f32],
+        v: &mut [f32],
+        g: &[f32],
+        anchor: &[f32],
+        mu: f32,
+        lr: f32,
+        momentum: f32,
+        weight_decay: f32,
+    ) {
+        debug_assert!(p.len() == v.len() && p.len() == g.len() && p.len() == anchor.len());
+        let n = p.len();
+        let (pp, pv, pg, pa) = (p.as_mut_ptr(), v.as_mut_ptr(), g.as_ptr(), anchor.as_ptr());
+        let (vmu, vlr, vmom, vwd) = (
+            _mm256_set1_ps(mu),
+            _mm256_set1_ps(lr),
+            _mm256_set1_ps(momentum),
+            _mm256_set1_ps(weight_decay),
+        );
+        let mut i = 0;
+        while i + LANES <= n {
+            // SAFETY: i + 8 ≤ n; p/v/g/anchor are all n long.
+            unsafe {
+                let xp = _mm256_loadu_ps(pp.add(i));
+                let xv = _mm256_loadu_ps(pv.add(i));
+                let xg = _mm256_loadu_ps(pg.add(i));
+                let xa = _mm256_loadu_ps(pa.add(i));
+                let adjusted = _mm256_add_ps(xg, _mm256_mul_ps(vmu, _mm256_sub_ps(xp, xa)));
+                let grad = _mm256_add_ps(adjusted, _mm256_mul_ps(vwd, xp));
+                let vel = _mm256_add_ps(_mm256_mul_ps(vmom, xv), grad);
+                _mm256_storeu_ps(pv.add(i), vel);
+                _mm256_storeu_ps(pp.add(i), _mm256_sub_ps(xp, _mm256_mul_ps(vlr, vel)));
+            }
+            i += LANES;
+        }
+        for (((p, v), &g), &a) in p[i..]
+            .iter_mut()
+            .zip(&mut v[i..])
+            .zip(&g[i..])
+            .zip(&anchor[i..])
+        {
+            let adjusted = g + mu * (*p - a);
+            let grad = adjusted + weight_decay * *p;
+            let vel = momentum * *v + grad;
+            *v = vel;
+            *p -= lr * vel;
+        }
+    }
+
+    /// `signum` over a vector, matching `f32::signum` lane for lane:
+    /// ±1 with the operand's sign bit for finite and infinite values
+    /// (including ±0), the canonical `f32::NAN` for NaN lanes.
+    #[target_feature(enable = "avx2")]
+    fn signum_ps(x: __m256) -> __m256 {
+        let signed_one = _mm256_or_ps(_mm256_set1_ps(1.0), _mm256_and_ps(x, _mm256_set1_ps(-0.0)));
+        // Unordered-with-self picks out NaN lanes.
+        let nan = _mm256_cmp_ps::<_CMP_UNORD_Q>(x, x);
+        _mm256_blendv_ps(signed_one, _mm256_set1_ps(f32::NAN), nan)
+    }
+
+    /// Fused Yogi update, the scalar kernel's arithmetic lane for
+    /// lane (vector `sqrt`/`div` round identically to their scalar
+    /// forms; `signum` is emulated exactly, see [`signum_ps`]).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support; slices must be equal
+    /// length.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn yogi_avx2(
+        p: &mut [f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        d: &[f32],
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+    ) {
+        debug_assert!(p.len() == m.len() && p.len() == v.len() && p.len() == d.len());
+        let n = p.len();
+        let (pp, pm, pv, pd) = (p.as_mut_ptr(), m.as_mut_ptr(), v.as_mut_ptr(), d.as_ptr());
+        let (vlr, vb1, vb2c, vb1c, veps) = (
+            _mm256_set1_ps(lr),
+            _mm256_set1_ps(beta1),
+            _mm256_set1_ps(1.0 - beta2),
+            _mm256_set1_ps(1.0 - beta1),
+            _mm256_set1_ps(eps),
+        );
+        let mut i = 0;
+        while i + LANES <= n {
+            // SAFETY: i + 8 ≤ n; p/m/v/d are all n long.
+            unsafe {
+                let xp = _mm256_loadu_ps(pp.add(i));
+                let xm = _mm256_loadu_ps(pm.add(i));
+                let xv = _mm256_loadu_ps(pv.add(i));
+                let xg = _mm256_loadu_ps(pd.add(i));
+                let mi = _mm256_add_ps(_mm256_mul_ps(vb1, xm), _mm256_mul_ps(vb1c, xg));
+                let g2 = _mm256_mul_ps(xg, xg);
+                let sign = signum_ps(_mm256_sub_ps(xv, g2));
+                let vi = _mm256_sub_ps(xv, _mm256_mul_ps(_mm256_mul_ps(vb2c, g2), sign));
+                _mm256_storeu_ps(pm.add(i), mi);
+                _mm256_storeu_ps(pv.add(i), vi);
+                let denom = _mm256_add_ps(_mm256_sqrt_ps(vi), veps);
+                let step = _mm256_div_ps(_mm256_mul_ps(vlr, mi), denom);
+                _mm256_storeu_ps(pp.add(i), _mm256_add_ps(xp, step));
+            }
+            i += LANES;
+        }
+        for (((p, m), v), &g) in p[i..]
+            .iter_mut()
+            .zip(&mut m[i..])
+            .zip(&mut v[i..])
+            .zip(&d[i..])
+        {
+            let mi = beta1 * *m + (1.0 - beta1) * g;
+            let g2 = g * g;
+            let vi = *v - (1.0 - beta2) * g2 * (*v - g2).signum();
+            *m = mi;
+            *v = vi;
+            *p += lr * mi / (vi.sqrt() + eps);
+        }
+    }
+
+    /// `dst[i] = q[i] as f32 * scale` — the int8 dequantization store
+    /// (sign-extend, exact int→float convert, one multiply).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support; slices must be equal
+    /// length.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dequant_scale_avx2(dst: &mut [f32], q: &[i8], scale: f32) {
+        debug_assert_eq!(dst.len(), q.len());
+        let n = dst.len();
+        let (pd, pq) = (dst.as_mut_ptr(), q.as_ptr());
+        let vscale = _mm256_set1_ps(scale);
+        let mut i = 0;
+        while i + LANES <= n {
+            // SAFETY: i + 8 ≤ n, so 8 bytes of q and 8 f32s of dst are
+            // in bounds.
+            unsafe {
+                let qi = _mm_loadl_epi64(pq.add(i) as *const __m128i);
+                let qf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(qi));
+                _mm256_storeu_ps(pd.add(i), _mm256_mul_ps(qf, vscale));
+            }
+            i += LANES;
+        }
+        for (x, &qv) in dst[i..].iter_mut().zip(&q[i..]) {
+            *x = qv as f32 * scale;
+        }
+    }
+
+    /// `acc[i] += alpha * (q[i] as f32 * scale)` — fused int8
+    /// dequant-accumulate (dequantize then `axpy`, no intermediate
+    /// buffer; `mul`/`mul`/`add`, no FMA).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support; slices must be equal
+    /// length.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dequant_axpy_avx2(acc: &mut [f32], alpha: f32, q: &[i8], scale: f32) {
+        debug_assert_eq!(acc.len(), q.len());
+        let n = acc.len();
+        let (pa, pq) = (acc.as_mut_ptr(), q.as_ptr());
+        let (vscale, valpha) = (_mm256_set1_ps(scale), _mm256_set1_ps(alpha));
+        let mut i = 0;
+        while i + LANES <= n {
+            // SAFETY: i + 8 ≤ n, so 8 bytes of q and 8 f32s of acc are
+            // in bounds.
+            unsafe {
+                let qi = _mm_loadl_epi64(pq.add(i) as *const __m128i);
+                let qf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(qi));
+                let t = _mm256_mul_ps(qf, vscale);
+                let va = _mm256_loadu_ps(pa.add(i));
+                _mm256_storeu_ps(pa.add(i), _mm256_add_ps(va, _mm256_mul_ps(valpha, t)));
+            }
+            i += LANES;
+        }
+        for (x, &qv) in acc[i..].iter_mut().zip(&q[i..]) {
+            let t = qv as f32 * scale;
+            *x += alpha * t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decide_honors_the_env_override() {
+        assert_eq!(decide(Some("0"), true, true), Kernel::Portable);
+        assert_eq!(decide(Some("off"), true, true), Kernel::Portable);
+        assert_eq!(decide(Some("portable"), true, true), Kernel::Portable);
+        assert_eq!(decide(Some(" 0 "), true, true), Kernel::Portable);
+    }
+
+    #[test]
+    fn decide_auto_detects_from_cpu_features() {
+        assert_eq!(decide(None, true, true), Kernel::Avx2);
+        assert_eq!(decide(None, true, false), Kernel::Avx2);
+        assert_eq!(decide(None, false, false), Kernel::Portable);
+        assert_eq!(decide(Some("1"), true, false), Kernel::Avx2);
+        assert_eq!(decide(Some("1"), false, false), Kernel::Portable);
+    }
+
+    #[test]
+    fn decide_fma_is_opt_in_and_requires_hardware() {
+        assert_eq!(decide(Some("fma"), true, true), Kernel::Avx2Fma);
+        // Unsatisfiable fma request falls back to best available.
+        assert_eq!(decide(Some("fma"), true, false), Kernel::Avx2);
+        assert_eq!(decide(Some("fma"), false, false), Kernel::Portable);
+        // fma is never chosen without the explicit opt-in.
+        assert_eq!(decide(None, true, true), Kernel::Avx2);
+    }
+
+    #[test]
+    fn available_starts_portable_and_only_lists_supported() {
+        let tiers = available();
+        assert_eq!(tiers[0], Kernel::Portable);
+        for k in tiers {
+            assert!(supported(k));
+        }
+    }
+
+    #[test]
+    fn force_overrides_and_restores() {
+        force(Some(Kernel::Portable));
+        assert_eq!(active(), Kernel::Portable);
+        force(None);
+        // Back to the env/CPU decision, whatever it is on this host.
+        let _ = active();
+    }
+
+    #[test]
+    fn kernel_names_are_stable() {
+        assert_eq!(Kernel::Portable.name(), "portable");
+        assert_eq!(Kernel::Avx2.name(), "avx2");
+        assert_eq!(Kernel::Avx2Fma.name(), "avx2+fma");
+    }
+}

@@ -34,7 +34,7 @@ fn tensor_of(m: usize, n: usize) -> impl Strategy<Value = Tensor> {
 }
 
 /// `(A[m×k], B[k×n])` with dimensions spanning the small, tiled, and
-/// edge-tile paths (sizes straddle the MR=4 / NR=16 / KC=128 block
+/// edge-tile paths (sizes straddle the MR=4 / NR=8 register-tile
 /// boundaries as well as the SMALL_WORK threshold).
 fn gemm_operands() -> impl Strategy<Value = (Tensor, Tensor)> {
     (1usize..=40, 1usize..=150, 1usize..=40)
